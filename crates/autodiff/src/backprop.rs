@@ -1,0 +1,102 @@
+//! Reverse-mode accumulation over tape records.
+
+use crate::registry::{gradient_fn, GradCtx};
+use std::collections::HashMap;
+use tfe_ops::Attrs;
+use tfe_runtime::{api, Result, RuntimeError, TapeRecord, Tensor};
+
+fn zeros_like(x: &Tensor) -> Result<Tensor> {
+    let mut out =
+        tfe_runtime::context::execute("zeros_like", std::slice::from_ref(x), Attrs::new())?;
+    Ok(out.remove(0))
+}
+
+/// Run reverse-mode accumulation over `records` (in recording order),
+/// starting from `seed` at `target_id`. Returns the gradient for every id
+/// reached; callers look up their sources in the result.
+///
+/// Gradient arithmetic executes through the normal dispatcher, so any outer
+/// active tapes record it (higher-order gradients, §4.2) and it can itself
+/// be traced (staged backward passes).
+///
+/// # Errors
+/// Missing gradient definitions along the differentiated path, or kernel
+/// failures inside gradient functions.
+pub fn accumulate(
+    records: &[TapeRecord],
+    target_id: u64,
+    seed: Tensor,
+    wanted: &[u64],
+) -> Result<HashMap<u64, Tensor>> {
+    let mut seeds = HashMap::new();
+    seeds.insert(target_id, seed);
+    let r = accumulate_many(records, seeds)?;
+    let _ = wanted;
+    Ok(r)
+}
+
+/// Multi-target variant of [`accumulate`]: start with a seed gradient per
+/// target id. Used when differentiating graph functions, which may have
+/// several outputs.
+///
+/// # Errors
+/// Same conditions as [`accumulate`].
+pub fn accumulate_many(
+    records: &[TapeRecord],
+    seeds: HashMap<u64, Tensor>,
+) -> Result<HashMap<u64, Tensor>> {
+    let mut grads: HashMap<u64, Tensor> = seeds;
+
+    let profile = std::env::var_os("TFE_GRAD_PROFILE").is_some();
+    let mut op_times: HashMap<String, (u32, std::time::Duration)> = HashMap::new();
+
+    for record in records.iter().rev() {
+        // Does any output carry gradient?
+        if !record.output_ids.iter().any(|id| grads.contains_key(id)) {
+            continue;
+        }
+        let mut output_grads = Vec::with_capacity(record.outputs.len());
+        for (out, id) in record.outputs.iter().zip(&record.output_ids) {
+            match grads.get(id) {
+                Some(g) => output_grads.push(g.clone()),
+                None => output_grads.push(zeros_like(out)?),
+            }
+        }
+        let f = gradient_fn(&record.op)?;
+        let t0 = profile.then(std::time::Instant::now);
+        let input_grads = f(&GradCtx { record, output_grads: &output_grads })?;
+        if let Some(t0) = t0 {
+            let e = op_times.entry(record.op.clone()).or_default();
+            e.0 += 1;
+            e.1 += t0.elapsed();
+        }
+        if input_grads.len() != record.input_ids.len() {
+            return Err(RuntimeError::Internal(format!(
+                "gradient of `{}` returned {} grads for {} inputs",
+                record.op,
+                input_grads.len(),
+                record.input_ids.len()
+            )));
+        }
+        for (id, grad) in record.input_ids.iter().zip(input_grads) {
+            if let Some(g) = grad {
+                match grads.remove(id) {
+                    Some(existing) => {
+                        grads.insert(*id, api::add(&existing, &g)?);
+                    }
+                    None => {
+                        grads.insert(*id, g);
+                    }
+                }
+            }
+        }
+    }
+    if profile {
+        let mut rows: Vec<_> = op_times.into_iter().collect();
+        rows.sort_by_key(|(_, (_, d))| std::cmp::Reverse(*d));
+        for (op, (n, d)) in rows.into_iter().take(12) {
+            eprintln!("[grad profile] {op}: {n} calls, {d:?}");
+        }
+    }
+    Ok(grads)
+}

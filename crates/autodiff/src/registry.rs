@@ -1,0 +1,717 @@
+//! The gradient registry: one vector-Jacobian-product function per
+//! differentiable primitive op.
+//!
+//! Gradient functions are themselves expressed in terms of primitive
+//! operations executed through the shared dispatcher (§4.2: "gradient
+//! computation is itself expressed as a function which executes primitive
+//! operations, so it is possible to stage it or not"). That is what makes
+//! higher-order derivatives and staged backward passes fall out for free.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use tfe_ops::Attrs;
+use tfe_runtime::api;
+use tfe_runtime::{Result, RuntimeError, TapeRecord, Tensor};
+use tfe_tensor::DType;
+
+/// Everything a gradient function sees: the forward record plus the
+/// incoming output gradients (one per forward output, zero-filled when an
+/// output did not influence the target).
+pub struct GradCtx<'a> {
+    /// The recorded forward operation.
+    pub record: &'a TapeRecord,
+    /// Gradients flowing into each forward output.
+    pub output_grads: &'a [Tensor],
+}
+
+impl<'a> GradCtx<'a> {
+    /// Forward input `i`.
+    ///
+    /// # Errors
+    /// Out of range.
+    pub fn input(&self, i: usize) -> Result<&Tensor> {
+        self.record
+            .inputs
+            .get(i)
+            .ok_or_else(|| RuntimeError::Internal(format!("gradient: missing input {i}")))
+    }
+
+    /// Forward output `i`.
+    ///
+    /// # Errors
+    /// Out of range.
+    pub fn output(&self, i: usize) -> Result<&Tensor> {
+        self.record
+            .outputs
+            .get(i)
+            .ok_or_else(|| RuntimeError::Internal(format!("gradient: missing output {i}")))
+    }
+
+    /// Incoming gradient for output `i`.
+    ///
+    /// # Errors
+    /// Out of range.
+    pub fn grad(&self, i: usize) -> Result<&Tensor> {
+        self.output_grads
+            .get(i)
+            .ok_or_else(|| RuntimeError::Internal(format!("gradient: missing grad {i}")))
+    }
+
+    /// The forward attributes.
+    pub fn attrs(&self) -> &Attrs {
+        &self.record.attrs
+    }
+}
+
+/// A vector-Jacobian product: returns one gradient per *gradient slot* (the
+/// record's `input_ids`), `None` where no gradient flows.
+pub type GradFn = fn(&GradCtx) -> Result<Vec<Option<Tensor>>>;
+
+fn registry() -> &'static RwLock<HashMap<String, GradFn>> {
+    static R: std::sync::OnceLock<RwLock<HashMap<String, GradFn>>> = std::sync::OnceLock::new();
+    R.get_or_init(|| RwLock::new(HashMap::new()))
+}
+
+/// Register (or replace) the gradient for an op. Higher layers use this to
+/// add gradients for ops they own (`tfe-core` registers `call`/`cond`).
+pub fn register_gradient(op: &str, f: GradFn) {
+    registry().write().insert(op.to_string(), f);
+}
+
+/// Look up the gradient for `op`.
+///
+/// # Errors
+/// [`RuntimeError::Unsupported`] when no gradient is registered.
+pub fn gradient_fn(op: &str) -> Result<GradFn> {
+    ensure_gradients();
+    registry().read().get(op).copied().ok_or_else(|| {
+        RuntimeError::Unsupported(format!("no gradient registered for op `{op}`"))
+    })
+}
+
+/// Whether `op` has a registered gradient.
+pub fn has_gradient(op: &str) -> bool {
+    ensure_gradients();
+    registry().read().contains_key(op)
+}
+
+/// `sum_to_like(x, reference)`: the broadcasting adjoint.
+fn sum_to_like(x: &Tensor, reference: &Tensor) -> Result<Tensor> {
+    let mut out = tfe_runtime::context::execute(
+        "sum_to_like",
+        &[x.clone(), reference.clone()],
+        Attrs::new(),
+    )?;
+    Ok(out.remove(0))
+}
+
+fn zeros_like(x: &Tensor) -> Result<Tensor> {
+    let mut out =
+        tfe_runtime::context::execute("zeros_like", std::slice::from_ref(x), Attrs::new())?;
+    Ok(out.remove(0))
+}
+
+fn ones_like(x: &Tensor) -> Result<Tensor> {
+    let mut out =
+        tfe_runtime::context::execute("ones_like", std::slice::from_ref(x), Attrs::new())?;
+    Ok(out.remove(0))
+}
+
+fn two(like: &Tensor) -> Tensor {
+    api::constant_data(tfe_tensor::TensorData::fill_f64(
+        like.dtype(),
+        tfe_tensor::Shape::scalar(),
+        2.0,
+    ))
+}
+
+fn step_mask(x: &Tensor) -> Result<Tensor> {
+    // 1 where x > 0 else 0, in x's dtype.
+    let zero = api::constant_data(tfe_tensor::TensorData::fill_f64(
+        x.dtype(),
+        tfe_tensor::Shape::scalar(),
+        0.0,
+    ));
+    let m = api::greater(x, &zero)?;
+    api::cast(&m, x.dtype())
+}
+
+/// Expand `g` (the reduced gradient) back to input rank by inserting the
+/// reduced axes, then broadcast against the input.
+fn expand_reduced(g: &Tensor, input: &Tensor, attrs: &Attrs, keep: bool) -> Result<Tensor> {
+    if keep {
+        return Ok(g.clone());
+    }
+    let rank = input.rank() as i64;
+    let axes = attrs.int_list_or("axes", &[]).map_err(tfe_ops::OpError::from)?;
+    let mut norm: Vec<i64> = if axes.is_empty() {
+        (0..rank).collect()
+    } else {
+        axes.iter().map(|&a| if a < 0 { a + rank } else { a }).collect()
+    };
+    norm.sort_unstable();
+    let mut cur = g.clone();
+    for &a in &norm {
+        cur = api::expand_dims(&cur, a)?;
+    }
+    Ok(cur)
+}
+
+/// Number of elements reduced away, as a dynamic scalar in `dtype` (uses
+/// `shape_of` so it works with unknown trace-time dimensions).
+fn reduced_count(input: &Tensor, attrs: &Attrs, dtype: DType) -> Result<Tensor> {
+    let rank = input.rank() as i64;
+    let axes = attrs.int_list_or("axes", &[]).map_err(tfe_ops::OpError::from)?;
+    let norm: Vec<i64> = if axes.is_empty() {
+        (0..rank).collect()
+    } else {
+        axes.iter().map(|&a| if a < 0 { a + rank } else { a }).collect()
+    };
+    let shape = api::shape_of(input)?;
+    let idx = api::constant(norm.clone(), [norm.len()])?;
+    let dims = api::gather(&shape, &idx, 0)?;
+    let count = api::reduce_prod(&dims, &[], false)?;
+    api::cast(&count, dtype)
+}
+
+macro_rules! grad {
+    ($name:expr, $f:expr) => {
+        register_gradient($name, $f);
+    };
+}
+
+/// Register the standard gradient catalog exactly once.
+pub fn ensure_gradients() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(register_all);
+}
+
+#[allow(clippy::too_many_lines)]
+fn register_all() {
+    // --- binary elementwise -------------------------------------------------
+    grad!("add", |c| {
+        let g = c.grad(0)?;
+        Ok(vec![
+            Some(sum_to_like(g, c.input(0)?)?),
+            Some(sum_to_like(g, c.input(1)?)?),
+        ])
+    });
+    grad!("sub", |c| {
+        let g = c.grad(0)?;
+        Ok(vec![
+            Some(sum_to_like(g, c.input(0)?)?),
+            Some(sum_to_like(&api::neg(g)?, c.input(1)?)?),
+        ])
+    });
+    grad!("mul", |c| {
+        let g = c.grad(0)?;
+        let (a, b) = (c.input(0)?, c.input(1)?);
+        Ok(vec![
+            Some(sum_to_like(&api::mul(g, b)?, a)?),
+            Some(sum_to_like(&api::mul(g, a)?, b)?),
+        ])
+    });
+    grad!("div", |c| {
+        let g = c.grad(0)?;
+        let (a, b) = (c.input(0)?, c.input(1)?);
+        let ga = api::div(g, b)?;
+        // -g * a / b^2
+        let gb = api::neg(&api::div(&api::mul(g, a)?, &api::square(b)?)?)?;
+        Ok(vec![Some(sum_to_like(&ga, a)?), Some(sum_to_like(&gb, b)?)])
+    });
+    grad!("pow", |c| {
+        let g = c.grad(0)?;
+        let (a, b) = (c.input(0)?, c.input(1)?);
+        let y = c.output(0)?;
+        // d/da = b * a^(b-1); d/db = y * ln(a) (guarded at a <= 0).
+        let bm1 = api::sub(b, &ones_like(b)?)?;
+        let ga = api::mul(g, &api::mul(b, &api::pow(a, &bm1)?)?)?;
+        let safe_log = api::select(
+            &api::greater(a, &zeros_like(a)?)?,
+            &api::log(&api::maximum(a, &api::mul(&ones_like(a)?, &api::constant_data(
+                tfe_tensor::TensorData::fill_f64(a.dtype(), tfe_tensor::Shape::scalar(), 1e-30),
+            ))?)?)?,
+            &zeros_like(a)?,
+        )?;
+        let gb = api::mul(g, &api::mul(y, &safe_log)?)?;
+        Ok(vec![Some(sum_to_like(&ga, a)?), Some(sum_to_like(&gb, b)?)])
+    });
+    grad!("maximum", |c| {
+        let g = c.grad(0)?;
+        let (a, b) = (c.input(0)?, c.input(1)?);
+        let mask = api::cast(&api::greater_equal(a, b)?, g.dtype())?;
+        let ga = api::mul(g, &mask)?;
+        let gb = api::sub(g, &ga)?;
+        Ok(vec![Some(sum_to_like(&ga, a)?), Some(sum_to_like(&gb, b)?)])
+    });
+    grad!("minimum", |c| {
+        let g = c.grad(0)?;
+        let (a, b) = (c.input(0)?, c.input(1)?);
+        let mask = api::cast(&api::less_equal(a, b)?, g.dtype())?;
+        let ga = api::mul(g, &mask)?;
+        let gb = api::sub(g, &ga)?;
+        Ok(vec![Some(sum_to_like(&ga, a)?), Some(sum_to_like(&gb, b)?)])
+    });
+    grad!("squared_difference", |c| {
+        let g = c.grad(0)?;
+        let (a, b) = (c.input(0)?, c.input(1)?);
+        let d = api::sub(a, b)?;
+        let ga = api::mul(g, &api::mul(&two(&d), &d)?)?;
+        Ok(vec![
+            Some(sum_to_like(&ga, a)?),
+            Some(sum_to_like(&api::neg(&ga)?, b)?),
+        ])
+    });
+    grad!("mod", |c| {
+        let g = c.grad(0)?;
+        let (a, b) = (c.input(0)?, c.input(1)?);
+        let gb = api::neg(&api::mul(g, &api::floor_div(a, b)?)?)?;
+        Ok(vec![Some(sum_to_like(g, a)?), Some(sum_to_like(&gb, b)?)])
+    });
+    grad!("floor_div", |_c| Ok(vec![None, None]));
+
+    // --- unary elementwise ---------------------------------------------------
+    grad!("neg", |c| Ok(vec![Some(api::neg(c.grad(0)?)?)]));
+    grad!("abs", |c| Ok(vec![Some(api::mul(c.grad(0)?, &api::sign(c.input(0)?)?)?)]));
+    grad!("exp", |c| Ok(vec![Some(api::mul(c.grad(0)?, c.output(0)?)?)]));
+    grad!("log", |c| Ok(vec![Some(api::div(c.grad(0)?, c.input(0)?)?)]));
+    grad!("log1p", |c| {
+        let denom = api::add(c.input(0)?, &ones_like(c.input(0)?)?)?;
+        Ok(vec![Some(api::div(c.grad(0)?, &denom)?)])
+    });
+    grad!("sqrt", |c| {
+        // g / (2*y)
+        let denom = api::mul(&two(c.output(0)?), c.output(0)?)?;
+        Ok(vec![Some(api::div(c.grad(0)?, &denom)?)])
+    });
+    grad!("rsqrt", |c| {
+        // -0.5 * y^3 * g
+        let y = c.output(0)?;
+        let y3 = api::mul(&api::square(y)?, y)?;
+        let half = api::constant_data(tfe_tensor::TensorData::fill_f64(
+            y.dtype(),
+            tfe_tensor::Shape::scalar(),
+            -0.5,
+        ));
+        Ok(vec![Some(api::mul(&api::mul(&half, &y3)?, c.grad(0)?)?)])
+    });
+    grad!("square", |c| {
+        let ga = api::mul(c.grad(0)?, &api::mul(&two(c.input(0)?), c.input(0)?)?)?;
+        Ok(vec![Some(ga)])
+    });
+    grad!("reciprocal", |c| {
+        let y = c.output(0)?;
+        Ok(vec![Some(api::neg(&api::mul(c.grad(0)?, &api::square(y)?)?)?)])
+    });
+    grad!("relu", |c| {
+        Ok(vec![Some(api::mul(c.grad(0)?, &step_mask(c.input(0)?)?)?)])
+    });
+    grad!("sigmoid", |c| {
+        let y = c.output(0)?;
+        let one_minus = api::sub(&ones_like(y)?, y)?;
+        Ok(vec![Some(api::mul(c.grad(0)?, &api::mul(y, &one_minus)?)?)])
+    });
+    grad!("tanh", |c| {
+        let y = c.output(0)?;
+        let one_minus = api::sub(&ones_like(y)?, &api::square(y)?)?;
+        Ok(vec![Some(api::mul(c.grad(0)?, &one_minus)?)])
+    });
+    grad!("softplus", |c| {
+        Ok(vec![Some(api::mul(c.grad(0)?, &api::sigmoid(c.input(0)?)?)?)])
+    });
+    grad!("sin", |c| Ok(vec![Some(api::mul(c.grad(0)?, &api::cos(c.input(0)?)?)?)]));
+    grad!("cos", |c| {
+        Ok(vec![Some(api::neg(&api::mul(c.grad(0)?, &api::sin(c.input(0)?)?)?)?)])
+    });
+    grad!("erf", |c| {
+        // 2/sqrt(pi) * exp(-x^2)
+        let x = c.input(0)?;
+        let coef = api::constant_data(tfe_tensor::TensorData::fill_f64(
+            x.dtype(),
+            tfe_tensor::Shape::scalar(),
+            2.0 / std::f64::consts::PI.sqrt(),
+        ));
+        let e = api::exp(&api::neg(&api::square(x)?)?)?;
+        Ok(vec![Some(api::mul(c.grad(0)?, &api::mul(&coef, &e)?)?)])
+    });
+    for name in ["floor", "ceil", "round", "sign"] {
+        grad!(name, |c| Ok(vec![Some(zeros_like(c.input(0)?)?)]));
+    }
+
+    // --- structure -----------------------------------------------------------
+    grad!("identity", |c| Ok(vec![Some(c.grad(0)?.clone())]));
+    grad!("copy", |c| Ok(vec![Some(c.grad(0)?.clone())]));
+    grad!("print", |c| Ok(vec![Some(c.grad(0)?.clone())]));
+    grad!("zeros_like", |c| Ok(vec![Some(zeros_like(c.input(0)?)?)]));
+    grad!("ones_like", |c| Ok(vec![Some(zeros_like(c.input(0)?)?)]));
+    grad!("select", |c| {
+        let g = c.grad(0)?;
+        let cond = c.input(0)?;
+        let (a, b) = (c.input(1)?, c.input(2)?);
+        let ga = api::select(cond, g, &zeros_like(g)?)?;
+        let gb = api::select(cond, &zeros_like(g)?, g)?;
+        Ok(vec![None, Some(sum_to_like(&ga, a)?), Some(sum_to_like(&gb, b)?)])
+    });
+    grad!("cast", |c| {
+        let src = c.input(0)?.dtype();
+        if src.is_float() && c.grad(0)?.dtype().is_float() {
+            Ok(vec![Some(api::cast(c.grad(0)?, src)?)])
+        } else {
+            Ok(vec![None])
+        }
+    });
+    grad!("reshape", |c| Ok(vec![Some(reshape_like(c.grad(0)?, c.input(0)?)?)]));
+    grad!("expand_dims", |c| Ok(vec![Some(reshape_like(c.grad(0)?, c.input(0)?)?)]));
+    grad!("squeeze", |c| Ok(vec![Some(reshape_like(c.grad(0)?, c.input(0)?)?)]));
+    grad!("transpose", |c| {
+        let perm = c.attrs().int_list("perm").map_err(tfe_ops::OpError::from)?;
+        let mut inverse = vec![0i64; perm.len()];
+        for (i, &p) in perm.iter().enumerate() {
+            inverse[p as usize] = i as i64;
+        }
+        Ok(vec![Some(api::transpose(c.grad(0)?, &inverse)?)])
+    });
+    grad!("concat", |c| {
+        let g = c.grad(0)?;
+        let axis = c.attrs().int("axis").map_err(tfe_ops::OpError::from)?;
+        let rank = c.input(0)?.rank() as i64;
+        let ax = if axis < 0 { axis + rank } else { axis } as usize;
+        let mut grads = Vec::with_capacity(c.record.inputs.len());
+        let mut offset = 0i64;
+        for input in &c.record.inputs {
+            let dims = input.sym_shape();
+            let extent = dims.dims()[ax].ok_or_else(|| {
+                RuntimeError::Unsupported(
+                    "concat gradient with unknown axis extent".to_string(),
+                )
+            })? as i64;
+            let mut begin = vec![0i64; dims.rank()];
+            begin[ax] = offset;
+            let mut size: Vec<i64> = vec![-1; dims.rank()];
+            size[ax] = extent;
+            grads.push(Some(api::slice(g, &begin, &size)?));
+            offset += extent;
+        }
+        Ok(grads)
+    });
+    grad!("split", |c| {
+        let axis = c.attrs().int("axis").map_err(tfe_ops::OpError::from)?;
+        let parts: Vec<&Tensor> = c.output_grads.iter().collect();
+        Ok(vec![Some(api::concat(&parts, axis)?)])
+    });
+    grad!("slice", |c| {
+        let begin = c.attrs().int_list("begin").map_err(tfe_ops::OpError::from)?.to_vec();
+        let mut out = tfe_runtime::context::execute(
+            "slice_grad",
+            &[c.input(0)?.clone(), c.grad(0)?.clone()],
+            Attrs::new().with("begin", begin),
+        )?;
+        Ok(vec![Some(out.remove(0))])
+    });
+    grad!("slice_grad", |c| {
+        // Adjoint of the adjoint: slice the incoming gradient back out.
+        let begin = c.attrs().int_list("begin").map_err(tfe_ops::OpError::from)?.to_vec();
+        let sizes: Vec<i64> = c
+            .input(1)?
+            .sym_shape()
+            .dims()
+            .iter()
+            .map(|d| d.map(|v| v as i64).unwrap_or(-1))
+            .collect();
+        Ok(vec![None, Some(api::slice(c.grad(0)?, &begin, &sizes)?)])
+    });
+    grad!("pad", |c| {
+        let flat = c.attrs().int_list("paddings").map_err(tfe_ops::OpError::from)?;
+        let begin: Vec<i64> = flat.chunks(2).map(|p| p[0]).collect();
+        let sizes: Vec<i64> = c
+            .input(0)?
+            .sym_shape()
+            .dims()
+            .iter()
+            .map(|d| d.map(|v| v as i64).unwrap_or(-1))
+            .collect();
+        Ok(vec![Some(api::slice(c.grad(0)?, &begin, &sizes)?)])
+    });
+    grad!("gather", |c| {
+        let axis = c.attrs().int_or("axis", 0).map_err(tfe_ops::OpError::from)?;
+        let mut out = tfe_runtime::context::execute(
+            "gather_grad",
+            &[c.input(0)?.clone(), c.input(1)?.clone(), c.grad(0)?.clone()],
+            Attrs::new().with("axis", axis),
+        )?;
+        Ok(vec![Some(out.remove(0)), None])
+    });
+    grad!("broadcast_to", |c| Ok(vec![Some(sum_to_like(c.grad(0)?, c.input(0)?)?)]));
+    grad!("sum_to_like", |c| {
+        // Broadcast the gradient back up to the original shape.
+        let g = c.grad(0)?;
+        let ga = api::mul(g, &ones_like(c.input(0)?)?)?;
+        Ok(vec![Some(ga), None])
+    });
+    grad!("reverse", |c| {
+        let axis = c.attrs().int_or("axis", 0).map_err(tfe_ops::OpError::from)?;
+        Ok(vec![Some(api::reverse(c.grad(0)?, axis)?)])
+    });
+    grad!("cumsum", |c| {
+        // adjoint of prefix-sum: reversed suffix-sum of the gradient.
+        let axis = c.attrs().int_or("axis", 0).map_err(tfe_ops::OpError::from)?;
+        let r = api::reverse(c.grad(0)?, axis)?;
+        let cs = api::cumsum(&r, axis)?;
+        Ok(vec![Some(api::reverse(&cs, axis)?)])
+    });
+    grad!("tile", |c| {
+        let input = c.input(0)?;
+        Ok(vec![Some(sum_tiled(c.grad(0)?, input, c.attrs())?)])
+    });
+
+    // --- linalg ---------------------------------------------------------------
+    grad!("matmul", |c| {
+        let g = c.grad(0)?;
+        let (a, b) = (c.input(0)?, c.input(1)?);
+        let ta = c.attrs().bool_or("transpose_a", false).map_err(tfe_ops::OpError::from)?;
+        let tb = c.attrs().bool_or("transpose_b", false).map_err(tfe_ops::OpError::from)?;
+        let (ga, gb) = match (ta, tb) {
+            (false, false) => (api::matmul_t(g, b, false, true)?, api::matmul_t(a, g, true, false)?),
+            (true, false) => (api::matmul_t(b, g, false, true)?, api::matmul_t(a, g, false, false)?),
+            (false, true) => (api::matmul_t(g, b, false, false)?, api::matmul_t(g, a, true, false)?),
+            (true, true) => (api::matmul_t(b, g, true, true)?, api::matmul_t(g, a, true, true)?),
+        };
+        Ok(vec![Some(ga), Some(gb)])
+    });
+    grad!("batch_matmul", |c| {
+        let g = c.grad(0)?;
+        let (a, b) = (c.input(0)?, c.input(1)?);
+        let ta = c.attrs().bool_or("transpose_a", false).map_err(tfe_ops::OpError::from)?;
+        let tb = c.attrs().bool_or("transpose_b", false).map_err(tfe_ops::OpError::from)?;
+        let bmm = |x: &Tensor, y: &Tensor, tx: bool, ty: bool| -> Result<Tensor> {
+            Ok(tfe_runtime::context::execute(
+                "batch_matmul",
+                &[x.clone(), y.clone()],
+                Attrs::new().with("transpose_a", tx).with("transpose_b", ty),
+            )?
+            .remove(0))
+        };
+        // Same formulas as the 2-D matmul gradient, batched.
+        let (ga, gb) = match (ta, tb) {
+            (false, false) => (bmm(g, b, false, true)?, bmm(a, g, true, false)?),
+            (true, false) => (bmm(b, g, false, true)?, bmm(a, g, false, false)?),
+            (false, true) => (bmm(g, b, false, false)?, bmm(g, a, true, false)?),
+            (true, true) => (bmm(b, g, true, true)?, bmm(g, a, true, true)?),
+        };
+        Ok(vec![Some(sum_to_like(&ga, a)?), Some(sum_to_like(&gb, b)?)])
+    });
+
+    // --- reductions -------------------------------------------------------------
+    grad!("reduce_sum", |c| {
+        let keep = c.attrs().bool_or("keep_dims", false).map_err(tfe_ops::OpError::from)?;
+        let g = expand_reduced(c.grad(0)?, c.input(0)?, c.attrs(), keep)?;
+        Ok(vec![Some(api::mul(&g, &ones_like(c.input(0)?)?)?)])
+    });
+    grad!("reduce_mean", |c| {
+        let keep = c.attrs().bool_or("keep_dims", false).map_err(tfe_ops::OpError::from)?;
+        let g = expand_reduced(c.grad(0)?, c.input(0)?, c.attrs(), keep)?;
+        let count = reduced_count(c.input(0)?, c.attrs(), g.dtype())?;
+        let scaled = api::div(&g, &count)?;
+        Ok(vec![Some(api::mul(&scaled, &ones_like(c.input(0)?)?)?)])
+    });
+    grad!("reduce_max", minmax_grad);
+    grad!("reduce_min", minmax_grad);
+    grad!("reduce_prod", |c| {
+        // y/a * g (naive: undefined when a contains zeros; see DESIGN.md).
+        let keep = c.attrs().bool_or("keep_dims", false).map_err(tfe_ops::OpError::from)?;
+        let g = expand_reduced(c.grad(0)?, c.input(0)?, c.attrs(), keep)?;
+        let y = expand_reduced(c.output(0)?, c.input(0)?, c.attrs(), keep)?;
+        let ga = api::mul(&g, &api::div(&y, c.input(0)?)?)?;
+        Ok(vec![Some(api::mul(&ga, &ones_like(c.input(0)?)?)?)])
+    });
+
+    // --- nn -------------------------------------------------------------------
+    grad!("softmax", |c| {
+        let y = c.output(0)?;
+        let g = c.grad(0)?;
+        let gy = api::mul(g, y)?;
+        let s = api::reduce_sum(&gy, &[-1], true)?;
+        Ok(vec![Some(api::sub(&gy, &api::mul(y, &s)?)?)])
+    });
+    grad!("log_softmax", |c| {
+        let y = c.output(0)?;
+        let g = c.grad(0)?;
+        let s = api::reduce_sum(g, &[-1], true)?;
+        Ok(vec![Some(api::sub(g, &api::mul(&api::exp(y)?, &s)?)?)])
+    });
+    grad!("sparse_softmax_xent", |c| {
+        let mut out = tfe_runtime::context::execute(
+            "softmax_xent_grad",
+            &[c.input(0)?.clone(), c.input(1)?.clone(), c.grad(0)?.clone()],
+            Attrs::new(),
+        )?;
+        Ok(vec![Some(out.remove(0)), None])
+    });
+    grad!("conv2d", |c| {
+        let (x, f, g) = (c.input(0)?, c.input(1)?, c.grad(0)?);
+        let attrs = c.attrs().clone();
+        let gx = tfe_runtime::context::execute(
+            "conv2d_backprop_input",
+            &[x.clone(), f.clone(), g.clone()],
+            attrs.clone(),
+        )?
+        .remove(0);
+        let gf = tfe_runtime::context::execute(
+            "conv2d_backprop_filter",
+            &[x.clone(), f.clone(), g.clone()],
+            attrs,
+        )?
+        .remove(0);
+        Ok(vec![Some(gx), Some(gf)])
+    });
+    grad!("max_pool", |c| pool_grad(c, "max_pool_grad"));
+    grad!("avg_pool", |c| pool_grad(c, "avg_pool_grad"));
+    grad!("dropout_mask", |_c| Ok(vec![None])); // mask depends on shape only
+
+    // --- state ------------------------------------------------------------------
+    grad!("read_variable", |c| Ok(vec![Some(c.grad(0)?.clone())]));
+
+    // --- staged escape hatch -------------------------------------------------
+    // §4.7: py_func "executes its Python function under a gradient tape and
+    // as such it is differentiable". The gradient re-runs the host closure
+    // under a fresh tape and differentiates it; inside a trace this emits a
+    // new `host_func` node wrapping that computation.
+    grad!("host_func", |c| {
+        let fn_id =
+            c.attrs().int("fn_id").map_err(tfe_ops::OpError::from)? as u64;
+        let inputs: Vec<Tensor> = c.record.inputs.clone();
+        let grads: Vec<Tensor> = c.output_grads.to_vec();
+        let all: Vec<Tensor> = inputs.iter().chain(grads.iter()).cloned().collect();
+        let n_inputs = inputs.len();
+        let grad_closure: tfe_runtime::context::HostFn =
+            std::sync::Arc::new(move |args: &[Tensor]| {
+                let (xs, gs) = args.split_at(n_inputs);
+                let f = tfe_runtime::context::host_fn(fn_id)?;
+                let tape = crate::GradientTape::new();
+                for x in xs {
+                    tape.watch(x);
+                }
+                let ys = f(xs)?;
+                let sources: Vec<&Tensor> = xs.iter().collect();
+                let mut acc: Vec<Option<Tensor>> = vec![None; xs.len()];
+                for (y, g) in ys.iter().zip(gs) {
+                    let partial =
+                        tape.gradient_with_output_grad(y, Some(g.clone()), &sources)?;
+                    for (slot, p) in acc.iter_mut().zip(partial) {
+                        *slot = match (slot.take(), p) {
+                            (None, x) => x,
+                            (x, None) => x,
+                            (Some(a), Some(b)) => Some(api::add(&a, &b)?),
+                        };
+                    }
+                }
+                acc
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, g)| match g {
+                        Some(g) => Ok(g),
+                        None => zeros_like(&xs[i]),
+                    })
+                    .collect::<Result<Vec<_>>>()
+            });
+        let grad_id = tfe_runtime::context::register_host_fn(grad_closure);
+        let sig: Vec<(DType, tfe_ops::SymShape)> =
+            inputs.iter().map(|t| (t.dtype(), t.sym_shape())).collect();
+        let (d, s) = tfe_ops::catalog::encode_sig(&sig);
+        let out = tfe_runtime::context::execute(
+            "host_func",
+            &all,
+            Attrs::new()
+                .with("fn_id", grad_id as i64)
+                .with("out_dtypes", d)
+                .with("out_shapes", s),
+        )?;
+        Ok(out.into_iter().map(Some).collect())
+    });
+}
+
+fn pool_grad(c: &GradCtx, grad_op: &str) -> Result<Vec<Option<Tensor>>> {
+    let out = tfe_runtime::context::execute(
+        grad_op,
+        &[c.input(0)?.clone(), c.grad(0)?.clone()],
+        c.attrs().clone(),
+    )?;
+    Ok(vec![Some(out.into_iter().next().ok_or_else(|| {
+        RuntimeError::Internal("pool grad returned nothing".to_string())
+    })?)])
+}
+
+fn minmax_grad(c: &GradCtx) -> Result<Vec<Option<Tensor>>> {
+    let keep = c.attrs().bool_or("keep_dims", false).map_err(tfe_ops::OpError::from)?;
+    let input = c.input(0)?;
+    let g = expand_reduced(c.grad(0)?, input, c.attrs(), keep)?;
+    let y = expand_reduced(c.output(0)?, input, c.attrs(), keep)?;
+    let big_y = api::mul(&y, &ones_like(input)?)?;
+    let indicator = api::cast(&api::equal(input, &big_y)?, g.dtype())?;
+    // Split the gradient among ties, like TensorFlow.
+    let axes = c.attrs().int_list_or("axes", &[]).map_err(tfe_ops::OpError::from)?.to_vec();
+    let num = api::reduce_sum(&indicator, &axes, true)?;
+    let share = api::div(&api::mul(&indicator, &g)?, &num)?;
+    Ok(vec![Some(share)])
+}
+
+fn batch_transpose(t: &Tensor) -> Result<Tensor> {
+    let rank = t.rank() as i64;
+    let mut perm: Vec<i64> = (0..rank).collect();
+    perm.swap((rank - 1) as usize, (rank - 2) as usize);
+    api::transpose(t, &perm)
+}
+
+/// Reshape `g` to the (possibly partially-unknown) shape of `reference`.
+fn reshape_like(g: &Tensor, reference: &Tensor) -> Result<Tensor> {
+    let dims = reference.sym_shape();
+    let unknown = dims.dims().iter().filter(|d| d.is_none()).count();
+    if unknown > 1 {
+        return Err(RuntimeError::Unsupported(
+            "reshape gradient with more than one unknown dimension".to_string(),
+        ));
+    }
+    let target: Vec<i64> =
+        dims.dims().iter().map(|d| d.map(|v| v as i64).unwrap_or(-1)).collect();
+    api::reshape(g, &target)
+}
+
+/// Gradient of `tile`: fold the repeats back with sums.
+fn sum_tiled(g: &Tensor, input: &Tensor, attrs: &Attrs) -> Result<Tensor> {
+    let multiples = attrs.int_list("multiples").map_err(tfe_ops::OpError::from)?;
+    let in_dims = input.sym_shape();
+    let Some(shape) = in_dims.to_shape() else {
+        return Err(RuntimeError::Unsupported(
+            "tile gradient with unknown input dimensions".to_string(),
+        ));
+    };
+    // Reshape g to (m0, d0, m1, d1, ...) and sum the multiple axes.
+    let mut interleaved: Vec<i64> = Vec::new();
+    let mut sum_axes: Vec<i64> = Vec::new();
+    for (i, (&d, &m)) in shape.dims().iter().zip(multiples).enumerate() {
+        sum_axes.push(2 * i as i64);
+        interleaved.push(m);
+        interleaved.push(d as i64);
+    }
+    let r = api::reshape(g, &interleaved)?;
+    api::reduce_sum(&r, &sum_axes, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_contains_core_ops() {
+        ensure_gradients();
+        for op in [
+            "add", "mul", "matmul", "relu", "reduce_sum", "conv2d", "softmax",
+            "read_variable", "reshape", "sigmoid", "host_func",
+        ] {
+            assert!(has_gradient(op), "missing gradient for {op}");
+        }
+        assert!(!has_gradient("argmax"));
+        assert!(gradient_fn("argmax").is_err());
+        assert!(gradient_fn("add").is_ok());
+    }
+}

@@ -1,0 +1,55 @@
+//! Real wall-clock micro-benchmarks of the dispatch path: eager op
+//! execution across tensor sizes and the cost of gradient machinery.
+//!
+//! These complement the virtual-clock figure harness: they measure what
+//! *this* runtime actually costs per operation — the quantity the
+//! interpreter-overhead model of DESIGN.md §3 abstracts for the paper's
+//! Python front-end.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tfe_runtime::api;
+use tfe_tensor::DType;
+
+fn bench_eager_dispatch(c: &mut Criterion) {
+    tfe_core::init();
+    let mut group = c.benchmark_group("eager_dispatch");
+    for n in [1usize, 64, 4096, 262_144] {
+        let a = api::zeros(DType::F32, [n]);
+        let b = api::ones(DType::F32, [n]);
+        group.bench_with_input(BenchmarkId::new("add", n), &n, |bench, _| {
+            bench.iter(|| api::add(&a, &b).unwrap());
+        });
+    }
+    let m = api::zeros(DType::F32, [64, 64]);
+    group.bench_function("matmul_64x64", |bench| {
+        bench.iter(|| api::matmul(&m, &m).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_gradient(c: &mut Criterion) {
+    tfe_core::init();
+    let mut group = c.benchmark_group("gradient");
+    let x = api::zeros(DType::F32, [256]);
+    group.bench_function("chain3_backward", |bench| {
+        bench.iter(|| {
+            let tape = tfe_autodiff::GradientTape::new();
+            tape.watch(&x);
+            let h = api::relu(&x).unwrap();
+            let h = api::tanh(&h).unwrap();
+            let y = api::reduce_sum(&api::square(&h).unwrap(), &[], false).unwrap();
+            tape.gradient1(&y, &x).unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(12)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900));
+    targets = bench_eager_dispatch, bench_gradient
+}
+criterion_main!(benches);

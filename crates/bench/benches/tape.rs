@@ -1,0 +1,61 @@
+//! Tape-overhead ablations (DESIGN.md §6): what an active tape costs a
+//! dispatch, and how exposing the tape (§4.2: "lets users control which
+//! parts of the computation are traced") limits that cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tfe_autodiff::GradientTape;
+use tfe_runtime::api;
+use tfe_tensor::DType;
+
+fn bench_tape_dispatch(c: &mut Criterion) {
+    tfe_core::init();
+    let mut group = c.benchmark_group("tape_dispatch");
+    let a = api::zeros(DType::F32, [256]);
+    let b2 = api::ones(DType::F32, [256]);
+    group.bench_function("no_tape", |bench| {
+        bench.iter(|| api::add(&a, &b2).unwrap());
+    });
+    group.bench_function("tape_not_watching", |bench| {
+        // The fine-grained control §4.2 highlights: an active tape that
+        // watches nothing rejects records cheaply.
+        let _tape = GradientTape::persistent();
+        bench.iter(|| api::add(&a, &b2).unwrap());
+    });
+    group.bench_function("tape_watching", |bench| {
+        let tape = GradientTape::persistent();
+        tape.watch(&a);
+        bench.iter(|| api::add(&a, &b2).unwrap());
+    });
+    group.bench_function("two_nested_tapes_watching", |bench| {
+        let t1 = GradientTape::persistent();
+        let t2 = GradientTape::persistent();
+        t1.watch(&a);
+        t2.watch(&a);
+        bench.iter(|| api::add(&a, &b2).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_variable_reads(c: &mut Criterion) {
+    tfe_core::init();
+    let mut group = c.benchmark_group("variable_read");
+    let v = tfe_runtime::Variable::new(tfe_tensor::TensorData::zeros(DType::F32, [256]));
+    group.bench_function("no_tape", |bench| {
+        bench.iter(|| v.read().unwrap());
+    });
+    group.bench_function("auto_watching_tape", |bench| {
+        let _tape = GradientTape::persistent();
+        bench.iter(|| v.read().unwrap());
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(12)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900));
+    targets = bench_tape_dispatch, bench_variable_reads
+}
+criterion_main!(benches);

@@ -1,0 +1,155 @@
+//! Calibrated device + dispatch profiles for the three §6 experiments.
+//!
+//! The compute models are *effective* rooflines tuned so the harness lands
+//! near the paper's reported examples/second on the paper's hardware; the
+//! dispatch model's `interpreter_ns` stands in for CPython (see DESIGN.md
+//! §3). Absolute agreement is not the bar — the reproduction target is the
+//! *shape*: who wins, by what factor, and where the crossovers sit.
+
+use tfe_device::{ComputeModel, DispatchModel};
+
+/// Per-experiment simulation profile: a device plus host-side overheads.
+#[derive(Debug, Clone)]
+pub struct SimProfile {
+    /// The accelerator/CPU compute model.
+    pub compute: ComputeModel,
+    /// Fraction of the smaller of (host time, device time) hidden by
+    /// pipelined asynchronous dispatch: a run spans
+    /// `max(host, device) + (1 - overlap) * min(host, device)`.
+    /// GPUs dispatch asynchronously (high overlap); TPU per-op compilation
+    /// and synchronous CPU kernels do not overlap.
+    pub overlap: f64,
+    /// Host dispatch overheads for eager execution.
+    pub eager: DispatchModel,
+    /// Host dispatch overheads when invoking staged functions from the
+    /// TFE front-end (`TFE + function`).
+    pub staged: DispatchModel,
+    /// Host dispatch overheads for classic graph mode (`TF`):
+    /// `session.run` has slightly different per-call costs but the same
+    /// C++ executor underneath.
+    pub graph_mode: DispatchModel,
+}
+
+/// Figure 3: ResNet-50 training on a GTX-1080-class GPU.
+pub fn figure3_gpu() -> SimProfile {
+    let compute = ComputeModel {
+        flops_per_sec: 4.3e12,
+        bytes_per_sec: 1.8e12,
+        launch_ns: 1_000.0,
+        min_kernel_ns: 2_000.0,
+        saturation_flops: 5.0e8,
+        min_utilization: 0.5,
+    };
+    let eager = DispatchModel {
+        interpreter_ns: 7_800.0,
+        executor_node_ns: 0.0,
+        function_call_ns: 0.0,
+        eager_compile_ns: 0.0,
+        staged_call_latency_ns: 0.0,
+    };
+    let staged = DispatchModel {
+        interpreter_ns: 7_800.0, // the single `call` op still crosses Python
+        executor_node_ns: 1_000.0,
+        function_call_ns: 60_000.0,
+        eager_compile_ns: 0.0,
+        staged_call_latency_ns: 0.0,
+    };
+    let graph_mode = DispatchModel {
+        interpreter_ns: 7_800.0,
+        executor_node_ns: 1_000.0,
+        function_call_ns: 110_000.0, // session.run feed/fetch handling
+        eager_compile_ns: 0.0,
+        staged_call_latency_ns: 0.0,
+    };
+    SimProfile { compute, overlap: 0.6, eager, staged, graph_mode }
+}
+
+/// Table 1: ResNet-50 training on a Cloud-TPU-class accelerator.
+pub fn table1_tpu() -> SimProfile {
+    // XLA-compiled programs: fused kernels with tiny per-node residual
+    // cost and high sustained utilization.
+    let compute = ComputeModel {
+        flops_per_sec: 1.35e13,
+        bytes_per_sec: 3.0e12,
+        launch_ns: 200.0,
+        min_kernel_ns: 500.0,
+        saturation_flops: 1.0e8,
+        min_utilization: 0.8,
+    };
+    let eager = DispatchModel {
+        interpreter_ns: 14_000.0,
+        executor_node_ns: 0.0,
+        function_call_ns: 0.0,
+        // §4.4: per-op compilation + dispatch on a compile-required device
+        // is the dominant eager cost.
+        eager_compile_ns: 180_000.0,
+        staged_call_latency_ns: 0.0,
+    };
+    let staged = DispatchModel {
+        interpreter_ns: 10_000.0,
+        executor_node_ns: 500.0,
+        function_call_ns: 60_000.0,
+        eager_compile_ns: 0.0,
+        // One compiled-program launch per step (the Cloud-TPU round trip).
+        staged_call_latency_ns: 38_000_000.0,
+    };
+    let graph_mode = staged.clone();
+    // Per-op compilation blocks the dispatch thread: no overlap.
+    SimProfile { compute, overlap: 0.0, eager, staged, graph_mode }
+}
+
+/// Figure 4: L2HMC on a Xeon-W-2135-class CPU.
+pub fn figure4_cpu() -> SimProfile {
+    let compute = ComputeModel {
+        flops_per_sec: 6.0e10,
+        bytes_per_sec: 5.0e10,
+        launch_ns: 500.0,
+        // TF-era CPU kernels on tiny tensors spend tens of microseconds in
+        // allocation and Eigen dispatch; this floor is what the staged
+        // executor pays per op and what bounds its examples/sec.
+        min_kernel_ns: 25_000.0,
+        saturation_flops: 2.0e5,
+        min_utilization: 0.25,
+    };
+    let eager = DispatchModel {
+        // Per-op CPython + EagerTensor + tape bookkeeping of 2017-era TFE
+        // (the paper predates the later per-op fast path).
+        interpreter_ns: 300_000.0,
+        executor_node_ns: 0.0,
+        function_call_ns: 0.0,
+        eager_compile_ns: 0.0,
+        staged_call_latency_ns: 0.0,
+    };
+    let staged = DispatchModel {
+        interpreter_ns: 300_000.0,
+        executor_node_ns: 2_000.0,
+        function_call_ns: 60_000.0,
+        eager_compile_ns: 0.0,
+        staged_call_latency_ns: 0.0,
+    };
+    let graph_mode = DispatchModel {
+        function_call_ns: 110_000.0,
+        ..staged.clone()
+    };
+    // CPU kernels run on the dispatching thread: no overlap.
+    SimProfile { compute, overlap: 0.0, eager, staged, graph_mode }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_are_internally_consistent() {
+        for p in [figure3_gpu(), table1_tpu(), figure4_cpu()] {
+            assert!(p.compute.flops_per_sec > 0.0);
+            // Eager interpreter cost dwarfs the staged executor cost: the
+            // mechanism behind every speed-up in §6.
+            assert!(p.eager.interpreter_ns > 5.0 * p.staged.executor_node_ns);
+            assert!((0.0..=1.0).contains(&p.overlap));
+        }
+        // TPU: per-op compile dominates even the interpreter.
+        let tpu = table1_tpu();
+        assert!(tpu.eager.eager_compile_ns > 10.0 * tpu.eager.interpreter_ns);
+    }
+}

@@ -1,0 +1,17 @@
+//! # tfe-bench
+//!
+//! The evaluation harness: regenerates every table and figure of §6 of the
+//! TensorFlow Eager paper (Figure 3, Table 1, Figure 4) under the virtual
+//! clock, plus Criterion micro-benchmarks measuring the *real* wall-clock
+//! costs of dispatch, tracing and graph optimization.
+//!
+//! See DESIGN.md §3 for the simulation substitution and EXPERIMENTS.md for
+//! paper-vs-measured numbers.
+
+#![warn(missing_docs)]
+
+pub mod calibrate;
+pub mod harness;
+pub mod workloads;
+
+pub use harness::{measure, ExecutionConfig, Measurement};

@@ -1,0 +1,219 @@
+//! Arguments to polymorphic functions and the binding-time analysis that
+//! turns them into trace-cache keys (§4.6).
+//!
+//! Tensors are *dynamic*: they become graph placeholders and are abstracted
+//! to (dtype, shape) in the cache key. Everything else is *static*: the
+//! value itself parameterizes the trace and is part of the key — this is
+//! how `lossy_matmul(..., training=True)` and `training=False` become two
+//! different graph functions in Listing 6.
+
+use tfe_ops::SymShape;
+use tfe_runtime::Tensor;
+use tfe_tensor::DType;
+
+/// One argument to a [`Func`](crate::Func).
+#[derive(Debug, Clone)]
+pub enum Arg {
+    /// A dynamic tensor argument (becomes a placeholder while tracing).
+    Tensor(Tensor),
+    /// Static integer.
+    Int(i64),
+    /// Static float.
+    Float(f64),
+    /// Static boolean.
+    Bool(bool),
+    /// Static string.
+    Str(String),
+}
+
+impl Arg {
+    /// The tensor payload, if dynamic.
+    pub fn as_tensor(&self) -> Option<&Tensor> {
+        match self {
+            Arg::Tensor(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Static bool payload.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Arg::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Static int payload.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Arg::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Static float payload (accepts ints).
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Arg::Float(f) => Some(*f),
+            Arg::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// Static string payload.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Arg::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The cache-key component for this argument (binding-time analysis).
+    pub fn key(&self) -> ArgKey {
+        match self {
+            Arg::Tensor(t) => ArgKey::Tensor {
+                dtype: t.dtype(),
+                dims: t.sym_shape().dims().to_vec(),
+            },
+            Arg::Int(v) => ArgKey::Int(*v),
+            Arg::Float(v) => ArgKey::Float(v.to_bits()),
+            Arg::Bool(v) => ArgKey::Bool(*v),
+            Arg::Str(v) => ArgKey::Str(v.clone()),
+        }
+    }
+}
+
+impl From<Tensor> for Arg {
+    fn from(t: Tensor) -> Arg {
+        Arg::Tensor(t)
+    }
+}
+
+impl From<&Tensor> for Arg {
+    fn from(t: &Tensor) -> Arg {
+        Arg::Tensor(t.clone())
+    }
+}
+
+impl From<i64> for Arg {
+    fn from(v: i64) -> Arg {
+        Arg::Int(v)
+    }
+}
+
+impl From<f64> for Arg {
+    fn from(v: f64) -> Arg {
+        Arg::Float(v)
+    }
+}
+
+impl From<bool> for Arg {
+    fn from(v: bool) -> Arg {
+        Arg::Bool(v)
+    }
+}
+
+impl From<&str> for Arg {
+    fn from(v: &str) -> Arg {
+        Arg::Str(v.to_string())
+    }
+}
+
+/// The abstracted form of one argument inside a trace-cache key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ArgKey {
+    /// Tensors are keyed by dtype and shape only — the "abstract types" of
+    /// §4.6's input-signature inference.
+    Tensor {
+        /// Element type.
+        dtype: DType,
+        /// Shape (None dims only under an explicit input signature).
+        dims: Vec<Option<usize>>,
+    },
+    /// Keyed by value.
+    Int(i64),
+    /// Keyed by bit pattern.
+    Float(u64),
+    /// Keyed by value.
+    Bool(bool),
+    /// Keyed by value.
+    Str(String),
+}
+
+/// An explicit input signature entry: dtype plus a possibly-partial shape.
+///
+/// Supplying a signature guarantees a single concrete function is generated
+/// (§4.6: "the user also has the option of specifying an input signature"),
+/// e.g. to handle arbitrary batch sizes with one graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TensorSpec {
+    /// Required dtype.
+    pub dtype: DType,
+    /// Required shape; `None` dims accept any extent.
+    pub shape: SymShape,
+}
+
+impl TensorSpec {
+    /// Build a spec; `None` dims mean "any size".
+    pub fn new(dtype: DType, dims: Vec<Option<usize>>) -> TensorSpec {
+        TensorSpec { dtype, shape: SymShape::new(dims) }
+    }
+
+    /// Whether a concrete tensor satisfies this spec.
+    pub fn matches(&self, t: &Tensor) -> bool {
+        if t.dtype() != self.dtype {
+            return false;
+        }
+        match t.shape() {
+            Ok(s) => self.shape.matches(&s),
+            Err(_) => self.shape.compatible_with(&t.sym_shape()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfe_runtime::api;
+
+    #[test]
+    fn tensor_keys_by_signature() {
+        let a = api::zeros(DType::F32, [2, 3]);
+        let b = api::ones(DType::F32, [2, 3]);
+        let c = api::zeros(DType::F32, [2, 4]);
+        let d = api::zeros(DType::F64, [2, 3]);
+        assert_eq!(Arg::from(&a).key(), Arg::from(&b).key()); // same sig
+        assert_ne!(Arg::from(&a).key(), Arg::from(&c).key()); // shape differs
+        assert_ne!(Arg::from(&a).key(), Arg::from(&d).key()); // dtype differs
+    }
+
+    #[test]
+    fn static_keys_by_value() {
+        assert_eq!(Arg::from(true).key(), Arg::Bool(true).key());
+        assert_ne!(Arg::from(true).key(), Arg::from(false).key());
+        assert_ne!(Arg::from(1i64).key(), Arg::from(2i64).key());
+        assert_ne!(Arg::from(1i64).key(), Arg::from(1.0f64).key()); // int != float
+        assert_eq!(Arg::from("x").key(), Arg::Str("x".into()).key());
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Arg::from(3i64).as_int(), Some(3));
+        assert_eq!(Arg::from(3i64).as_float(), Some(3.0));
+        assert_eq!(Arg::from(true).as_bool(), Some(true));
+        assert_eq!(Arg::from("s").as_str(), Some("s"));
+        assert!(Arg::from(1i64).as_tensor().is_none());
+        let t = api::scalar(1.0f32);
+        assert!(Arg::from(&t).as_tensor().is_some());
+    }
+
+    #[test]
+    fn tensor_spec_matching() {
+        let spec = TensorSpec::new(DType::F32, vec![None, Some(3)]);
+        assert!(spec.matches(&api::zeros(DType::F32, [7, 3])));
+        assert!(spec.matches(&api::zeros(DType::F32, [1, 3])));
+        assert!(!spec.matches(&api::zeros(DType::F32, [7, 4])));
+        assert!(!spec.matches(&api::zeros(DType::F64, [7, 3])));
+        assert!(!spec.matches(&api::zeros(DType::F32, [3])));
+    }
+}

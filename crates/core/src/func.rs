@@ -1,0 +1,464 @@
+//! `function`: the multi-stage JIT tracer (§4.1, §4.6).
+//!
+//! [`function`] wraps a host closure composed of primitive operations and
+//! returns a [`Func`] — a polymorphic callable backed by a cache of
+//! [`ConcreteFunction`]s. Invoking a `Func` runs a binding-time analysis on
+//! the arguments (tensors are abstracted to dtype/shape, everything else is
+//! specialized by value), and either reuses a cached graph function or
+//! traces the closure in a graph-building context to create one.
+
+use crate::arg::{Arg, ArgKey, TensorSpec};
+use parking_lot::Mutex;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use tfe_graph::{passes, GraphFunction, TensorRef};
+use tfe_ops::Attrs;
+use tfe_runtime::{context, Result, RuntimeError, Tensor};
+use tfe_tensor::TensorData;
+
+type TraceClosure = dyn Fn(&[Arg]) -> Result<Vec<Tensor>> + Send + Sync;
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    args: Vec<ArgKey>,
+    device: String,
+}
+
+struct FuncInner {
+    name: String,
+    trace_fn: Box<TraceClosure>,
+    input_signature: Option<Vec<TensorSpec>>,
+    cache: Mutex<HashMap<CacheKey, Arc<ConcreteFunction>>>,
+    ever_traced: AtomicBool,
+    counter: AtomicUsize,
+}
+
+/// A polymorphic staged function: the object returned by [`function`].
+///
+/// ```
+/// use tfe_core::{function, Arg};
+/// use tfe_runtime::api;
+/// # fn main() -> Result<(), tfe_runtime::RuntimeError> {
+/// let square = function("square", |args| {
+///     let x = args[0].as_tensor().expect("tensor arg");
+///     Ok(vec![api::mul(x, x)?])
+/// });
+/// let y = square.call(&[Arg::from(&api::scalar(3.0f32))])?;
+/// assert_eq!(y[0].scalar_f64()?, 9.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct Func {
+    inner: Arc<FuncInner>,
+}
+
+/// Create a staged function from a closure over [`Arg`]s — the analog of
+/// decorating a Python function with `@tf.contrib.eager.function`.
+pub fn function(
+    name: &str,
+    f: impl Fn(&[Arg]) -> Result<Vec<Tensor>> + Send + Sync + 'static,
+) -> Func {
+    crate::init();
+    static ANON: AtomicUsize = AtomicUsize::new(0);
+    let name = if name.is_empty() {
+        format!("__anon{}", ANON.fetch_add(1, Ordering::Relaxed))
+    } else {
+        format!("{name}_{}", ANON.fetch_add(1, Ordering::Relaxed))
+    };
+    Func {
+        inner: Arc::new(FuncInner {
+            name,
+            trace_fn: Box::new(f),
+            input_signature: None,
+            cache: Mutex::new(HashMap::new()),
+            ever_traced: AtomicBool::new(false),
+            counter: AtomicUsize::new(0),
+        }),
+    }
+}
+
+/// Single-tensor-in, single-tensor-out convenience wrapper.
+pub fn function1(
+    name: &str,
+    f: impl Fn(&Tensor) -> Result<Tensor> + Send + Sync + 'static,
+) -> Func {
+    function(name, move |args| {
+        let x = args
+            .first()
+            .and_then(Arg::as_tensor)
+            .ok_or_else(|| RuntimeError::Internal("expected one tensor argument".to_string()))?;
+        Ok(vec![f(x)?])
+    })
+}
+
+impl Func {
+    /// Constrain this function to an explicit input signature, eliminating
+    /// input polymorphism: exactly one concrete function is generated, and
+    /// `None` dims accept any size (e.g. a dynamic batch dimension).
+    pub fn with_input_signature(self, signature: Vec<TensorSpec>) -> Func {
+        let inner = FuncInner {
+            name: self.inner.name.clone(),
+            // Re-wrap the closure by delegating through the Arc.
+            trace_fn: {
+                let orig = self.inner.clone();
+                Box::new(move |args| (orig.trace_fn)(args))
+            },
+            input_signature: Some(signature),
+            cache: Mutex::new(HashMap::new()),
+            ever_traced: AtomicBool::new(false),
+            counter: AtomicUsize::new(0),
+        };
+        Func { inner: Arc::new(inner) }
+    }
+
+    /// The function's base name.
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// Number of concrete graph functions traced so far (Listing 6's two
+    /// specializations show up here).
+    pub fn num_concrete(&self) -> usize {
+        self.inner.cache.lock().len()
+    }
+
+    /// Invoke with mixed tensor/static arguments.
+    ///
+    /// # Errors
+    /// Trace-time errors (invalid ops), signature mismatches, state-creation
+    /// contract violations, or execution failures.
+    pub fn call(&self, args: &[Arg]) -> Result<Vec<Tensor>> {
+        let concrete = self.concrete_for(args)?;
+        let tensor_args: Vec<Tensor> =
+            args.iter().filter_map(|a| a.as_tensor().cloned()).collect();
+        concrete.call(&tensor_args)
+    }
+
+    /// Invoke with tensor arguments only.
+    ///
+    /// # Errors
+    /// As [`Func::call`].
+    pub fn call_tensors(&self, args: &[&Tensor]) -> Result<Vec<Tensor>> {
+        let args: Vec<Arg> = args.iter().map(|&t| Arg::from(t)).collect();
+        self.call(&args)
+    }
+
+    /// Single-tensor convenience call.
+    ///
+    /// # Errors
+    /// As [`Func::call`]; also if the function does not return exactly one
+    /// tensor.
+    pub fn call1(&self, x: &Tensor) -> Result<Tensor> {
+        let mut out = self.call_tensors(&[x])?;
+        if out.len() != 1 {
+            return Err(RuntimeError::Internal(format!(
+                "expected one output, got {}",
+                out.len()
+            )));
+        }
+        Ok(out.remove(0))
+    }
+
+    /// Resolve (tracing if needed) the concrete function for `args` — the
+    /// `get_concrete_function` analog.
+    ///
+    /// # Errors
+    /// As [`Func::call`].
+    pub fn concrete_for(&self, args: &[Arg]) -> Result<Arc<ConcreteFunction>> {
+        crate::init();
+        if let Some(sig) = &self.inner.input_signature {
+            let tensors: Vec<&Tensor> = args.iter().filter_map(Arg::as_tensor).collect();
+            if tensors.len() != sig.len() {
+                return Err(RuntimeError::Internal(format!(
+                    "input signature expects {} tensors, got {}",
+                    sig.len(),
+                    tensors.len()
+                )));
+            }
+            for (i, (spec, t)) in sig.iter().zip(&tensors).enumerate() {
+                if !spec.matches(t) {
+                    return Err(RuntimeError::Internal(format!(
+                        "tensor argument {i} ({}{}) does not match input signature {}{}",
+                        t.dtype(),
+                        t.sym_shape(),
+                        spec.dtype,
+                        spec.shape
+                    )));
+                }
+            }
+        }
+        let key = self.cache_key(args);
+        if let Some(hit) = self.inner.cache.lock().get(&key) {
+            return Ok(hit.clone());
+        }
+        // Trace outside the cache lock so recursive calls don't deadlock.
+        let concrete = self.trace(args)?;
+        let mut cache = self.inner.cache.lock();
+        Ok(cache.entry(key).or_insert(concrete).clone())
+    }
+
+    fn cache_key(&self, args: &[Arg]) -> CacheKey {
+        let mut keys = Vec::with_capacity(args.len());
+        let mut tensor_idx = 0usize;
+        for a in args {
+            match (a, &self.inner.input_signature) {
+                (Arg::Tensor(_), Some(sig)) => {
+                    let spec = &sig[tensor_idx];
+                    tensor_idx += 1;
+                    keys.push(ArgKey::Tensor {
+                        dtype: spec.dtype,
+                        dims: spec.shape.dims().to_vec(),
+                    });
+                }
+                _ => keys.push(a.key()),
+            }
+        }
+        // §4.6: the signature is coupled with metadata about the
+        // surrounding program state, such as the requested device.
+        CacheKey { args: keys, device: context::current_device_name().to_string() }
+    }
+
+    fn trace(&self, args: &[Arg]) -> Result<Arc<ConcreteFunction>> {
+        let idx = self.inner.counter.fetch_add(1, Ordering::Relaxed);
+        let cname = format!("{}__{idx}", self.inner.name);
+        let first_ever = !self.inner.ever_traced.load(Ordering::Acquire);
+        let mut traced = self.trace_once(&cname, args)?;
+        if !traced.created_variables.is_empty() {
+            // State-creation contract (§4.6): variables may only be created
+            // the first time the function is called; trace a second time
+            // and require no creations.
+            if !first_ever {
+                return Err(RuntimeError::Internal(format!(
+                    "function `{}` created variables on a non-first trace; \
+                     state must only be created the first time the function is called",
+                    self.inner.name
+                )));
+            }
+            traced = self.trace_once(&cname, args)?;
+            if !traced.created_variables.is_empty() {
+                return Err(RuntimeError::Internal(format!(
+                    "function `{}` created variables on its second trace; \
+                     state must only be created the first time the function is called",
+                    self.inner.name
+                )));
+            }
+        }
+        self.inner.ever_traced.store(true, Ordering::Release);
+
+        let raw = Arc::new(traced.raw);
+        let var_ids = collect_var_ids(&raw);
+        let stateful = raw.is_stateful();
+        let n_primary = raw.outputs.len();
+
+        // Optimize (the aggressive XLA-style pipeline when the target
+        // device requires compilation, §4.4).
+        let options = if context::current_device().device_type().requires_compilation() {
+            passes::OptimizeOptions::aggressive()
+        } else {
+            passes::OptimizeOptions::default()
+        };
+        let evaluator = |node: &tfe_graph::Node,
+                         inputs: &[Arc<TensorData>]|
+         -> std::result::Result<Vec<TensorData>, String> {
+            tfe_runtime::kernels::run_kernel(&node.op, &node.attrs, inputs)
+                .map_err(|e| e.to_string())
+        };
+        let optimized = passes::optimize(&raw, &options, Some(&evaluator));
+        let function = context::library().insert(optimized);
+
+        let concrete = Arc::new(ConcreteFunction {
+            name: cname,
+            function,
+            raw,
+            captures: traced.captures,
+            var_ids,
+            stateful,
+            n_primary,
+            forward: OnceLock::new(),
+        });
+        crate::call_grad::register_concrete(&concrete);
+        Ok(concrete)
+    }
+
+    fn trace_once(&self, cname: &str, args: &[Arg]) -> Result<TraceOut> {
+        let frame_id = context::begin_tracing(cname);
+        let run = (|| -> Result<Vec<Tensor>> {
+            let mut traced_args = Vec::with_capacity(args.len());
+            let mut tensor_idx = 0usize;
+            for a in args {
+                match a {
+                    Arg::Tensor(t) => {
+                        let shape = match &self.inner.input_signature {
+                            Some(sig) => sig[tensor_idx].shape.clone(),
+                            None => t.sym_shape(),
+                        };
+                        tensor_idx += 1;
+                        traced_args
+                            .push(Arg::Tensor(context::tracing_placeholder(t.dtype(), shape)?));
+                    }
+                    other => traced_args.push(other.clone()),
+                }
+            }
+            let outs = (self.inner.trace_fn)(&traced_args)?;
+            // Returned values must be nodes of this frame; route foreign
+            // (eager or outer-frame) tensors through `identity`, which
+            // captures them.
+            outs.into_iter()
+                .map(|t| match &t {
+                    Tensor::Symbolic(s) if s.frame_id == frame_id => Ok(t),
+                    _ => Ok(context::execute("identity", &[t], Attrs::new())?.remove(0)),
+                })
+                .collect()
+        })();
+        let finished = context::end_tracing()?;
+        let outs = run?;
+        let out_refs: Vec<TensorRef> = outs
+            .iter()
+            .map(|t| {
+                t.as_symbolic()
+                    .map(|s| s.tref)
+                    .ok_or_else(|| RuntimeError::Internal("non-symbolic trace output".into()))
+            })
+            .collect::<Result<_>>()?;
+        let raw = finished.builder.finish(out_refs, finished.captures.len());
+        Ok(TraceOut {
+            raw,
+            captures: finished.captures,
+            created_variables: finished.created_variables,
+        })
+    }
+}
+
+impl std::fmt::Debug for Func {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Func({}, {} concrete)", self.inner.name, self.num_concrete())
+    }
+}
+
+struct TraceOut {
+    raw: GraphFunction,
+    captures: Vec<Tensor>,
+    created_variables: Vec<u64>,
+}
+
+/// Every variable id referenced by a graph (including, transitively, by its
+/// `call` nodes — which carry their own `var_ids` attribute).
+pub(crate) fn collect_var_ids(f: &GraphFunction) -> Vec<i64> {
+    let mut set = BTreeSet::new();
+    for node in &f.nodes {
+        if let Ok(id) = node.attrs.int("var_id") {
+            set.insert(id);
+        }
+        if let Ok(list) = node.attrs.int_list("var_ids") {
+            set.extend(list.iter().copied());
+        }
+    }
+    set.into_iter().collect()
+}
+
+/// One traced specialization: a graph function plus its captured inputs.
+pub struct ConcreteFunction {
+    /// Library name of the (optimized) inference graph.
+    pub name: String,
+    /// The optimized graph function.
+    pub function: Arc<GraphFunction>,
+    /// The unoptimized trace — the source of truth for building the
+    /// forward-with-intermediates and backward functions (§4.2).
+    pub raw: Arc<GraphFunction>,
+    /// Captured outer tensors, appended to the declared arguments.
+    pub captures: Vec<Tensor>,
+    /// Variables the graph references (by reference, §4.6 Listing 7).
+    pub var_ids: Vec<i64>,
+    /// Whether the graph has side effects.
+    pub stateful: bool,
+    /// Number of user-visible outputs.
+    pub n_primary: usize,
+    pub(crate) forward: OnceLock<std::result::Result<Arc<crate::call_grad::ForwardBundle>, String>>,
+}
+
+impl ConcreteFunction {
+    /// Graph attributes for a `call` node invoking function `f`.
+    pub(crate) fn call_attrs(
+        f: &GraphFunction,
+        stateful: bool,
+        var_ids: &[i64],
+    ) -> Attrs {
+        let (d, s) = tfe_ops::catalog::encode_sig(&f.output_sigs());
+        Attrs::new()
+            .with("function", f.name.clone())
+            .with("stateful", stateful)
+            .with("out_dtypes", d)
+            .with("out_shapes", s)
+            .with("var_ids", var_ids.to_vec())
+    }
+
+    /// Invoke the graph function on tensor arguments (captures appended
+    /// automatically). Works eagerly and inside traces (composition via
+    /// `call` nodes, Listing 8).
+    ///
+    /// When a gradient tape is active the forward-with-intermediates
+    /// variant runs instead, so the backward pass has every value it needs
+    /// without recomputation (§4.2).
+    ///
+    /// # Errors
+    /// Arity mismatches or execution failures.
+    pub fn call(self: &Arc<Self>, tensor_args: &[Tensor]) -> Result<Vec<Tensor>> {
+        let declared = self.function.inputs.len() - self.function.num_captures;
+        if tensor_args.len() != declared {
+            return Err(RuntimeError::Internal(format!(
+                "function `{}` expects {declared} tensor arguments, got {}",
+                self.name,
+                tensor_args.len()
+            )));
+        }
+        let mut all = tensor_args.to_vec();
+        all.extend(self.captures.iter().cloned());
+        let under_tape = !context::active_tapes().is_empty();
+        if under_tape {
+            let bundle = self.forward_bundle()?;
+            let fwd = context::library()
+                .get(&bundle.fwd_name)
+                .ok_or_else(|| RuntimeError::UnknownFunction(bundle.fwd_name.clone()))?;
+            let attrs = Self::call_attrs(&fwd, self.stateful, &self.var_ids);
+            let mut outs = context::execute("call", &all, attrs)?;
+            outs.truncate(self.n_primary);
+            Ok(outs)
+        } else {
+            let attrs = Self::call_attrs(&self.function, self.stateful, &self.var_ids);
+            context::execute("call", &all, attrs)
+        }
+    }
+
+    /// Build (once) the forward-with-intermediates + backward pair.
+    ///
+    /// # Errors
+    /// Gradient-construction failures (e.g. an op without a registered
+    /// gradient inside the traced function).
+    pub fn forward_bundle(
+        self: &Arc<Self>,
+    ) -> Result<Arc<crate::call_grad::ForwardBundle>> {
+        let me = self.clone();
+        self.forward
+            .get_or_init(move || {
+                crate::call_grad::build_bundle(&me).map(Arc::new).map_err(|e| e.to_string())
+            })
+            .clone()
+            .map_err(RuntimeError::Internal)
+    }
+}
+
+impl std::fmt::Debug for ConcreteFunction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ConcreteFunction({}, {} nodes optimized / {} raw, {} captures, stateful={})",
+            self.name,
+            self.function.executable_node_count(),
+            self.raw.executable_node_count(),
+            self.captures.len(),
+            self.stateful
+        )
+    }
+}

@@ -1,0 +1,25 @@
+//! # tfe-device
+//!
+//! Device abstraction for the `tf-eager` workspace (§4.4/§4.5 of the
+//! TensorFlow Eager paper): application-level device names
+//! (`/job:training/task:2/device:GPU:0`), the device registry behind
+//! `list_devices`, and the analytic cost models + virtual clock that stand
+//! in for the paper's real GPU/TPU hardware (see DESIGN.md §3 for the
+//! substitution rationale).
+//!
+//! ```
+//! use tfe_device::{DeviceName, DeviceType};
+//! let name: DeviceName = "/job:training/task:2/device:GPU:0".parse().unwrap();
+//! assert_eq!(name.device_type, DeviceType::Gpu);
+//! assert_eq!(DeviceName::parse("/gpu:0").unwrap(), DeviceName::local(DeviceType::Gpu, 0));
+//! ```
+
+#![warn(missing_docs)]
+
+mod cost;
+mod manager;
+mod name;
+
+pub use cost::{ComputeModel, DispatchModel, KernelCost, SimCounters, SimStats, VirtualClock};
+pub use manager::{profiles, Device, DeviceManager, KernelMode};
+pub use name::{DeviceName, DeviceType};

@@ -1,0 +1,232 @@
+//! Application-level device names, as in §4.4/§4.5 of the paper:
+//! `/job:training/task:2/device:GPU:0`.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// The kind of compute device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DeviceType {
+    /// Host CPU.
+    Cpu,
+    /// (Simulated) GPU accelerator.
+    Gpu,
+    /// (Simulated) TPU accelerator; staged computations are compiled
+    /// XLA-style before running here.
+    Tpu,
+}
+
+impl DeviceType {
+    /// Upper-case name used inside device strings (`CPU`, `GPU`, `TPU`).
+    pub fn name(self) -> &'static str {
+        match self {
+            DeviceType::Cpu => "CPU",
+            DeviceType::Gpu => "GPU",
+            DeviceType::Tpu => "TPU",
+        }
+    }
+
+    /// Parse from the upper/lower-case spelling.
+    pub fn from_name(name: &str) -> Option<DeviceType> {
+        match name.to_ascii_uppercase().as_str() {
+            "CPU" => Some(DeviceType::Cpu),
+            "GPU" => Some(DeviceType::Gpu),
+            "TPU" => Some(DeviceType::Tpu),
+            _ => None,
+        }
+    }
+
+    /// Whether kernels must be compiled (XLA-style) before running.
+    ///
+    /// Mirrors §4.4: TPUs execute compiled programs; per-op eager dispatch
+    /// pays the compile each time.
+    pub fn requires_compilation(self) -> bool {
+        matches!(self, DeviceType::Tpu)
+    }
+}
+
+impl fmt::Display for DeviceType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A fully-qualified device name: job, task, device type, device index.
+///
+/// The canonical rendering is `/job:<job>/task:<n>/device:<TYPE>:<i>`.
+/// Shorthand forms accepted by [`DeviceName::parse`] (and used throughout
+/// the paper's listings) include `/gpu:0`, `/cpu:0` and `/device:GPU:0`,
+/// which default to job `localhost`, task 0.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DeviceName {
+    /// Job name (e.g. `localhost`, `training`).
+    pub job: String,
+    /// Task index within the job.
+    pub task: usize,
+    /// Device kind.
+    pub device_type: DeviceType,
+    /// Device index within the task.
+    pub index: usize,
+}
+
+impl DeviceName {
+    /// A local (job `localhost`, task 0) device name.
+    pub fn local(device_type: DeviceType, index: usize) -> DeviceName {
+        DeviceName { job: "localhost".to_string(), task: 0, device_type, index }
+    }
+
+    /// The local CPU, `/job:localhost/task:0/device:CPU:0`.
+    pub fn local_cpu() -> DeviceName {
+        DeviceName::local(DeviceType::Cpu, 0)
+    }
+
+    /// Whether this device lives on the local job/task.
+    pub fn is_local(&self) -> bool {
+        self.job == "localhost" && self.task == 0
+    }
+
+    /// Parse a full or shorthand device string.
+    ///
+    /// Accepted forms:
+    /// - `/job:training/task:2/device:GPU:0` (canonical)
+    /// - `/device:GPU:0` (local shorthand)
+    /// - `/gpu:0`, `/cpu:0`, `/tpu:0` (paper-style shorthand)
+    ///
+    /// # Errors
+    /// A human-readable message describing the malformed component.
+    pub fn parse(s: &str) -> Result<DeviceName, String> {
+        let mut job = "localhost".to_string();
+        let mut task = 0usize;
+        let mut device: Option<(DeviceType, usize)> = None;
+        if !s.starts_with('/') {
+            return Err(format!("device name `{s}` must start with '/'"));
+        }
+        for part in s.split('/').skip(1) {
+            if part.is_empty() {
+                return Err(format!("empty component in device name `{s}`"));
+            }
+            let mut fields = part.split(':');
+            let key = fields.next().unwrap_or_default();
+            match key.to_ascii_lowercase().as_str() {
+                "job" => {
+                    job = fields
+                        .next()
+                        .filter(|v| !v.is_empty())
+                        .ok_or_else(|| format!("missing job name in `{s}`"))?
+                        .to_string();
+                }
+                "task" => {
+                    task = fields
+                        .next()
+                        .ok_or_else(|| format!("missing task index in `{s}`"))?
+                        .parse()
+                        .map_err(|_| format!("invalid task index in `{s}`"))?;
+                }
+                "device" => {
+                    let ty = fields
+                        .next()
+                        .and_then(DeviceType::from_name)
+                        .ok_or_else(|| format!("invalid device type in `{s}`"))?;
+                    let idx = fields
+                        .next()
+                        .ok_or_else(|| format!("missing device index in `{s}`"))?
+                        .parse()
+                        .map_err(|_| format!("invalid device index in `{s}`"))?;
+                    device = Some((ty, idx));
+                }
+                // Shorthand: /gpu:0
+                other => {
+                    if let Some(ty) = DeviceType::from_name(other) {
+                        let idx = fields
+                            .next()
+                            .ok_or_else(|| format!("missing device index in `{s}`"))?
+                            .parse()
+                            .map_err(|_| format!("invalid device index in `{s}`"))?;
+                        device = Some((ty, idx));
+                    } else {
+                        return Err(format!("unknown component `{part}` in device name `{s}`"));
+                    }
+                }
+            }
+            if fields.next().is_some() {
+                return Err(format!("trailing fields in component `{part}` of `{s}`"));
+            }
+        }
+        let (device_type, index) =
+            device.ok_or_else(|| format!("device name `{s}` has no device component"))?;
+        Ok(DeviceName { job, task, device_type, index })
+    }
+}
+
+impl fmt::Display for DeviceName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "/job:{}/task:{}/device:{}:{}",
+            self.job, self.task, self.device_type, self.index
+        )
+    }
+}
+
+impl FromStr for DeviceName {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<DeviceName, String> {
+        DeviceName::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_round_trip() {
+        let n = DeviceName::parse("/job:training/task:2/device:GPU:0").unwrap();
+        assert_eq!(n.job, "training");
+        assert_eq!(n.task, 2);
+        assert_eq!(n.device_type, DeviceType::Gpu);
+        assert_eq!(n.index, 0);
+        assert_eq!(n.to_string(), "/job:training/task:2/device:GPU:0");
+        assert_eq!(DeviceName::parse(&n.to_string()).unwrap(), n);
+    }
+
+    #[test]
+    fn shorthand_forms() {
+        assert_eq!(DeviceName::parse("/gpu:0").unwrap(), DeviceName::local(DeviceType::Gpu, 0));
+        assert_eq!(DeviceName::parse("/cpu:1").unwrap(), DeviceName::local(DeviceType::Cpu, 1));
+        assert_eq!(
+            DeviceName::parse("/device:TPU:3").unwrap(),
+            DeviceName::local(DeviceType::Tpu, 3)
+        );
+        assert_eq!(DeviceName::parse("/GPU:2").unwrap(), DeviceName::local(DeviceType::Gpu, 2));
+    }
+
+    #[test]
+    fn is_local_detection() {
+        assert!(DeviceName::local_cpu().is_local());
+        assert!(!DeviceName::parse("/job:w/task:0/device:CPU:0").unwrap().is_local());
+        assert!(!DeviceName::parse("/job:localhost/task:1/device:CPU:0").unwrap().is_local());
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(DeviceName::parse("gpu:0").is_err());
+        assert!(DeviceName::parse("/job:train").is_err()); // no device
+        assert!(DeviceName::parse("/device:NPU:0").is_err());
+        assert!(DeviceName::parse("/gpu").is_err());
+        assert!(DeviceName::parse("/gpu:x").is_err());
+        assert!(DeviceName::parse("/task:one/gpu:0").is_err());
+        assert!(DeviceName::parse("/gpu:0:1").is_err());
+        assert!(DeviceName::parse("//gpu:0").is_err());
+    }
+
+    #[test]
+    fn device_type_names() {
+        for t in [DeviceType::Cpu, DeviceType::Gpu, DeviceType::Tpu] {
+            assert_eq!(DeviceType::from_name(t.name()), Some(t));
+        }
+        assert!(DeviceType::Tpu.requires_compilation());
+        assert!(!DeviceType::Gpu.requires_compilation());
+    }
+}

@@ -1,0 +1,310 @@
+//! The dataflow-graph intermediate representation.
+//!
+//! A [`GraphFunction`] is the paper's central staged artifact (§4.1, §4.6):
+//! "a graph with named inputs and outputs, representing the exact
+//! computation of interest".
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+use tfe_ops::{Attrs, SymShape};
+use tfe_tensor::{DType, TensorData};
+
+/// Index of a node within its graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// A reference to the `output`-th output of a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TensorRef {
+    /// Producing node.
+    pub node: NodeId,
+    /// Output index on that node.
+    pub output: usize,
+}
+
+impl TensorRef {
+    /// Output 0 of `node` — the overwhelmingly common case.
+    pub fn first(node: NodeId) -> TensorRef {
+        TensorRef { node, output: 0 }
+    }
+}
+
+/// One operation instance in a graph.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Operation name (must exist in the op registry).
+    pub op: String,
+    /// Input tensors.
+    pub inputs: Vec<TensorRef>,
+    /// Static attributes.
+    pub attrs: Attrs,
+    /// Inferred output signature.
+    pub outputs: Vec<(DType, SymShape)>,
+    /// Whether this node has side effects (resolved at build time; `call`
+    /// nodes take it from their `stateful` attribute).
+    pub stateful: bool,
+}
+
+impl Node {
+    /// dtype/shape of output `i`.
+    ///
+    /// # Panics
+    /// `i` out of range.
+    pub fn output_sig(&self, i: usize) -> (DType, SymShape) {
+        (self.outputs[i].0, self.outputs[i].1.clone())
+    }
+}
+
+/// A dataflow graph function: nodes plus named inputs and outputs.
+#[derive(Clone)]
+pub struct GraphFunction {
+    /// Function name (unique within a [`FunctionLibrary`]).
+    pub name: String,
+    /// Nodes in topological (construction) order. Node `inputs` always
+    /// reference earlier nodes.
+    pub nodes: Vec<Node>,
+    /// Input placeholders, in argument order. The last
+    /// [`num_captures`](GraphFunction::num_captures) are lexically captured
+    /// values appended by the tracer (§4.6 "Lexical closure").
+    pub inputs: Vec<NodeId>,
+    /// Output tensors.
+    pub outputs: Vec<TensorRef>,
+    /// How many trailing inputs are captures.
+    pub num_captures: usize,
+    /// Constant pool: `const` nodes hold an index into this vector (attr
+    /// `value_index`).
+    pub constants: Vec<Arc<TensorData>>,
+}
+
+impl GraphFunction {
+    /// Whether any node is stateful (the function has side effects).
+    pub fn is_stateful(&self) -> bool {
+        self.nodes.iter().any(|n| n.stateful)
+    }
+
+    /// The node behind a [`NodeId`].
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// dtype/shape of a tensor reference.
+    pub fn sig(&self, t: TensorRef) -> (DType, SymShape) {
+        self.node(t.node).output_sig(t.output)
+    }
+
+    /// Signature of the function's declared (non-capture) arguments.
+    pub fn arg_sigs(&self) -> Vec<(DType, SymShape)> {
+        self.inputs[..self.inputs.len() - self.num_captures]
+            .iter()
+            .map(|&id| self.node(id).output_sig(0))
+            .collect()
+    }
+
+    /// Signature of the function outputs.
+    pub fn output_sigs(&self) -> Vec<(DType, SymShape)> {
+        self.outputs.iter().map(|&t| self.sig(t)).collect()
+    }
+
+    /// Number of op nodes that the dataflow executor would run (everything
+    /// except placeholders).
+    pub fn executable_node_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.op != "placeholder").count()
+    }
+
+    /// Names of callee functions referenced by `call`/`cond`/`while_loop`
+    /// nodes (non-recursive).
+    pub fn callee_names(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for n in &self.nodes {
+            for key in ["function", "then_fn", "else_fn", "cond_fn", "body_fn"] {
+                if let Some(tfe_ops::AttrValue::Str(s)) = n.attrs.get(key) {
+                    if !out.contains(s) {
+                        out.push(s.clone());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Consumers of every node output: map from (node, output) to the list
+    /// of (consumer node, input index).
+    pub fn consumers(&self) -> HashMap<TensorRef, Vec<(NodeId, usize)>> {
+        let mut map: HashMap<TensorRef, Vec<(NodeId, usize)>> = HashMap::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            for (slot, &input) in n.inputs.iter().enumerate() {
+                map.entry(input).or_default().push((NodeId(i), slot));
+            }
+        }
+        map
+    }
+
+    /// Render a compact, human-readable listing (one node per line) — the
+    /// debugging view of Figure 2's graphs.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "function {}({} args, {} captures) -> {} outputs\n",
+            self.name,
+            self.inputs.len() - self.num_captures,
+            self.num_captures,
+            self.outputs.len()
+        ));
+        for (i, n) in self.nodes.iter().enumerate() {
+            let ins: Vec<String> = n
+                .inputs
+                .iter()
+                .map(|t| {
+                    if t.output == 0 {
+                        format!("%{}", t.node.0)
+                    } else {
+                        format!("%{}:{}", t.node.0, t.output)
+                    }
+                })
+                .collect();
+            let attrs = if n.attrs.is_empty() {
+                String::new()
+            } else {
+                let parts: Vec<String> =
+                    n.attrs.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                format!(" {{{}}}", parts.join(", "))
+            };
+            let sig: Vec<String> =
+                n.outputs.iter().map(|(d, s)| format!("{d}{s}")).collect();
+            out.push_str(&format!(
+                "  %{i} = {}({}){attrs} : [{}]\n",
+                n.op,
+                ins.join(", "),
+                sig.join(", ")
+            ));
+        }
+        let outs: Vec<String> = self.outputs.iter().map(|t| format!("%{}", t.node.0)).collect();
+        out.push_str(&format!("  return {}\n", outs.join(", ")));
+        out
+    }
+}
+
+impl fmt::Debug for GraphFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "GraphFunction({}, {} nodes, {} inputs, {} outputs)",
+            self.name,
+            self.nodes.len(),
+            self.inputs.len(),
+            self.outputs.len()
+        )
+    }
+}
+
+/// A shared library of graph functions, used to resolve `call` nodes.
+///
+/// §5 notes that function composition falls out of executing functions via
+/// an operation; the library is the name→function mapping that operation
+/// consults. It is also the unit serialized for deployment (§4.3).
+#[derive(Default, Clone)]
+pub struct FunctionLibrary {
+    inner: Arc<parking_lot::RwLock<HashMap<String, Arc<GraphFunction>>>>,
+}
+
+impl FunctionLibrary {
+    /// An empty library.
+    pub fn new() -> FunctionLibrary {
+        FunctionLibrary::default()
+    }
+
+    /// Insert (or replace) a function.
+    pub fn insert(&self, f: GraphFunction) -> Arc<GraphFunction> {
+        let f = Arc::new(f);
+        self.inner.write().insert(f.name.clone(), f.clone());
+        f
+    }
+
+    /// Look up by name.
+    pub fn get(&self, name: &str) -> Option<Arc<GraphFunction>> {
+        self.inner.read().get(name).cloned()
+    }
+
+    /// All registered names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.inner.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Number of functions.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// Whether the library is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+}
+
+impl fmt::Debug for FunctionLibrary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FunctionLibrary({:?})", self.names())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use tfe_tensor::Shape;
+
+    fn simple_fn() -> GraphFunction {
+        // f(a, b) = relu(a + b)
+        let mut b = GraphBuilder::new("f");
+        let x = b.placeholder(DType::F32, SymShape::known(&Shape::from([2]))).unwrap();
+        let y = b.placeholder(DType::F32, SymShape::known(&Shape::from([2]))).unwrap();
+        let s = b.add_node("add", vec![x, y], Attrs::new()).unwrap()[0];
+        let r = b.add_node("relu", vec![s], Attrs::new()).unwrap()[0];
+        b.finish(vec![r], 0)
+    }
+
+    #[test]
+    fn signatures() {
+        let f = simple_fn();
+        assert_eq!(f.arg_sigs().len(), 2);
+        assert_eq!(f.output_sigs().len(), 1);
+        assert_eq!(f.output_sigs()[0].0, DType::F32);
+        assert!(!f.is_stateful());
+        assert_eq!(f.executable_node_count(), 2);
+    }
+
+    #[test]
+    fn consumers_map() {
+        let f = simple_fn();
+        let consumers = f.consumers();
+        // The add node output feeds relu.
+        let add_ref = TensorRef::first(NodeId(2));
+        assert_eq!(consumers.get(&add_ref).map(|v| v.len()), Some(1));
+    }
+
+    #[test]
+    fn dump_is_readable() {
+        let f = simple_fn();
+        let d = f.dump();
+        assert!(d.contains("function f(2 args, 0 captures) -> 1 outputs"));
+        assert!(d.contains("add(%0, %1)"));
+        assert!(d.contains("return %3"));
+    }
+
+    #[test]
+    fn library_round_trip() {
+        let lib = FunctionLibrary::new();
+        assert!(lib.is_empty());
+        lib.insert(simple_fn());
+        assert_eq!(lib.len(), 1);
+        assert!(lib.get("f").is_some());
+        assert!(lib.get("g").is_none());
+        assert_eq!(lib.names(), vec!["f".to_string()]);
+        // Clones share contents.
+        let lib2 = lib.clone();
+        assert!(lib2.get("f").is_some());
+    }
+}

@@ -1,0 +1,744 @@
+//! Graph optimization passes.
+//!
+//! These are the optimizations the paper attributes to staging (§4.1:
+//! "inter-op parallelism and optimizations like constant-folding and buffer
+//! reuse"; §5: "non-stateful operations that are not reachable from the
+//! outputs of a function are pruned"). Fusion is the XLA stand-in (§4.4).
+
+use crate::ir::{GraphFunction, Node, NodeId, TensorRef};
+use crate::program::{Instr, Program};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use tfe_ops::{AttrValue, Attrs};
+use tfe_tensor::elementwise::{BinaryOp, UnaryOp};
+use tfe_tensor::{DType, TensorData};
+
+/// Options controlling [`optimize`].
+#[derive(Debug, Clone)]
+pub struct OptimizeOptions {
+    /// Drop stateless nodes unreachable from the outputs.
+    pub prune: bool,
+    /// Deduplicate identical stateless nodes.
+    pub cse: bool,
+    /// Evaluate stateless nodes with all-constant inputs at optimization
+    /// time (requires an evaluator; skipped otherwise).
+    pub fold_constants: bool,
+    /// Fuse chains of elementwise ops into `fused_elementwise` nodes.
+    pub fuse_elementwise: bool,
+    /// Skip folding results larger than this many elements.
+    pub fold_size_limit: usize,
+}
+
+impl Default for OptimizeOptions {
+    fn default() -> OptimizeOptions {
+        OptimizeOptions {
+            prune: true,
+            cse: true,
+            fold_constants: true,
+            fuse_elementwise: false, // opt-in: the "XLA" path (TPU) turns it on
+            fold_size_limit: 65_536,
+        }
+    }
+}
+
+impl OptimizeOptions {
+    /// Everything on — the XLA-style pipeline used for TPU placement.
+    pub fn aggressive() -> OptimizeOptions {
+        OptimizeOptions { fuse_elementwise: true, ..OptimizeOptions::default() }
+    }
+
+    /// Everything off (identity pipeline), for ablations.
+    pub fn none() -> OptimizeOptions {
+        OptimizeOptions {
+            prune: false,
+            cse: false,
+            fold_constants: false,
+            fuse_elementwise: false,
+            fold_size_limit: 0,
+        }
+    }
+}
+
+/// Evaluates a single node on constant inputs (supplied by the runtime,
+/// which owns the kernels). Returning `Err` skips folding that node.
+pub type NodeEvaluator<'a> =
+    dyn Fn(&Node, &[Arc<TensorData>]) -> Result<Vec<TensorData>, String> + 'a;
+
+/// Run the configured pass pipeline.
+pub fn optimize(
+    f: &GraphFunction,
+    options: &OptimizeOptions,
+    evaluator: Option<&NodeEvaluator>,
+) -> GraphFunction {
+    let mut g = f.clone();
+    if options.cse {
+        g = cse(&g);
+    }
+    if options.fold_constants {
+        if let Some(eval) = evaluator {
+            g = fold_constants(&g, eval, options.fold_size_limit);
+        }
+    }
+    if options.fuse_elementwise {
+        g = fuse_elementwise(&g);
+    }
+    if options.prune {
+        g = prune(&g);
+    }
+    g
+}
+
+/// Rebuild a function keeping only nodes in `keep` (which must be closed
+/// under input dependencies), remapping references.
+fn rebuild(f: &GraphFunction, keep: &[bool]) -> GraphFunction {
+    let mut remap: HashMap<usize, usize> = HashMap::new();
+    let mut nodes = Vec::new();
+    for (i, node) in f.nodes.iter().enumerate() {
+        if keep[i] {
+            let mut n = node.clone();
+            for input in &mut n.inputs {
+                input.node = NodeId(remap[&input.node.0]);
+            }
+            remap.insert(i, nodes.len());
+            nodes.push(n);
+        }
+    }
+    let inputs = f.inputs.iter().map(|id| NodeId(remap[&id.0])).collect();
+    let outputs = f
+        .outputs
+        .iter()
+        .map(|t| TensorRef { node: NodeId(remap[&t.node.0]), output: t.output })
+        .collect();
+    GraphFunction {
+        name: f.name.clone(),
+        nodes,
+        inputs,
+        outputs,
+        num_captures: f.num_captures,
+        constants: f.constants.clone(),
+    }
+}
+
+/// Drop stateless nodes not reachable from the outputs (or from stateful
+/// nodes). Placeholders always survive: they define the call signature.
+pub fn prune(f: &GraphFunction) -> GraphFunction {
+    let mut keep = vec![false; f.nodes.len()];
+    let mut stack: Vec<usize> = Vec::new();
+    for t in &f.outputs {
+        stack.push(t.node.0);
+    }
+    for (i, n) in f.nodes.iter().enumerate() {
+        if n.stateful || n.op == "placeholder" {
+            stack.push(i);
+        }
+    }
+    while let Some(i) = stack.pop() {
+        if keep[i] {
+            continue;
+        }
+        keep[i] = true;
+        for input in &f.nodes[i].inputs {
+            stack.push(input.node.0);
+        }
+    }
+    rebuild(f, &keep)
+}
+
+fn const_key(f: &GraphFunction, node: &Node) -> Option<String> {
+    let idx = match node.attrs.get("value_index") {
+        Some(AttrValue::Int(i)) => *i as usize,
+        _ => return None,
+    };
+    let value = f.constants.get(idx)?;
+    if value.num_elements() > 1024 {
+        return None; // don't hash big constants
+    }
+    let bits: Vec<String> =
+        value.to_f64_vec().iter().map(|v| format!("{:x}", v.to_bits())).collect();
+    Some(format!("{}:{}:{}", value.dtype(), value.shape(), bits.join(",")))
+}
+
+/// Common-subexpression elimination over stateless nodes.
+pub fn cse(f: &GraphFunction) -> GraphFunction {
+    let mut replacement: HashMap<usize, usize> = HashMap::new(); // old -> old
+    let mut seen: HashMap<String, usize> = HashMap::new();
+    for (i, node) in f.nodes.iter().enumerate() {
+        if node.stateful || node.op == "placeholder" {
+            continue;
+        }
+        let key = if node.op == "const" {
+            match const_key(f, node) {
+                Some(k) => format!("const|{k}"),
+                None => continue,
+            }
+        } else {
+            let inputs: Vec<String> = node
+                .inputs
+                .iter()
+                .map(|t| {
+                    let root = *replacement.get(&t.node.0).unwrap_or(&t.node.0);
+                    format!("{root}:{}", t.output)
+                })
+                .collect();
+            let attrs: Vec<String> =
+                node.attrs.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            format!("{}|{}|{}", node.op, inputs.join(","), attrs.join(","))
+        };
+        match seen.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                replacement.insert(i, *e.get());
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(i);
+            }
+        }
+    }
+    if replacement.is_empty() {
+        return f.clone();
+    }
+    let mut g = f.clone();
+    for node in &mut g.nodes {
+        for input in &mut node.inputs {
+            if let Some(&r) = replacement.get(&input.node.0) {
+                input.node = NodeId(r);
+            }
+        }
+    }
+    for out in &mut g.outputs {
+        if let Some(&r) = replacement.get(&out.node.0) {
+            out.node = NodeId(r);
+        }
+    }
+    prune(&g)
+}
+
+/// Evaluate stateless nodes whose inputs are all constants, replacing their
+/// outputs with `const` nodes.
+pub fn fold_constants(
+    f: &GraphFunction,
+    evaluator: &NodeEvaluator,
+    size_limit: usize,
+) -> GraphFunction {
+    let mut g = f.clone();
+    // Map from (node, output) to the constant value it produces, if known.
+    let mut known: HashMap<TensorRef, Arc<TensorData>> = HashMap::new();
+    for (i, node) in f.nodes.iter().enumerate() {
+        if node.op == "const" {
+            if let Some(AttrValue::Int(idx)) = node.attrs.get("value_index") {
+                known.insert(
+                    TensorRef::first(NodeId(i)),
+                    f.constants[*idx as usize].clone(),
+                );
+            }
+            continue;
+        }
+        if node.stateful
+            || node.op == "placeholder"
+            || matches!(node.op.as_str(), "call" | "cond" | "while_loop" | "host_func" | "copy")
+        {
+            continue;
+        }
+        let inputs: Option<Vec<Arc<TensorData>>> =
+            node.inputs.iter().map(|t| known.get(t).cloned()).collect();
+        let Some(inputs) = inputs else { continue };
+        if node.inputs.is_empty() && node.op != "const" && node.op != "fill"
+            && node.op != "eye" && node.op != "range"
+        {
+            continue; // placeholders handled above; other 0-ary ops stateful
+        }
+        let Ok(values) = evaluator(&node.clone(), &inputs) else { continue };
+        if values.iter().any(|v| v.num_elements() > size_limit) {
+            continue;
+        }
+        for (out, value) in values.into_iter().enumerate() {
+            known.insert(TensorRef { node: NodeId(i), output: out }, Arc::new(value));
+        }
+    }
+    if known.is_empty() {
+        return g;
+    }
+    // Replace references to folded outputs (of non-const nodes) with fresh
+    // const nodes appended at the end, then prune. References from earlier
+    // nodes to a later const are avoided by instead rewriting in place: we
+    // append const nodes and remap, then rely on `rebuild` keeping
+    // topological order... appending at the end would break the "inputs
+    // reference earlier nodes" invariant for consumers in between, so we
+    // instead rebuild the node list with const nodes inserted at the folded
+    // node's position.
+    let mut new_nodes: Vec<Node> = Vec::new();
+    let mut remap: HashMap<TensorRef, TensorRef> = HashMap::new();
+    let mut constants = f.constants.clone();
+    for (i, node) in f.nodes.iter().enumerate() {
+        let folded: Vec<(usize, Arc<TensorData>)> = (0..node.outputs.len())
+            .filter_map(|out| {
+                known
+                    .get(&TensorRef { node: NodeId(i), output: out })
+                    .map(|v| (out, v.clone()))
+            })
+            .collect();
+        if node.op != "const" && folded.len() == node.outputs.len() && !folded.is_empty() {
+            // Fully folded: emit const nodes instead of the op.
+            for (out, value) in folded {
+                let dims: Vec<i64> =
+                    value.shape().dims().iter().map(|&d| d as i64).collect();
+                let idx = constants.len();
+                constants.push(value.clone());
+                let sig = (value.dtype(), tfe_ops::SymShape::known(value.shape()));
+                let cnode = Node {
+                    op: "const".to_string(),
+                    inputs: Vec::new(),
+                    attrs: Attrs::new()
+                        .with("dtype", value.dtype())
+                        .with("shape", dims)
+                        .with("value_index", idx as i64),
+                    outputs: vec![sig],
+                    stateful: false,
+                };
+                let new_id = NodeId(new_nodes.len());
+                new_nodes.push(cnode);
+                remap.insert(
+                    TensorRef { node: NodeId(i), output: out },
+                    TensorRef::first(new_id),
+                );
+            }
+        } else {
+            let mut n = node.clone();
+            for input in &mut n.inputs {
+                // Producers are earlier in the list, so remap is populated.
+                *input = remap[input];
+            }
+            let new_id = NodeId(new_nodes.len());
+            for out in 0..n.outputs.len() {
+                remap.insert(
+                    TensorRef { node: NodeId(i), output: out },
+                    TensorRef { node: new_id, output: out },
+                );
+            }
+            new_nodes.push(n);
+        }
+    }
+    g.nodes = new_nodes;
+    g.constants = constants;
+    g.inputs = f
+        .inputs
+        .iter()
+        .map(|id| remap[&TensorRef::first(*id)].node)
+        .collect();
+    g.outputs = f.outputs.iter().map(|t| remap[t]).collect();
+    prune(&g)
+}
+
+fn elementwise_kind(node: &Node) -> Option<()> {
+    if node.outputs.len() != 1 {
+        return None;
+    }
+    let dt = node.outputs[0].0;
+    if dt == DType::Bool {
+        return None;
+    }
+    if UnaryOp::from_name(&node.op).is_some() && node.inputs.len() == 1 {
+        return Some(());
+    }
+    if BinaryOp::from_name(&node.op).is_some() && node.inputs.len() == 2 {
+        return Some(());
+    }
+    None
+}
+
+/// Fuse maximal groups of elementwise nodes into `fused_elementwise` nodes.
+///
+/// A node joins its consumer's group when every consumer is the same group
+/// and the node is not a function output — so each group has a single sink
+/// whose value escapes.
+pub fn fuse_elementwise(f: &GraphFunction) -> GraphFunction {
+    let consumers = f.consumers();
+    let output_set: HashSet<TensorRef> = f.outputs.iter().copied().collect();
+    let n = f.nodes.len();
+    // group id per node (sink's node index).
+    let mut group: Vec<Option<usize>> = vec![None; n];
+    for i in (0..n).rev() {
+        let node = &f.nodes[i];
+        if elementwise_kind(node).is_none() {
+            continue;
+        }
+        let out_ref = TensorRef::first(NodeId(i));
+        let cons = consumers.get(&out_ref);
+        let escapes = output_set.contains(&out_ref);
+        let consumer_groups: Option<HashSet<usize>> = cons.map(|list| {
+            list.iter().filter_map(|(c, _)| group[c.0]).collect::<HashSet<usize>>()
+        });
+        let all_consumers_one_group = match (&cons, &consumer_groups) {
+            (Some(list), Some(gs)) if !list.is_empty() => {
+                gs.len() == 1 && list.iter().all(|(c, _)| group[c.0].is_some())
+            }
+            _ => false,
+        };
+        if !escapes && all_consumers_one_group {
+            group[i] = consumer_groups.and_then(|gs| gs.into_iter().next());
+        } else {
+            group[i] = Some(i); // start a group with this node as sink
+        }
+    }
+    // Collect members per sink, in topological order.
+    let mut members: HashMap<usize, Vec<usize>> = HashMap::new();
+    for i in 0..n {
+        if let Some(g) = group[i] {
+            members.entry(g).or_default().push(i);
+        }
+    }
+    // Only fuse groups with >= 2 members.
+    let fuse_groups: HashMap<usize, Vec<usize>> =
+        members.into_iter().filter(|(_, m)| m.len() >= 2).collect();
+    if fuse_groups.is_empty() {
+        return f.clone();
+    }
+    let in_fused: HashSet<usize> =
+        fuse_groups.values().flatten().copied().collect();
+
+    let mut new_nodes: Vec<Node> = Vec::new();
+    let mut remap: HashMap<TensorRef, TensorRef> = HashMap::new();
+    for (i, node) in f.nodes.iter().enumerate() {
+        if in_fused.contains(&i) && !fuse_groups.contains_key(&i) {
+            continue; // interior member: folded into its sink
+        }
+        if let Some(member_list) = fuse_groups.get(&i) {
+            // Emit the fused node at the sink's position.
+            let mut prog_inputs: Vec<TensorRef> = Vec::new(); // external, old refs
+            let mut reg_of: HashMap<TensorRef, usize> = HashMap::new();
+            let mut instrs: Vec<Instr> = Vec::new();
+            for &m in member_list {
+                let mnode = &f.nodes[m];
+                let mut arg_regs = Vec::with_capacity(mnode.inputs.len());
+                for &input in &mnode.inputs {
+                    let reg = if let Some(&r) = reg_of.get(&input) {
+                        r
+                    } else if in_fused.contains(&input.node.0)
+                        && group[input.node.0] == Some(i)
+                    {
+                        unreachable!("group member consumed before definition")
+                    } else {
+                        // external input
+                        let k = prog_inputs
+                            .iter()
+                            .position(|&p| p == input)
+                            .unwrap_or_else(|| {
+                                prog_inputs.push(input);
+                                prog_inputs.len() - 1
+                            });
+                        let reg = instrs.len();
+                        instrs.push(Instr::Input(k));
+                        reg_of.insert(input, reg);
+                        reg
+                    };
+                    arg_regs.push(reg);
+                }
+                let reg = instrs.len();
+                if let Some(op) = UnaryOp::from_name(&mnode.op) {
+                    instrs.push(Instr::Unary(op, arg_regs[0]));
+                } else if let Some(op) = BinaryOp::from_name(&mnode.op) {
+                    instrs.push(Instr::Binary(op, arg_regs[0], arg_regs[1]));
+                } else {
+                    unreachable!("non-elementwise node in fusion group");
+                }
+                reg_of.insert(TensorRef::first(NodeId(m)), reg);
+            }
+            let output_reg = reg_of[&TensorRef::first(NodeId(i))];
+            let program = Program { instrs, output: output_reg };
+            let sink = &f.nodes[i];
+            let mapped_inputs: Vec<TensorRef> =
+                prog_inputs.iter().map(|t| *remap.get(t).unwrap_or(t)).collect();
+            let fused = Node {
+                op: "fused_elementwise".to_string(),
+                inputs: mapped_inputs,
+                attrs: Attrs::new()
+                    .with("program", program.encode())
+                    .with("out_dtype", sink.outputs[0].0),
+                outputs: sink.outputs.clone(),
+                stateful: false,
+            };
+            let new_id = NodeId(new_nodes.len());
+            new_nodes.push(fused);
+            remap.insert(TensorRef::first(NodeId(i)), TensorRef::first(new_id));
+        } else {
+            let mut nclone = node.clone();
+            for input in &mut nclone.inputs {
+                if let Some(&r) = remap.get(input) {
+                    *input = r;
+                }
+            }
+            let new_id = NodeId(new_nodes.len());
+            for out in 0..nclone.outputs.len() {
+                remap.insert(
+                    TensorRef { node: NodeId(i), output: out },
+                    TensorRef { node: new_id, output: out },
+                );
+            }
+            new_nodes.push(nclone);
+        }
+    }
+    GraphFunction {
+        name: f.name.clone(),
+        nodes: new_nodes,
+        inputs: f.inputs.iter().map(|id| remap[&TensorRef::first(*id)].node).collect(),
+        outputs: f.outputs.iter().map(|t| remap[t]).collect(),
+        num_captures: f.num_captures,
+        constants: f.constants.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use tfe_ops::SymShape;
+    use tfe_tensor::Shape;
+
+    fn known(dims: &[usize]) -> SymShape {
+        SymShape::known(&Shape::from(dims))
+    }
+
+    #[test]
+    fn prune_drops_dead_stateless_nodes() {
+        let mut b = GraphBuilder::new("f");
+        let x = b.placeholder(DType::F32, known(&[2])).unwrap();
+        let used = b.add_node("relu", vec![x], Attrs::new()).unwrap()[0];
+        let _dead = b.add_node("exp", vec![x], Attrs::new()).unwrap();
+        let f = b.finish(vec![used], 0);
+        assert_eq!(f.executable_node_count(), 2);
+        let g = prune(&f);
+        assert_eq!(g.executable_node_count(), 1);
+        assert_eq!(g.inputs.len(), 1);
+        assert_eq!(g.output_sigs(), f.output_sigs());
+    }
+
+    #[test]
+    fn prune_keeps_stateful_nodes() {
+        let mut b = GraphBuilder::new("f");
+        let x = b.placeholder(DType::F32, known(&[2])).unwrap();
+        let y = b.add_node("relu", vec![x], Attrs::new()).unwrap()[0];
+        // Dead assign (stateful) must survive.
+        b.add_node("assign", vec![x], Attrs::new().with("var_id", 7i64)).unwrap();
+        let f = b.finish(vec![y], 0);
+        let g = prune(&f);
+        assert!(g.nodes.iter().any(|n| n.op == "assign"));
+    }
+
+    #[test]
+    fn cse_merges_duplicates() {
+        let mut b = GraphBuilder::new("f");
+        let x = b.placeholder(DType::F32, known(&[2])).unwrap();
+        let a = b.add_node("relu", vec![x], Attrs::new()).unwrap()[0];
+        let c = b.add_node("relu", vec![x], Attrs::new()).unwrap()[0];
+        let out = b.add_node("add", vec![a, c], Attrs::new()).unwrap()[0];
+        let f = b.finish(vec![out], 0);
+        let g = cse(&f);
+        assert_eq!(g.nodes.iter().filter(|n| n.op == "relu").count(), 1);
+        // add now consumes the same ref twice
+        let add = g.nodes.iter().find(|n| n.op == "add").unwrap();
+        assert_eq!(add.inputs[0], add.inputs[1]);
+    }
+
+    #[test]
+    fn cse_respects_attrs_and_statefulness() {
+        let mut b = GraphBuilder::new("f");
+        let x = b.placeholder(DType::F32, known(&[2, 2])).unwrap();
+        let t1 = b
+            .add_node("reduce_sum", vec![x], Attrs::new().with("axes", vec![0i64]))
+            .unwrap()[0];
+        let t2 = b
+            .add_node("reduce_sum", vec![x], Attrs::new().with("axes", vec![1i64]))
+            .unwrap()[0];
+        // Two RNG nodes must never merge.
+        let r1 = b
+            .add_node(
+                "random_normal",
+                vec![],
+                Attrs::new().with("dtype", DType::F32).with("shape", vec![2i64]),
+            )
+            .unwrap()[0];
+        let r2 = b
+            .add_node(
+                "random_normal",
+                vec![],
+                Attrs::new().with("dtype", DType::F32).with("shape", vec![2i64]),
+            )
+            .unwrap()[0];
+        let s = b.add_node("add", vec![t1, t2], Attrs::new()).unwrap()[0];
+        let s2 = b.add_node("add", vec![r1, r2], Attrs::new()).unwrap()[0];
+        let out = b.add_node("add", vec![s, s2], Attrs::new()).unwrap()[0];
+        let f = b.finish(vec![out], 0);
+        let g = cse(&f);
+        assert_eq!(g.nodes.iter().filter(|n| n.op == "reduce_sum").count(), 2);
+        assert_eq!(g.nodes.iter().filter(|n| n.op == "random_normal").count(), 2);
+    }
+
+    #[test]
+    fn cse_dedupes_equal_constants() {
+        let mut b = GraphBuilder::new("f");
+        let c1 = b.constant(Arc::new(TensorData::scalar(5.0f32))).unwrap();
+        let c2 = b.constant(Arc::new(TensorData::scalar(5.0f32))).unwrap();
+        let out = b.add_node("add", vec![c1, c2], Attrs::new()).unwrap()[0];
+        let f = b.finish(vec![out], 0);
+        let g = cse(&f);
+        assert_eq!(g.nodes.iter().filter(|n| n.op == "const").count(), 1);
+    }
+
+    fn toy_evaluator(node: &Node, inputs: &[Arc<TensorData>]) -> Result<Vec<TensorData>, String> {
+        // Enough kernels to test folding: add/mul/relu on concrete data.
+        match node.op.as_str() {
+            "add" => Ok(vec![tfe_tensor::elementwise::binary(
+                &inputs[0],
+                &inputs[1],
+                BinaryOp::Add,
+            )
+            .map_err(|e| e.to_string())?]),
+            "mul" => Ok(vec![tfe_tensor::elementwise::binary(
+                &inputs[0],
+                &inputs[1],
+                BinaryOp::Mul,
+            )
+            .map_err(|e| e.to_string())?]),
+            "relu" => Ok(vec![
+                tfe_tensor::elementwise::unary(&inputs[0], UnaryOp::Relu)
+                    .map_err(|e| e.to_string())?,
+            ]),
+            other => Err(format!("no fold kernel for {other}")),
+        }
+    }
+
+    #[test]
+    fn fold_constant_subgraph() {
+        let mut b = GraphBuilder::new("f");
+        let x = b.placeholder(DType::F32, known(&[2])).unwrap();
+        let c1 = b.constant(Arc::new(TensorData::scalar(2.0f32))).unwrap();
+        let c2 = b.constant(Arc::new(TensorData::scalar(3.0f32))).unwrap();
+        let c3 = b.add_node("mul", vec![c1, c2], Attrs::new()).unwrap()[0]; // 6.0, foldable
+        let out = b.add_node("add", vec![x, c3], Attrs::new()).unwrap()[0];
+        let f = b.finish(vec![out], 0);
+        let g = fold_constants(&f, &toy_evaluator, 1024);
+        // mul is gone; its value became a const.
+        assert!(!g.nodes.iter().any(|n| n.op == "mul"));
+        let add = g.nodes.iter().find(|n| n.op == "add").unwrap();
+        let const_input = add.inputs[1];
+        let cnode = g.node(const_input.node);
+        assert_eq!(cnode.op, "const");
+        let idx = match cnode.attrs.get("value_index") {
+            Some(AttrValue::Int(i)) => *i as usize,
+            _ => panic!("missing value_index"),
+        };
+        assert_eq!(g.constants[idx].scalar_f64().unwrap(), 6.0);
+    }
+
+    #[test]
+    fn fold_skips_unsupported_and_stateful() {
+        let mut b = GraphBuilder::new("f");
+        let c1 = b.constant(Arc::new(TensorData::scalar(2.0f32))).unwrap();
+        let e = b.add_node("exp", vec![c1], Attrs::new()).unwrap()[0]; // evaluator lacks exp
+        let r = b
+            .add_node(
+                "random_normal",
+                vec![],
+                Attrs::new().with("dtype", DType::F32).with("shape", Vec::<i64>::new()),
+            )
+            .unwrap()[0];
+        let out = b.add_node("add", vec![e, r], Attrs::new()).unwrap()[0];
+        let f = b.finish(vec![out], 0);
+        let g = fold_constants(&f, &toy_evaluator, 1024);
+        assert!(g.nodes.iter().any(|n| n.op == "exp"));
+        assert!(g.nodes.iter().any(|n| n.op == "random_normal"));
+    }
+
+    #[test]
+    fn fuse_simple_chain() {
+        let mut b = GraphBuilder::new("f");
+        let x = b.placeholder(DType::F32, known(&[4])).unwrap();
+        let y = b.placeholder(DType::F32, known(&[4])).unwrap();
+        let s = b.add_node("add", vec![x, y], Attrs::new()).unwrap()[0];
+        let r = b.add_node("relu", vec![s], Attrs::new()).unwrap()[0];
+        let e = b.add_node("exp", vec![r], Attrs::new()).unwrap()[0];
+        let f = b.finish(vec![e], 0);
+        let g = fuse_elementwise(&f);
+        let fused: Vec<&Node> =
+            g.nodes.iter().filter(|n| n.op == "fused_elementwise").collect();
+        assert_eq!(fused.len(), 1);
+        assert_eq!(fused[0].inputs.len(), 2);
+        let program = Program::decode(match fused[0].attrs.get("program") {
+            Some(AttrValue::Str(s)) => s,
+            _ => panic!("missing program"),
+        })
+        .unwrap();
+        assert_eq!(program.op_count(), 3);
+        // Executable count dropped from 3 to 1.
+        assert_eq!(g.executable_node_count(), 1);
+    }
+
+    #[test]
+    fn fuse_respects_escaping_intermediates() {
+        let mut b = GraphBuilder::new("f");
+        let x = b.placeholder(DType::F32, known(&[4])).unwrap();
+        let s = b.add_node("relu", vec![x], Attrs::new()).unwrap()[0];
+        let e = b.add_node("exp", vec![s], Attrs::new()).unwrap()[0];
+        // s escapes as a second output: the chain cannot fully fuse.
+        let f = b.finish(vec![e, s], 0);
+        let g = fuse_elementwise(&f);
+        // relu must survive as its own node.
+        assert!(g.nodes.iter().any(|n| n.op == "relu"));
+        assert_eq!(g.outputs.len(), 2);
+    }
+
+    #[test]
+    fn fuse_keeps_non_elementwise_boundaries() {
+        let mut b = GraphBuilder::new("f");
+        let x = b.placeholder(DType::F32, known(&[4, 4])).unwrap();
+        let r = b.add_node("relu", vec![x], Attrs::new()).unwrap()[0];
+        let m = b.add_node("matmul", vec![r, r], Attrs::new()).unwrap()[0];
+        let t = b.add_node("tanh", vec![m], Attrs::new()).unwrap()[0];
+        let f = b.finish(vec![t], 0);
+        let g = fuse_elementwise(&f);
+        // Nothing to fuse: single elementwise nodes on each side of matmul.
+        assert!(g.nodes.iter().any(|n| n.op == "matmul"));
+        assert!(!g.nodes.iter().any(|n| n.op == "fused_elementwise"));
+    }
+
+    #[test]
+    fn fused_program_evaluates_like_original() {
+        let mut b = GraphBuilder::new("f");
+        let x = b.placeholder(DType::F32, known(&[4])).unwrap();
+        let y = b.placeholder(DType::F32, known(&[4])).unwrap();
+        let s = b.add_node("add", vec![x, y], Attrs::new()).unwrap()[0];
+        let sq = b.add_node("square", vec![s], Attrs::new()).unwrap()[0];
+        let f = b.finish(vec![sq], 0);
+        let g = fuse_elementwise(&f);
+        let fused = g.nodes.iter().find(|n| n.op == "fused_elementwise").unwrap();
+        let program = Program::decode(match fused.attrs.get("program") {
+            Some(AttrValue::Str(s)) => s,
+            _ => panic!(),
+        })
+        .unwrap();
+        let a = TensorData::from_vec(vec![1.0f32, 2.0, 3.0, -1.0], Shape::from([4])).unwrap();
+        let c = TensorData::from_vec(vec![1.0f32, 1.0, 1.0, 1.0], Shape::from([4])).unwrap();
+        let r = program.eval(&[&a, &c]).unwrap();
+        assert_eq!(r.to_f64_vec(), vec![4.0, 9.0, 16.0, 0.0]);
+    }
+
+    #[test]
+    fn optimize_pipeline_composes() {
+        let mut b = GraphBuilder::new("f");
+        let x = b.placeholder(DType::F32, known(&[4])).unwrap();
+        let c1 = b.constant(Arc::new(TensorData::scalar(1.0f32))).unwrap();
+        let c2 = b.constant(Arc::new(TensorData::scalar(1.0f32))).unwrap();
+        let folded = b.add_node("add", vec![c1, c2], Attrs::new()).unwrap()[0];
+        let a1 = b.add_node("add", vec![x, folded], Attrs::new()).unwrap()[0];
+        let a2 = b.add_node("relu", vec![a1], Attrs::new()).unwrap()[0];
+        let _dead = b.add_node("exp", vec![x], Attrs::new()).unwrap();
+        let f = b.finish(vec![a2], 0);
+        let g = optimize(&f, &OptimizeOptions::aggressive(), Some(&toy_evaluator));
+        // dead exp pruned, consts folded+deduped, add+relu fused.
+        assert!(!g.nodes.iter().any(|n| n.op == "exp"));
+        assert!(g.nodes.iter().any(|n| n.op == "fused_elementwise"));
+        assert!(g.executable_node_count() <= 2);
+        // identity pipeline really is the identity
+        let same = optimize(&f, &OptimizeOptions::none(), None);
+        assert_eq!(same.nodes.len(), f.nodes.len());
+    }
+}

@@ -1,0 +1,295 @@
+//! The instruction program carried by `fused_elementwise` nodes — this
+//! workspace's XLA stand-in (§4.4: compiling staged computations provides
+//! "operation fusion" among other optimizations).
+//!
+//! A program is a small SSA register machine over the elementwise op enums
+//! from `tfe-tensor`. The fusion pass compiles a group of elementwise graph
+//! nodes into one program; the runtime kernel evaluates the whole program
+//! in a single pass, which is where the (real and modeled) memory-traffic
+//! savings come from.
+
+use tfe_tensor::elementwise::{binary, unary, BinaryOp, UnaryOp};
+use tfe_tensor::{Result as TResult, TensorData, TensorError};
+
+/// One instruction; instruction `i` writes register `i`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    /// Load fused-node input `k`.
+    Input(usize),
+    /// Apply a unary op to a register.
+    Unary(UnaryOp, usize),
+    /// Apply a binary op to two registers.
+    Binary(BinaryOp, usize, usize),
+}
+
+/// A fused elementwise program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Instructions in execution order; instruction `i` defines register `i`.
+    pub instrs: Vec<Instr>,
+    /// Register holding the result.
+    pub output: usize,
+}
+
+impl Program {
+    /// Validate internal references.
+    ///
+    /// # Errors
+    /// Out-of-range register or input references.
+    pub fn validate(&self, num_inputs: usize) -> Result<(), String> {
+        for (i, instr) in self.instrs.iter().enumerate() {
+            match instr {
+                Instr::Input(k) => {
+                    if *k >= num_inputs {
+                        return Err(format!("instr {i} reads input {k} of {num_inputs}"));
+                    }
+                }
+                Instr::Unary(_, a) => {
+                    if *a >= i {
+                        return Err(format!("instr {i} reads undefined register {a}"));
+                    }
+                }
+                Instr::Binary(_, a, b) => {
+                    if *a >= i || *b >= i {
+                        return Err(format!("instr {i} reads undefined register {a}/{b}"));
+                    }
+                }
+            }
+        }
+        if self.output >= self.instrs.len() {
+            return Err(format!("output register {} undefined", self.output));
+        }
+        Ok(())
+    }
+
+    /// Serialize to the compact string stored in the node attribute, e.g.
+    /// `in:0;in:1;b:add:0:1;u:relu:2|3`.
+    pub fn encode(&self) -> String {
+        let body: Vec<String> = self
+            .instrs
+            .iter()
+            .map(|i| match i {
+                Instr::Input(k) => format!("in:{k}"),
+                Instr::Unary(op, a) => format!("u:{}:{a}", op.name()),
+                Instr::Binary(op, a, b) => format!("b:{}:{a}:{b}", op.name()),
+            })
+            .collect();
+        format!("{}|{}", body.join(";"), self.output)
+    }
+
+    /// Parse the string produced by [`Program::encode`].
+    ///
+    /// # Errors
+    /// Malformed text.
+    pub fn decode(text: &str) -> Result<Program, String> {
+        let (body, out) = text.rsplit_once('|').ok_or("missing output register")?;
+        let output: usize = out.parse().map_err(|_| "bad output register".to_string())?;
+        let mut instrs = Vec::new();
+        for part in body.split(';') {
+            let fields: Vec<&str> = part.split(':').collect();
+            let instr = match fields.as_slice() {
+                ["in", k] => Instr::Input(k.parse().map_err(|_| "bad input index")?),
+                ["u", name, a] => Instr::Unary(
+                    UnaryOp::from_name(name).ok_or_else(|| format!("unknown unary {name}"))?,
+                    a.parse().map_err(|_| "bad register")?,
+                ),
+                ["b", name, a, b] => Instr::Binary(
+                    BinaryOp::from_name(name).ok_or_else(|| format!("unknown binary {name}"))?,
+                    a.parse().map_err(|_| "bad register")?,
+                    b.parse().map_err(|_| "bad register")?,
+                ),
+                _ => return Err(format!("bad instruction `{part}`")),
+            };
+            instrs.push(instr);
+        }
+        let p = Program { instrs, output };
+        let max_input = p
+            .instrs
+            .iter()
+            .filter_map(|i| match i {
+                Instr::Input(k) => Some(*k + 1),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0);
+        p.validate(max_input).map_err(|e| format!("invalid program: {e}"))?;
+        Ok(p)
+    }
+
+    /// Evaluate against concrete inputs.
+    ///
+    /// # Errors
+    /// Kernel errors (dtype/broadcast problems) from the underlying ops.
+    pub fn eval(&self, inputs: &[&TensorData]) -> TResult<TensorData> {
+        // Fast path: all-f32, identical shapes — evaluate in place over a
+        // small pool of reused buffers, which is where fusion's real
+        // memory-traffic win comes from.
+        if let Some(out) = self.eval_fused_f32(inputs)? {
+            return Ok(out);
+        }
+        self.eval_generic(inputs)
+    }
+
+    /// In-place fused evaluation for same-shape f32 operands. Returns
+    /// `Ok(None)` when the inputs don't qualify (mixed shapes/dtypes), in
+    /// which case the generic per-instruction path runs instead.
+    fn eval_fused_f32(&self, inputs: &[&TensorData]) -> TResult<Option<TensorData>> {
+        use tfe_tensor::DType;
+        let Some(first) = inputs.first() else { return Ok(None) };
+        let shape = first.shape().clone();
+        for t in inputs {
+            if t.dtype() != DType::F32 || t.shape() != &shape {
+                return Ok(None);
+            }
+        }
+        // Only plain elementwise instructions qualify (they all do today,
+        // but stay conservative about future instruction kinds).
+        let n = shape.num_elements();
+        // Registers: last-use analysis lets buffers be recycled.
+        let mut last_use = vec![0usize; self.instrs.len()];
+        for (i, instr) in self.instrs.iter().enumerate() {
+            match instr {
+                Instr::Input(_) => {}
+                Instr::Unary(_, a) => last_use[*a] = i,
+                Instr::Binary(_, a, b) => {
+                    last_use[*a] = i;
+                    last_use[*b] = i;
+                }
+            }
+        }
+        last_use[self.output] = usize::MAX;
+        let mut regs: Vec<Option<Vec<f32>>> = vec![None; self.instrs.len()];
+        let mut free: Vec<Vec<f32>> = Vec::new();
+        for (i, instr) in self.instrs.iter().enumerate() {
+            let mut buf = free.pop().unwrap_or_else(|| vec![0.0f32; n]);
+            match instr {
+                Instr::Input(k) => {
+                    let src = inputs[*k].as_slice::<f32>()?;
+                    buf.copy_from_slice(src);
+                }
+                Instr::Unary(op, a) => {
+                    let src = regs[*a].as_ref().expect("register defined");
+                    for (o, &x) in buf.iter_mut().zip(src.iter()) {
+                        *o = op.eval_f32(x);
+                    }
+                }
+                Instr::Binary(op, a, b) => {
+                    let (sa, sb) = (
+                        regs[*a].as_ref().expect("register defined"),
+                        regs[*b].as_ref().expect("register defined"),
+                    );
+                    for ((o, &x), &y) in buf.iter_mut().zip(sa.iter()).zip(sb.iter()) {
+                        *o = op.eval_f32(x, y);
+                    }
+                }
+            }
+            regs[i] = Some(buf);
+            // Recycle registers whose last consumer was this instruction.
+            for (r, lu) in last_use.iter().enumerate() {
+                if *lu == i && r != i {
+                    if let Some(b) = regs[r].take() {
+                        free.push(b);
+                    }
+                }
+            }
+        }
+        let out = regs[self.output].take().expect("output register");
+        Ok(Some(TensorData::from_vec(out, shape)?))
+    }
+
+    fn eval_generic(&self, inputs: &[&TensorData]) -> TResult<TensorData> {
+        let mut regs: Vec<TensorData> = Vec::with_capacity(self.instrs.len());
+        for instr in &self.instrs {
+            let v = match instr {
+                Instr::Input(k) => inputs
+                    .get(*k)
+                    .ok_or_else(|| {
+                        TensorError::InvalidArgument(format!("fused program input {k} missing"))
+                    })?
+                    .to_owned()
+                    .clone(),
+                Instr::Unary(op, a) => unary(&regs[*a], *op)?,
+                Instr::Binary(op, a, b) => binary(&regs[*a], &regs[*b], *op)?,
+            };
+            regs.push(v);
+        }
+        Ok(regs.swap_remove(self.output))
+    }
+
+    /// Number of non-input instructions (the "fused op count").
+    pub fn op_count(&self) -> usize {
+        self.instrs
+            .iter()
+            .filter(|i| !matches!(i, Instr::Input(_)))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfe_tensor::Shape;
+
+    fn relu_of_sum() -> Program {
+        Program {
+            instrs: vec![
+                Instr::Input(0),
+                Instr::Input(1),
+                Instr::Binary(BinaryOp::Add, 0, 1),
+                Instr::Unary(UnaryOp::Relu, 2),
+            ],
+            output: 3,
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let p = relu_of_sum();
+        let text = p.encode();
+        assert_eq!(text, "in:0;in:1;b:add:0:1;u:relu:2|3");
+        assert_eq!(Program::decode(&text).unwrap(), p);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Program::decode("").is_err());
+        assert!(Program::decode("in:0|5").is_err()); // undefined output reg
+        assert!(Program::decode("u:nosuch:0|0").is_err());
+        assert!(Program::decode("b:add:0:1|0").is_err()); // forward reference
+        assert!(Program::decode("in:0;u:relu:0").is_err()); // missing output
+    }
+
+    #[test]
+    fn eval_matches_composition() {
+        let p = relu_of_sum();
+        let a = TensorData::from_vec(vec![1.0f32, -5.0], Shape::from([2])).unwrap();
+        let b = TensorData::from_vec(vec![2.0f32, 2.0], Shape::from([2])).unwrap();
+        let r = p.eval(&[&a, &b]).unwrap();
+        assert_eq!(r.to_f64_vec(), vec![3.0, 0.0]);
+    }
+
+    #[test]
+    fn eval_broadcasts() {
+        let p = Program {
+            instrs: vec![Instr::Input(0), Instr::Input(1), Instr::Binary(BinaryOp::Mul, 0, 1)],
+            output: 2,
+        };
+        let a = TensorData::from_vec(vec![1.0f32, 2.0], Shape::from([2, 1])).unwrap();
+        let b = TensorData::scalar(10.0f32);
+        let r = p.eval(&[&a, &b]).unwrap();
+        assert_eq!(r.shape().dims(), &[2, 1]);
+        assert_eq!(r.to_f64_vec(), vec![10.0, 20.0]);
+    }
+
+    #[test]
+    fn op_count_ignores_inputs() {
+        assert_eq!(relu_of_sum().op_count(), 2);
+    }
+
+    #[test]
+    fn validate_bounds() {
+        let p = relu_of_sum();
+        assert!(p.validate(2).is_ok());
+        assert!(p.validate(1).is_err()); // input 1 out of range
+    }
+}

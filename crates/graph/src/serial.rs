@@ -1,0 +1,449 @@
+//! Graph (de)serialization — the basis of "serializing the program for use
+//! without a Python interpreter" (§4.3): a trace plus its constants can be
+//! written to disk and executed by a runtime with no tracer present.
+
+use crate::ir::{FunctionLibrary, GraphFunction, Node, NodeId, TensorRef};
+use std::sync::Arc;
+use tfe_encode::Value;
+use tfe_ops::{AttrValue, Attrs, SymShape};
+use tfe_tensor::{DType, Shape, TensorData};
+
+/// Serialization failures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SerialError(pub String);
+
+impl std::fmt::Display for SerialError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "graph serialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for SerialError {}
+
+fn err(msg: impl Into<String>) -> SerialError {
+    SerialError(msg.into())
+}
+
+/// Encode a tensor as a JSON value (dtype, dims, row-major data).
+pub fn tensor_to_value(t: &TensorData) -> Value {
+    let data = match t.dtype() {
+        DType::I32 | DType::I64 => {
+            Value::Array(t.to_i64_vec().into_iter().map(Value::Int).collect())
+        }
+        DType::Bool => Value::Array(
+            t.to_f64_vec().into_iter().map(|v| Value::Bool(v != 0.0)).collect(),
+        ),
+        _ => Value::Array(t.to_f64_vec().into_iter().map(Value::Float).collect()),
+    };
+    Value::object([
+        ("dtype".to_string(), Value::str(t.dtype().name())),
+        (
+            "shape".to_string(),
+            Value::Array(t.shape().dims().iter().map(|&d| Value::Int(d as i64)).collect()),
+        ),
+        ("data".to_string(), data),
+    ])
+}
+
+/// Decode a tensor produced by [`tensor_to_value`].
+///
+/// # Errors
+/// Malformed structure.
+pub fn tensor_from_value(v: &Value) -> Result<TensorData, SerialError> {
+    let dtype = v
+        .get("dtype")
+        .and_then(Value::as_str)
+        .and_then(DType::from_name)
+        .ok_or_else(|| err("bad tensor dtype"))?;
+    let dims = v
+        .get("shape")
+        .and_then(Value::as_i64_array)
+        .ok_or_else(|| err("bad tensor shape"))?;
+    let shape = Shape::new(dims.iter().map(|&d| d as usize).collect::<Vec<_>>());
+    let data: Vec<f64> = v
+        .get("data")
+        .and_then(Value::as_array)
+        .ok_or_else(|| err("bad tensor data"))?
+        .iter()
+        .map(|e| {
+            e.as_f64()
+                .or_else(|| e.as_bool().map(|b| if b { 1.0 } else { 0.0 }))
+                .ok_or_else(|| err("bad tensor element"))
+        })
+        .collect::<Result<_, _>>()?;
+    if data.len() != shape.num_elements() {
+        return Err(err("tensor data length mismatch"));
+    }
+    Ok(TensorData::from_f64_vec(dtype, data, shape))
+}
+
+fn attr_to_value(a: &AttrValue) -> Value {
+    match a {
+        AttrValue::Int(v) => Value::object([
+            ("t".to_string(), Value::str("i")),
+            ("v".to_string(), Value::Int(*v)),
+        ]),
+        AttrValue::Float(v) => Value::object([
+            ("t".to_string(), Value::str("f")),
+            ("v".to_string(), Value::Float(*v)),
+        ]),
+        AttrValue::Bool(v) => Value::object([
+            ("t".to_string(), Value::str("b")),
+            ("v".to_string(), Value::Bool(*v)),
+        ]),
+        AttrValue::Str(v) => Value::object([
+            ("t".to_string(), Value::str("s")),
+            ("v".to_string(), Value::str(v.clone())),
+        ]),
+        AttrValue::IntList(v) => Value::object([
+            ("t".to_string(), Value::str("il")),
+            ("v".to_string(), Value::Array(v.iter().map(|&i| Value::Int(i)).collect())),
+        ]),
+        AttrValue::FloatList(v) => Value::object([
+            ("t".to_string(), Value::str("fl")),
+            ("v".to_string(), Value::Array(v.iter().map(|&f| Value::Float(f)).collect())),
+        ]),
+        AttrValue::DType(v) => Value::object([
+            ("t".to_string(), Value::str("dt")),
+            ("v".to_string(), Value::str(v.name())),
+        ]),
+    }
+}
+
+fn attr_from_value(v: &Value) -> Result<AttrValue, SerialError> {
+    let t = v.get("t").and_then(Value::as_str).ok_or_else(|| err("missing attr tag"))?;
+    let payload = v.get("v").ok_or_else(|| err("missing attr payload"))?;
+    Ok(match t {
+        "i" => AttrValue::Int(payload.as_i64().ok_or_else(|| err("bad int attr"))?),
+        "f" => AttrValue::Float(payload.as_f64().ok_or_else(|| err("bad float attr"))?),
+        "b" => AttrValue::Bool(payload.as_bool().ok_or_else(|| err("bad bool attr"))?),
+        "s" => AttrValue::Str(payload.as_str().ok_or_else(|| err("bad str attr"))?.to_string()),
+        "il" => AttrValue::IntList(payload.as_i64_array().ok_or_else(|| err("bad int list"))?),
+        "fl" => AttrValue::FloatList(payload.as_f64_array().ok_or_else(|| err("bad float list"))?),
+        "dt" => AttrValue::DType(
+            payload
+                .as_str()
+                .and_then(DType::from_name)
+                .ok_or_else(|| err("bad dtype attr"))?,
+        ),
+        other => return Err(err(format!("unknown attr tag `{other}`"))),
+    })
+}
+
+fn sym_shape_to_value(s: &SymShape) -> Value {
+    Value::Array(
+        s.dims()
+            .iter()
+            .map(|d| d.map_or(Value::Null, |v| Value::Int(v as i64)))
+            .collect(),
+    )
+}
+
+fn sym_shape_from_value(v: &Value) -> Result<SymShape, SerialError> {
+    let arr = v.as_array().ok_or_else(|| err("bad shape"))?;
+    let dims: Result<Vec<Option<usize>>, SerialError> = arr
+        .iter()
+        .map(|d| match d {
+            Value::Null => Ok(None),
+            other => other
+                .as_i64()
+                .map(|v| Some(v as usize))
+                .ok_or_else(|| err("bad shape dim")),
+        })
+        .collect();
+    Ok(SymShape::new(dims?))
+}
+
+fn tensor_ref_to_value(t: &TensorRef) -> Value {
+    Value::Array(vec![Value::Int(t.node.0 as i64), Value::Int(t.output as i64)])
+}
+
+fn tensor_ref_from_value(v: &Value) -> Result<TensorRef, SerialError> {
+    let pair = v.as_i64_array().ok_or_else(|| err("bad tensor ref"))?;
+    if pair.len() != 2 {
+        return Err(err("tensor ref must be [node, output]"));
+    }
+    Ok(TensorRef { node: NodeId(pair[0] as usize), output: pair[1] as usize })
+}
+
+/// Serialize one graph function.
+pub fn function_to_value(f: &GraphFunction) -> Value {
+    let nodes: Vec<Value> = f
+        .nodes
+        .iter()
+        .map(|n| {
+            Value::object([
+                ("op".to_string(), Value::str(n.op.clone())),
+                (
+                    "inputs".to_string(),
+                    Value::Array(n.inputs.iter().map(tensor_ref_to_value).collect()),
+                ),
+                (
+                    "attrs".to_string(),
+                    Value::object(
+                        n.attrs.iter().map(|(k, v)| (k.clone(), attr_to_value(v))),
+                    ),
+                ),
+                (
+                    "outputs".to_string(),
+                    Value::Array(
+                        n.outputs
+                            .iter()
+                            .map(|(d, s)| {
+                                Value::Array(vec![
+                                    Value::str(d.name()),
+                                    sym_shape_to_value(s),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                ("stateful".to_string(), Value::Bool(n.stateful)),
+            ])
+        })
+        .collect();
+    Value::object([
+        ("name".to_string(), Value::str(f.name.clone())),
+        ("nodes".to_string(), Value::Array(nodes)),
+        (
+            "inputs".to_string(),
+            Value::Array(f.inputs.iter().map(|id| Value::Int(id.0 as i64)).collect()),
+        ),
+        (
+            "outputs".to_string(),
+            Value::Array(f.outputs.iter().map(tensor_ref_to_value).collect()),
+        ),
+        ("num_captures".to_string(), Value::Int(f.num_captures as i64)),
+        (
+            "constants".to_string(),
+            Value::Array(f.constants.iter().map(|c| tensor_to_value(c)).collect()),
+        ),
+    ])
+}
+
+/// Deserialize one graph function.
+///
+/// # Errors
+/// Structural problems in the encoded value.
+pub fn function_from_value(v: &Value) -> Result<GraphFunction, SerialError> {
+    let name = v.get("name").and_then(Value::as_str).ok_or_else(|| err("missing name"))?;
+    let nodes_v = v
+        .get("nodes")
+        .and_then(Value::as_array)
+        .ok_or_else(|| err("missing nodes"))?;
+    let mut nodes = Vec::with_capacity(nodes_v.len());
+    for nv in nodes_v {
+        let op =
+            nv.get("op").and_then(Value::as_str).ok_or_else(|| err("missing op"))?.to_string();
+        let inputs: Result<Vec<TensorRef>, SerialError> = nv
+            .get("inputs")
+            .and_then(Value::as_array)
+            .ok_or_else(|| err("missing inputs"))?
+            .iter()
+            .map(tensor_ref_from_value)
+            .collect();
+        let attrs_obj = nv
+            .get("attrs")
+            .and_then(Value::as_object)
+            .ok_or_else(|| err("missing attrs"))?;
+        let mut attrs = Attrs::new();
+        for (k, av) in attrs_obj {
+            attrs.set(k, attr_from_value(av)?);
+        }
+        let outputs: Result<Vec<(DType, SymShape)>, SerialError> = nv
+            .get("outputs")
+            .and_then(Value::as_array)
+            .ok_or_else(|| err("missing outputs"))?
+            .iter()
+            .map(|ov| {
+                let pair = ov.as_array().ok_or_else(|| err("bad output sig"))?;
+                if pair.len() != 2 {
+                    return Err(err("bad output sig arity"));
+                }
+                let dt = pair[0]
+                    .as_str()
+                    .and_then(DType::from_name)
+                    .ok_or_else(|| err("bad output dtype"))?;
+                Ok((dt, sym_shape_from_value(&pair[1])?))
+            })
+            .collect();
+        let stateful =
+            nv.get("stateful").and_then(Value::as_bool).ok_or_else(|| err("missing stateful"))?;
+        nodes.push(Node { op, inputs: inputs?, attrs, outputs: outputs?, stateful });
+    }
+    let inputs: Vec<NodeId> = v
+        .get("inputs")
+        .and_then(Value::as_i64_array)
+        .ok_or_else(|| err("missing input list"))?
+        .into_iter()
+        .map(|i| NodeId(i as usize))
+        .collect();
+    let outputs: Result<Vec<TensorRef>, SerialError> = v
+        .get("outputs")
+        .and_then(Value::as_array)
+        .ok_or_else(|| err("missing output list"))?
+        .iter()
+        .map(tensor_ref_from_value)
+        .collect();
+    let num_captures = v
+        .get("num_captures")
+        .and_then(Value::as_i64)
+        .ok_or_else(|| err("missing num_captures"))? as usize;
+    let constants: Result<Vec<Arc<TensorData>>, SerialError> = v
+        .get("constants")
+        .and_then(Value::as_array)
+        .ok_or_else(|| err("missing constants"))?
+        .iter()
+        .map(|c| tensor_from_value(c).map(Arc::new))
+        .collect();
+    let f = GraphFunction {
+        name: name.to_string(),
+        nodes,
+        inputs,
+        outputs: outputs?,
+        num_captures,
+        constants: constants?,
+    };
+    // Structural validation: every reference must be in range and point
+    // backwards (topological order).
+    for (i, node) in f.nodes.iter().enumerate() {
+        for t in &node.inputs {
+            if t.node.0 >= i {
+                return Err(err(format!("node {i} has forward/self reference")));
+            }
+            if t.output >= f.nodes[t.node.0].outputs.len() {
+                return Err(err(format!("node {i} references bad output {t:?}")));
+            }
+        }
+    }
+    for t in &f.outputs {
+        if t.node.0 >= f.nodes.len() {
+            return Err(err("function output out of range"));
+        }
+    }
+    for id in &f.inputs {
+        if id.0 >= f.nodes.len() || f.nodes[id.0].op != "placeholder" {
+            return Err(err("function input is not a placeholder"));
+        }
+    }
+    Ok(f)
+}
+
+/// Serialize a whole library (a function plus its callees).
+pub fn library_to_value(lib: &FunctionLibrary) -> Value {
+    let functions: Vec<Value> = lib
+        .names()
+        .into_iter()
+        .filter_map(|n| lib.get(&n))
+        .map(|f| function_to_value(&f))
+        .collect();
+    Value::object([("functions".to_string(), Value::Array(functions))])
+}
+
+/// Deserialize a library.
+///
+/// # Errors
+/// Structural problems in any function.
+pub fn library_from_value(v: &Value) -> Result<FunctionLibrary, SerialError> {
+    let lib = FunctionLibrary::new();
+    let funcs = v
+        .get("functions")
+        .and_then(Value::as_array)
+        .ok_or_else(|| err("missing functions"))?;
+    for fv in funcs {
+        lib.insert(function_from_value(fv)?);
+    }
+    Ok(lib)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use tfe_ops::SymShape;
+
+    fn sample_fn() -> GraphFunction {
+        let mut b = GraphBuilder::new("sample");
+        let x = b
+            .placeholder(DType::F32, SymShape::new(vec![None, Some(3)]))
+            .unwrap();
+        let c = b.constant(Arc::new(TensorData::scalar(2.5f32))).unwrap();
+        let m = b.add_node("mul", vec![x, c], Attrs::new()).unwrap()[0];
+        let r = b
+            .add_node("reduce_sum", vec![m], Attrs::new().with("axes", vec![1i64]))
+            .unwrap()[0];
+        b.finish(vec![r], 0)
+    }
+
+    #[test]
+    fn tensor_round_trip_all_dtypes() {
+        for t in [
+            TensorData::from_vec(vec![1.5f32, -2.0], Shape::from([2])).unwrap(),
+            TensorData::from_vec(vec![1.5f64, -2.0], Shape::from([2])).unwrap(),
+            TensorData::from_vec(vec![1i32, -2], Shape::from([2])).unwrap(),
+            TensorData::from_vec(vec![i64::from(i32::MAX) + 1, -2], Shape::from([2])).unwrap(),
+            TensorData::from_vec(vec![true, false], Shape::from([2])).unwrap(),
+            TensorData::scalar(7.0f32),
+        ] {
+            let v = tensor_to_value(&t);
+            let back = tensor_from_value(&v).unwrap();
+            assert_eq!(back, t);
+            // And through actual JSON text.
+            let reparsed = Value::parse(&v.to_json()).unwrap();
+            assert_eq!(tensor_from_value(&reparsed).unwrap(), t);
+        }
+    }
+
+    #[test]
+    fn function_round_trip() {
+        let f = sample_fn();
+        let v = function_to_value(&f);
+        let text = v.to_json_pretty();
+        let back = function_from_value(&Value::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.name, f.name);
+        assert_eq!(back.nodes.len(), f.nodes.len());
+        assert_eq!(back.inputs, f.inputs);
+        assert_eq!(back.outputs, f.outputs);
+        assert_eq!(back.output_sigs(), f.output_sigs());
+        assert_eq!(back.constants.len(), 1);
+        assert_eq!(back.constants[0].scalar_f64().unwrap(), 2.5);
+        // Attrs survive.
+        let rs = back.nodes.iter().find(|n| n.op == "reduce_sum").unwrap();
+        assert_eq!(rs.attrs.int_list("axes").unwrap(), &[1]);
+        // Unknown dim survives.
+        assert_eq!(back.arg_sigs()[0].1, SymShape::new(vec![None, Some(3)]));
+    }
+
+    #[test]
+    fn library_round_trip() {
+        let lib = FunctionLibrary::new();
+        lib.insert(sample_fn());
+        let mut b = GraphBuilder::new("other");
+        let x = b.placeholder(DType::F64, SymShape::scalar()).unwrap();
+        let y = b.add_node("neg", vec![x], Attrs::new()).unwrap()[0];
+        lib.insert(b.finish(vec![y], 0));
+        let v = library_to_value(&lib);
+        let back = library_from_value(&Value::parse(&v.to_json()).unwrap()).unwrap();
+        assert_eq!(back.names(), vec!["other".to_string(), "sample".to_string()]);
+    }
+
+    #[test]
+    fn validation_rejects_corrupt_graphs() {
+        let f = sample_fn();
+        let mut v = function_to_value(&f);
+        // Corrupt an input reference to point forward.
+        if let Value::Object(map) = &mut v {
+            if let Some(Value::Array(nodes)) = map.get_mut("nodes") {
+                if let Value::Object(n1) = &mut nodes[2] {
+                    n1.insert(
+                        "inputs".to_string(),
+                        Value::Array(vec![Value::Array(vec![Value::Int(99), Value::Int(0)])]),
+                    );
+                }
+            }
+        }
+        assert!(function_from_value(&v).is_err());
+        assert!(function_from_value(&Value::Null).is_err());
+        assert!(tensor_from_value(&Value::parse(r#"{"dtype":"f99","shape":[],"data":[]}"#).unwrap()).is_err());
+    }
+}

@@ -1,0 +1,95 @@
+//! Weight initializers with a private, seedable RNG (independent of the
+//! runtime's stateful random ops, so model construction is reproducible no
+//! matter what the program samples elsewhere).
+
+use tfe_tensor::rng::TensorRng;
+use tfe_tensor::{DType, Shape, TensorData};
+
+/// A seeded initializer handed to layer constructors.
+#[derive(Debug)]
+pub struct Initializer {
+    rng: TensorRng,
+}
+
+impl Initializer {
+    /// Seeded construction; equal seeds produce equal models.
+    pub fn seeded(seed: u64) -> Initializer {
+        Initializer { rng: TensorRng::seed_from_u64(seed) }
+    }
+
+    /// Glorot/Xavier uniform: `U(-l, l)` with `l = sqrt(6/(fan_in+fan_out))`.
+    ///
+    /// # Panics
+    /// Never for float dtypes (internal RNG can't fail there).
+    pub fn glorot(&mut self, dtype: DType, dims: &[usize]) -> TensorData {
+        let (fan_in, fan_out) = match dims {
+            [i, o] => (*i, *o),
+            [kh, kw, i, o] => (kh * kw * i, kh * kw * o),
+            other => {
+                let n: usize = other.iter().product();
+                (n, n)
+            }
+        };
+        let limit = (6.0 / (fan_in + fan_out) as f64).sqrt();
+        self.rng
+            .uniform(dtype, Shape::new(dims.to_vec()), -limit, limit)
+            .expect("glorot init on float dtype")
+    }
+
+    /// He/Kaiming truncated normal with `stddev = sqrt(2/fan_in)` — the
+    /// classic ResNet initializer.
+    ///
+    /// # Panics
+    /// Never for float dtypes.
+    pub fn he(&mut self, dtype: DType, dims: &[usize], fan_in: usize) -> TensorData {
+        let stddev = (2.0 / fan_in.max(1) as f64).sqrt();
+        self.rng
+            .truncated_normal(dtype, Shape::new(dims.to_vec()), 0.0, stddev)
+            .expect("he init on float dtype")
+    }
+
+    /// Plain normal samples.
+    ///
+    /// # Panics
+    /// Never for float dtypes.
+    pub fn normal(&mut self, dtype: DType, dims: &[usize], stddev: f64) -> TensorData {
+        self.rng
+            .normal(dtype, Shape::new(dims.to_vec()), 0.0, stddev)
+            .expect("normal init on float dtype")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Initializer::seeded(1);
+        let mut b = Initializer::seeded(1);
+        assert_eq!(a.glorot(DType::F32, &[3, 4]), b.glorot(DType::F32, &[3, 4]));
+        let mut c = Initializer::seeded(2);
+        assert_ne!(a.glorot(DType::F32, &[3, 4]), c.glorot(DType::F32, &[3, 4]));
+    }
+
+    #[test]
+    fn glorot_within_limit() {
+        let mut init = Initializer::seeded(5);
+        let t = init.glorot(DType::F64, &[10, 10]);
+        let limit = (6.0f64 / 20.0).sqrt();
+        assert!(t.to_f64_vec().iter().all(|v| v.abs() <= limit));
+    }
+
+    #[test]
+    fn he_scale_reasonable() {
+        let mut init = Initializer::seeded(5);
+        let t = init.he(DType::F32, &[3, 3, 16, 32], 3 * 3 * 16);
+        let vals = t.to_f64_vec();
+        let std = {
+            let mean: f64 = vals.iter().sum::<f64>() / vals.len() as f64;
+            (vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64).sqrt()
+        };
+        let expected = (2.0f64 / 144.0).sqrt();
+        assert!((std - expected).abs() < expected * 0.3, "std {std} vs {expected}");
+    }
+}

@@ -1,0 +1,63 @@
+//! Losses and metrics.
+
+use tfe_runtime::{api, Result, Tensor};
+
+/// Mean of per-example sparse softmax cross-entropy.
+///
+/// # Errors
+/// Shape/label problems.
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &Tensor) -> Result<Tensor> {
+    let per_example = api::sparse_softmax_xent(logits, labels)?;
+    api::reduce_mean(&per_example, &[], false)
+}
+
+/// Mean squared error.
+///
+/// # Errors
+/// Shape mismatches.
+pub fn mean_squared_error(predictions: &Tensor, targets: &Tensor) -> Result<Tensor> {
+    let d = api::squared_difference(predictions, targets)?;
+    api::reduce_mean(&d, &[], false)
+}
+
+/// Classification accuracy of `logits` against integer `labels`.
+///
+/// # Errors
+/// Shape problems.
+pub fn accuracy(logits: &Tensor, labels: &Tensor) -> Result<Tensor> {
+    let predicted = api::argmax(logits, -1)?;
+    let correct = api::equal(&predicted, labels)?;
+    api::reduce_mean(&api::cast(&correct, tfe_tensor::DType::F32)?, &[], false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xent_decreases_with_confidence() {
+        let labels = api::constant(vec![1i64], [1]).unwrap();
+        let weak = api::constant(vec![0.0f32, 0.1], [1, 2]).unwrap();
+        let strong = api::constant(vec![0.0f32, 5.0], [1, 2]).unwrap();
+        let lw = softmax_cross_entropy(&weak, &labels).unwrap().scalar_f64().unwrap();
+        let ls = softmax_cross_entropy(&strong, &labels).unwrap().scalar_f64().unwrap();
+        assert!(ls < lw);
+    }
+
+    #[test]
+    fn mse_zero_at_match() {
+        let a = api::constant(vec![1.0f32, 2.0], [2]).unwrap();
+        assert_eq!(mean_squared_error(&a, &a).unwrap().scalar_f64().unwrap(), 0.0);
+        let b = api::constant(vec![2.0f32, 4.0], [2]).unwrap();
+        assert_eq!(mean_squared_error(&a, &b).unwrap().scalar_f64().unwrap(), 2.5);
+    }
+
+    #[test]
+    fn accuracy_counts_argmax_hits() {
+        let logits =
+            api::constant(vec![5.0f32, 0.0, 0.0, 5.0, 5.0, 0.0], [3, 2]).unwrap();
+        let labels = api::constant(vec![0i64, 1, 1], [3]).unwrap();
+        let acc = accuracy(&logits, &labels).unwrap().scalar_f64().unwrap();
+        assert!((acc - 2.0 / 3.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,413 @@
+//! Operation attributes: the static (compile-time, in staging terms)
+//! parameters of a primitive operation.
+//!
+//! Attribute values are part of trace-cache keys (§4.6's binding-time
+//! analysis specializes on them), so they implement `Eq`/`Hash` — floats
+//! hash by bit pattern.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use tfe_tensor::DType;
+
+/// A single attribute value.
+#[derive(Debug, Clone)]
+pub enum AttrValue {
+    /// Integer.
+    Int(i64),
+    /// Float (compared and hashed by bit pattern).
+    Float(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+    /// List of integers (shapes, axes, strides...).
+    IntList(Vec<i64>),
+    /// List of floats.
+    FloatList(Vec<f64>),
+    /// A tensor dtype.
+    DType(DType),
+}
+
+impl PartialEq for AttrValue {
+    fn eq(&self, other: &AttrValue) -> bool {
+        use AttrValue::*;
+        match (self, other) {
+            (Int(a), Int(b)) => a == b,
+            (Float(a), Float(b)) => a.to_bits() == b.to_bits(),
+            (Bool(a), Bool(b)) => a == b,
+            (Str(a), Str(b)) => a == b,
+            (IntList(a), IntList(b)) => a == b,
+            (FloatList(a), FloatList(b)) => {
+                a.len() == b.len()
+                    && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+            }
+            (DType(a), DType(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for AttrValue {}
+
+impl std::hash::Hash for AttrValue {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        use AttrValue::*;
+        match self {
+            Int(v) => {
+                0u8.hash(state);
+                v.hash(state);
+            }
+            Float(v) => {
+                1u8.hash(state);
+                v.to_bits().hash(state);
+            }
+            Bool(v) => {
+                2u8.hash(state);
+                v.hash(state);
+            }
+            Str(v) => {
+                3u8.hash(state);
+                v.hash(state);
+            }
+            IntList(v) => {
+                4u8.hash(state);
+                v.hash(state);
+            }
+            FloatList(v) => {
+                5u8.hash(state);
+                for f in v {
+                    f.to_bits().hash(state);
+                }
+            }
+            DType(v) => {
+                6u8.hash(state);
+                v.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::Int(v) => write!(f, "{v}"),
+            AttrValue::Float(v) => write!(f, "{v}"),
+            AttrValue::Bool(v) => write!(f, "{v}"),
+            AttrValue::Str(v) => write!(f, "{v:?}"),
+            AttrValue::IntList(v) => write!(f, "{v:?}"),
+            AttrValue::FloatList(v) => write!(f, "{v:?}"),
+            AttrValue::DType(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> AttrValue {
+        AttrValue::Int(v)
+    }
+}
+
+impl From<usize> for AttrValue {
+    fn from(v: usize) -> AttrValue {
+        AttrValue::Int(v as i64)
+    }
+}
+
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> AttrValue {
+        AttrValue::Float(v)
+    }
+}
+
+impl From<bool> for AttrValue {
+    fn from(v: bool) -> AttrValue {
+        AttrValue::Bool(v)
+    }
+}
+
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> AttrValue {
+        AttrValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for AttrValue {
+    fn from(v: String) -> AttrValue {
+        AttrValue::Str(v)
+    }
+}
+
+impl From<Vec<i64>> for AttrValue {
+    fn from(v: Vec<i64>) -> AttrValue {
+        AttrValue::IntList(v)
+    }
+}
+
+impl From<Vec<f64>> for AttrValue {
+    fn from(v: Vec<f64>) -> AttrValue {
+        AttrValue::FloatList(v)
+    }
+}
+
+impl From<DType> for AttrValue {
+    fn from(v: DType) -> AttrValue {
+        AttrValue::DType(v)
+    }
+}
+
+/// An ordered attribute map with typed accessors.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Attrs(BTreeMap<String, AttrValue>);
+
+impl Attrs {
+    /// An empty attribute map.
+    pub fn new() -> Attrs {
+        Attrs::default()
+    }
+
+    /// Builder-style insertion.
+    pub fn with(mut self, key: &str, value: impl Into<AttrValue>) -> Attrs {
+        self.0.insert(key.to_string(), value.into());
+        self
+    }
+
+    /// Insert a value.
+    pub fn set(&mut self, key: &str, value: impl Into<AttrValue>) {
+        self.0.insert(key.to_string(), value.into());
+    }
+
+    /// Raw lookup.
+    pub fn get(&self, key: &str) -> Option<&AttrValue> {
+        self.0.get(key)
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterate entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &AttrValue)> {
+        self.0.iter()
+    }
+
+    /// Typed integer accessor.
+    ///
+    /// # Errors
+    /// Missing key or wrong type.
+    pub fn int(&self, key: &str) -> Result<i64, AttrError> {
+        match self.get(key) {
+            Some(AttrValue::Int(v)) => Ok(*v),
+            other => Err(AttrError::new(key, "int", other)),
+        }
+    }
+
+    /// Integer with a default when absent.
+    ///
+    /// # Errors
+    /// Present but wrong type.
+    pub fn int_or(&self, key: &str, default: i64) -> Result<i64, AttrError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(AttrValue::Int(v)) => Ok(*v),
+            other => Err(AttrError::new(key, "int", other)),
+        }
+    }
+
+    /// Typed float accessor (accepts ints).
+    ///
+    /// # Errors
+    /// Missing key or wrong type.
+    pub fn float(&self, key: &str) -> Result<f64, AttrError> {
+        match self.get(key) {
+            Some(AttrValue::Float(v)) => Ok(*v),
+            Some(AttrValue::Int(v)) => Ok(*v as f64),
+            other => Err(AttrError::new(key, "float", other)),
+        }
+    }
+
+    /// Float with a default when absent.
+    ///
+    /// # Errors
+    /// Present but wrong type.
+    pub fn float_or(&self, key: &str, default: f64) -> Result<f64, AttrError> {
+        match self.get(key) {
+            None => Ok(default),
+            _ => self.float(key),
+        }
+    }
+
+    /// Typed bool accessor.
+    ///
+    /// # Errors
+    /// Missing key or wrong type.
+    pub fn bool(&self, key: &str) -> Result<bool, AttrError> {
+        match self.get(key) {
+            Some(AttrValue::Bool(v)) => Ok(*v),
+            other => Err(AttrError::new(key, "bool", other)),
+        }
+    }
+
+    /// Bool with a default when absent.
+    ///
+    /// # Errors
+    /// Present but wrong type.
+    pub fn bool_or(&self, key: &str, default: bool) -> Result<bool, AttrError> {
+        match self.get(key) {
+            None => Ok(default),
+            _ => self.bool(key),
+        }
+    }
+
+    /// Typed string accessor.
+    ///
+    /// # Errors
+    /// Missing key or wrong type.
+    pub fn str(&self, key: &str) -> Result<&str, AttrError> {
+        match self.get(key) {
+            Some(AttrValue::Str(v)) => Ok(v),
+            other => Err(AttrError::new(key, "str", other)),
+        }
+    }
+
+    /// Typed int-list accessor.
+    ///
+    /// # Errors
+    /// Missing key or wrong type.
+    pub fn int_list(&self, key: &str) -> Result<&[i64], AttrError> {
+        match self.get(key) {
+            Some(AttrValue::IntList(v)) => Ok(v),
+            other => Err(AttrError::new(key, "int list", other)),
+        }
+    }
+
+    /// Int list with a default when absent.
+    ///
+    /// # Errors
+    /// Present but wrong type.
+    pub fn int_list_or<'a>(
+        &'a self,
+        key: &str,
+        default: &'a [i64],
+    ) -> Result<&'a [i64], AttrError> {
+        match self.get(key) {
+            None => Ok(default),
+            _ => self.int_list(key),
+        }
+    }
+
+    /// Typed dtype accessor.
+    ///
+    /// # Errors
+    /// Missing key or wrong type.
+    pub fn dtype(&self, key: &str) -> Result<DType, AttrError> {
+        match self.get(key) {
+            Some(AttrValue::DType(v)) => Ok(*v),
+            other => Err(AttrError::new(key, "dtype", other)),
+        }
+    }
+}
+
+impl FromIterator<(String, AttrValue)> for Attrs {
+    fn from_iter<I: IntoIterator<Item = (String, AttrValue)>>(iter: I) -> Attrs {
+        Attrs(iter.into_iter().collect())
+    }
+}
+
+/// A missing or mistyped attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrError {
+    /// The attribute key.
+    pub key: String,
+    /// What the op expected.
+    pub expected: &'static str,
+    /// What was found, if anything.
+    pub found: Option<String>,
+}
+
+impl AttrError {
+    fn new(key: &str, expected: &'static str, found: Option<&AttrValue>) -> AttrError {
+        AttrError {
+            key: key.to_string(),
+            expected,
+            found: found.map(|v| v.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for AttrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.found {
+            Some(v) => write!(f, "attribute `{}` expected {} but was {v}", self.key, self.expected),
+            None => write!(f, "missing required attribute `{}` ({})", self.key, self.expected),
+        }
+    }
+}
+
+impl std::error::Error for AttrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    fn hash_of(v: &AttrValue) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn typed_accessors() {
+        let a = Attrs::new()
+            .with("n", 3i64)
+            .with("rate", 0.5)
+            .with("flag", true)
+            .with("name", "x")
+            .with("dims", vec![1i64, 2])
+            .with("dt", DType::F32);
+        assert_eq!(a.int("n").unwrap(), 3);
+        assert_eq!(a.float("rate").unwrap(), 0.5);
+        assert_eq!(a.float("n").unwrap(), 3.0); // int widens to float
+        assert!(a.bool("flag").unwrap());
+        assert_eq!(a.str("name").unwrap(), "x");
+        assert_eq!(a.int_list("dims").unwrap(), &[1, 2]);
+        assert_eq!(a.dtype("dt").unwrap(), DType::F32);
+    }
+
+    #[test]
+    fn defaults_and_errors() {
+        let a = Attrs::new().with("n", 3i64);
+        assert_eq!(a.int_or("missing", 7).unwrap(), 7);
+        assert!(a.bool_or("missing", true).unwrap());
+        assert_eq!(a.float_or("missing", 1.5).unwrap(), 1.5);
+        let err = a.int("missing").unwrap_err();
+        assert!(err.to_string().contains("missing"));
+        let err = a.bool("n").unwrap_err();
+        assert!(err.to_string().contains("expected bool"));
+        assert!(a.int_or("n", 0).is_ok());
+        assert!(a.bool_or("n", false).is_err()); // present but wrong type
+    }
+
+    #[test]
+    fn float_equality_by_bits() {
+        assert_eq!(AttrValue::Float(f64::NAN), AttrValue::Float(f64::NAN));
+        assert_ne!(AttrValue::Float(0.0), AttrValue::Float(-0.0));
+        assert_eq!(hash_of(&AttrValue::Float(1.5)), hash_of(&AttrValue::Float(1.5)));
+    }
+
+    #[test]
+    fn attrs_equal_independent_of_insertion_order() {
+        let a = Attrs::new().with("x", 1i64).with("y", 2i64);
+        let b = Attrs::new().with("y", 2i64).with("x", 1i64);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cross_type_inequality() {
+        assert_ne!(AttrValue::Int(1), AttrValue::Float(1.0));
+        assert_ne!(AttrValue::Bool(true), AttrValue::Int(1));
+        assert_ne!(hash_of(&AttrValue::Int(1)), hash_of(&AttrValue::Float(1.0)));
+    }
+}

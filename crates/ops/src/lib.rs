@@ -1,0 +1,38 @@
+//! # tfe-ops
+//!
+//! Operation definitions for the `tf-eager` workspace: attributes, symbolic
+//! shapes, shape/dtype inference, and the standard op catalog.
+//!
+//! The paper's key implementation property (§1, §5) is that imperative and
+//! staged execution share *one* set of primitive operations. The
+//! [`OpRegistry`] here is that set: every other layer (eager dispatch,
+//! graph building, gradients, kernels) keys off the definitions registered
+//! by [`ensure_standard_ops`].
+//!
+//! ```
+//! use tfe_ops::{ensure_standard_ops, global, Attrs, InferCtx, SymShape};
+//! use tfe_tensor::{DType, Shape};
+//!
+//! ensure_standard_ops();
+//! let add = global().lookup("add").unwrap();
+//! let shapes = [SymShape::known(&Shape::from([2, 1])), SymShape::known(&Shape::from([3]))];
+//! let attrs = Attrs::new();
+//! let out = add
+//!     .infer(&InferCtx { dtypes: &[DType::F32, DType::F32], shapes: &shapes, attrs: &attrs })
+//!     .unwrap();
+//! assert_eq!(out[0].1, SymShape::known(&Shape::from([2, 3])));
+//! ```
+
+#![warn(missing_docs)]
+
+mod attr;
+pub mod catalog;
+mod opdef;
+mod symshape;
+
+pub use attr::{AttrError, AttrValue, Attrs};
+pub use opdef::{
+    elems_or, ensure_standard_ops, global, Arity, InferCtx, OpDef, OpError, OpRegistry, OutputSig,
+    WorkEstimate,
+};
+pub use symshape::SymShape;

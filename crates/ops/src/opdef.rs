@@ -1,0 +1,399 @@
+//! Operation definitions and the global op registry.
+//!
+//! The paper's central implementation claim (§1, §5) is that imperative and
+//! staged execution *share a single set of primitive operations*. In this
+//! workspace that set is exactly the contents of the [`OpRegistry`]: the
+//! eager dispatcher, the graph builder, shape inference, the gradient
+//! registry and every kernel table key off the op names defined here.
+
+use crate::attr::{AttrError, Attrs};
+use crate::symshape::SymShape;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+use tfe_tensor::{DType, TensorError};
+
+/// Errors from op lookup, validation, or shape inference.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpError {
+    /// The op name is not registered.
+    UnknownOp(String),
+    /// Wrong number of inputs.
+    Arity {
+        /// Op name.
+        op: String,
+        /// Human-readable expectation.
+        expected: String,
+        /// Actual count.
+        got: usize,
+    },
+    /// A missing or mistyped attribute.
+    Attr(AttrError),
+    /// A shape/dtype error surfaced during inference.
+    Shape(TensorError),
+    /// Anything else.
+    Invalid(String),
+}
+
+impl fmt::Display for OpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpError::UnknownOp(name) => write!(f, "unknown operation `{name}`"),
+            OpError::Arity { op, expected, got } => {
+                write!(f, "op `{op}` expected {expected} inputs, got {got}")
+            }
+            OpError::Attr(e) => write!(f, "{e}"),
+            OpError::Shape(e) => write!(f, "{e}"),
+            OpError::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for OpError {}
+
+impl From<AttrError> for OpError {
+    fn from(e: AttrError) -> OpError {
+        OpError::Attr(e)
+    }
+}
+
+impl From<TensorError> for OpError {
+    fn from(e: TensorError) -> OpError {
+        OpError::Shape(e)
+    }
+}
+
+/// Number-of-inputs contract for an op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arity {
+    /// Exactly `n` inputs.
+    Exact(usize),
+    /// At least `n` inputs (variadic ops like `concat`).
+    AtLeast(usize),
+}
+
+impl Arity {
+    /// Validate an input count.
+    ///
+    /// # Errors
+    /// [`OpError::Arity`] when violated.
+    pub fn check(self, op: &str, got: usize) -> Result<(), OpError> {
+        let ok = match self {
+            Arity::Exact(n) => got == n,
+            Arity::AtLeast(n) => got >= n,
+        };
+        if ok {
+            Ok(())
+        } else {
+            let expected = match self {
+                Arity::Exact(n) => format!("exactly {n}"),
+                Arity::AtLeast(n) => format!("at least {n}"),
+            };
+            Err(OpError::Arity { op: op.to_string(), expected, got })
+        }
+    }
+}
+
+/// What shape inference sees: input types/shapes plus the op's attributes.
+#[derive(Debug)]
+pub struct InferCtx<'a> {
+    /// Input dtypes.
+    pub dtypes: &'a [DType],
+    /// Input (possibly symbolic) shapes.
+    pub shapes: &'a [SymShape],
+    /// Op attributes.
+    pub attrs: &'a Attrs,
+}
+
+impl<'a> InferCtx<'a> {
+    /// dtype of input `i`.
+    ///
+    /// # Errors
+    /// Index out of range.
+    pub fn dtype(&self, i: usize) -> Result<DType, OpError> {
+        self.dtypes
+            .get(i)
+            .copied()
+            .ok_or_else(|| OpError::Invalid(format!("missing input {i}")))
+    }
+
+    /// shape of input `i`.
+    ///
+    /// # Errors
+    /// Index out of range.
+    pub fn shape(&self, i: usize) -> Result<&SymShape, OpError> {
+        self.shapes
+            .get(i)
+            .ok_or_else(|| OpError::Invalid(format!("missing input {i}")))
+    }
+}
+
+/// Estimated work for one execution of an op (device-independent; the
+/// device's [`ComputeModel`](tfe_device-like) turns it into time).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WorkEstimate {
+    /// Floating-point (or equivalent) operations.
+    pub flops: f64,
+    /// Bytes of memory traffic.
+    pub bytes: f64,
+}
+
+/// Inferred output signature: dtype and symbolic shape per output.
+pub type OutputSig = Vec<(DType, SymShape)>;
+
+type InferFn = dyn Fn(&InferCtx) -> Result<OutputSig, OpError> + Send + Sync;
+type WorkFn = dyn Fn(&InferCtx, &OutputSig) -> WorkEstimate + Send + Sync;
+
+/// A primitive operation definition: name, arity, statefulness, shape
+/// inference and an analytic work estimate.
+pub struct OpDef {
+    name: String,
+    arity: Arity,
+    stateful: bool,
+    infer: Box<InferFn>,
+    work: Option<Box<WorkFn>>,
+}
+
+impl OpDef {
+    /// Start building an op definition.
+    pub fn new(
+        name: &str,
+        arity: Arity,
+        infer: impl Fn(&InferCtx) -> Result<OutputSig, OpError> + Send + Sync + 'static,
+    ) -> OpDef {
+        OpDef { name: name.to_string(), arity, stateful: false, infer: Box::new(infer), work: None }
+    }
+
+    /// Mark the op stateful (random ops, variable ops, `host_func`...).
+    /// Stateful ops are never pruned, folded, or deduplicated.
+    pub fn stateful(mut self) -> OpDef {
+        self.stateful = true;
+        self
+    }
+
+    /// Attach a custom work estimate (default: one flop per output element
+    /// and read+write memory traffic).
+    pub fn with_work(
+        mut self,
+        work: impl Fn(&InferCtx, &OutputSig) -> WorkEstimate + Send + Sync + 'static,
+    ) -> OpDef {
+        self.work = Some(Box::new(work));
+        self
+    }
+
+    /// Op name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Arity contract.
+    pub fn arity(&self) -> Arity {
+        self.arity
+    }
+
+    /// Whether the op has side effects.
+    pub fn is_stateful(&self) -> bool {
+        self.stateful
+    }
+
+    /// Run shape inference (validates arity first).
+    ///
+    /// # Errors
+    /// Arity violations, attribute problems, or shape incompatibilities.
+    pub fn infer(&self, ctx: &InferCtx) -> Result<OutputSig, OpError> {
+        self.arity.check(&self.name, ctx.dtypes.len())?;
+        if ctx.dtypes.len() != ctx.shapes.len() {
+            return Err(OpError::Invalid("dtype/shape count mismatch".to_string()));
+        }
+        (self.infer)(ctx)
+    }
+
+    /// Estimate the work of one execution given inferred outputs.
+    pub fn work(&self, ctx: &InferCtx, outputs: &OutputSig) -> WorkEstimate {
+        if let Some(work) = &self.work {
+            return work(ctx, outputs);
+        }
+        // Default: elementwise over outputs; inputs and outputs traffic.
+        let out_elems: f64 =
+            outputs.iter().map(|(dt, s)| elems_or(s, 1) as f64 * dt.size_bytes() as f64).sum();
+        let in_bytes: f64 = ctx
+            .dtypes
+            .iter()
+            .zip(ctx.shapes)
+            .map(|(dt, s)| elems_or(s, 1) as f64 * dt.size_bytes() as f64)
+            .sum();
+        let out_flops: f64 = outputs.iter().map(|(_, s)| elems_or(s, 1) as f64).sum();
+        WorkEstimate { flops: out_flops, bytes: in_bytes + out_elems }
+    }
+}
+
+impl fmt::Debug for OpDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "OpDef({}, arity={:?}, stateful={})",
+            self.name, self.arity, self.stateful
+        )
+    }
+}
+
+/// Element count of a symbolic shape, substituting `unknown_as` for every
+/// unknown dimension (work estimates use 1... callers pick).
+pub fn elems_or(s: &SymShape, unknown_as: usize) -> usize {
+    s.dims().iter().map(|d| d.unwrap_or(unknown_as)).product::<usize>().max(1)
+}
+
+/// A registry of op definitions keyed by name.
+#[derive(Default)]
+pub struct OpRegistry {
+    map: RwLock<HashMap<String, Arc<OpDef>>>,
+}
+
+impl OpRegistry {
+    /// An empty registry.
+    pub fn new() -> OpRegistry {
+        OpRegistry::default()
+    }
+
+    /// Register a definition.
+    ///
+    /// # Errors
+    /// Duplicate op name.
+    pub fn register(&self, def: OpDef) -> Result<(), OpError> {
+        let mut map = self.map.write();
+        if map.contains_key(def.name()) {
+            return Err(OpError::Invalid(format!("op `{}` already registered", def.name())));
+        }
+        map.insert(def.name().to_string(), Arc::new(def));
+        Ok(())
+    }
+
+    /// Look up an op by name.
+    ///
+    /// # Errors
+    /// [`OpError::UnknownOp`].
+    pub fn lookup(&self, name: &str) -> Result<Arc<OpDef>, OpError> {
+        self.map
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| OpError::UnknownOp(name.to_string()))
+    }
+
+    /// Whether `name` is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.map.read().contains_key(name)
+    }
+
+    /// All registered op names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.map.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Number of registered ops.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.read().is_empty()
+    }
+}
+
+impl fmt::Debug for OpRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "OpRegistry({} ops)", self.len())
+    }
+}
+
+/// The process-wide registry used by the runtime, tracer and autodiff.
+pub fn global() -> &'static OpRegistry {
+    static REGISTRY: std::sync::OnceLock<OpRegistry> = std::sync::OnceLock::new();
+    REGISTRY.get_or_init(OpRegistry::new)
+}
+
+/// Register the standard op catalog into [`global`] exactly once.
+///
+/// Safe (and cheap) to call from every entry point.
+pub fn ensure_standard_ops() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        crate::catalog::register_all(global()).expect("standard op catalog must register");
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scalar_op() -> OpDef {
+        OpDef::new("test_scalar", Arity::Exact(1), |ctx| {
+            Ok(vec![(ctx.dtype(0)?, SymShape::scalar())])
+        })
+    }
+
+    #[test]
+    fn arity_checks() {
+        assert!(Arity::Exact(2).check("x", 2).is_ok());
+        assert!(Arity::Exact(2).check("x", 3).is_err());
+        assert!(Arity::AtLeast(1).check("x", 5).is_ok());
+        assert!(Arity::AtLeast(1).check("x", 0).is_err());
+    }
+
+    #[test]
+    fn registry_register_lookup() {
+        let r = OpRegistry::new();
+        assert!(r.is_empty());
+        r.register(scalar_op()).unwrap();
+        assert!(r.contains("test_scalar"));
+        assert_eq!(r.len(), 1);
+        assert!(r.register(scalar_op()).is_err()); // duplicate
+        assert!(r.lookup("nope").is_err());
+        let def = r.lookup("test_scalar").unwrap();
+        assert_eq!(def.name(), "test_scalar");
+        assert!(!def.is_stateful());
+    }
+
+    #[test]
+    fn infer_validates_arity() {
+        let def = scalar_op();
+        let attrs = Attrs::new();
+        let ctx = InferCtx { dtypes: &[], shapes: &[], attrs: &attrs };
+        assert!(matches!(def.infer(&ctx), Err(OpError::Arity { .. })));
+    }
+
+    #[test]
+    fn default_work_estimate() {
+        let def = scalar_op();
+        let attrs = Attrs::new();
+        let shapes = [SymShape::known(&tfe_tensor::Shape::from([8]))];
+        let ctx = InferCtx { dtypes: &[DType::F32], shapes: &shapes, attrs: &attrs };
+        let out = def.infer(&ctx).unwrap();
+        let w = def.work(&ctx, &out);
+        assert_eq!(w.flops, 1.0); // scalar output
+        assert!(w.bytes >= 32.0); // read 8 f32
+    }
+
+    #[test]
+    fn custom_work_estimate() {
+        let def = scalar_op().with_work(|_, _| WorkEstimate { flops: 42.0, bytes: 7.0 });
+        let attrs = Attrs::new();
+        let shapes = [SymShape::scalar()];
+        let ctx = InferCtx { dtypes: &[DType::F32], shapes: &shapes, attrs: &attrs };
+        let out = def.infer(&ctx).unwrap();
+        assert_eq!(def.work(&ctx, &out).flops, 42.0);
+    }
+
+    #[test]
+    fn global_catalog_registers() {
+        ensure_standard_ops();
+        ensure_standard_ops(); // idempotent
+        assert!(global().contains("add"));
+        assert!(global().contains("matmul"));
+        assert!(global().len() > 60);
+    }
+}

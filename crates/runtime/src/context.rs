@@ -1,0 +1,689 @@
+//! The execution context: thread-local stacks for tracing frames, device
+//! scopes and gradient tapes, plus the central operation dispatcher.
+//!
+//! This is the runtime half of the paper's multi-stage model (§4.1): every
+//! user-visible operation funnels through [`execute`], which either runs a
+//! kernel immediately (imperative mode) or records a node into the graph
+//! being traced (staged mode). Both paths share the op registry, the
+//! kernels, and the tape-recording rule — the "single set of primitive
+//! operations" of §1.
+
+use crate::error::{Result, RuntimeError};
+use crate::executor::{self, ExecMode};
+use crate::tape::{Tape, TapeRecord};
+use crate::tensor::{fresh_id, EagerTensor, SymbolicTensor, Tensor};
+use parking_lot::{Mutex, RwLock};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::Arc;
+use tfe_device::{
+    Device, DeviceManager, DeviceName, DispatchModel, KernelCost, SimStats,
+};
+use tfe_graph::{FunctionLibrary, GraphBuilder, TensorRef};
+use tfe_ops::{Attrs, InferCtx, SymShape};
+use tfe_tensor::rng::TensorRng;
+use tfe_tensor::TensorData;
+
+// ---------------------------------------------------------------------------
+// Global singletons
+// ---------------------------------------------------------------------------
+
+/// The process-wide device registry (§4.4's start-up device detection).
+pub fn device_manager() -> &'static DeviceManager {
+    static M: std::sync::OnceLock<DeviceManager> = std::sync::OnceLock::new();
+    M.get_or_init(DeviceManager::new)
+}
+
+/// The process-wide graph-function library (resolves `call` nodes).
+pub fn library() -> &'static FunctionLibrary {
+    static L: std::sync::OnceLock<FunctionLibrary> = std::sync::OnceLock::new();
+    L.get_or_init(FunctionLibrary::new)
+}
+
+/// A host closure embeddable in graphs — the `py_func` analog (§4.7).
+pub type HostFn = Arc<dyn Fn(&[Tensor]) -> Result<Vec<Tensor>> + Send + Sync>;
+
+fn host_fns() -> &'static RwLock<HashMap<u64, HostFn>> {
+    static H: std::sync::OnceLock<RwLock<HashMap<u64, HostFn>>> = std::sync::OnceLock::new();
+    H.get_or_init(|| RwLock::new(HashMap::new()))
+}
+
+/// Register a host function; the returned id goes into `host_func` nodes.
+pub fn register_host_fn(f: HostFn) -> u64 {
+    let id = fresh_id();
+    host_fns().write().insert(id, f);
+    id
+}
+
+/// Resolve a host-function id.
+///
+/// # Errors
+/// Unknown id.
+pub fn host_fn(id: u64) -> Result<HostFn> {
+    host_fns().read().get(&id).cloned().ok_or(RuntimeError::UnknownHostFunction(id))
+}
+
+fn global_rng() -> &'static Mutex<TensorRng> {
+    static R: std::sync::OnceLock<Mutex<TensorRng>> = std::sync::OnceLock::new();
+    R.get_or_init(|| Mutex::new(TensorRng::seed_from_u64(0)))
+}
+
+/// Re-seed the process RNG used by stateful random ops (`tf.set_random_seed`).
+pub fn set_random_seed(seed: u64) {
+    *global_rng().lock() = TensorRng::seed_from_u64(seed);
+}
+
+/// Run `f` with exclusive access to the process RNG.
+pub(crate) fn with_rng<R>(f: impl FnOnce(&mut TensorRng) -> R) -> R {
+    f(&mut global_rng().lock())
+}
+
+/// Per-op simulated-kernel-time accounting, enabled by the
+/// `TFE_SIM_PROFILE` environment variable (used to calibrate the bench
+/// profiles; not part of the public contract).
+pub fn sim_profile() -> &'static RwLock<HashMap<String, (u64, f64)>> {
+    static P: std::sync::OnceLock<RwLock<HashMap<String, (u64, f64)>>> =
+        std::sync::OnceLock::new();
+    P.get_or_init(|| RwLock::new(HashMap::new()))
+}
+
+pub(crate) fn sim_profile_add(op: &str, ns: f64) {
+    if std::env::var_os("TFE_SIM_PROFILE").is_some() {
+        let mut p = sim_profile().write();
+        let e = p.entry(op.to_string()).or_default();
+        e.0 += 1;
+        e.1 += ns;
+    }
+}
+
+/// Make sure op catalog and kernels are registered. Cheap after first call.
+pub fn ensure_init() {
+    tfe_ops::ensure_standard_ops();
+    crate::kernels::ensure_kernels();
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local context stack
+// ---------------------------------------------------------------------------
+
+/// Per-thread simulation configuration (virtual clock + overhead model).
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Shared counters and virtual clock.
+    pub stats: SimStats,
+    /// Host-side dispatch overheads.
+    pub dispatch: DispatchModel,
+}
+
+/// One tracing frame: a graph under construction.
+pub struct TraceFrame {
+    /// Frame id (symbolic tensors remember which frame minted them).
+    pub frame_id: u64,
+    /// The graph builder.
+    pub builder: GraphBuilder,
+    /// Captured outer tensors, in placeholder order (§4.6 lexical closure).
+    pub captures: Vec<Tensor>,
+    capture_refs: HashMap<u64, TensorRef>,
+    /// Variables created while this frame was active (§4.6 state creation).
+    pub created_variables: Vec<u64>,
+}
+
+/// Everything [`end_tracing`] hands back to the tracer.
+pub struct FinishedTrace {
+    /// The frame id that was traced.
+    pub frame_id: u64,
+    /// The builder, ready for `finish(outputs, num_captures)`.
+    pub builder: GraphBuilder,
+    /// Captured outer tensors, in placeholder order.
+    pub captures: Vec<Tensor>,
+    /// Variables created during the trace.
+    pub created_variables: Vec<u64>,
+}
+
+#[derive(Default)]
+struct Stack {
+    traces: Vec<TraceFrame>,
+    init_scope_stash: Vec<Vec<TraceFrame>>,
+    devices: Vec<Device>,
+    tapes: Vec<Arc<Tape>>,
+    sim: Option<SimConfig>,
+    exec_mode: ExecMode,
+}
+
+thread_local! {
+    static STACK: RefCell<Stack> = RefCell::new(Stack::default());
+}
+
+fn with_stack<R>(f: impl FnOnce(&mut Stack) -> R) -> R {
+    STACK.with(|s| f(&mut s.borrow_mut()))
+}
+
+// ---------------------------------------------------------------------------
+// Devices
+// ---------------------------------------------------------------------------
+
+/// Run `f` with operations placed on the named device (§4.4's `device`
+/// context manager).
+///
+/// # Errors
+/// Unknown device name.
+pub fn with_device<R>(name: &str, f: impl FnOnce() -> R) -> Result<R> {
+    let device = device_manager().resolve(name).map_err(RuntimeError::Device)?;
+    Ok(with_device_obj(device, f))
+}
+
+/// Like [`with_device`], with an already-resolved device.
+pub fn with_device_obj<R>(device: Device, f: impl FnOnce() -> R) -> R {
+    with_stack(|s| s.devices.push(device));
+    let guard = scopeguard(|| {
+        with_stack(|s| {
+            s.devices.pop();
+        })
+    });
+    let r = f();
+    drop(guard);
+    r
+}
+
+struct Guard<F: FnMut()>(F);
+impl<F: FnMut()> Drop for Guard<F> {
+    fn drop(&mut self) {
+        (self.0)();
+    }
+}
+fn scopeguard<F: FnMut()>(f: F) -> Guard<F> {
+    Guard(f)
+}
+
+/// The device new operations run on: the innermost `device` scope, else the
+/// host CPU (input-based placement happens in the dispatcher).
+pub fn current_device() -> Device {
+    with_stack(|s| s.devices.last().cloned()).unwrap_or_else(|| device_manager().host_cpu())
+}
+
+/// Name of [`current_device`].
+pub fn current_device_name() -> DeviceName {
+    current_device().name().clone()
+}
+
+// ---------------------------------------------------------------------------
+// Tapes
+// ---------------------------------------------------------------------------
+
+/// Push a tape onto this thread's active stack.
+pub fn push_tape(tape: Arc<Tape>) {
+    with_stack(|s| s.tapes.push(tape));
+}
+
+/// Remove a tape by id. Returns whether it was found.
+pub fn pop_tape(id: u64) -> bool {
+    with_stack(|s| {
+        let before = s.tapes.len();
+        s.tapes.retain(|t| t.id != id);
+        s.tapes.len() != before
+    })
+}
+
+/// Snapshot of the active tapes (outermost first).
+pub fn active_tapes() -> Vec<Arc<Tape>> {
+    with_stack(|s| s.tapes.clone())
+}
+
+fn record_on_tapes(op: &str, attrs: &Attrs, inputs: &[Tensor], outputs: &[Tensor]) {
+    if outputs.is_empty() {
+        return; // assigns and friends are not differentiable events
+    }
+    let tapes = with_stack(|s| s.tapes.clone());
+    if tapes.is_empty() {
+        return;
+    }
+    // `read_variable` flows gradients from the *variable id*, so that
+    // multiple reads of one variable alias to one gradient slot and tapes
+    // auto-watch variables (§4.2/§4.3).
+    let mut input_ids: Vec<u64> = if op == "read_variable" {
+        match attrs.int("var_id") {
+            Ok(id) => vec![id as u64],
+            Err(_) => inputs.iter().map(Tensor::id).collect(),
+        }
+    } else {
+        inputs.iter().map(Tensor::id).collect()
+    };
+    if op == "read_variable" {
+        for tape in &tapes {
+            if tape.watch_accessed_variables {
+                if let Ok(id) = attrs.int("var_id") {
+                    tape.watch_id(id as u64);
+                }
+            }
+        }
+    }
+    // A `call` node exposes the variables its graph reads as extra gradient
+    // slots (attr `var_ids`, set by the tracer), so tapes can flow
+    // gradients to variables *through* staged functions and auto-watch
+    // them, just like direct `read_variable` ops.
+    if op == "call" {
+        if let Ok(var_ids) = attrs.int_list("var_ids") {
+            for &vid in var_ids {
+                input_ids.push(vid as u64);
+                for tape in &tapes {
+                    if tape.watch_accessed_variables {
+                        tape.watch_id(vid as u64);
+                    }
+                }
+            }
+        }
+    }
+    let record = TapeRecord {
+        op: op.to_string(),
+        attrs: attrs.clone(),
+        inputs: inputs.to_vec(),
+        outputs: outputs.to_vec(),
+        input_ids,
+        output_ids: outputs.iter().map(Tensor::id).collect(),
+    };
+    for tape in &tapes {
+        tape.maybe_record(&record);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tracing frames
+// ---------------------------------------------------------------------------
+
+/// Whether the current thread is inside a graph-building context.
+pub fn is_tracing() -> bool {
+    with_stack(|s| !s.traces.is_empty())
+}
+
+/// Id of the innermost tracing frame, if any.
+pub fn current_frame_id() -> Option<u64> {
+    with_stack(|s| s.traces.last().map(|t| t.frame_id))
+}
+
+/// Open a new tracing frame; subsequent [`execute`] calls record nodes into
+/// it. Returns the frame id.
+pub fn begin_tracing(name: &str) -> u64 {
+    ensure_init();
+    let frame_id = fresh_id();
+    let frame = TraceFrame {
+        frame_id,
+        builder: GraphBuilder::new(name),
+        captures: Vec::new(),
+        capture_refs: HashMap::new(),
+        created_variables: Vec::new(),
+    };
+    with_stack(|s| s.traces.push(frame));
+    frame_id
+}
+
+/// Close the innermost tracing frame.
+///
+/// # Errors
+/// No frame is open.
+pub fn end_tracing() -> Result<FinishedTrace> {
+    with_stack(|s| s.traces.pop())
+        .map(|f| FinishedTrace {
+            frame_id: f.frame_id,
+            builder: f.builder,
+            captures: f.captures,
+            created_variables: f.created_variables,
+        })
+        .ok_or_else(|| RuntimeError::Internal("end_tracing without begin_tracing".to_string()))
+}
+
+/// Add an argument placeholder to the innermost frame.
+///
+/// # Errors
+/// No frame is open, or inference fails.
+pub fn tracing_placeholder(dtype: tfe_tensor::DType, shape: SymShape) -> Result<Tensor> {
+    with_stack(|s| {
+        let frame = s
+            .traces
+            .last_mut()
+            .ok_or_else(|| RuntimeError::Internal("placeholder outside tracing".to_string()))?;
+        let tref = frame.builder.placeholder(dtype, shape.clone())?;
+        Ok(Tensor::Symbolic(SymbolicTensor {
+            id: fresh_id(),
+            frame_id: frame.frame_id,
+            tref,
+            dtype,
+            shape,
+        }))
+    })
+}
+
+/// Intern a constant tensor as a `const` node in the innermost frame — how
+/// `tf.constant` behaves inside a graph-building context (and how the
+/// `add_noise` example of §4.1 bakes host values into traces).
+///
+/// # Errors
+/// No frame is open.
+pub fn trace_constant(value: TensorData) -> Result<Tensor> {
+    with_stack(|s| {
+        let frame = s
+            .traces
+            .last_mut()
+            .ok_or_else(|| RuntimeError::Internal("trace_constant outside tracing".to_string()))?;
+        let value = Arc::new(value);
+        let tref = frame.builder.constant(value)?;
+        let (dtype, shape) = frame.builder.sig(tref);
+        Ok(Tensor::Symbolic(SymbolicTensor {
+            id: fresh_id(),
+            frame_id: frame.frame_id,
+            tref,
+            dtype,
+            shape,
+        }))
+    })
+}
+
+/// Record a variable creation against the innermost frame (the §4.6
+/// state-creation contract); no-op outside tracing.
+pub fn notify_variable_created(id: u64) {
+    with_stack(|s| {
+        if let Some(frame) = s.traces.last_mut() {
+            frame.created_variables.push(id);
+        }
+    });
+}
+
+/// Pause all tracing and run `f` imperatively — `tf.init_scope` (§4.7).
+pub fn init_scope<R>(f: impl FnOnce() -> R) -> R {
+    with_stack(|s| {
+        let t = std::mem::take(&mut s.traces);
+        s.init_scope_stash.push(t);
+    });
+    ();
+    let r = f();
+    with_stack(|s| {
+        let restored = s.init_scope_stash.pop().expect("init_scope stash must exist");
+        debug_assert!(s.traces.is_empty(), "traces created inside init_scope must be closed");
+        s.traces = restored;
+    });
+    r
+}
+
+// ---------------------------------------------------------------------------
+// Simulation controls
+// ---------------------------------------------------------------------------
+
+/// Install a simulation config (virtual clock + overhead model) for this
+/// thread. Returns the previous config.
+pub fn set_sim(config: Option<SimConfig>) -> Option<SimConfig> {
+    with_stack(|s| std::mem::replace(&mut s.sim, config))
+}
+
+/// The active simulation config, if any.
+pub fn sim() -> Option<SimConfig> {
+    with_stack(|s| s.sim.clone())
+}
+
+/// Set the graph-executor mode for this thread (serial planned vs
+/// inter-op parallel). Returns the previous mode.
+pub fn set_exec_mode(mode: ExecMode) -> ExecMode {
+    with_stack(|s| std::mem::replace(&mut s.exec_mode, mode))
+}
+
+/// Current executor mode.
+pub fn exec_mode() -> ExecMode {
+    with_stack(|s| s.exec_mode)
+}
+
+// ---------------------------------------------------------------------------
+// The dispatcher
+// ---------------------------------------------------------------------------
+
+/// Execute (or trace) one primitive operation. This is the single entry
+/// point every API wrapper, gradient function, and layer goes through.
+///
+/// # Errors
+/// Unknown ops, arity/attr/shape problems, kernel failures, device errors.
+pub fn execute(op: &str, inputs: &[Tensor], attrs: Attrs) -> Result<Vec<Tensor>> {
+    ensure_init();
+    if is_tracing() {
+        execute_traced(op, inputs, attrs)
+    } else {
+        execute_eager(op, inputs, attrs)
+    }
+}
+
+fn execute_traced(op: &str, inputs: &[Tensor], attrs: Attrs) -> Result<Vec<Tensor>> {
+    let outputs = with_stack(|s| -> Result<Vec<Tensor>> {
+        let frame = s
+            .traces
+            .last_mut()
+            .ok_or_else(|| RuntimeError::Internal("lost tracing frame".to_string()))?;
+        let mut trefs = Vec::with_capacity(inputs.len());
+        for t in inputs {
+            let tref = match t {
+                Tensor::Symbolic(sym) if sym.frame_id == frame.frame_id => sym.tref,
+                other => {
+                    // Lexical capture (§4.6): outer eager/symbolic tensors
+                    // become silent placeholder inputs, deduplicated by id.
+                    if let Some(&tref) = frame.capture_refs.get(&other.id()) {
+                        tref
+                    } else {
+                        let tref =
+                            frame.builder.placeholder(other.dtype(), other.sym_shape())?;
+                        frame.capture_refs.insert(other.id(), tref);
+                        frame.captures.push(other.clone());
+                        tref
+                    }
+                }
+            };
+            trefs.push(tref);
+        }
+        let refs = frame.builder.add_node(op, trefs, attrs.clone())?;
+        Ok(refs
+            .into_iter()
+            .map(|tref| {
+                let (dtype, shape) = frame.builder.sig(tref);
+                Tensor::Symbolic(SymbolicTensor {
+                    id: fresh_id(),
+                    frame_id: frame.frame_id,
+                    tref,
+                    dtype,
+                    shape,
+                })
+            })
+            .collect())
+    })?;
+    record_on_tapes(op, &attrs, inputs, &outputs);
+    Ok(outputs)
+}
+
+/// Pick the device for an eager op: innermost `device` scope, else the
+/// device of the first concrete input, else the host CPU (§4.4).
+fn resolve_device(inputs: &[Tensor]) -> Device {
+    if let Some(d) = with_stack(|s| s.devices.last().cloned()) {
+        return d;
+    }
+    for t in inputs {
+        if let Tensor::Eager(e) = t {
+            if let Some(d) = device_manager().find(&e.device) {
+                return d;
+            }
+        }
+    }
+    device_manager().host_cpu()
+}
+
+fn execute_eager(op: &str, inputs: &[Tensor], attrs: Attrs) -> Result<Vec<Tensor>> {
+    // Dispatcher-level ops that are not plain kernels.
+    match op {
+        "call" => return execute_call(inputs, &attrs),
+        "cond" => return execute_cond(inputs, &attrs),
+        "while_loop" => return execute_while(inputs, &attrs),
+        "host_func" => return execute_host_func(inputs, &attrs),
+        "copy" => return execute_copy(inputs, &attrs),
+        _ => {}
+    }
+
+    let device = resolve_device(inputs);
+    let input_data: Vec<Arc<TensorData>> =
+        inputs.iter().map(Tensor::value).collect::<Result<_>>()?;
+
+    // Validate + infer through the shared op definition.
+    let def = tfe_ops::global().lookup(op)?;
+    let dtypes: Vec<_> = input_data.iter().map(|d| d.dtype()).collect();
+    let shapes: Vec<_> = input_data.iter().map(|d| SymShape::known(d.shape())).collect();
+    let infer_ctx = InferCtx { dtypes: &dtypes, shapes: &shapes, attrs: &attrs };
+    let out_sigs = def.infer(&infer_ctx)?;
+
+    // Simulation accounting: the per-op interpreter cost (the CPython
+    // stand-in), compile costs on compile-required devices, kernel time.
+    let sim = with_stack(|s| s.sim.clone());
+    if let Some(cfg) = &sim {
+        cfg.stats.count_eager_op();
+        cfg.stats.clock.advance(cfg.dispatch.interpreter_ns);
+        if device.device_type().requires_compilation() {
+            cfg.stats.clock.advance(cfg.dispatch.eager_compile_ns);
+        }
+        if let Some(model) = device.compute_model() {
+            let w = def.work(&infer_ctx, &out_sigs);
+            let ns = model.kernel_time_ns(KernelCost { flops: w.flops, bytes: w.bytes });
+            sim_profile_add(op, ns);
+            cfg.stats.device_clock.advance(ns);
+            cfg.stats.count_kernel();
+        }
+    }
+
+    let outputs: Vec<Tensor> = if device.produces_real_values() {
+        crate::kernels::run_kernel(op, &attrs, &input_data)?
+            .into_iter()
+            .map(|d| Tensor::Eager(EagerTensor::new(Arc::new(d), device.name().clone())))
+            .collect()
+    } else {
+        // Cost-only device: shared shape-correct zero placeholders.
+        out_sigs
+            .iter()
+            .map(|(dt, s)| {
+                s.to_shape()
+                    .map(|shape| {
+                        Tensor::Eager(EagerTensor::new(
+                            crate::kernels::zero_value(*dt, shape),
+                            device.name().clone(),
+                        ))
+                    })
+                    .ok_or_else(|| {
+                        RuntimeError::Internal(format!(
+                            "cost-only execution needs fully-defined shapes (op {op})"
+                        ))
+                    })
+            })
+            .collect::<Result<_>>()?
+    };
+    record_on_tapes(op, &attrs, inputs, &outputs);
+    Ok(outputs)
+}
+
+fn eager_values(inputs: &[Tensor]) -> Result<Vec<Arc<TensorData>>> {
+    inputs.iter().map(Tensor::value).collect()
+}
+
+fn execute_call(inputs: &[Tensor], attrs: &Attrs) -> Result<Vec<Tensor>> {
+    let name = attrs.str("function").map_err(tfe_ops::OpError::from)?;
+    let func = library().get(name).ok_or_else(|| RuntimeError::UnknownFunction(name.into()))?;
+    let device = resolve_device(inputs);
+    let sim = with_stack(|s| s.sim.clone());
+    if let Some(cfg) = &sim {
+        cfg.stats.count_function_call();
+        cfg.stats.clock.advance(cfg.dispatch.function_call_ns);
+        if device.device_type().requires_compilation() {
+            // Round-trip launch of the compiled program (device stream).
+            cfg.stats.device_clock.advance(cfg.dispatch.staged_call_latency_ns);
+        }
+    }
+    let args = eager_values(inputs)?;
+    let mode = exec_mode();
+    let out = executor::run_function(&func, &args, &device, mode)?;
+    let outputs: Vec<Tensor> = out
+        .into_iter()
+        .map(|d| Tensor::Eager(EagerTensor::new(d, device.name().clone())))
+        .collect();
+    record_on_tapes("call", attrs, inputs, &outputs);
+    Ok(outputs)
+}
+
+fn execute_cond(inputs: &[Tensor], attrs: &Attrs) -> Result<Vec<Tensor>> {
+    if inputs.is_empty() {
+        return Err(RuntimeError::Internal("cond needs a predicate".to_string()));
+    }
+    let pred = inputs[0].value()?.scalar_f64()? != 0.0;
+    let branch = if pred {
+        attrs.str("then_fn").map_err(tfe_ops::OpError::from)?
+    } else {
+        attrs.str("else_fn").map_err(tfe_ops::OpError::from)?
+    };
+    let func =
+        library().get(branch).ok_or_else(|| RuntimeError::UnknownFunction(branch.into()))?;
+    let device = resolve_device(inputs);
+    let args = eager_values(&inputs[1..])?;
+    let out = executor::run_function(&func, &args, &device, exec_mode())?;
+    let outputs: Vec<Tensor> = out
+        .into_iter()
+        .map(|d| Tensor::Eager(EagerTensor::new(d, device.name().clone())))
+        .collect();
+    record_on_tapes("cond", attrs, inputs, &outputs);
+    Ok(outputs)
+}
+
+fn execute_while(inputs: &[Tensor], attrs: &Attrs) -> Result<Vec<Tensor>> {
+    let cond_name = attrs.str("cond_fn").map_err(tfe_ops::OpError::from)?;
+    let body_name = attrs.str("body_fn").map_err(tfe_ops::OpError::from)?;
+    let cond = library()
+        .get(cond_name)
+        .ok_or_else(|| RuntimeError::UnknownFunction(cond_name.into()))?;
+    let body = library()
+        .get(body_name)
+        .ok_or_else(|| RuntimeError::UnknownFunction(body_name.into()))?;
+    let device = resolve_device(inputs);
+    let mut state = eager_values(inputs)?;
+    let max_iters = attrs.int_or("max_iterations", 1_000_000).map_err(tfe_ops::OpError::from)?;
+    let mut iters = 0i64;
+    loop {
+        let p = executor::run_function(&cond, &state, &device, exec_mode())?;
+        let flag = p
+            .first()
+            .ok_or_else(|| RuntimeError::Internal("while cond returned nothing".to_string()))?
+            .scalar_f64()?;
+        if flag == 0.0 {
+            break;
+        }
+        state = executor::run_function(&body, &state, &device, exec_mode())?;
+        iters += 1;
+        if iters >= max_iters {
+            return Err(RuntimeError::Internal(format!(
+                "while_loop exceeded max_iterations={max_iters}"
+            )));
+        }
+    }
+    let outputs: Vec<Tensor> = state
+        .into_iter()
+        .map(|d| Tensor::Eager(EagerTensor::new(d, device.name().clone())))
+        .collect();
+    record_on_tapes("while_loop", attrs, inputs, &outputs);
+    Ok(outputs)
+}
+
+fn execute_host_func(inputs: &[Tensor], attrs: &Attrs) -> Result<Vec<Tensor>> {
+    let id = attrs.int("fn_id").map_err(tfe_ops::OpError::from)? as u64;
+    let f = host_fn(id)?;
+    // NOT recorded on tapes here: eagerly, the closure's internal ops are
+    // recorded individually (§4.7: wrapping a function in py_func "has
+    // essentially no effect" when executing imperatively). Recording the
+    // host_func itself as well would double-count the gradient.
+    f(inputs)
+}
+
+fn execute_copy(inputs: &[Tensor], attrs: &Attrs) -> Result<Vec<Tensor>> {
+    let target = attrs.str("device").map_err(tfe_ops::OpError::from)?;
+    let device = device_manager().resolve(target).map_err(RuntimeError::Device)?;
+    let data = inputs
+        .first()
+        .ok_or_else(|| RuntimeError::Internal("copy needs an input".to_string()))?
+        .value()?;
+    let outputs = vec![Tensor::Eager(EagerTensor::new(data, device.name().clone()))];
+    record_on_tapes("copy", attrs, inputs, &outputs);
+    Ok(outputs)
+}

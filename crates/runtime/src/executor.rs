@@ -1,0 +1,503 @@
+//! The dataflow executor: runs [`GraphFunction`]s.
+//!
+//! Two modes mirror §4.1/§5:
+//! - **SerialPlanned** (default): nodes execute in topological order using a
+//!   liveness-based buffer-reuse plan — values are dropped the moment their
+//!   last consumer has run ("buffer reuse").
+//! - **Parallel**: inter-op parallelism on a crossbeam scoped thread pool
+//!   ("runs kernels in parallel when possible"). Stateless graphs only;
+//!   graphs with side effects fall back to serial execution to preserve
+//!   program order of stateful ops.
+
+use crate::error::{Result, RuntimeError};
+use crate::tensor::{EagerTensor, Tensor};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use tfe_device::{Device, KernelCost};
+use tfe_graph::{GraphFunction, NodeId, TensorRef};
+use tfe_ops::{AttrValue, InferCtx, SymShape};
+use tfe_tensor::TensorData;
+
+/// Executor scheduling mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Serial topological execution with buffer-reuse (default).
+    #[default]
+    SerialPlanned,
+    /// Inter-op parallel execution (stateless graphs only; stateful graphs
+    /// silently run serially).
+    Parallel,
+}
+
+/// Execute `f` with `args` on `device`.
+///
+/// `args` must match the function's declared inputs *including captures*
+/// (the `Func` wrapper in `tfe-core` appends capture values automatically).
+///
+/// # Errors
+/// Arity mismatches, kernel failures, missing callees, dead variables.
+pub fn run_function(
+    f: &GraphFunction,
+    args: &[Arc<TensorData>],
+    device: &Device,
+    mode: ExecMode,
+) -> Result<Vec<Arc<TensorData>>> {
+    crate::context::ensure_init();
+    if args.len() != f.inputs.len() {
+        return Err(RuntimeError::Internal(format!(
+            "function `{}` expects {} inputs ({} args + {} captures), got {}",
+            f.name,
+            f.inputs.len(),
+            f.inputs.len() - f.num_captures,
+            f.num_captures,
+            args.len()
+        )));
+    }
+    for (i, (&node_id, arg)) in f.inputs.iter().zip(args).enumerate() {
+        let (dtype, shape) = f.node(node_id).output_sig(0);
+        if arg.dtype() != dtype || !shape.matches(arg.shape()) {
+            return Err(RuntimeError::Internal(format!(
+                "argument {i} of `{}` expects {dtype}{shape}, got {}{}",
+                f.name,
+                arg.dtype(),
+                arg.shape()
+            )));
+        }
+    }
+    match mode {
+        ExecMode::Parallel if !f.is_stateful() => run_parallel(f, args, device),
+        _ => run_serial(f, args, device),
+    }
+}
+
+fn charge_node(device: &Device, work: Option<(f64, f64)>) {
+    if let Some(cfg) = crate::context::sim() {
+        cfg.stats.count_staged_node();
+        cfg.stats.clock.advance(cfg.dispatch.executor_node_ns);
+        if let (Some(model), Some((flops, bytes))) = (device.compute_model(), work) {
+            cfg.stats
+                .device_clock
+                .advance(model.kernel_time_ns(KernelCost { flops, bytes }));
+            cfg.stats.count_kernel();
+        }
+    }
+}
+
+/// Execute one non-placeholder node given its concrete inputs.
+fn run_node(
+    f: &GraphFunction,
+    id: NodeId,
+    inputs: &[Arc<TensorData>],
+    device: &Device,
+) -> Result<Vec<Arc<TensorData>>> {
+    let node = f.node(id);
+    // Work estimate for simulated devices (uses concrete input shapes).
+    let work = if device.compute_model().is_some() {
+        let def = tfe_ops::global().lookup(&node.op)?;
+        let dtypes: Vec<_> = inputs.iter().map(|d| d.dtype()).collect();
+        let shapes: Vec<_> = inputs.iter().map(|d| SymShape::known(d.shape())).collect();
+        let ictx = InferCtx { dtypes: &dtypes, shapes: &shapes, attrs: &node.attrs };
+        let sigs = def.infer(&ictx)?;
+        let w = def.work(&ictx, &sigs);
+        Some((w.flops, w.bytes))
+    } else {
+        None
+    };
+    charge_node(device, work);
+
+    if !device.produces_real_values() && node.op != "call" && node.op != "cond"
+        && node.op != "while_loop"
+    {
+        // Cost-only: shape-correct zeros (resolved against concrete inputs).
+        let def = tfe_ops::global().lookup(&node.op)?;
+        let dtypes: Vec<_> = inputs.iter().map(|d| d.dtype()).collect();
+        let shapes: Vec<_> = inputs.iter().map(|d| SymShape::known(d.shape())).collect();
+        let sigs = def.infer(&InferCtx { dtypes: &dtypes, shapes: &shapes, attrs: &node.attrs })?;
+        return sigs
+            .into_iter()
+            .map(|(dt, s)| {
+                s.to_shape().map(|shape| crate::kernels::zero_value(dt, shape)).ok_or_else(
+                    || {
+                        RuntimeError::Internal(format!(
+                            "cost-only execution needs defined shapes (op {})",
+                            node.op
+                        ))
+                    },
+                )
+            })
+            .collect();
+    }
+
+    match node.op.as_str() {
+        "const" => {
+            let idx = match node.attrs.get("value_index") {
+                Some(AttrValue::Int(i)) => *i as usize,
+                _ => return Err(RuntimeError::Internal("const without value_index".into())),
+            };
+            Ok(vec![f
+                .constants
+                .get(idx)
+                .cloned()
+                .ok_or_else(|| RuntimeError::Internal("const pool underflow".into()))?])
+        }
+        "call" => {
+            let name = node.attrs.str("function").map_err(tfe_ops::OpError::from)?;
+            let callee = crate::context::library()
+                .get(name)
+                .ok_or_else(|| RuntimeError::UnknownFunction(name.into()))?;
+            run_function(&callee, inputs, device, ExecMode::SerialPlanned)
+        }
+        "cond" => {
+            let pred = inputs
+                .first()
+                .ok_or_else(|| RuntimeError::Internal("cond without predicate".into()))?
+                .scalar_f64()?
+                != 0.0;
+            let branch = if pred {
+                node.attrs.str("then_fn").map_err(tfe_ops::OpError::from)?
+            } else {
+                node.attrs.str("else_fn").map_err(tfe_ops::OpError::from)?
+            };
+            let callee = crate::context::library()
+                .get(branch)
+                .ok_or_else(|| RuntimeError::UnknownFunction(branch.into()))?;
+            run_function(&callee, &inputs[1..], device, ExecMode::SerialPlanned)
+        }
+        "while_loop" => {
+            let cond_name = node.attrs.str("cond_fn").map_err(tfe_ops::OpError::from)?;
+            let body_name = node.attrs.str("body_fn").map_err(tfe_ops::OpError::from)?;
+            let cond = crate::context::library()
+                .get(cond_name)
+                .ok_or_else(|| RuntimeError::UnknownFunction(cond_name.into()))?;
+            let body = crate::context::library()
+                .get(body_name)
+                .ok_or_else(|| RuntimeError::UnknownFunction(body_name.into()))?;
+            let mut state = inputs.to_vec();
+            let max = node
+                .attrs
+                .int_or("max_iterations", 1_000_000)
+                .map_err(tfe_ops::OpError::from)?;
+            let mut iters = 0i64;
+            loop {
+                let p = run_function(&cond, &state, device, ExecMode::SerialPlanned)?;
+                if p.first()
+                    .ok_or_else(|| RuntimeError::Internal("while cond empty".into()))?
+                    .scalar_f64()?
+                    == 0.0
+                {
+                    break;
+                }
+                state = run_function(&body, &state, device, ExecMode::SerialPlanned)?;
+                iters += 1;
+                if iters >= max {
+                    return Err(RuntimeError::Internal(format!(
+                        "while_loop exceeded max_iterations={max}"
+                    )));
+                }
+            }
+            Ok(state)
+        }
+        "host_func" => {
+            // Escape into imperative code (§4.7): wrap inputs as eager
+            // tensors and invoke the registered host closure.
+            let id = node.attrs.int("fn_id").map_err(tfe_ops::OpError::from)? as u64;
+            let hf = crate::context::host_fn(id)?;
+            let eager: Vec<Tensor> = inputs
+                .iter()
+                .map(|d| Tensor::Eager(EagerTensor::new(d.clone(), device.name().clone())))
+                .collect();
+            let out = hf(&eager)?;
+            out.into_iter().map(|t| t.value()).collect()
+        }
+        "copy" => Ok(vec![inputs
+            .first()
+            .ok_or_else(|| RuntimeError::Internal("copy without input".into()))?
+            .clone()]),
+        _ => {
+            let out = crate::kernels::run_kernel(&node.op, &node.attrs, inputs)?;
+            Ok(out.into_iter().map(Arc::new).collect())
+        }
+    }
+}
+
+fn run_serial(
+    f: &GraphFunction,
+    args: &[Arc<TensorData>],
+    device: &Device,
+) -> Result<Vec<Arc<TensorData>>> {
+    // Last consumer index per tensor, for buffer release.
+    let mut last_use: HashMap<TensorRef, usize> = HashMap::new();
+    for (i, node) in f.nodes.iter().enumerate() {
+        for &input in &node.inputs {
+            last_use.insert(input, i);
+        }
+    }
+    for &out in &f.outputs {
+        last_use.insert(out, usize::MAX);
+    }
+
+    let mut values: HashMap<TensorRef, Arc<TensorData>> = HashMap::new();
+    // Bind placeholders.
+    for (&node_id, arg) in f.inputs.iter().zip(args) {
+        values.insert(TensorRef::first(node_id), arg.clone());
+    }
+    for (i, node) in f.nodes.iter().enumerate() {
+        if node.op == "placeholder" {
+            continue;
+        }
+        let inputs: Vec<Arc<TensorData>> = node
+            .inputs
+            .iter()
+            .map(|t| {
+                values.get(t).cloned().ok_or_else(|| {
+                    RuntimeError::Internal(format!("value for {t:?} missing in `{}`", f.name))
+                })
+            })
+            .collect::<Result<_>>()?;
+        let outs = run_node(f, NodeId(i), &inputs, device)?;
+        for (k, v) in outs.into_iter().enumerate() {
+            values.insert(TensorRef { node: NodeId(i), output: k }, v);
+        }
+        // Buffer reuse: drop values whose last consumer has now run.
+        for &input in &node.inputs {
+            if last_use.get(&input) == Some(&i) {
+                values.remove(&input);
+            }
+        }
+    }
+    f.outputs
+        .iter()
+        .map(|t| {
+            values.get(t).cloned().ok_or_else(|| {
+                RuntimeError::Internal(format!("output {t:?} missing in `{}`", f.name))
+            })
+        })
+        .collect()
+}
+
+fn run_parallel(
+    f: &GraphFunction,
+    args: &[Arc<TensorData>],
+    device: &Device,
+) -> Result<Vec<Arc<TensorData>>> {
+    let n = f.nodes.len();
+    // Topological levels: a node's level is 1 + max(level of producers).
+    // Nodes within one level are independent and run concurrently; levels
+    // form barriers, which keeps error handling and shutdown trivial.
+    let mut level = vec![0usize; n];
+    let mut max_level = 0usize;
+    for (i, node) in f.nodes.iter().enumerate() {
+        let l = node
+            .inputs
+            .iter()
+            .map(|t| level[t.node.0] + 1)
+            .max()
+            .unwrap_or(0);
+        level[i] = l;
+        max_level = max_level.max(l);
+    }
+    let mut by_level: Vec<Vec<usize>> = vec![Vec::new(); max_level + 1];
+    for (i, node) in f.nodes.iter().enumerate() {
+        if node.op != "placeholder" {
+            by_level[level[i]].push(i);
+        }
+    }
+
+    let values: Vec<Mutex<Option<Vec<Arc<TensorData>>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+    for (&node_id, arg) in f.inputs.iter().zip(args) {
+        *values[node_id.0].lock() = Some(vec![arg.clone()]);
+    }
+    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(8);
+    for nodes in &by_level {
+        if nodes.is_empty() {
+            continue;
+        }
+        let error: Mutex<Option<RuntimeError>> = Mutex::new(None);
+        let cursor = AtomicUsize::new(0);
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..workers.min(nodes.len()) {
+                let values = &values;
+                let error = &error;
+                let cursor = &cursor;
+                scope.spawn(move |_| loop {
+                    let k = cursor.fetch_add(1, Ordering::SeqCst);
+                    if k >= nodes.len() || error.lock().is_some() {
+                        break;
+                    }
+                    let i = nodes[k];
+                    let node = &f.nodes[i];
+                    let inputs: Result<Vec<Arc<TensorData>>> = node
+                        .inputs
+                        .iter()
+                        .map(|t| {
+                            values[t.node.0]
+                                .lock()
+                                .as_ref()
+                                .and_then(|v| v.get(t.output).cloned())
+                                .ok_or_else(|| {
+                                    RuntimeError::Internal(format!(
+                                        "parallel exec missing {t:?}"
+                                    ))
+                                })
+                        })
+                        .collect();
+                    match inputs.and_then(|ins| run_node(f, NodeId(i), &ins, device)) {
+                        Ok(outs) => *values[i].lock() = Some(outs),
+                        Err(e) => {
+                            error.lock().get_or_insert(e);
+                            break;
+                        }
+                    }
+                });
+            }
+        })
+        .map_err(|_| RuntimeError::Internal("executor worker panicked".to_string()))?;
+        let taken = error.lock().take();
+        if let Some(e) = taken {
+            return Err(e);
+        }
+    }
+    f.outputs
+        .iter()
+        .map(|t| {
+            values[t.node.0]
+                .lock()
+                .as_ref()
+                .and_then(|v| v.get(t.output).cloned())
+                .ok_or_else(|| {
+                    RuntimeError::Internal(format!("output {t:?} missing in `{}`", f.name))
+                })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfe_graph::GraphBuilder;
+    use tfe_ops::Attrs;
+    use tfe_tensor::{DType, Shape};
+
+    fn device() -> Device {
+        crate::context::device_manager().host_cpu()
+    }
+
+    fn known(dims: &[usize]) -> SymShape {
+        SymShape::known(&Shape::from(dims))
+    }
+
+    fn build_axpy() -> GraphFunction {
+        // f(x, y) = relu(x * 2 + y)
+        let mut b = GraphBuilder::new("axpy");
+        let x = b.placeholder(DType::F32, known(&[3])).unwrap();
+        let y = b.placeholder(DType::F32, known(&[3])).unwrap();
+        let two = b.constant(Arc::new(TensorData::scalar(2.0f32))).unwrap();
+        let m = b.add_node("mul", vec![x, two], Attrs::new()).unwrap()[0];
+        let s = b.add_node("add", vec![m, y], Attrs::new()).unwrap()[0];
+        let r = b.add_node("relu", vec![s], Attrs::new()).unwrap()[0];
+        b.finish(vec![r], 0)
+    }
+
+    #[test]
+    fn serial_execution() {
+        let f = build_axpy();
+        let x = Arc::new(TensorData::from_vec(vec![1.0f32, -3.0, 2.0], Shape::from([3])).unwrap());
+        let y = Arc::new(TensorData::from_vec(vec![0.5f32, 1.0, -10.0], Shape::from([3])).unwrap());
+        let out = run_function(&f, &[x, y], &device(), ExecMode::SerialPlanned).unwrap();
+        assert_eq!(out[0].to_f64_vec(), vec![2.5, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let f = build_axpy();
+        let x = Arc::new(TensorData::from_vec(vec![1.0f32, -3.0, 2.0], Shape::from([3])).unwrap());
+        let y = Arc::new(TensorData::from_vec(vec![0.5f32, 1.0, -10.0], Shape::from([3])).unwrap());
+        let serial =
+            run_function(&f, &[x.clone(), y.clone()], &device(), ExecMode::SerialPlanned).unwrap();
+        let parallel = run_function(&f, &[x, y], &device(), ExecMode::Parallel).unwrap();
+        assert_eq!(serial[0], parallel[0]);
+    }
+
+    #[test]
+    fn wide_parallel_graph() {
+        // 16 independent branches joined by adds: exercises the pool.
+        let mut b = GraphBuilder::new("wide");
+        let x = b.placeholder(DType::F32, known(&[4])).unwrap();
+        let mut branches = Vec::new();
+        for _ in 0..16 {
+            let t = b.add_node("exp", vec![x], Attrs::new()).unwrap()[0];
+            let t = b.add_node("tanh", vec![t], Attrs::new()).unwrap()[0];
+            branches.push(t);
+        }
+        let mut acc = branches[0];
+        for &t in &branches[1..] {
+            acc = b.add_node("add", vec![acc, t], Attrs::new()).unwrap()[0];
+        }
+        let f = b.finish(vec![acc], 0);
+        let x = Arc::new(TensorData::from_vec(vec![0.1f32, 0.2, 0.3, 0.4], Shape::from([4])).unwrap());
+        let serial = run_function(&f, &[x.clone()], &device(), ExecMode::SerialPlanned).unwrap();
+        let parallel = run_function(&f, &[x], &device(), ExecMode::Parallel).unwrap();
+        assert!(serial[0].all_close(&parallel[0], 1e-6, 1e-6));
+    }
+
+    #[test]
+    fn arity_and_signature_validation() {
+        let f = build_axpy();
+        let x = Arc::new(TensorData::zeros(DType::F32, [3]));
+        assert!(run_function(&f, &[x.clone()], &device(), ExecMode::SerialPlanned).is_err());
+        let bad_dtype = Arc::new(TensorData::zeros(DType::F64, [3]));
+        assert!(run_function(&f, &[x.clone(), bad_dtype], &device(), ExecMode::SerialPlanned)
+            .is_err());
+        let bad_shape = Arc::new(TensorData::zeros(DType::F32, [4]));
+        assert!(run_function(&f, &[x, bad_shape], &device(), ExecMode::SerialPlanned).is_err());
+    }
+
+    #[test]
+    fn multi_output_split_in_graph() {
+        let mut b = GraphBuilder::new("splitter");
+        let x = b.placeholder(DType::F32, known(&[4])).unwrap();
+        let parts = b
+            .add_node("split", vec![x], Attrs::new().with("num", 2i64).with("axis", 0i64))
+            .unwrap();
+        let s = b.add_node("add", vec![parts[0], parts[1]], Attrs::new()).unwrap()[0];
+        let f = b.finish(vec![s], 0);
+        let x =
+            Arc::new(TensorData::from_vec(vec![1.0f32, 2.0, 10.0, 20.0], Shape::from([4])).unwrap());
+        let out = run_function(&f, &[x], &device(), ExecMode::SerialPlanned).unwrap();
+        assert_eq!(out[0].to_f64_vec(), vec![11.0, 22.0]);
+    }
+
+    #[test]
+    fn nested_call_nodes() {
+        // inner(a) = relu(a); outer(a) = inner(a) + 1  (Listing 8 shape)
+        let mut ib = GraphBuilder::new("exec_inner");
+        let a = ib.placeholder(DType::F32, known(&[2])).unwrap();
+        let r = ib.add_node("relu", vec![a], Attrs::new()).unwrap()[0];
+        let inner = ib.finish(vec![r], 0);
+        let (d, s) = tfe_ops::catalog::encode_sig(&inner.output_sigs());
+        crate::context::library().insert(inner);
+
+        let mut ob = GraphBuilder::new("exec_outer");
+        let a = ob.placeholder(DType::F32, known(&[2])).unwrap();
+        let call = ob
+            .add_node(
+                "call",
+                vec![a],
+                Attrs::new()
+                    .with("function", "exec_inner")
+                    .with("out_dtypes", d)
+                    .with("out_shapes", s),
+            )
+            .unwrap()[0];
+        let one_c = ob.constant(Arc::new(TensorData::scalar(1.0f32))).unwrap();
+        let out = ob.add_node("add", vec![call, one_c], Attrs::new()).unwrap()[0];
+        let outer = ob.finish(vec![out], 0);
+
+        let x = Arc::new(TensorData::from_vec(vec![-5.0f32, 3.0], Shape::from([2])).unwrap());
+        let r = run_function(&outer, &[x], &device(), ExecMode::SerialPlanned).unwrap();
+        assert_eq!(r[0].to_f64_vec(), vec![1.0, 4.0]);
+    }
+}

@@ -1,0 +1,187 @@
+//! Low-level gradient-tape machinery (§4.2).
+//!
+//! The runtime records executed operations onto every active tape that is
+//! watching (directly or transitively) one of the op's inputs. The
+//! user-facing `GradientTape` API and the actual backprop algorithm live in
+//! `tfe-autodiff`; this module only owns the data structure and the
+//! recording rule, because recording has to happen inside the dispatcher.
+
+use crate::tensor::Tensor;
+use parking_lot::Mutex;
+use std::collections::HashSet;
+use std::fmt;
+use std::sync::Arc;
+use tfe_ops::Attrs;
+
+/// One recorded operation.
+#[derive(Debug, Clone)]
+pub struct TapeRecord {
+    /// Op name.
+    pub op: String,
+    /// Attributes it ran with.
+    pub attrs: Attrs,
+    /// Input handles (eager or symbolic — tapes work in both modes).
+    pub inputs: Vec<Tensor>,
+    /// Output handles.
+    pub outputs: Vec<Tensor>,
+    /// Ids gradients flow *from* (usually input ids; `read_variable`
+    /// records the variable id so all reads of one variable alias).
+    pub input_ids: Vec<u64>,
+    /// Ids gradients flow *to*.
+    pub output_ids: Vec<u64>,
+}
+
+struct TapeInner {
+    watched: HashSet<u64>,
+    tracked: HashSet<u64>,
+    records: Vec<TapeRecord>,
+    consumed: bool,
+}
+
+/// A recording of differentiable operations.
+///
+/// Tapes are composable (§4.2): several can be active at once, and a tape
+/// may record the gradient computation another tape performs — that is how
+/// higher-order derivatives work (Listing 1).
+pub struct Tape {
+    /// Unique tape id.
+    pub id: u64,
+    /// Whether `gradient` may be called multiple times.
+    pub persistent: bool,
+    /// Whether variables are watched automatically on access (§4.3,
+    /// Listing 2). Defaults to true.
+    pub watch_accessed_variables: bool,
+    inner: Mutex<TapeInner>,
+}
+
+impl Tape {
+    /// A fresh tape.
+    pub fn new(persistent: bool, watch_accessed_variables: bool) -> Arc<Tape> {
+        Arc::new(Tape {
+            id: crate::tensor::fresh_id(),
+            persistent,
+            watch_accessed_variables,
+            inner: Mutex::new(TapeInner {
+                watched: HashSet::new(),
+                tracked: HashSet::new(),
+                records: Vec::new(),
+                consumed: false,
+            }),
+        })
+    }
+
+    /// Start watching an id (tensor id or variable id).
+    pub fn watch_id(&self, id: u64) {
+        let mut inner = self.inner.lock();
+        inner.watched.insert(id);
+        inner.tracked.insert(id);
+    }
+
+    /// Whether `id` is on the differentiable path.
+    pub fn is_tracked(&self, id: u64) -> bool {
+        self.inner.lock().tracked.contains(&id)
+    }
+
+    /// Record `record` if any of its `input_ids` is tracked. Returns
+    /// whether it was recorded.
+    pub fn maybe_record(&self, record: &TapeRecord) -> bool {
+        let mut inner = self.inner.lock();
+        if !record.input_ids.iter().any(|id| inner.tracked.contains(id)) {
+            return false;
+        }
+        for &id in &record.output_ids {
+            inner.tracked.insert(id);
+        }
+        inner.records.push(record.clone());
+        true
+    }
+
+    /// Snapshot the records (used by backprop).
+    pub fn records(&self) -> Vec<TapeRecord> {
+        self.inner.lock().records.clone()
+    }
+
+    /// Number of recorded ops.
+    pub fn len(&self) -> usize {
+        self.inner.lock().records.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Mark the tape used by a `gradient` call.
+    ///
+    /// # Errors
+    /// A non-persistent tape that was already consumed (mirrors
+    /// TensorFlow's `GradientTape` error).
+    pub fn consume(&self) -> Result<(), String> {
+        let mut inner = self.inner.lock();
+        if inner.consumed && !self.persistent {
+            return Err(
+                "a non-persistent GradientTape can only be used to compute one set of gradients"
+                    .to_string(),
+            );
+        }
+        inner.consumed = true;
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Tape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tape(id={}, records={}, persistent={})", self.id, self.len(), self.persistent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfe_tensor::TensorData;
+
+    fn record(ids_in: &[u64], ids_out: &[u64]) -> TapeRecord {
+        TapeRecord {
+            op: "add".to_string(),
+            attrs: Attrs::new(),
+            inputs: ids_in.iter().map(|_| Tensor::from_data(TensorData::scalar(0.0f32))).collect(),
+            outputs: ids_out
+                .iter()
+                .map(|_| Tensor::from_data(TensorData::scalar(0.0f32)))
+                .collect(),
+            input_ids: ids_in.to_vec(),
+            output_ids: ids_out.to_vec(),
+        }
+    }
+
+    #[test]
+    fn records_only_watched_paths() {
+        let tape = Tape::new(false, true);
+        tape.watch_id(1);
+        assert!(!tape.maybe_record(&record(&[7], &[8]))); // untracked input
+        assert!(tape.maybe_record(&record(&[1], &[2]))); // watched
+        assert!(tape.maybe_record(&record(&[2], &[3]))); // transitively tracked
+        assert!(tape.is_tracked(3));
+        assert!(!tape.is_tracked(8));
+        assert_eq!(tape.len(), 2);
+    }
+
+    #[test]
+    fn consume_semantics() {
+        let tape = Tape::new(false, true);
+        assert!(tape.consume().is_ok());
+        assert!(tape.consume().is_err());
+        let p = Tape::new(true, true);
+        assert!(p.consume().is_ok());
+        assert!(p.consume().is_ok());
+    }
+
+    #[test]
+    fn multiple_watches() {
+        let tape = Tape::new(false, true);
+        tape.watch_id(10);
+        tape.watch_id(20);
+        assert!(tape.maybe_record(&record(&[5, 20], &[30])));
+        assert!(tape.is_tracked(30));
+    }
+}

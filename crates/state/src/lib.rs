@@ -1,0 +1,33 @@
+//! # tfe-state
+//!
+//! Program-state management for the `tf-eager` workspace (§4.3 of the
+//! TensorFlow Eager paper): the [`Trackable`] object graph with named
+//! edges, [`checkpoint`] save/restore with greedy graph-based matching
+//! (Listing 3 / Figure 1), and [`saved`] — SavedFunction bundles that
+//! serialize a trace plus its state for execution without the tracer.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use tfe_state::{checkpoint, TrackableGroup};
+//! use tfe_runtime::Variable;
+//! use tfe_tensor::TensorData;
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let v = Variable::new(TensorData::scalar(1.0f32));
+//! let net = TrackableGroup::new().with_variable("v", &v);
+//! let snapshot = checkpoint::save_to_value(&net);
+//! v.restore(TensorData::scalar(9.0f32))?;
+//! checkpoint::restore_from_value(&net, &snapshot)?;
+//! assert_eq!(v.peek().scalar_f64()?, 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod saved;
+mod trackable;
+
+pub use checkpoint::{CheckpointError, RestoreStatus};
+pub use saved::{LoadedFunction, SavedError};
+pub use trackable::{MutableState, Trackable, TrackableChild, TrackableGroup, TrackableList};

@@ -1,0 +1,140 @@
+//! The trackable object graph (§4.3).
+//!
+//! Program state lives in objects; each object exposes its stateful
+//! children through *named edges* (attribute names in the paper's Listing 3
+//! / Figure 1). Checkpointing serializes this directed graph alongside the
+//! values, and restoring performs a greedy, local, name-based matching —
+//! no global variable names, no creation-order dependence.
+
+use std::sync::Arc;
+use tfe_encode::Value;
+use tfe_runtime::Variable;
+
+/// Miscellaneous non-variable state that can be checkpointed (dataset
+/// iterator positions, RNG states, plain host values — §4.3 lists these
+/// explicitly).
+pub trait MutableState: Send + Sync {
+    /// Serialize the current state.
+    fn save_state(&self) -> Value;
+    /// Restore from a previously-serialized state.
+    ///
+    /// # Errors
+    /// Malformed or incompatible payloads.
+    fn restore_state(&self, value: &Value) -> Result<(), String>;
+}
+
+/// One outgoing edge of a trackable object.
+#[derive(Clone)]
+pub enum TrackableChild {
+    /// A variable leaf.
+    Variable(Variable),
+    /// A nested trackable object.
+    Node(Arc<dyn Trackable>),
+    /// Serializable miscellaneous state.
+    State(Arc<dyn MutableState>),
+}
+
+/// An object that owns checkpointable state, directly or through children.
+pub trait Trackable: Send + Sync {
+    /// The named edges of this object, in a stable order.
+    fn children(&self) -> Vec<(String, TrackableChild)>;
+}
+
+/// A simple container: a trackable with explicitly-registered edges. Useful
+/// as a checkpoint root ("ticking `model` and `optimizer` onto a
+/// `Checkpoint`" in TF parlance).
+#[derive(Default, Clone)]
+pub struct TrackableGroup {
+    entries: Vec<(String, TrackableChild)>,
+}
+
+impl TrackableGroup {
+    /// An empty group.
+    pub fn new() -> TrackableGroup {
+        TrackableGroup::default()
+    }
+
+    /// Add a named variable edge.
+    pub fn with_variable(mut self, name: &str, v: &Variable) -> TrackableGroup {
+        self.entries.push((name.to_string(), TrackableChild::Variable(v.clone())));
+        self
+    }
+
+    /// Add a named child object edge.
+    pub fn with_node(mut self, name: &str, node: Arc<dyn Trackable>) -> TrackableGroup {
+        self.entries.push((name.to_string(), TrackableChild::Node(node)));
+        self
+    }
+
+    /// Add a named miscellaneous-state edge.
+    pub fn with_state(mut self, name: &str, state: Arc<dyn MutableState>) -> TrackableGroup {
+        self.entries.push((name.to_string(), TrackableChild::State(state)));
+        self
+    }
+}
+
+impl Trackable for TrackableGroup {
+    fn children(&self) -> Vec<(String, TrackableChild)> {
+        self.entries.clone()
+    }
+}
+
+/// A `Vec`-like trackable whose edges are element indices — mirrors how
+/// Keras tracks layer lists.
+pub struct TrackableList {
+    items: Vec<Arc<dyn Trackable>>,
+}
+
+impl TrackableList {
+    /// Wrap a list of trackables.
+    pub fn new(items: Vec<Arc<dyn Trackable>>) -> TrackableList {
+        TrackableList { items }
+    }
+}
+
+impl Trackable for TrackableList {
+    fn children(&self) -> Vec<(String, TrackableChild)> {
+        self.items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| (i.to_string(), TrackableChild::Node(item.clone())))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfe_tensor::TensorData;
+
+    #[test]
+    fn group_edges_are_ordered() {
+        let v1 = Variable::new(TensorData::scalar(1.0f32));
+        let v2 = Variable::new(TensorData::scalar(2.0f32));
+        let g = TrackableGroup::new().with_variable("a", &v1).with_variable("b", &v2);
+        let children = g.children();
+        assert_eq!(children.len(), 2);
+        assert_eq!(children[0].0, "a");
+        assert_eq!(children[1].0, "b");
+    }
+
+    #[test]
+    fn nested_groups() {
+        let v = Variable::new(TensorData::scalar(3.0f32));
+        let inner = Arc::new(TrackableGroup::new().with_variable("w", &v));
+        let outer = TrackableGroup::new().with_node("layer", inner);
+        let children = outer.children();
+        assert!(matches!(children[0].1, TrackableChild::Node(_)));
+    }
+
+    #[test]
+    fn list_edges_are_indices() {
+        let v = Variable::new(TensorData::scalar(3.0f32));
+        let item: Arc<dyn Trackable> =
+            Arc::new(TrackableGroup::new().with_variable("w", &v));
+        let list = TrackableList::new(vec![item.clone(), item]);
+        let children = list.children();
+        assert_eq!(children[0].0, "0");
+        assert_eq!(children[1].0, "1");
+    }
+}

@@ -1,0 +1,116 @@
+//! Element types supported by the tensor substrate.
+
+use std::fmt;
+
+/// The element type of a tensor.
+///
+/// Mirrors the numeric core of TensorFlow's dtype lattice. Every primitive
+/// operation declares the dtypes it accepts; mixed-dtype arithmetic is an
+/// error (as in TensorFlow, there is no implicit promotion between tensors —
+/// use the `cast` operation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DType {
+    /// 32-bit IEEE-754 float (the default ML dtype).
+    F32,
+    /// 64-bit IEEE-754 float.
+    F64,
+    /// 32-bit signed integer.
+    I32,
+    /// 64-bit signed integer.
+    I64,
+    /// Boolean.
+    Bool,
+}
+
+impl DType {
+    /// Size in bytes of one element of this dtype.
+    pub fn size_bytes(self) -> usize {
+        match self {
+            DType::F32 | DType::I32 => 4,
+            DType::F64 | DType::I64 => 8,
+            DType::Bool => 1,
+        }
+    }
+
+    /// Whether this is a floating-point dtype.
+    pub fn is_float(self) -> bool {
+        matches!(self, DType::F32 | DType::F64)
+    }
+
+    /// Whether this is a signed integer dtype.
+    pub fn is_int(self) -> bool {
+        matches!(self, DType::I32 | DType::I64)
+    }
+
+    /// Short lowercase name, matching TensorFlow's spelling (`float32`, ...).
+    pub fn name(self) -> &'static str {
+        match self {
+            DType::F32 => "float32",
+            DType::F64 => "float64",
+            DType::I32 => "int32",
+            DType::I64 => "int64",
+            DType::Bool => "bool",
+        }
+    }
+
+    /// Parse a dtype from its [`name`](DType::name).
+    pub fn from_name(name: &str) -> Option<DType> {
+        match name {
+            "float32" => Some(DType::F32),
+            "float64" => Some(DType::F64),
+            "int32" => Some(DType::I32),
+            "int64" => Some(DType::I64),
+            "bool" => Some(DType::Bool),
+            _ => None,
+        }
+    }
+
+    /// All dtypes, useful for exhaustive property tests.
+    pub fn all() -> [DType; 5] {
+        [DType::F32, DType::F64, DType::I32, DType::I64, DType::Bool]
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for dt in DType::all() {
+            assert_eq!(DType::from_name(dt.name()), Some(dt));
+        }
+        assert_eq!(DType::from_name("complex64"), None);
+    }
+
+    #[test]
+    fn sizes() {
+        assert_eq!(DType::F32.size_bytes(), 4);
+        assert_eq!(DType::F64.size_bytes(), 8);
+        assert_eq!(DType::I32.size_bytes(), 4);
+        assert_eq!(DType::I64.size_bytes(), 8);
+        assert_eq!(DType::Bool.size_bytes(), 1);
+    }
+
+    #[test]
+    fn classification() {
+        assert!(DType::F32.is_float());
+        assert!(DType::F64.is_float());
+        assert!(!DType::I32.is_float());
+        assert!(DType::I64.is_int());
+        assert!(!DType::Bool.is_int());
+        assert!(!DType::Bool.is_float());
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(DType::F32.to_string(), "float32");
+        assert_eq!(DType::Bool.to_string(), "bool");
+    }
+}

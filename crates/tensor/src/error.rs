@@ -1,0 +1,87 @@
+//! Error type shared by the tensor substrate.
+
+use crate::{DType, Shape};
+use std::fmt;
+
+/// Errors produced by tensor construction and math routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TensorError {
+    /// Two operand shapes do not broadcast together.
+    BroadcastMismatch {
+        /// Left operand shape.
+        lhs: Shape,
+        /// Right operand shape.
+        rhs: Shape,
+    },
+    /// An operand had an unexpected dtype.
+    DTypeMismatch {
+        /// What the operation expected.
+        expected: String,
+        /// What it got.
+        got: DType,
+    },
+    /// An operand had an unexpected shape.
+    ShapeMismatch {
+        /// Description of the expectation.
+        expected: String,
+        /// The offending shape.
+        got: Shape,
+    },
+    /// An axis argument was out of range for the operand's rank.
+    InvalidAxis {
+        /// The requested axis (possibly negative).
+        axis: i64,
+        /// The operand rank.
+        rank: usize,
+    },
+    /// A catch-all for invalid arguments (bad padding, negative sizes, ...).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::BroadcastMismatch { lhs, rhs } => {
+                write!(f, "shapes {lhs} and {rhs} are not broadcast-compatible")
+            }
+            TensorError::DTypeMismatch { expected, got } => {
+                write!(f, "expected dtype {expected}, got {got}")
+            }
+            TensorError::ShapeMismatch { expected, got } => {
+                write!(f, "expected {expected}, got shape {got}")
+            }
+            TensorError::InvalidAxis { axis, rank } => {
+                write!(f, "axis {axis} is out of range for rank {rank}")
+            }
+            TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+/// Convenience result alias used throughout the tensor crate.
+pub type Result<T, E = TensorError> = std::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = TensorError::BroadcastMismatch {
+            lhs: Shape::from([2, 3]),
+            rhs: Shape::from([4]),
+        };
+        assert_eq!(e.to_string(), "shapes (2, 3) and (4,) are not broadcast-compatible");
+
+        let e = TensorError::InvalidAxis { axis: -3, rank: 2 };
+        assert_eq!(e.to_string(), "axis -3 is out of range for rank 2");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

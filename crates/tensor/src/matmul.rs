@@ -1,0 +1,337 @@
+//! Matrix multiplication: 2-D `matmul` with transpose flags and batched
+//! matmul with broadcast batch dimensions.
+
+use crate::{DType, Result, Shape, TensorData, TensorError};
+
+fn mm_f<T: crate::data::Scalar>(
+    a: &[T],
+    b: &[T],
+    m: usize,
+    k: usize,
+    n: usize,
+    ta: bool,
+    tb: bool,
+    out: &mut [T],
+) where
+    T: Copy + std::ops::Add<Output = T> + std::ops::Mul<Output = T> + Default,
+{
+    // Classic ikj loop order for cache friendliness on the non-transposed
+    // fast path; transposed operands use index math.
+    if !ta && !tb {
+        for i in 0..m {
+            for p in 0..k {
+                let av = a[i * k + p];
+                let row = &b[p * n..(p + 1) * n];
+                let orow = &mut out[i * n..(i + 1) * n];
+                for j in 0..n {
+                    orow[j] = orow[j] + av * row[j];
+                }
+            }
+        }
+    } else {
+        let a_at = |i: usize, p: usize| if ta { a[p * m + i] } else { a[i * k + p] };
+        let b_at = |p: usize, j: usize| if tb { b[j * k + p] } else { b[p * n + j] };
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = T::default();
+                for p in 0..k {
+                    acc = acc + a_at(i, p) * b_at(p, j);
+                }
+                out[i * n + j] = acc;
+            }
+        }
+    }
+}
+
+/// 2-D matrix product `op(a) @ op(b)` where `op` optionally transposes.
+///
+/// Shapes: `a` is `(m, k)` (or `(k, m)` when `transpose_a`), `b` is `(k, n)`
+/// (or `(n, k)` when `transpose_b`); the result is `(m, n)`.
+///
+/// # Errors
+/// Non-rank-2 operands, dtype mismatch, non-float dtype, or inner-dimension
+/// mismatch.
+pub fn matmul(
+    a: &TensorData,
+    b: &TensorData,
+    transpose_a: bool,
+    transpose_b: bool,
+) -> Result<TensorData> {
+    if a.shape().rank() != 2 || b.shape().rank() != 2 {
+        return Err(TensorError::ShapeMismatch {
+            expected: "rank-2 operands for matmul (use batch_matmul for higher ranks)".to_string(),
+            got: if a.shape().rank() != 2 { a.shape().clone() } else { b.shape().clone() },
+        });
+    }
+    check_float_pair(a, b)?;
+    let (m, k1) = dims2(a, transpose_a);
+    let (kb, n) = dims2(b, transpose_b);
+    if k1 != kb {
+        return Err(TensorError::ShapeMismatch {
+            expected: format!("inner dimensions to match ({k1} vs {kb})"),
+            got: b.shape().clone(),
+        });
+    }
+    let out_shape = Shape::from([m, n]);
+    match a.dtype() {
+        DType::F32 => {
+            let mut out = vec![0.0f32; m * n];
+            mm_f(a.as_slice::<f32>()?, b.as_slice::<f32>()?, m, k1, n, transpose_a, transpose_b, &mut out);
+            TensorData::from_vec(out, out_shape)
+        }
+        DType::F64 => {
+            let mut out = vec![0.0f64; m * n];
+            mm_f(a.as_slice::<f64>()?, b.as_slice::<f64>()?, m, k1, n, transpose_a, transpose_b, &mut out);
+            TensorData::from_vec(out, out_shape)
+        }
+        _ => unreachable!("check_float_pair verified dtype"),
+    }
+}
+
+fn dims2(t: &TensorData, transpose: bool) -> (usize, usize) {
+    if transpose {
+        (t.shape().dim(1), t.shape().dim(0))
+    } else {
+        (t.shape().dim(0), t.shape().dim(1))
+    }
+}
+
+fn check_float_pair(a: &TensorData, b: &TensorData) -> Result<()> {
+    if a.dtype() != b.dtype() {
+        return Err(TensorError::DTypeMismatch {
+            expected: a.dtype().name().to_string(),
+            got: b.dtype(),
+        });
+    }
+    if !a.dtype().is_float() {
+        return Err(TensorError::DTypeMismatch {
+            expected: "a float dtype".to_string(),
+            got: a.dtype(),
+        });
+    }
+    Ok(())
+}
+
+/// Batched matmul over the last two dimensions, broadcasting leading batch
+/// dimensions NumPy-style. Rank ≥ 2 on both operands.
+///
+/// # Errors
+/// Rank < 2, dtype problems, inner-dimension mismatch, or batch dims that do
+/// not broadcast.
+pub fn batch_matmul(
+    a: &TensorData,
+    b: &TensorData,
+    transpose_a: bool,
+    transpose_b: bool,
+) -> Result<TensorData> {
+    if a.shape().rank() < 2 || b.shape().rank() < 2 {
+        return Err(TensorError::ShapeMismatch {
+            expected: "rank >= 2 operands for batch_matmul".to_string(),
+            got: if a.shape().rank() < 2 { a.shape().clone() } else { b.shape().clone() },
+        });
+    }
+    if a.shape().rank() == 2 && b.shape().rank() == 2 {
+        return matmul(a, b, transpose_a, transpose_b);
+    }
+    check_float_pair(a, b)?;
+    let ar = a.shape().rank();
+    let br = b.shape().rank();
+    let a_batch = Shape::new(a.shape().dims()[..ar - 2].to_vec());
+    let b_batch = Shape::new(b.shape().dims()[..br - 2].to_vec());
+    let batch = crate::shape::broadcast_shapes(&a_batch, &b_batch)?;
+    let (m, k1) = {
+        let d = &a.shape().dims()[ar - 2..];
+        if transpose_a { (d[1], d[0]) } else { (d[0], d[1]) }
+    };
+    let (kb, n) = {
+        let d = &b.shape().dims()[br - 2..];
+        if transpose_b { (d[1], d[0]) } else { (d[0], d[1]) }
+    };
+    if k1 != kb {
+        return Err(TensorError::ShapeMismatch {
+            expected: format!("inner dimensions to match ({k1} vs {kb})"),
+            got: b.shape().clone(),
+        });
+    }
+    let mut out_dims = batch.dims().to_vec();
+    out_dims.extend_from_slice(&[m, n]);
+    let out_shape = Shape::new(out_dims);
+
+    let batch_n = batch.num_elements();
+    let a_mat = a.shape().dim(ar - 2) * a.shape().dim(ar - 1);
+    let b_mat = b.shape().dim(br - 2) * b.shape().dim(br - 1);
+    let wa: Vec<usize> = crate::shape::BroadcastWalker::new(&batch, &a_batch).collect();
+    let wb: Vec<usize> = crate::shape::BroadcastWalker::new(&batch, &b_batch).collect();
+
+    match a.dtype() {
+        DType::F32 => {
+            let av = a.as_slice::<f32>()?;
+            let bv = b.as_slice::<f32>()?;
+            let mut out = vec![0.0f32; batch_n * m * n];
+            for i in 0..batch_n {
+                mm_f(
+                    &av[wa[i] * a_mat..wa[i] * a_mat + a_mat],
+                    &bv[wb[i] * b_mat..wb[i] * b_mat + b_mat],
+                    m,
+                    k1,
+                    n,
+                    transpose_a,
+                    transpose_b,
+                    &mut out[i * m * n..(i + 1) * m * n],
+                );
+            }
+            TensorData::from_vec(out, out_shape)
+        }
+        DType::F64 => {
+            let av = a.as_slice::<f64>()?;
+            let bv = b.as_slice::<f64>()?;
+            let mut out = vec![0.0f64; batch_n * m * n];
+            for i in 0..batch_n {
+                mm_f(
+                    &av[wa[i] * a_mat..wa[i] * a_mat + a_mat],
+                    &bv[wb[i] * b_mat..wb[i] * b_mat + b_mat],
+                    m,
+                    k1,
+                    n,
+                    transpose_a,
+                    transpose_b,
+                    &mut out[i * m * n..(i + 1) * m * n],
+                );
+            }
+            TensorData::from_vec(out, out_shape)
+        }
+        _ => unreachable!("check_float_pair verified dtype"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn t(v: Vec<f32>, s: impl Into<Shape>) -> TensorData {
+        TensorData::from_vec(v, s).unwrap()
+    }
+
+    #[test]
+    fn identity_matmul() {
+        let a = t(vec![1.0, 2.0, 3.0, 4.0], [2, 2]);
+        let i = TensorData::eye(DType::F32, 2);
+        assert_eq!(matmul(&a, &i, false, false).unwrap(), a);
+        assert_eq!(matmul(&i, &a, false, false).unwrap(), a);
+    }
+
+    #[test]
+    fn known_product() {
+        // [[1,2],[3,4]] @ [[5,6],[7,8]] = [[19,22],[43,50]]
+        let a = t(vec![1.0, 2.0, 3.0, 4.0], [2, 2]);
+        let b = t(vec![5.0, 6.0, 7.0, 8.0], [2, 2]);
+        let r = matmul(&a, &b, false, false).unwrap();
+        assert_eq!(r.to_f64_vec(), vec![19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn rectangular() {
+        let a = t(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [2, 3]);
+        let b = t(vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0], [3, 2]);
+        let r = matmul(&a, &b, false, false).unwrap();
+        assert_eq!(r.shape().dims(), &[2, 2]);
+        assert_eq!(r.to_f64_vec(), vec![4.0, 5.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    fn transpose_flags_consistent() {
+        let a = t(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [2, 3]);
+        let b = t(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [3, 2]);
+        let plain = matmul(&a, &b, false, false).unwrap();
+        // a^T has shape (3,2); (a^T)^T @ b == a @ b
+        let at = crate::shape_ops::transpose(&a, &[1, 0]).unwrap();
+        let via_ta = matmul(&at, &b, true, false).unwrap();
+        assert_eq!(plain, via_ta);
+        let bt = crate::shape_ops::transpose(&b, &[1, 0]).unwrap();
+        let via_tb = matmul(&a, &bt, false, true).unwrap();
+        assert_eq!(plain, via_tb);
+        let via_both = matmul(&at, &bt, true, true).unwrap();
+        assert_eq!(plain, via_both);
+    }
+
+    #[test]
+    fn inner_dim_mismatch() {
+        let a = t(vec![0.0; 6], [2, 3]);
+        let b = t(vec![0.0; 8], [4, 2]);
+        assert!(matmul(&a, &b, false, false).is_err());
+    }
+
+    #[test]
+    fn int_matmul_rejected() {
+        let a = TensorData::zeros(DType::I32, [2, 2]);
+        assert!(matmul(&a, &a, false, false).is_err());
+    }
+
+    #[test]
+    fn batch_matmul_basic() {
+        // Two batches of 2x2 identity times a.
+        let a = t(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0], [2, 2, 2]);
+        let eye2 = TensorData::eye(DType::F32, 2);
+        let i = crate::shape_ops::tile(&eye2.with_shape([1, 2, 2]).unwrap(), &[2, 1, 1]).unwrap();
+        let r = batch_matmul(&a, &i, false, false).unwrap();
+        assert_eq!(r, a);
+    }
+
+    #[test]
+    fn batch_matmul_broadcasts_batch_dims() {
+        let a = t(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0], [2, 2, 2]);
+        let b = TensorData::eye(DType::F32, 2).with_shape([1, 2, 2]).unwrap();
+        let r = batch_matmul(&a, &b, false, false).unwrap();
+        assert_eq!(r.shape().dims(), &[2, 2, 2]);
+        assert_eq!(r, a);
+    }
+
+    #[test]
+    fn batch_matmul_rank2_falls_back() {
+        let a = t(vec![1.0, 2.0, 3.0, 4.0], [2, 2]);
+        let b = TensorData::eye(DType::F32, 2);
+        assert_eq!(batch_matmul(&a, &b, false, false).unwrap(), a);
+    }
+
+    proptest! {
+        #[test]
+        fn matmul_matches_naive(
+            m in 1usize..4, k in 1usize..4, n in 1usize..4,
+            seed in 0u64..1000
+        ) {
+            let mut s = seed;
+            let mut next = || { s = s.wrapping_mul(6364136223846793005).wrapping_add(1); ((s >> 33) as f64 / (1u64 << 31) as f64) - 0.5 };
+            let av: Vec<f64> = (0..m*k).map(|_| next()).collect();
+            let bv: Vec<f64> = (0..k*n).map(|_| next()).collect();
+            let a = TensorData::from_vec(av.clone(), Shape::from([m, k])).unwrap();
+            let b = TensorData::from_vec(bv.clone(), Shape::from([k, n])).unwrap();
+            let r = matmul(&a, &b, false, false).unwrap();
+            for i in 0..m {
+                for j in 0..n {
+                    let mut acc = 0.0;
+                    for p in 0..k { acc += av[i*k+p] * bv[p*n+j]; }
+                    prop_assert!((r.get_f64(&[i, j]).unwrap() - acc).abs() < 1e-9);
+                }
+            }
+        }
+
+        #[test]
+        fn matmul_left_distributes(
+            seed in 0u64..1000
+        ) {
+            let mut s = seed.wrapping_add(7);
+            let mut next = || { s = s.wrapping_mul(6364136223846793005).wrapping_add(1); ((s >> 33) as f64 / (1u64 << 31) as f64) - 0.5 };
+            let (m, k, n) = (3, 2, 3);
+            let a = TensorData::from_vec((0..m*k).map(|_| next()).collect::<Vec<f64>>(), Shape::from([m, k])).unwrap();
+            let b = TensorData::from_vec((0..k*n).map(|_| next()).collect::<Vec<f64>>(), Shape::from([k, n])).unwrap();
+            let c = TensorData::from_vec((0..k*n).map(|_| next()).collect::<Vec<f64>>(), Shape::from([k, n])).unwrap();
+            let bc = crate::elementwise::binary(&b, &c, crate::elementwise::BinaryOp::Add).unwrap();
+            let lhs = matmul(&a, &bc, false, false).unwrap();
+            let ab = matmul(&a, &b, false, false).unwrap();
+            let ac = matmul(&a, &c, false, false).unwrap();
+            let rhs = crate::elementwise::binary(&ab, &ac, crate::elementwise::BinaryOp::Add).unwrap();
+            prop_assert!(lhs.all_close(&rhs, 1e-9, 1e-9));
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! Max/average 2-D pooling and gradients, NHWC layout.
+
+use crate::conv::Padding;
+use crate::{Result, Shape, TensorData, TensorError};
+
+/// Pooling kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PoolKind {
+    /// Maximum over the window.
+    Max,
+    /// Mean over the window (dividing by the full window size, as TF does
+    /// for interior windows; border windows divide by the valid count).
+    Avg,
+}
+
+struct PoolGeometry {
+    n: usize,
+    h: usize,
+    w: usize,
+    c: usize,
+    kh: usize,
+    kw: usize,
+    sh: usize,
+    sw: usize,
+    oh: usize,
+    ow: usize,
+    ph: usize,
+    pw: usize,
+}
+
+fn geometry(
+    input: &Shape,
+    ksize: (usize, usize),
+    strides: (usize, usize),
+    padding: Padding,
+) -> Result<PoolGeometry> {
+    if input.rank() != 4 {
+        return Err(TensorError::ShapeMismatch {
+            expected: "NHWC rank-4 input".to_string(),
+            got: input.clone(),
+        });
+    }
+    let (kh, kw) = ksize;
+    let (sh, sw) = strides;
+    if kh == 0 || kw == 0 || sh == 0 || sw == 0 {
+        return Err(TensorError::InvalidArgument(
+            "pool window and strides must be positive".to_string(),
+        ));
+    }
+    let (n, h, w, c) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
+    let (oh, ph) = padding.resolve(h, kh, sh);
+    let (ow, pw) = padding.resolve(w, kw, sw);
+    Ok(PoolGeometry { n, h, w, c, kh, kw, sh, sw, oh, ow, ph, pw })
+}
+
+/// Forward pooling.
+///
+/// # Errors
+/// Non-float input or invalid geometry.
+pub fn pool2d(
+    input: &TensorData,
+    ksize: (usize, usize),
+    strides: (usize, usize),
+    padding: Padding,
+    kind: PoolKind,
+) -> Result<TensorData> {
+    if !input.dtype().is_float() {
+        return Err(TensorError::DTypeMismatch {
+            expected: "a float dtype".to_string(),
+            got: input.dtype(),
+        });
+    }
+    let g = geometry(input.shape(), ksize, strides, padding)?;
+    let x = input.to_f64_vec();
+    let mut out = vec![0.0f64; g.n * g.oh * g.ow * g.c];
+    for b in 0..g.n {
+        for oy in 0..g.oh {
+            for ox in 0..g.ow {
+                for ci in 0..g.c {
+                    let mut acc = match kind {
+                        PoolKind::Max => f64::NEG_INFINITY,
+                        PoolKind::Avg => 0.0,
+                    };
+                    let mut count = 0usize;
+                    for ky in 0..g.kh {
+                        let iy = (oy * g.sh + ky) as isize - g.ph as isize;
+                        if iy < 0 || iy as usize >= g.h {
+                            continue;
+                        }
+                        for kx in 0..g.kw {
+                            let ix = (ox * g.sw + kx) as isize - g.pw as isize;
+                            if ix < 0 || ix as usize >= g.w {
+                                continue;
+                            }
+                            let v = x[((b * g.h + iy as usize) * g.w + ix as usize) * g.c + ci];
+                            match kind {
+                                PoolKind::Max => acc = acc.max(v),
+                                PoolKind::Avg => acc += v,
+                            }
+                            count += 1;
+                        }
+                    }
+                    let v = match kind {
+                        PoolKind::Max => acc,
+                        PoolKind::Avg => {
+                            if count == 0 {
+                                0.0
+                            } else {
+                                acc / count as f64
+                            }
+                        }
+                    };
+                    out[((b * g.oh + oy) * g.ow + ox) * g.c + ci] = v;
+                }
+            }
+        }
+    }
+    Ok(TensorData::from_f64_vec(input.dtype(), out, Shape::from([g.n, g.oh, g.ow, g.c])))
+}
+
+/// Gradient of [`pool2d`] with respect to its input.
+///
+/// For max pooling the gradient routes to the (first) argmax element of each
+/// window; for average pooling it spreads uniformly over the valid window.
+///
+/// # Errors
+/// Shape or dtype mismatches.
+pub fn pool2d_grad(
+    input: &TensorData,
+    grad_out: &TensorData,
+    ksize: (usize, usize),
+    strides: (usize, usize),
+    padding: Padding,
+    kind: PoolKind,
+) -> Result<TensorData> {
+    let g = geometry(input.shape(), ksize, strides, padding)?;
+    if grad_out.shape().dims() != [g.n, g.oh, g.ow, g.c] {
+        return Err(TensorError::ShapeMismatch {
+            expected: format!("pool output shape ({},{},{},{})", g.n, g.oh, g.ow, g.c),
+            got: grad_out.shape().clone(),
+        });
+    }
+    let x = input.to_f64_vec();
+    let go = grad_out.to_f64_vec();
+    let mut gx = vec![0.0f64; x.len()];
+    for b in 0..g.n {
+        for oy in 0..g.oh {
+            for ox in 0..g.ow {
+                for ci in 0..g.c {
+                    let gov = go[((b * g.oh + oy) * g.ow + ox) * g.c + ci];
+                    match kind {
+                        PoolKind::Max => {
+                            let mut best = f64::NEG_INFINITY;
+                            let mut best_lin = None;
+                            for ky in 0..g.kh {
+                                let iy = (oy * g.sh + ky) as isize - g.ph as isize;
+                                if iy < 0 || iy as usize >= g.h {
+                                    continue;
+                                }
+                                for kx in 0..g.kw {
+                                    let ix = (ox * g.sw + kx) as isize - g.pw as isize;
+                                    if ix < 0 || ix as usize >= g.w {
+                                        continue;
+                                    }
+                                    let lin = ((b * g.h + iy as usize) * g.w + ix as usize) * g.c
+                                        + ci;
+                                    if x[lin] > best {
+                                        best = x[lin];
+                                        best_lin = Some(lin);
+                                    }
+                                }
+                            }
+                            if let Some(lin) = best_lin {
+                                gx[lin] += gov;
+                            }
+                        }
+                        PoolKind::Avg => {
+                            let mut lins = Vec::new();
+                            for ky in 0..g.kh {
+                                let iy = (oy * g.sh + ky) as isize - g.ph as isize;
+                                if iy < 0 || iy as usize >= g.h {
+                                    continue;
+                                }
+                                for kx in 0..g.kw {
+                                    let ix = (ox * g.sw + kx) as isize - g.pw as isize;
+                                    if ix < 0 || ix as usize >= g.w {
+                                        continue;
+                                    }
+                                    lins.push(
+                                        ((b * g.h + iy as usize) * g.w + ix as usize) * g.c + ci,
+                                    );
+                                }
+                            }
+                            if !lins.is_empty() {
+                                let share = gov / lins.len() as f64;
+                                for lin in lins {
+                                    gx[lin] += share;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(TensorData::from_f64_vec(input.dtype(), gx, input.shape().clone()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DType;
+
+    fn image_4x4() -> TensorData {
+        TensorData::from_f64_vec(
+            DType::F32,
+            (0..16).map(|i| i as f64).collect(),
+            Shape::from([1, 4, 4, 1]),
+        )
+    }
+
+    #[test]
+    fn max_pool_2x2() {
+        let y = pool2d(&image_4x4(), (2, 2), (2, 2), Padding::Valid, PoolKind::Max).unwrap();
+        assert_eq!(y.shape().dims(), &[1, 2, 2, 1]);
+        assert_eq!(y.to_f64_vec(), vec![5.0, 7.0, 13.0, 15.0]);
+    }
+
+    #[test]
+    fn avg_pool_2x2() {
+        let y = pool2d(&image_4x4(), (2, 2), (2, 2), Padding::Valid, PoolKind::Avg).unwrap();
+        assert_eq!(y.to_f64_vec(), vec![2.5, 4.5, 10.5, 12.5]);
+    }
+
+    #[test]
+    fn same_padding_pool() {
+        let x = TensorData::ones(DType::F32, [1, 3, 3, 1]);
+        let y = pool2d(&x, (2, 2), (2, 2), Padding::Same, PoolKind::Avg).unwrap();
+        assert_eq!(y.shape().dims(), &[1, 2, 2, 1]);
+        // Border windows average only valid elements -> still 1.0 everywhere.
+        assert_eq!(y.to_f64_vec(), vec![1.0; 4]);
+    }
+
+    #[test]
+    fn global_avg_pool() {
+        let y = pool2d(&image_4x4(), (4, 4), (1, 1), Padding::Valid, PoolKind::Avg).unwrap();
+        assert_eq!(y.shape().dims(), &[1, 1, 1, 1]);
+        assert_eq!(y.scalar_f64().unwrap(), 7.5);
+    }
+
+    #[test]
+    fn max_pool_grad_routes_to_argmax() {
+        let x = image_4x4();
+        let go = TensorData::ones(DType::F32, [1, 2, 2, 1]);
+        let gx = pool2d_grad(&x, &go, (2, 2), (2, 2), Padding::Valid, PoolKind::Max).unwrap();
+        let v = gx.to_f64_vec();
+        // Max of each window is its bottom-right element: 5, 7, 13, 15.
+        assert_eq!(v.iter().filter(|&&x| x == 1.0).count(), 4);
+        assert_eq!(v[5], 1.0);
+        assert_eq!(v[7], 1.0);
+        assert_eq!(v[13], 1.0);
+        assert_eq!(v[15], 1.0);
+    }
+
+    #[test]
+    fn avg_pool_grad_uniform() {
+        let x = image_4x4();
+        let go = TensorData::ones(DType::F32, [1, 2, 2, 1]);
+        let gx = pool2d_grad(&x, &go, (2, 2), (2, 2), Padding::Valid, PoolKind::Avg).unwrap();
+        assert_eq!(gx.to_f64_vec(), vec![0.25; 16]);
+    }
+
+    #[test]
+    fn avg_pool_grad_finite_difference() {
+        let xs: Vec<f64> = (0..16).map(|i| (i as f64) * 0.3 - 2.0).collect();
+        let x = TensorData::from_vec(xs.clone(), Shape::from([1, 4, 4, 1])).unwrap();
+        let loss = |x: &TensorData| -> f64 {
+            pool2d(x, (3, 3), (1, 1), Padding::Same, PoolKind::Avg)
+                .unwrap()
+                .to_f64_vec()
+                .iter()
+                .sum()
+        };
+        let y = pool2d(&x, (3, 3), (1, 1), Padding::Same, PoolKind::Avg).unwrap();
+        let go = TensorData::ones(DType::F64, y.shape().clone());
+        let gx = pool2d_grad(&x, &go, (3, 3), (1, 1), Padding::Same, PoolKind::Avg).unwrap();
+        let eps = 1e-6;
+        for i in 0..xs.len() {
+            let mut xp = xs.clone();
+            xp[i] += eps;
+            let xp = TensorData::from_vec(xp, Shape::from([1, 4, 4, 1])).unwrap();
+            let num = (loss(&xp) - loss(&x)) / eps;
+            assert!((num - gx.get_f64_linear(i)).abs() < 1e-4, "elem {i}");
+        }
+    }
+
+    #[test]
+    fn int_pool_rejected() {
+        let x = TensorData::zeros(DType::I32, [1, 2, 2, 1]);
+        assert!(pool2d(&x, (2, 2), (1, 1), Padding::Valid, PoolKind::Max).is_err());
+    }
+
+    #[test]
+    fn bad_grad_shape_rejected() {
+        let x = image_4x4();
+        let go = TensorData::ones(DType::F32, [1, 3, 3, 1]);
+        assert!(pool2d_grad(&x, &go, (2, 2), (2, 2), Padding::Valid, PoolKind::Max).is_err());
+    }
+}

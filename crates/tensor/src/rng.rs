@@ -1,0 +1,231 @@
+//! Deterministic random tensor generation.
+//!
+//! Stateful random ops in the runtime own one of these generators; the seed
+//! makes eager and staged runs reproducible — the property the paper's
+//! `add_noise` example (§4.1) turns on.
+
+use crate::{DType, Result, Shape, TensorData, TensorError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seedable generator for random tensors.
+#[derive(Debug)]
+pub struct TensorRng {
+    rng: StdRng,
+}
+
+impl TensorRng {
+    /// Create from a 64-bit seed. Equal seeds yield equal streams.
+    pub fn seed_from_u64(seed: u64) -> TensorRng {
+        TensorRng { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    fn check_float(dtype: DType) -> Result<()> {
+        if !dtype.is_float() {
+            return Err(TensorError::DTypeMismatch {
+                expected: "a float dtype".to_string(),
+                got: dtype,
+            });
+        }
+        Ok(())
+    }
+
+    /// Standard-normal samples scaled to `mean + stddev * z` (Box–Muller).
+    ///
+    /// # Errors
+    /// Non-float `dtype`.
+    pub fn normal(
+        &mut self,
+        dtype: DType,
+        shape: impl Into<Shape>,
+        mean: f64,
+        stddev: f64,
+    ) -> Result<TensorData> {
+        Self::check_float(dtype)?;
+        let shape = shape.into();
+        let n = shape.num_elements();
+        let mut vals = Vec::with_capacity(n);
+        while vals.len() < n {
+            let u1: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+            let u2: f64 = self.rng.gen();
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f64::consts::PI * u2;
+            vals.push(mean + stddev * r * theta.cos());
+            if vals.len() < n {
+                vals.push(mean + stddev * r * theta.sin());
+            }
+        }
+        Ok(TensorData::from_f64_vec(dtype, vals, shape))
+    }
+
+    /// Normal samples re-drawn until within two standard deviations, like
+    /// `tf.truncated_normal` (used by classic initializers).
+    ///
+    /// # Errors
+    /// Non-float `dtype`.
+    pub fn truncated_normal(
+        &mut self,
+        dtype: DType,
+        shape: impl Into<Shape>,
+        mean: f64,
+        stddev: f64,
+    ) -> Result<TensorData> {
+        Self::check_float(dtype)?;
+        let shape = shape.into();
+        let n = shape.num_elements();
+        let mut vals = Vec::with_capacity(n);
+        while vals.len() < n {
+            // Inline Box–Muller; rejection keeps |z| <= 2.
+            let u1: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+            let u2: f64 = self.rng.gen();
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f64::consts::PI * u2;
+            for z in [r * theta.cos(), r * theta.sin()] {
+                if z.abs() <= 2.0 && vals.len() < n {
+                    vals.push(mean + stddev * z);
+                }
+            }
+        }
+        Ok(TensorData::from_f64_vec(dtype, vals, shape))
+    }
+
+    /// Uniform samples in `[low, high)`.
+    ///
+    /// # Errors
+    /// Non-float `dtype` or `low >= high`.
+    pub fn uniform(
+        &mut self,
+        dtype: DType,
+        shape: impl Into<Shape>,
+        low: f64,
+        high: f64,
+    ) -> Result<TensorData> {
+        Self::check_float(dtype)?;
+        if low >= high {
+            return Err(TensorError::InvalidArgument(format!(
+                "uniform range [{low}, {high}) is empty"
+            )));
+        }
+        let shape = shape.into();
+        let n = shape.num_elements();
+        let vals: Vec<f64> = (0..n).map(|_| self.rng.gen_range(low..high)).collect();
+        Ok(TensorData::from_f64_vec(dtype, vals, shape))
+    }
+
+    /// Uniform integer samples in `[low, high)`.
+    ///
+    /// # Errors
+    /// Non-integer `dtype` or an empty range.
+    pub fn uniform_int(
+        &mut self,
+        dtype: DType,
+        shape: impl Into<Shape>,
+        low: i64,
+        high: i64,
+    ) -> Result<TensorData> {
+        if !dtype.is_int() {
+            return Err(TensorError::DTypeMismatch {
+                expected: "an integer dtype".to_string(),
+                got: dtype,
+            });
+        }
+        if low >= high {
+            return Err(TensorError::InvalidArgument(format!(
+                "uniform range [{low}, {high}) is empty"
+            )));
+        }
+        let shape = shape.into();
+        let n = shape.num_elements();
+        let vals: Vec<f64> =
+            (0..n).map(|_| self.rng.gen_range(low..high) as f64).collect();
+        Ok(TensorData::from_f64_vec(dtype, vals, shape))
+    }
+
+    /// Bernoulli(keep_prob) mask scaled by `1/keep_prob` — the dropout mask.
+    ///
+    /// # Errors
+    /// Non-float dtype or `keep_prob` outside `(0, 1]`.
+    pub fn dropout_mask(
+        &mut self,
+        dtype: DType,
+        shape: impl Into<Shape>,
+        keep_prob: f64,
+    ) -> Result<TensorData> {
+        Self::check_float(dtype)?;
+        if !(keep_prob > 0.0 && keep_prob <= 1.0) {
+            return Err(TensorError::InvalidArgument(format!(
+                "keep_prob {keep_prob} must be in (0, 1]"
+            )));
+        }
+        let shape = shape.into();
+        let n = shape.num_elements();
+        let scale = 1.0 / keep_prob;
+        let vals: Vec<f64> = (0..n)
+            .map(|_| if self.rng.gen::<f64>() < keep_prob { scale } else { 0.0 })
+            .collect();
+        Ok(TensorData::from_f64_vec(dtype, vals, shape))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_streams_reproduce() {
+        let mut a = TensorRng::seed_from_u64(42);
+        let mut b = TensorRng::seed_from_u64(42);
+        let ta = a.normal(DType::F32, [16], 0.0, 1.0).unwrap();
+        let tb = b.normal(DType::F32, [16], 0.0, 1.0).unwrap();
+        assert_eq!(ta, tb);
+        let mut c = TensorRng::seed_from_u64(43);
+        let tc = c.normal(DType::F32, [16], 0.0, 1.0).unwrap();
+        assert_ne!(ta, tc);
+    }
+
+    #[test]
+    fn normal_moments_roughly_correct() {
+        let mut rng = TensorRng::seed_from_u64(7);
+        let t = rng.normal(DType::F64, [10_000], 2.0, 3.0).unwrap();
+        let v = t.to_f64_vec();
+        let mean: f64 = v.iter().sum::<f64>() / v.len() as f64;
+        let var: f64 = v.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / v.len() as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean={mean}");
+        assert!((var.sqrt() - 3.0).abs() < 0.1, "std={}", var.sqrt());
+    }
+
+    #[test]
+    fn truncated_normal_bounded() {
+        let mut rng = TensorRng::seed_from_u64(1);
+        let t = rng.truncated_normal(DType::F32, [1000], 0.0, 1.0).unwrap();
+        assert!(t.to_f64_vec().iter().all(|v| v.abs() <= 2.0 + 1e-6));
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        let mut rng = TensorRng::seed_from_u64(9);
+        let t = rng.uniform(DType::F64, [1000], -1.0, 1.0).unwrap();
+        assert!(t.to_f64_vec().iter().all(|&v| (-1.0..1.0).contains(&v)));
+        assert!(rng.uniform(DType::F64, [1], 1.0, 1.0).is_err());
+        assert!(rng.uniform(DType::I32, [1], 0.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn uniform_int_in_range() {
+        let mut rng = TensorRng::seed_from_u64(9);
+        let t = rng.uniform_int(DType::I64, [100], 0, 10).unwrap();
+        assert!(t.to_i64_vec().iter().all(|&v| (0..10).contains(&v)));
+        assert!(rng.uniform_int(DType::F32, [1], 0, 10).is_err());
+    }
+
+    #[test]
+    fn dropout_mask_values() {
+        let mut rng = TensorRng::seed_from_u64(3);
+        let m = rng.dropout_mask(DType::F32, [1000], 0.8).unwrap();
+        let v = m.to_f64_vec();
+        assert!(v.iter().all(|&x| x == 0.0 || (x - 1.25).abs() < 1e-6));
+        let kept = v.iter().filter(|&&x| x != 0.0).count();
+        assert!((700..900).contains(&kept), "kept={kept}");
+        assert!(rng.dropout_mask(DType::F32, [1], 0.0).is_err());
+    }
+}

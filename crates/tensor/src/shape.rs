@@ -1,0 +1,380 @@
+//! Tensor shapes, row-major strides, index arithmetic and broadcasting.
+
+use crate::{Result, TensorError};
+use std::fmt;
+
+/// The shape of a tensor: a list of non-negative dimension sizes.
+///
+/// A rank-0 (scalar) tensor has an empty dimension list and one element.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Shape of a scalar (rank 0, one element).
+    pub fn scalar() -> Shape {
+        Shape(Vec::new())
+    }
+
+    /// Create a shape from dimension sizes.
+    pub fn new(dims: impl Into<Vec<usize>>) -> Shape {
+        Shape(dims.into())
+    }
+
+    /// The dimension sizes.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements (product of dimensions; 1 for scalars).
+    pub fn num_elements(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Size of dimension `axis`.
+    ///
+    /// # Panics
+    /// Panics if `axis >= rank`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.0[axis]
+    }
+
+    /// Resolve a possibly-negative axis (Python style) against this rank.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::InvalidAxis`] when out of range.
+    pub fn resolve_axis(&self, axis: i64) -> Result<usize> {
+        let rank = self.rank() as i64;
+        let a = if axis < 0 { axis + rank } else { axis };
+        if a < 0 || a >= rank {
+            return Err(TensorError::InvalidAxis { axis, rank: self.rank() });
+        }
+        Ok(a as usize)
+    }
+
+    /// Row-major (C order) strides, in elements.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![0; self.rank()];
+        let mut acc = 1;
+        for i in (0..self.rank()).rev() {
+            strides[i] = acc;
+            acc *= self.0[i];
+        }
+        strides
+    }
+
+    /// Whether this shape broadcasts with `other` under NumPy rules.
+    pub fn broadcasts_with(&self, other: &Shape) -> bool {
+        broadcast_shapes(self, other).is_ok()
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape({:?})", self.0)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        if self.0.len() == 1 {
+            write!(f, ",")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(v: Vec<usize>) -> Shape {
+        Shape(v)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(v: &[usize]) -> Shape {
+        Shape(v.to_vec())
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(v: [usize; N]) -> Shape {
+        Shape(v.to_vec())
+    }
+}
+
+/// Compute the broadcast of two shapes under NumPy rules.
+///
+/// Missing leading dimensions are treated as 1; a dimension of size 1
+/// stretches to match the other operand.
+///
+/// # Errors
+/// Returns [`TensorError::BroadcastMismatch`] when a pair of dimensions is
+/// incompatible.
+pub fn broadcast_shapes(a: &Shape, b: &Shape) -> Result<Shape> {
+    let rank = a.rank().max(b.rank());
+    let mut dims = vec![0usize; rank];
+    for i in 0..rank {
+        let da = if i < rank - a.rank() { 1 } else { a.dims()[i - (rank - a.rank())] };
+        let db = if i < rank - b.rank() { 1 } else { b.dims()[i - (rank - b.rank())] };
+        dims[i] = if da == db {
+            da
+        } else if da == 1 {
+            db
+        } else if db == 1 {
+            da
+        } else {
+            return Err(TensorError::BroadcastMismatch { lhs: a.clone(), rhs: b.clone() });
+        };
+    }
+    Ok(Shape(dims))
+}
+
+/// Iterator-free index math: convert a linear index into `shape` to the
+/// linear index of the corresponding (broadcast) element of a tensor whose
+/// shape broadcasts to `shape`.
+///
+/// `src_dims` are the source dimensions right-aligned against `out_dims`.
+pub fn broadcast_source_index(out_dims: &[usize], src_dims: &[usize], linear: usize) -> usize {
+    let rank = out_dims.len();
+    let offset = rank - src_dims.len();
+    let mut rem = linear;
+    let mut src_index = 0;
+    let mut src_stride = 1;
+    // Walk dimensions from the innermost outwards, accumulating the source
+    // index with stride-0 semantics for broadcast dimensions.
+    let mut src_strides = vec![0usize; src_dims.len()];
+    {
+        let mut acc = 1;
+        for i in (0..src_dims.len()).rev() {
+            src_strides[i] = acc;
+            acc *= src_dims[i];
+        }
+    }
+    for i in (0..rank).rev() {
+        let coord = rem % out_dims[i];
+        rem /= out_dims[i];
+        if i >= offset {
+            let sd = src_dims[i - offset];
+            if sd != 1 {
+                src_index += coord * src_strides[i - offset];
+            }
+        }
+        src_stride *= out_dims[i];
+    }
+    let _ = src_stride;
+    src_index
+}
+
+/// A cursor that walks every multi-dimensional index of a shape in row-major
+/// order while maintaining the corresponding linear index into a broadcast
+/// source. Much faster than calling [`broadcast_source_index`] per element.
+#[derive(Debug)]
+pub struct BroadcastWalker {
+    out_dims: Vec<usize>,
+    coords: Vec<usize>,
+    src_strides: Vec<usize>, // aligned to out rank, 0 where broadcast
+    src_index: usize,
+    remaining: usize,
+}
+
+impl BroadcastWalker {
+    /// Create a walker producing, for each element of `out` in row-major
+    /// order, the linear index into a source of shape `src` (which must
+    /// broadcast to `out`).
+    pub fn new(out: &Shape, src: &Shape) -> BroadcastWalker {
+        let rank = out.rank();
+        let offset = rank - src.rank();
+        let raw = src.strides();
+        let mut src_strides = vec![0usize; rank];
+        for i in 0..src.rank() {
+            src_strides[i + offset] = if src.dims()[i] == 1 { 0 } else { raw[i] };
+        }
+        BroadcastWalker {
+            out_dims: out.dims().to_vec(),
+            coords: vec![0; rank],
+            src_strides,
+            src_index: 0,
+            remaining: out.num_elements(),
+        }
+    }
+}
+
+impl Iterator for BroadcastWalker {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let current = self.src_index;
+        self.remaining -= 1;
+        // Advance the odometer.
+        for i in (0..self.out_dims.len()).rev() {
+            self.coords[i] += 1;
+            self.src_index += self.src_strides[i];
+            if self.coords[i] < self.out_dims[i] {
+                break;
+            }
+            self.src_index -= self.src_strides[i] * self.out_dims[i];
+            self.coords[i] = 0;
+        }
+        Some(current)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for BroadcastWalker {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::scalar();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.num_elements(), 1);
+        assert_eq!(s.to_string(), "()");
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Shape::from([3]).to_string(), "(3,)");
+        assert_eq!(Shape::from([2, 3]).to_string(), "(2, 3)");
+    }
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(Shape::from([2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::scalar().strides(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn broadcast_basic() {
+        let a = Shape::from([2, 1, 4]);
+        let b = Shape::from([3, 1]);
+        assert_eq!(broadcast_shapes(&a, &b).unwrap(), Shape::from([2, 3, 4]));
+    }
+
+    #[test]
+    fn broadcast_scalar() {
+        let a = Shape::scalar();
+        let b = Shape::from([5, 2]);
+        assert_eq!(broadcast_shapes(&a, &b).unwrap(), Shape::from([5, 2]));
+        assert_eq!(broadcast_shapes(&b, &a).unwrap(), Shape::from([5, 2]));
+    }
+
+    #[test]
+    fn broadcast_mismatch() {
+        let a = Shape::from([2, 3]);
+        let b = Shape::from([4, 3]);
+        assert!(broadcast_shapes(&a, &b).is_err());
+    }
+
+    #[test]
+    fn resolve_axis_negative() {
+        let s = Shape::from([2, 3, 4]);
+        assert_eq!(s.resolve_axis(-1).unwrap(), 2);
+        assert_eq!(s.resolve_axis(0).unwrap(), 0);
+        assert!(s.resolve_axis(3).is_err());
+        assert!(s.resolve_axis(-4).is_err());
+    }
+
+    #[test]
+    fn walker_identity() {
+        let s = Shape::from([2, 3]);
+        let idx: Vec<usize> = BroadcastWalker::new(&s, &s).collect();
+        assert_eq!(idx, (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn walker_broadcast_row() {
+        // src shape (3,) broadcast over (2, 3): 0 1 2 0 1 2
+        let out = Shape::from([2, 3]);
+        let src = Shape::from([3]);
+        let idx: Vec<usize> = BroadcastWalker::new(&out, &src).collect();
+        assert_eq!(idx, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn walker_broadcast_col() {
+        // src shape (2,1) broadcast over (2, 3): 0 0 0 1 1 1
+        let out = Shape::from([2, 3]);
+        let src = Shape::from([2, 1]);
+        let idx: Vec<usize> = BroadcastWalker::new(&out, &src).collect();
+        assert_eq!(idx, vec![0, 0, 0, 1, 1, 1]);
+    }
+
+    #[test]
+    fn walker_scalar_src() {
+        let out = Shape::from([2, 2]);
+        let src = Shape::scalar();
+        let idx: Vec<usize> = BroadcastWalker::new(&out, &src).collect();
+        assert_eq!(idx, vec![0, 0, 0, 0]);
+    }
+
+    fn small_dims() -> impl Strategy<Value = Vec<usize>> {
+        prop::collection::vec(1usize..4, 0..4)
+    }
+
+    proptest! {
+        #[test]
+        fn broadcast_commutes(a in small_dims(), b in small_dims()) {
+            let sa = Shape::new(a);
+            let sb = Shape::new(b);
+            let ab = broadcast_shapes(&sa, &sb);
+            let ba = broadcast_shapes(&sb, &sa);
+            match (ab, ba) {
+                (Ok(x), Ok(y)) => prop_assert_eq!(x, y),
+                (Err(_), Err(_)) => {}
+                _ => prop_assert!(false, "broadcast not symmetric"),
+            }
+        }
+
+        #[test]
+        fn broadcast_with_self_is_identity(a in small_dims()) {
+            let s = Shape::new(a);
+            prop_assert_eq!(broadcast_shapes(&s, &s).unwrap(), s);
+        }
+
+        #[test]
+        fn walker_matches_per_element_math(a in small_dims(), b in small_dims()) {
+            let sa = Shape::new(a);
+            let sb = Shape::new(b);
+            if let Ok(out) = broadcast_shapes(&sa, &sb) {
+                let walked: Vec<usize> = BroadcastWalker::new(&out, &sa).collect();
+                let direct: Vec<usize> = (0..out.num_elements())
+                    .map(|i| broadcast_source_index(out.dims(), sa.dims(), i))
+                    .collect();
+                prop_assert_eq!(walked, direct);
+            }
+        }
+
+        #[test]
+        fn walker_indices_in_bounds(a in small_dims(), b in small_dims()) {
+            let sa = Shape::new(a);
+            let sb = Shape::new(b);
+            if let Ok(out) = broadcast_shapes(&sa, &sb) {
+                let n = sa.num_elements();
+                for idx in BroadcastWalker::new(&out, &sa) {
+                    prop_assert!(idx < n);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! A dynamic sequence model: embedding + LSTM over *variable-length* token
+//! sequences — the "dynamic language models" workload §1/§7 cites, shaped
+//! by the multi-stage workflow: host-loop dynamism where the data demands
+//! it, a staged cell where the compute is.
+//!
+//! The task: remember the *first* token of the sequence — the label is
+//! whether it was in the lower half of the vocabulary. Solving it requires
+//! carrying information across the whole (variable-length) sequence.
+//!
+//! Run with `cargo run --release --example sequence_model`.
+
+use std::sync::Arc;
+use tf_eager::nn::layers::{Activation, Dense, Layer};
+use tf_eager::nn::losses::{accuracy, softmax_cross_entropy};
+use tf_eager::nn::rnn::{Embedding, LstmCell};
+use tf_eager::nn::{optimizer, Adam, Initializer, Optimizer};
+use tf_eager::prelude::*;
+use tf_eager::RuntimeError;
+use tfe_tensor::rng::TensorRng;
+
+const VOCAB: usize = 8;
+const EMBED: usize = 8;
+const HIDDEN: usize = 16;
+
+struct SequenceClassifier {
+    embedding: Embedding,
+    cell: Arc<LstmCell>,
+    head: Dense,
+    /// The staged per-step computation: one graph reused at every position
+    /// of every sequence, regardless of length.
+    staged_step: Func,
+}
+
+impl SequenceClassifier {
+    fn new(init: &mut Initializer) -> Arc<SequenceClassifier> {
+        let embedding = Embedding::new(VOCAB, EMBED, init);
+        let cell = Arc::new(LstmCell::new(EMBED, HIDDEN, init));
+        let head = Dense::new(HIDDEN, 2, Activation::Linear, init);
+        let staged_step = {
+            let cell = cell.clone();
+            function("lstm_step", move |args| {
+                let x = args[0].as_tensor().expect("x");
+                let h = args[1].as_tensor().expect("h");
+                let c = args[2].as_tensor().expect("c");
+                let state = tf_eager::nn::rnn::LstmState { h: h.clone(), c: c.clone() };
+                let (out, next) = cell.step(x, &state)?;
+                Ok(vec![out, next.h, next.c])
+            })
+        };
+        Arc::new(SequenceClassifier { embedding, cell, head, staged_step })
+    }
+
+    /// Classify one batch of same-length sequences (`(batch, time)` ids).
+    /// The *time* loop is host-side, so every length reuses the same
+    /// staged cell graph.
+    fn logits(&self, ids: &Tensor, staged: bool) -> Result<Tensor, RuntimeError> {
+        let dims = ids.shape()?;
+        let (batch, time) = (dims.dim(0), dims.dim(1));
+        let embedded = self.embedding.lookup(ids)?; // (batch, time, EMBED)
+        let mut state = self.cell.zero_state(batch);
+        for t in 0..time {
+            let x_t = api::squeeze(
+                &api::slice(&embedded, &[0, t as i64, 0], &[-1, 1, -1])?,
+                &[1],
+            )?;
+            if staged {
+                let out = self.staged_step.call_tensors(&[&x_t, &state.h, &state.c])?;
+                state = tf_eager::nn::rnn::LstmState { h: out[1].clone(), c: out[2].clone() };
+            } else {
+                state = self.cell.step(&x_t, &state)?.1;
+            }
+        }
+        self.head.call(&state.h, true)
+    }
+
+    fn variables(&self) -> Vec<Variable> {
+        let mut v = self.embedding.variables();
+        v.extend(self.cell.variables());
+        v.extend(self.head.variables());
+        v
+    }
+}
+
+/// Generate sequences labeled by their first token's vocabulary half.
+fn batch(rng: &mut TensorRng, batch: usize, time: usize) -> (Tensor, Tensor) {
+    let ids = rng
+        .uniform_int(DType::I64, Shape::from([batch, time]), 0, VOCAB as i64)
+        .expect("ids");
+    let labels: Vec<i64> = ids
+        .to_i64_vec()
+        .chunks(time)
+        .map(|row| i64::from(row[0] < (VOCAB as i64) / 2))
+        .collect();
+    (
+        Tensor::from_data(ids),
+        Tensor::from_data(TensorData::from_vec(labels, Shape::from([batch])).unwrap()),
+    )
+}
+
+fn main() -> Result<(), RuntimeError> {
+    tf_eager::init();
+    tf_eager::context::set_random_seed(0);
+    let mut init = Initializer::seeded(123);
+    let model = SequenceClassifier::new(&mut init);
+    let opt = Adam::new(5e-3);
+    let vars = model.variables();
+    println!(
+        "sequence classifier: vocab {VOCAB}, {} trainable variables",
+        vars.len()
+    );
+
+    let mut rng = TensorRng::seed_from_u64(77);
+    let mut first = None;
+    let mut last = 0.0;
+    for step in 0..200 {
+        // Dynamic lengths per batch — no padding, no retracing: the staged
+        // cell's signature is length-independent.
+        let time = 2 + (step % 4);
+        let (ids, labels) = batch(&mut rng, 32, time);
+        let tape = tfe_autodiff::GradientTape::new();
+        let logits = model.logits(&ids, true)?;
+        let loss = softmax_cross_entropy(&logits, &labels)?;
+        last = loss.scalar_f64()?;
+        first.get_or_insert(last);
+        optimizer::minimize(&opt, tape, &loss, &vars)?;
+        if step % 30 == 0 {
+            println!("step {step:>3} (len {time}): loss {last:.4}");
+        }
+    }
+    println!(
+        "loss {:.4} -> {last:.4}; cell traced {} time(s) across lengths 2..=5",
+        first.unwrap_or(0.0),
+        model.staged_step.num_concrete()
+    );
+
+    // Evaluate on held-out lengths never seen in training.
+    for time in [6usize, 9] {
+        let (ids, labels) = batch(&mut rng, 128, time);
+        let logits = model.logits(&ids, true)?;
+        let acc = accuracy(&logits, &labels)?.scalar_f64()?;
+        println!("length {time} (unseen): accuracy {acc:.3}");
+    }
+
+    // Eager and staged rollouts agree exactly.
+    let (ids, _) = batch(&mut rng, 4, 5);
+    let a = model.logits(&ids, false)?.to_f64_vec()?;
+    let b = model.logits(&ids, true)?.to_f64_vec()?;
+    assert_eq!(a, b, "staged cell must match the imperative cell");
+    println!("eager/staged rollouts agree; done");
+    Ok(())
+}

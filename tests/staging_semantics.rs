@@ -1,0 +1,347 @@
+//! Deeper staging semantics: tensor-dependent control flow *inside*
+//! traces, the §4.2 backward-work invariance claim, device ops in graphs,
+//! executor modes, and trace-time error behavior.
+
+use std::sync::Arc;
+use tf_eager::prelude::*;
+use tf_eager::RuntimeError;
+use tfe_runtime::context;
+
+/// `cond` used inside a traced function becomes a `cond` *node* whose
+/// branch is chosen at execution time — unlike a host `if`, which §4.1
+/// warns is baked in at trace time.
+#[test]
+fn cond_inside_trace_stays_dynamic() {
+    tf_eager::init();
+    let then_f = function1("ct_then", |x| api::mul(x, &api::scalar(10.0f64)));
+    let else_f = function1("ct_else", api::neg);
+    let outer = {
+        let then_f = then_f.clone();
+        let else_f = else_f.clone();
+        function("ct_outer", move |args| {
+            let x = args[0].as_tensor().expect("x");
+            let pred = api::greater(x, &api::scalar(0.0f64))?;
+            tf_eager::cond(&pred, &then_f, &else_f, &[x])
+        })
+    };
+    // One trace serves both branch outcomes.
+    assert_eq!(outer.call_tensors(&[&api::scalar(3.0f64)]).unwrap()[0].scalar_f64().unwrap(), 30.0);
+    assert_eq!(outer.call_tensors(&[&api::scalar(-3.0f64)]).unwrap()[0].scalar_f64().unwrap(), 3.0);
+    assert_eq!(outer.num_concrete(), 1, "host if would have required two traces");
+    // The cond survived as a node in the graph.
+    let conc = outer.concrete_for(&[Arg::from(&api::scalar(0.0f64))]).unwrap();
+    assert!(conc.raw.nodes.iter().any(|n| n.op == "cond"));
+}
+
+/// Likewise `while_loop` inside a trace: the trip count depends on the
+/// runtime value, not on the traced one.
+#[test]
+fn while_inside_trace_stays_dynamic() {
+    tf_eager::init();
+    let cond_f = function("wt_cond", |args| {
+        let i = args[0].as_tensor().expect("i");
+        let limit = args[1].as_tensor().expect("limit");
+        Ok(vec![api::less(i, limit)?])
+    });
+    let body_f = function("wt_body", |args| {
+        let i = args[0].as_tensor().expect("i");
+        let limit = args[1].as_tensor().expect("limit");
+        Ok(vec![api::add(i, &api::scalar(1.0f64))?, limit.clone()])
+    });
+    let outer = {
+        let cond_f = cond_f.clone();
+        let body_f = body_f.clone();
+        function("wt_outer", move |args| {
+            let limit = args[0].as_tensor().expect("limit");
+            let zero = api::scalar(0.0f64);
+            let out = tf_eager::while_loop(&cond_f, &body_f, &[&zero, limit])?;
+            Ok(vec![out[0].clone()])
+        })
+    };
+    assert_eq!(outer.call_tensors(&[&api::scalar(4.0f64)]).unwrap()[0].scalar_f64().unwrap(), 4.0);
+    assert_eq!(outer.call_tensors(&[&api::scalar(9.0f64)]).unwrap()[0].scalar_f64().unwrap(), 9.0);
+    assert_eq!(outer.num_concrete(), 1);
+}
+
+/// §4.2: "there is no meaningful change in the amount of computation ...
+/// needed in the backward pass by staging or unstaging a particular
+/// function". We verify the staged backward executes a comparable number
+/// of primitive nodes to the eager backward's op count (same graph modulo
+/// the optimizer passes), NOT a recomputed forward.
+#[test]
+fn staged_backward_work_matches_eager() {
+    tf_eager::init();
+    let program = |x: &Tensor| -> Result<Tensor, RuntimeError> {
+        let mut h = x.clone();
+        for _ in 0..6 {
+            h = api::tanh(&api::mul(&h, &h)?)?;
+        }
+        api::reduce_sum(&h, &[], false)
+    };
+
+    // Eager: count ops recorded for forward, then count backward ops via a
+    // second tape observing the gradient computation.
+    let x = api::constant(vec![0.3f64, -0.2, 0.7], [3]).unwrap();
+    let outer = GradientTape::persistent();
+    outer.watch(&x);
+    let inner = GradientTape::new();
+    inner.watch(&x);
+    let y = program(&x).unwrap();
+    let fwd_ops = inner.num_recorded();
+    let before = outer.num_recorded();
+    let _g = inner.gradient1(&y, &x).unwrap();
+    let bwd_ops = outer.num_recorded() - before;
+    assert!(fwd_ops >= 13, "forward should be ~13 ops, got {fwd_ops}");
+    assert!(bwd_ops > fwd_ops, "backward does more work than forward");
+
+    // Staged: the backward graph function's node count must be within a
+    // small factor of the eager backward op count (no forward
+    // recomputation, which would double it).
+    let f = function1("work_invariance", move |x| program(x));
+    let conc = f.concrete_for(&[Arg::from(&x)]).unwrap();
+    let bundle = conc.forward_bundle().unwrap();
+    let bwd = context::library().get(&bundle.bwd_name).unwrap();
+    let staged_bwd_nodes = bwd.executable_node_count();
+    assert!(
+        staged_bwd_nodes as f64 <= 1.5 * bwd_ops as f64 + 10.0,
+        "staged backward ({staged_bwd_nodes} nodes) should not exceed eager backward ({bwd_ops} ops)"
+    );
+    // And the forward variant adds no compute nodes, only outputs.
+    let fwd = context::library().get(&bundle.fwd_name).unwrap();
+    assert_eq!(
+        fwd.executable_node_count(),
+        conc.raw.executable_node_count(),
+        "forward-with-intermediates must not recompute anything"
+    );
+}
+
+/// Device copies recorded inside traces execute as `copy` nodes.
+#[test]
+fn copy_nodes_in_graphs() {
+    tf_eager::init();
+    tf_eager::register_sim_device(
+        "/gpu:1",
+        tf_eager::device::profiles::gtx1080(),
+        tf_eager::device::KernelMode::Simulated,
+    )
+    .ok();
+    let f = function1("copies", |x| {
+        let on_gpu = api::copy_to(x, "/gpu:1")?;
+        let back = api::copy_to(&api::square(&on_gpu)?, "/cpu:0")?;
+        api::add(&back, &api::scalar(1.0f32))
+    });
+    let out = f.call1(&api::scalar(3.0f32)).unwrap();
+    assert_eq!(out.scalar_f64().unwrap(), 10.0);
+    let conc = f.concrete_for(&[Arg::from(&api::scalar(0.0f32))]).unwrap();
+    assert_eq!(conc.raw.nodes.iter().filter(|n| n.op == "copy").count(), 2);
+}
+
+/// `print` is stateful: it survives pruning even though nothing consumes
+/// it, and passes values through unchanged.
+#[test]
+fn print_is_kept_by_pruning() {
+    tf_eager::init();
+    let f = function1("printer", |x| {
+        let _side_effect = api::print(x, "traced value: ")?;
+        api::neg(x)
+    });
+    let out = f.call1(&api::scalar(5.0f64)).unwrap();
+    assert_eq!(out.scalar_f64().unwrap(), -5.0);
+    let conc = f.concrete_for(&[Arg::from(&api::scalar(0.0f64))]).unwrap();
+    assert!(
+        conc.function.nodes.iter().any(|n| n.op == "print"),
+        "stateful print must survive optimization"
+    );
+}
+
+/// Parallel executor mode produces the same results as serial for a
+/// staged stateless function.
+#[test]
+fn parallel_exec_mode_for_calls() {
+    tf_eager::init();
+    let f = function1("par_mode", |x| {
+        let mut branches = Vec::new();
+        for i in 0..6 {
+            let c = api::scalar(i as f64);
+            branches.push(api::tanh(&api::add(x, &c)?)?);
+        }
+        let mut acc = branches[0].clone();
+        for b in &branches[1..] {
+            acc = api::add(&acc, b)?;
+        }
+        Ok(acc)
+    });
+    let x = api::constant(vec![0.1f64, 0.2], [2]).unwrap();
+    let serial = f.call1(&x).unwrap().to_f64_vec().unwrap();
+    let prev = context::set_exec_mode(tf_eager::ExecMode::Parallel);
+    let parallel = f.call1(&x).unwrap().to_f64_vec().unwrap();
+    context::set_exec_mode(prev);
+    assert_eq!(serial, parallel);
+}
+
+/// Trace-time errors surface immediately with the same classification an
+/// eager run would produce (§4.1: validation happens while tracing).
+#[test]
+fn trace_time_errors_match_eager_errors() {
+    tf_eager::init();
+    let bad = function("bad_shapes", |args| {
+        let x = args[0].as_tensor().expect("x");
+        // (2,3) @ (2,3) is invalid.
+        Ok(vec![api::matmul(x, x)?])
+    });
+    let x = api::zeros(DType::F32, [2, 3]);
+    let staged_err = bad.call(&[Arg::from(&x)]).unwrap_err().to_string();
+    let eager_err = api::matmul(&x, &x).unwrap_err().to_string();
+    assert_eq!(staged_err, eager_err, "same validation either way");
+}
+
+/// Dead variable ids fail staged execution, matching §4.3's contract:
+/// "staged computations reference variables by unique identifiers, which
+/// are no longer usable if the Python variable objects they reference do
+/// not exist". (A `Func` whose closure clones the variable keeps it alive
+/// — that is the by-reference capture working as intended — so this test
+/// builds the graph directly, as a deserialized trace would.)
+#[test]
+fn dead_variable_in_graph_fails() {
+    tf_eager::init();
+    use tf_eager::graph::GraphBuilder;
+    use tfe_ops::Attrs;
+    let dead_id = {
+        let v = Variable::new(TensorData::scalar(2.0f32));
+        v.id() // v drops here; the id dangles
+    };
+    let mut b = GraphBuilder::new("dead_var_graph");
+    let out = b
+        .add_node(
+            "read_variable",
+            vec![],
+            Attrs::new()
+                .with("var_id", dead_id as i64)
+                .with("dtype", DType::F32)
+                .with("shape", Vec::<i64>::new()),
+        )
+        .unwrap()[0];
+    let g = b.finish(vec![out], 0);
+    let device = context::device_manager().host_cpu();
+    let err = tfe_runtime::executor::run_function(
+        &g,
+        &[],
+        &device,
+        tf_eager::ExecMode::SerialPlanned,
+    )
+    .unwrap_err();
+    assert!(
+        matches!(err, RuntimeError::VariableDead(_)),
+        "expected VariableDead, got {err}"
+    );
+
+    // Conversely: a live clone inside a Func's closure keeps the variable
+    // usable even after the original handle drops.
+    let f = {
+        let v = Variable::new(TensorData::scalar(7.0f32));
+        let cv = v.clone();
+        let f = function("keeps_var_alive", move |_| Ok(vec![cv.read()?]));
+        f.call(&[]).unwrap();
+        drop(v);
+        f
+    };
+    assert_eq!(f.call(&[]).unwrap()[0].scalar_f64().unwrap(), 7.0);
+}
+
+/// Eager dispatch on a cost-only device yields shape-correct placeholder
+/// values and never runs kernels.
+#[test]
+fn cost_only_devices_produce_placeholders() {
+    tf_eager::init();
+    tf_eager::register_sim_device(
+        "/gpu:2",
+        tf_eager::device::profiles::gtx1080(),
+        tf_eager::device::KernelMode::CostOnly,
+    )
+    .ok();
+    let a = api::constant(vec![5.0f32, 5.0], [2]).unwrap();
+    let out = context::with_device("/gpu:2", || api::add(&a, &a)).unwrap().unwrap();
+    assert_eq!(out.shape().unwrap().dims(), &[2]);
+    // Values are zeros (kernel skipped), device is the simulated GPU.
+    assert_eq!(out.to_f64_vec().unwrap(), vec![0.0, 0.0]);
+    assert_eq!(out.device().unwrap().to_string(), "/job:localhost/task:0/device:GPU:2");
+}
+
+/// Stacked device scopes restore correctly, and placement follows the
+/// innermost scope (§4.4).
+#[test]
+fn nested_device_scopes() {
+    tf_eager::init();
+    tf_eager::register_sim_device(
+        "/gpu:4",
+        tf_eager::device::profiles::gtx1080(),
+        tf_eager::device::KernelMode::Simulated,
+    )
+    .ok();
+    let x = api::scalar(1.0f32);
+    let (inner_dev, outer_dev) = context::with_device("/gpu:4", || {
+        let inner = context::with_device("/cpu:0", || {
+            api::add(&x, &x).unwrap().device().unwrap()
+        })
+        .unwrap();
+        let outer = api::add(&x, &x).unwrap().device().unwrap();
+        (inner, outer)
+    })
+    .unwrap();
+    assert_eq!(inner_dev, tf_eager::device::DeviceName::local_cpu());
+    assert_eq!(outer_dev.device_type, tf_eager::device::DeviceType::Gpu);
+    // Scope fully popped.
+    assert_eq!(api::add(&x, &x).unwrap().device().unwrap(), tf_eager::device::DeviceName::local_cpu());
+}
+
+/// An `Arc`'d model shared by two staged functions does not retrace when
+/// called through either (trace caches are per-Func).
+#[test]
+fn shared_state_across_funcs() {
+    tf_eager::init();
+    let v = Arc::new(Variable::new(TensorData::scalar(1.0f32)));
+    let bump = {
+        let v = v.clone();
+        function("shared_bump", move |_| {
+            v.assign_add(&api::scalar(1.0f32))?;
+            Ok(vec![v.read()?])
+        })
+    };
+    let read = {
+        let v = v.clone();
+        function("shared_read", move |_| Ok(vec![v.read()?]))
+    };
+    assert_eq!(bump.call(&[]).unwrap()[0].scalar_f64().unwrap(), 2.0);
+    assert_eq!(read.call(&[]).unwrap()[0].scalar_f64().unwrap(), 2.0);
+    assert_eq!(bump.call(&[]).unwrap()[0].scalar_f64().unwrap(), 3.0);
+    assert_eq!(read.call(&[]).unwrap()[0].scalar_f64().unwrap(), 3.0);
+}
+
+/// Creating variables inside `init_scope` lifts the creation *out* of the
+/// trace — the state-creation contract sees no in-trace creation, so the
+/// function traces only once (this is exactly what `init_scope` is for:
+/// "we use this scope to implement function's state-creation contract").
+#[test]
+fn init_scope_lifts_state_creation() {
+    tf_eager::init();
+    use parking_lot::Mutex;
+    let slot: Arc<Mutex<Option<Variable>>> = Arc::new(Mutex::new(None));
+    let trace_count = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let f = {
+        let slot = slot.clone();
+        let trace_count = trace_count.clone();
+        function("init_scope_state", move |_| {
+            trace_count.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            tf_eager::init_scope(|| {
+                let mut guard = slot.lock();
+                if guard.is_none() {
+                    *guard = Some(Variable::new(TensorData::scalar(9.0f32)));
+                }
+            });
+            slot.lock().as_ref().unwrap().read().map(|t| vec![t])
+        })
+    };
+    assert_eq!(f.call(&[]).unwrap()[0].scalar_f64().unwrap(), 9.0);
+    // One trace, not two: the creation was invisible to the contract.
+    assert_eq!(trace_count.load(std::sync::atomic::Ordering::SeqCst), 1);
+}
