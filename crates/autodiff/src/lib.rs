@@ -31,7 +31,9 @@ pub mod registry;
 mod tape_api;
 
 pub use backprop::{accumulate, accumulate_many};
-pub use registry::{ensure_gradients, gradient_fn, has_gradient, register_gradient, GradCtx, GradFn};
+pub use registry::{
+    ensure_gradients, gradient_fn, has_gradient, register_gradient, GradCtx, GradFn,
+};
 pub use tape_api::{value_and_grad, GradientTape};
 
 #[cfg(test)]
@@ -123,11 +125,7 @@ mod tests {
             let yp = f(&api::constant(xp, [n]).unwrap());
             let lp = api::reduce_sum(&yp, &[], false).unwrap().scalar_f64().unwrap();
             let fd = (lp - base) / eps;
-            assert!(
-                (fd - g[i]).abs() < tol,
-                "element {i}: fd={fd} analytic={}",
-                g[i]
-            );
+            assert!((fd - g[i]).abs() < tol, "element {i}: fd={fd} analytic={}", g[i]);
         }
     }
 
@@ -212,10 +210,7 @@ mod tests {
         tape.watch(&x);
         let s = api::slice(&x, &[1], &[2]).unwrap();
         let l = api::reduce_sum(&s, &[], false).unwrap();
-        assert_eq!(
-            tape.gradient1(&l, &x).unwrap().to_f64_vec().unwrap(),
-            vec![0.0, 1.0, 1.0, 0.0]
-        );
+        assert_eq!(tape.gradient1(&l, &x).unwrap().to_f64_vec().unwrap(), vec![0.0, 1.0, 1.0, 0.0]);
         let p = api::pad(&x, &[(2, 1)], 0.0).unwrap();
         let l2 = api::reduce_sum(&p, &[], false).unwrap();
         assert_eq!(tape.gradient1(&l2, &x).unwrap().to_f64_vec().unwrap(), vec![1.0; 4]);
@@ -294,7 +289,7 @@ mod tests {
         let (d, s) = tfe_ops::catalog::encode_sig(&[(DType::F64, tfe_ops::SymShape::scalar())]);
         let y = tfe_runtime::context::execute(
             "host_func",
-            &[x.clone()],
+            std::slice::from_ref(&x),
             tfe_ops::Attrs::new()
                 .with("fn_id", id as i64)
                 .with("out_dtypes", d)
@@ -335,12 +330,9 @@ mod extended_gradient_tests {
         let w = api::constant(vec![1.0f64, 10.0, 100.0], [3]).unwrap();
         let tape = GradientTape::new();
         tape.watch(&x);
-        let loss = api::reduce_sum(
-            &api::mul(&w, &api::reverse(&x, 0).unwrap()).unwrap(),
-            &[],
-            false,
-        )
-        .unwrap();
+        let loss =
+            api::reduce_sum(&api::mul(&w, &api::reverse(&x, 0).unwrap()).unwrap(), &[], false)
+                .unwrap();
         let g = tape.gradient1(&loss, &x).unwrap().to_f64_vec().unwrap();
         assert_eq!(g, vec![100.0, 10.0, 1.0]);
     }

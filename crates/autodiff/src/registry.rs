@@ -84,9 +84,11 @@ pub fn register_gradient(op: &str, f: GradFn) {
 /// [`RuntimeError::Unsupported`] when no gradient is registered.
 pub fn gradient_fn(op: &str) -> Result<GradFn> {
     ensure_gradients();
-    registry().read().get(op).copied().ok_or_else(|| {
-        RuntimeError::Unsupported(format!("no gradient registered for op `{op}`"))
-    })
+    registry()
+        .read()
+        .get(op)
+        .copied()
+        .ok_or_else(|| RuntimeError::Unsupported(format!("no gradient registered for op `{op}`")))
 }
 
 /// Whether `op` has a registered gradient.
@@ -191,25 +193,16 @@ fn register_all() {
     // --- binary elementwise -------------------------------------------------
     grad!("add", |c| {
         let g = c.grad(0)?;
-        Ok(vec![
-            Some(sum_to_like(g, c.input(0)?)?),
-            Some(sum_to_like(g, c.input(1)?)?),
-        ])
+        Ok(vec![Some(sum_to_like(g, c.input(0)?)?), Some(sum_to_like(g, c.input(1)?)?)])
     });
     grad!("sub", |c| {
         let g = c.grad(0)?;
-        Ok(vec![
-            Some(sum_to_like(g, c.input(0)?)?),
-            Some(sum_to_like(&api::neg(g)?, c.input(1)?)?),
-        ])
+        Ok(vec![Some(sum_to_like(g, c.input(0)?)?), Some(sum_to_like(&api::neg(g)?, c.input(1)?)?)])
     });
     grad!("mul", |c| {
         let g = c.grad(0)?;
         let (a, b) = (c.input(0)?, c.input(1)?);
-        Ok(vec![
-            Some(sum_to_like(&api::mul(g, b)?, a)?),
-            Some(sum_to_like(&api::mul(g, a)?, b)?),
-        ])
+        Ok(vec![Some(sum_to_like(&api::mul(g, b)?, a)?), Some(sum_to_like(&api::mul(g, a)?, b)?)])
     });
     grad!("div", |c| {
         let g = c.grad(0)?;
@@ -228,9 +221,17 @@ fn register_all() {
         let ga = api::mul(g, &api::mul(b, &api::pow(a, &bm1)?)?)?;
         let safe_log = api::select(
             &api::greater(a, &zeros_like(a)?)?,
-            &api::log(&api::maximum(a, &api::mul(&ones_like(a)?, &api::constant_data(
-                tfe_tensor::TensorData::fill_f64(a.dtype(), tfe_tensor::Shape::scalar(), 1e-30),
-            ))?)?)?,
+            &api::log(&api::maximum(
+                a,
+                &api::mul(
+                    &ones_like(a)?,
+                    &api::constant_data(tfe_tensor::TensorData::fill_f64(
+                        a.dtype(),
+                        tfe_tensor::Shape::scalar(),
+                        1e-30,
+                    )),
+                )?,
+            )?)?,
             &zeros_like(a)?,
         )?;
         let gb = api::mul(g, &api::mul(y, &safe_log)?)?;
@@ -257,10 +258,7 @@ fn register_all() {
         let (a, b) = (c.input(0)?, c.input(1)?);
         let d = api::sub(a, b)?;
         let ga = api::mul(g, &api::mul(&two(&d), &d)?)?;
-        Ok(vec![
-            Some(sum_to_like(&ga, a)?),
-            Some(sum_to_like(&api::neg(&ga)?, b)?),
-        ])
+        Ok(vec![Some(sum_to_like(&ga, a)?), Some(sum_to_like(&api::neg(&ga)?, b)?)])
     });
     grad!("mod", |c| {
         let g = c.grad(0)?;
@@ -303,9 +301,7 @@ fn register_all() {
         let y = c.output(0)?;
         Ok(vec![Some(api::neg(&api::mul(c.grad(0)?, &api::square(y)?)?)?)])
     });
-    grad!("relu", |c| {
-        Ok(vec![Some(api::mul(c.grad(0)?, &step_mask(c.input(0)?)?)?)])
-    });
+    grad!("relu", |c| { Ok(vec![Some(api::mul(c.grad(0)?, &step_mask(c.input(0)?)?)?)]) });
     grad!("sigmoid", |c| {
         let y = c.output(0)?;
         let one_minus = api::sub(&ones_like(y)?, y)?;
@@ -316,9 +312,7 @@ fn register_all() {
         let one_minus = api::sub(&ones_like(y)?, &api::square(y)?)?;
         Ok(vec![Some(api::mul(c.grad(0)?, &one_minus)?)])
     });
-    grad!("softplus", |c| {
-        Ok(vec![Some(api::mul(c.grad(0)?, &api::sigmoid(c.input(0)?)?)?)])
-    });
+    grad!("softplus", |c| { Ok(vec![Some(api::mul(c.grad(0)?, &api::sigmoid(c.input(0)?)?)?)]) });
     grad!("sin", |c| Ok(vec![Some(api::mul(c.grad(0)?, &api::cos(c.input(0)?)?)?)]));
     grad!("cos", |c| {
         Ok(vec![Some(api::neg(&api::mul(c.grad(0)?, &api::sin(c.input(0)?)?)?)?)])
@@ -381,9 +375,7 @@ fn register_all() {
         for input in &c.record.inputs {
             let dims = input.sym_shape();
             let extent = dims.dims()[ax].ok_or_else(|| {
-                RuntimeError::Unsupported(
-                    "concat gradient with unknown axis extent".to_string(),
-                )
+                RuntimeError::Unsupported("concat gradient with unknown axis extent".to_string())
             })? as i64;
             let mut begin = vec![0i64; dims.rank()];
             begin[ax] = offset;
@@ -471,9 +463,15 @@ fn register_all() {
         let ta = c.attrs().bool_or("transpose_a", false).map_err(tfe_ops::OpError::from)?;
         let tb = c.attrs().bool_or("transpose_b", false).map_err(tfe_ops::OpError::from)?;
         let (ga, gb) = match (ta, tb) {
-            (false, false) => (api::matmul_t(g, b, false, true)?, api::matmul_t(a, g, true, false)?),
-            (true, false) => (api::matmul_t(b, g, false, true)?, api::matmul_t(a, g, false, false)?),
-            (false, true) => (api::matmul_t(g, b, false, false)?, api::matmul_t(g, a, true, false)?),
+            (false, false) => {
+                (api::matmul_t(g, b, false, true)?, api::matmul_t(a, g, true, false)?)
+            }
+            (true, false) => {
+                (api::matmul_t(b, g, false, true)?, api::matmul_t(a, g, false, false)?)
+            }
+            (false, true) => {
+                (api::matmul_t(g, b, false, false)?, api::matmul_t(g, a, true, false)?)
+            }
             (true, true) => (api::matmul_t(b, g, true, true)?, api::matmul_t(g, a, true, true)?),
         };
         Ok(vec![Some(ga), Some(gb)])
@@ -577,8 +575,7 @@ fn register_all() {
     // under a fresh tape and differentiates it; inside a trace this emits a
     // new `host_func` node wrapping that computation.
     grad!("host_func", |c| {
-        let fn_id =
-            c.attrs().int("fn_id").map_err(tfe_ops::OpError::from)? as u64;
+        let fn_id = c.attrs().int("fn_id").map_err(tfe_ops::OpError::from)? as u64;
         let inputs: Vec<Tensor> = c.record.inputs.clone();
         let grads: Vec<Tensor> = c.output_grads.to_vec();
         let all: Vec<Tensor> = inputs.iter().chain(grads.iter()).cloned().collect();
@@ -595,8 +592,7 @@ fn register_all() {
                 let sources: Vec<&Tensor> = xs.iter().collect();
                 let mut acc: Vec<Option<Tensor>> = vec![None; xs.len()];
                 for (y, g) in ys.iter().zip(gs) {
-                    let partial =
-                        tape.gradient_with_output_grad(y, Some(g.clone()), &sources)?;
+                    let partial = tape.gradient_with_output_grad(y, Some(g.clone()), &sources)?;
                     for (slot, p) in acc.iter_mut().zip(partial) {
                         *slot = match (slot.take(), p) {
                             (None, x) => x,
@@ -605,8 +601,7 @@ fn register_all() {
                         };
                     }
                 }
-                acc
-                    .into_iter()
+                acc.into_iter()
                     .enumerate()
                     .map(|(i, g)| match g {
                         Some(g) => Ok(g),
@@ -621,10 +616,7 @@ fn register_all() {
         let out = tfe_runtime::context::execute(
             "host_func",
             &all,
-            Attrs::new()
-                .with("fn_id", grad_id as i64)
-                .with("out_dtypes", d)
-                .with("out_shapes", s),
+            Attrs::new().with("fn_id", grad_id as i64).with("out_dtypes", d).with("out_shapes", s),
         )?;
         Ok(out.into_iter().map(Some).collect())
     });
@@ -636,9 +628,11 @@ fn pool_grad(c: &GradCtx, grad_op: &str) -> Result<Vec<Option<Tensor>>> {
         &[c.input(0)?.clone(), c.grad(0)?.clone()],
         c.attrs().clone(),
     )?;
-    Ok(vec![Some(out.into_iter().next().ok_or_else(|| {
-        RuntimeError::Internal("pool grad returned nothing".to_string())
-    })?)])
+    Ok(vec![Some(
+        out.into_iter()
+            .next()
+            .ok_or_else(|| RuntimeError::Internal("pool grad returned nothing".to_string()))?,
+    )])
 }
 
 fn minmax_grad(c: &GradCtx) -> Result<Vec<Option<Tensor>>> {
@@ -655,13 +649,6 @@ fn minmax_grad(c: &GradCtx) -> Result<Vec<Option<Tensor>>> {
     Ok(vec![Some(share)])
 }
 
-fn batch_transpose(t: &Tensor) -> Result<Tensor> {
-    let rank = t.rank() as i64;
-    let mut perm: Vec<i64> = (0..rank).collect();
-    perm.swap((rank - 1) as usize, (rank - 2) as usize);
-    api::transpose(t, &perm)
-}
-
 /// Reshape `g` to the (possibly partially-unknown) shape of `reference`.
 fn reshape_like(g: &Tensor, reference: &Tensor) -> Result<Tensor> {
     let dims = reference.sym_shape();
@@ -671,8 +658,7 @@ fn reshape_like(g: &Tensor, reference: &Tensor) -> Result<Tensor> {
             "reshape gradient with more than one unknown dimension".to_string(),
         ));
     }
-    let target: Vec<i64> =
-        dims.dims().iter().map(|d| d.map(|v| v as i64).unwrap_or(-1)).collect();
+    let target: Vec<i64> = dims.dims().iter().map(|d| d.map(|v| v as i64).unwrap_or(-1)).collect();
     api::reshape(g, &target)
 }
 
@@ -705,8 +691,17 @@ mod tests {
     fn registry_contains_core_ops() {
         ensure_gradients();
         for op in [
-            "add", "mul", "matmul", "relu", "reduce_sum", "conv2d", "softmax",
-            "read_variable", "reshape", "sigmoid", "host_func",
+            "add",
+            "mul",
+            "matmul",
+            "relu",
+            "reduce_sum",
+            "conv2d",
+            "softmax",
+            "read_variable",
+            "reshape",
+            "sigmoid",
+            "host_func",
         ] {
             assert!(has_gradient(op), "missing gradient for {op}");
         }

@@ -7,7 +7,7 @@
 //! Python front-end.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use tfe_runtime::api;
+use tfe_runtime::{api, context, ExecMode};
 use tfe_tensor::DType;
 
 fn bench_eager_dispatch(c: &mut Criterion) {
@@ -25,6 +25,37 @@ fn bench_eager_dispatch(c: &mut Criterion) {
         bench.iter(|| api::matmul(&m, &m).unwrap());
     });
     group.finish();
+}
+
+fn bench_staged_dispatch(c: &mut Criterion) {
+    tfe_core::init();
+    context::reset_exec_stats();
+    // The same op chain dispatched through the graph executor instead of
+    // per-op eager dispatch, in both scheduling modes; the exec-stats line
+    // printed afterwards shows nodes/kernels per call and queue behaviour.
+    let mut group = c.benchmark_group("staged_dispatch");
+    let f = tfe_core::function1("bench_staged_dispatch", |x| {
+        let mut branches = Vec::new();
+        for _ in 0..8 {
+            branches.push(api::tanh(&api::exp(x)?)?);
+        }
+        let mut acc = branches[0].clone();
+        for b in &branches[1..] {
+            acc = api::add(&acc, b)?;
+        }
+        Ok(acc)
+    });
+    let x = api::zeros(DType::F32, [16_384]);
+    f.call1(&x).unwrap(); // trace outside the timed region
+    for (name, mode) in [("serial", ExecMode::SerialPlanned), ("parallel", ExecMode::Parallel)] {
+        group.bench_function(name, |bench| {
+            let prev = context::set_exec_mode(mode);
+            bench.iter(|| f.call1(&x).unwrap());
+            context::set_exec_mode(prev);
+        });
+    }
+    group.finish();
+    tfe_bench::report_exec_stats("staged_dispatch");
 }
 
 fn bench_gradient(c: &mut Criterion) {
@@ -50,6 +81,6 @@ criterion_group! {
         .sample_size(12)
         .warm_up_time(std::time::Duration::from_millis(300))
         .measurement_time(std::time::Duration::from_millis(900));
-    targets = bench_eager_dispatch, bench_gradient
+    targets = bench_eager_dispatch, bench_staged_dispatch, bench_gradient
 }
 criterion_main!(benches);

@@ -52,9 +52,7 @@ fn bench_pass_pipelines(c: &mut Criterion) {
         b.iter(|| passes::optimize(&f, &passes::OptimizeOptions::default(), Some(&evaluator)));
     });
     group.bench_function("aggressive_with_fusion", |b| {
-        b.iter(|| {
-            passes::optimize(&f, &passes::OptimizeOptions::aggressive(), Some(&evaluator))
-        });
+        b.iter(|| passes::optimize(&f, &passes::OptimizeOptions::aggressive(), Some(&evaluator)));
     });
     group.finish();
 }
@@ -71,8 +69,13 @@ fn bench_executor_ablation(c: &mut Criterion) {
     for (name, g) in [("unoptimized", &unopt), ("optimized", &opt), ("fused", &fused)] {
         group.bench_function(name, |b| {
             b.iter(|| {
-                executor::run_function(g, &[x.clone()], &device, ExecMode::SerialPlanned)
-                    .unwrap()
+                executor::run_function(
+                    g,
+                    std::slice::from_ref(&x),
+                    &device,
+                    ExecMode::SerialPlanned,
+                )
+                .unwrap()
             });
         });
     }
@@ -93,18 +96,26 @@ fn bench_executor_ablation(c: &mut Criterion) {
         b.finish(vec![acc], 0)
     };
     let big = Arc::new(TensorData::zeros(DType::F32, [65_536]));
+    tfe_runtime::context::reset_exec_stats();
     group.bench_function("wide_serial", |b| {
         b.iter(|| {
-            executor::run_function(&wide, &[big.clone()], &device, ExecMode::SerialPlanned)
-                .unwrap()
+            executor::run_function(
+                &wide,
+                std::slice::from_ref(&big),
+                &device,
+                ExecMode::SerialPlanned,
+            )
+            .unwrap()
         });
     });
     group.bench_function("wide_parallel", |b| {
         b.iter(|| {
-            executor::run_function(&wide, &[big.clone()], &device, ExecMode::Parallel).unwrap()
+            executor::run_function(&wide, std::slice::from_ref(&big), &device, ExecMode::Parallel)
+                .unwrap()
         });
     });
     group.finish();
+    tfe_bench::report_exec_stats("wide_graph");
 }
 
 fn bench_memory_planner(c: &mut Criterion) {

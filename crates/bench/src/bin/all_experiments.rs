@@ -28,8 +28,7 @@ fn main() {
     let mut rows: Vec<Measurement> = Vec::new();
     for &batch in batches {
         let (x, y) = resnet.batch(batch).expect("inputs");
-        for config in
-            [ExecutionConfig::Eager, ExecutionConfig::Staged, ExecutionConfig::GraphMode]
+        for config in [ExecutionConfig::Eager, ExecutionConfig::Staged, ExecutionConfig::GraphMode]
         {
             eprintln!("figure3 batch {batch:>2} {}", config.label());
             rows.push(
@@ -65,15 +64,13 @@ fn main() {
 
     // ---- Figure 4 -----------------------------------------------------------
     let fig4 = calibrate::figure4_cpu();
-    let cpu =
-        sim_device("/job:localhost/task:0/device:CPU:1", &fig4, KernelMode::Simulated);
+    let cpu = sim_device("/job:localhost/task:0/device:CPU:1", &fig4, KernelMode::Simulated);
     let l2hmc = if quick || tiny { L2hmcWorkload::new(2, 4) } else { L2hmcWorkload::paper() };
     let samples: &[usize] = &[10, 25, 50, 100, 200];
     let mut rows: Vec<Measurement> = Vec::new();
     for &n in samples {
         let x = l2hmc.chain(n);
-        for config in
-            [ExecutionConfig::Eager, ExecutionConfig::Staged, ExecutionConfig::GraphMode]
+        for config in [ExecutionConfig::Eager, ExecutionConfig::Staged, ExecutionConfig::GraphMode]
         {
             eprintln!("figure4 samples {n:>3} {}", config.label());
             rows.push(

@@ -26,27 +26,21 @@ fn main() {
     let mut rows: Vec<Measurement> = Vec::new();
     for &batch in batches {
         let (x, y) = workload.batch(batch).expect("inputs");
-        for config in
-            [ExecutionConfig::Eager, ExecutionConfig::Staged, ExecutionConfig::GraphMode]
+        for config in [ExecutionConfig::Eager, ExecutionConfig::Staged, ExecutionConfig::GraphMode]
         {
             eprintln!("  batch {batch:>2}  {}", config.label());
-            let m = measure(config, &profile, &device, batch, warmup, runs, iters, || {
-                match config {
+            let m =
+                measure(config, &profile, &device, batch, warmup, runs, iters, || match config {
                     ExecutionConfig::Eager => workload.eager_step(&x, &y),
                     _ => workload.staged_step(&x, &y),
-                }
-            })
-            .expect("measurement");
+                })
+                .expect("measurement");
             rows.push(m);
         }
     }
     println!(
         "{}",
-        render_table(
-            "Figure 3: ResNet-50 training on GPU (examples/sec)",
-            batches,
-            &rows
-        )
+        render_table("Figure 3: ResNet-50 training on GPU (examples/sec)", batches, &rows)
     );
     println!(
         "paper (GTX 1080): TFE ~120 and TF ~125 ex/s at batch 32; staging wins \

@@ -15,8 +15,7 @@ fn main() {
     let profile = calibrate::figure4_cpu();
     // A *simulated* CPU (index 1): the host CPU at index 0 keeps running
     // kernels for real; this one also charges the virtual clock.
-    let device =
-        sim_device("/job:localhost/task:0/device:CPU:1", &profile, KernelMode::Simulated);
+    let device = sim_device("/job:localhost/task:0/device:CPU:1", &profile, KernelMode::Simulated);
 
     let workload = if quick { L2hmcWorkload::new(2, 4) } else { L2hmcWorkload::paper() };
     let sample_counts: &[usize] = &[10, 25, 50, 100, 200];
@@ -25,17 +24,15 @@ fn main() {
     let mut rows: Vec<Measurement> = Vec::new();
     for &samples in sample_counts {
         let x = workload.chain(samples);
-        for config in
-            [ExecutionConfig::Eager, ExecutionConfig::Staged, ExecutionConfig::GraphMode]
+        for config in [ExecutionConfig::Eager, ExecutionConfig::Staged, ExecutionConfig::GraphMode]
         {
             eprintln!("  samples {samples:>3}  {}", config.label());
-            let m = measure(config, &profile, &device, samples, warmup, runs, iters, || {
-                match config {
+            let m =
+                measure(config, &profile, &device, samples, warmup, runs, iters, || match config {
                     ExecutionConfig::Eager => workload.eager_step(&x),
                     _ => workload.staged_step(&x),
-                }
-            })
-            .expect("measurement");
+                })
+                .expect("measurement");
             rows.push(m);
         }
     }

@@ -29,13 +29,12 @@ fn main() {
         let (x, y) = workload.batch(batch).expect("inputs");
         for config in [ExecutionConfig::Eager, ExecutionConfig::Staged] {
             eprintln!("  batch {batch:>2}  {}", config.label());
-            let m = measure(config, &profile, &device, batch, warmup, runs, iters, || {
-                match config {
+            let m =
+                measure(config, &profile, &device, batch, warmup, runs, iters, || match config {
                     ExecutionConfig::Eager => workload.eager_step(&x, &y),
                     _ => workload.staged_step(&x, &y),
-                }
-            })
-            .expect("measurement");
+                })
+                .expect("measurement");
             rows.push(m);
         }
     }
@@ -46,9 +45,10 @@ fn main() {
         print!("{b:>9}");
     }
     println!();
-    for (label, config) in
-        [("TensorFlow Eager", ExecutionConfig::Eager), ("TFE with function", ExecutionConfig::Staged)]
-    {
+    for (label, config) in [
+        ("TensorFlow Eager", ExecutionConfig::Eager),
+        ("TFE with function", ExecutionConfig::Staged),
+    ] {
         print!("{label:<28}");
         for b in batches {
             let m = rows.iter().find(|m| m.config == config && m.batch == *b);

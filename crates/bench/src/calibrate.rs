@@ -127,10 +127,7 @@ pub fn figure4_cpu() -> SimProfile {
         eager_compile_ns: 0.0,
         staged_call_latency_ns: 0.0,
     };
-    let graph_mode = DispatchModel {
-        function_call_ns: 110_000.0,
-        ..staged.clone()
-    };
+    let graph_mode = DispatchModel { function_call_ns: 110_000.0, ..staged.clone() };
     // CPU kernels run on the dispatching thread: no overlap.
     SimProfile { compute, overlap: 0.0, eager, staged, graph_mode }
 }

@@ -57,6 +57,28 @@ pub struct Measurement {
     pub staged_nodes_per_step: f64,
 }
 
+/// Print the executor's cumulative scheduling counters (see
+/// [`tfe_runtime::context::exec_stats`]) under a benchmark tag, so bench
+/// runs report what the scheduler actually did — nodes and kernels
+/// executed, serial vs parallel runs, peak ready-queue depth and peak
+/// live intermediate bytes — alongside the wall-clock numbers.
+///
+/// Call [`tfe_runtime::context::reset_exec_stats`] first to scope the
+/// counters to one benchmark.
+pub fn report_exec_stats(tag: &str) {
+    let s = context::exec_stats();
+    println!(
+        "exec_stats[{tag}]: nodes={} kernels={} serial_runs={} parallel_runs={} \
+         max_queue_depth={} peak_live_bytes={}",
+        s.nodes_executed,
+        s.kernels_launched,
+        s.serial_runs,
+        s.parallel_runs,
+        s.max_queue_depth,
+        s.peak_live_bytes
+    );
+}
+
 /// Register (idempotently) a simulated device and return it.
 ///
 /// # Panics
@@ -77,6 +99,7 @@ pub fn sim_device(name: &str, profile: &SimProfile, mode: KernelMode) -> Device 
 ///
 /// # Errors
 /// Propagates step failures.
+#[allow(clippy::too_many_arguments)]
 pub fn measure(
     config: ExecutionConfig,
     profile: &SimProfile,
@@ -112,8 +135,7 @@ pub fn measure(
             })?;
             let host = stats.clock.now_secs();
             let device = stats.device_clock.now_secs();
-            total_secs +=
-                host.max(device) + (1.0 - profile.overlap) * host.min(device);
+            total_secs += host.max(device) + (1.0 - profile.overlap) * host.min(device);
             let counters = stats.counters();
             eager_ops += counters.eager_ops;
             staged_nodes += counters.staged_nodes;
@@ -199,16 +221,10 @@ pub fn to_json(experiment: &str, rows: &[Measurement]) -> tfe_encode::Value {
                         Value::object([
                             ("config".to_string(), Value::str(m.config.label())),
                             ("batch".to_string(), Value::Int(m.batch as i64)),
-                            (
-                                "examples_per_sec".to_string(),
-                                Value::Float(m.examples_per_sec),
-                            ),
+                            ("examples_per_sec".to_string(), Value::Float(m.examples_per_sec)),
                             ("step_seconds".to_string(), Value::Float(m.step_seconds)),
                             ("eager_ops".to_string(), Value::Float(m.eager_ops_per_step)),
-                            (
-                                "staged_nodes".to_string(),
-                                Value::Float(m.staged_nodes_per_step),
-                            ),
+                            ("staged_nodes".to_string(), Value::Float(m.staged_nodes_per_step)),
                         ])
                     })
                     .collect(),
@@ -226,21 +242,13 @@ mod tests {
     #[test]
     fn measure_counts_and_charges_time() {
         let profile = figure4_cpu();
-        let device = sim_device("/job:localhost/task:0/device:CPU:9", &profile, KernelMode::Simulated);
+        let device =
+            sim_device("/job:localhost/task:0/device:CPU:9", &profile, KernelMode::Simulated);
         let a = api::scalar(1.0f32);
-        let m = measure(
-            ExecutionConfig::Eager,
-            &profile,
-            &device,
-            4,
-            1,
-            2,
-            5,
-            || {
-                let _ = api::add(&a, &a)?;
-                Ok(())
-            },
-        )
+        let m = measure(ExecutionConfig::Eager, &profile, &device, 4, 1, 2, 5, || {
+            let _ = api::add(&a, &a)?;
+            Ok(())
+        })
         .unwrap();
         assert!(m.examples_per_sec > 0.0);
         assert!(m.step_seconds > 0.0);

@@ -14,4 +14,4 @@ pub mod calibrate;
 pub mod harness;
 pub mod workloads;
 
-pub use harness::{measure, ExecutionConfig, Measurement};
+pub use harness::{measure, report_exec_stats, ExecutionConfig, Measurement};

@@ -58,8 +58,7 @@ impl ResnetWorkload {
     /// Tensor construction failures.
     pub fn batch(&self, batch: usize) -> Result<(Tensor, Tensor)> {
         let hw = self.image_hw;
-        let images =
-            Tensor::from_data(TensorData::zeros(DType::F32, [batch, hw, hw, 3]));
+        let images = Tensor::from_data(TensorData::zeros(DType::F32, [batch, hw, hw, 3]));
         let labels = Tensor::from_data(TensorData::from_f64_vec(
             DType::I64,
             (0..batch).map(|i| (i % self.classes) as f64).collect(),
@@ -159,10 +158,9 @@ mod tests {
         let device = sim_device("/gpu:3", &profile, KernelMode::CostOnly);
         let w = ResnetWorkload::tiny();
         let (x, y) = w.batch(2).unwrap();
-        let eager = measure(ExecutionConfig::Eager, &profile, &device, 2, 1, 1, 2, || {
-            w.eager_step(&x, &y)
-        })
-        .unwrap();
+        let eager =
+            measure(ExecutionConfig::Eager, &profile, &device, 2, 1, 1, 2, || w.eager_step(&x, &y))
+                .unwrap();
         let staged = measure(ExecutionConfig::Staged, &profile, &device, 2, 2, 1, 2, || {
             w.staged_step(&x, &y)
         })
@@ -180,14 +178,12 @@ mod tests {
             sim_device("/job:localhost/task:0/device:CPU:7", &profile, KernelMode::Simulated);
         let w = L2hmcWorkload::new(2, 4);
         let x = w.chain(8);
-        let eager = measure(ExecutionConfig::Eager, &profile, &device, 8, 1, 1, 2, || {
-            w.eager_step(&x)
-        })
-        .unwrap();
-        let staged = measure(ExecutionConfig::Staged, &profile, &device, 8, 2, 1, 2, || {
-            w.staged_step(&x)
-        })
-        .unwrap();
+        let eager =
+            measure(ExecutionConfig::Eager, &profile, &device, 8, 1, 1, 2, || w.eager_step(&x))
+                .unwrap();
+        let staged =
+            measure(ExecutionConfig::Staged, &profile, &device, 8, 2, 1, 2, || w.staged_step(&x))
+                .unwrap();
         assert!(eager.eager_ops_per_step > 30.0);
         assert!(staged.examples_per_sec > eager.examples_per_sec);
     }

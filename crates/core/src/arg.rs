@@ -71,10 +71,9 @@ impl Arg {
     /// The cache-key component for this argument (binding-time analysis).
     pub fn key(&self) -> ArgKey {
         match self {
-            Arg::Tensor(t) => ArgKey::Tensor {
-                dtype: t.dtype(),
-                dims: t.sym_shape().dims().to_vec(),
-            },
+            Arg::Tensor(t) => {
+                ArgKey::Tensor { dtype: t.dtype(), dims: t.sym_shape().dims().to_vec() }
+            }
             Arg::Int(v) => ArgKey::Int(*v),
             Arg::Float(v) => ArgKey::Float(v.to_bits()),
             Arg::Bool(v) => ArgKey::Bool(*v),

@@ -124,8 +124,7 @@ pub fn build_bundle(conc: &Arc<ConcreteFunction>) -> Result<ForwardBundle> {
             if node.op == "placeholder" || node.op == "const" || node.outputs.is_empty() {
                 continue;
             }
-            let inputs: Vec<Tensor> =
-                node.inputs.iter().map(|t| value_of[t].clone()).collect();
+            let inputs: Vec<Tensor> = node.inputs.iter().map(|t| value_of[t].clone()).collect();
             let outputs: Vec<Tensor> = (0..node.outputs.len())
                 .map(|o| value_of[&TensorRef { node: NodeId(i), output: o }].clone())
                 .collect();
@@ -174,12 +173,8 @@ pub fn build_bundle(conc: &Arc<ConcreteFunction>) -> Result<ForwardBundle> {
                 Some(g) => outs.push(g.clone()),
                 None => {
                     outs.push(
-                        context::execute(
-                            "zeros_like",
-                            std::slice::from_ref(ph),
-                            Attrs::new(),
-                        )?
-                        .remove(0),
+                        context::execute("zeros_like", std::slice::from_ref(ph), Attrs::new())?
+                            .remove(0),
                     );
                 }
             }
@@ -288,8 +283,7 @@ fn call_gradient(c: &GradCtx) -> Result<Vec<Option<Tensor>>> {
         bwd_inputs.extend(c.output_grads[..bundle.n_primary].iter().cloned());
         for t in &intermediates {
             bwd_inputs.push(
-                context::execute("zeros_like", std::slice::from_ref(t), Attrs::new())?
-                    .remove(0),
+                context::execute("zeros_like", std::slice::from_ref(t), Attrs::new())?.remove(0),
             );
         }
     }
@@ -323,8 +317,7 @@ fn cond_gradient(c: &GradCtx) -> Result<Vec<Option<Tensor>>> {
         .ok_or_else(|| RuntimeError::Internal("cond record without predicate".into()))?;
     let Ok(pred_value) = pred.scalar_f64() else {
         return Err(RuntimeError::Unsupported(
-            "gradient of a `cond` traced inside another function (symbolic predicate)"
-                .to_string(),
+            "gradient of a `cond` traced inside another function (symbolic predicate)".to_string(),
         ));
     };
     let branch_attr = if pred_value != 0.0 { "then_fn" } else { "else_fn" };
@@ -349,9 +342,8 @@ fn cond_gradient(c: &GradCtx) -> Result<Vec<Option<Tensor>>> {
     let mut bwd_inputs = intermediates.clone();
     bwd_inputs.extend(c.output_grads[..bundle.n_primary].iter().cloned());
     for t in &intermediates {
-        bwd_inputs.push(
-            context::execute("zeros_like", std::slice::from_ref(t), Attrs::new())?.remove(0),
-        );
+        bwd_inputs
+            .push(context::execute("zeros_like", std::slice::from_ref(t), Attrs::new())?.remove(0));
     }
     bwd_inputs.extend(bundle.bwd_captures.iter().cloned());
     let bwd = context::library()

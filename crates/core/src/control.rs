@@ -14,7 +14,12 @@ use tfe_tensor::DType;
 ///
 /// # Errors
 /// Branch signature mismatches or execution failures.
-pub fn cond(pred: &Tensor, then_fn: &Func, else_fn: &Func, args: &[&Tensor]) -> Result<Vec<Tensor>> {
+pub fn cond(
+    pred: &Tensor,
+    then_fn: &Func,
+    else_fn: &Func,
+    args: &[&Tensor],
+) -> Result<Vec<Tensor>> {
     crate::init();
     let arg_list: Vec<Arg> = args.iter().map(|&t| Arg::from(t)).collect();
     let t = then_fn.concrete_for(&arg_list)?;
@@ -79,10 +84,7 @@ pub fn while_loop(cond_fn: &Func, body_fn: &Func, init: &[&Tensor]) -> Result<Ve
         init.iter().map(|t| (t.dtype(), t.sym_shape())).collect();
     let b_sig = b.function.output_sigs();
     if b_sig.len() != state_sig.len()
-        || b_sig
-            .iter()
-            .zip(&state_sig)
-            .any(|(a, s)| a.0 != s.0 || !a.1.compatible_with(&s.1))
+        || b_sig.iter().zip(&state_sig).any(|(a, s)| a.0 != s.0 || !a.1.compatible_with(&s.1))
     {
         return Err(RuntimeError::Internal(format!(
             "while_loop body must map the state to itself: {b_sig:?} vs {state_sig:?}"
@@ -135,10 +137,7 @@ impl HostFunc {
         context::execute(
             "host_func",
             &inputs,
-            Attrs::new()
-                .with("fn_id", self.id as i64)
-                .with("out_dtypes", d)
-                .with("out_shapes", s),
+            Attrs::new().with("fn_id", self.id as i64).with("out_dtypes", d).with("out_shapes", s),
         )
     }
 }

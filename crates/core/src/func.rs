@@ -131,8 +131,7 @@ impl Func {
     /// contract violations, or execution failures.
     pub fn call(&self, args: &[Arg]) -> Result<Vec<Tensor>> {
         let concrete = self.concrete_for(args)?;
-        let tensor_args: Vec<Tensor> =
-            args.iter().filter_map(|a| a.as_tensor().cloned()).collect();
+        let tensor_args: Vec<Tensor> = args.iter().filter_map(|a| a.as_tensor().cloned()).collect();
         concrete.call(&tensor_args)
     }
 
@@ -153,10 +152,7 @@ impl Func {
     pub fn call1(&self, x: &Tensor) -> Result<Tensor> {
         let mut out = self.call_tensors(&[x])?;
         if out.len() != 1 {
-            return Err(RuntimeError::Internal(format!(
-                "expected one output, got {}",
-                out.len()
-            )));
+            return Err(RuntimeError::Internal(format!("expected one output, got {}", out.len())));
         }
         Ok(out.remove(0))
     }
@@ -380,11 +376,7 @@ pub struct ConcreteFunction {
 
 impl ConcreteFunction {
     /// Graph attributes for a `call` node invoking function `f`.
-    pub(crate) fn call_attrs(
-        f: &GraphFunction,
-        stateful: bool,
-        var_ids: &[i64],
-    ) -> Attrs {
+    pub(crate) fn call_attrs(f: &GraphFunction, stateful: bool, var_ids: &[i64]) -> Attrs {
         let (d, s) = tfe_ops::catalog::encode_sig(&f.output_sigs());
         Attrs::new()
             .with("function", f.name.clone())
@@ -436,9 +428,7 @@ impl ConcreteFunction {
     /// # Errors
     /// Gradient-construction failures (e.g. an op without a registered
     /// gradient inside the traced function).
-    pub fn forward_bundle(
-        self: &Arc<Self>,
-    ) -> Result<Arc<crate::call_grad::ForwardBundle>> {
+    pub fn forward_bundle(self: &Arc<Self>) -> Result<Arc<crate::call_grad::ForwardBundle>> {
         let me = self.clone();
         self.forward
             .get_or_init(move || {

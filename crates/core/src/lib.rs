@@ -157,13 +157,10 @@ mod tests {
             })
         };
         let eye = api::eye(DType::F32, 3).unwrap();
-        let d = api::constant(vec![-1.0f32, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0], [3, 3])
-            .unwrap();
+        let d =
+            api::constant(vec![-1.0f32, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0], [3, 3]).unwrap();
         let out = outer.call_tensors(&[&eye, &d]).unwrap();
-        assert_eq!(
-            out[0].to_f64_vec().unwrap(),
-            vec![0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0]
-        );
+        assert_eq!(out[0].to_f64_vec().unwrap(), vec![0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0]);
         // The outer graph contains a call node referencing the inner one.
         let c = outer
             .concrete_for(&[
@@ -323,10 +320,7 @@ mod tests {
         let body_f = function("wbody", |args| {
             let i = args[0].as_tensor().unwrap();
             let acc = args[1].as_tensor().unwrap();
-            Ok(vec![
-                api::add(i, &api::scalar(1.0f64))?,
-                api::mul(acc, &api::scalar(2.0f64))?,
-            ])
+            Ok(vec![api::add(i, &api::scalar(1.0f64))?, api::mul(acc, &api::scalar(2.0f64))?])
         });
         let out =
             while_loop(&cond_f, &body_f, &[&api::scalar(0.0f64), &api::scalar(1.0f64)]).unwrap();

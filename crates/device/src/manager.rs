@@ -70,7 +70,13 @@ impl Device {
 
 impl fmt::Debug for Device {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Device({}, mode={:?}, simulated={})", self.name, self.kernel_mode, self.compute.is_some())
+        write!(
+            f,
+            "Device({}, mode={:?}, simulated={})",
+            self.name,
+            self.kernel_mode,
+            self.compute.is_some()
+        )
     }
 }
 

@@ -160,11 +160,7 @@ impl DeviceName {
 
 impl fmt::Display for DeviceName {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "/job:{}/task:{}/device:{}:{}",
-            self.job, self.task, self.device_type, self.index
-        )
+        write!(f, "/job:{}/task:{}/device:{}:{}", self.job, self.task, self.device_type, self.index)
     }
 }
 

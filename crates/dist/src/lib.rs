@@ -28,8 +28,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use tfe_device::{DeviceName, DeviceType};
-use tfe_graph::serial::{tensor_from_value, tensor_to_value};
 use tfe_encode::Value;
+use tfe_graph::serial::{tensor_from_value, tensor_to_value};
 use tfe_ops::Attrs;
 use tfe_runtime::{context, ExecMode, RuntimeError, Tensor};
 use tfe_tensor::TensorData;
@@ -300,10 +300,9 @@ impl RemoteTensor {
             .recv()
             .map_err(|_| RuntimeError::Internal("worker hung up".to_string()))?
             .map_err(RuntimeError::Internal)?;
-        let v = Value::parse(&json)
-            .map_err(|e| RuntimeError::Internal(format!("wire decode: {e}")))?;
-        let data =
-            tensor_from_value(&v).map_err(|e| RuntimeError::Internal(e.to_string()))?;
+        let v =
+            Value::parse(&json).map_err(|e| RuntimeError::Internal(format!("wire decode: {e}")))?;
+        let data = tensor_from_value(&v).map_err(|e| RuntimeError::Internal(e.to_string()))?;
         Ok(Tensor::from_data(data))
     }
 }
@@ -507,9 +506,7 @@ mod tests {
         let cluster = Cluster::start(&ClusterSpec::new().with_job("w", 1));
         let dev = "/job:w/task:0/device:CPU:0";
         let a = api::scalar(3.0f64);
-        let r1 = cluster
-            .execute(dev, "square", &[RemoteArg::from(&a)], Attrs::new())
-            .unwrap();
+        let r1 = cluster.execute(dev, "square", &[RemoteArg::from(&a)], Attrs::new()).unwrap();
         // Feed the resident tensor into another remote op without fetching.
         let r2 = cluster
             .execute(dev, "add", &[RemoteArg::from(&r1[0]), RemoteArg::from(&r1[0])], Attrs::new())
@@ -561,7 +558,9 @@ mod tests {
             .execute(dev, "add", &[RemoteArg::from(&a), RemoteArg::from(&b)], Attrs::new())
             .is_err());
         // Unknown device.
-        assert!(cluster.execute("/job:nope/task:0/device:CPU:0", "add", &[], Attrs::new()).is_err());
+        assert!(cluster
+            .execute("/job:nope/task:0/device:CPU:0", "add", &[], Attrs::new())
+            .is_err());
         // Unknown function.
         assert!(cluster.call_function(dev, "no_such_fn", &[]).is_err());
         cluster.shutdown();
@@ -574,8 +573,7 @@ mod tests {
         let cluster = Cluster::start(&ClusterSpec::new().with_job("train", 3));
         let mut partials = Vec::new();
         for t in 0..3 {
-            let shard =
-                api::constant(vec![t as f32 + 1.0, 2.0 * (t as f32 + 1.0)], [2]).unwrap();
+            let shard = api::constant(vec![t as f32 + 1.0, 2.0 * (t as f32 + 1.0)], [2]).unwrap();
             let dev = format!("/job:train/task:{t}/device:CPU:0");
             let r = cluster
                 .execute(

@@ -431,8 +431,7 @@ impl<'a> Parser<'a> {
                                     if !(0xDC00..0xE000).contains(&low) {
                                         return Err(self.err("invalid low surrogate"));
                                     }
-                                    let c =
-                                        0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                    let c = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
                                     char::from_u32(c)
                                 } else {
                                     return Err(self.err("lone high surrogate"));

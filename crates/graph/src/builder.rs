@@ -3,6 +3,7 @@
 //! context (§4.1, §4.6).
 
 use crate::ir::{GraphFunction, Node, NodeId, TensorRef};
+use crate::sequencing::{self, SequencingState};
 use std::sync::Arc;
 use tfe_ops::{AttrValue, Attrs, InferCtx, OpError, SymShape};
 use tfe_tensor::{DType, TensorData};
@@ -15,6 +16,7 @@ pub struct GraphBuilder {
     nodes: Vec<Node>,
     inputs: Vec<NodeId>,
     constants: Vec<Arc<TensorData>>,
+    sequencing: SequencingState,
 }
 
 impl GraphBuilder {
@@ -26,6 +28,7 @@ impl GraphBuilder {
             nodes: Vec::new(),
             inputs: Vec::new(),
             constants: Vec::new(),
+            sequencing: SequencingState::new(),
         }
     }
 
@@ -44,8 +47,7 @@ impl GraphBuilder {
     /// # Errors
     /// Propagates inference errors (none in practice for placeholders).
     pub fn placeholder(&mut self, dtype: DType, shape: SymShape) -> Result<TensorRef, OpError> {
-        let dims: Vec<i64> =
-            shape.dims().iter().map(|d| d.map_or(-1, |v| v as i64)).collect();
+        let dims: Vec<i64> = shape.dims().iter().map(|d| d.map_or(-1, |v| v as i64)).collect();
         let attrs = Attrs::new().with("dtype", dtype).with("shape", dims);
         let refs = self.add_node("placeholder", Vec::new(), attrs)?;
         let id = refs[0].node;
@@ -102,7 +104,19 @@ impl GraphBuilder {
         let attr_stateful = matches!(attrs.get("stateful"), Some(AttrValue::Bool(true)));
         let stateful = def.is_stateful() || attr_stateful;
         let id = NodeId(self.nodes.len());
-        self.nodes.push(Node { op: op.to_string(), inputs, attrs, outputs, stateful });
+        // Sequencing edges keep stateful ops in program order (per
+        // resource) so the parallel executor never needs a serial fallback.
+        let access = sequencing::classify(op, &attrs, stateful);
+        let data_inputs: Vec<NodeId> = inputs.iter().map(|t| t.node).collect();
+        let control_inputs = self.sequencing.sequence(id, access, &data_inputs);
+        self.nodes.push(Node {
+            op: op.to_string(),
+            inputs,
+            attrs,
+            outputs,
+            stateful,
+            control_inputs,
+        });
         let n_out = self.nodes[id.0].outputs.len();
         Ok((0..n_out).map(|output| TensorRef { node: id, output }).collect())
     }

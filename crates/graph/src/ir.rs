@@ -44,6 +44,10 @@ pub struct Node {
     /// Whether this node has side effects (resolved at build time; `call`
     /// nodes take it from their `stateful` attribute).
     pub stateful: bool,
+    /// Sequencing (control) edges: earlier stateful nodes that must finish
+    /// before this node runs, beyond its data inputs. Always empty on
+    /// stateless nodes; computed by the builder (see `sequencing`).
+    pub control_inputs: Vec<NodeId>,
 }
 
 impl Node {
@@ -140,6 +144,18 @@ impl GraphFunction {
         map
     }
 
+    /// Deduplicated predecessor nodes of `id`: the producers of its data
+    /// inputs plus its control inputs. This is the dependency set the
+    /// scheduler counts down before a node becomes ready.
+    pub fn predecessors(&self, id: NodeId) -> Vec<NodeId> {
+        let n = self.node(id);
+        let mut preds: Vec<NodeId> = n.inputs.iter().map(|t| t.node).collect();
+        preds.extend(n.control_inputs.iter().copied());
+        preds.sort_unstable();
+        preds.dedup();
+        preds
+    }
+
     /// Render a compact, human-readable listing (one node per line) — the
     /// debugging view of Figure 2's graphs.
     pub fn dump(&self) -> String {
@@ -166,14 +182,19 @@ impl GraphFunction {
             let attrs = if n.attrs.is_empty() {
                 String::new()
             } else {
-                let parts: Vec<String> =
-                    n.attrs.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                let parts: Vec<String> = n.attrs.iter().map(|(k, v)| format!("{k}={v}")).collect();
                 format!(" {{{}}}", parts.join(", "))
             };
-            let sig: Vec<String> =
-                n.outputs.iter().map(|(d, s)| format!("{d}{s}")).collect();
+            let ctrl = if n.control_inputs.is_empty() {
+                String::new()
+            } else {
+                let deps: Vec<String> =
+                    n.control_inputs.iter().map(|c| format!("^%{}", c.0)).collect();
+                format!(" after [{}]", deps.join(", "))
+            };
+            let sig: Vec<String> = n.outputs.iter().map(|(d, s)| format!("{d}{s}")).collect();
             out.push_str(&format!(
-                "  %{i} = {}({}){attrs} : [{}]\n",
+                "  %{i} = {}({}){attrs}{ctrl} : [{}]\n",
                 n.op,
                 ins.join(", "),
                 sig.join(", ")

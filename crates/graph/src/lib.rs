@@ -32,6 +32,7 @@ mod ir;
 pub mod passes;
 mod plan;
 pub mod program;
+pub mod sequencing;
 pub mod serial;
 
 pub use builder::GraphBuilder;

@@ -99,6 +99,10 @@ fn rebuild(f: &GraphFunction, keep: &[bool]) -> GraphFunction {
             for input in &mut n.inputs {
                 input.node = NodeId(remap[&input.node.0]);
             }
+            // Control targets are stateful, which `keep` always retains.
+            for ctrl in &mut n.control_inputs {
+                *ctrl = NodeId(remap[&ctrl.0]);
+            }
             remap.insert(i, nodes.len());
             nodes.push(n);
         }
@@ -180,8 +184,7 @@ pub fn cse(f: &GraphFunction) -> GraphFunction {
                     format!("{root}:{}", t.output)
                 })
                 .collect();
-            let attrs: Vec<String> =
-                node.attrs.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            let attrs: Vec<String> = node.attrs.iter().map(|(k, v)| format!("{k}={v}")).collect();
             format!("{}|{}|{}", node.op, inputs.join(","), attrs.join(","))
         };
         match seen.entry(key) {
@@ -225,10 +228,7 @@ pub fn fold_constants(
     for (i, node) in f.nodes.iter().enumerate() {
         if node.op == "const" {
             if let Some(AttrValue::Int(idx)) = node.attrs.get("value_index") {
-                known.insert(
-                    TensorRef::first(NodeId(i)),
-                    f.constants[*idx as usize].clone(),
-                );
+                known.insert(TensorRef::first(NodeId(i)), f.constants[*idx as usize].clone());
             }
             continue;
         }
@@ -241,8 +241,11 @@ pub fn fold_constants(
         let inputs: Option<Vec<Arc<TensorData>>> =
             node.inputs.iter().map(|t| known.get(t).cloned()).collect();
         let Some(inputs) = inputs else { continue };
-        if node.inputs.is_empty() && node.op != "const" && node.op != "fill"
-            && node.op != "eye" && node.op != "range"
+        if node.inputs.is_empty()
+            && node.op != "const"
+            && node.op != "fill"
+            && node.op != "eye"
+            && node.op != "range"
         {
             continue; // placeholders handled above; other 0-ary ops stateful
         }
@@ -267,20 +270,18 @@ pub fn fold_constants(
     // node's position.
     let mut new_nodes: Vec<Node> = Vec::new();
     let mut remap: HashMap<TensorRef, TensorRef> = HashMap::new();
+    let mut node_remap: HashMap<usize, usize> = HashMap::new();
     let mut constants = f.constants.clone();
     for (i, node) in f.nodes.iter().enumerate() {
         let folded: Vec<(usize, Arc<TensorData>)> = (0..node.outputs.len())
             .filter_map(|out| {
-                known
-                    .get(&TensorRef { node: NodeId(i), output: out })
-                    .map(|v| (out, v.clone()))
+                known.get(&TensorRef { node: NodeId(i), output: out }).map(|v| (out, v.clone()))
             })
             .collect();
         if node.op != "const" && folded.len() == node.outputs.len() && !folded.is_empty() {
             // Fully folded: emit const nodes instead of the op.
             for (out, value) in folded {
-                let dims: Vec<i64> =
-                    value.shape().dims().iter().map(|&d| d as i64).collect();
+                let dims: Vec<i64> = value.shape().dims().iter().map(|&d| d as i64).collect();
                 let idx = constants.len();
                 constants.push(value.clone());
                 let sig = (value.dtype(), tfe_ops::SymShape::known(value.shape()));
@@ -293,13 +294,11 @@ pub fn fold_constants(
                         .with("value_index", idx as i64),
                     outputs: vec![sig],
                     stateful: false,
+                    control_inputs: Vec::new(),
                 };
                 let new_id = NodeId(new_nodes.len());
                 new_nodes.push(cnode);
-                remap.insert(
-                    TensorRef { node: NodeId(i), output: out },
-                    TensorRef::first(new_id),
-                );
+                remap.insert(TensorRef { node: NodeId(i), output: out }, TensorRef::first(new_id));
             }
         } else {
             let mut n = node.clone();
@@ -307,7 +306,13 @@ pub fn fold_constants(
                 // Producers are earlier in the list, so remap is populated.
                 *input = remap[input];
             }
+            // Control targets are stateful and never folded, so they are
+            // always present in node_remap.
+            for ctrl in &mut n.control_inputs {
+                *ctrl = NodeId(node_remap[&ctrl.0]);
+            }
             let new_id = NodeId(new_nodes.len());
+            node_remap.insert(i, new_id.0);
             for out in 0..n.outputs.len() {
                 remap.insert(
                     TensorRef { node: NodeId(i), output: out },
@@ -319,11 +324,7 @@ pub fn fold_constants(
     }
     g.nodes = new_nodes;
     g.constants = constants;
-    g.inputs = f
-        .inputs
-        .iter()
-        .map(|id| remap[&TensorRef::first(*id)].node)
-        .collect();
+    g.inputs = f.inputs.iter().map(|id| remap[&TensorRef::first(*id)].node).collect();
     g.outputs = f.outputs.iter().map(|t| remap[t]).collect();
     prune(&g)
 }
@@ -364,9 +365,8 @@ pub fn fuse_elementwise(f: &GraphFunction) -> GraphFunction {
         let out_ref = TensorRef::first(NodeId(i));
         let cons = consumers.get(&out_ref);
         let escapes = output_set.contains(&out_ref);
-        let consumer_groups: Option<HashSet<usize>> = cons.map(|list| {
-            list.iter().filter_map(|(c, _)| group[c.0]).collect::<HashSet<usize>>()
-        });
+        let consumer_groups: Option<HashSet<usize>> = cons
+            .map(|list| list.iter().filter_map(|(c, _)| group[c.0]).collect::<HashSet<usize>>());
         let all_consumers_one_group = match (&cons, &consumer_groups) {
             (Some(list), Some(gs)) if !list.is_empty() => {
                 gs.len() == 1 && list.iter().all(|(c, _)| group[c.0].is_some())
@@ -381,9 +381,9 @@ pub fn fuse_elementwise(f: &GraphFunction) -> GraphFunction {
     }
     // Collect members per sink, in topological order.
     let mut members: HashMap<usize, Vec<usize>> = HashMap::new();
-    for i in 0..n {
-        if let Some(g) = group[i] {
-            members.entry(g).or_default().push(i);
+    for (i, g) in group.iter().enumerate() {
+        if let Some(g) = g {
+            members.entry(*g).or_default().push(i);
         }
     }
     // Only fuse groups with >= 2 members.
@@ -392,11 +392,11 @@ pub fn fuse_elementwise(f: &GraphFunction) -> GraphFunction {
     if fuse_groups.is_empty() {
         return f.clone();
     }
-    let in_fused: HashSet<usize> =
-        fuse_groups.values().flatten().copied().collect();
+    let in_fused: HashSet<usize> = fuse_groups.values().flatten().copied().collect();
 
     let mut new_nodes: Vec<Node> = Vec::new();
     let mut remap: HashMap<TensorRef, TensorRef> = HashMap::new();
+    let mut node_remap: HashMap<usize, usize> = HashMap::new();
     for (i, node) in f.nodes.iter().enumerate() {
         if in_fused.contains(&i) && !fuse_groups.contains_key(&i) {
             continue; // interior member: folded into its sink
@@ -412,19 +412,14 @@ pub fn fuse_elementwise(f: &GraphFunction) -> GraphFunction {
                 for &input in &mnode.inputs {
                     let reg = if let Some(&r) = reg_of.get(&input) {
                         r
-                    } else if in_fused.contains(&input.node.0)
-                        && group[input.node.0] == Some(i)
-                    {
+                    } else if in_fused.contains(&input.node.0) && group[input.node.0] == Some(i) {
                         unreachable!("group member consumed before definition")
                     } else {
                         // external input
-                        let k = prog_inputs
-                            .iter()
-                            .position(|&p| p == input)
-                            .unwrap_or_else(|| {
-                                prog_inputs.push(input);
-                                prog_inputs.len() - 1
-                            });
+                        let k = prog_inputs.iter().position(|&p| p == input).unwrap_or_else(|| {
+                            prog_inputs.push(input);
+                            prog_inputs.len() - 1
+                        });
                         let reg = instrs.len();
                         instrs.push(Instr::Input(k));
                         reg_of.insert(input, reg);
@@ -455,8 +450,10 @@ pub fn fuse_elementwise(f: &GraphFunction) -> GraphFunction {
                     .with("out_dtype", sink.outputs[0].0),
                 outputs: sink.outputs.clone(),
                 stateful: false,
+                control_inputs: Vec::new(),
             };
             let new_id = NodeId(new_nodes.len());
+            node_remap.insert(i, new_id.0);
             new_nodes.push(fused);
             remap.insert(TensorRef::first(NodeId(i)), TensorRef::first(new_id));
         } else {
@@ -466,7 +463,12 @@ pub fn fuse_elementwise(f: &GraphFunction) -> GraphFunction {
                     *input = r;
                 }
             }
+            // Control targets are stateful and never fused away.
+            for ctrl in &mut nclone.control_inputs {
+                *ctrl = NodeId(node_remap[&ctrl.0]);
+            }
             let new_id = NodeId(new_nodes.len());
+            node_remap.insert(i, new_id.0);
             for out in 0..nclone.outputs.len() {
                 remap.insert(
                     TensorRef { node: NodeId(i), output: out },
@@ -542,12 +544,10 @@ mod tests {
     fn cse_respects_attrs_and_statefulness() {
         let mut b = GraphBuilder::new("f");
         let x = b.placeholder(DType::F32, known(&[2, 2])).unwrap();
-        let t1 = b
-            .add_node("reduce_sum", vec![x], Attrs::new().with("axes", vec![0i64]))
-            .unwrap()[0];
-        let t2 = b
-            .add_node("reduce_sum", vec![x], Attrs::new().with("axes", vec![1i64]))
-            .unwrap()[0];
+        let t1 =
+            b.add_node("reduce_sum", vec![x], Attrs::new().with("axes", vec![0i64])).unwrap()[0];
+        let t2 =
+            b.add_node("reduce_sum", vec![x], Attrs::new().with("axes", vec![1i64])).unwrap()[0];
         // Two RNG nodes must never merge.
         let r1 = b
             .add_node(
@@ -586,22 +586,16 @@ mod tests {
     fn toy_evaluator(node: &Node, inputs: &[Arc<TensorData>]) -> Result<Vec<TensorData>, String> {
         // Enough kernels to test folding: add/mul/relu on concrete data.
         match node.op.as_str() {
-            "add" => Ok(vec![tfe_tensor::elementwise::binary(
-                &inputs[0],
-                &inputs[1],
-                BinaryOp::Add,
-            )
-            .map_err(|e| e.to_string())?]),
-            "mul" => Ok(vec![tfe_tensor::elementwise::binary(
-                &inputs[0],
-                &inputs[1],
-                BinaryOp::Mul,
-            )
-            .map_err(|e| e.to_string())?]),
-            "relu" => Ok(vec![
-                tfe_tensor::elementwise::unary(&inputs[0], UnaryOp::Relu)
-                    .map_err(|e| e.to_string())?,
-            ]),
+            "add" => {
+                Ok(vec![tfe_tensor::elementwise::binary(&inputs[0], &inputs[1], BinaryOp::Add)
+                    .map_err(|e| e.to_string())?])
+            }
+            "mul" => {
+                Ok(vec![tfe_tensor::elementwise::binary(&inputs[0], &inputs[1], BinaryOp::Mul)
+                    .map_err(|e| e.to_string())?])
+            }
+            "relu" => Ok(vec![tfe_tensor::elementwise::unary(&inputs[0], UnaryOp::Relu)
+                .map_err(|e| e.to_string())?]),
             other => Err(format!("no fold kernel for {other}")),
         }
     }
@@ -658,8 +652,7 @@ mod tests {
         let e = b.add_node("exp", vec![r], Attrs::new()).unwrap()[0];
         let f = b.finish(vec![e], 0);
         let g = fuse_elementwise(&f);
-        let fused: Vec<&Node> =
-            g.nodes.iter().filter(|n| n.op == "fused_elementwise").collect();
+        let fused: Vec<&Node> = g.nodes.iter().filter(|n| n.op == "fused_elementwise").collect();
         assert_eq!(fused.len(), 1);
         assert_eq!(fused[0].inputs.len(), 2);
         let program = Program::decode(match fused[0].attrs.get("program") {

@@ -108,8 +108,8 @@ mod tests {
         let f = b.finish(vec![cur], 0);
         let plan = plan_memory(&f);
         assert_eq!(plan.num_tensors, 6); // placeholder + 5 ops
-        // A chain needs at most 3 live buffers at once (input of the
-        // current op, its output, and the pinned placeholder).
+                                         // A chain needs at most 3 live buffers at once (input of the
+                                         // current op, its output, and the pinned placeholder).
         assert!(plan.num_slots <= 3, "slots = {}", plan.num_slots);
         assert!(plan.reuse_ratio() > 0.4);
     }

@@ -218,10 +218,7 @@ impl Program {
 
     /// Number of non-input instructions (the "fused op count").
     pub fn op_count(&self) -> usize {
-        self.instrs
-            .iter()
-            .filter(|i| !matches!(i, Instr::Input(_)))
-            .count()
+        self.instrs.iter().filter(|i| !matches!(i, Instr::Input(_))).count()
     }
 }
 

@@ -30,9 +30,9 @@ pub fn tensor_to_value(t: &TensorData) -> Value {
         DType::I32 | DType::I64 => {
             Value::Array(t.to_i64_vec().into_iter().map(Value::Int).collect())
         }
-        DType::Bool => Value::Array(
-            t.to_f64_vec().into_iter().map(|v| Value::Bool(v != 0.0)).collect(),
-        ),
+        DType::Bool => {
+            Value::Array(t.to_f64_vec().into_iter().map(|v| Value::Bool(v != 0.0)).collect())
+        }
         _ => Value::Array(t.to_f64_vec().into_iter().map(Value::Float).collect()),
     };
     Value::object([
@@ -55,10 +55,8 @@ pub fn tensor_from_value(v: &Value) -> Result<TensorData, SerialError> {
         .and_then(Value::as_str)
         .and_then(DType::from_name)
         .ok_or_else(|| err("bad tensor dtype"))?;
-    let dims = v
-        .get("shape")
-        .and_then(Value::as_i64_array)
-        .ok_or_else(|| err("bad tensor shape"))?;
+    let dims =
+        v.get("shape").and_then(Value::as_i64_array).ok_or_else(|| err("bad tensor shape"))?;
     let shape = Shape::new(dims.iter().map(|&d| d as usize).collect::<Vec<_>>());
     let data: Vec<f64> = v
         .get("data")
@@ -79,18 +77,15 @@ pub fn tensor_from_value(v: &Value) -> Result<TensorData, SerialError> {
 
 fn attr_to_value(a: &AttrValue) -> Value {
     match a {
-        AttrValue::Int(v) => Value::object([
-            ("t".to_string(), Value::str("i")),
-            ("v".to_string(), Value::Int(*v)),
-        ]),
-        AttrValue::Float(v) => Value::object([
-            ("t".to_string(), Value::str("f")),
-            ("v".to_string(), Value::Float(*v)),
-        ]),
-        AttrValue::Bool(v) => Value::object([
-            ("t".to_string(), Value::str("b")),
-            ("v".to_string(), Value::Bool(*v)),
-        ]),
+        AttrValue::Int(v) => {
+            Value::object([("t".to_string(), Value::str("i")), ("v".to_string(), Value::Int(*v))])
+        }
+        AttrValue::Float(v) => {
+            Value::object([("t".to_string(), Value::str("f")), ("v".to_string(), Value::Float(*v))])
+        }
+        AttrValue::Bool(v) => {
+            Value::object([("t".to_string(), Value::str("b")), ("v".to_string(), Value::Bool(*v))])
+        }
         AttrValue::Str(v) => Value::object([
             ("t".to_string(), Value::str("s")),
             ("v".to_string(), Value::str(v.clone())),
@@ -121,22 +116,14 @@ fn attr_from_value(v: &Value) -> Result<AttrValue, SerialError> {
         "il" => AttrValue::IntList(payload.as_i64_array().ok_or_else(|| err("bad int list"))?),
         "fl" => AttrValue::FloatList(payload.as_f64_array().ok_or_else(|| err("bad float list"))?),
         "dt" => AttrValue::DType(
-            payload
-                .as_str()
-                .and_then(DType::from_name)
-                .ok_or_else(|| err("bad dtype attr"))?,
+            payload.as_str().and_then(DType::from_name).ok_or_else(|| err("bad dtype attr"))?,
         ),
         other => return Err(err(format!("unknown attr tag `{other}`"))),
     })
 }
 
 fn sym_shape_to_value(s: &SymShape) -> Value {
-    Value::Array(
-        s.dims()
-            .iter()
-            .map(|d| d.map_or(Value::Null, |v| Value::Int(v as i64)))
-            .collect(),
-    )
+    Value::Array(s.dims().iter().map(|d| d.map_or(Value::Null, |v| Value::Int(v as i64))).collect())
 }
 
 fn sym_shape_from_value(v: &Value) -> Result<SymShape, SerialError> {
@@ -145,10 +132,7 @@ fn sym_shape_from_value(v: &Value) -> Result<SymShape, SerialError> {
         .iter()
         .map(|d| match d {
             Value::Null => Ok(None),
-            other => other
-                .as_i64()
-                .map(|v| Some(v as usize))
-                .ok_or_else(|| err("bad shape dim")),
+            other => other.as_i64().map(|v| Some(v as usize)).ok_or_else(|| err("bad shape dim")),
         })
         .collect();
     Ok(SymShape::new(dims?))
@@ -180,9 +164,7 @@ pub fn function_to_value(f: &GraphFunction) -> Value {
                 ),
                 (
                     "attrs".to_string(),
-                    Value::object(
-                        n.attrs.iter().map(|(k, v)| (k.clone(), attr_to_value(v))),
-                    ),
+                    Value::object(n.attrs.iter().map(|(k, v)| (k.clone(), attr_to_value(v)))),
                 ),
                 (
                     "outputs".to_string(),
@@ -190,15 +172,16 @@ pub fn function_to_value(f: &GraphFunction) -> Value {
                         n.outputs
                             .iter()
                             .map(|(d, s)| {
-                                Value::Array(vec![
-                                    Value::str(d.name()),
-                                    sym_shape_to_value(s),
-                                ])
+                                Value::Array(vec![Value::str(d.name()), sym_shape_to_value(s)])
                             })
                             .collect(),
                     ),
                 ),
                 ("stateful".to_string(), Value::Bool(n.stateful)),
+                (
+                    "control".to_string(),
+                    Value::Array(n.control_inputs.iter().map(|c| Value::Int(c.0 as i64)).collect()),
+                ),
             ])
         })
         .collect();
@@ -209,10 +192,7 @@ pub fn function_to_value(f: &GraphFunction) -> Value {
             "inputs".to_string(),
             Value::Array(f.inputs.iter().map(|id| Value::Int(id.0 as i64)).collect()),
         ),
-        (
-            "outputs".to_string(),
-            Value::Array(f.outputs.iter().map(tensor_ref_to_value).collect()),
-        ),
+        ("outputs".to_string(), Value::Array(f.outputs.iter().map(tensor_ref_to_value).collect())),
         ("num_captures".to_string(), Value::Int(f.num_captures as i64)),
         (
             "constants".to_string(),
@@ -227,14 +207,13 @@ pub fn function_to_value(f: &GraphFunction) -> Value {
 /// Structural problems in the encoded value.
 pub fn function_from_value(v: &Value) -> Result<GraphFunction, SerialError> {
     let name = v.get("name").and_then(Value::as_str).ok_or_else(|| err("missing name"))?;
-    let nodes_v = v
-        .get("nodes")
-        .and_then(Value::as_array)
-        .ok_or_else(|| err("missing nodes"))?;
+    let nodes_v = v.get("nodes").and_then(Value::as_array).ok_or_else(|| err("missing nodes"))?;
     let mut nodes = Vec::with_capacity(nodes_v.len());
+    // Payloads written before sequencing edges existed lack the per-node
+    // "control" field; re-derive the edges from program order in that case.
+    let mut legacy_controls = true;
     for nv in nodes_v {
-        let op =
-            nv.get("op").and_then(Value::as_str).ok_or_else(|| err("missing op"))?.to_string();
+        let op = nv.get("op").and_then(Value::as_str).ok_or_else(|| err("missing op"))?.to_string();
         let inputs: Result<Vec<TensorRef>, SerialError> = nv
             .get("inputs")
             .and_then(Value::as_array)
@@ -242,10 +221,8 @@ pub fn function_from_value(v: &Value) -> Result<GraphFunction, SerialError> {
             .iter()
             .map(tensor_ref_from_value)
             .collect();
-        let attrs_obj = nv
-            .get("attrs")
-            .and_then(Value::as_object)
-            .ok_or_else(|| err("missing attrs"))?;
+        let attrs_obj =
+            nv.get("attrs").and_then(Value::as_object).ok_or_else(|| err("missing attrs"))?;
         let mut attrs = Attrs::new();
         for (k, av) in attrs_obj {
             attrs.set(k, attr_from_value(av)?);
@@ -269,7 +246,33 @@ pub fn function_from_value(v: &Value) -> Result<GraphFunction, SerialError> {
             .collect();
         let stateful =
             nv.get("stateful").and_then(Value::as_bool).ok_or_else(|| err("missing stateful"))?;
-        nodes.push(Node { op, inputs: inputs?, attrs, outputs: outputs?, stateful });
+        let control_inputs = match nv.get("control") {
+            Some(cv) => {
+                legacy_controls = false;
+                cv.as_i64_array()
+                    .ok_or_else(|| err("bad control list"))?
+                    .into_iter()
+                    .map(|i| NodeId(i as usize))
+                    .collect()
+            }
+            // Payload predates control edges; recomputed below once all
+            // nodes are decoded.
+            None => Vec::new(),
+        };
+        nodes.push(Node {
+            op,
+            inputs: inputs?,
+            attrs,
+            outputs: outputs?,
+            stateful,
+            control_inputs,
+        });
+    }
+    if legacy_controls {
+        let recomputed = crate::sequencing::sequence_control_edges(&nodes);
+        for (n, ctrl) in nodes.iter_mut().zip(recomputed) {
+            n.control_inputs = ctrl;
+        }
     }
     let inputs: Vec<NodeId> = v
         .get("inputs")
@@ -285,10 +288,9 @@ pub fn function_from_value(v: &Value) -> Result<GraphFunction, SerialError> {
         .iter()
         .map(tensor_ref_from_value)
         .collect();
-    let num_captures = v
-        .get("num_captures")
-        .and_then(Value::as_i64)
-        .ok_or_else(|| err("missing num_captures"))? as usize;
+    let num_captures =
+        v.get("num_captures").and_then(Value::as_i64).ok_or_else(|| err("missing num_captures"))?
+            as usize;
     let constants: Result<Vec<Arc<TensorData>>, SerialError> = v
         .get("constants")
         .and_then(Value::as_array)
@@ -313,6 +315,11 @@ pub fn function_from_value(v: &Value) -> Result<GraphFunction, SerialError> {
             }
             if t.output >= f.nodes[t.node.0].outputs.len() {
                 return Err(err(format!("node {i} references bad output {t:?}")));
+            }
+        }
+        for c in &node.control_inputs {
+            if c.0 >= i {
+                return Err(err(format!("node {i} has forward/self control reference")));
             }
         }
     }
@@ -346,10 +353,8 @@ pub fn library_to_value(lib: &FunctionLibrary) -> Value {
 /// Structural problems in any function.
 pub fn library_from_value(v: &Value) -> Result<FunctionLibrary, SerialError> {
     let lib = FunctionLibrary::new();
-    let funcs = v
-        .get("functions")
-        .and_then(Value::as_array)
-        .ok_or_else(|| err("missing functions"))?;
+    let funcs =
+        v.get("functions").and_then(Value::as_array).ok_or_else(|| err("missing functions"))?;
     for fv in funcs {
         lib.insert(function_from_value(fv)?);
     }
@@ -364,14 +369,11 @@ mod tests {
 
     fn sample_fn() -> GraphFunction {
         let mut b = GraphBuilder::new("sample");
-        let x = b
-            .placeholder(DType::F32, SymShape::new(vec![None, Some(3)]))
-            .unwrap();
+        let x = b.placeholder(DType::F32, SymShape::new(vec![None, Some(3)])).unwrap();
         let c = b.constant(Arc::new(TensorData::scalar(2.5f32))).unwrap();
         let m = b.add_node("mul", vec![x, c], Attrs::new()).unwrap()[0];
-        let r = b
-            .add_node("reduce_sum", vec![m], Attrs::new().with("axes", vec![1i64]))
-            .unwrap()[0];
+        let r =
+            b.add_node("reduce_sum", vec![m], Attrs::new().with("axes", vec![1i64])).unwrap()[0];
         b.finish(vec![r], 0)
     }
 
@@ -427,6 +429,68 @@ mod tests {
         assert_eq!(back.names(), vec!["other".to_string(), "sample".to_string()]);
     }
 
+    fn stateful_fn() -> GraphFunction {
+        // read v1 -> assign v1 -> read v1: the second read carries a
+        // control edge on the assign.
+        let mut b = GraphBuilder::new("stateful");
+        let read_attrs = || {
+            Attrs::new()
+                .with("var_id", 1i64)
+                .with("dtype", DType::F32)
+                .with("shape", Vec::<i64>::new())
+        };
+        let r1 = b.add_node("read_variable", vec![], read_attrs()).unwrap()[0];
+        let _w = b.add_node("assign", vec![r1], Attrs::new().with("var_id", 1i64)).unwrap();
+        let r2 = b.add_node("read_variable", vec![], read_attrs()).unwrap()[0];
+        b.finish(vec![r2], 0)
+    }
+
+    #[test]
+    fn control_edges_round_trip() {
+        let f = stateful_fn();
+        assert!(f.nodes.iter().any(|n| !n.control_inputs.is_empty()));
+        let v = function_to_value(&f);
+        let back = function_from_value(&Value::parse(&v.to_json()).unwrap()).unwrap();
+        for (a, b) in f.nodes.iter().zip(&back.nodes) {
+            assert_eq!(a.control_inputs, b.control_inputs);
+        }
+    }
+
+    #[test]
+    fn legacy_payload_recomputes_control_edges() {
+        let f = stateful_fn();
+        let mut v = function_to_value(&f);
+        // Strip the "control" field to mimic a payload written before
+        // sequencing edges existed.
+        if let Value::Object(map) = &mut v {
+            if let Some(Value::Array(nodes)) = map.get_mut("nodes") {
+                for nv in nodes {
+                    if let Value::Object(n) = nv {
+                        n.remove("control");
+                    }
+                }
+            }
+        }
+        let back = function_from_value(&v).unwrap();
+        for (a, b) in f.nodes.iter().zip(&back.nodes) {
+            assert_eq!(a.control_inputs, b.control_inputs);
+        }
+    }
+
+    #[test]
+    fn validation_rejects_forward_control_reference() {
+        let f = stateful_fn();
+        let mut v = function_to_value(&f);
+        if let Value::Object(map) = &mut v {
+            if let Some(Value::Array(nodes)) = map.get_mut("nodes") {
+                if let Value::Object(n0) = &mut nodes[0] {
+                    n0.insert("control".to_string(), Value::Array(vec![Value::Int(99)]));
+                }
+            }
+        }
+        assert!(function_from_value(&v).is_err());
+    }
+
     #[test]
     fn validation_rejects_corrupt_graphs() {
         let f = sample_fn();
@@ -444,6 +508,9 @@ mod tests {
         }
         assert!(function_from_value(&v).is_err());
         assert!(function_from_value(&Value::Null).is_err());
-        assert!(tensor_from_value(&Value::parse(r#"{"dtype":"f99","shape":[],"data":[]}"#).unwrap()).is_err());
+        assert!(tensor_from_value(
+            &Value::parse(r#"{"dtype":"f99","shape":[],"data":[]}"#).unwrap()
+        )
+        .is_err());
     }
 }

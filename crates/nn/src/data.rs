@@ -28,7 +28,12 @@ pub struct SyntheticImages {
 
 impl SyntheticImages {
     /// Create a dataset description.
-    pub fn new(seed: u64, len: usize, shape: (usize, usize, usize), classes: usize) -> SyntheticImages {
+    pub fn new(
+        seed: u64,
+        len: usize,
+        shape: (usize, usize, usize),
+        classes: usize,
+    ) -> SyntheticImages {
         SyntheticImages { seed, len, shape, classes }
     }
 
@@ -53,11 +58,10 @@ impl SyntheticImages {
     /// `i >= len`.
     pub fn element(&self, i: usize) -> (TensorData, i64) {
         assert!(i < self.len, "element {i} out of range");
-        let mut rng = TensorRng::seed_from_u64(self.seed.wrapping_mul(0x9E37).wrapping_add(i as u64));
+        let mut rng =
+            TensorRng::seed_from_u64(self.seed.wrapping_mul(0x9E37).wrapping_add(i as u64));
         let (h, w, c) = self.shape;
-        let img = rng
-            .uniform(DType::F32, Shape::from([h, w, c]), 0.0, 1.0)
-            .expect("float rng");
+        let img = rng.uniform(DType::F32, Shape::from([h, w, c]), 0.0, 1.0).expect("float rng");
         let label = rng
             .uniform_int(DType::I64, Shape::scalar(), 0, self.classes as i64)
             .expect("int rng")
@@ -67,11 +71,7 @@ impl SyntheticImages {
 
     /// Build a batching iterator starting at element 0.
     pub fn batches(&self, batch_size: usize) -> DatasetIterator {
-        DatasetIterator {
-            dataset: self.clone(),
-            batch_size,
-            position: Arc::new(Mutex::new(0)),
-        }
+        DatasetIterator { dataset: self.clone(), batch_size, position: Arc::new(Mutex::new(0)) }
     }
 }
 
@@ -156,8 +156,7 @@ impl SyntheticRegression {
         let xt = Tensor::from_data(x);
         let s = api::reduce_sum(&xt, &[1], true)?;
         let clean = api::sin(&s)?;
-        let noise =
-            rng.normal(DType::F32, Shape::from([batch_size, 1]), 0.0, 0.05)?;
+        let noise = rng.normal(DType::F32, Shape::from([batch_size, 1]), 0.0, 0.05)?;
         let y = api::add(&clean, &Tensor::from_data(noise))?;
         Ok((xt, y))
     }

@@ -185,9 +185,8 @@ impl L2hmc {
         // Alternating half masks (the L2HMC partition of coordinates).
         let mut masks = Vec::with_capacity(n_steps);
         for step in 0..n_steps {
-            let vals: Vec<f32> = (0..dim)
-                .map(|i| if (i + step) % 2 == 0 { 1.0 } else { 0.0 })
-                .collect();
+            let vals: Vec<f32> =
+                (0..dim).map(|i| if (i + step) % 2 == 0 { 1.0 } else { 0.0 }).collect();
             masks.push(Tensor::from_data(
                 TensorData::from_vec(vals, Shape::from([dim])).expect("mask"),
             ));
@@ -246,8 +245,7 @@ impl L2hmc {
         let drift = api::add(&api::mul(v, &vscale)?, &tr)?;
         let moved = api::add(&api::mul(x, &scale)?, &api::mul(&eps, &drift)?)?;
         let x_new = api::add(&xm, &api::mul(&anti, &moved)?)?;
-        let logdet =
-            api::reduce_sum(&api::mul(&api::mul(&eps, &anti)?, &s)?, &[1], false)?;
+        let logdet = api::reduce_sum(&api::mul(&api::mul(&eps, &anti)?, &s)?, &[1], false)?;
         Ok((x_new, logdet))
     }
 
@@ -284,10 +282,8 @@ impl L2hmc {
     /// # Errors
     /// Execution failures.
     pub fn hamiltonian(&self, x: &Tensor, v: &Tensor) -> Result<Tensor> {
-        let kinetic = api::mul(
-            &api::reduce_sum(&api::square(v)?, &[1], false)?,
-            &api::scalar(0.5f32),
-        )?;
+        let kinetic =
+            api::mul(&api::reduce_sum(&api::square(v)?, &[1], false)?, &api::scalar(0.5f32))?;
         api::add(&self.target.energy(x)?, &kinetic)
     }
 
@@ -300,15 +296,11 @@ impl L2hmc {
     /// # Errors
     /// Execution failures.
     pub fn sample_step(&self, x: &Tensor) -> Result<(Tensor, Tensor)> {
-        let batch = x
-            .sym_shape()
-            .dims()
-            .first()
-            .copied()
-            .flatten()
-            .ok_or_else(|| tfe_runtime::RuntimeError::SymbolicValue(
+        let batch = x.sym_shape().dims().first().copied().flatten().ok_or_else(|| {
+            tfe_runtime::RuntimeError::SymbolicValue(
                 "l2hmc needs a known batch dimension".to_string(),
-            ))?;
+            )
+        })?;
         let dim = self.target.dim();
         let v = api::random_normal(DType::F32, Shape::from([batch, dim]), 0.0, 1.0)?;
         let (x_new, v_new, logdet) = self.propose(x, &v)?;
@@ -330,15 +322,11 @@ impl L2hmc {
     /// # Errors
     /// Execution failures.
     pub fn loss(&self, x: &Tensor, lambda: f64) -> Result<Tensor> {
-        let batch = x
-            .sym_shape()
-            .dims()
-            .first()
-            .copied()
-            .flatten()
-            .ok_or_else(|| tfe_runtime::RuntimeError::SymbolicValue(
+        let batch = x.sym_shape().dims().first().copied().flatten().ok_or_else(|| {
+            tfe_runtime::RuntimeError::SymbolicValue(
                 "l2hmc needs a known batch dimension".to_string(),
-            ))?;
+            )
+        })?;
         let dim = self.target.dim();
         let v = api::random_normal(DType::F32, Shape::from([batch, dim]), 0.0, 1.0)?;
         let (x_new, v_new, logdet) = self.propose(x, &v)?;
@@ -382,11 +370,8 @@ mod tests {
         for (i, j) in [(0usize, 0usize), (0, 1), (1, 0), (1, 1)] {
             let mut vals = x.to_f64_vec().unwrap();
             vals[i * 2 + j] += eps;
-            let xp = api::constant(
-                vals.iter().map(|&v| v as f32).collect::<Vec<_>>(),
-                [2, 2],
-            )
-            .unwrap();
+            let xp =
+                api::constant(vals.iter().map(|&v| v as f32).collect::<Vec<_>>(), [2, 2]).unwrap();
             let ep = target.energy(&xp).unwrap().to_f64_vec().unwrap();
             let fd = (ep[i] - base[i]) / eps;
             assert!((fd - g[i * 2 + j]).abs() < 1e-2, "({i},{j}): {fd} vs {}", g[i * 2 + j]);
@@ -496,10 +481,7 @@ mod training_tests {
         let x = tfe_runtime::api::zeros(DType::F32, [32, 2]);
         // Average the stochastic loss over a few draws per measurement.
         let avg_loss = |sampler: &L2hmc| -> f64 {
-            (0..4)
-                .map(|_| sampler.loss(&x, 1.0).unwrap().scalar_f64().unwrap())
-                .sum::<f64>()
-                / 4.0
+            (0..4).map(|_| sampler.loss(&x, 1.0).unwrap().scalar_f64().unwrap()).sum::<f64>() / 4.0
         };
         let before = avg_loss(&sampler);
         for _ in 0..30 {
@@ -553,9 +535,6 @@ mod training_tests {
         assert_eq!(step.num_concrete(), 1);
         let head: f64 = losses[..5].iter().sum::<f64>() / 5.0;
         let tail: f64 = losses[losses.len() - 5..].iter().sum::<f64>() / 5.0;
-        assert!(
-            tail < head,
-            "staged L2HMC training stalled: {head} -> {tail} ({losses:?})"
-        );
+        assert!(tail < head, "staged L2HMC training stalled: {head} -> {tail} ({losses:?})");
     }
 }

@@ -65,7 +65,12 @@ pub struct Dense {
 
 impl Dense {
     /// Create with the given fan-in/fan-out and a Glorot-style initializer.
-    pub fn new(inputs: usize, units: usize, activation: Activation, init: &mut Initializer) -> Dense {
+    pub fn new(
+        inputs: usize,
+        units: usize,
+        activation: Activation,
+        init: &mut Initializer,
+    ) -> Dense {
         Dense {
             kernel: Variable::new(init.glorot(DType::F32, &[inputs, units])),
             bias: Variable::new(TensorData::zeros(DType::F32, [units])),
@@ -116,6 +121,7 @@ pub struct Conv2d {
 
 impl Conv2d {
     /// Create a conv layer.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         in_channels: usize,
         out_channels: usize,
@@ -194,11 +200,8 @@ impl BatchNorm {
     }
 
     fn normalize(&self, x: &Tensor, mean: &Tensor, var: &Tensor) -> Result<Tensor> {
-        let eps = api::constant_data(TensorData::fill_f64(
-            x.dtype(),
-            Shape::scalar(),
-            self.epsilon,
-        ));
+        let eps =
+            api::constant_data(TensorData::fill_f64(x.dtype(), Shape::scalar(), self.epsilon));
         let inv = api::rsqrt(&api::add(var, &eps)?)?;
         let centered = api::sub(x, mean)?;
         let g = self.gamma.read()?;
@@ -222,11 +225,9 @@ impl Layer for BatchNorm {
                 1.0 - self.momentum,
             ));
             let mm = self.moving_mean.read()?;
-            self.moving_mean
-                .assign_sub(&api::mul(&api::sub(&mm, &mean)?, &one_minus)?)?;
+            self.moving_mean.assign_sub(&api::mul(&api::sub(&mm, &mean)?, &one_minus)?)?;
             let mv = self.moving_var.read()?;
-            self.moving_var
-                .assign_sub(&api::mul(&api::sub(&mv, &var)?, &one_minus)?)?;
+            self.moving_var.assign_sub(&api::mul(&api::sub(&mv, &var)?, &one_minus)?)?;
             self.normalize(x, &mean, &var)
         } else {
             let mean = self.moving_mean.read()?;
@@ -349,14 +350,9 @@ impl Layer for Flatten {
 }
 
 fn flat_inner(dims: &tfe_ops::SymShape) -> Result<i64> {
-    dims.dims()[1..]
-        .iter()
-        .try_fold(1i64, |acc, d| d.map(|v| acc * v as i64))
-        .ok_or_else(|| {
-            RuntimeError::SymbolicValue(
-                "flatten requires known non-batch dimensions".to_string(),
-            )
-        })
+    dims.dims()[1..].iter().try_fold(1i64, |acc, d| d.map(|v| acc * v as i64)).ok_or_else(|| {
+        RuntimeError::SymbolicValue("flatten requires known non-batch dimensions".to_string())
+    })
 }
 
 /// A sequential stack of layers.
@@ -496,8 +492,7 @@ mod tests {
     #[test]
     fn batchnorm_normalizes_in_training() {
         let bn = BatchNorm::new(2);
-        let x = api::constant(vec![1.0f32, 10.0, 3.0, 30.0, 5.0, 50.0, 7.0, 70.0], [4, 2])
-            .unwrap();
+        let x = api::constant(vec![1.0f32, 10.0, 3.0, 30.0, 5.0, 50.0, 7.0, 70.0], [4, 2]).unwrap();
         let y = bn.call(&x, true).unwrap();
         let v = y.to_f64_vec().unwrap();
         // Each channel should be ~zero-mean.

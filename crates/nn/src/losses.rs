@@ -54,8 +54,7 @@ mod tests {
 
     #[test]
     fn accuracy_counts_argmax_hits() {
-        let logits =
-            api::constant(vec![5.0f32, 0.0, 0.0, 5.0, 5.0, 0.0], [3, 2]).unwrap();
+        let logits = api::constant(vec![5.0f32, 0.0, 0.0, 5.0, 5.0, 0.0], [3, 2]).unwrap();
         let labels = api::constant(vec![0i64, 1, 1], [3]).unwrap();
         let acc = accuracy(&logits, &labels).unwrap().scalar_f64().unwrap();
         assert!((acc - 2.0 / 3.0).abs() < 1e-6);

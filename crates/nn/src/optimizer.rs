@@ -70,9 +70,7 @@ impl Momentum {
         self.slots
             .lock()
             .entry(v.id())
-            .or_insert_with(|| {
-                Variable::new(TensorData::zeros(v.dtype(), v.shape().clone()))
-            })
+            .or_insert_with(|| Variable::new(TensorData::zeros(v.dtype(), v.shape().clone())))
             .clone()
     }
 }
@@ -206,11 +204,8 @@ pub fn minimize(
 ) -> Result<()> {
     let refs: Vec<&Variable> = vars.iter().collect();
     let grads = tape.gradient_vars(loss, &refs)?;
-    let pairs: Vec<(Tensor, Variable)> = grads
-        .into_iter()
-        .zip(vars)
-        .filter_map(|(g, v)| g.map(|g| (g, v.clone())))
-        .collect();
+    let pairs: Vec<(Tensor, Variable)> =
+        grads.into_iter().zip(vars).filter_map(|(g, v)| g.map(|g| (g, v.clone()))).collect();
     opt.apply(&pairs)
 }
 
@@ -226,7 +221,7 @@ mod tests {
         let x = v.read().unwrap();
         let d = api::sub(&x, &api::scalar(3.0f32)).unwrap();
         let loss = api::square(&d).unwrap();
-        minimize(opt, tape, &loss, &[v.clone()]).unwrap();
+        minimize(opt, tape, &loss, std::slice::from_ref(v)).unwrap();
         loss.scalar_f64().unwrap()
     }
 
@@ -291,7 +286,7 @@ mod tests {
                 let x = v.read()?;
                 let d = api::sub(&x, &api::scalar(3.0f32))?;
                 let loss = api::square(&d)?;
-                minimize(opt.as_ref(), tape, &loss, &[v.clone()])?;
+                minimize(opt.as_ref(), tape, &loss, std::slice::from_ref(&v))?;
                 Ok(vec![loss])
             })
         };

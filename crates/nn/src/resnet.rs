@@ -33,16 +33,52 @@ impl Bottleneck {
         let out_ch = filters * 4;
         let projection = (stride != 1 || in_ch != out_ch).then(|| {
             (
-                Conv2d::new(in_ch, out_ch, (1, 1), (stride, stride), "SAME", Activation::Linear, false, init),
+                Conv2d::new(
+                    in_ch,
+                    out_ch,
+                    (1, 1),
+                    (stride, stride),
+                    "SAME",
+                    Activation::Linear,
+                    false,
+                    init,
+                ),
                 BatchNorm::new(out_ch),
             )
         });
         Bottleneck {
-            conv1: Conv2d::new(in_ch, filters, (1, 1), (1, 1), "SAME", Activation::Linear, false, init),
+            conv1: Conv2d::new(
+                in_ch,
+                filters,
+                (1, 1),
+                (1, 1),
+                "SAME",
+                Activation::Linear,
+                false,
+                init,
+            ),
             bn1: BatchNorm::new(filters),
-            conv2: Conv2d::new(filters, filters, (3, 3), (stride, stride), "SAME", Activation::Linear, false, init),
+            conv2: Conv2d::new(
+                filters,
+                filters,
+                (3, 3),
+                (stride, stride),
+                "SAME",
+                Activation::Linear,
+                false,
+                init,
+            ),
             bn2: BatchNorm::new(filters),
-            conv3: Conv2d::new(filters, out_ch, (1, 1), (1, 1), "SAME", Activation::Linear, false, init),
+            conv3: Conv2d::new(
+                filters,
+                out_ch,
+                (1, 1),
+                (1, 1),
+                "SAME",
+                Activation::Linear,
+                false,
+                init,
+            ),
             bn3: BatchNorm::new(out_ch),
             projection,
         }
@@ -84,9 +120,7 @@ impl Layer for Bottleneck {
             .with_node("conv3", self.conv3.trackable())
             .with_node("bn3", self.bn3.trackable());
         if let Some((conv, bn)) = &self.projection {
-            g = g
-                .with_node("proj_conv", conv.trackable())
-                .with_node("proj_bn", bn.trackable());
+            g = g.with_node("proj_conv", conv.trackable()).with_node("proj_bn", bn.trackable());
         }
         Arc::new(g)
     }
@@ -105,6 +139,7 @@ pub struct ResNet {
 
 impl ResNet {
     /// Build from a stage specification: `(blocks_per_stage, base_filters)`.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         name: &str,
         in_channels: usize,
@@ -251,10 +286,7 @@ mod tests {
         assert_eq!(model.num_blocks(), 16); // 3+4+6+3
         let params = num_parameters(&model);
         // ResNet-50 has ~25.5M parameters.
-        assert!(
-            (24_000_000..27_000_000).contains(&params),
-            "parameter count {params}"
-        );
+        assert!((24_000_000..27_000_000).contains(&params), "parameter count {params}");
     }
 
     #[test]

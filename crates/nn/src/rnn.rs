@@ -66,10 +66,7 @@ pub struct LstmState {
 impl LstmCell {
     /// Create a cell mapping `inputs`-wide features to `units`-wide state.
     pub fn new(inputs: usize, units: usize, init: &mut Initializer) -> LstmCell {
-        LstmCell {
-            gates: Dense::new(inputs + units, 4 * units, Activation::Linear, init),
-            units,
-        }
+        LstmCell { gates: Dense::new(inputs + units, 4 * units, Activation::Linear, init), units }
     }
 
     /// Zero state for a batch.
@@ -112,10 +109,7 @@ impl LstmCell {
         let mut state = self.zero_state(batch);
         let mut outputs = Vec::with_capacity(time);
         for t in 0..time {
-            let x_t = api::squeeze(
-                &api::slice(xs, &[0, t as i64, 0], &[-1, 1, -1])?,
-                &[1],
-            )?;
+            let x_t = api::squeeze(&api::slice(xs, &[0, t as i64, 0], &[-1, 1, -1])?, &[1])?;
             let (out, next) = self.step(&x_t, &state)?;
             state = next;
             outputs.push(out);
@@ -228,10 +222,7 @@ mod tests {
         assert_eq!(out.to_f64_vec().unwrap(), eager.to_f64_vec().unwrap());
         // The unrolled graph contains one concat per step.
         let conc = staged
-            .concrete_for(&[tfe_core::Arg::from(&tfe_runtime::api::zeros(
-                DType::F32,
-                [2, 4, 3],
-            ))])
+            .concrete_for(&[tfe_core::Arg::from(&tfe_runtime::api::zeros(DType::F32, [2, 4, 3]))])
             .unwrap();
         let concats = conc.raw.nodes.iter().filter(|n| n.op == "concat").count();
         assert_eq!(concats, 4, "loop must be unrolled into the trace");

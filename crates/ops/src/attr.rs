@@ -38,8 +38,7 @@ impl PartialEq for AttrValue {
             (Str(a), Str(b)) => a == b,
             (IntList(a), IntList(b)) => a == b,
             (FloatList(a), FloatList(b)) => {
-                a.len() == b.len()
-                    && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
             }
             (DType(a), DType(b)) => a == b,
             _ => false,
@@ -327,11 +326,7 @@ pub struct AttrError {
 
 impl AttrError {
     fn new(key: &str, expected: &'static str, found: Option<&AttrValue>) -> AttrError {
-        AttrError {
-            key: key.to_string(),
-            expected,
-            found: found.map(|v| v.to_string()),
-        }
+        AttrError { key: key.to_string(), expected, found: found.map(|v| v.to_string()) }
     }
 }
 

@@ -6,7 +6,9 @@
 //! user-visible APIs").
 
 use crate::attr::Attrs;
-use crate::opdef::{elems_or, Arity, InferCtx, OpDef, OpError, OpRegistry, OutputSig, WorkEstimate};
+use crate::opdef::{
+    elems_or, Arity, InferCtx, OpDef, OpError, OpRegistry, OutputSig, WorkEstimate,
+};
 use crate::symshape::SymShape;
 use tfe_tensor::conv::Padding;
 use tfe_tensor::elementwise::{CmpOp, UnaryOp};
@@ -238,11 +240,8 @@ fn register_elementwise(reg: &OpRegistry) -> Result<(), OpError> {
         .with_work(|ctx, outputs| {
             // One pass over memory for the whole fused program, but all the
             // program's flops.
-            let n_instr = ctx
-                .attrs
-                .str("program")
-                .map(|p| p.split(';').count())
-                .unwrap_or(1) as f64;
+            let n_instr =
+                ctx.attrs.str("program").map(|p| p.split(';').count()).unwrap_or(1) as f64;
             let out_elems: f64 = outputs.iter().map(|(_, s)| elems_or(s, 1) as f64).sum();
             let in_bytes: f64 = ctx
                 .dtypes
@@ -391,13 +390,8 @@ fn register_structural(reg: &OpRegistry) -> Result<(), OpError> {
                 }
             }
         }
-        let dims: Vec<Option<usize>> = s
-            .dims()
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| !drop[*i])
-            .map(|(_, d)| *d)
-            .collect();
+        let dims: Vec<Option<usize>> =
+            s.dims().iter().enumerate().filter(|(i, _)| !drop[*i]).map(|(_, d)| *d).collect();
         Ok(vec![(ctx.dtype(0)?, SymShape::new(dims))])
     }))?;
     reg.register(OpDef::new("concat", Arity::AtLeast(1), |ctx| {
@@ -416,15 +410,15 @@ fn register_structural(reg: &OpRegistry) -> Result<(), OpError> {
             if s.rank() != first.rank() {
                 return Err(OpError::Invalid("concat rank mismatch".to_string()));
             }
-            for i in 0..s.rank() {
+            for (i, (dim, &sd)) in dims.iter_mut().zip(s.dims()).enumerate() {
                 if i != ax {
-                    match (dims[i], s.dims()[i]) {
+                    match (*dim, sd) {
                         (Some(a), Some(b)) if a != b => {
                             return Err(OpError::Invalid(format!(
                                 "concat dim {i} mismatch: {a} vs {b}"
                             )))
                         }
-                        (None, known) => dims[i] = known,
+                        (None, known) => *dim = known,
                         _ => {}
                     }
                 }
@@ -527,12 +521,8 @@ fn register_structural(reg: &OpRegistry) -> Result<(), OpError> {
         if multiples.len() != s.rank() {
             return Err(OpError::Invalid("tile multiples rank mismatch".to_string()));
         }
-        let dims: Vec<Option<usize>> = s
-            .dims()
-            .iter()
-            .zip(multiples)
-            .map(|(d, &m)| d.map(|d| d * m as usize))
-            .collect();
+        let dims: Vec<Option<usize>> =
+            s.dims().iter().zip(multiples).map(|(d, &m)| d.map(|d| d * m as usize)).collect();
         Ok(vec![(ctx.dtype(0)?, SymShape::new(dims))])
     }))?;
     reg.register(OpDef::new("broadcast_to", Arity::Exact(1), |ctx| {
@@ -644,11 +634,7 @@ fn register_linalg(reg: &OpRegistry) -> Result<(), OpError> {
 }
 
 fn register_reductions(reg: &OpRegistry) -> Result<(), OpError> {
-    fn reduced(
-        s: &SymShape,
-        axes: &[i64],
-        keep_dims: bool,
-    ) -> Result<SymShape, OpError> {
+    fn reduced(s: &SymShape, axes: &[i64], keep_dims: bool) -> Result<SymShape, OpError> {
         let rank = s.rank() as i64;
         let mut norm: Vec<usize> = Vec::new();
         if axes.is_empty() {
@@ -777,7 +763,9 @@ fn register_nn(reg: &OpRegistry) -> Result<(), OpError> {
             let x = ctx.shape(0)?;
             let f = ctx.shape(1)?;
             if x.rank() != 4 || f.rank() != 4 {
-                return Err(OpError::Invalid("conv2d wants NHWC input and HWIO filter".to_string()));
+                return Err(OpError::Invalid(
+                    "conv2d wants NHWC input and HWIO filter".to_string(),
+                ));
             }
             if let (Some(ci), Some(fi)) = (x.dims()[3], f.dims()[2]) {
                 if ci != fi {
@@ -790,10 +778,7 @@ fn register_nn(reg: &OpRegistry) -> Result<(), OpError> {
             let kw = f.dims()[1].unwrap_or(1);
             let oh = conv_out_dim(x.dims()[1], kh, strides.0, padding);
             let ow = conv_out_dim(x.dims()[2], kw, strides.1, padding);
-            Ok(vec![(
-                ctx.dtype(0)?,
-                SymShape::new(vec![x.dims()[0], oh, ow, f.dims()[3]]),
-            )])
+            Ok(vec![(ctx.dtype(0)?, SymShape::new(vec![x.dims()[0], oh, ow, f.dims()[3]]))])
         })
         .with_work(conv_work),
     )?;
@@ -848,10 +833,7 @@ fn register_nn(reg: &OpRegistry) -> Result<(), OpError> {
         if logits.rank() < 1 {
             return Err(OpError::Invalid("logits must have a class axis".to_string()));
         }
-        Ok(vec![(
-            ctx.dtype(0)?,
-            SymShape::new(logits.dims()[..logits.rank() - 1].to_vec()),
-        )])
+        Ok(vec![(ctx.dtype(0)?, SymShape::new(logits.dims()[..logits.rank() - 1].to_vec()))])
     }))?;
     reg.register(OpDef::new("softmax_xent_grad", Arity::Exact(3), |ctx| {
         Ok(vec![(ctx.dtype(0)?, ctx.shape(0)?.clone())])
@@ -863,10 +845,7 @@ fn register_random(reg: &OpRegistry) -> Result<(), OpError> {
     for name in ["random_normal", "random_uniform", "truncated_normal"] {
         reg.register(
             OpDef::new(name, Arity::Exact(0), |ctx| {
-                Ok(vec![(
-                    ctx.attrs.dtype("dtype")?,
-                    static_shape(ctx.attrs.int_list("shape")?)?,
-                )])
+                Ok(vec![(ctx.attrs.dtype("dtype")?, static_shape(ctx.attrs.int_list("shape")?)?)])
             })
             .stateful(),
         )?;
@@ -971,9 +950,21 @@ mod tests {
     fn catalog_size_and_contents() {
         let r = reg();
         for name in [
-            "add", "mul", "relu", "matmul", "conv2d", "reduce_sum", "call", "host_func",
-            "read_variable", "assign_add", "random_normal", "cond", "while_loop",
-            "fused_elementwise", "sum_to_like",
+            "add",
+            "mul",
+            "relu",
+            "matmul",
+            "conv2d",
+            "reduce_sum",
+            "call",
+            "host_func",
+            "read_variable",
+            "assign_add",
+            "random_normal",
+            "cond",
+            "while_loop",
+            "fused_elementwise",
+            "sum_to_like",
         ] {
             assert!(r.contains(name), "missing op {name}");
         }
@@ -1039,14 +1030,9 @@ mod tests {
     fn matmul_inference_with_unknown_batch() {
         let r = reg();
         let a = SymShape::new(vec![None, Some(5)]);
-        let out = infer(
-            &r,
-            "matmul",
-            &[DType::F32, DType::F32],
-            &[a, known(&[5, 3])],
-            &Attrs::new(),
-        )
-        .unwrap();
+        let out =
+            infer(&r, "matmul", &[DType::F32, DType::F32], &[a, known(&[5, 3])], &Attrs::new())
+                .unwrap();
         assert_eq!(out[0].1, SymShape::new(vec![None, Some(3)]));
         // transpose flags
         let out = infer(

@@ -112,10 +112,7 @@ impl<'a> InferCtx<'a> {
     /// # Errors
     /// Index out of range.
     pub fn dtype(&self, i: usize) -> Result<DType, OpError> {
-        self.dtypes
-            .get(i)
-            .copied()
-            .ok_or_else(|| OpError::Invalid(format!("missing input {i}")))
+        self.dtypes.get(i).copied().ok_or_else(|| OpError::Invalid(format!("missing input {i}")))
     }
 
     /// shape of input `i`.
@@ -123,9 +120,7 @@ impl<'a> InferCtx<'a> {
     /// # Errors
     /// Index out of range.
     pub fn shape(&self, i: usize) -> Result<&SymShape, OpError> {
-        self.shapes
-            .get(i)
-            .ok_or_else(|| OpError::Invalid(format!("missing input {i}")))
+        self.shapes.get(i).ok_or_else(|| OpError::Invalid(format!("missing input {i}")))
     }
 }
 
@@ -230,11 +225,7 @@ impl OpDef {
 
 impl fmt::Debug for OpDef {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "OpDef({}, arity={:?}, stateful={})",
-            self.name, self.arity, self.stateful
-        )
+        write!(f, "OpDef({}, arity={:?}, stateful={})", self.name, self.arity, self.stateful)
     }
 }
 
@@ -274,11 +265,7 @@ impl OpRegistry {
     /// # Errors
     /// [`OpError::UnknownOp`].
     pub fn lookup(&self, name: &str) -> Result<Arc<OpDef>, OpError> {
-        self.map
-            .read()
-            .get(name)
-            .cloned()
-            .ok_or_else(|| OpError::UnknownOp(name.to_string()))
+        self.map.read().get(name).cloned().ok_or_else(|| OpError::UnknownOp(name.to_string()))
     }
 
     /// Whether `name` is registered.

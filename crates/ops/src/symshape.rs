@@ -67,24 +67,16 @@ impl SymShape {
     /// (same rank; every known dim matches).
     pub fn matches(&self, shape: &Shape) -> bool {
         self.rank() == shape.rank()
-            && self
-                .0
-                .iter()
-                .zip(shape.dims())
-                .all(|(sym, &d)| sym.is_none_or(|s| s == d))
+            && self.0.iter().zip(shape.dims()).all(|(sym, &d)| sym.is_none_or(|s| s == d))
     }
 
     /// Whether two symbolic shapes could describe the same tensor.
     pub fn compatible_with(&self, other: &SymShape) -> bool {
         self.rank() == other.rank()
-            && self
-                .0
-                .iter()
-                .zip(&other.0)
-                .all(|(a, b)| match (a, b) {
-                    (Some(x), Some(y)) => x == y,
-                    _ => true,
-                })
+            && self.0.iter().zip(&other.0).all(|(a, b)| match (a, b) {
+                (Some(x), Some(y)) => x == y,
+                _ => true,
+            })
     }
 
     /// Merge two compatible shapes, keeping the more specific dims.
@@ -97,13 +89,7 @@ impl SymShape {
                 "cannot merge shapes {self} and {other}"
             )));
         }
-        Ok(SymShape(
-            self.0
-                .iter()
-                .zip(&other.0)
-                .map(|(a, b)| a.or(*b))
-                .collect(),
-        ))
+        Ok(SymShape(self.0.iter().zip(&other.0).map(|(a, b)| a.or(*b)).collect()))
     }
 
     /// NumPy-style broadcast of two symbolic shapes.
@@ -116,14 +102,11 @@ impl SymShape {
     pub fn broadcast(&self, other: &SymShape) -> Result<SymShape, TensorError> {
         let rank = self.rank().max(other.rank());
         let mut out = vec![None; rank];
-        for i in 0..rank {
+        for (i, o) in out.iter_mut().enumerate() {
             let a = if i < rank - self.rank() { Some(1) } else { self.0[i - (rank - self.rank())] };
-            let b = if i < rank - other.rank() {
-                Some(1)
-            } else {
-                other.0[i - (rank - other.rank())]
-            };
-            out[i] = match (a, b) {
+            let b =
+                if i < rank - other.rank() { Some(1) } else { other.0[i - (rank - other.rank())] };
+            *o = match (a, b) {
                 (Some(1), d) | (d, Some(1)) => d,
                 (Some(x), Some(y)) if x == y => Some(x),
                 (Some(_), Some(_)) => {

@@ -87,7 +87,12 @@ pub fn range(dtype: DType, start: f64, step: f64, count: usize) -> Result<Tensor
 ///
 /// # Errors
 /// Execution failures.
-pub fn random_normal(dtype: DType, shape: impl Into<Shape>, mean: f64, stddev: f64) -> Result<Tensor> {
+pub fn random_normal(
+    dtype: DType,
+    shape: impl Into<Shape>,
+    mean: f64,
+    stddev: f64,
+) -> Result<Tensor> {
     let dims: Vec<i64> = shape.into().dims().iter().map(|&d| d as i64).collect();
     run1(
         "random_normal",
@@ -104,7 +109,12 @@ pub fn random_normal(dtype: DType, shape: impl Into<Shape>, mean: f64, stddev: f
 ///
 /// # Errors
 /// Execution failures.
-pub fn random_uniform(dtype: DType, shape: impl Into<Shape>, low: f64, high: f64) -> Result<Tensor> {
+pub fn random_uniform(
+    dtype: DType,
+    shape: impl Into<Shape>,
+    low: f64,
+    high: f64,
+) -> Result<Tensor> {
     let dims: Vec<i64> = shape.into().dims().iter().map(|&d| d as i64).collect();
     run1(
         "random_uniform",
@@ -122,7 +132,11 @@ pub fn truncated_normal(dtype: DType, shape: impl Into<Shape>, stddev: f64) -> R
     run1(
         "truncated_normal",
         &[],
-        Attrs::new().with("dtype", dtype).with("shape", dims).with("mean", 0.0).with("stddev", stddev),
+        Attrs::new()
+            .with("dtype", dtype)
+            .with("shape", dims)
+            .with("mean", 0.0)
+            .with("stddev", stddev),
     )
 }
 
@@ -152,46 +166,202 @@ macro_rules! unary_fn {
     };
 }
 
-binary_fn!(#[doc = "Elementwise `a + b` with broadcasting."] add, "add");
-binary_fn!(#[doc = "Elementwise `a - b` with broadcasting."] sub, "sub");
-binary_fn!(#[doc = "Elementwise `a * b` with broadcasting."] mul, "mul");
-binary_fn!(#[doc = "Elementwise `a / b` with broadcasting."] div, "div");
-binary_fn!(#[doc = "Elementwise floored division."] floor_div, "floor_div");
-binary_fn!(#[doc = "Elementwise modulo (Python sign convention)."] modulo, "mod");
-binary_fn!(#[doc = "Elementwise `a ^ b`."] pow, "pow");
-binary_fn!(#[doc = "Elementwise maximum."] maximum, "maximum");
-binary_fn!(#[doc = "Elementwise minimum."] minimum, "minimum");
-binary_fn!(#[doc = "Elementwise `(a - b)^2`."] squared_difference, "squared_difference");
-binary_fn!(#[doc = "Elementwise equality, producing bools."] equal, "equal");
-binary_fn!(#[doc = "Elementwise inequality."] not_equal, "not_equal");
-binary_fn!(#[doc = "Elementwise `a < b`."] less, "less");
-binary_fn!(#[doc = "Elementwise `a <= b`."] less_equal, "less_equal");
-binary_fn!(#[doc = "Elementwise `a > b`."] greater, "greater");
-binary_fn!(#[doc = "Elementwise `a >= b`."] greater_equal, "greater_equal");
-binary_fn!(#[doc = "Boolean AND."] logical_and, "logical_and");
-binary_fn!(#[doc = "Boolean OR."] logical_or, "logical_or");
+binary_fn!(
+    #[doc = "Elementwise `a + b` with broadcasting."]
+    add,
+    "add"
+);
+binary_fn!(
+    #[doc = "Elementwise `a - b` with broadcasting."]
+    sub,
+    "sub"
+);
+binary_fn!(
+    #[doc = "Elementwise `a * b` with broadcasting."]
+    mul,
+    "mul"
+);
+binary_fn!(
+    #[doc = "Elementwise `a / b` with broadcasting."]
+    div,
+    "div"
+);
+binary_fn!(
+    #[doc = "Elementwise floored division."]
+    floor_div,
+    "floor_div"
+);
+binary_fn!(
+    #[doc = "Elementwise modulo (Python sign convention)."]
+    modulo,
+    "mod"
+);
+binary_fn!(
+    #[doc = "Elementwise `a ^ b`."]
+    pow,
+    "pow"
+);
+binary_fn!(
+    #[doc = "Elementwise maximum."]
+    maximum,
+    "maximum"
+);
+binary_fn!(
+    #[doc = "Elementwise minimum."]
+    minimum,
+    "minimum"
+);
+binary_fn!(
+    #[doc = "Elementwise `(a - b)^2`."]
+    squared_difference,
+    "squared_difference"
+);
+binary_fn!(
+    #[doc = "Elementwise equality, producing bools."]
+    equal,
+    "equal"
+);
+binary_fn!(
+    #[doc = "Elementwise inequality."]
+    not_equal,
+    "not_equal"
+);
+binary_fn!(
+    #[doc = "Elementwise `a < b`."]
+    less,
+    "less"
+);
+binary_fn!(
+    #[doc = "Elementwise `a <= b`."]
+    less_equal,
+    "less_equal"
+);
+binary_fn!(
+    #[doc = "Elementwise `a > b`."]
+    greater,
+    "greater"
+);
+binary_fn!(
+    #[doc = "Elementwise `a >= b`."]
+    greater_equal,
+    "greater_equal"
+);
+binary_fn!(
+    #[doc = "Boolean AND."]
+    logical_and,
+    "logical_and"
+);
+binary_fn!(
+    #[doc = "Boolean OR."]
+    logical_or,
+    "logical_or"
+);
 
-unary_fn!(#[doc = "Elementwise negation."] neg, "neg");
-unary_fn!(#[doc = "Elementwise absolute value."] abs, "abs");
-unary_fn!(#[doc = "Elementwise sign."] sign, "sign");
-unary_fn!(#[doc = "Elementwise `e^x`."] exp, "exp");
-unary_fn!(#[doc = "Elementwise natural log."] log, "log");
-unary_fn!(#[doc = "Elementwise `ln(1+x)`."] log1p, "log1p");
-unary_fn!(#[doc = "Elementwise square root."] sqrt, "sqrt");
-unary_fn!(#[doc = "Elementwise `1/sqrt(x)`."] rsqrt, "rsqrt");
-unary_fn!(#[doc = "Elementwise square."] square, "square");
-unary_fn!(#[doc = "Elementwise reciprocal."] reciprocal, "reciprocal");
-unary_fn!(#[doc = "Rectified linear unit."] relu, "relu");
-unary_fn!(#[doc = "Logistic sigmoid."] sigmoid, "sigmoid");
-unary_fn!(#[doc = "Hyperbolic tangent."] tanh, "tanh");
-unary_fn!(#[doc = "`ln(1+e^x)` (`tf.nn.softplus`, Listing 3)."] softplus, "softplus");
-unary_fn!(#[doc = "Elementwise floor."] floor, "floor");
-unary_fn!(#[doc = "Elementwise ceil."] ceil, "ceil");
-unary_fn!(#[doc = "Elementwise round."] round, "round");
-unary_fn!(#[doc = "Elementwise sine."] sin, "sin");
-unary_fn!(#[doc = "Elementwise cosine."] cos, "cos");
-unary_fn!(#[doc = "Gauss error function."] erf, "erf");
-unary_fn!(#[doc = "Boolean NOT."] logical_not, "logical_not");
+unary_fn!(
+    #[doc = "Elementwise negation."]
+    neg,
+    "neg"
+);
+unary_fn!(
+    #[doc = "Elementwise absolute value."]
+    abs,
+    "abs"
+);
+unary_fn!(
+    #[doc = "Elementwise sign."]
+    sign,
+    "sign"
+);
+unary_fn!(
+    #[doc = "Elementwise `e^x`."]
+    exp,
+    "exp"
+);
+unary_fn!(
+    #[doc = "Elementwise natural log."]
+    log,
+    "log"
+);
+unary_fn!(
+    #[doc = "Elementwise `ln(1+x)`."]
+    log1p,
+    "log1p"
+);
+unary_fn!(
+    #[doc = "Elementwise square root."]
+    sqrt,
+    "sqrt"
+);
+unary_fn!(
+    #[doc = "Elementwise `1/sqrt(x)`."]
+    rsqrt,
+    "rsqrt"
+);
+unary_fn!(
+    #[doc = "Elementwise square."]
+    square,
+    "square"
+);
+unary_fn!(
+    #[doc = "Elementwise reciprocal."]
+    reciprocal,
+    "reciprocal"
+);
+unary_fn!(
+    #[doc = "Rectified linear unit."]
+    relu,
+    "relu"
+);
+unary_fn!(
+    #[doc = "Logistic sigmoid."]
+    sigmoid,
+    "sigmoid"
+);
+unary_fn!(
+    #[doc = "Hyperbolic tangent."]
+    tanh,
+    "tanh"
+);
+unary_fn!(
+    #[doc = "`ln(1+e^x)` (`tf.nn.softplus`, Listing 3)."]
+    softplus,
+    "softplus"
+);
+unary_fn!(
+    #[doc = "Elementwise floor."]
+    floor,
+    "floor"
+);
+unary_fn!(
+    #[doc = "Elementwise ceil."]
+    ceil,
+    "ceil"
+);
+unary_fn!(
+    #[doc = "Elementwise round."]
+    round,
+    "round"
+);
+unary_fn!(
+    #[doc = "Elementwise sine."]
+    sin,
+    "sin"
+);
+unary_fn!(
+    #[doc = "Elementwise cosine."]
+    cos,
+    "cos"
+);
+unary_fn!(
+    #[doc = "Gauss error function."]
+    erf,
+    "erf"
+);
+unary_fn!(
+    #[doc = "Boolean NOT."]
+    logical_not,
+    "logical_not"
+);
 
 /// `where(cond, a, b)` with broadcasting.
 ///
@@ -262,13 +432,41 @@ macro_rules! reduce_fn {
     };
 }
 
-reduce_fn!(#[doc = "Sum over axes."] reduce_sum, "reduce_sum");
-reduce_fn!(#[doc = "Mean over axes."] reduce_mean, "reduce_mean");
-reduce_fn!(#[doc = "Maximum over axes."] reduce_max, "reduce_max");
-reduce_fn!(#[doc = "Minimum over axes."] reduce_min, "reduce_min");
-reduce_fn!(#[doc = "Product over axes."] reduce_prod, "reduce_prod");
-reduce_fn!(#[doc = "Boolean any over axes."] reduce_any, "reduce_any");
-reduce_fn!(#[doc = "Boolean all over axes."] reduce_all, "reduce_all");
+reduce_fn!(
+    #[doc = "Sum over axes."]
+    reduce_sum,
+    "reduce_sum"
+);
+reduce_fn!(
+    #[doc = "Mean over axes."]
+    reduce_mean,
+    "reduce_mean"
+);
+reduce_fn!(
+    #[doc = "Maximum over axes."]
+    reduce_max,
+    "reduce_max"
+);
+reduce_fn!(
+    #[doc = "Minimum over axes."]
+    reduce_min,
+    "reduce_min"
+);
+reduce_fn!(
+    #[doc = "Product over axes."]
+    reduce_prod,
+    "reduce_prod"
+);
+reduce_fn!(
+    #[doc = "Boolean any over axes."]
+    reduce_any,
+    "reduce_any"
+);
+reduce_fn!(
+    #[doc = "Boolean all over axes."]
+    reduce_all,
+    "reduce_all"
+);
 
 /// Index of the maximum along `axis` (int64 output).
 ///
@@ -344,7 +542,11 @@ pub fn concat(parts: &[&Tensor], axis: i64) -> Result<Tensor> {
 /// # Errors
 /// `num` does not divide the axis.
 pub fn split(a: &Tensor, num: usize, axis: i64) -> Result<Vec<Tensor>> {
-    execute("split", std::slice::from_ref(a), Attrs::new().with("num", num as i64).with("axis", axis))
+    execute(
+        "split",
+        std::slice::from_ref(a),
+        Attrs::new().with("num", num as i64).with("axis", axis),
+    )
 }
 
 /// Contiguous slice; `-1` size means "to the end".
@@ -352,11 +554,7 @@ pub fn split(a: &Tensor, num: usize, axis: i64) -> Result<Vec<Tensor>> {
 /// # Errors
 /// Out-of-range begin/size.
 pub fn slice(a: &Tensor, begin: &[i64], size: &[i64]) -> Result<Tensor> {
-    run1(
-        "slice",
-        &[a],
-        Attrs::new().with("begin", begin.to_vec()).with("size", size.to_vec()),
-    )
+    run1("slice", &[a], Attrs::new().with("begin", begin.to_vec()).with("size", size.to_vec()))
 }
 
 /// Constant-pad with `(before, after)` per axis.
@@ -449,7 +647,12 @@ pub fn shape_of(a: &Tensor) -> Result<Tensor> {
 ///
 /// # Errors
 /// Geometry failures.
-pub fn conv2d(input: &Tensor, filter: &Tensor, strides: (usize, usize), padding: &str) -> Result<Tensor> {
+pub fn conv2d(
+    input: &Tensor,
+    filter: &Tensor,
+    strides: (usize, usize),
+    padding: &str,
+) -> Result<Tensor> {
     run1(
         "conv2d",
         &[input, filter],
@@ -463,7 +666,12 @@ pub fn conv2d(input: &Tensor, filter: &Tensor, strides: (usize, usize), padding:
 ///
 /// # Errors
 /// Geometry failures.
-pub fn max_pool(input: &Tensor, ksize: (usize, usize), strides: (usize, usize), padding: &str) -> Result<Tensor> {
+pub fn max_pool(
+    input: &Tensor,
+    ksize: (usize, usize),
+    strides: (usize, usize),
+    padding: &str,
+) -> Result<Tensor> {
     run1(
         "max_pool",
         &[input],
@@ -478,7 +686,12 @@ pub fn max_pool(input: &Tensor, ksize: (usize, usize), strides: (usize, usize), 
 ///
 /// # Errors
 /// Geometry failures.
-pub fn avg_pool(input: &Tensor, ksize: (usize, usize), strides: (usize, usize), padding: &str) -> Result<Tensor> {
+pub fn avg_pool(
+    input: &Tensor,
+    ksize: (usize, usize),
+    strides: (usize, usize),
+    padding: &str,
+) -> Result<Tensor> {
     run1(
         "avg_pool",
         &[input],

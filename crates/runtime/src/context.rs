@@ -16,9 +16,7 @@ use parking_lot::{Mutex, RwLock};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::Arc;
-use tfe_device::{
-    Device, DeviceManager, DeviceName, DispatchModel, KernelCost, SimStats,
-};
+use tfe_device::{Device, DeviceManager, DeviceName, DispatchModel, KernelCost, SimStats};
 use tfe_graph::{FunctionLibrary, GraphBuilder, TensorRef};
 use tfe_ops::{Attrs, InferCtx, SymShape};
 use tfe_tensor::rng::TensorRng;
@@ -82,8 +80,7 @@ pub(crate) fn with_rng<R>(f: impl FnOnce(&mut TensorRng) -> R) -> R {
 /// `TFE_SIM_PROFILE` environment variable (used to calibrate the bench
 /// profiles; not part of the public contract).
 pub fn sim_profile() -> &'static RwLock<HashMap<String, (u64, f64)>> {
-    static P: std::sync::OnceLock<RwLock<HashMap<String, (u64, f64)>>> =
-        std::sync::OnceLock::new();
+    static P: std::sync::OnceLock<RwLock<HashMap<String, (u64, f64)>>> = std::sync::OnceLock::new();
     P.get_or_init(|| RwLock::new(HashMap::new()))
 }
 
@@ -100,6 +97,103 @@ pub(crate) fn sim_profile_add(op: &str, ns: f64) {
 pub fn ensure_init() {
     tfe_ops::ensure_standard_ops();
     crate::kernels::ensure_kernels();
+}
+
+// ---------------------------------------------------------------------------
+// Executor statistics
+// ---------------------------------------------------------------------------
+
+/// Process-wide executor counters, updated by both scheduling modes and by
+/// workers of the parallel pool (which have no thread-local context). Read
+/// them with [`exec_stats`]; benches reset between phases with
+/// [`reset_exec_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Graph nodes executed (placeholders excluded).
+    pub nodes_executed: u64,
+    /// Compute kernels launched (structural ops — `const`, `call`, `cond`,
+    /// `while_loop`, `host_func`, `copy` — excluded).
+    pub kernels_launched: u64,
+    /// Completed `run_function` invocations in serial-planned mode.
+    pub serial_runs: u64,
+    /// Completed `run_function` invocations in parallel mode.
+    pub parallel_runs: u64,
+    /// Deepest ready-queue depth observed by the parallel scheduler.
+    pub max_queue_depth: u64,
+    /// Largest number of tensor bytes simultaneously live in one run
+    /// (placeholder bindings included), across both modes.
+    pub peak_live_bytes: u64,
+}
+
+struct ExecStatCells {
+    nodes_executed: std::sync::atomic::AtomicU64,
+    kernels_launched: std::sync::atomic::AtomicU64,
+    serial_runs: std::sync::atomic::AtomicU64,
+    parallel_runs: std::sync::atomic::AtomicU64,
+    max_queue_depth: std::sync::atomic::AtomicU64,
+    peak_live_bytes: std::sync::atomic::AtomicU64,
+}
+
+fn exec_stat_cells() -> &'static ExecStatCells {
+    static C: std::sync::OnceLock<ExecStatCells> = std::sync::OnceLock::new();
+    C.get_or_init(|| ExecStatCells {
+        nodes_executed: std::sync::atomic::AtomicU64::new(0),
+        kernels_launched: std::sync::atomic::AtomicU64::new(0),
+        serial_runs: std::sync::atomic::AtomicU64::new(0),
+        parallel_runs: std::sync::atomic::AtomicU64::new(0),
+        max_queue_depth: std::sync::atomic::AtomicU64::new(0),
+        peak_live_bytes: std::sync::atomic::AtomicU64::new(0),
+    })
+}
+
+/// Snapshot the executor counters.
+pub fn exec_stats() -> ExecStats {
+    use std::sync::atomic::Ordering::Relaxed;
+    let c = exec_stat_cells();
+    ExecStats {
+        nodes_executed: c.nodes_executed.load(Relaxed),
+        kernels_launched: c.kernels_launched.load(Relaxed),
+        serial_runs: c.serial_runs.load(Relaxed),
+        parallel_runs: c.parallel_runs.load(Relaxed),
+        max_queue_depth: c.max_queue_depth.load(Relaxed),
+        peak_live_bytes: c.peak_live_bytes.load(Relaxed),
+    }
+}
+
+/// Zero the executor counters.
+pub fn reset_exec_stats() {
+    use std::sync::atomic::Ordering::Relaxed;
+    let c = exec_stat_cells();
+    c.nodes_executed.store(0, Relaxed);
+    c.kernels_launched.store(0, Relaxed);
+    c.serial_runs.store(0, Relaxed);
+    c.parallel_runs.store(0, Relaxed);
+    c.max_queue_depth.store(0, Relaxed);
+    c.peak_live_bytes.store(0, Relaxed);
+}
+
+pub(crate) fn stat_node_executed() {
+    exec_stat_cells().nodes_executed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+}
+
+pub(crate) fn stat_kernel_launched() {
+    exec_stat_cells().kernels_launched.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+}
+
+pub(crate) fn stat_serial_run() {
+    exec_stat_cells().serial_runs.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+}
+
+pub(crate) fn stat_parallel_run() {
+    exec_stat_cells().parallel_runs.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+}
+
+pub(crate) fn stat_queue_depth(depth: u64) {
+    exec_stat_cells().max_queue_depth.fetch_max(depth, std::sync::atomic::Ordering::Relaxed);
+}
+
+pub(crate) fn stat_live_bytes(bytes: u64) {
+    exec_stat_cells().peak_live_bytes.fetch_max(bytes, std::sync::atomic::Ordering::Relaxed);
 }
 
 // ---------------------------------------------------------------------------
@@ -393,7 +487,6 @@ pub fn init_scope<R>(f: impl FnOnce() -> R) -> R {
         let t = std::mem::take(&mut s.traces);
         s.init_scope_stash.push(t);
     });
-    ();
     let r = f();
     with_stack(|s| {
         let restored = s.init_scope_stash.pop().expect("init_scope stash must exist");
@@ -463,8 +556,7 @@ fn execute_traced(op: &str, inputs: &[Tensor], attrs: Attrs) -> Result<Vec<Tenso
                     if let Some(&tref) = frame.capture_refs.get(&other.id()) {
                         tref
                     } else {
-                        let tref =
-                            frame.builder.placeholder(other.dtype(), other.sym_shape())?;
+                        let tref = frame.builder.placeholder(other.dtype(), other.sym_shape())?;
                         frame.capture_refs.insert(other.id(), tref);
                         frame.captures.push(other.clone());
                         tref
@@ -596,7 +688,7 @@ fn execute_call(inputs: &[Tensor], attrs: &Attrs) -> Result<Vec<Tensor>> {
     }
     let args = eager_values(inputs)?;
     let mode = exec_mode();
-    let out = executor::run_function(&func, &args, &device, mode)?;
+    let out = executor::run_function_arc(&func, &args, &device, mode)?;
     let outputs: Vec<Tensor> = out
         .into_iter()
         .map(|d| Tensor::Eager(EagerTensor::new(d, device.name().clone())))
@@ -615,11 +707,10 @@ fn execute_cond(inputs: &[Tensor], attrs: &Attrs) -> Result<Vec<Tensor>> {
     } else {
         attrs.str("else_fn").map_err(tfe_ops::OpError::from)?
     };
-    let func =
-        library().get(branch).ok_or_else(|| RuntimeError::UnknownFunction(branch.into()))?;
+    let func = library().get(branch).ok_or_else(|| RuntimeError::UnknownFunction(branch.into()))?;
     let device = resolve_device(inputs);
     let args = eager_values(&inputs[1..])?;
-    let out = executor::run_function(&func, &args, &device, exec_mode())?;
+    let out = executor::run_function_arc(&func, &args, &device, exec_mode())?;
     let outputs: Vec<Tensor> = out
         .into_iter()
         .map(|d| Tensor::Eager(EagerTensor::new(d, device.name().clone())))
@@ -631,18 +722,16 @@ fn execute_cond(inputs: &[Tensor], attrs: &Attrs) -> Result<Vec<Tensor>> {
 fn execute_while(inputs: &[Tensor], attrs: &Attrs) -> Result<Vec<Tensor>> {
     let cond_name = attrs.str("cond_fn").map_err(tfe_ops::OpError::from)?;
     let body_name = attrs.str("body_fn").map_err(tfe_ops::OpError::from)?;
-    let cond = library()
-        .get(cond_name)
-        .ok_or_else(|| RuntimeError::UnknownFunction(cond_name.into()))?;
-    let body = library()
-        .get(body_name)
-        .ok_or_else(|| RuntimeError::UnknownFunction(body_name.into()))?;
+    let cond =
+        library().get(cond_name).ok_or_else(|| RuntimeError::UnknownFunction(cond_name.into()))?;
+    let body =
+        library().get(body_name).ok_or_else(|| RuntimeError::UnknownFunction(body_name.into()))?;
     let device = resolve_device(inputs);
     let mut state = eager_values(inputs)?;
     let max_iters = attrs.int_or("max_iterations", 1_000_000).map_err(tfe_ops::OpError::from)?;
     let mut iters = 0i64;
     loop {
-        let p = executor::run_function(&cond, &state, &device, exec_mode())?;
+        let p = executor::run_function_arc(&cond, &state, &device, exec_mode())?;
         let flag = p
             .first()
             .ok_or_else(|| RuntimeError::Internal("while cond returned nothing".to_string()))?
@@ -650,7 +739,7 @@ fn execute_while(inputs: &[Tensor], attrs: &Attrs) -> Result<Vec<Tensor>> {
         if flag == 0.0 {
             break;
         }
-        state = executor::run_function(&body, &state, &device, exec_mode())?;
+        state = executor::run_function_arc(&body, &state, &device, exec_mode())?;
         iters += 1;
         if iters >= max_iters {
             return Err(RuntimeError::Internal(format!(

@@ -4,16 +4,22 @@
 //! - **SerialPlanned** (default): nodes execute in topological order using a
 //!   liveness-based buffer-reuse plan — values are dropped the moment their
 //!   last consumer has run ("buffer reuse").
-//! - **Parallel**: inter-op parallelism on a crossbeam scoped thread pool
-//!   ("runs kernels in parallel when possible"). Stateless graphs only;
-//!   graphs with side effects fall back to serial execution to preserve
-//!   program order of stateful ops.
+//! - **Parallel**: dependency-counted inter-op parallelism on a persistent
+//!   worker pool ("runs kernels in parallel when possible"). Every node
+//!   carries an atomic count of unresolved predecessors (data producers
+//!   plus sequencing edges); finishing a node decrements its consumers and
+//!   pushes newly-ready ones onto the shared queue. Stateful graphs run in
+//!   parallel too: the sequencing edges computed at trace time (see
+//!   `tfe_graph::sequencing`) keep variable reads and writes in program
+//!   order while stateless work proceeds concurrently. Buffers are
+//!   refcounted per output and released by their last consumer, matching
+//!   the serial plan's reuse behavior.
 
 use crate::error::{Result, RuntimeError};
 use crate::tensor::{EagerTensor, Tensor};
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use tfe_device::{Device, KernelCost};
 use tfe_graph::{GraphFunction, NodeId, TensorRef};
@@ -26,8 +32,9 @@ pub enum ExecMode {
     /// Serial topological execution with buffer-reuse (default).
     #[default]
     SerialPlanned,
-    /// Inter-op parallel execution (stateless graphs only; stateful graphs
-    /// silently run serially).
+    /// Dependency-counted inter-op parallel execution on the shared worker
+    /// pool. Handles stateful graphs via sequencing edges; nested
+    /// `call`/`cond`/`while_loop` bodies inherit the pool.
     Parallel,
 }
 
@@ -35,6 +42,10 @@ pub enum ExecMode {
 ///
 /// `args` must match the function's declared inputs *including captures*
 /// (the `Func` wrapper in `tfe-core` appends capture values automatically).
+///
+/// In [`ExecMode::Parallel`] the graph is cloned once into a shared handle;
+/// callers that already hold an `Arc<GraphFunction>` should prefer
+/// [`run_function_arc`], which avoids the clone.
 ///
 /// # Errors
 /// Arity mismatches, kernel failures, missing callees, dead variables.
@@ -45,6 +56,34 @@ pub fn run_function(
     mode: ExecMode,
 ) -> Result<Vec<Arc<TensorData>>> {
     crate::context::ensure_init();
+    validate_args(f, args)?;
+    match mode {
+        ExecMode::SerialPlanned => run_serial(f, args, device),
+        ExecMode::Parallel => run_parallel(&Arc::new(f.clone()), args, device),
+    }
+}
+
+/// [`run_function`] for callers that already hold a shared graph handle
+/// (the function library hands these out); the parallel scheduler shares
+/// the `Arc` with its workers instead of cloning the graph.
+///
+/// # Errors
+/// Same as [`run_function`].
+pub fn run_function_arc(
+    f: &Arc<GraphFunction>,
+    args: &[Arc<TensorData>],
+    device: &Device,
+    mode: ExecMode,
+) -> Result<Vec<Arc<TensorData>>> {
+    crate::context::ensure_init();
+    validate_args(f, args)?;
+    match mode {
+        ExecMode::SerialPlanned => run_serial(f, args, device),
+        ExecMode::Parallel => run_parallel(f, args, device),
+    }
+}
+
+fn validate_args(f: &GraphFunction, args: &[Arc<TensorData>]) -> Result<()> {
     if args.len() != f.inputs.len() {
         return Err(RuntimeError::Internal(format!(
             "function `{}` expects {} inputs ({} args + {} captures), got {}",
@@ -66,10 +105,11 @@ pub fn run_function(
             )));
         }
     }
-    match mode {
-        ExecMode::Parallel if !f.is_stateful() => run_parallel(f, args, device),
-        _ => run_serial(f, args, device),
-    }
+    Ok(())
+}
+
+fn tensor_bytes(t: &TensorData) -> u64 {
+    (t.num_elements() * t.dtype().size_bytes()) as u64
 }
 
 fn charge_node(device: &Device, work: Option<(f64, f64)>) {
@@ -77,22 +117,24 @@ fn charge_node(device: &Device, work: Option<(f64, f64)>) {
         cfg.stats.count_staged_node();
         cfg.stats.clock.advance(cfg.dispatch.executor_node_ns);
         if let (Some(model), Some((flops, bytes))) = (device.compute_model(), work) {
-            cfg.stats
-                .device_clock
-                .advance(model.kernel_time_ns(KernelCost { flops, bytes }));
+            cfg.stats.device_clock.advance(model.kernel_time_ns(KernelCost { flops, bytes }));
             cfg.stats.count_kernel();
         }
     }
 }
 
-/// Execute one non-placeholder node given its concrete inputs.
+/// Execute one non-placeholder node given its concrete inputs. Nested
+/// `call`/`cond`/`while_loop` bodies run in the caller's `mode` — a parallel
+/// run keeps its worker pool through function-call boundaries.
 fn run_node(
     f: &GraphFunction,
     id: NodeId,
     inputs: &[Arc<TensorData>],
     device: &Device,
+    mode: ExecMode,
 ) -> Result<Vec<Arc<TensorData>>> {
     let node = f.node(id);
+    crate::context::stat_node_executed();
     // Work estimate for simulated devices (uses concrete input shapes).
     let work = if device.compute_model().is_some() {
         let def = tfe_ops::global().lookup(&node.op)?;
@@ -107,7 +149,9 @@ fn run_node(
     };
     charge_node(device, work);
 
-    if !device.produces_real_values() && node.op != "call" && node.op != "cond"
+    if !device.produces_real_values()
+        && node.op != "call"
+        && node.op != "cond"
         && node.op != "while_loop"
     {
         // Cost-only: shape-correct zeros (resolved against concrete inputs).
@@ -118,14 +162,12 @@ fn run_node(
         return sigs
             .into_iter()
             .map(|(dt, s)| {
-                s.to_shape().map(|shape| crate::kernels::zero_value(dt, shape)).ok_or_else(
-                    || {
-                        RuntimeError::Internal(format!(
-                            "cost-only execution needs defined shapes (op {})",
-                            node.op
-                        ))
-                    },
-                )
+                s.to_shape().map(|shape| crate::kernels::zero_value(dt, shape)).ok_or_else(|| {
+                    RuntimeError::Internal(format!(
+                        "cost-only execution needs defined shapes (op {})",
+                        node.op
+                    ))
+                })
             })
             .collect();
     }
@@ -147,7 +189,7 @@ fn run_node(
             let callee = crate::context::library()
                 .get(name)
                 .ok_or_else(|| RuntimeError::UnknownFunction(name.into()))?;
-            run_function(&callee, inputs, device, ExecMode::SerialPlanned)
+            run_function_arc(&callee, inputs, device, mode)
         }
         "cond" => {
             let pred = inputs
@@ -163,7 +205,7 @@ fn run_node(
             let callee = crate::context::library()
                 .get(branch)
                 .ok_or_else(|| RuntimeError::UnknownFunction(branch.into()))?;
-            run_function(&callee, &inputs[1..], device, ExecMode::SerialPlanned)
+            run_function_arc(&callee, &inputs[1..], device, mode)
         }
         "while_loop" => {
             let cond_name = node.attrs.str("cond_fn").map_err(tfe_ops::OpError::from)?;
@@ -175,13 +217,11 @@ fn run_node(
                 .get(body_name)
                 .ok_or_else(|| RuntimeError::UnknownFunction(body_name.into()))?;
             let mut state = inputs.to_vec();
-            let max = node
-                .attrs
-                .int_or("max_iterations", 1_000_000)
-                .map_err(tfe_ops::OpError::from)?;
+            let max =
+                node.attrs.int_or("max_iterations", 1_000_000).map_err(tfe_ops::OpError::from)?;
             let mut iters = 0i64;
             loop {
-                let p = run_function(&cond, &state, device, ExecMode::SerialPlanned)?;
+                let p = run_function_arc(&cond, &state, device, mode)?;
                 if p.first()
                     .ok_or_else(|| RuntimeError::Internal("while cond empty".into()))?
                     .scalar_f64()?
@@ -189,7 +229,7 @@ fn run_node(
                 {
                     break;
                 }
-                state = run_function(&body, &state, device, ExecMode::SerialPlanned)?;
+                state = run_function_arc(&body, &state, device, mode)?;
                 iters += 1;
                 if iters >= max {
                     return Err(RuntimeError::Internal(format!(
@@ -216,6 +256,7 @@ fn run_node(
             .ok_or_else(|| RuntimeError::Internal("copy without input".into()))?
             .clone()]),
         _ => {
+            crate::context::stat_kernel_launched();
             let out = crate::kernels::run_kernel(&node.op, &node.attrs, inputs)?;
             Ok(out.into_iter().map(Arc::new).collect())
         }
@@ -227,6 +268,7 @@ fn run_serial(
     args: &[Arc<TensorData>],
     device: &Device,
 ) -> Result<Vec<Arc<TensorData>>> {
+    crate::context::stat_serial_run();
     // Last consumer index per tensor, for buffer release.
     let mut last_use: HashMap<TensorRef, usize> = HashMap::new();
     for (i, node) in f.nodes.iter().enumerate() {
@@ -238,11 +280,15 @@ fn run_serial(
         last_use.insert(out, usize::MAX);
     }
 
+    let mut live_bytes = 0u64;
+    let mut peak_bytes = 0u64;
     let mut values: HashMap<TensorRef, Arc<TensorData>> = HashMap::new();
     // Bind placeholders.
     for (&node_id, arg) in f.inputs.iter().zip(args) {
+        live_bytes += tensor_bytes(arg);
         values.insert(TensorRef::first(node_id), arg.clone());
     }
+    peak_bytes = peak_bytes.max(live_bytes);
     for (i, node) in f.nodes.iter().enumerate() {
         if node.op == "placeholder" {
             continue;
@@ -256,17 +302,22 @@ fn run_serial(
                 })
             })
             .collect::<Result<_>>()?;
-        let outs = run_node(f, NodeId(i), &inputs, device)?;
+        let outs = run_node(f, NodeId(i), &inputs, device, ExecMode::SerialPlanned)?;
         for (k, v) in outs.into_iter().enumerate() {
+            live_bytes += tensor_bytes(&v);
             values.insert(TensorRef { node: NodeId(i), output: k }, v);
         }
+        peak_bytes = peak_bytes.max(live_bytes);
         // Buffer reuse: drop values whose last consumer has now run.
         for &input in &node.inputs {
             if last_use.get(&input) == Some(&i) {
-                values.remove(&input);
+                if let Some(v) = values.remove(&input) {
+                    live_bytes -= tensor_bytes(&v);
+                }
             }
         }
     }
+    crate::context::stat_live_bytes(peak_bytes);
     f.outputs
         .iter()
         .map(|t| {
@@ -277,99 +328,241 @@ fn run_serial(
         .collect()
 }
 
-fn run_parallel(
-    f: &GraphFunction,
-    args: &[Arc<TensorData>],
-    device: &Device,
-) -> Result<Vec<Arc<TensorData>>> {
-    let n = f.nodes.len();
-    // Topological levels: a node's level is 1 + max(level of producers).
-    // Nodes within one level are independent and run concurrently; levels
-    // form barriers, which keeps error handling and shutdown trivial.
-    let mut level = vec![0usize; n];
-    let mut max_level = 0usize;
-    for (i, node) in f.nodes.iter().enumerate() {
-        let l = node
-            .inputs
-            .iter()
-            .map(|t| level[t.node.0] + 1)
-            .max()
-            .unwrap_or(0);
-        level[i] = l;
-        max_level = max_level.max(l);
+// ---------------------------------------------------------------------------
+// Dependency-counted parallel scheduler
+// ---------------------------------------------------------------------------
+
+/// Shared state of one parallel run. Jobs on the worker pool hold an `Arc`
+/// to this; the submitting thread waits (and work-helps) until `pending`
+/// reaches zero.
+struct RunState {
+    f: Arc<GraphFunction>,
+    device: Device,
+    /// Flat value-slot index of `(node, output 0)`; slot `offset[n] + k` is
+    /// output `k` of node `n`.
+    slot_offset: Vec<usize>,
+    /// One slot per node output.
+    slots: Vec<Mutex<Option<Arc<TensorData>>>>,
+    /// Remaining consumer input-slots of each value slot; a slot's tensor is
+    /// dropped when this hits zero (function outputs carry an extra pin).
+    slot_refs: Vec<AtomicUsize>,
+    /// Unresolved predecessors (data producers + sequencing edges) per node.
+    deps: Vec<AtomicUsize>,
+    /// Dependent node ids per node (the reverse of `predecessors`).
+    consumers: Vec<Vec<usize>>,
+    /// Non-placeholder nodes not yet finished.
+    pending: AtomicUsize,
+    /// Bytes currently held in slots.
+    live_bytes: AtomicU64,
+    error: Mutex<Option<RuntimeError>>,
+    abort: AtomicBool,
+}
+
+impl RunState {
+    fn slot_of(&self, t: &TensorRef) -> usize {
+        self.slot_offset[t.node.0] + t.output
     }
-    let mut by_level: Vec<Vec<usize>> = vec![Vec::new(); max_level + 1];
-    for (i, node) in f.nodes.iter().enumerate() {
-        if node.op != "placeholder" {
-            by_level[level[i]].push(i);
+
+    fn fail(&self, e: RuntimeError) {
+        self.error.lock().get_or_insert(e);
+        self.abort.store(true, Ordering::SeqCst);
+    }
+
+    /// Store one node's outputs, skipping slots nobody will ever read.
+    /// Runs strictly before any consumer of the node is enqueued, so the
+    /// unsynchronized refcount read is safe.
+    fn store_outputs(&self, node: usize, outs: Vec<Arc<TensorData>>) {
+        let base = self.slot_offset[node];
+        let mut added = 0u64;
+        for (k, v) in outs.into_iter().enumerate() {
+            if self.slot_refs[base + k].load(Ordering::SeqCst) == 0 {
+                continue; // dead output: never stored, dropped immediately
+            }
+            added += tensor_bytes(&v);
+            *self.slots[base + k].lock() = Some(v);
+        }
+        let live = self.live_bytes.fetch_add(added, Ordering::SeqCst) + added;
+        crate::context::stat_live_bytes(live);
+    }
+
+    /// Drop one reference to a value slot; frees the tensor on the last.
+    fn release_slot(&self, slot: usize) {
+        if self.slot_refs[slot].fetch_sub(1, Ordering::SeqCst) == 1 {
+            if let Some(v) = self.slots[slot].lock().take() {
+                self.live_bytes.fetch_sub(tensor_bytes(&v), Ordering::SeqCst);
+            }
         }
     }
 
-    let values: Vec<Mutex<Option<Vec<Arc<TensorData>>>>> =
-        (0..n).map(|_| Mutex::new(None)).collect();
-    for (&node_id, arg) in f.inputs.iter().zip(args) {
-        *values[node_id.0].lock() = Some(vec![arg.clone()]);
-    }
-    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(8);
-    for nodes in &by_level {
-        if nodes.is_empty() {
-            continue;
+    /// Bookkeeping after a node ran (or was skipped by an abort): release
+    /// its input buffers, wake consumers that became ready, and signal the
+    /// waiters when this was the last pending node.
+    fn finish_node(self: &Arc<Self>, node: usize) {
+        for t in &self.f.nodes[node].inputs {
+            self.release_slot(self.slot_of(t));
         }
-        let error: Mutex<Option<RuntimeError>> = Mutex::new(None);
-        let cursor = AtomicUsize::new(0);
-        crossbeam::thread::scope(|scope| {
-            for _ in 0..workers.min(nodes.len()) {
-                let values = &values;
-                let error = &error;
-                let cursor = &cursor;
-                scope.spawn(move |_| loop {
-                    let k = cursor.fetch_add(1, Ordering::SeqCst);
-                    if k >= nodes.len() || error.lock().is_some() {
-                        break;
-                    }
-                    let i = nodes[k];
-                    let node = &f.nodes[i];
-                    let inputs: Result<Vec<Arc<TensorData>>> = node
-                        .inputs
-                        .iter()
-                        .map(|t| {
-                            values[t.node.0]
-                                .lock()
-                                .as_ref()
-                                .and_then(|v| v.get(t.output).cloned())
-                                .ok_or_else(|| {
-                                    RuntimeError::Internal(format!(
-                                        "parallel exec missing {t:?}"
-                                    ))
-                                })
-                        })
-                        .collect();
-                    match inputs.and_then(|ins| run_node(f, NodeId(i), &ins, device)) {
-                        Ok(outs) => *values[i].lock() = Some(outs),
-                        Err(e) => {
-                            error.lock().get_or_insert(e);
-                            break;
-                        }
-                    }
-                });
+        for &c in &self.consumers[node] {
+            if self.deps[c].fetch_sub(1, Ordering::SeqCst) == 1 {
+                self.enqueue(c);
             }
-        })
-        .map_err(|_| RuntimeError::Internal("executor worker panicked".to_string()))?;
-        let taken = error.lock().take();
-        if let Some(e) = taken {
-            return Err(e);
+        }
+        if self.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+            crate::pool::global().notify();
         }
     }
-    f.outputs
+
+    fn enqueue(self: &Arc<Self>, node: usize) {
+        let state = self.clone();
+        let depth = crate::pool::global().submit(Box::new(move || state.execute(node)));
+        crate::context::stat_queue_depth(depth as u64);
+    }
+
+    /// Run one ready node. Errors and panics flip the abort flag; the
+    /// dependency countdown still completes so the run drains and the
+    /// waiter observes the stored error.
+    fn execute(self: &Arc<Self>, node: usize) {
+        if !self.abort.load(Ordering::SeqCst) {
+            let inputs: Result<Vec<Arc<TensorData>>> = self.f.nodes[node]
+                .inputs
+                .iter()
+                .map(|t| {
+                    self.slots[self.slot_of(t)].lock().clone().ok_or_else(|| {
+                        RuntimeError::Internal(format!(
+                            "parallel exec missing {t:?} in `{}`",
+                            self.f.name
+                        ))
+                    })
+                })
+                .collect();
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                inputs.and_then(|ins| {
+                    run_node(&self.f, NodeId(node), &ins, &self.device, ExecMode::Parallel)
+                })
+            }));
+            match result {
+                Ok(Ok(outs)) => self.store_outputs(node, outs),
+                Ok(Err(e)) => self.fail(e),
+                Err(_) => self.fail(RuntimeError::Internal(format!(
+                    "node %{node} ({}) panicked in `{}`",
+                    self.f.nodes[node].op, self.f.name
+                ))),
+            }
+        }
+        self.finish_node(node);
+    }
+}
+
+fn run_parallel(
+    f: &Arc<GraphFunction>,
+    args: &[Arc<TensorData>],
+    device: &Device,
+) -> Result<Vec<Arc<TensorData>>> {
+    crate::context::stat_parallel_run();
+    let n = f.nodes.len();
+
+    // Value slots, flattened over node outputs.
+    let mut slot_offset = Vec::with_capacity(n);
+    let mut total_slots = 0usize;
+    for node in &f.nodes {
+        slot_offset.push(total_slots);
+        total_slots += node.outputs.len();
+    }
+    let mut slot_refs = vec![0usize; total_slots];
+    for node in &f.nodes {
+        for t in &node.inputs {
+            slot_refs[slot_offset[t.node.0] + t.output] += 1;
+        }
+    }
+    for t in &f.outputs {
+        // Pin function outputs: never released by the countdown.
+        slot_refs[slot_offset[t.node.0] + t.output] += 1;
+    }
+
+    // Dependency counts and their reverse edges (data + sequencing).
+    let mut deps = Vec::with_capacity(n);
+    let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut pending = 0usize;
+    for (i, node) in f.nodes.iter().enumerate() {
+        let preds = f.predecessors(NodeId(i));
+        deps.push(AtomicUsize::new(preds.len()));
+        for p in preds {
+            consumers[p.0].push(i);
+        }
+        if node.op != "placeholder" {
+            pending += 1;
+        }
+    }
+
+    let state = Arc::new(RunState {
+        f: f.clone(),
+        device: device.clone(),
+        slot_offset,
+        slots: (0..total_slots).map(|_| Mutex::new(None)).collect(),
+        slot_refs: slot_refs.into_iter().map(AtomicUsize::new).collect(),
+        deps,
+        consumers,
+        pending: AtomicUsize::new(pending),
+        live_bytes: AtomicU64::new(0),
+        error: Mutex::new(None),
+        abort: AtomicBool::new(false),
+    });
+
+    // Bind placeholders.
+    let mut bound = 0u64;
+    for (&node_id, arg) in f.inputs.iter().zip(args) {
+        let slot = state.slot_offset[node_id.0];
+        if state.slot_refs[slot].load(Ordering::SeqCst) != 0 {
+            bound += tensor_bytes(arg);
+            *state.slots[slot].lock() = Some(arg.clone());
+        }
+    }
+    state.live_bytes.store(bound, Ordering::SeqCst);
+    crate::context::stat_live_bytes(bound);
+
+    if pending == 0 {
+        return collect_outputs(&state);
+    }
+
+    // Seed the queue: nodes with no predecessors at all (consts, random
+    // sources), then everything placeholders unblock. A node can only be in
+    // one of the two sets, so nothing is enqueued twice.
+    let mut ready: Vec<usize> = Vec::new();
+    for (i, node) in f.nodes.iter().enumerate() {
+        if node.op != "placeholder" && state.deps[i].load(Ordering::SeqCst) == 0 {
+            ready.push(i);
+        }
+    }
+    for &node_id in &f.inputs {
+        for &c in &state.consumers[node_id.0] {
+            if state.deps[c].fetch_sub(1, Ordering::SeqCst) == 1 {
+                ready.push(c);
+            }
+        }
+    }
+    for i in ready {
+        state.enqueue(i);
+    }
+
+    // Work-help until the countdown completes (nested parallel runs issued
+    // from worker threads pass through here too — helping instead of
+    // blocking is what keeps them deadlock-free).
+    crate::pool::global().wait_until(|| state.pending.load(Ordering::SeqCst) == 0);
+
+    if let Some(e) = state.error.lock().take() {
+        return Err(e);
+    }
+    collect_outputs(&state)
+}
+
+fn collect_outputs(state: &RunState) -> Result<Vec<Arc<TensorData>>> {
+    state
+        .f
+        .outputs
         .iter()
         .map(|t| {
-            values[t.node.0]
-                .lock()
-                .as_ref()
-                .and_then(|v| v.get(t.output).cloned())
-                .ok_or_else(|| {
-                    RuntimeError::Internal(format!("output {t:?} missing in `{}`", f.name))
-                })
+            state.slots[state.slot_of(t)].lock().clone().ok_or_else(|| {
+                RuntimeError::Internal(format!("output {t:?} missing in `{}`", state.f.name))
+            })
         })
         .collect()
 }
@@ -437,20 +630,77 @@ mod tests {
             acc = b.add_node("add", vec![acc, t], Attrs::new()).unwrap()[0];
         }
         let f = b.finish(vec![acc], 0);
-        let x = Arc::new(TensorData::from_vec(vec![0.1f32, 0.2, 0.3, 0.4], Shape::from([4])).unwrap());
-        let serial = run_function(&f, &[x.clone()], &device(), ExecMode::SerialPlanned).unwrap();
+        let x =
+            Arc::new(TensorData::from_vec(vec![0.1f32, 0.2, 0.3, 0.4], Shape::from([4])).unwrap());
+        let serial =
+            run_function(&f, std::slice::from_ref(&x), &device(), ExecMode::SerialPlanned).unwrap();
         let parallel = run_function(&f, &[x], &device(), ExecMode::Parallel).unwrap();
         assert!(serial[0].all_close(&parallel[0], 1e-6, 1e-6));
+    }
+
+    #[test]
+    fn parallel_runs_stateful_graphs_in_program_order() {
+        // read v → assign v+1 → read v: the second read must observe the
+        // write (sequencing edges, not serial fallback).
+        let var = crate::Variable::new(TensorData::scalar(5.0f32));
+        let vid = var.id() as i64;
+        let mut b = GraphBuilder::new("stateful_order");
+        let read_attrs = || {
+            Attrs::new()
+                .with("var_id", vid)
+                .with("dtype", DType::F32)
+                .with("shape", Vec::<i64>::new())
+        };
+        let r1 = b.add_node("read_variable", vec![], read_attrs()).unwrap()[0];
+        let one = b.constant(Arc::new(TensorData::scalar(1.0f32))).unwrap();
+        let inc = b.add_node("add", vec![r1, one], Attrs::new()).unwrap()[0];
+        b.add_node("assign", vec![inc], Attrs::new().with("var_id", vid)).unwrap();
+        let r2 = b.add_node("read_variable", vec![], read_attrs()).unwrap()[0];
+        let f = b.finish(vec![r2], 0);
+        assert!(f.is_stateful());
+
+        let before = crate::context::exec_stats().parallel_runs;
+        let out = run_function(&f, &[], &device(), ExecMode::Parallel).unwrap();
+        assert_eq!(out[0].scalar_f64().unwrap(), 6.0);
+        assert_eq!(var.peek().scalar_f64().unwrap(), 6.0);
+        // Regression: Parallel mode must actually take the parallel path.
+        assert!(crate::context::exec_stats().parallel_runs > before);
+    }
+
+    #[test]
+    fn parallel_error_propagates() {
+        // A call to a function missing from the library errors at run time;
+        // the run must drain and report the error, not hang.
+        let mut b = GraphBuilder::new("err");
+        let x = b.placeholder(DType::F32, known(&[2])).unwrap();
+        let (d, s) = tfe_ops::catalog::encode_sig(&[(DType::F32, known(&[2]))]);
+        let c = b
+            .add_node(
+                "call",
+                vec![x],
+                Attrs::new()
+                    .with("function", "definitely_not_registered")
+                    .with("out_dtypes", d)
+                    .with("out_shapes", s),
+            )
+            .unwrap()[0];
+        let r = b.add_node("relu", vec![c], Attrs::new()).unwrap()[0];
+        let f = b.finish(vec![r], 0);
+        let x = Arc::new(TensorData::zeros(DType::F32, [2]));
+        assert!(run_function(&f, &[x], &device(), ExecMode::Parallel).is_err());
     }
 
     #[test]
     fn arity_and_signature_validation() {
         let f = build_axpy();
         let x = Arc::new(TensorData::zeros(DType::F32, [3]));
-        assert!(run_function(&f, &[x.clone()], &device(), ExecMode::SerialPlanned).is_err());
+        assert!(
+            run_function(&f, std::slice::from_ref(&x), &device(), ExecMode::SerialPlanned).is_err()
+        );
         let bad_dtype = Arc::new(TensorData::zeros(DType::F64, [3]));
-        assert!(run_function(&f, &[x.clone(), bad_dtype], &device(), ExecMode::SerialPlanned)
-            .is_err());
+        assert!(
+            run_function(&f, &[x.clone(), bad_dtype], &device(), ExecMode::SerialPlanned).is_err()
+        );
         let bad_shape = Arc::new(TensorData::zeros(DType::F32, [4]));
         assert!(run_function(&f, &[x, bad_shape], &device(), ExecMode::SerialPlanned).is_err());
     }
@@ -464,10 +714,13 @@ mod tests {
             .unwrap();
         let s = b.add_node("add", vec![parts[0], parts[1]], Attrs::new()).unwrap()[0];
         let f = b.finish(vec![s], 0);
-        let x =
-            Arc::new(TensorData::from_vec(vec![1.0f32, 2.0, 10.0, 20.0], Shape::from([4])).unwrap());
-        let out = run_function(&f, &[x], &device(), ExecMode::SerialPlanned).unwrap();
-        assert_eq!(out[0].to_f64_vec(), vec![11.0, 22.0]);
+        let x = Arc::new(
+            TensorData::from_vec(vec![1.0f32, 2.0, 10.0, 20.0], Shape::from([4])).unwrap(),
+        );
+        for mode in [ExecMode::SerialPlanned, ExecMode::Parallel] {
+            let out = run_function(&f, std::slice::from_ref(&x), &device(), mode).unwrap();
+            assert_eq!(out[0].to_f64_vec(), vec![11.0, 22.0]);
+        }
     }
 
     #[test]
@@ -497,7 +750,28 @@ mod tests {
         let outer = ob.finish(vec![out], 0);
 
         let x = Arc::new(TensorData::from_vec(vec![-5.0f32, 3.0], Shape::from([2])).unwrap());
-        let r = run_function(&outer, &[x], &device(), ExecMode::SerialPlanned).unwrap();
-        assert_eq!(r[0].to_f64_vec(), vec![1.0, 4.0]);
+        // Nested calls inherit the caller's mode in both directions.
+        for mode in [ExecMode::SerialPlanned, ExecMode::Parallel] {
+            let r = run_function(&outer, std::slice::from_ref(&x), &device(), mode).unwrap();
+            assert_eq!(r[0].to_f64_vec(), vec![1.0, 4.0]);
+        }
+    }
+
+    #[test]
+    fn exec_stats_report_scheduler_activity() {
+        crate::context::reset_exec_stats();
+        let f = build_axpy();
+        let x = Arc::new(TensorData::from_vec(vec![1.0f32, -3.0, 2.0], Shape::from([3])).unwrap());
+        let y = Arc::new(TensorData::from_vec(vec![0.5f32, 1.0, -10.0], Shape::from([3])).unwrap());
+        run_function(&f, &[x.clone(), y.clone()], &device(), ExecMode::SerialPlanned).unwrap();
+        run_function(&f, &[x, y], &device(), ExecMode::Parallel).unwrap();
+        let stats = crate::context::exec_stats();
+        assert!(stats.serial_runs >= 1);
+        assert!(stats.parallel_runs >= 1);
+        // axpy runs const + mul + add + relu per invocation.
+        assert!(stats.nodes_executed >= 8);
+        assert!(stats.kernels_launched >= 6);
+        assert!(stats.peak_live_bytes >= 3 * 4 * 2); // two f32[3] args live
+        assert!(stats.max_queue_depth >= 1);
     }
 }

@@ -135,9 +135,8 @@ pub fn sum_to_shape(x: &TensorData, target: &Shape) -> Result<TensorData> {
 /// fresh multi-hundred-megabyte buffer per op causes severe mmap churn, so
 /// identical (dtype, shape) zeros share one immutable allocation.
 pub fn zero_value(dtype: tfe_tensor::DType, shape: Shape) -> Arc<TensorData> {
-    static CACHE: std::sync::OnceLock<
-        parking_lot::Mutex<HashMap<(tfe_tensor::DType, Vec<usize>), Arc<TensorData>>>,
-    > = std::sync::OnceLock::new();
+    type ZeroCache = parking_lot::Mutex<HashMap<(tfe_tensor::DType, Vec<usize>), Arc<TensorData>>>;
+    static CACHE: std::sync::OnceLock<ZeroCache> = std::sync::OnceLock::new();
     let cache = CACHE.get_or_init(|| parking_lot::Mutex::new(HashMap::new()));
     cache
         .lock()
@@ -214,11 +213,7 @@ fn register_elementwise(map: &mut HashMap<&'static str, Kernel>) {
     kernel!(map, "equal", |_, i| one(elementwise::compare(in0(i)?, in_n(i, 1)?, CmpOp::Eq)?));
     kernel!(map, "not_equal", |_, i| one(elementwise::compare(in0(i)?, in_n(i, 1)?, CmpOp::Ne)?));
     kernel!(map, "less", |_, i| one(elementwise::compare(in0(i)?, in_n(i, 1)?, CmpOp::Lt)?));
-    kernel!(map, "less_equal", |_, i| one(elementwise::compare(
-        in0(i)?,
-        in_n(i, 1)?,
-        CmpOp::Le
-    )?));
+    kernel!(map, "less_equal", |_, i| one(elementwise::compare(in0(i)?, in_n(i, 1)?, CmpOp::Le)?));
     kernel!(map, "greater", |_, i| one(elementwise::compare(in0(i)?, in_n(i, 1)?, CmpOp::Gt)?));
     kernel!(map, "greater_equal", |_, i| one(elementwise::compare(
         in0(i)?,
@@ -321,11 +316,7 @@ fn register_structural(map: &mut HashMap<&'static str, Kernel>) {
     kernel!(map, "slice_grad", |a, i| {
         let input = in0(i)?;
         let grad = in_n(i, 1)?;
-        one(shape_ops::pad_to(
-            grad,
-            a.int_list("begin").map_err(attrs_err)?,
-            input.shape(),
-        )?)
+        one(shape_ops::pad_to(grad, a.int_list("begin").map_err(attrs_err)?, input.shape())?)
     });
     kernel!(map, "pad", |a, i| {
         let flat = a.int_list("paddings").map_err(attrs_err)?;
@@ -542,9 +533,7 @@ fn register_random(map: &mut HashMap<&'static str, Kernel>) {
     kernel!(map, "dropout_mask", |a, i| {
         let x = in0(i)?;
         let keep = a.float("keep_prob").map_err(attrs_err)?;
-        one(crate::context::with_rng(|rng| {
-            rng.dropout_mask(x.dtype(), x.shape().clone(), keep)
-        })?)
+        one(crate::context::with_rng(|rng| rng.dropout_mask(x.dtype(), x.shape().clone(), keep))?)
     });
 }
 
@@ -588,15 +577,7 @@ mod tests {
         tfe_ops::ensure_standard_ops();
         ensure_kernels();
         // Dispatcher-level ops and graph-only markers are exempt.
-        let exempt = [
-            "call",
-            "cond",
-            "while_loop",
-            "host_func",
-            "copy",
-            "placeholder",
-            "const",
-        ];
+        let exempt = ["call", "cond", "while_loop", "host_func", "copy", "placeholder", "const"];
         for name in tfe_ops::global().names() {
             if exempt.contains(&name.as_str()) {
                 continue;
@@ -640,9 +621,7 @@ mod tests {
     #[test]
     fn gather_grad_kernel_scatters() {
         let params = Arc::new(TensorData::zeros(DType::F32, [3, 2]));
-        let idx = Arc::new(
-            TensorData::from_vec(vec![2i64, 0, 2], Shape::from([3])).unwrap(),
-        );
+        let idx = Arc::new(TensorData::from_vec(vec![2i64, 0, 2], Shape::from([3])).unwrap());
         let grad = Arc::new(
             TensorData::from_vec(vec![1.0f32, 1.0, 2.0, 2.0, 4.0, 4.0], Shape::from([3, 2]))
                 .unwrap(),

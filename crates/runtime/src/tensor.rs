@@ -206,9 +206,8 @@ mod tests {
 
     #[test]
     fn eager_accessors() {
-        let t = Tensor::from_data(
-            TensorData::from_vec(vec![1.0f32, 2.0], Shape::from([2])).unwrap(),
-        );
+        let t =
+            Tensor::from_data(TensorData::from_vec(vec![1.0f32, 2.0], Shape::from([2])).unwrap());
         assert_eq!(t.dtype(), DType::F32);
         assert_eq!(t.shape().unwrap(), Shape::from([2]));
         assert_eq!(t.rank(), 1);

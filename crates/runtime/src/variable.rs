@@ -75,11 +75,7 @@ impl VariableRegistry {
     /// # Errors
     /// [`RuntimeError::VariableDead`] when the owning object is gone.
     pub fn resolve(&self, id: u64) -> Result<Arc<VarStorage>> {
-        self.map
-            .read()
-            .get(&id)
-            .and_then(Weak::upgrade)
-            .ok_or(RuntimeError::VariableDead(id))
+        self.map.read().get(&id).and_then(Weak::upgrade).ok_or(RuntimeError::VariableDead(id))
     }
 
     /// Drop dead entries (called opportunistically).

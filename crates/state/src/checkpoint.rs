@@ -156,37 +156,35 @@ fn nodes_from_value(v: &Value) -> Result<Vec<SavedNode>, CheckpointError> {
         .and_then(Value::as_array)
         .ok_or_else(|| err("missing nodes"))?
         .iter()
-        .map(|nv| {
-            match nv.get("kind").and_then(Value::as_str) {
-                Some("object") => {
-                    let edges = nv
-                        .get("edges")
-                        .and_then(Value::as_array)
-                        .ok_or_else(|| err("missing edges"))?
-                        .iter()
-                        .map(|ev| {
-                            let pair = ev.as_array().ok_or_else(|| err("bad edge"))?;
-                            let name = pair
-                                .first()
-                                .and_then(Value::as_str)
-                                .ok_or_else(|| err("bad edge name"))?;
-                            let idx = pair
-                                .get(1)
-                                .and_then(Value::as_i64)
-                                .ok_or_else(|| err("bad edge index"))?;
-                            Ok((name.to_string(), idx as usize))
-                        })
-                        .collect::<Result<Vec<_>, CheckpointError>>()?;
-                    Ok(SavedNode::Object { edges })
-                }
-                Some("variable") => Ok(SavedNode::Variable(
-                    nv.get("value").cloned().ok_or_else(|| err("missing value"))?,
-                )),
-                Some("state") => Ok(SavedNode::State(
-                    nv.get("value").cloned().ok_or_else(|| err("missing value"))?,
-                )),
-                _ => Err(err("unknown node kind")),
+        .map(|nv| match nv.get("kind").and_then(Value::as_str) {
+            Some("object") => {
+                let edges = nv
+                    .get("edges")
+                    .and_then(Value::as_array)
+                    .ok_or_else(|| err("missing edges"))?
+                    .iter()
+                    .map(|ev| {
+                        let pair = ev.as_array().ok_or_else(|| err("bad edge"))?;
+                        let name = pair
+                            .first()
+                            .and_then(Value::as_str)
+                            .ok_or_else(|| err("bad edge name"))?;
+                        let idx = pair
+                            .get(1)
+                            .and_then(Value::as_i64)
+                            .ok_or_else(|| err("bad edge index"))?;
+                        Ok((name.to_string(), idx as usize))
+                    })
+                    .collect::<Result<Vec<_>, CheckpointError>>()?;
+                Ok(SavedNode::Object { edges })
             }
+            Some("variable") => Ok(SavedNode::Variable(
+                nv.get("value").cloned().ok_or_else(|| err("missing value"))?,
+            )),
+            Some("state") => {
+                Ok(SavedNode::State(nv.get("value").cloned().ok_or_else(|| err("missing value"))?))
+            }
+            _ => Err(err("unknown node kind")),
         })
         .collect()
 }
@@ -235,8 +233,7 @@ pub fn restore_from_value(
             edges.iter().map(|(n, i)| (n.as_str(), *i)).collect();
         let mut live_names: Vec<String> = Vec::new();
         for (name, child) in node.children() {
-            let child_path =
-                if path.is_empty() { name.clone() } else { format!("{path}/{name}") };
+            let child_path = if path.is_empty() { name.clone() } else { format!("{path}/{name}") };
             live_names.push(name.clone());
             let Some(&saved_child) = saved_edges.get(name.as_str()) else {
                 status.unmatched_in_object.push(child_path);
@@ -246,13 +243,11 @@ pub fn restore_from_value(
                 (TrackableChild::Variable(v), SavedNode::Variable(payload)) => {
                     let data = tensor_from_value(payload)
                         .map_err(|e| err(format!("at `{child_path}`: {e}")))?;
-                    v.restore(data)
-                        .map_err(|e| err(format!("at `{child_path}`: {e}")))?;
+                    v.restore(data).map_err(|e| err(format!("at `{child_path}`: {e}")))?;
                     status.restored_variables += 1;
                 }
                 (TrackableChild::State(s), SavedNode::State(payload)) => {
-                    s.restore_state(payload)
-                        .map_err(|e| err(format!("at `{child_path}`: {e}")))?;
+                    s.restore_state(payload).map_err(|e| err(format!("at `{child_path}`: {e}")))?;
                     status.restored_state += 1;
                 }
                 (TrackableChild::Node(t), SavedNode::Object { .. }) => {
@@ -292,8 +287,7 @@ pub fn restore(
     root: &dyn Trackable,
     path: impl AsRef<Path>,
 ) -> Result<RestoreStatus, CheckpointError> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| err(format!("read failed: {e}")))?;
+    let text = std::fs::read_to_string(path).map_err(|e| err(format!("read failed: {e}")))?;
     let v = Value::parse(&text).map_err(|e| err(format!("parse failed: {e}")))?;
     restore_from_value(root, &v)
 }
@@ -307,9 +301,12 @@ mod tests {
     use tfe_tensor::{DType, TensorData};
 
     fn model() -> (TrackableGroup, Variable, Variable) {
-        let w = Variable::new(TensorData::from_vec(vec![1.0f32, 2.0], tfe_tensor::Shape::from([2])).unwrap());
+        let w = Variable::new(
+            TensorData::from_vec(vec![1.0f32, 2.0], tfe_tensor::Shape::from([2])).unwrap(),
+        );
         let b = Variable::new(TensorData::scalar(0.5f32));
-        let layer = Arc::new(TrackableGroup::new().with_variable("kernel", &w).with_variable("bias", &b));
+        let layer =
+            Arc::new(TrackableGroup::new().with_variable("kernel", &w).with_variable("bias", &b));
         // Listing 3's structure: v plus an `out` layer with kernel/bias.
         let v = Variable::new(TensorData::scalar(1.0f32));
         let net = TrackableGroup::new().with_variable("v", &v).with_node("out", layer);
@@ -342,9 +339,8 @@ mod tests {
         let b2 = Variable::new(TensorData::scalar(0.0f32));
         let w2 = Variable::new(TensorData::zeros(DType::F32, [2]));
         let v2 = Variable::new(TensorData::scalar(0.0f32));
-        let layer2 = Arc::new(
-            TrackableGroup::new().with_variable("kernel", &w2).with_variable("bias", &b2),
-        );
+        let layer2 =
+            Arc::new(TrackableGroup::new().with_variable("kernel", &w2).with_variable("bias", &b2));
         let net2 = TrackableGroup::new().with_variable("v", &v2).with_node("out", layer2);
 
         let status = restore_from_value(&net2, &saved).unwrap();
@@ -369,10 +365,7 @@ mod tests {
         assert_eq!(status.restored_variables, 1);
         assert!(status.unmatched_in_object.contains(&"out/gamma".to_string()));
         assert!(status.unmatched_in_checkpoint.contains(&"v".to_string()));
-        assert!(status
-            .unmatched_in_checkpoint
-            .iter()
-            .any(|p| p == "out/bias"));
+        assert!(status.unmatched_in_checkpoint.iter().any(|p| p == "out/bias"));
         assert!(!status.is_complete());
     }
 
@@ -427,9 +420,7 @@ mod tests {
     fn shared_variables_saved_once() {
         let shared = Variable::new(TensorData::scalar(7.0f32));
         let a = Arc::new(TrackableGroup::new().with_variable("w", &shared));
-        let g = TrackableGroup::new()
-            .with_node("left", a.clone())
-            .with_node("right", a);
+        let g = TrackableGroup::new().with_node("left", a.clone()).with_node("right", a);
         let v = save_to_value(&g);
         // One object root + one shared child object + one variable node.
         let nodes = v.get("nodes").and_then(Value::as_array).unwrap();

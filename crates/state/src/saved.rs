@@ -183,26 +183,19 @@ pub fn import_from_value(v: &Value) -> Result<LoadedFunction, SavedError> {
 
     // Recreate variables with fresh ids.
     let mut var_map: HashMap<i64, Variable> = HashMap::new();
-    for vv in v
-        .get("variables")
-        .and_then(Value::as_array)
-        .ok_or_else(|| err("missing variables"))?
+    for vv in
+        v.get("variables").and_then(Value::as_array).ok_or_else(|| err("missing variables"))?
     {
         let id = vv.get("id").and_then(Value::as_i64).ok_or_else(|| err("missing var id"))?;
-        let data = tensor_from_value(
-            vv.get("value").ok_or_else(|| err("missing var value"))?,
-        )
-        .map_err(|e| err(e.to_string()))?;
+        let data = tensor_from_value(vv.get("value").ok_or_else(|| err("missing var value"))?)
+            .map_err(|e| err(e.to_string()))?;
         var_map.insert(id, Variable::new(data));
     }
-    let id_map: HashMap<i64, i64> =
-        var_map.iter().map(|(old, v)| (*old, v.id() as i64)).collect();
+    let id_map: HashMap<i64, i64> = var_map.iter().map(|(old, v)| (*old, v.id() as i64)).collect();
 
     // Load functions, renaming them and rewriting references.
-    let functions = v
-        .get("functions")
-        .and_then(Value::as_array)
-        .ok_or_else(|| err("missing functions"))?;
+    let functions =
+        v.get("functions").and_then(Value::as_array).ok_or_else(|| err("missing functions"))?;
     let mut name_map: HashMap<String, String> = HashMap::new();
     let mut loaded: Vec<GraphFunction> = Vec::new();
     for fv in functions {
@@ -250,23 +243,16 @@ pub fn import_from_value(v: &Value) -> Result<LoadedFunction, SavedError> {
         context::library().insert(f);
     }
 
-    let entry_new = name_map
-        .get(entry)
-        .cloned()
-        .ok_or_else(|| err("entry function missing from bundle"))?;
-    let entry_fn = context::library()
-        .get(&entry_new)
-        .ok_or_else(|| err("entry function failed to load"))?;
+    let entry_new =
+        name_map.get(entry).cloned().ok_or_else(|| err("entry function missing from bundle"))?;
+    let entry_fn =
+        context::library().get(&entry_new).ok_or_else(|| err("entry function failed to load"))?;
     let captures: Vec<Tensor> = v
         .get("captures")
         .and_then(Value::as_array)
         .ok_or_else(|| err("missing captures"))?
         .iter()
-        .map(|cv| {
-            tensor_from_value(cv)
-                .map(Tensor::from_data)
-                .map_err(|e| err(e.to_string()))
-        })
+        .map(|cv| tensor_from_value(cv).map(Tensor::from_data).map_err(|e| err(e.to_string())))
         .collect::<Result<_, _>>()?;
     if captures.len() != entry_fn.num_captures {
         return Err(err(format!(
@@ -304,9 +290,7 @@ mod tests {
     #[test]
     fn stateless_function_round_trips() {
         let f = function1("savable", |x| api::relu(&api::add(x, x)?));
-        let conc = f
-            .concrete_for(&[Arg::from(&api::zeros(DType::F32, [3]))])
-            .unwrap();
+        let conc = f.concrete_for(&[Arg::from(&api::zeros(DType::F32, [3]))]).unwrap();
         let bundle = export_to_value(&conc).unwrap();
         let loaded = import_from_value(&bundle).unwrap();
         assert_eq!(loaded.num_args(), 1);

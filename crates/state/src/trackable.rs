@@ -130,8 +130,7 @@ mod tests {
     #[test]
     fn list_edges_are_indices() {
         let v = Variable::new(TensorData::scalar(3.0f32));
-        let item: Arc<dyn Trackable> =
-            Arc::new(TrackableGroup::new().with_variable("w", &v));
+        let item: Arc<dyn Trackable> = Arc::new(TrackableGroup::new().with_variable("w", &v));
         let list = TrackableList::new(vec![item.clone(), item]);
         let children = list.children();
         assert_eq!(children[0].0, "0");

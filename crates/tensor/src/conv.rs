@@ -116,11 +116,7 @@ pub fn conv2d_geometry(
     Ok(Conv2dGeometry { n, h, w, c_in, kh, kw, c_out, sh, sw, oh, ow, ph, pw })
 }
 
-fn conv2d_typed<T: FloatScalar>(
-    x: &[T],
-    f: &[T],
-    g: &Conv2dGeometry,
-) -> Vec<f64> {
+fn conv2d_typed<T: FloatScalar>(x: &[T], f: &[T], g: &Conv2dGeometry) -> Vec<f64> {
     let mut out = vec![0.0f64; g.n * g.oh * g.ow * g.c_out];
     for b in 0..g.n {
         for oy in 0..g.oh {
@@ -166,16 +162,10 @@ pub fn conv2d(
     check_float_pair(input, filter)?;
     let g = conv2d_geometry(input.shape(), filter.shape(), strides, padding)?;
     let out = match input.dtype() {
-        crate::DType::F32 => {
-            conv2d_typed(input.as_slice::<f32>()?, filter.as_slice::<f32>()?, &g)
-        }
+        crate::DType::F32 => conv2d_typed(input.as_slice::<f32>()?, filter.as_slice::<f32>()?, &g),
         _ => conv2d_typed(input.as_slice::<f64>()?, filter.as_slice::<f64>()?, &g),
     };
-    Ok(TensorData::from_f64_vec(
-        input.dtype(),
-        out,
-        Shape::from([g.n, g.oh, g.ow, g.c_out]),
-    ))
+    Ok(TensorData::from_f64_vec(input.dtype(), out, Shape::from([g.n, g.oh, g.ow, g.c_out])))
 }
 
 /// Gradient of [`conv2d`] with respect to its input.
@@ -368,8 +358,8 @@ mod tests {
     #[test]
     fn multi_channel() {
         // 2 input channels summed into 1 output channel.
-        let x = TensorData::from_vec(vec![1.0f32, 10.0, 2.0, 20.0], Shape::from([1, 1, 2, 2]))
-            .unwrap();
+        let x =
+            TensorData::from_vec(vec![1.0f32, 10.0, 2.0, 20.0], Shape::from([1, 1, 2, 2])).unwrap();
         let f = TensorData::ones(DType::F32, [1, 1, 2, 1]);
         let y = conv2d(&x, &f, (1, 1), Padding::Valid).unwrap();
         assert_eq!(y.to_f64_vec(), vec![11.0, 22.0]);

@@ -275,10 +275,8 @@ impl TensorData {
     /// Returns [`TensorError::DTypeMismatch`] when `T` does not match.
     pub fn as_slice_mut<T: Scalar>(&mut self) -> Result<&mut [T]> {
         let dtype = self.dtype();
-        T::slice_mut(&mut self.buf).ok_or(TensorError::DTypeMismatch {
-            expected: T::DTYPE.name().to_string(),
-            got: dtype,
-        })
+        T::slice_mut(&mut self.buf)
+            .ok_or(TensorError::DTypeMismatch { expected: T::DTYPE.name().to_string(), got: dtype })
     }
 
     /// Read one element at a multi-index, converted to `f64`.

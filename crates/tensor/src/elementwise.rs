@@ -192,7 +192,8 @@ impl BinaryOp {
             BinaryOp::FloorDiv => T::from_f64((a.to_f64() / b.to_f64()).floor()),
             BinaryOp::Mod => {
                 let r = a.to_f64() % b.to_f64();
-                let r = if r != 0.0 && (r < 0.0) != (b.to_f64() < 0.0) { r + b.to_f64() } else { r };
+                let r =
+                    if r != 0.0 && (r < 0.0) != (b.to_f64() < 0.0) { r + b.to_f64() } else { r };
                 T::from_f64(r)
             }
             BinaryOp::Pow => a.fpowf(b),
@@ -224,9 +225,7 @@ impl BinaryOp {
             }
             BinaryOp::Pow => {
                 if b < 0 {
-                    return Err(TensorError::InvalidArgument(
-                        "negative integer exponent".into(),
-                    ));
+                    return Err(TensorError::InvalidArgument("negative integer exponent".into()));
                 }
                 a.wrapping_pow(b.min(u32::MAX as i64) as u32)
             }
@@ -345,7 +344,10 @@ impl UnaryOp {
 
     /// Whether the op is defined for integer dtypes.
     pub fn supports_int(self) -> bool {
-        matches!(self, UnaryOp::Neg | UnaryOp::Abs | UnaryOp::Sign | UnaryOp::Square | UnaryOp::Relu)
+        matches!(
+            self,
+            UnaryOp::Neg | UnaryOp::Abs | UnaryOp::Sign | UnaryOp::Square | UnaryOp::Relu
+        )
     }
 
     /// Per-element evaluation on `f32`, bit-identical to the tensor
@@ -550,9 +552,9 @@ pub fn binary(a: &TensorData, b: &TensorData, op: BinaryOp) -> Result<TensorData
     match check_same_dtype(a, b)? {
         DType::F32 => map2::<f32, f32>(a, b, |x, y| Ok(op.eval_float(x, y))),
         DType::F64 => map2::<f64, f64>(a, b, |x, y| Ok(op.eval_float(x, y))),
-        DType::I32 => map2::<i32, i32>(a, b, |x, y| {
-            op.eval_int(x as i64, y as i64).map(|v| v as i32)
-        }),
+        DType::I32 => {
+            map2::<i32, i32>(a, b, |x, y| op.eval_int(x as i64, y as i64).map(|v| v as i32))
+        }
         DType::I64 => map2::<i64, i64>(a, b, |x, y| op.eval_int(x, y)),
         DType::Bool => Err(TensorError::DTypeMismatch {
             expected: "a numeric dtype".to_string(),
@@ -646,10 +648,7 @@ pub fn logical_not(a: &TensorData) -> Result<TensorData> {
 /// `cond` not bool; `a`/`b` dtype mismatch; incompatible shapes.
 pub fn select(cond: &TensorData, a: &TensorData, b: &TensorData) -> Result<TensorData> {
     if cond.dtype() != DType::Bool {
-        return Err(TensorError::DTypeMismatch {
-            expected: "bool".to_string(),
-            got: cond.dtype(),
-        });
+        return Err(TensorError::DTypeMismatch { expected: "bool".to_string(), got: cond.dtype() });
     }
     let dt = check_same_dtype(a, b)?;
     let s = broadcast_shapes(cond.shape(), &broadcast_shapes(a.shape(), b.shape())?)?;
@@ -787,18 +786,9 @@ mod tests {
     fn logic_ops() {
         let a = TensorData::from_vec(vec![true, true, false, false], Shape::from([4])).unwrap();
         let b = TensorData::from_vec(vec![true, false, true, false], Shape::from([4])).unwrap();
-        assert_eq!(
-            logical(&a, &b, LogicalOp::And).unwrap().to_f64_vec(),
-            vec![1.0, 0.0, 0.0, 0.0]
-        );
-        assert_eq!(
-            logical(&a, &b, LogicalOp::Or).unwrap().to_f64_vec(),
-            vec![1.0, 1.0, 1.0, 0.0]
-        );
-        assert_eq!(
-            logical(&a, &b, LogicalOp::Xor).unwrap().to_f64_vec(),
-            vec![0.0, 1.0, 1.0, 0.0]
-        );
+        assert_eq!(logical(&a, &b, LogicalOp::And).unwrap().to_f64_vec(), vec![1.0, 0.0, 0.0, 0.0]);
+        assert_eq!(logical(&a, &b, LogicalOp::Or).unwrap().to_f64_vec(), vec![1.0, 1.0, 1.0, 0.0]);
+        assert_eq!(logical(&a, &b, LogicalOp::Xor).unwrap().to_f64_vec(), vec![0.0, 1.0, 1.0, 0.0]);
         assert_eq!(logical_not(&a).unwrap().to_f64_vec(), vec![0.0, 0.0, 1.0, 1.0]);
     }
 

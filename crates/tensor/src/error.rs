@@ -69,10 +69,7 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = TensorError::BroadcastMismatch {
-            lhs: Shape::from([2, 3]),
-            rhs: Shape::from([4]),
-        };
+        let e = TensorError::BroadcastMismatch { lhs: Shape::from([2, 3]), rhs: Shape::from([4]) };
         assert_eq!(e.to_string(), "shapes (2, 3) and (4,) are not broadcast-compatible");
 
         let e = TensorError::InvalidAxis { axis: -3, rank: 2 };

@@ -3,17 +3,10 @@
 
 use crate::{DType, Result, Shape, TensorData, TensorError};
 
-fn mm_f<T: crate::data::Scalar>(
-    a: &[T],
-    b: &[T],
-    m: usize,
-    k: usize,
-    n: usize,
-    ta: bool,
-    tb: bool,
-    out: &mut [T],
-) where
-    T: Copy + std::ops::Add<Output = T> + std::ops::Mul<Output = T> + Default,
+#[allow(clippy::too_many_arguments)]
+fn mm_f<T>(a: &[T], b: &[T], m: usize, k: usize, n: usize, ta: bool, tb: bool, out: &mut [T])
+where
+    T: crate::data::Scalar + Copy + std::ops::Add<Output = T> + std::ops::Mul<Output = T> + Default,
 {
     // Classic ikj loop order for cache friendliness on the non-transposed
     // fast path; transposed operands use index math.
@@ -76,12 +69,30 @@ pub fn matmul(
     match a.dtype() {
         DType::F32 => {
             let mut out = vec![0.0f32; m * n];
-            mm_f(a.as_slice::<f32>()?, b.as_slice::<f32>()?, m, k1, n, transpose_a, transpose_b, &mut out);
+            mm_f(
+                a.as_slice::<f32>()?,
+                b.as_slice::<f32>()?,
+                m,
+                k1,
+                n,
+                transpose_a,
+                transpose_b,
+                &mut out,
+            );
             TensorData::from_vec(out, out_shape)
         }
         DType::F64 => {
             let mut out = vec![0.0f64; m * n];
-            mm_f(a.as_slice::<f64>()?, b.as_slice::<f64>()?, m, k1, n, transpose_a, transpose_b, &mut out);
+            mm_f(
+                a.as_slice::<f64>()?,
+                b.as_slice::<f64>()?,
+                m,
+                k1,
+                n,
+                transpose_a,
+                transpose_b,
+                &mut out,
+            );
             TensorData::from_vec(out, out_shape)
         }
         _ => unreachable!("check_float_pair verified dtype"),
@@ -141,11 +152,19 @@ pub fn batch_matmul(
     let batch = crate::shape::broadcast_shapes(&a_batch, &b_batch)?;
     let (m, k1) = {
         let d = &a.shape().dims()[ar - 2..];
-        if transpose_a { (d[1], d[0]) } else { (d[0], d[1]) }
+        if transpose_a {
+            (d[1], d[0])
+        } else {
+            (d[0], d[1])
+        }
     };
     let (kb, n) = {
         let d = &b.shape().dims()[br - 2..];
-        if transpose_b { (d[1], d[0]) } else { (d[0], d[1]) }
+        if transpose_b {
+            (d[1], d[0])
+        } else {
+            (d[0], d[1])
+        }
     };
     if k1 != kb {
         return Err(TensorError::ShapeMismatch {

@@ -162,8 +162,8 @@ pub fn pool2d_grad(
                                     if ix < 0 || ix as usize >= g.w {
                                         continue;
                                     }
-                                    let lin = ((b * g.h + iy as usize) * g.w + ix as usize) * g.c
-                                        + ci;
+                                    let lin =
+                                        ((b * g.h + iy as usize) * g.w + ix as usize) * g.c + ci;
                                     if x[lin] > best {
                                         best = x[lin];
                                         best_lin = Some(lin);

@@ -136,8 +136,7 @@ impl TensorRng {
         }
         let shape = shape.into();
         let n = shape.num_elements();
-        let vals: Vec<f64> =
-            (0..n).map(|_| self.rng.gen_range(low..high) as f64).collect();
+        let vals: Vec<f64> = (0..n).map(|_| self.rng.gen_range(low..high) as f64).collect();
         Ok(TensorData::from_f64_vec(dtype, vals, shape))
     }
 
@@ -160,9 +159,8 @@ impl TensorRng {
         let shape = shape.into();
         let n = shape.num_elements();
         let scale = 1.0 / keep_prob;
-        let vals: Vec<f64> = (0..n)
-            .map(|_| if self.rng.gen::<f64>() < keep_prob { scale } else { 0.0 })
-            .collect();
+        let vals: Vec<f64> =
+            (0..n).map(|_| if self.rng.gen::<f64>() < keep_prob { scale } else { 0.0 }).collect();
         Ok(TensorData::from_f64_vec(dtype, vals, shape))
     }
 }

@@ -124,10 +124,10 @@ impl<const N: usize> From<[usize; N]> for Shape {
 pub fn broadcast_shapes(a: &Shape, b: &Shape) -> Result<Shape> {
     let rank = a.rank().max(b.rank());
     let mut dims = vec![0usize; rank];
-    for i in 0..rank {
+    for (i, dim) in dims.iter_mut().enumerate() {
         let da = if i < rank - a.rank() { 1 } else { a.dims()[i - (rank - a.rank())] };
         let db = if i < rank - b.rank() { 1 } else { b.dims()[i - (rank - b.rank())] };
-        dims[i] = if da == db {
+        *dim = if da == db {
             da
         } else if da == 1 {
             db

@@ -335,17 +335,10 @@ pub fn pad_to(a: &TensorData, begin: &[i64], full: &Shape) -> Result<TensorData>
 pub fn pad(a: &TensorData, paddings: &[(usize, usize)], value: f64) -> Result<TensorData> {
     let rank = a.shape().rank();
     if paddings.len() != rank {
-        return Err(TensorError::InvalidArgument(format!(
-            "paddings must have rank {rank}"
-        )));
+        return Err(TensorError::InvalidArgument(format!("paddings must have rank {rank}")));
     }
-    let out_dims: Vec<usize> = a
-        .shape()
-        .dims()
-        .iter()
-        .zip(paddings)
-        .map(|(&d, &(b, e))| d + b + e)
-        .collect();
+    let out_dims: Vec<usize> =
+        a.shape().dims().iter().zip(paddings).map(|(&d, &(b, e))| d + b + e).collect();
     let out_shape = Shape::new(out_dims);
     let mut out = TensorData::fill_f64(a.dtype(), out_shape.clone(), value);
     let out_strides = out_shape.strides();
@@ -482,9 +475,7 @@ pub fn reverse(a: &TensorData, axis: i64) -> Result<TensorData> {
 pub fn tile(a: &TensorData, multiples: &[usize]) -> Result<TensorData> {
     let rank = a.shape().rank();
     if multiples.len() != rank {
-        return Err(TensorError::InvalidArgument(format!(
-            "multiples must have rank {rank}"
-        )));
+        return Err(TensorError::InvalidArgument(format!("multiples must have rank {rank}")));
     }
     let out_dims: Vec<usize> =
         a.shape().dims().iter().zip(multiples).map(|(&d, &m)| d * m).collect();
@@ -760,10 +751,7 @@ mod tests {
         let i = TensorData::from_vec(vec![0i64, 2, 1], Shape::from([3])).unwrap();
         let r = one_hot(&i, 3, DType::F32).unwrap();
         assert_eq!(r.shape().dims(), &[3, 3]);
-        assert_eq!(
-            r.to_f64_vec(),
-            vec![1.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 1.0, 0.0]
-        );
+        assert_eq!(r.to_f64_vec(), vec![1.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 1.0, 0.0]);
     }
 
     #[test]

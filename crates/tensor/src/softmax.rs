@@ -102,11 +102,7 @@ pub fn sparse_softmax_xent(logits: &TensorData, labels: &TensorData) -> Result<T
         }
         out.push(-lsv[r * classes + c as usize]);
     }
-    Ok(TensorData::from_f64_vec(
-        logits.dtype(),
-        out,
-        Shape::new(expected_label_dims.to_vec()),
-    ))
+    Ok(TensorData::from_f64_vec(logits.dtype(), out, Shape::new(expected_label_dims.to_vec())))
 }
 
 /// Gradient of [`sparse_softmax_xent`] with respect to the logits:

@@ -101,9 +101,6 @@ fn main() -> Result<(), RuntimeError> {
         staged_secs * 1e3,
         eager_secs / staged_secs
     );
-    println!(
-        "chains are still healthy: x[0] = {:?}",
-        &x.to_f64_vec()?[..2]
-    );
+    println!("chains are still healthy: x[0] = {:?}", &x.to_f64_vec()?[..2]);
     Ok(())
 }

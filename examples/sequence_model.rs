@@ -13,7 +13,7 @@ use std::sync::Arc;
 use tf_eager::nn::layers::{Activation, Dense, Layer};
 use tf_eager::nn::losses::{accuracy, softmax_cross_entropy};
 use tf_eager::nn::rnn::{Embedding, LstmCell};
-use tf_eager::nn::{optimizer, Adam, Initializer, Optimizer};
+use tf_eager::nn::{optimizer, Adam, Initializer};
 use tf_eager::prelude::*;
 use tf_eager::RuntimeError;
 use tfe_tensor::rng::TensorRng;
@@ -59,10 +59,7 @@ impl SequenceClassifier {
         let embedded = self.embedding.lookup(ids)?; // (batch, time, EMBED)
         let mut state = self.cell.zero_state(batch);
         for t in 0..time {
-            let x_t = api::squeeze(
-                &api::slice(&embedded, &[0, t as i64, 0], &[-1, 1, -1])?,
-                &[1],
-            )?;
+            let x_t = api::squeeze(&api::slice(&embedded, &[0, t as i64, 0], &[-1, 1, -1])?, &[1])?;
             if staged {
                 let out = self.staged_step.call_tensors(&[&x_t, &state.h, &state.c])?;
                 state = tf_eager::nn::rnn::LstmState { h: out[1].clone(), c: out[2].clone() };
@@ -83,14 +80,10 @@ impl SequenceClassifier {
 
 /// Generate sequences labeled by their first token's vocabulary half.
 fn batch(rng: &mut TensorRng, batch: usize, time: usize) -> (Tensor, Tensor) {
-    let ids = rng
-        .uniform_int(DType::I64, Shape::from([batch, time]), 0, VOCAB as i64)
-        .expect("ids");
-    let labels: Vec<i64> = ids
-        .to_i64_vec()
-        .chunks(time)
-        .map(|row| i64::from(row[0] < (VOCAB as i64) / 2))
-        .collect();
+    let ids =
+        rng.uniform_int(DType::I64, Shape::from([batch, time]), 0, VOCAB as i64).expect("ids");
+    let labels: Vec<i64> =
+        ids.to_i64_vec().chunks(time).map(|row| i64::from(row[0] < (VOCAB as i64) / 2)).collect();
     (
         Tensor::from_data(ids),
         Tensor::from_data(TensorData::from_vec(labels, Shape::from([batch])).unwrap()),
@@ -104,10 +97,7 @@ fn main() -> Result<(), RuntimeError> {
     let model = SequenceClassifier::new(&mut init);
     let opt = Adam::new(5e-3);
     let vars = model.variables();
-    println!(
-        "sequence classifier: vocab {VOCAB}, {} trainable variables",
-        vars.len()
-    );
+    println!("sequence classifier: vocab {VOCAB}, {} trainable variables", vars.len());
 
     let mut rng = TensorRng::seed_from_u64(77);
     let mut first = None;

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# CI gate for the tf-eager workspace.
+#
+# Order is cheap-to-expensive: formatting, then clippy with warnings
+# denied, then the full (multi-threaded) test suite in debug, then the
+# executor differential + concurrency stress suites again in release —
+# the scheduler races worth catching only show up with optimized codegen
+# and real thread interleavings.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+THREADS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test (debug, ${THREADS} threads)"
+cargo test --workspace -q -- --test-threads "${THREADS}"
+
+echo "==> executor differential + concurrency stress (release, ${THREADS} threads)"
+cargo test --release -q --test exec_differential --test concurrency -- --test-threads "${THREADS}"
+
+echo "CI gate passed."

@@ -1,0 +1,757 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the API this workspace uses: the `Strategy`
+//! trait with `prop_map` / `prop_recursive` / `boxed`, `Just`, `any`,
+//! range and tuple strategies, charset-regex string strategies,
+//! `prop::collection::{vec, btree_map}`, `prop_oneof!`, the `proptest!`
+//! test macro, and `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Generation is deterministic per test case (seeded from the case
+//! index), so failures are reproducible run-to-run. There is no
+//! shrinking: a failing case reports its index and panics with the
+//! assertion message.
+
+use std::sync::Arc;
+
+pub mod test_runner {
+    //! Config, per-case RNG, and the test-case error type.
+
+    /// How many random cases a `proptest!` test runs.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Why a single case failed.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// An assertion failed with this message.
+        Fail(String),
+        /// The case was rejected (unused by this shim's macros, kept for
+        /// API compatibility).
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// An assertion failure.
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// A rejected case.
+        pub fn reject(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "{m}"),
+                TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            }
+        }
+    }
+
+    /// Result of one generated case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Deterministic per-case generator (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// RNG for case number `case` — same case, same values.
+        pub fn for_case(case: u64) -> TestRng {
+            TestRng { state: case.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5851_F42D_4C95_7F2D }
+        }
+
+        /// Next uniform 64-bit word.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: usize) -> usize {
+            assert!(bound > 0, "below(0)");
+            (self.next_u64() % bound as u64) as usize
+        }
+
+        /// Uniform f64 in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// A recipe for generating random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Produce one random value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { strategy: self, f }
+    }
+
+    /// Recursive strategy: `self` generates leaves, `f` wraps an inner
+    /// strategy into one more level, up to `depth` levels. The `_size`
+    /// and `_branch` hints are accepted for API compatibility but
+    /// ignored.
+    fn prop_recursive<F, S>(
+        self,
+        depth: u32,
+        _size: u32,
+        _branch: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + Clone + 'static,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+        S: Strategy<Value = Self::Value> + 'static,
+    {
+        let mut cur = self.clone().boxed();
+        for _ in 0..depth {
+            let leaf = self.clone().boxed();
+            // Two-thirds odds of descending keeps generated trees deep
+            // enough to be interesting without the ignored size hint.
+            cur = Union::weighted(vec![(1, leaf), (2, f(cur).boxed())]).boxed();
+        }
+        cur
+    }
+
+    /// Type-erase into a cloneable boxed strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+}
+
+trait DynStrategy<T> {
+    fn dyn_generate(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// Cloneable type-erased strategy.
+pub struct BoxedStrategy<T>(Arc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(self.0.clone())
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.dyn_generate(rng)
+    }
+}
+
+/// Strategy mapping generated values through a function.
+#[derive(Clone)]
+pub struct Map<S, F> {
+    strategy: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.strategy.generate(rng))
+    }
+}
+
+/// Strategy always yielding a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Weighted choice among boxed strategies (backs `prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u32,
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union { arms: self.arms.clone(), total: self.total }
+    }
+}
+
+impl<T> Union<T> {
+    /// Uniform choice among `arms`.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+        Union::weighted(arms.into_iter().map(|a| (1, a)).collect())
+    }
+
+    /// Choice weighted by each arm's `u32` weight.
+    pub fn weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        let total = arms.iter().map(|(w, _)| *w).sum::<u32>().max(1);
+        Union { arms, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total as usize) as u32;
+        for (w, arm) in &self.arms {
+            if pick < *w {
+                return arm.generate(rng);
+            }
+            pick -= w;
+        }
+        self.arms.last().unwrap().1.generate(rng)
+    }
+}
+
+/// Types with a canonical `any::<T>()` strategy.
+pub trait Arbitrary: Sized {
+    /// Generate an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite, sign-balanced, magnitude-varied — no NaN/inf, which is
+        // what the workspace tests expect from any::<f64>().
+        let mag = 10f64.powf(rng.unit_f64() * 12.0 - 6.0);
+        let sign = if rng.next_u64() & 1 == 1 { -1.0 } else { 1.0 };
+        sign * mag * rng.unit_f64()
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+/// Strategy for `any::<T>()`.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(std::marker::PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for a type: `any::<bool>()`, `any::<i64>()`, …
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                start + (rng.unit_f64() as $t) * (end - start)
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+}
+
+/// `&'static str` regex-lite strategies: `[charset]{m,n}` with literal
+/// chars and `a-z` ranges inside the class, or `\PC{m,n}` for printable
+/// characters. Suffixes `{m}`, `+`, `*`, or none are also accepted.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (charset, min, max) = parse_charset_pattern(self);
+        let len = if max > min { min + rng.below(max - min + 1) } else { min };
+        (0..len).map(|_| charset[rng.below(charset.len())]).collect()
+    }
+}
+
+fn parse_charset_pattern(pat: &str) -> (Vec<char>, usize, usize) {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut i;
+    let mut set = Vec::new();
+    if chars.first() == Some(&'[') {
+        i = 1;
+        while i < chars.len() && chars[i] != ']' {
+            if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                let (lo, hi) = (chars[i] as u32, chars[i + 2] as u32);
+                assert!(lo <= hi, "bad charset range in {pat:?}");
+                for c in lo..=hi {
+                    set.push(char::from_u32(c).unwrap());
+                }
+                i += 3;
+            } else {
+                set.push(chars[i]);
+                i += 1;
+            }
+        }
+        assert!(i < chars.len(), "unterminated charset in {pat:?}");
+        i += 1; // skip ']'
+    } else if pat.starts_with("\\PC") {
+        // `\PC` = "not a control character": printable ASCII plus a few
+        // multibyte characters to exercise non-ASCII paths.
+        set = (0x20u32..0x7F).map(|c| char::from_u32(c).unwrap()).collect();
+        set.extend(['\u{e9}', '\u{3b1}', '\u{221a}', '\u{65e5}', '\u{1f600}']);
+        i = 3;
+    } else {
+        panic!("unsupported pattern {pat:?}: this shim handles [charset] and \\PC forms only");
+    }
+
+    let rest: String = chars[i..].iter().collect();
+    let (min, max) = if rest.is_empty() {
+        (1, 1)
+    } else if rest == "+" {
+        (1, 8)
+    } else if rest == "*" {
+        (0, 8)
+    } else if rest.starts_with('{') && rest.ends_with('}') {
+        let body = &rest[1..rest.len() - 1];
+        if let Some((lo, hi)) = body.split_once(',') {
+            (
+                lo.trim().parse().unwrap_or_else(|_| panic!("bad repeat in {pat:?}")),
+                hi.trim().parse().unwrap_or_else(|_| panic!("bad repeat in {pat:?}")),
+            )
+        } else {
+            let n = body.trim().parse().unwrap_or_else(|_| panic!("bad repeat in {pat:?}"));
+            (n, n)
+        }
+    } else {
+        panic!("unsupported repetition {rest:?} in pattern {pat:?}");
+    };
+    assert!(min <= max, "bad repetition bounds in {pat:?}");
+    assert!(!set.is_empty(), "empty charset in {pat:?}");
+    (set, min, max)
+}
+
+pub mod collection {
+    //! `vec` and `btree_map` collection strategies.
+
+    use super::{Strategy, TestRng};
+    use std::collections::BTreeMap;
+
+    /// Inclusive size bounds for a generated collection.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { min: r.start, max: r.end - 1 }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange { min: *r.start(), max: *r.end() }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            if self.max > self.min {
+                self.min + rng.below(self.max - self.min + 1)
+            } else {
+                self.min
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a random in-range length.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// A vector of values from `elem` with length in `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { elem, size: size.into() }
+    }
+
+    /// Strategy for `BTreeMap<K::Value, V::Value>`.
+    #[derive(Clone)]
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.pick(rng);
+            let mut map = BTreeMap::new();
+            // Duplicate keys shrink the map; retry a bounded number of
+            // times so small key spaces still hit the minimum size.
+            let mut attempts = 0;
+            while map.len() < target && attempts < target * 10 + 20 {
+                map.insert(self.key.generate(rng), self.value.generate(rng));
+                attempts += 1;
+            }
+            map
+        }
+    }
+
+    /// A map with keys from `key`, values from `value`, and size in
+    /// `size` (best-effort under key collisions).
+    pub fn btree_map<K, V>(key: K, value: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        BTreeMapStrategy { key, value, size: size.into() }
+    }
+}
+
+pub mod prop {
+    //! The `prop::` namespace (`prop::collection::vec`, …).
+    pub use crate::collection;
+}
+
+pub mod prelude {
+    //! The usual glob import surface.
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{any, prop, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Assert inside a proptest case; on failure the case returns an error
+/// (reported with the case number) instead of unwinding mid-generator.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// Inequality assertion inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Uniform choice among strategies yielding the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Define `#[test]` functions over generated inputs:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn holds(x in 0..10usize, ys in prop::collection::vec(any::<bool>(), 1..4)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr;
+     $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $config;
+            $(let $arg = $strat;)+
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::test_runner::TestRng::for_case(u64::from(__case));
+                $(let $arg = $crate::Strategy::generate(&$arg, &mut __rng);)+
+                let __result: $crate::test_runner::TestCaseResult = (|| {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                match __result {
+                    ::core::result::Result::Ok(()) => {}
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    ::core::result::Result::Err(e) => {
+                        panic!("proptest case {} of {} failed: {}", __case, __config.cases, e);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Tree {
+        Leaf(i64),
+        Node(Vec<Tree>),
+    }
+
+    fn depth(t: &Tree) -> usize {
+        match t {
+            Tree::Leaf(_) => 1,
+            Tree::Node(c) => 1 + c.iter().map(depth).max().unwrap_or(0),
+        }
+    }
+
+    fn arb_tree() -> impl Strategy<Value = Tree> {
+        let leaf = (-100i64..100).prop_map(Tree::Leaf);
+        leaf.prop_recursive(3, 16, 3, |inner| {
+            prop::collection::vec(inner, 1..4).prop_map(Tree::Node)
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn trees_bounded(t in arb_tree()) {
+            prop_assert!(depth(&t) <= 4, "depth {} too large", depth(&t));
+        }
+
+        #[test]
+        fn ranges_and_tuples(x in 0usize..10, pair in (0i64..5, 5i64..10)) {
+            let (a, b) = pair;
+            prop_assert!(x < 10);
+            prop_assert!(a < b);
+        }
+
+        #[test]
+        fn strings_match_charset(s in "[a-c]{2,4}") {
+            prop_assert!(s.len() >= 2 && s.len() <= 4);
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+
+        #[test]
+        fn maps_have_sizes(m in prop::collection::btree_map("[a-z]{1,6}", 0i64..10, 1..4)) {
+            prop_assert!(!m.is_empty() && m.len() < 4);
+        }
+    }
+
+    #[test]
+    fn determinism_per_case() {
+        let strat = arb_tree();
+        let mut r1 = crate::test_runner::TestRng::for_case(7);
+        let mut r2 = crate::test_runner::TestRng::for_case(7);
+        assert_eq!(strat.generate(&mut r1), strat.generate(&mut r2));
+    }
+
+    #[test]
+    fn oneof_covers_arms() {
+        let strat = prop_oneof![Just(0u8), Just(1u8), Just(2u8)];
+        let mut seen = [false; 3];
+        for case in 0..100 {
+            let mut rng = crate::test_runner::TestRng::for_case(case);
+            seen[strat.generate(&mut rng) as usize] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failures_report_case() {
+        // No `#[test]` on the inner fn: as a function-local item the
+        // attribute would be inert anyway (unnameable test item).
+        proptest! {
+            fn always_fails(x in 0usize..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

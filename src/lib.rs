@@ -84,7 +84,10 @@ pub mod encode {
 /// Everything most programs need, in one import.
 pub mod prelude {
     pub use crate::api;
-    pub use crate::{function, function1, init_scope, Arg, Func, GradientTape, HostFunc, Tensor, TensorSpec, Variable};
+    pub use crate::{
+        function, function1, init_scope, Arg, Func, GradientTape, HostFunc, Tensor, TensorSpec,
+        Variable,
+    };
     pub use tfe_tensor::{DType, Shape, TensorData};
 }
 

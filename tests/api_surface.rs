@@ -115,9 +115,7 @@ fn structural_surface() {
 fn gather_one_hot_surface() {
     tf_eager::init();
     let params = t(vec![10.0, 20.0, 30.0, 40.0], &[4]);
-    let idx = Tensor::from_data(
-        TensorData::from_vec(vec![3i64, 0, 3], Shape::from([3])).unwrap(),
-    );
+    let idx = Tensor::from_data(TensorData::from_vec(vec![3i64, 0, 3], Shape::from([3])).unwrap());
     let build = move |xs: &[Tensor]| -> Result<Vec<Tensor>, RuntimeError> {
         let g = api::gather(&xs[0], &xs[1], 0)?;
         let oh = api::one_hot(&xs[1], 4, DType::F32)?;
@@ -200,17 +198,10 @@ fn constructor_surface() {
 fn xent_surface() {
     tf_eager::init();
     let logits = t(vec![2.0, -1.0, 0.5, 0.0, 1.0, -0.5], &[2, 3]);
-    let labels = Tensor::from_data(
-        TensorData::from_vec(vec![0i64, 1], Shape::from([2])).unwrap(),
-    );
+    let labels = Tensor::from_data(TensorData::from_vec(vec![0i64, 1], Shape::from([2])).unwrap());
     both_modes(
         "surface_xent",
-        |xs| {
-            Ok(vec![
-                api::sparse_softmax_xent(&xs[0], &xs[1])?,
-                api::softmax(&xs[0])?,
-            ])
-        },
+        |xs| Ok(vec![api::sparse_softmax_xent(&xs[0], &xs[1])?, api::softmax(&xs[0])?]),
         vec![logits, labels],
     );
 }

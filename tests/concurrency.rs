@@ -5,6 +5,7 @@
 
 use std::sync::Arc;
 use tf_eager::prelude::*;
+use tf_eager::{context, ExecMode};
 
 #[test]
 fn concurrent_eager_math() {
@@ -107,6 +108,124 @@ fn concurrent_variable_updates_are_atomic_per_op() {
     // document the semantics rather than pretend it's a fetch_add.
     let total = v.peek().scalar_f64().unwrap();
     assert!(total > 0.0 && total <= (per_thread * threads) as f64);
+}
+
+#[test]
+fn concurrent_parallel_staged_calls_are_deterministic() {
+    tf_eager::init();
+    // A wide fan-out graph — eight independent branches joined by a sum —
+    // so the dependency-counted scheduler has real concurrency to exploit.
+    let f = function1("concurrent_parallel_fn", |x| {
+        let mut branches = Vec::new();
+        for i in 0..8 {
+            let scaled = api::mul(x, &api::scalar((i + 1) as f64))?;
+            branches.push(api::tanh(&scaled)?);
+        }
+        let mut acc = branches[0].clone();
+        for b in &branches[1..] {
+            acc = api::add(&acc, b)?;
+        }
+        api::reduce_sum(&acc, &[], false)
+    });
+    // Serial baseline on the main thread.
+    let expected = {
+        let x = api::ones(DType::F64, [32]);
+        f.call1(&x).unwrap().scalar_f64().unwrap()
+    };
+    // Eight threads hammer the same Func through the shared worker pool;
+    // every result must be bit-identical to the serial run.
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let f = f.clone();
+            std::thread::spawn(move || {
+                context::set_exec_mode(ExecMode::Parallel);
+                for _ in 0..30 {
+                    let x = api::ones(DType::F64, [32]);
+                    let y = f.call1(&x).unwrap().scalar_f64().unwrap();
+                    assert_eq!(y.to_bits(), expected.to_bits(), "{y} vs {expected}");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn parallel_stateful_train_step_matches_serial() {
+    tf_eager::init();
+    // A traced train-step-style graph: read the weight, derive an update
+    // from it, apply it, read back. Sequencing edges must keep the
+    // read/update/read chain in program order on the parallel executor,
+    // so the whole trajectory matches the serial one bit for bit.
+    let w = Arc::new(Variable::new(TensorData::scalar(2.0f64)));
+    let step = {
+        let w = w.clone();
+        function("parallel_train_step", move |_args| {
+            let cur = w.read()?;
+            let g = api::sin(&cur)?;
+            let upd = api::mul(&g, &api::scalar(0.1f64))?;
+            w.assign_sub(&upd)?;
+            Ok(vec![w.read()?])
+        })
+    };
+    let steps = 10;
+    let serial: Vec<u64> = (0..steps)
+        .map(|_| step.call_tensors(&[]).unwrap()[0].scalar_f64().unwrap().to_bits())
+        .collect();
+    let serial_final = w.peek().scalar_f64().unwrap().to_bits();
+
+    w.restore(TensorData::scalar(2.0f64)).unwrap();
+    let prev = context::set_exec_mode(ExecMode::Parallel);
+    let before = context::exec_stats().parallel_runs;
+    let parallel: Vec<u64> = (0..steps)
+        .map(|_| step.call_tensors(&[]).unwrap()[0].scalar_f64().unwrap().to_bits())
+        .collect();
+    let parallel_final = w.peek().scalar_f64().unwrap().to_bits();
+    assert!(context::exec_stats().parallel_runs > before, "stateful step fell back to serial");
+    context::set_exec_mode(prev);
+
+    assert_eq!(serial, parallel);
+    assert_eq!(serial_final, parallel_final);
+}
+
+#[test]
+fn concurrent_parallel_stateful_steps_keep_program_order() {
+    tf_eager::init();
+    // Eight threads, each with a private variable and a private traced step
+    // that mixes stateless fan-out with a read/assign_add/read chain, all
+    // contending for the one shared worker pool. Program order per variable
+    // makes every intermediate read deterministic.
+    let handles: Vec<_> = (0..8)
+        .map(|t| {
+            std::thread::spawn(move || {
+                context::set_exec_mode(ExecMode::Parallel);
+                let w = Arc::new(Variable::new(TensorData::scalar(0.0f64)));
+                let step = {
+                    let w = w.clone();
+                    function(&format!("stress_step_{t}"), move |_args| {
+                        let cur = w.read()?;
+                        let a = api::tanh(&cur)?;
+                        let b = api::cos(&cur)?;
+                        w.assign_add(&api::scalar(1.0f64))?;
+                        let sum = api::add(&a, &b)?;
+                        Ok(vec![w.read()?, sum])
+                    })
+                };
+                for i in 0..50 {
+                    let out = step.call_tensors(&[]).unwrap();
+                    // The read after assign_add must see this step's write.
+                    assert_eq!(out[0].scalar_f64().unwrap(), (i + 1) as f64);
+                    assert!(out[1].scalar_f64().unwrap().is_finite());
+                }
+                assert_eq!(w.peek().scalar_f64().unwrap(), 50.0);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
 }
 
 #[test]

@@ -28,9 +28,7 @@ fn data_parallel_inference_matches_local() {
 
     let cluster = Cluster::start(&ClusterSpec::new().with_job("worker", 3));
     let mut rng = tfe_tensor::rng::TensorRng::seed_from_u64(9);
-    let full = Tensor::from_data(
-        rng.uniform(DType::F32, Shape::from([12, 4]), -1.0, 1.0).unwrap(),
-    );
+    let full = Tensor::from_data(rng.uniform(DType::F32, Shape::from([12, 4]), -1.0, 1.0).unwrap());
     let local = model.call(&full, false).unwrap().to_f64_vec().unwrap();
 
     // Shard rows across the three workers.
@@ -38,9 +36,8 @@ fn data_parallel_inference_matches_local() {
     for t in 0..3 {
         let shard = api::slice(&full, &[t * 4, 0], &[4, -1]).unwrap();
         let dev = format!("/job:worker/task:{t}/device:CPU:0");
-        let out = cluster
-            .call_function(&dev, &conc.function.name, &[RemoteArg::from(&shard)])
-            .unwrap();
+        let out =
+            cluster.call_function(&dev, &conc.function.name, &[RemoteArg::from(&shard)]).unwrap();
         remote_rows.push(out.into_iter().next().unwrap());
     }
     let mut distributed = Vec::new();
@@ -63,16 +60,15 @@ fn sharded_loss_averages_to_full_batch() {
     let loss_fn = function("dist_loss", |args| {
         let pred = args[0].as_tensor().expect("pred");
         let target = args[1].as_tensor().expect("target");
-        Ok(vec![api::reduce_mean(
-            &api::squared_difference(pred, target)?,
-            &[],
-            false,
-        )?])
+        Ok(vec![api::reduce_mean(&api::squared_difference(pred, target)?, &[], false)?])
     });
     let p = api::constant((0..8).map(|i| i as f32).collect::<Vec<_>>(), [8, 1]).unwrap();
     let t = api::ones(DType::F32, [8, 1]);
     let conc = loss_fn
-        .concrete_for(&[Arg::from(&api::zeros(DType::F32, [4, 1])), Arg::from(&api::zeros(DType::F32, [4, 1]))])
+        .concrete_for(&[
+            Arg::from(&api::zeros(DType::F32, [4, 1])),
+            Arg::from(&api::zeros(DType::F32, [4, 1])),
+        ])
         .unwrap();
 
     let full = loss_fn.call_tensors(&[&p, &t]).unwrap()[0].scalar_f64().unwrap();
@@ -84,19 +80,12 @@ fn sharded_loss_averages_to_full_batch() {
         let ts = api::slice(&t, &[task * 4, 0], &[4, -1]).unwrap();
         let dev = format!("/job:worker/task:{task}/device:CPU:0");
         let out = cluster
-            .call_function(
-                &dev,
-                &conc.function.name,
-                &[RemoteArg::from(&ps), RemoteArg::from(&ts)],
-            )
+            .call_function(&dev, &conc.function.name, &[RemoteArg::from(&ps), RemoteArg::from(&ts)])
             .unwrap();
         partials.push(out[0].fetch().unwrap().scalar_f64().unwrap());
     }
     let averaged = partials.iter().sum::<f64>() / partials.len() as f64;
-    assert!(
-        (full - averaged).abs() < 1e-6,
-        "full-batch {full} vs averaged shards {averaged}"
-    );
+    assert!((full - averaged).abs() < 1e-6, "full-batch {full} vs averaged shards {averaged}");
     cluster.shutdown();
 }
 
@@ -117,9 +106,7 @@ fn remote_tensor_lifecycle() {
     assert_eq!(clone.fetch().unwrap().scalar_f64().unwrap(), 4.0);
     drop(clone);
     // A forged handle to the dropped id must fail on the worker.
-    let forged = cluster
-        .execute(dev, "identity", &[RemoteArg::from(&a)], Attrs::new())
-        .unwrap();
+    let forged = cluster.execute(dev, "identity", &[RemoteArg::from(&a)], Attrs::new()).unwrap();
     assert!(forged[0].id != id || forged[0].fetch().is_ok());
     cluster.shutdown();
 }
@@ -129,8 +116,7 @@ fn remote_tensor_lifecycle() {
 #[test]
 fn multi_job_clusters() {
     tf_eager::init();
-    let cluster =
-        Cluster::start(&ClusterSpec::new().with_job("training", 2).with_job("ps", 1));
+    let cluster = Cluster::start(&ClusterSpec::new().with_job("training", 2).with_job("ps", 1));
     assert_eq!(cluster.list_devices().len(), 3);
     let x = api::scalar(1.5f64);
     for dev in ["/job:training/task:1/device:CPU:0", "/job:ps/task:0/device:CPU:0"] {

@@ -28,10 +28,12 @@ fn arb_expr(inputs: usize) -> impl Strategy<Value = Expr> {
     let leaf = (0..inputs).prop_map(Expr::Input);
     leaf.prop_recursive(4, 24, 3, move |inner| {
         prop_oneof![
-            (0..UNARY.len(), inner.clone())
-                .prop_map(|(i, e)| Expr::Unary(UNARY[i], Box::new(e))),
-            (0..BINARY.len(), inner.clone(), inner.clone())
-                .prop_map(|(i, a, b)| Expr::Binary(BINARY[i], Box::new(a), Box::new(b))),
+            (0..UNARY.len(), inner.clone()).prop_map(|(i, e)| Expr::Unary(UNARY[i], Box::new(e))),
+            (0..BINARY.len(), inner.clone(), inner.clone()).prop_map(|(i, a, b)| Expr::Binary(
+                BINARY[i],
+                Box::new(a),
+                Box::new(b)
+            )),
             (inner.clone(), any::<bool>()).prop_map(|(e, k)| Expr::Reduce(Box::new(e), k)),
             inner.prop_map(|e| Expr::Reshape(Box::new(e))),
         ]

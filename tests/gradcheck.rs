@@ -9,7 +9,8 @@ use tf_eager::RuntimeError;
 
 /// Smooth ops only (finite differences hate kinks like relu/abs at 0 —
 /// those have targeted unit tests instead).
-const SMOOTH_UNARY: &[&str] = &["tanh", "sigmoid", "softplus", "sin", "cos", "exp", "erf", "square"];
+const SMOOTH_UNARY: &[&str] =
+    &["tanh", "sigmoid", "softplus", "sin", "cos", "exp", "erf", "square"];
 const SMOOTH_BINARY: &[&str] = &["add", "sub", "mul"];
 
 #[derive(Debug, Clone)]
@@ -66,9 +67,7 @@ fn loss(node: &Node, x: &Tensor, w: &Tensor) -> Result<f64, RuntimeError> {
 }
 
 fn tensors(xs: &[f64]) -> (Tensor, Tensor) {
-    let x = Tensor::from_data(
-        TensorData::from_vec(xs.to_vec(), Shape::from([2, 3])).unwrap(),
-    );
+    let x = Tensor::from_data(TensorData::from_vec(xs.to_vec(), Shape::from([2, 3])).unwrap());
     // A fixed, well-conditioned square-ish projection (3 -> 3).
     let w = Tensor::from_data(
         TensorData::from_vec(

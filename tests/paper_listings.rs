@@ -84,9 +84,7 @@ fn listing_5_device_scope_with_cpu_inputs() {
     ensure_gpu();
     let a = api::scalar(1.0f32);
     let b = api::scalar(2.0f32);
-    let c = tf_eager::context::with_device("/gpu:0", || api::add(&a, &b))
-        .unwrap()
-        .unwrap();
+    let c = tf_eager::context::with_device("/gpu:0", || api::add(&a, &b)).unwrap().unwrap();
     // The runtime transparently copied the CPU inputs.
     assert_eq!(c.scalar_f64().unwrap(), 3.0);
     assert_eq!(c.device().unwrap().device_type, device::DeviceType::Gpu);
@@ -108,10 +106,8 @@ fn listing_6_static_argument_specialization() {
     tf_eager::context::set_random_seed(0);
     let w = api::ones(DType::F32, [3, 5]);
     let x = api::ones(DType::F32, [5, 1]);
-    let lossy =
-        lossy_matmul.call(&[Arg::from(&w), Arg::from(&x), Arg::from(true)]).unwrap();
-    let exact =
-        lossy_matmul.call(&[Arg::from(&w), Arg::from(&x), Arg::from(false)]).unwrap();
+    let lossy = lossy_matmul.call(&[Arg::from(&w), Arg::from(&x), Arg::from(true)]).unwrap();
+    let exact = lossy_matmul.call(&[Arg::from(&w), Arg::from(&x), Arg::from(false)]).unwrap();
     // "This code transparently makes two graph functions."
     assert_eq!(lossy_matmul.num_concrete(), 2);
     assert_eq!(exact[0].to_f64_vec().unwrap(), vec![5.0; 3]);
@@ -152,10 +148,7 @@ fn listing_8_figure_2_function_composition() {
     let diag =
         api::constant(vec![-1.0f32, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0], [3, 3]).unwrap();
     let out = outer.call_tensors(&[&eye, &diag]).unwrap();
-    assert_eq!(
-        out[0].to_f64_vec().unwrap(),
-        vec![0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0]
-    );
+    assert_eq!(out[0].to_f64_vec().unwrap(), vec![0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0]);
     // Figure 2a: outer's graph contains a call op executing inner's graph.
     let conc = outer
         .concrete_for(&[

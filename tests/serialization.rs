@@ -23,17 +23,12 @@ fn serialized_graph_still_executes() {
     let text = serial::function_to_value(&conc.function).to_json();
     let back = serial::function_from_value(&Value::parse(&text).unwrap()).unwrap();
     // Execute the deserialized graph directly through the executor.
-    let x = Arc::new(
-        TensorData::from_vec(vec![0.0f64, 1.0, -1.0, 2.0], Shape::from([4])).unwrap(),
-    );
+    let x = Arc::new(TensorData::from_vec(vec![0.0f64, 1.0, -1.0, 2.0], Shape::from([4])).unwrap());
     let device = context::device_manager().host_cpu();
     let out =
-        executor::run_function(&back, &[x.clone()], &device, ExecMode::SerialPlanned).unwrap();
-    let direct = f
-        .call1(&Tensor::from_data(x.as_ref().clone()))
-        .unwrap()
-        .value()
-        .unwrap();
+        executor::run_function(&back, std::slice::from_ref(&x), &device, ExecMode::SerialPlanned)
+            .unwrap();
+    let direct = f.call1(&Tensor::from_data(x.as_ref().clone())).unwrap().value().unwrap();
     assert!(out[0].all_close(&direct, 1e-12, 1e-12));
 }
 
@@ -79,8 +74,7 @@ fn saved_function_deploys_a_resnet() {
     // The bundle text is a real JSON document.
     let text = bundle.to_json();
     assert!(text.len() > 10_000, "resnet bundle suspiciously small");
-    let loaded =
-        tf_eager::state::saved::import_from_value(&Value::parse(&text).unwrap()).unwrap();
+    let loaded = tf_eager::state::saved::import_from_value(&Value::parse(&text).unwrap()).unwrap();
     // Batch-norm moving statistics and conv filters all came along.
     assert!(loaded.variables.len() >= 20, "{} variables", loaded.variables.len());
     let served = loaded.call(&[&x]).unwrap()[0].to_f64_vec().unwrap();
@@ -118,11 +112,10 @@ fn corrupt_artifacts_rejected_cleanly() {
     // anything.
     assert!(tf_eager::state::saved::import_from_value(&Value::parse("{}").unwrap()).is_err());
     let net = tf_eager::nn::layers::Net::new(&mut Initializer::seeded(1));
-    let bogus = Value::parse(r#"{"format":"tfe-checkpoint-v1","nodes":[{"kind":"mystery"}]}"#)
-        .unwrap();
+    let bogus =
+        Value::parse(r#"{"format":"tfe-checkpoint-v1","nodes":[{"kind":"mystery"}]}"#).unwrap();
     assert!(
-        tf_eager::state::checkpoint::restore_from_value(net.trackable().as_ref(), &bogus)
-            .is_err()
+        tf_eager::state::checkpoint::restore_from_value(net.trackable().as_ref(), &bogus).is_err()
     );
     // Graph with a cycle/forward edge is rejected at decode time.
     let f = function1("validate_me", api::relu);

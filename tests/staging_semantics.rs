@@ -223,17 +223,10 @@ fn dead_variable_in_graph_fails() {
         .unwrap()[0];
     let g = b.finish(vec![out], 0);
     let device = context::device_manager().host_cpu();
-    let err = tfe_runtime::executor::run_function(
-        &g,
-        &[],
-        &device,
-        tf_eager::ExecMode::SerialPlanned,
-    )
-    .unwrap_err();
-    assert!(
-        matches!(err, RuntimeError::VariableDead(_)),
-        "expected VariableDead, got {err}"
-    );
+    let err =
+        tfe_runtime::executor::run_function(&g, &[], &device, tf_eager::ExecMode::SerialPlanned)
+            .unwrap_err();
+    assert!(matches!(err, RuntimeError::VariableDead(_)), "expected VariableDead, got {err}");
 
     // Conversely: a live clone inside a Func's closure keeps the variable
     // usable even after the original handle drops.
@@ -280,10 +273,8 @@ fn nested_device_scopes() {
     .ok();
     let x = api::scalar(1.0f32);
     let (inner_dev, outer_dev) = context::with_device("/gpu:4", || {
-        let inner = context::with_device("/cpu:0", || {
-            api::add(&x, &x).unwrap().device().unwrap()
-        })
-        .unwrap();
+        let inner =
+            context::with_device("/cpu:0", || api::add(&x, &x).unwrap().device().unwrap()).unwrap();
         let outer = api::add(&x, &x).unwrap().device().unwrap();
         (inner, outer)
     })
@@ -291,7 +282,10 @@ fn nested_device_scopes() {
     assert_eq!(inner_dev, tf_eager::device::DeviceName::local_cpu());
     assert_eq!(outer_dev.device_type, tf_eager::device::DeviceType::Gpu);
     // Scope fully popped.
-    assert_eq!(api::add(&x, &x).unwrap().device().unwrap(), tf_eager::device::DeviceName::local_cpu());
+    assert_eq!(
+        api::add(&x, &x).unwrap().device().unwrap(),
+        tf_eager::device::DeviceName::local_cpu()
+    );
 }
 
 /// An `Arc`'d model shared by two staged functions does not retrace when

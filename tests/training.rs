@@ -64,10 +64,7 @@ fn eager_and_staged_training_trajectories_match() {
         let (x, y) = data.batch(step, 32).unwrap();
         let le = eager_step(m_eager.as_ref(), &o_eager, &v_eager, &x, &y).unwrap();
         let ls = staged_step.call_tensors(&[&x, &y]).unwrap()[0].scalar_f64().unwrap();
-        assert!(
-            (le - ls).abs() < 1e-6,
-            "step {step}: eager loss {le} != staged loss {ls}"
-        );
+        assert!((le - ls).abs() < 1e-6, "step {step}: eager loss {le} != staged loss {ls}");
     }
     // Weights themselves agree at the end.
     for (ve, vs) in v_eager.iter().zip(&v_staged) {
