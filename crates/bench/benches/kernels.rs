@@ -1,0 +1,79 @@
+//! Criterion benchmarks for the intra-op parallel kernel layer: matmul,
+//! conv2d, reductions and softmax, each measured with the full worker
+//! pool and with intra-op parallelism pinned to one thread so the
+//! speedup (and the small-tensor "stay serial" guarantee) is visible in
+//! one report.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tfe_parallel::set_intra_threads;
+use tfe_tensor::reduce::{reduce, ReduceOp};
+use tfe_tensor::{conv, matmul, softmax, Shape, TensorData};
+
+fn f32_tensor(dims: &[usize]) -> TensorData {
+    let n: usize = dims.iter().product();
+    let v: Vec<f32> = (0..n).map(|i| ((i % 97) as f32 - 48.0) * 0.125).collect();
+    TensorData::from_vec(v, Shape::new(dims.to_vec())).expect("f32 tensor")
+}
+
+/// Run `bench` once per intra-op thread mode ("par" and "serial1").
+fn per_mode(group: &mut criterion::BenchmarkGroup<'_>, name: &str, mut body: impl FnMut()) {
+    for mode in ["par", "serial1"] {
+        group.bench_function(BenchmarkId::new(name, mode), |b| {
+            let prev = if mode == "serial1" {
+                set_intra_threads(Some(1))
+            } else {
+                set_intra_threads(None)
+            };
+            b.iter(&mut body);
+            set_intra_threads(prev);
+        });
+    }
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    tfe_core::init();
+    let mut group = c.benchmark_group("kernels/matmul");
+    for n in [64usize, 256, 512] {
+        let a = f32_tensor(&[n, n]);
+        let b = f32_tensor(&[n, n]);
+        per_mode(&mut group, &format!("{n}x{n}"), || {
+            matmul::matmul(&a, &b, false, false).unwrap();
+        });
+    }
+    group.finish();
+}
+
+fn bench_conv(c: &mut Criterion) {
+    tfe_core::init();
+    let mut group = c.benchmark_group("kernels/conv2d");
+    let x = f32_tensor(&[4, 16, 16, 8]);
+    let f = f32_tensor(&[3, 3, 8, 16]);
+    per_mode(&mut group, "4x16x16x8_k3x3x16", || {
+        conv::conv2d(&x, &f, (1, 1), conv::Padding::Same).unwrap();
+    });
+    group.finish();
+}
+
+fn bench_reduce_softmax(c: &mut Criterion) {
+    tfe_core::init();
+    let mut group = c.benchmark_group("kernels/reduce_softmax");
+    let big = f32_tensor(&[1 << 18]);
+    per_mode(&mut group, "reduce_sum_256k", || {
+        reduce(&big, &[], false, ReduceOp::Sum).unwrap();
+    });
+    let rows = f32_tensor(&[128, 512]);
+    per_mode(&mut group, "softmax_128x512", || {
+        softmax::softmax(&rows).unwrap();
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(12)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900));
+    targets = bench_matmul, bench_conv, bench_reduce_softmax
+}
+criterion_main!(benches);

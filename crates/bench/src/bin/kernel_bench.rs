@@ -1,0 +1,248 @@
+//! Wall-clock micro-benchmarks for the intra-op parallel kernel layer:
+//! each kernel is timed twice — pinned to one intra-op thread (serial
+//! baseline) and with the full worker pool — and the ratio is the
+//! intra-op speedup. Results land in `BENCH_kernels.json`.
+//!
+//! Run with `cargo run --release -p tfe-bench --bin kernel_bench`
+//! (add `--quick` for a smoke run with fewer iterations).
+
+use std::time::Instant;
+
+use tfe_parallel::{intra_threads, set_intra_threads};
+use tfe_tensor::elementwise::{binary, BinaryOp};
+use tfe_tensor::reduce::{reduce, ReduceOp};
+use tfe_tensor::{conv, matmul, softmax, Shape, TensorData};
+
+/// One benchmarked kernel invocation.
+struct Case {
+    /// Identifier used in the report and JSON rows.
+    name: &'static str,
+    /// Human-readable shape summary.
+    shape: String,
+    /// The kernel call being timed.
+    run: Box<dyn Fn()>,
+    /// The seed implementation of the same kernel (pre-blocking naive
+    /// loop), when one is kept around as a reference; timed to record the
+    /// speedup of the cache-blocked layer independent of threading.
+    seed: Option<Box<dyn Fn()>>,
+}
+
+fn f32_tensor(dims: &[usize]) -> TensorData {
+    let n: usize = dims.iter().product();
+    // Deterministic, non-trivial values; avoids denormals.
+    let v: Vec<f32> = (0..n).map(|i| ((i % 97) as f32 - 48.0) * 0.125).collect();
+    TensorData::from_vec(v, Shape::new(dims.to_vec())).expect("f32 tensor")
+}
+
+fn cases() -> Vec<Case> {
+    let mut out = Vec::new();
+
+    for (m, k, n) in [(512usize, 512usize, 512usize), (192, 192, 192), (64, 64, 64)] {
+        let a = f32_tensor(&[m, k]);
+        let b = f32_tensor(&[k, n]);
+        let (ar, br) = (a.clone(), b.clone());
+        out.push(Case {
+            name: match m {
+                512 => "matmul_512",
+                192 => "matmul_192",
+                _ => "matmul_64",
+            },
+            shape: format!("({m}x{k})x({k}x{n}) f32"),
+            run: Box::new(move || {
+                matmul::matmul(&a, &b, false, false).expect("matmul");
+            }),
+            seed: Some(Box::new(move || {
+                let mut out = vec![0.0f32; m * n];
+                matmul::matmul_reference(
+                    ar.as_slice::<f32>().unwrap(),
+                    br.as_slice::<f32>().unwrap(),
+                    m,
+                    k,
+                    n,
+                    false,
+                    false,
+                    &mut out,
+                );
+            })),
+        });
+    }
+
+    {
+        let a = f32_tensor(&[512, 256]);
+        let b = f32_tensor(&[512, 256]);
+        let (ar, br) = (a.clone(), b.clone());
+        out.push(Case {
+            name: "matmul_tn_512x256",
+            shape: "(512x256)^T x (512x256) f32".to_string(),
+            run: Box::new(move || {
+                matmul::matmul(&a, &b, true, false).expect("matmul_tn");
+            }),
+            seed: Some(Box::new(move || {
+                let mut out = vec![0.0f32; 256 * 256];
+                matmul::matmul_reference(
+                    ar.as_slice::<f32>().unwrap(),
+                    br.as_slice::<f32>().unwrap(),
+                    256,
+                    512,
+                    256,
+                    true,
+                    false,
+                    &mut out,
+                );
+            })),
+        });
+    }
+
+    {
+        let x = f32_tensor(&[8, 32, 32, 16]);
+        let f = f32_tensor(&[3, 3, 16, 32]);
+        let (xr, fr) = (x.clone(), f.clone());
+        let g = conv::conv2d_geometry(x.shape(), f.shape(), (1, 1), conv::Padding::Same)
+            .expect("conv geometry");
+        out.push(Case {
+            name: "conv2d_8x32x32x16_k3x3x32",
+            shape: "NHWC 8x32x32x16, HWIO 3x3x16x32, same".to_string(),
+            run: Box::new(move || {
+                conv::conv2d(&x, &f, (1, 1), conv::Padding::Same).expect("conv2d");
+            }),
+            seed: Some(Box::new(move || {
+                conv::conv2d_reference(
+                    xr.as_slice::<f32>().unwrap(),
+                    fr.as_slice::<f32>().unwrap(),
+                    &g,
+                );
+            })),
+        });
+    }
+
+    {
+        let a = f32_tensor(&[1 << 20]);
+        out.push(Case {
+            name: "reduce_sum_1m",
+            shape: "1048576 f32, all axes".to_string(),
+            run: Box::new(move || {
+                reduce(&a, &[], false, ReduceOp::Sum).expect("reduce");
+            }),
+            seed: None,
+        });
+    }
+
+    {
+        let a = f32_tensor(&[2048, 512]);
+        out.push(Case {
+            name: "reduce_sum_rows_2048x512",
+            shape: "2048x512 f32, axis 1".to_string(),
+            run: Box::new(move || {
+                reduce(&a, &[1], false, ReduceOp::Sum).expect("reduce rows");
+            }),
+            seed: None,
+        });
+    }
+
+    {
+        let a = f32_tensor(&[256, 1024]);
+        out.push(Case {
+            name: "softmax_256x1024",
+            shape: "256x1024 f32".to_string(),
+            run: Box::new(move || {
+                softmax::softmax(&a).expect("softmax");
+            }),
+            seed: None,
+        });
+    }
+
+    {
+        let a = f32_tensor(&[1 << 20]);
+        let b = f32_tensor(&[1 << 20]);
+        out.push(Case {
+            name: "add_1m",
+            shape: "1048576 f32".to_string(),
+            run: Box::new(move || {
+                binary(&a, &b, BinaryOp::Add).expect("add");
+            }),
+            seed: None,
+        });
+    }
+
+    {
+        let a = f32_tensor(&[256, 1, 512]);
+        let b = f32_tensor(&[1, 64, 512]);
+        out.push(Case {
+            name: "mul_broadcast_256x64x512",
+            shape: "(256x1x512) * (1x64x512) f32".to_string(),
+            run: Box::new(move || {
+                binary(&a, &b, BinaryOp::Mul).expect("broadcast mul");
+            }),
+            seed: None,
+        });
+    }
+
+    out
+}
+
+/// Best-of-`reps` mean ns/op over `iters` iterations each.
+fn time_ns(iters: usize, reps: usize, f: &dyn Fn()) -> f64 {
+    f(); // warm caches / allocator outside the timed region
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(t.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    best
+}
+
+fn main() {
+    tfe_core::init();
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (iters, reps) = if quick { (2, 1) } else { (10, 3) };
+    let threads = intra_threads();
+
+    println!(
+        "{:<26} {:>14} {:>14} {:>14} {:>8} {:>9}   shape",
+        "kernel", "seed ns/op", "serial ns/op", "par ns/op", "par x", "vs seed"
+    );
+    let mut rows: Vec<tfe_encode::Value> = Vec::new();
+    for case in cases() {
+        let prev = set_intra_threads(Some(1));
+        let serial_ns = time_ns(iters, reps, &*case.run);
+        let seed_ns = case.seed.as_deref().map(|s| time_ns(iters, reps, s));
+        set_intra_threads(prev);
+        let parallel_ns = time_ns(iters, reps, &*case.run);
+        let speedup = serial_ns / parallel_ns;
+        let vs_seed = seed_ns.map(|s| s / parallel_ns);
+        println!(
+            "{:<26} {:>14} {:>14.0} {:>14.0} {:>7.2}x {:>8}   {}",
+            case.name,
+            seed_ns.map_or("-".to_string(), |s| format!("{s:.0}")),
+            serial_ns,
+            parallel_ns,
+            speedup,
+            vs_seed.map_or("-".to_string(), |s| format!("{s:.2}x")),
+            case.shape
+        );
+        let mut fields = vec![
+            ("kernel".to_string(), tfe_encode::Value::str(case.name)),
+            ("shape".to_string(), tfe_encode::Value::str(case.shape.clone())),
+            ("serial_ns_per_op".to_string(), tfe_encode::Value::Float(serial_ns)),
+            ("parallel_ns_per_op".to_string(), tfe_encode::Value::Float(parallel_ns)),
+            ("speedup".to_string(), tfe_encode::Value::Float(speedup)),
+        ];
+        if let (Some(seed), Some(vs)) = (seed_ns, vs_seed) {
+            fields.push(("seed_ns_per_op".to_string(), tfe_encode::Value::Float(seed)));
+            fields.push(("speedup_vs_seed".to_string(), tfe_encode::Value::Float(vs)));
+        }
+        rows.push(tfe_encode::Value::object(fields));
+    }
+
+    let json = tfe_encode::Value::object([
+        ("experiment".to_string(), tfe_encode::Value::str("kernels")),
+        ("threads".to_string(), tfe_encode::Value::Int(threads as i64)),
+        ("quick".to_string(), tfe_encode::Value::Bool(quick)),
+        ("rows".to_string(), tfe_encode::Value::Array(rows)),
+    ]);
+    std::fs::write("BENCH_kernels.json", json.to_json_pretty()).expect("write BENCH_kernels.json");
+    eprintln!("wrote BENCH_kernels.json (intra-op threads: {threads})");
+}

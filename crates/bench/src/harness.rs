@@ -69,13 +69,16 @@ pub fn report_exec_stats(tag: &str) {
     let s = context::exec_stats();
     println!(
         "exec_stats[{tag}]: nodes={} kernels={} serial_runs={} parallel_runs={} \
-         max_queue_depth={} peak_live_bytes={}",
+         max_queue_depth={} peak_live_bytes={} intra_par={} intra_serial={} intra_tiles={}",
         s.nodes_executed,
         s.kernels_launched,
         s.serial_runs,
         s.parallel_runs,
         s.max_queue_depth,
-        s.peak_live_bytes
+        s.peak_live_bytes,
+        s.intra_par_kernels,
+        s.intra_serial_kernels,
+        s.intra_tiles
     );
 }
 

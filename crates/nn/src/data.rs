@@ -99,12 +99,29 @@ impl DatasetIterator {
         let (h, w, c) = self.dataset.shape;
         let mut images = Vec::with_capacity(self.batch_size * h * w * c);
         let mut labels = Vec::with_capacity(self.batch_size);
-        for _ in 0..self.batch_size {
-            let (img, label) = self.dataset.element(*pos % self.dataset.len.max(1));
+        // Each element is a pure function of (seed, index), so the batch
+        // materializes across the worker pool; fixed chunks combined in
+        // ascending order keep the batch byte-identical to the serial
+        // loop at any thread count.
+        let base = *pos;
+        let len = self.dataset.len.max(1);
+        let elements = tfe_parallel::par_reduce(
+            self.batch_size,
+            1,
+            |r: std::ops::Range<usize>| -> Vec<(TensorData, i64)> {
+                r.map(|j| self.dataset.element((base + j) % len)).collect()
+            },
+            |mut a, mut b| {
+                a.append(&mut b);
+                a
+            },
+        )
+        .unwrap_or_default();
+        for (img, label) in &elements {
             images.extend(img.as_slice::<f32>()?.iter().copied());
-            labels.push(label);
-            *pos += 1;
+            labels.push(*label);
         }
+        *pos += self.batch_size;
         let images = TensorData::from_vec(images, Shape::from([self.batch_size, h, w, c]))?;
         let labels = TensorData::from_vec(labels, Shape::from([self.batch_size]))?;
         Ok((Tensor::from_data(images), Tensor::from_data(labels)))

@@ -1,0 +1,166 @@
+//! The persistent work-helping worker pool (moved here from `tfe-runtime`
+//! so the tensor kernels below the runtime can share it).
+//!
+//! Workers are spawned once, lazily, and parked on a condition variable;
+//! both the graph scheduler and the intra-op splitter enqueue jobs on the
+//! same queue. Threads that must wait for a result — the caller of a run, a
+//! worker executing a nested `call`, or a kernel waiting for its tiles — do
+//! not block idly: they *help*, popping jobs off the same queue until their
+//! own completion condition holds. That work-helping loop is what makes
+//! nested parallel runs deadlock-free even when every worker is busy.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// A unit of work: one ready graph node, or one kernel tile batch.
+pub type Job = Box<dyn FnOnce() + Send>;
+
+/// The shared job queue plus its wakeup signal.
+pub struct Pool {
+    queue: Mutex<VecDeque<Job>>,
+    signal: Condvar,
+}
+
+/// Number of worker threads the global pool runs: the machine's available
+/// parallelism clamped to 1..=16, overridable with the `TFE_NUM_THREADS`
+/// environment variable (read once, at first use).
+pub fn worker_count() -> usize {
+    static COUNT: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *COUNT.get_or_init(|| {
+        if let Ok(v) = std::env::var("TFE_NUM_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                return n.clamp(1, 64);
+            }
+        }
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).clamp(1, 16)
+    })
+}
+
+/// The process-wide pool. Workers are spawned on first access.
+pub fn global() -> &'static Pool {
+    static POOL: std::sync::OnceLock<Pool> = std::sync::OnceLock::new();
+    POOL.get_or_init(|| {
+        let pool = Pool { queue: Mutex::new(VecDeque::new()), signal: Condvar::new() };
+        for i in 0..worker_count() {
+            std::thread::Builder::new()
+                .name(format!("tfe-exec-{i}"))
+                .spawn(worker_loop)
+                .expect("spawn executor worker");
+        }
+        pool
+    })
+}
+
+fn worker_loop() {
+    let pool = global();
+    loop {
+        let job = {
+            let mut q = pool.queue.lock();
+            loop {
+                if let Some(job) = q.pop_front() {
+                    break job;
+                }
+                pool.signal.wait(&mut q);
+            }
+        };
+        // Job bodies catch node/tile-level panics themselves; a stray panic
+        // here would only kill this worker, and the helping waiters still
+        // drain the queue, so the pool degrades rather than deadlocks.
+        job();
+    }
+}
+
+impl Pool {
+    /// Enqueue a job and wake a worker. Returns the queue depth right after
+    /// the push (for scheduler telemetry).
+    pub fn submit(&self, job: Job) -> usize {
+        let depth = {
+            let mut q = self.queue.lock();
+            q.push_back(job);
+            q.len()
+        };
+        self.signal.notify_all();
+        depth
+    }
+
+    /// Pop and run one job if any is queued. Returns whether a job ran.
+    pub fn help_one(&self) -> bool {
+        let job = self.queue.lock().pop_front();
+        match job {
+            Some(job) => {
+                job();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Block until `done()` holds, executing queued jobs while waiting.
+    ///
+    /// Completion signals arrive via [`Pool::notify`]; the short timeout is
+    /// only a safety net against missed wakeups.
+    pub fn wait_until(&self, done: impl Fn() -> bool) {
+        loop {
+            if done() {
+                return;
+            }
+            if self.help_one() {
+                continue;
+            }
+            let mut q = self.queue.lock();
+            if q.is_empty() && !done() {
+                self.signal.wait_for(&mut q, Duration::from_millis(1));
+            }
+        }
+    }
+
+    /// Wake every waiter (used when a run or tile batch completes, so
+    /// threads parked in [`Pool::wait_until`] re-check their condition).
+    pub fn notify(&self) {
+        self.signal.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn jobs_run_on_workers() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..64 {
+            let c = counter.clone();
+            global().submit(Box::new(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+                global().notify();
+            }));
+        }
+        global().wait_until(|| counter.load(Ordering::SeqCst) == 64);
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn wait_until_helps_with_queued_work() {
+        // Even with no workers making progress on these particular jobs,
+        // the waiting thread itself drains the queue.
+        let counter = Arc::new(AtomicUsize::new(0));
+        let pool = Pool { queue: Mutex::new(VecDeque::new()), signal: Condvar::new() };
+        for _ in 0..8 {
+            let c = counter.clone();
+            pool.submit(Box::new(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        pool.wait_until(|| counter.load(Ordering::SeqCst) == 8);
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn worker_count_is_bounded() {
+        let w = worker_count();
+        assert!((1..=64).contains(&w));
+    }
+}

@@ -123,6 +123,13 @@ pub struct ExecStats {
     /// Largest number of tensor bytes simultaneously live in one run
     /// (placeholder bindings included), across both modes.
     pub peak_live_bytes: u64,
+    /// Kernel loops the intra-op splitter ran in parallel tiles on the
+    /// shared pool (sourced from `tfe-parallel`).
+    pub intra_par_kernels: u64,
+    /// Kernel loops the intra-op grain heuristic kept serial.
+    pub intra_serial_kernels: u64,
+    /// Total tiles executed by parallel kernel loops.
+    pub intra_tiles: u64,
 }
 
 struct ExecStatCells {
@@ -150,6 +157,7 @@ fn exec_stat_cells() -> &'static ExecStatCells {
 pub fn exec_stats() -> ExecStats {
     use std::sync::atomic::Ordering::Relaxed;
     let c = exec_stat_cells();
+    let intra = tfe_parallel::intra_stats();
     ExecStats {
         nodes_executed: c.nodes_executed.load(Relaxed),
         kernels_launched: c.kernels_launched.load(Relaxed),
@@ -157,6 +165,9 @@ pub fn exec_stats() -> ExecStats {
         parallel_runs: c.parallel_runs.load(Relaxed),
         max_queue_depth: c.max_queue_depth.load(Relaxed),
         peak_live_bytes: c.peak_live_bytes.load(Relaxed),
+        intra_par_kernels: intra.par_kernels,
+        intra_serial_kernels: intra.serial_kernels,
+        intra_tiles: intra.tiles,
     }
 }
 
@@ -170,6 +181,7 @@ pub fn reset_exec_stats() {
     c.parallel_runs.store(0, Relaxed);
     c.max_queue_depth.store(0, Relaxed);
     c.peak_live_bytes.store(0, Relaxed);
+    tfe_parallel::reset_intra_stats();
 }
 
 pub(crate) fn stat_node_executed() {

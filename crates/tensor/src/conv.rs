@@ -1,7 +1,21 @@
 //! 2-D convolution and its gradients, NHWC layout with HWIO filters.
+//!
+//! The forward pass lowers to im2col + the packed [`crate::gemm`]
+//! micro-kernel (accumulating in f64, like the direct loop it replaced)
+//! and parallelizes over batch and output rows; the input gradient is
+//! parallel over batches (disjoint outputs, bitwise equal to serial); the
+//! filter gradient tree-reduces per-batch partials with fixed chunking
+//! (deterministic for every thread count, but the partial-sum order
+//! differs from the serial fold — parity tests use a 1e-6 tolerance).
 
 use crate::elementwise::FloatScalar;
+use crate::gemm::gemm_into;
+use crate::par::{par_fill_rows, SendPtr};
 use crate::{Result, Shape, TensorData, TensorError};
+
+/// Multiply-adds per batch above which conv kernels parallelize across
+/// rather than within batches (and at all).
+const CONV_PAR_MADDS: usize = 1 << 18;
 
 /// Spatial padding scheme, as in TensorFlow.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -116,7 +130,9 @@ pub fn conv2d_geometry(
     Ok(Conv2dGeometry { n, h, w, c_in, kh, kw, c_out, sh, sw, oh, ow, ph, pw })
 }
 
-fn conv2d_typed<T: FloatScalar>(x: &[T], f: &[T], g: &Conv2dGeometry) -> Vec<f64> {
+/// Direct-loop reference convolution, kept for parity testing of the
+/// im2col + gemm fast path (`tests/kernel_parity.rs`).
+pub fn conv2d_reference<T: FloatScalar>(x: &[T], f: &[T], g: &Conv2dGeometry) -> Vec<f64> {
     let mut out = vec![0.0f64; g.n * g.oh * g.ow * g.c_out];
     for b in 0..g.n {
         for oy in 0..g.oh {
@@ -149,6 +165,88 @@ fn conv2d_typed<T: FloatScalar>(x: &[T], f: &[T], g: &Conv2dGeometry) -> Vec<f64
     out
 }
 
+/// Copy the im2col patch rows `rows` (flat `oy * ow + ox` indices) of
+/// batch `b` into `dst` (one `kh*kw*c_in`-wide row per output position,
+/// zeros where the window hangs over the padding).
+fn pack_patch_rows(
+    x: &[f64],
+    g: &Conv2dGeometry,
+    b: usize,
+    rows: std::ops::Range<usize>,
+    dst: &mut [f64],
+) {
+    let k = g.kh * g.kw * g.c_in;
+    for (ri, prow) in rows.zip(dst.chunks_exact_mut(k)) {
+        let (oy, ox) = (ri / g.ow, ri % g.ow);
+        prow.fill(0.0);
+        for ky in 0..g.kh {
+            let iy = (oy * g.sh + ky) as isize - g.ph as isize;
+            if iy < 0 || iy as usize >= g.h {
+                continue;
+            }
+            for kx in 0..g.kw {
+                let ix = (ox * g.sw + kx) as isize - g.pw as isize;
+                if ix < 0 || ix as usize >= g.w {
+                    continue;
+                }
+                let src = &x[((b * g.h + iy as usize) * g.w + ix as usize) * g.c_in..][..g.c_in];
+                prow[(ky * g.kw + kx) * g.c_in..][..g.c_in].copy_from_slice(src);
+            }
+        }
+    }
+}
+
+/// im2col + gemm forward pass: per batch, gather the `oh*ow x kh*kw*c_in`
+/// patch matrix and multiply by the `kh*kw*c_in x c_out` filter matrix
+/// (HWIO is already that layout). Accumulation order per output element is
+/// (ky, kx, ci) ascending — the same as the direct loop, plus exact-zero
+/// padding terms.
+fn conv2d_im2col(x: &[f64], f: &[f64], g: &Conv2dGeometry) -> Vec<f64> {
+    let k = g.kh * g.kw * g.c_in;
+    let m = g.oh * g.ow;
+    let mut out = vec![0.0f64; g.n * m * g.c_out];
+    if k == 0 || m == 0 || g.c_out == 0 || g.n == 0 {
+        return out;
+    }
+    let per_batch = m * k * g.c_out;
+    if per_batch >= CONV_PAR_MADDS {
+        // Few large batches: parallelize the patch gather over output rows
+        // and let the gemm split its row blocks across the pool.
+        let mut patches = vec![0.0f64; m * k];
+        for b in 0..g.n {
+            par_fill_rows(&mut patches, g.ow * k, crate::par::GRAIN_ROWS, |rows, chunk| {
+                pack_patch_rows(x, g, b, rows.start * g.ow..rows.end * g.ow, chunk);
+            });
+            gemm_into(
+                m,
+                k,
+                g.c_out,
+                &patches,
+                false,
+                f,
+                false,
+                &mut out[b * m * g.c_out..][..m * g.c_out],
+                true,
+            );
+        }
+    } else {
+        // Many small batches: one task per group of batches, serial inside.
+        let grain = (CONV_PAR_MADDS / per_batch.max(1)).max(1);
+        let ptr = SendPtr::new(out.as_mut_ptr());
+        tfe_parallel::par_for(g.n, grain, |bs| {
+            let mut patches = vec![0.0f64; m * k];
+            for b in bs {
+                pack_patch_rows(x, g, b, 0..m, &mut patches);
+                // SAFETY: per-batch output slices are disjoint; par_for
+                // joins before `out` is read.
+                let ob = unsafe { ptr.slice_mut(b * m * g.c_out, m * g.c_out) };
+                gemm_into(m, k, g.c_out, &patches, false, f, false, ob, false);
+            }
+        });
+    }
+    out
+}
+
 /// Forward 2-D convolution (NHWC input, HWIO filter).
 ///
 /// # Errors
@@ -161,10 +259,7 @@ pub fn conv2d(
 ) -> Result<TensorData> {
     check_float_pair(input, filter)?;
     let g = conv2d_geometry(input.shape(), filter.shape(), strides, padding)?;
-    let out = match input.dtype() {
-        crate::DType::F32 => conv2d_typed(input.as_slice::<f32>()?, filter.as_slice::<f32>()?, &g),
-        _ => conv2d_typed(input.as_slice::<f64>()?, filter.as_slice::<f64>()?, &g),
-    };
+    let out = conv2d_im2col(&input.to_f64_vec(), &filter.to_f64_vec(), &g);
     Ok(TensorData::from_f64_vec(input.dtype(), out, Shape::from([g.n, g.oh, g.ow, g.c_out])))
 }
 
@@ -186,36 +281,52 @@ pub fn conv2d_backprop_input(
     let f = filter.to_f64_vec();
     let go = grad_out.to_f64_vec();
     let mut gx = vec![0.0f64; g.n * g.h * g.w * g.c_in];
-    for b in 0..g.n {
-        for oy in 0..g.oh {
-            for ox in 0..g.ow {
-                for ky in 0..g.kh {
-                    let iy = (oy * g.sh + ky) as isize - g.ph as isize;
-                    if iy < 0 || iy as usize >= g.h {
+    let batch_elems = g.h * g.w * g.c_in;
+    if !gx.is_empty() {
+        // Batches write disjoint regions of gx, so they run in parallel
+        // with the per-batch loop untouched (bitwise equal to serial).
+        let per_batch = g.oh * g.ow * g.kh * g.kw * g.c_in * g.c_out;
+        let grain = if per_batch >= CONV_PAR_MADDS { 1 } else { g.n };
+        par_fill_rows(&mut gx, batch_elems, grain, |bs, chunk| {
+            for b in bs.clone() {
+                let gxb = &mut chunk[(b - bs.start) * batch_elems..][..batch_elems];
+                input_grad_batch(&f, &go, &g, b, gxb);
+            }
+        });
+    }
+    Ok(TensorData::from_f64_vec(filter.dtype(), gx, input_shape.clone()))
+}
+
+/// Accumulate one batch's input gradient into `gxb` (that batch's
+/// `h*w*c_in` slice, already zeroed).
+fn input_grad_batch(f: &[f64], go: &[f64], g: &Conv2dGeometry, b: usize, gxb: &mut [f64]) {
+    for oy in 0..g.oh {
+        for ox in 0..g.ow {
+            for ky in 0..g.kh {
+                let iy = (oy * g.sh + ky) as isize - g.ph as isize;
+                if iy < 0 || iy as usize >= g.h {
+                    continue;
+                }
+                for kx in 0..g.kw {
+                    let ix = (ox * g.sw + kx) as isize - g.pw as isize;
+                    if ix < 0 || ix as usize >= g.w {
                         continue;
                     }
-                    for kx in 0..g.kw {
-                        let ix = (ox * g.sw + kx) as isize - g.pw as isize;
-                        if ix < 0 || ix as usize >= g.w {
-                            continue;
+                    let xin = (iy as usize * g.w + ix as usize) * g.c_in;
+                    let fin = (ky * g.kw + kx) * g.c_in;
+                    let oout = ((b * g.oh + oy) * g.ow + ox) * g.c_out;
+                    for ci in 0..g.c_in {
+                        let frow = (fin + ci) * g.c_out;
+                        let mut acc = 0.0;
+                        for co in 0..g.c_out {
+                            acc += go[oout + co] * f[frow + co];
                         }
-                        let xin = ((b * g.h + iy as usize) * g.w + ix as usize) * g.c_in;
-                        let fin = (ky * g.kw + kx) * g.c_in;
-                        let oout = ((b * g.oh + oy) * g.ow + ox) * g.c_out;
-                        for ci in 0..g.c_in {
-                            let frow = (fin + ci) * g.c_out;
-                            let mut acc = 0.0;
-                            for co in 0..g.c_out {
-                                acc += go[oout + co] * f[frow + co];
-                            }
-                            gx[xin + ci] += acc;
-                        }
+                        gxb[xin + ci] += acc;
                     }
                 }
             }
         }
     }
-    Ok(TensorData::from_f64_vec(filter.dtype(), gx, input_shape.clone()))
 }
 
 /// Gradient of [`conv2d`] with respect to its filter.
@@ -234,36 +345,63 @@ pub fn conv2d_backprop_filter(
     expect_shape(grad_out, &[g.n, g.oh, g.ow, g.c_out])?;
     let x = input.to_f64_vec();
     let go = grad_out.to_f64_vec();
-    let mut gf = vec![0.0f64; g.kh * g.kw * g.c_in * g.c_out];
-    for b in 0..g.n {
-        for oy in 0..g.oh {
-            for ox in 0..g.ow {
-                for ky in 0..g.kh {
-                    let iy = (oy * g.sh + ky) as isize - g.ph as isize;
-                    if iy < 0 || iy as usize >= g.h {
+    let flen = g.kh * g.kw * g.c_in * g.c_out;
+    // All batches accumulate into the same filter gradient, so this is a
+    // tree reduction over per-batch-group partials. Chunk boundaries are
+    // fixed by (n, grain) and partials combine in ascending batch order —
+    // deterministic for every thread count (though the grouping changes
+    // the float sum versus the serial fold; parity tests use tolerance).
+    let per_batch = g.oh * g.ow * g.kh * g.kw * g.c_in * g.c_out;
+    let grain = if per_batch >= CONV_PAR_MADDS { 1 } else { g.n.max(1) };
+    let gf = tfe_parallel::par_reduce(
+        g.n,
+        grain,
+        |bs| {
+            let mut part = vec![0.0f64; flen];
+            for b in bs {
+                filter_grad_batch(&x, &go, &g, b, &mut part);
+            }
+            part
+        },
+        |mut a, b| {
+            for (av, bv) in a.iter_mut().zip(&b) {
+                *av += bv;
+            }
+            a
+        },
+    )
+    .unwrap_or_else(|| vec![0.0f64; flen]);
+    Ok(TensorData::from_f64_vec(input.dtype(), gf, filter_shape.clone()))
+}
+
+/// Accumulate one batch's filter-gradient contribution into `gf`.
+fn filter_grad_batch(x: &[f64], go: &[f64], g: &Conv2dGeometry, b: usize, gf: &mut [f64]) {
+    for oy in 0..g.oh {
+        for ox in 0..g.ow {
+            for ky in 0..g.kh {
+                let iy = (oy * g.sh + ky) as isize - g.ph as isize;
+                if iy < 0 || iy as usize >= g.h {
+                    continue;
+                }
+                for kx in 0..g.kw {
+                    let ix = (ox * g.sw + kx) as isize - g.pw as isize;
+                    if ix < 0 || ix as usize >= g.w {
                         continue;
                     }
-                    for kx in 0..g.kw {
-                        let ix = (ox * g.sw + kx) as isize - g.pw as isize;
-                        if ix < 0 || ix as usize >= g.w {
-                            continue;
-                        }
-                        let xin = ((b * g.h + iy as usize) * g.w + ix as usize) * g.c_in;
-                        let fin = (ky * g.kw + kx) * g.c_in;
-                        let oout = ((b * g.oh + oy) * g.ow + ox) * g.c_out;
-                        for ci in 0..g.c_in {
-                            let xv = x[xin + ci];
-                            let frow = (fin + ci) * g.c_out;
-                            for co in 0..g.c_out {
-                                gf[frow + co] += xv * go[oout + co];
-                            }
+                    let xin = ((b * g.h + iy as usize) * g.w + ix as usize) * g.c_in;
+                    let fin = (ky * g.kw + kx) * g.c_in;
+                    let oout = ((b * g.oh + oy) * g.ow + ox) * g.c_out;
+                    for ci in 0..g.c_in {
+                        let xv = x[xin + ci];
+                        let frow = (fin + ci) * g.c_out;
+                        for co in 0..g.c_out {
+                            gf[frow + co] += xv * go[oout + co];
                         }
                     }
                 }
             }
         }
     }
-    Ok(TensorData::from_f64_vec(input.dtype(), gf, filter_shape.clone()))
 }
 
 fn check_float_pair(a: &TensorData, b: &TensorData) -> Result<()> {

@@ -543,6 +543,36 @@ fn map2<T: Scalar, U: Scalar>(
     TensorData::from_vec(out, out_shape)
 }
 
+/// Infallible variant of [`map2`] that splits the output across the shared
+/// pool; each tile walks its own [`BroadcastWalker::new_at`] cursor.
+/// Element results are independent, so any partition gives identical bits.
+fn map2_par<T: Scalar, U: Scalar + Default>(
+    a: &TensorData,
+    b: &TensorData,
+    f: impl Fn(T, T) -> U + Sync,
+) -> Result<TensorData> {
+    let out_shape = broadcast_shapes(a.shape(), b.shape())?;
+    let av = a.as_slice::<T>()?;
+    let bv = b.as_slice::<T>()?;
+    let mut out = vec![U::default(); out_shape.num_elements()];
+    if a.shape() == b.shape() {
+        crate::par::par_fill(&mut out, crate::par::GRAIN_ELEMWISE, |start, chunk| {
+            for (off, o) in chunk.iter_mut().enumerate() {
+                *o = f(av[start + off], bv[start + off]);
+            }
+        });
+    } else {
+        crate::par::par_fill(&mut out, crate::par::GRAIN_ELEMWISE, |start, chunk| {
+            let wa = BroadcastWalker::new_at(&out_shape, a.shape(), start);
+            let wb = BroadcastWalker::new_at(&out_shape, b.shape(), start);
+            for ((o, ia), ib) in chunk.iter_mut().zip(wa).zip(wb) {
+                *o = f(av[ia], bv[ib]);
+            }
+        });
+    }
+    TensorData::from_vec(out, out_shape)
+}
+
 /// Apply a binary elementwise op with broadcasting.
 ///
 /// # Errors
@@ -550,8 +580,8 @@ fn map2<T: Scalar, U: Scalar>(
 /// (e.g. `pow` on bool), and integer division by zero.
 pub fn binary(a: &TensorData, b: &TensorData, op: BinaryOp) -> Result<TensorData> {
     match check_same_dtype(a, b)? {
-        DType::F32 => map2::<f32, f32>(a, b, |x, y| Ok(op.eval_float(x, y))),
-        DType::F64 => map2::<f64, f64>(a, b, |x, y| Ok(op.eval_float(x, y))),
+        DType::F32 => map2_par::<f32, f32>(a, b, |x, y| op.eval_float(x, y)),
+        DType::F64 => map2_par::<f64, f64>(a, b, |x, y| op.eval_float(x, y)),
         DType::I32 => {
             map2::<i32, i32>(a, b, |x, y| op.eval_int(x as i64, y as i64).map(|v| v as i32))
         }
@@ -571,11 +601,11 @@ pub fn unary(a: &TensorData, op: UnaryOp) -> Result<TensorData> {
     match a.dtype() {
         DType::F32 => {
             let v = a.as_slice::<f32>()?;
-            TensorData::from_vec(v.iter().map(|&x| op.eval_float(x)).collect(), a.shape().clone())
+            TensorData::from_vec(unary_par(v, |x| op.eval_float(x)), a.shape().clone())
         }
         DType::F64 => {
             let v = a.as_slice::<f64>()?;
-            TensorData::from_vec(v.iter().map(|&x| op.eval_float(x)).collect(), a.shape().clone())
+            TensorData::from_vec(unary_par(v, |x| op.eval_float(x)), a.shape().clone())
         }
         DType::I32 | DType::I64 if op.supports_int() => {
             if a.dtype() == DType::I32 {
@@ -630,7 +660,18 @@ pub fn logical(a: &TensorData, b: &TensorData, op: LogicalOp) -> Result<TensorDa
             got: if a.dtype() != DType::Bool { a.dtype() } else { b.dtype() },
         });
     }
-    map2::<bool, bool>(a, b, |x, y| Ok(op.eval(x, y)))
+    map2_par::<bool, bool>(a, b, |x, y| op.eval(x, y))
+}
+
+/// Parallel map over a contiguous slice (the unary fast path).
+fn unary_par<T: Scalar, U: Scalar + Default>(v: &[T], f: impl Fn(T) -> U + Sync) -> Vec<U> {
+    let mut out = vec![U::default(); v.len()];
+    crate::par::par_fill(&mut out, crate::par::GRAIN_ELEMWISE, |start, chunk| {
+        for (off, o) in chunk.iter_mut().enumerate() {
+            *o = f(v[start + off]);
+        }
+    });
+    out
 }
 
 /// Elementwise boolean negation.
@@ -639,7 +680,7 @@ pub fn logical(a: &TensorData, b: &TensorData, op: LogicalOp) -> Result<TensorDa
 /// Operand not bool.
 pub fn logical_not(a: &TensorData) -> Result<TensorData> {
     let v = a.as_slice::<bool>()?;
-    TensorData::from_vec(v.iter().map(|&x| !x).collect(), a.shape().clone())
+    TensorData::from_vec(unary_par(v, |x: bool| !x), a.shape().clone())
 }
 
 /// `where(cond, a, b)` with three-way broadcasting.

@@ -33,8 +33,11 @@ mod data;
 mod dtype;
 mod error;
 
+pub(crate) mod par;
+
 pub mod conv;
 pub mod elementwise;
+pub mod gemm;
 pub mod matmul;
 pub mod pool;
 pub mod reduce;

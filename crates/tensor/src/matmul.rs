@@ -1,39 +1,59 @@
 //! Matrix multiplication: 2-D `matmul` with transpose flags and batched
 //! matmul with broadcast batch dimensions.
+//!
+//! Products run on the packed, register-tiled [`crate::gemm`] kernel —
+//! all four transpose combinations hit the same fast path (the packing
+//! step absorbs the transposes), large products split across the shared
+//! worker pool, and every result is bit-for-bit identical to the serial
+//! reference loop regardless of thread count.
 
+use crate::gemm::{gemm_into, GemmScalar};
+use crate::par::SendPtr;
 use crate::{DType, Result, Shape, TensorData, TensorError};
 
+/// Multiply-adds per batch above which `batch_matmul` parallelizes inside
+/// each product rather than across batches.
+const BATCH_INNER_PAR_MADDS: usize = 1 << 18;
+
+/// Naive serial triple loop, kept as the reference implementation the
+/// packed kernel is tested against (`crates/tensor/src/gemm.rs` tests and
+/// `tests/kernel_parity.rs`).
 #[allow(clippy::too_many_arguments)]
-fn mm_f<T>(a: &[T], b: &[T], m: usize, k: usize, n: usize, ta: bool, tb: bool, out: &mut [T])
-where
-    T: crate::data::Scalar + Copy + std::ops::Add<Output = T> + std::ops::Mul<Output = T> + Default,
-{
-    // Classic ikj loop order for cache friendliness on the non-transposed
-    // fast path; transposed operands use index math.
-    if !ta && !tb {
-        for i in 0..m {
+pub fn matmul_reference<T: GemmScalar>(
+    a: &[T],
+    b: &[T],
+    m: usize,
+    k: usize,
+    n: usize,
+    ta: bool,
+    tb: bool,
+    out: &mut [T],
+) {
+    let a_at = |i: usize, p: usize| if ta { a[p * m + i] } else { a[i * k + p] };
+    let b_at = |p: usize, j: usize| if tb { b[j * k + p] } else { b[p * n + j] };
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = T::default();
             for p in 0..k {
-                let av = a[i * k + p];
-                let row = &b[p * n..(p + 1) * n];
-                let orow = &mut out[i * n..(i + 1) * n];
-                for j in 0..n {
-                    orow[j] = orow[j] + av * row[j];
-                }
+                acc = acc + a_at(i, p) * b_at(p, j);
             }
-        }
-    } else {
-        let a_at = |i: usize, p: usize| if ta { a[p * m + i] } else { a[i * k + p] };
-        let b_at = |p: usize, j: usize| if tb { b[j * k + p] } else { b[p * n + j] };
-        for i in 0..m {
-            for j in 0..n {
-                let mut acc = T::default();
-                for p in 0..k {
-                    acc = acc + a_at(i, p) * b_at(p, j);
-                }
-                out[i * n + j] = acc;
-            }
+            out[i * n + j] = acc;
         }
     }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn mm_f<T: GemmScalar>(
+    a: &[T],
+    b: &[T],
+    m: usize,
+    k: usize,
+    n: usize,
+    ta: bool,
+    tb: bool,
+    out: &mut [T],
+) {
+    gemm_into(m, k, n, a, ta, b, tb, out, true);
 }
 
 /// 2-D matrix product `op(a) @ op(b)` where `op` optionally transposes.
@@ -184,42 +204,89 @@ pub fn batch_matmul(
 
     match a.dtype() {
         DType::F32 => {
-            let av = a.as_slice::<f32>()?;
-            let bv = b.as_slice::<f32>()?;
             let mut out = vec![0.0f32; batch_n * m * n];
-            for i in 0..batch_n {
-                mm_f(
-                    &av[wa[i] * a_mat..wa[i] * a_mat + a_mat],
-                    &bv[wb[i] * b_mat..wb[i] * b_mat + b_mat],
-                    m,
-                    k1,
-                    n,
-                    transpose_a,
-                    transpose_b,
-                    &mut out[i * m * n..(i + 1) * m * n],
-                );
-            }
+            batch_mm(
+                a.as_slice::<f32>()?,
+                b.as_slice::<f32>()?,
+                &wa,
+                &wb,
+                (m, k1, n),
+                (transpose_a, transpose_b),
+                (a_mat, b_mat),
+                &mut out,
+            );
             TensorData::from_vec(out, out_shape)
         }
         DType::F64 => {
-            let av = a.as_slice::<f64>()?;
-            let bv = b.as_slice::<f64>()?;
             let mut out = vec![0.0f64; batch_n * m * n];
-            for i in 0..batch_n {
-                mm_f(
-                    &av[wa[i] * a_mat..wa[i] * a_mat + a_mat],
-                    &bv[wb[i] * b_mat..wb[i] * b_mat + b_mat],
-                    m,
-                    k1,
-                    n,
-                    transpose_a,
-                    transpose_b,
-                    &mut out[i * m * n..(i + 1) * m * n],
-                );
-            }
+            batch_mm(
+                a.as_slice::<f64>()?,
+                b.as_slice::<f64>()?,
+                &wa,
+                &wb,
+                (m, k1, n),
+                (transpose_a, transpose_b),
+                (a_mat, b_mat),
+                &mut out,
+            );
             TensorData::from_vec(out, out_shape)
         }
         _ => unreachable!("check_float_pair verified dtype"),
+    }
+}
+
+/// Batched product body: a few large products keep the batch loop serial
+/// and parallelize inside each gemm; many small products parallelize
+/// across batches (grain sized so each task has enough work) and run each
+/// gemm serially. Either way every batch's result is the same bits.
+#[allow(clippy::too_many_arguments)]
+fn batch_mm<T: GemmScalar>(
+    av: &[T],
+    bv: &[T],
+    wa: &[usize],
+    wb: &[usize],
+    (m, k, n): (usize, usize, usize),
+    (ta, tb): (bool, bool),
+    (a_mat, b_mat): (usize, usize),
+    out: &mut [T],
+) {
+    let batch_n = wa.len();
+    let per = m * n * k;
+    if per >= BATCH_INNER_PAR_MADDS {
+        for i in 0..batch_n {
+            gemm_into(
+                m,
+                k,
+                n,
+                &av[wa[i] * a_mat..][..a_mat],
+                ta,
+                &bv[wb[i] * b_mat..][..b_mat],
+                tb,
+                &mut out[i * m * n..][..m * n],
+                true,
+            );
+        }
+    } else {
+        let grain = (BATCH_INNER_PAR_MADDS / per.max(1)).max(1);
+        let ptr = SendPtr::new(out.as_mut_ptr());
+        tfe_parallel::par_for(batch_n, grain, |bs| {
+            for i in bs {
+                // SAFETY: batch output slices are disjoint; par_for joins
+                // before `out` is released.
+                let o = unsafe { ptr.slice_mut(i * m * n, m * n) };
+                gemm_into(
+                    m,
+                    k,
+                    n,
+                    &av[wa[i] * a_mat..][..a_mat],
+                    ta,
+                    &bv[wb[i] * b_mat..][..b_mat],
+                    tb,
+                    o,
+                    false,
+                );
+            }
+        });
     }
 }
 

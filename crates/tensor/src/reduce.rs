@@ -1,5 +1,14 @@
 //! Reductions over axes: sum, mean, max, min, prod, any/all, argmax/argmin.
+//!
+//! Float reductions over contiguous leading or trailing axes run in
+//! parallel on the shared pool while keeping each output element's
+//! fold order identical to the serial odometer (bit-for-bit). Full
+//! reductions use [`tfe_parallel::par_reduce`]'s fixed chunking, so the
+//! chunk tree depends only on the element count — deterministic across
+//! thread counts, though the summation order differs from a pure left
+//! fold once the input exceeds one chunk (see DESIGN.md).
 
+use crate::data::Scalar;
 use crate::{DType, Result, Shape, TensorData, TensorError};
 
 /// The supported reduction kinds.
@@ -132,9 +141,12 @@ pub fn reduce(a: &TensorData, axes: &[i64], keep_dims: bool, op: ReduceOp) -> Re
     }
 
     let n = a.num_elements();
+    let int_vals: Option<Vec<i64>> = if is_int { Some(a.to_i64_vec()) } else { None };
+    if int_vals.is_none() && n > 0 && float_fast_reduce(a, &axes, op, &mut acc) {
+        return Ok(finish_reduce(a.dtype(), acc, iacc, is_int, op, reduce_count, out_shape));
+    }
     let mut coords = vec![0usize; rank];
     let mut out_idx = 0usize;
-    let int_vals: Option<Vec<i64>> = if is_int { Some(a.to_i64_vec()) } else { None };
     for lin in 0..n {
         if let Some(iv) = &int_vals {
             let v = iv[lin];
@@ -165,6 +177,20 @@ pub fn reduce(a: &TensorData, axes: &[i64], keep_dims: bool, op: ReduceOp) -> Re
         }
     }
 
+    Ok(finish_reduce(a.dtype(), acc, iacc, is_int, op, reduce_count, out_shape))
+}
+
+/// Final Mean division / int truncation and materialization, shared by the
+/// odometer path and the parallel float fast paths.
+fn finish_reduce(
+    dtype: DType,
+    acc: Vec<f64>,
+    iacc: Vec<i64>,
+    is_int: bool,
+    op: ReduceOp,
+    reduce_count: usize,
+    out_shape: Shape,
+) -> TensorData {
     let vals: Vec<f64> = if is_int {
         let mut v: Vec<f64> = iacc.iter().map(|&x| x as f64).collect();
         if op == ReduceOp::Mean {
@@ -188,7 +214,100 @@ pub fn reduce(a: &TensorData, axes: &[i64], keep_dims: bool, op: ReduceOp) -> Re
         }
         v
     };
-    Ok(TensorData::from_f64_vec(a.dtype(), vals, out_shape))
+    TensorData::from_f64_vec(dtype, vals, out_shape)
+}
+
+fn fold(op: ReduceOp, acc: f64, v: f64) -> f64 {
+    match op {
+        ReduceOp::Sum | ReduceOp::Mean => acc + v,
+        ReduceOp::Prod => acc * v,
+        ReduceOp::Max => acc.max(v),
+        ReduceOp::Min => acc.min(v),
+    }
+}
+
+/// Parallel float fast paths. `acc` arrives pre-filled with the op's
+/// identity and receives the (pre-Mean-division) per-element accumulators.
+/// Returns false when the axis pattern has no fast path (mixed interior
+/// axes fall back to the serial odometer).
+fn float_fast_reduce(a: &TensorData, axes: &[usize], op: ReduceOp, acc: &mut [f64]) -> bool {
+    let rank = a.shape().rank();
+    let la = axes.len();
+    // `axes` is sorted; classify contiguous patterns.
+    let all = la == rank;
+    let suffix = axes.iter().enumerate().all(|(i, &ax)| ax == rank - la + i);
+    let prefix = axes.iter().enumerate().all(|(i, &ax)| ax == i);
+    if !(all || suffix || prefix) {
+        return false;
+    }
+    match a.dtype() {
+        DType::F32 => {
+            float_fast_typed(a.as_slice::<f32>().unwrap(), a.shape(), la, op, acc, all, suffix)
+        }
+        DType::F64 => {
+            float_fast_typed(a.as_slice::<f64>().unwrap(), a.shape(), la, op, acc, all, suffix)
+        }
+        _ => return false,
+    }
+    true
+}
+
+fn float_fast_typed<T: Scalar>(
+    v: &[T],
+    shape: &Shape,
+    num_axes: usize,
+    op: ReduceOp,
+    acc: &mut [f64],
+    all: bool,
+    suffix: bool,
+) {
+    let rank = shape.rank();
+    if all {
+        // Full reduction: fixed-chunk tree, combined in ascending chunk
+        // order (deterministic for every thread count).
+        let init = acc[0];
+        acc[0] = tfe_parallel::par_reduce(
+            v.len(),
+            crate::par::GRAIN_REDUCE,
+            |r| v[r].iter().fold(init, |a, &x| fold(op, a, x.to_f64())),
+            |a, b| match op {
+                ReduceOp::Sum | ReduceOp::Mean => a + b,
+                ReduceOp::Prod => a * b,
+                ReduceOp::Max => a.max(b),
+                ReduceOp::Min => a.min(b),
+            },
+        )
+        .unwrap_or(init);
+    } else if suffix {
+        // Trailing axes: each output element folds one contiguous row in
+        // ascending order — same order as the serial odometer, bit-for-bit.
+        let row: usize = shape.dims()[rank - num_axes..].iter().product();
+        if row == 0 {
+            return;
+        }
+        let grain = (crate::par::GRAIN_ELEMWISE / row).max(1);
+        crate::par::par_fill(acc, grain, |start, chunk| {
+            for (off, o) in chunk.iter_mut().enumerate() {
+                let r = &v[(start + off) * row..][..row];
+                *o = r.iter().fold(*o, |a, &x| fold(op, a, x.to_f64()));
+            }
+        });
+    } else {
+        // Leading axes: column reduction. Each output element accumulates
+        // strided entries with the outer index ascending — again the exact
+        // serial odometer order per element.
+        let inner: usize = shape.dims()[num_axes..].iter().product();
+        let outer = v.len() / inner;
+        let grain = (crate::par::GRAIN_ELEMWISE / outer.max(1)).max(1);
+        crate::par::par_fill(acc, grain, |start, chunk| {
+            for k in 0..outer {
+                let src = &v[k * inner + start..][..chunk.len()];
+                for (o, &x) in chunk.iter_mut().zip(src) {
+                    *o = fold(op, *o, x.to_f64());
+                }
+            }
+        });
+    }
 }
 
 /// `reduce_any` / `reduce_all` over bool tensors.

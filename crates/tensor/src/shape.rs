@@ -208,6 +208,25 @@ impl BroadcastWalker {
             remaining: out.num_elements(),
         }
     }
+
+    /// Like [`BroadcastWalker::new`] but starting from linear position
+    /// `start` of `out` (row-major). Lets parallel kernels hand each tile
+    /// its own walker over just that tile's index range.
+    pub fn new_at(out: &Shape, src: &Shape, start: usize) -> BroadcastWalker {
+        let mut w = BroadcastWalker::new(out, src);
+        debug_assert!(start <= w.remaining);
+        // Decompose `start` into coordinates and accumulate the source
+        // index with the stride-0 broadcast semantics.
+        let mut rem = start;
+        for i in (0..w.out_dims.len()).rev() {
+            let c = rem % w.out_dims[i];
+            rem /= w.out_dims[i];
+            w.coords[i] = c;
+            w.src_index += c * w.src_strides[i];
+        }
+        w.remaining -= start;
+        w
+    }
 }
 
 impl Iterator for BroadcastWalker {

@@ -1,6 +1,11 @@
 //! Softmax, log-softmax and softmax cross-entropy kernels (last axis),
 //! implemented with the usual max-subtraction stabilization.
+//!
+//! Rows are independent, so the forward kernels split row blocks across
+//! the shared worker pool; per-row math is untouched, making results
+//! bit-for-bit identical to the serial loop for every thread count.
 
+use crate::par::{par_fill_rows, GRAIN_ROWS};
 use crate::{Result, Shape, TensorData, TensorError};
 
 fn check_float_min_rank(a: &TensorData, min_rank: usize) -> Result<(usize, usize)> {
@@ -30,18 +35,22 @@ pub fn softmax(a: &TensorData) -> Result<TensorData> {
     let (rows, classes) = check_float_min_rank(a, 1)?;
     let x = a.to_f64_vec();
     let mut out = vec![0.0f64; x.len()];
-    for r in 0..rows {
-        let row = &x[r * classes..(r + 1) * classes];
-        let m = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let mut z = 0.0;
-        for (j, &v) in row.iter().enumerate() {
-            let e = (v - m).exp();
-            out[r * classes + j] = e;
-            z += e;
-        }
-        for j in 0..classes {
-            out[r * classes + j] /= z;
-        }
+    if classes > 0 && rows > 0 {
+        par_fill_rows(&mut out, classes, GRAIN_ROWS, |rs, chunk| {
+            for (ri, orow) in rs.zip(chunk.chunks_exact_mut(classes)) {
+                let row = &x[ri * classes..(ri + 1) * classes];
+                let m = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let mut z = 0.0;
+                for (o, &v) in orow.iter_mut().zip(row) {
+                    let e = (v - m).exp();
+                    *o = e;
+                    z += e;
+                }
+                for o in orow.iter_mut() {
+                    *o /= z;
+                }
+            }
+        });
     }
     Ok(TensorData::from_f64_vec(a.dtype(), out, a.shape().clone()))
 }
@@ -54,14 +63,18 @@ pub fn log_softmax(a: &TensorData) -> Result<TensorData> {
     let (rows, classes) = check_float_min_rank(a, 1)?;
     let x = a.to_f64_vec();
     let mut out = vec![0.0f64; x.len()];
-    for r in 0..rows {
-        let row = &x[r * classes..(r + 1) * classes];
-        let m = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let z: f64 = row.iter().map(|&v| (v - m).exp()).sum();
-        let lse = m + z.ln();
-        for j in 0..classes {
-            out[r * classes + j] = row[j] - lse;
-        }
+    if classes > 0 && rows > 0 {
+        par_fill_rows(&mut out, classes, GRAIN_ROWS, |rs, chunk| {
+            for (ri, orow) in rs.zip(chunk.chunks_exact_mut(classes)) {
+                let row = &x[ri * classes..(ri + 1) * classes];
+                let m = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let z: f64 = row.iter().map(|&v| (v - m).exp()).sum();
+                let lse = m + z.ln();
+                for (o, &v) in orow.iter_mut().zip(row) {
+                    *o = v - lse;
+                }
+            }
+        });
     }
     Ok(TensorData::from_f64_vec(a.dtype(), out, a.shape().clone()))
 }

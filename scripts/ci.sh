@@ -23,4 +23,14 @@ cargo test --workspace -q -- --test-threads "${THREADS}"
 echo "==> executor differential + concurrency stress (release, ${THREADS} threads)"
 cargo test --release -q --test exec_differential --test concurrency -- --test-threads "${THREADS}"
 
+# Same differential suite with the worker pool collapsed to one thread:
+# kernels promise identical bits at every intra-op thread count, so the
+# serial==parallel guarantees must also hold when nothing actually runs
+# concurrently (and when the pool has no helpers to steal tiles).
+echo "==> differential + kernel parity with TFE_NUM_THREADS=1 (release)"
+TFE_NUM_THREADS=1 cargo test --release -q --test exec_differential --test kernel_parity
+
+echo "==> kernel bench smoke (--quick)"
+cargo run --release -q -p tfe-bench --bin kernel_bench -- --quick > /dev/null
+
 echo "CI gate passed."

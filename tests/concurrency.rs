@@ -269,3 +269,52 @@ fn concurrent_staged_training_on_disjoint_models() {
         h.join().unwrap();
     }
 }
+
+#[test]
+fn nested_graph_parallel_and_intra_op_no_deadlock() {
+    // The two-level stress case: the graph executor fans independent
+    // matmul nodes out across the worker pool (inter-op), and each matmul
+    // splits its own row blocks onto the *same* pool (intra-op). Workers
+    // waiting on tiles help execute queued jobs instead of blocking, so
+    // this must finish — from several client threads at once — without
+    // deadlock, and bit-identical to the serial schedule.
+    tf_eager::init();
+    let f = function1("nested_intra_stress", |x| {
+        // Four independent 96x96 matmul chains joined at the end: wide
+        // enough for inter-op parallelism, each node big enough for the
+        // splitter to go parallel.
+        let mut branches = Vec::new();
+        for _ in 0..4 {
+            let y = api::matmul(x, x)?;
+            let y = api::mul(&y, &api::scalar(1e-3f32))?;
+            branches.push(api::matmul(&y, x)?);
+        }
+        let mut acc = branches[0].clone();
+        for b in &branches[1..] {
+            acc = api::add(&acc, b)?;
+        }
+        api::reduce_sum(&acc, &[], false)
+    });
+    let x = api::constant(vec![0.01f32; 96 * 96], [96, 96]).unwrap();
+    let prev = context::set_exec_mode(ExecMode::SerialPlanned);
+    let want = f.call1(&x).unwrap().scalar_f64().unwrap();
+    context::set_exec_mode(ExecMode::Parallel);
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let f = f.clone();
+            let x = x.clone();
+            std::thread::spawn(move || {
+                let prev = context::set_exec_mode(ExecMode::Parallel);
+                for _ in 0..10 {
+                    let got = f.call1(&x).unwrap().scalar_f64().unwrap();
+                    assert_eq!(got.to_bits(), want.to_bits());
+                }
+                context::set_exec_mode(prev);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    context::set_exec_mode(prev);
+}

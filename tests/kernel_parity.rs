@@ -1,0 +1,434 @@
+//! Parity tests for the intra-op parallel kernel layer: every parallel,
+//! cache-blocked kernel must agree with its naive serial reference, and
+//! must produce identical bits at every intra-op thread count.
+//!
+//! Determinism contract (see DESIGN.md "Two-level parallelism"):
+//!
+//! * **Bitwise** vs the serial reference at any thread count: matmul /
+//!   batch matmul (the packed micro-kernel resumes its accumulators from
+//!   the output tile, so per-element accumulation is the plain ascending
+//!   fold), elementwise + broadcast ops, softmax / log-softmax,
+//!   suffix-axis and prefix-axis float reductions, and
+//!   `conv2d_backprop_input` (batches are disjoint).
+//! * **Thread-invariant but chunk-grouped** (equal bits for every thread
+//!   count, small tolerance vs a pure left-to-right fold): full float
+//!   reductions over more than one grain of elements, and
+//!   `conv2d_backprop_filter` (fixed-chunk tree over batches).
+//! * `conv2d` forward accumulates in f64 in the same (ky, kx, ci) order
+//!   as the reference, with exact `+0.0` padding terms; compared here by
+//!   value (a `-0.0` vs `+0.0` sign difference is tolerated).
+
+use proptest::prelude::*;
+use tfe_parallel::set_intra_threads;
+use tfe_tensor::elementwise::{binary, BinaryOp};
+use tfe_tensor::gemm::gemm_into;
+use tfe_tensor::matmul::{batch_matmul, matmul, matmul_reference};
+use tfe_tensor::reduce::{reduce, ReduceOp};
+use tfe_tensor::softmax::{log_softmax, softmax};
+use tfe_tensor::{conv, Shape, TensorData};
+
+/// Run `f` under a forced intra-op thread count, restoring the previous
+/// setting afterwards. Kernels are thread-count invariant by design, so
+/// concurrently running tests that also flip the override cannot change
+/// any result — this only steers which splitting path executes.
+fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    let prev = set_intra_threads(Some(threads));
+    let r = f();
+    set_intra_threads(prev);
+    r
+}
+
+fn f32s(n: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).max(1);
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state % 2048) as f32 - 1024.0) / 256.0
+        })
+        .collect()
+}
+
+fn bits32(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Matmul: all four transpose combos, exact bits vs the naive reference.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn matmul_all_transpose_combos_bitwise() {
+    // Shapes straddling the MR/NR/KC/MC block boundaries, plus odd primes.
+    for &(m, k, n) in
+        &[(1usize, 1usize, 1usize), (3, 5, 7), (4, 8, 8), (5, 9, 17), (33, 257, 19), (64, 300, 65)]
+    {
+        let av = f32s(m * k, 1);
+        let bv = f32s(k * n, 2);
+        for (ta, tb) in [(false, false), (true, false), (false, true), (true, true)] {
+            let a_dims = if ta { [k, m] } else { [m, k] };
+            let b_dims = if tb { [n, k] } else { [k, n] };
+            let a = TensorData::from_vec(av.clone(), Shape::from(a_dims)).unwrap();
+            let b = TensorData::from_vec(bv.clone(), Shape::from(b_dims)).unwrap();
+            let mut want = vec![0.0f32; m * n];
+            matmul_reference(&av, &bv, m, k, n, ta, tb, &mut want);
+            for threads in [1usize, 3, 8] {
+                let got = with_threads(threads, || matmul(&a, &b, ta, tb).unwrap());
+                assert_eq!(
+                    bits32(got.as_slice::<f32>().unwrap()),
+                    bits32(&want),
+                    "matmul {m}x{k}x{n} ta={ta} tb={tb} threads={threads}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn batch_matmul_bitwise_vs_reference() {
+    let (bsz, m, k, n) = (6usize, 9usize, 17usize, 11usize);
+    let av = f32s(bsz * m * k, 3);
+    let bv = f32s(bsz * k * n, 4);
+    let a = TensorData::from_vec(av.clone(), Shape::from([bsz, m, k])).unwrap();
+    let b = TensorData::from_vec(bv.clone(), Shape::from([bsz, k, n])).unwrap();
+    let mut want = vec![0.0f32; bsz * m * n];
+    for i in 0..bsz {
+        matmul_reference(
+            &av[i * m * k..(i + 1) * m * k],
+            &bv[i * k * n..(i + 1) * k * n],
+            m,
+            k,
+            n,
+            false,
+            false,
+            &mut want[i * m * n..(i + 1) * m * n],
+        );
+    }
+    for threads in [1usize, 4] {
+        let got = with_threads(threads, || batch_matmul(&a, &b, false, false).unwrap());
+        assert_eq!(bits32(got.as_slice::<f32>().unwrap()), bits32(&want), "threads={threads}");
+    }
+}
+
+#[test]
+fn gemm_accumulates_across_kc_blocks_bitwise() {
+    // k > KC (256) exercises accumulator resume across KC slices; the
+    // result must still be the plain ascending fold.
+    let (m, k, n) = (7usize, 521usize, 13usize);
+    let av = f32s(m * k, 5);
+    let bv = f32s(k * n, 6);
+    let mut want = vec![0.0f32; m * n];
+    matmul_reference(&av, &bv, m, k, n, false, false, &mut want);
+    let mut got = vec![0.0f32; m * n];
+    gemm_into(m, k, n, &av, false, &bv, false, &mut got, true);
+    assert_eq!(bits32(&got), bits32(&want));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn matmul_parity_random_shapes(
+        m in 1usize..24, k in 1usize..40, n in 1usize..24,
+        ta in any::<bool>(), tb in any::<bool>(), seed in 0u64..1000,
+    ) {
+        let av = f32s(m * k, seed);
+        let bv = f32s(k * n, seed + 1);
+        let a_dims = if ta { [k, m] } else { [m, k] };
+        let b_dims = if tb { [n, k] } else { [k, n] };
+        let a = TensorData::from_vec(av.clone(), Shape::from(a_dims)).unwrap();
+        let b = TensorData::from_vec(bv.clone(), Shape::from(b_dims)).unwrap();
+        let mut want = vec![0.0f32; m * n];
+        matmul_reference(&av, &bv, m, k, n, ta, tb, &mut want);
+        let got = with_threads(5, || matmul(&a, &b, ta, tb).unwrap());
+        prop_assert_eq!(bits32(got.as_slice::<f32>().unwrap()), bits32(&want));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise: grain boundaries and broadcasts, exact bits.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn elementwise_add_grain_boundaries_bitwise() {
+    // GRAIN_ELEMWISE is 4096: straddle it (serial path below, split above).
+    for n in [1usize, 4095, 4096, 4097, 8193] {
+        let av = f32s(n, 7);
+        let bv = f32s(n, 8);
+        let a = TensorData::from_vec(av.clone(), Shape::from([n])).unwrap();
+        let b = TensorData::from_vec(bv.clone(), Shape::from([n])).unwrap();
+        let want: Vec<f32> = av.iter().zip(&bv).map(|(x, y)| x + y).collect();
+        for threads in [1usize, 2, 8] {
+            let got = with_threads(threads, || binary(&a, &b, BinaryOp::Add).unwrap());
+            assert_eq!(
+                bits32(got.as_slice::<f32>().unwrap()),
+                bits32(&want),
+                "n={n} threads={threads}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn broadcast_binary_parity(
+        rows in 1usize..80, cols in 1usize..80,
+        a_bcast in any::<bool>(), b_bcast in any::<bool>(), seed in 0u64..1000,
+    ) {
+        // (rows|1, cols) op (rows|1, cols) — broadcast along axis 0. When
+        // both sides have a size-1 axis the broadcast output keeps it.
+        let ar = if a_bcast { 1 } else { rows };
+        let br = if b_bcast { 1 } else { rows };
+        let out_rows = ar.max(br);
+        let av = f32s(ar * cols, seed);
+        let bv = f32s(br * cols, seed + 1);
+        let a = TensorData::from_vec(av.clone(), Shape::from([ar, cols])).unwrap();
+        let b = TensorData::from_vec(bv.clone(), Shape::from([br, cols])).unwrap();
+        let mut want = vec![0.0f32; out_rows * cols];
+        for r in 0..out_rows {
+            for c in 0..cols {
+                let x = av[(if a_bcast { 0 } else { r }) * cols + c];
+                let y = bv[(if b_bcast { 0 } else { r }) * cols + c];
+                want[r * cols + c] = x * y;
+            }
+        }
+        let got = with_threads(6, || binary(&a, &b, BinaryOp::Mul).unwrap());
+        prop_assert_eq!(bits32(got.as_slice::<f32>().unwrap()), bits32(&want));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reductions: suffix/prefix axes bitwise vs the linear fold; full
+// reductions thread-invariant (and bitwise below one grain).
+// ---------------------------------------------------------------------------
+
+/// The pre-parallel serial semantics: accumulate every element in linear
+/// input order into its f64 output slot.
+fn reduce_reference_f32(v: &[f32], dims: &[usize], axes: &[usize], op: ReduceOp) -> Vec<f32> {
+    let rank = dims.len();
+    let mut out_dims: Vec<usize> = dims.to_vec();
+    for &a in axes {
+        out_dims[a] = 1;
+    }
+    let out_n: usize = out_dims.iter().product();
+    let init = match op {
+        ReduceOp::Sum | ReduceOp::Mean => 0.0f64,
+        ReduceOp::Prod => 1.0,
+        ReduceOp::Max => f64::NEG_INFINITY,
+        ReduceOp::Min => f64::INFINITY,
+    };
+    let mut acc = vec![init; out_n.max(1)];
+    let mut out_strides = vec![0usize; rank];
+    let mut s = 1;
+    for i in (0..rank).rev() {
+        out_strides[i] = if out_dims[i] == 1 { 0 } else { s };
+        s *= out_dims[i];
+    }
+    for (lin, &x) in v.iter().enumerate() {
+        let mut rem = lin;
+        let mut oi = 0;
+        for i in (0..rank).rev() {
+            let c = rem % dims[i];
+            rem /= dims[i];
+            if !axes.contains(&i) {
+                oi += c * out_strides[i];
+            }
+        }
+        let x = f64::from(x);
+        match op {
+            ReduceOp::Sum | ReduceOp::Mean => acc[oi] += x,
+            ReduceOp::Prod => acc[oi] *= x,
+            ReduceOp::Max => acc[oi] = acc[oi].max(x),
+            ReduceOp::Min => acc[oi] = acc[oi].min(x),
+        }
+    }
+    let count: usize = axes.iter().map(|&a| dims[a]).product();
+    acc.iter()
+        .map(|&x| if op == ReduceOp::Mean { (x / count.max(1) as f64) as f32 } else { x as f32 })
+        .collect()
+}
+
+#[test]
+fn reduce_suffix_and_prefix_axes_bitwise() {
+    let dims = [12usize, 33, 130];
+    let v = f32s(dims.iter().product(), 9);
+    let a = TensorData::from_vec(v.clone(), Shape::from(dims)).unwrap();
+    for op in [ReduceOp::Sum, ReduceOp::Mean, ReduceOp::Max, ReduceOp::Min, ReduceOp::Prod] {
+        for axes in [vec![2i64], vec![1, 2], vec![0], vec![0, 1]] {
+            let uaxes: Vec<usize> = axes.iter().map(|&x| x as usize).collect();
+            let want = reduce_reference_f32(&v, &dims, &uaxes, op);
+            for threads in [1usize, 7] {
+                let got = with_threads(threads, || reduce(&a, &axes, false, op).unwrap());
+                assert_eq!(
+                    bits32(got.as_slice::<f32>().unwrap()),
+                    bits32(&want),
+                    "op={op:?} axes={axes:?} threads={threads}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn reduce_all_axes_below_one_grain_bitwise() {
+    // GRAIN_REDUCE is 8192: a full reduction under it is one chunk, i.e.
+    // exactly the serial left fold.
+    let v = f32s(8000, 10);
+    let a = TensorData::from_vec(v.clone(), Shape::from([8000])).unwrap();
+    let want = reduce_reference_f32(&v, &[8000], &[0], ReduceOp::Sum);
+    let got = with_threads(8, || reduce(&a, &[], false, ReduceOp::Sum).unwrap());
+    assert_eq!(bits32(got.as_slice::<f32>().unwrap()), bits32(&want));
+}
+
+#[test]
+fn reduce_full_sum_thread_invariant_and_close_to_fold() {
+    // Above one grain the chunked tree differs from the pure left fold
+    // only by a grouping tolerance — but is bit-identical across thread
+    // counts (fixed chunking).
+    let n = 100_000usize;
+    let v = f32s(n, 11);
+    let a = TensorData::from_vec(v.clone(), Shape::from([n])).unwrap();
+    let t1 = with_threads(1, || reduce(&a, &[], false, ReduceOp::Sum).unwrap());
+    let t8 = with_threads(8, || reduce(&a, &[], false, ReduceOp::Sum).unwrap());
+    assert_eq!(
+        bits32(t1.as_slice::<f32>().unwrap()),
+        bits32(t8.as_slice::<f32>().unwrap()),
+        "fixed chunking must make full reductions thread-invariant"
+    );
+    let want = reduce_reference_f32(&v, &[n], &[0], ReduceOp::Sum);
+    let got = t8.as_slice::<f32>().unwrap()[0] as f64;
+    assert!(
+        (got - f64::from(want[0])).abs() <= 1e-6 * f64::from(want[0].abs()).max(1.0),
+        "chunked sum {got} vs fold {}",
+        want[0]
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn reduce_parity_random(
+        d0 in 1usize..10, d1 in 1usize..14, d2 in 1usize..20,
+        which in 0usize..4, op_ix in 0usize..5, seed in 0u64..1000,
+    ) {
+        let ops = [ReduceOp::Sum, ReduceOp::Mean, ReduceOp::Max, ReduceOp::Min, ReduceOp::Prod];
+        let op = ops[op_ix];
+        let dims = [d0, d1, d2];
+        let axes: Vec<i64> = match which {
+            0 => vec![2],
+            1 => vec![1, 2],
+            2 => vec![0],
+            _ => vec![0, 1, 2],
+        };
+        let v = f32s(dims.iter().product(), seed);
+        let a = TensorData::from_vec(v.clone(), Shape::from(dims)).unwrap();
+        let uaxes: Vec<usize> = axes.iter().map(|&x| x as usize).collect();
+        let want = reduce_reference_f32(&v, &dims, &uaxes, op);
+        // All these stay under one grain, so every path is the exact fold.
+        let got = with_threads(3, || reduce(&a, &axes, false, op).unwrap());
+        prop_assert_eq!(bits32(got.as_slice::<f32>().unwrap()), bits32(&want));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Softmax: rows split across the pool, identical bits per row.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn softmax_thread_invariant_bitwise() {
+    // GRAIN_ROWS is 8: 37 rows forces several row chunks.
+    let (rows, classes) = (37usize, 19usize);
+    let v = f32s(rows * classes, 12);
+    let a = TensorData::from_vec(v, Shape::from([rows, classes])).unwrap();
+    for f in [softmax, log_softmax] {
+        let t1 = with_threads(1, || f(&a).unwrap());
+        let t8 = with_threads(8, || f(&a).unwrap());
+        assert_eq!(bits32(t1.as_slice::<f32>().unwrap()), bits32(t8.as_slice::<f32>().unwrap()));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Conv2d: forward vs direct-loop reference; backprops thread-invariant.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn conv2d_forward_parity_random_geometry(
+        n in 1usize..3, h in 1usize..8, w in 1usize..8,
+        kh in 1usize..4, kw in 1usize..4, c_in in 1usize..4, c_out in 1usize..4,
+        stride in 1usize..3, same in any::<bool>(), seed in 0u64..1000,
+    ) {
+        let padding = if same { conv::Padding::Same } else { conv::Padding::Valid };
+        let x = TensorData::from_vec(f32s(n * h * w * c_in, seed), Shape::from([n, h, w, c_in])).unwrap();
+        let f = TensorData::from_vec(f32s(kh * kw * c_in * c_out, seed + 1), Shape::from([kh, kw, c_in, c_out])).unwrap();
+        let Ok(g) = conv::conv2d_geometry(x.shape(), f.shape(), (stride, stride), padding) else {
+            // Valid padding can make the output empty; nothing to compare.
+            return Ok(());
+        };
+        let want = conv::conv2d_reference(
+            x.as_slice::<f32>().unwrap(), f.as_slice::<f32>().unwrap(), &g);
+        let got = with_threads(4, || conv::conv2d(&x, &f, (stride, stride), padding).unwrap());
+        let got = got.as_slice::<f32>().unwrap();
+        prop_assert_eq!(got.len(), want.len());
+        for (i, (&gv, &wv)) in got.iter().zip(&want).enumerate() {
+            // Value equality: the im2col path's +0.0 padding terms can
+            // flip a -0.0 to +0.0, which `==` treats as equal.
+            prop_assert!(gv == wv as f32, "element {i}: got {gv} want {wv}");
+        }
+    }
+}
+
+#[test]
+fn conv2d_backprops_thread_invariant() {
+    let x_shape = Shape::from([3usize, 9, 9, 4]);
+    let f = TensorData::from_vec(f32s(3 * 3 * 4 * 6, 13), Shape::from([3, 3, 4, 6])).unwrap();
+    let x = TensorData::from_vec(f32s(3 * 9 * 9 * 4, 14), x_shape.clone()).unwrap();
+    let fwd = conv::conv2d(&x, &f, (1, 1), conv::Padding::Same).unwrap();
+    let go = TensorData::from_vec(f32s(fwd.num_elements(), 15), fwd.shape().clone()).unwrap();
+    let gi1 = with_threads(1, || {
+        conv::conv2d_backprop_input(&x_shape, &f, &go, (1, 1), conv::Padding::Same).unwrap()
+    });
+    let gi8 = with_threads(8, || {
+        conv::conv2d_backprop_input(&x_shape, &f, &go, (1, 1), conv::Padding::Same).unwrap()
+    });
+    assert_eq!(bits32(gi1.as_slice::<f32>().unwrap()), bits32(gi8.as_slice::<f32>().unwrap()));
+    let gf1 = with_threads(1, || {
+        conv::conv2d_backprop_filter(&x, f.shape(), &go, (1, 1), conv::Padding::Same).unwrap()
+    });
+    let gf8 = with_threads(8, || {
+        conv::conv2d_backprop_filter(&x, f.shape(), &go, (1, 1), conv::Padding::Same).unwrap()
+    });
+    assert_eq!(bits32(gf1.as_slice::<f32>().unwrap()), bits32(gf8.as_slice::<f32>().unwrap()));
+}
+
+// ---------------------------------------------------------------------------
+// Kernel sharing: eager and staged execution hit the same kernels, so a
+// staged matmul must match the eager (and reference) bits too.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn staged_matmul_matches_eager_bitwise() {
+    tf_eager::init();
+    use tf_eager::prelude::*;
+    let (m, k, n) = (23usize, 31usize, 17usize);
+    let av = f32s(m * k, 16);
+    let bv = f32s(k * n, 17);
+    let a = api::constant(av.clone(), [m, k]).unwrap();
+    let b = api::constant(bv.clone(), [k, n]).unwrap();
+    let mut want = vec![0.0f32; m * n];
+    matmul_reference(&av, &bv, m, k, n, false, false, &mut want);
+    let eager = api::matmul(&a, &b).unwrap();
+    let bc = b.clone();
+    let f = function1("kernel_parity_mm", move |x| api::matmul(x, &bc));
+    let staged = f.call1(&a).unwrap();
+    let ev: Vec<f32> = eager.to_f64_vec().unwrap().iter().map(|&x| x as f32).collect();
+    let sv: Vec<f32> = staged.to_f64_vec().unwrap().iter().map(|&x| x as f32).collect();
+    assert_eq!(bits32(&ev), bits32(&want));
+    assert_eq!(bits32(&sv), bits32(&want));
+}
