@@ -425,7 +425,13 @@ fn register_all() {
         Ok(vec![Some(api::slice(c.grad(0)?, &begin, &sizes)?)])
     });
     grad!("gather", |c| {
-        let axis = c.attrs().int_or("axis", 0).map_err(tfe_ops::OpError::from)?;
+        // Normalize a negative axis against the params rank before
+        // dispatching, so gather(x, i, axis=-1) on rank-1 params hits the
+        // axis-0 scatter path instead of a spurious "unsupported" error.
+        let mut axis = c.attrs().int_or("axis", 0).map_err(tfe_ops::OpError::from)?;
+        if axis < 0 {
+            axis += c.input(0)?.rank() as i64;
+        }
         let mut out = tfe_runtime::context::execute(
             "gather_grad",
             &[c.input(0)?.clone(), c.input(1)?.clone(), c.grad(0)?.clone()],
@@ -515,12 +521,32 @@ fn register_all() {
     grad!("reduce_max", minmax_grad);
     grad!("reduce_min", minmax_grad);
     grad!("reduce_prod", |c| {
-        // y/a * g (naive: undefined when a contains zeros; see DESIGN.md).
+        // Zero-safe product gradient. The naive `y/x * g` form is undefined
+        // when an input element is exactly zero, so mask zeros out of the
+        // product and handle the zero-count cases per reduction group
+        // (inner reductions use keep_dims=true so they broadcast against x):
+        //   no zeros in group: d y/d x_i = prod(x)/x_i
+        //   one zero:          the zero element gets the product of the
+        //                      non-zeros; every other element gets 0
+        //   two or more:       everything is 0
         let keep = c.attrs().bool_or("keep_dims", false).map_err(tfe_ops::OpError::from)?;
-        let g = expand_reduced(c.grad(0)?, c.input(0)?, c.attrs(), keep)?;
-        let y = expand_reduced(c.output(0)?, c.input(0)?, c.attrs(), keep)?;
-        let ga = api::mul(&g, &api::div(&y, c.input(0)?)?)?;
-        Ok(vec![Some(api::mul(&ga, &ones_like(c.input(0)?)?)?)])
+        let axes = c.attrs().int_list_or("axes", &[]).map_err(tfe_ops::OpError::from)?.to_vec();
+        let x = c.input(0)?;
+        let g = expand_reduced(c.grad(0)?, x, c.attrs(), keep)?;
+        let is_zero = api::cast(&api::equal(x, &zeros_like(x)?)?, x.dtype())?;
+        // Zeros replaced by ones: safe to multiply and divide through.
+        let safe_x = api::add(x, &is_zero)?;
+        let prod_nz = api::reduce_prod(&safe_x, &axes, true)?;
+        let num_zeros = api::reduce_sum(&is_zero, &axes, true)?;
+        let no_zero = api::cast(&api::equal(&num_zeros, &zeros_like(&num_zeros)?)?, x.dtype())?;
+        let one_zero = api::cast(&api::equal(&num_zeros, &ones_like(&num_zeros)?)?, x.dtype())?;
+        let not_zero = api::sub(&ones_like(x)?, &is_zero)?;
+        // prod-of-the-others for non-zero entries is prod_nz/x, valid only
+        // in zero-free groups; for zero entries it is prod_nz itself, valid
+        // only when that entry is the group's single zero.
+        let nz_part = api::mul(&api::mul(&not_zero, &api::div(&prod_nz, &safe_x)?)?, &no_zero)?;
+        let z_part = api::mul(&api::mul(&is_zero, &prod_nz)?, &one_zero)?;
+        Ok(vec![Some(api::mul(&g, &api::add(&nz_part, &z_part)?)?)])
     });
 
     // --- nn -------------------------------------------------------------------

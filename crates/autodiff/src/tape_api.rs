@@ -125,7 +125,7 @@ impl GradientTape {
         output_grad: Option<Tensor>,
         source_ids: &[u64],
     ) -> Result<Vec<Option<Tensor>>> {
-        self.tape.consume().map_err(RuntimeError::Internal)?;
+        self.tape.consume()?;
         // The tape must not record its own backward pass; outer tapes do
         // (that is how nesting yields higher-order derivatives).
         let was_active = tfe_runtime::context::pop_tape(self.tape.id);

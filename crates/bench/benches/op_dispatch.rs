@@ -58,6 +58,26 @@ fn bench_staged_dispatch(c: &mut Criterion) {
     tfe_bench::report_exec_stats("staged_dispatch");
 }
 
+fn bench_profiler_overhead(c: &mut Criterion) {
+    tfe_core::init();
+    // The same eager dispatch with the profiler off (one relaxed atomic
+    // load per probe site — the everyone-pays cost) and on (span recording
+    // into the thread-local buffer). `profiler_smoke` asserts the disabled
+    // delta stays under 2%; this group keeps both numbers visible.
+    let mut group = c.benchmark_group("profiler_overhead");
+    let a = api::zeros(DType::F32, [64]);
+    let b = api::ones(DType::F32, [64]);
+    group.bench_function("add_64_disabled", |bench| {
+        bench.iter(|| api::add(&a, &b).unwrap());
+    });
+    group.bench_function("add_64_enabled", |bench| {
+        tfe_profile::start();
+        bench.iter(|| api::add(&a, &b).unwrap());
+        tfe_profile::stop();
+    });
+    group.finish();
+}
+
 fn bench_gradient(c: &mut Criterion) {
     tfe_core::init();
     let mut group = c.benchmark_group("gradient");
@@ -81,6 +101,6 @@ criterion_group! {
         .sample_size(12)
         .warm_up_time(std::time::Duration::from_millis(300))
         .measurement_time(std::time::Duration::from_millis(900));
-    targets = bench_eager_dispatch, bench_staged_dispatch, bench_gradient
+    targets = bench_eager_dispatch, bench_staged_dispatch, bench_profiler_overhead, bench_gradient
 }
 criterion_main!(benches);

@@ -4,7 +4,10 @@
 //! intra-op speedup. Results land in `BENCH_kernels.json`.
 //!
 //! Run with `cargo run --release -p tfe-bench --bin kernel_bench`
-//! (add `--quick` for a smoke run with fewer iterations).
+//! (add `--quick` for a smoke run with fewer iterations). Set
+//! `TFE_PROFILE=trace.json` to additionally record an op-level profile of
+//! the benchmark run: a chrome://tracing timeline at that path, plus a
+//! metrics summary printed to stderr and embedded in `BENCH_kernels.json`.
 
 use std::time::Instant;
 
@@ -199,6 +202,10 @@ fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let (iters, reps) = if quick { (2, 1) } else { (10, 3) };
     let threads = intra_threads();
+    let trace_path = tfe_profile::env_trace_path();
+    if trace_path.is_some() {
+        tfe_profile::start();
+    }
 
     println!(
         "{:<26} {:>14} {:>14} {:>14} {:>8} {:>9}   shape",
@@ -237,12 +244,25 @@ fn main() {
         rows.push(tfe_encode::Value::object(fields));
     }
 
-    let json = tfe_encode::Value::object([
+    let mut fields = vec![
         ("experiment".to_string(), tfe_encode::Value::str("kernels")),
         ("threads".to_string(), tfe_encode::Value::Int(threads as i64)),
         ("quick".to_string(), tfe_encode::Value::Bool(quick)),
         ("rows".to_string(), tfe_encode::Value::Array(rows)),
-    ]);
+    ];
+    if let Some(path) = trace_path {
+        let profile = tfe_profile::stop();
+        profile.write_chrome_trace(&path).expect("write chrome trace");
+        let summary = profile.summary();
+        eprintln!("{summary}");
+        eprintln!(
+            "wrote {path} ({} spans on {} threads)",
+            profile.span_count(),
+            profile.thread_count()
+        );
+        fields.push(("profile".to_string(), summary.to_value()));
+    }
+    let json = tfe_encode::Value::object(fields);
     std::fs::write("BENCH_kernels.json", json.to_json_pretty()).expect("write BENCH_kernels.json");
     eprintln!("wrote BENCH_kernels.json (intra-op threads: {threads})");
 }

@@ -1,0 +1,209 @@
+//! Profiler smoke test, run by `scripts/ci.sh`:
+//!
+//! 1. Asserts the *disabled* profiler costs < 2% of an eager op dispatch —
+//!    the fast path is one relaxed atomic load, and this keeps it honest.
+//! 2. Enables profiling, runs two staged training steps under the parallel
+//!    executor, writes the chrome trace, and validates the output: the JSON
+//!    parses, `X` spans land on at least two thread rows, spans on each
+//!    thread strictly nest or are disjoint (never partially overlap), and
+//!    the trace-cache instants show one miss (step 1) and one hit (step 2).
+//!
+//! Exits non-zero (panics) on any violation.
+
+use std::sync::Arc;
+use tfe_autodiff::GradientTape;
+use tfe_core::{function, Arg};
+use tfe_nn::{optimizer, Adam};
+use tfe_runtime::{api, context, ExecMode, Variable};
+use tfe_tensor::{Shape, TensorData};
+
+const DIM: usize = 128;
+const BRANCHES: usize = 4;
+
+fn vals(n: usize, scale: f64) -> Vec<f64> {
+    (0..n).map(|i| ((i % 13) as f64 - 6.0) * scale).collect()
+}
+
+/// Per-call cost of `f` in nanoseconds.
+fn per_call_ns(iters: usize, f: impl Fn()) -> f64 {
+    let t = std::time::Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn check_disabled_overhead() {
+    assert!(!tfe_profile::enabled(), "profiler must start disabled");
+    // The entire disabled-path cost: the branch every probe site pays.
+    let probe_ns = per_call_ns(4_000_000, || {
+        std::hint::black_box(tfe_profile::enabled());
+    });
+    // A cheap eager dispatch for scale: scalar add.
+    let a = api::scalar(1.0f64);
+    let b = api::scalar(2.0f64);
+    let dispatch_ns = per_call_ns(20_000, || {
+        std::hint::black_box(api::add(&a, &b).expect("add"));
+    });
+    let ratio = probe_ns / dispatch_ns;
+    eprintln!(
+        "disabled probe: {probe_ns:.2} ns/call, eager dispatch: {dispatch_ns:.0} ns/op \
+         ({:.4}% overhead)",
+        ratio * 100.0
+    );
+    assert!(
+        ratio < 0.02,
+        "disabled profiler costs {:.3}% of an op dispatch (budget: 2%)",
+        ratio * 100.0
+    );
+}
+
+/// Stage a training step with `BRANCHES` independent matmul towers so the
+/// parallel scheduler has real inter-op work to fan out.
+fn staged_train_step(weights: &[Variable]) -> tfe_core::Func {
+    let vars = weights.to_vec();
+    let opt = Arc::new(Adam::new(1e-3));
+    function("profiler_smoke_step", move |args: &[Arg]| {
+        let x = args[0].as_tensor().expect("x");
+        let tape = GradientTape::new();
+        let mut total = api::scalar(0.0f64);
+        for w in &vars {
+            let y = api::matmul(x, &w.read()?)?;
+            let y = api::square(&y)?;
+            total = api::add(&total, &api::reduce_mean(&y, &[], false)?)?;
+        }
+        optimizer::minimize(opt.as_ref(), tape, &total, &vars)?;
+        Ok(vec![total])
+    })
+}
+
+/// Chrome-trace span: ts/dur in microseconds.
+struct SpanEvt {
+    ts: f64,
+    dur: f64,
+}
+
+fn validate_trace(path: &str) {
+    let text = std::fs::read_to_string(path).expect("read trace file");
+    let root = tfe_encode::Value::parse(&text).expect("chrome trace JSON must parse");
+    let events = root
+        .get("traceEvents")
+        .and_then(tfe_encode::Value::as_array)
+        .expect("traceEvents array missing");
+
+    let mut by_tid: std::collections::BTreeMap<i64, Vec<SpanEvt>> = Default::default();
+    let mut instants = Vec::new();
+    for e in events {
+        match e.get("ph").and_then(tfe_encode::Value::as_str) {
+            Some("X") => {
+                let tid =
+                    e.get("tid").and_then(tfe_encode::Value::as_i64).expect("X event needs tid");
+                let ts = e.get("ts").and_then(tfe_encode::Value::as_f64).expect("X event needs ts");
+                let dur =
+                    e.get("dur").and_then(tfe_encode::Value::as_f64).expect("X event needs dur");
+                by_tid.entry(tid).or_default().push(SpanEvt { ts, dur });
+            }
+            Some("i") => {
+                if let Some(name) = e.get("name").and_then(tfe_encode::Value::as_str) {
+                    instants.push(name.to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let rows_with_spans = by_tid.values().filter(|v| !v.is_empty()).count();
+    assert!(
+        rows_with_spans >= 2,
+        "parallel run must place spans on >= 2 thread rows, got {rows_with_spans}"
+    );
+
+    // Per-thread nesting: after sorting by start, every span either nests
+    // inside the enclosing open span or starts after it ends. Partial
+    // overlap means broken span bookkeeping. Tolerance covers the ns -> us
+    // float conversion.
+    const EPS: f64 = 0.002;
+    for (tid, spans) in &mut by_tid {
+        spans.sort_by(|a, b| a.ts.total_cmp(&b.ts).then(b.dur.total_cmp(&a.dur)));
+        let mut stack: Vec<f64> = Vec::new(); // open-span end times
+        for s in spans.iter() {
+            while let Some(&end) = stack.last() {
+                if s.ts >= end - EPS {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            if let Some(&end) = stack.last() {
+                assert!(
+                    s.ts + s.dur <= end + EPS,
+                    "tid {tid}: span [{}, {}] partially overlaps enclosing span ending at {end}",
+                    s.ts,
+                    s.ts + s.dur
+                );
+            }
+            stack.push(s.ts + s.dur);
+        }
+    }
+
+    let hits = instants.iter().filter(|n| n.starts_with("cache_hit")).count();
+    let misses = instants.iter().filter(|n| n.starts_with("cache_miss")).count();
+    assert!(misses >= 1, "step 1 must record a trace-cache miss");
+    assert!(hits >= 1, "step 2 must record a trace-cache hit");
+
+    let total_spans: usize = by_tid.values().map(Vec::len).sum();
+    eprintln!(
+        "trace ok: {total_spans} spans across {rows_with_spans} thread rows, \
+         {misses} cache miss(es), {hits} cache hit(s)"
+    );
+}
+
+fn main() {
+    // Before anything touches the worker pool: guarantee multiple workers
+    // even on a single-core CI box.
+    std::env::set_var("TFE_NUM_THREADS", "4");
+    tfe_core::init();
+
+    check_disabled_overhead();
+
+    let weights: Vec<Variable> = (0..BRANCHES)
+        .map(|i| {
+            Variable::new(
+                TensorData::from_vec(
+                    vals(DIM * DIM, 1e-3 * (i + 1) as f64),
+                    Shape::from([DIM, DIM]),
+                )
+                .unwrap(),
+            )
+        })
+        .collect();
+    let step = staged_train_step(&weights);
+    let x = tfe_runtime::Tensor::from_data(
+        TensorData::from_vec(vals(DIM * DIM, 1e-2), Shape::from([DIM, DIM])).unwrap(),
+    );
+
+    let prev = context::set_exec_mode(ExecMode::Parallel);
+    tfe_profile::start();
+    for s in 0..2 {
+        let loss = step.call(&[Arg::from(&x)]).expect("train step").remove(0);
+        let loss = loss.scalar_f64().expect("loss value");
+        assert!(loss.is_finite(), "step {s} loss must be finite");
+    }
+    let profile = tfe_profile::stop();
+    context::set_exec_mode(prev);
+
+    let path = std::env::temp_dir().join("tfe_profiler_smoke_trace.json");
+    let path = path.to_string_lossy().to_string();
+    profile.write_chrome_trace(&path).expect("write chrome trace");
+    let summary = profile.summary();
+    eprintln!("{summary}");
+    assert!(summary.aborts == 0, "clean run must not record aborts");
+    assert!(
+        summary.ops.iter().any(|o| o.cat == "kernel" && o.name == "matmul"),
+        "summary must contain matmul kernel rows"
+    );
+
+    validate_trace(&path);
+    std::fs::remove_file(&path).ok();
+    println!("profiler smoke: ok");
+}

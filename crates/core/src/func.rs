@@ -187,10 +187,21 @@ impl Func {
         }
         let key = self.cache_key(args);
         if let Some(hit) = self.inner.cache.lock().get(&key) {
+            tfe_profile::instant("trace", || format!("cache_hit:{}", self.inner.name));
             return Ok(hit.clone());
         }
+        // A miss with prior concrete functions is a retrace (§4.6) — the
+        // signature drifted — worth flagging distinctly on the timeline.
+        if self.num_concrete() > 0 {
+            tfe_profile::instant("trace", || format!("retrace:{}", self.inner.name));
+        } else {
+            tfe_profile::instant("trace", || format!("cache_miss:{}", self.inner.name));
+        }
         // Trace outside the cache lock so recursive calls don't deadlock.
-        let concrete = self.trace(args)?;
+        let concrete = {
+            let _sp = tfe_profile::span("trace", || format!("trace:{}", self.inner.name));
+            self.trace(args)?
+        };
         let mut cache = self.inner.cache.lock();
         Ok(cache.entry(key).or_insert(concrete).clone())
     }

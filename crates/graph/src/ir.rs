@@ -92,6 +92,16 @@ impl GraphFunction {
         &self.nodes[id.0]
     }
 
+    /// Stable human-readable label for one node of the plan, e.g.
+    /// `train_step__0/%3:matmul` — the name profiler timelines thread into
+    /// their per-node spans.
+    ///
+    /// # Panics
+    /// `id` out of range.
+    pub fn node_label(&self, id: NodeId) -> String {
+        format!("{}/%{}:{}", self.name, id.0, self.nodes[id.0].op)
+    }
+
     /// dtype/shape of a tensor reference.
     pub fn sig(&self, t: TensorRef) -> (DType, SymShape) {
         self.node(t.node).output_sig(t.output)

@@ -129,6 +129,10 @@ fn scope_chunks(num_chunks: usize, f: &(dyn Fn(usize) + Sync)) {
     // returns (the latch countdown below), so extending the borrow to
     // 'static never outlives the frame that owns the closure.
     let f_static: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f) };
+    let run_chunk = move |c: usize| {
+        let _sp = tfe_profile::span("intra", || "tile".to_string());
+        f_static(c);
+    };
     let latch = Arc::new(Latch {
         remaining: AtomicUsize::new(num_chunks),
         panicked: AtomicBool::new(false),
@@ -137,7 +141,7 @@ fn scope_chunks(num_chunks: usize, f: &(dyn Fn(usize) + Sync)) {
     for c in 1..num_chunks {
         let l = latch.clone();
         pool.submit(Box::new(move || {
-            if catch_unwind(AssertUnwindSafe(|| f_static(c))).is_err() {
+            if catch_unwind(AssertUnwindSafe(|| run_chunk(c))).is_err() {
                 l.panicked.store(true, Ordering::SeqCst);
             }
             if l.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
@@ -145,7 +149,7 @@ fn scope_chunks(num_chunks: usize, f: &(dyn Fn(usize) + Sync)) {
             }
         }));
     }
-    if catch_unwind(AssertUnwindSafe(|| f_static(0))).is_err() {
+    if catch_unwind(AssertUnwindSafe(|| run_chunk(0))).is_err() {
         latch.panicked.store(true, Ordering::SeqCst);
     }
     if latch.remaining.fetch_sub(1, Ordering::SeqCst) != 1 {
@@ -192,6 +196,7 @@ pub fn par_for<F: Fn(Range<usize>) + Sync>(n: usize, grain: usize, body: F) {
     }
     PAR_KERNELS.fetch_add(1, Ordering::Relaxed);
     TILES.fetch_add(num_chunks as u64, Ordering::Relaxed);
+    tfe_profile::counter("intra", "tiles", num_chunks as u64);
     scope_chunks(num_chunks, &|c: usize| {
         let start = c * chunk;
         body(start..(start + chunk).min(n));
@@ -229,6 +234,7 @@ where
     }
     PAR_KERNELS.fetch_add(1, Ordering::Relaxed);
     TILES.fetch_add(num_chunks as u64, Ordering::Relaxed);
+    tfe_profile::counter("intra", "tiles", num_chunks as u64);
     let slots: Vec<parking_lot::Mutex<Option<R>>> =
         (0..num_chunks).map(|_| parking_lot::Mutex::new(None)).collect();
     scope_chunks(num_chunks, &|c: usize| {

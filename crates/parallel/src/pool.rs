@@ -55,6 +55,11 @@ pub fn global() -> &'static Pool {
 fn worker_loop() {
     let pool = global();
     loop {
+        // Idle-gap sampling: when profiling is on, the stretch between
+        // finishing one job and acquiring the next becomes an `idle` span
+        // on this worker's timeline row (sub-10µs gaps are noise and
+        // would swamp the trace, so they are dropped).
+        let idle_from = tfe_profile::enabled().then(tfe_profile::now_ns);
         let job = {
             let mut q = pool.queue.lock();
             loop {
@@ -64,6 +69,11 @@ fn worker_loop() {
                 pool.signal.wait(&mut q);
             }
         };
+        if let Some(t0) = idle_from {
+            if tfe_profile::now_ns().saturating_sub(t0) > 10_000 {
+                tfe_profile::span_from("pool", || "idle".to_string(), t0);
+            }
+        }
         // Job bodies catch node/tile-level panics themselves; a stray panic
         // here would only kill this worker, and the helping waiters still
         // drain the queue, so the pool degrades rather than deadlocks.
@@ -75,6 +85,21 @@ impl Pool {
     /// Enqueue a job and wake a worker. Returns the queue depth right after
     /// the push (for scheduler telemetry).
     pub fn submit(&self, job: Job) -> usize {
+        // Pool task latency: when profiling is on, wrap the job so the
+        // executing thread reports how long it sat in the queue.
+        let job = if tfe_profile::enabled() {
+            let submitted = tfe_profile::now_ns();
+            Box::new(move || {
+                tfe_profile::counter(
+                    "pool",
+                    "queue_wait_ns",
+                    tfe_profile::now_ns().saturating_sub(submitted),
+                );
+                job();
+            }) as Job
+        } else {
+            job
+        };
         let depth = {
             let mut q = self.queue.lock();
             q.push_back(job);

@@ -1,0 +1,652 @@
+//! Op-level profiler for the tf-eager runtime: spans, instants and
+//! counters collected across every execution layer (eager dispatch, the
+//! trace cache, the graph executor, the worker pool, intra-op kernels).
+//!
+//! # Design
+//!
+//! - **Disabled cost is one relaxed atomic load per probe.** Every probe
+//!   ([`span`], [`instant`], [`counter`]) starts with `ENABLED.load(Relaxed)`
+//!   and returns immediately when profiling is off; name strings are built
+//!   lazily behind that check, so an idle profiler never allocates.
+//! - **Per-thread buffers.** Each thread appends to its own buffer (an
+//!   uncontended per-thread lock taken only by the owner while recording),
+//!   so recording never contends across threads; [`stop`] merges all
+//!   buffers into one [`Profile`].
+//! - **Scoped collection.** [`start`] clears the buffers and flips the
+//!   enabled flag; [`stop`] flips it back and drains. Only one scope can be
+//!   active at a time (the collector is process-wide).
+//!
+//! # Exports
+//!
+//! [`Profile::chrome_trace`] renders a chrome://tracing / Perfetto
+//! compatible JSON timeline: one row per thread (workers keep their
+//! `tfe-exec-{i}` names), nested `X` duration events for eager dispatch →
+//! graph functions → nodes → kernels → intra-op tiles, `i` instant events
+//! for trace-cache misses and executor aborts, and `C` counter events for
+//! ready-queue depth and pool wait latency. [`Profile::summary`] aggregates
+//! the same events into per-op count/total/p50/p99 rows plus cache hit
+//! rates and bytes produced.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Global state
+// ---------------------------------------------------------------------------
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+/// Nanoseconds since the process-wide profiling epoch (first use).
+pub fn now_ns() -> u64 {
+    static EPOCH: std::sync::OnceLock<Instant> = std::sync::OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// Whether a profiling scope is active. One relaxed atomic load — this is
+/// the entire per-op cost of a disabled profiler.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+struct ThreadBuf {
+    tid: u64,
+    name: String,
+    events: Mutex<Vec<Event>>,
+}
+
+fn registry() -> &'static Mutex<Vec<Arc<ThreadBuf>>> {
+    static R: std::sync::OnceLock<Mutex<Vec<Arc<ThreadBuf>>>> = std::sync::OnceLock::new();
+    R.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static LOCAL: std::cell::OnceCell<Arc<ThreadBuf>> = const { std::cell::OnceCell::new() };
+}
+
+fn with_buf(f: impl FnOnce(&ThreadBuf)) {
+    LOCAL.with(|cell| {
+        let buf = cell.get_or_init(|| {
+            let buf = Arc::new(ThreadBuf {
+                tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+                name: std::thread::current().name().unwrap_or("thread").to_string(),
+                events: Mutex::new(Vec::new()),
+            });
+            registry().lock().push(buf.clone());
+            buf
+        });
+        f(buf);
+    });
+}
+
+fn record(event: Event) {
+    with_buf(|buf| buf.events.lock().push(event));
+}
+
+/// Begin a profiling scope: clear all per-thread buffers and enable
+/// collection. Safe to call again after [`stop`].
+pub fn start() {
+    now_ns(); // pin the epoch before any event can be recorded
+    for buf in registry().lock().iter() {
+        buf.events.lock().clear();
+    }
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// End the profiling scope and merge every thread's events into a
+/// [`Profile`]. Spans still open on other threads when `stop` is called
+/// are dropped (their guards record after the drain and are cleared by the
+/// next [`start`]).
+pub fn stop() -> Profile {
+    ENABLED.store(false, Ordering::SeqCst);
+    let mut threads = Vec::new();
+    for buf in registry().lock().iter() {
+        let events = std::mem::take(&mut *buf.events.lock());
+        if !events.is_empty() {
+            threads.push(ThreadTrace { tid: buf.tid, name: buf.name.clone(), events });
+        }
+    }
+    threads.sort_by_key(|t| t.tid);
+    Profile { threads }
+}
+
+/// The `TFE_PROFILE` environment variable: the chrome-trace output path
+/// that examples and benches use to opt into profiling.
+pub fn env_trace_path() -> Option<String> {
+    std::env::var("TFE_PROFILE").ok().filter(|p| !p.is_empty())
+}
+
+// ---------------------------------------------------------------------------
+// Events and probes
+// ---------------------------------------------------------------------------
+
+/// One recorded profiling event.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Display name (op type, function name, `tile`, `idle`, ...).
+    pub name: String,
+    /// Event category: `eager`, `kernel`, `graph`, `node`, `trace`,
+    /// `sched`, `pool`, `intra`.
+    pub cat: &'static str,
+    /// Timing payload.
+    pub kind: EventKind,
+    /// Optional extra context (e.g. the plan-level node label).
+    pub detail: Option<String>,
+}
+
+/// The timing payload of an [`Event`].
+#[derive(Debug, Clone, Copy)]
+pub enum EventKind {
+    /// A duration on the recording thread's timeline.
+    Span {
+        /// Start, ns since the profiling epoch.
+        start_ns: u64,
+        /// Duration in ns.
+        dur_ns: u64,
+        /// Output bytes attributed to the span (0 when not applicable).
+        bytes: u64,
+    },
+    /// A point-in-time marker (cache miss, abort).
+    Instant {
+        /// Timestamp, ns since the profiling epoch.
+        ts_ns: u64,
+    },
+    /// A sampled value (queue depth, wait latency, tile count).
+    Counter {
+        /// Timestamp, ns since the profiling epoch.
+        ts_ns: u64,
+        /// Sampled value.
+        value: u64,
+    },
+}
+
+/// RAII guard for an open span; records on drop.
+pub struct SpanGuard {
+    name: String,
+    cat: &'static str,
+    start_ns: u64,
+    bytes: u64,
+    detail: Option<String>,
+}
+
+impl SpanGuard {
+    /// Attribute `bytes` of produced output to this span.
+    pub fn set_bytes(&mut self, bytes: u64) {
+        self.bytes = bytes;
+    }
+
+    /// Attach extra context (rendered under `args.detail` in the timeline).
+    pub fn set_detail(&mut self, detail: String) {
+        self.detail = Some(detail);
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        record(Event {
+            name: std::mem::take(&mut self.name),
+            cat: self.cat,
+            kind: EventKind::Span {
+                start_ns: self.start_ns,
+                dur_ns: now_ns().saturating_sub(self.start_ns),
+                bytes: self.bytes,
+            },
+            detail: self.detail.take(),
+        });
+    }
+}
+
+/// Open a span; `None` (at the cost of one relaxed load) when disabled.
+/// The name closure only runs when profiling is on.
+#[inline]
+pub fn span(cat: &'static str, name: impl FnOnce() -> String) -> Option<SpanGuard> {
+    if !enabled() {
+        return None;
+    }
+    Some(SpanGuard { name: name(), cat, start_ns: now_ns(), bytes: 0, detail: None })
+}
+
+/// Record a span retroactively from a caller-captured start timestamp
+/// (used for idle gaps, where the guard pattern does not fit).
+#[inline]
+pub fn span_from(cat: &'static str, name: impl FnOnce() -> String, start_ns: u64) {
+    if !enabled() {
+        return;
+    }
+    let dur_ns = now_ns().saturating_sub(start_ns);
+    record(Event {
+        name: name(),
+        cat,
+        kind: EventKind::Span { start_ns, dur_ns, bytes: 0 },
+        detail: None,
+    });
+}
+
+/// Record an instant marker. The name closure only runs when enabled.
+#[inline]
+pub fn instant(cat: &'static str, name: impl FnOnce() -> String) {
+    if !enabled() {
+        return;
+    }
+    record(Event { name: name(), cat, kind: EventKind::Instant { ts_ns: now_ns() }, detail: None });
+}
+
+/// Record a counter sample.
+#[inline]
+pub fn counter(cat: &'static str, name: &'static str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    record(Event {
+        name: name.to_string(),
+        cat,
+        kind: EventKind::Counter { ts_ns: now_ns(), value },
+        detail: None,
+    });
+}
+
+// ---------------------------------------------------------------------------
+// The collected profile
+// ---------------------------------------------------------------------------
+
+/// Events recorded by one thread, in recording order.
+#[derive(Debug, Clone)]
+pub struct ThreadTrace {
+    /// Stable per-thread id (chrome-trace `tid`).
+    pub tid: u64,
+    /// Thread name (workers: `tfe-exec-{i}`).
+    pub name: String,
+    /// Recorded events.
+    pub events: Vec<Event>,
+}
+
+/// All events of one [`start`]/[`stop`] scope, grouped by thread.
+#[derive(Debug, Clone, Default)]
+pub struct Profile {
+    /// One entry per thread that recorded anything.
+    pub threads: Vec<ThreadTrace>,
+}
+
+impl Profile {
+    /// Number of threads that recorded at least one event.
+    pub fn thread_count(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Total span events across all threads.
+    pub fn span_count(&self) -> usize {
+        self.threads
+            .iter()
+            .flat_map(|t| &t.events)
+            .filter(|e| matches!(e.kind, EventKind::Span { .. }))
+            .count()
+    }
+
+    /// Render the chrome://tracing JSON object (`{"traceEvents": [...]}`).
+    /// Timestamps are microseconds as required by the trace-event format;
+    /// span nesting falls out of `ts`/`dur` containment per thread row.
+    pub fn chrome_trace(&self) -> tfe_encode::Value {
+        use tfe_encode::Value;
+        let us = |ns: u64| Value::Float(ns as f64 / 1e3);
+        let mut events: Vec<Value> = Vec::new();
+        for t in &self.threads {
+            events.push(Value::object([
+                ("name".to_string(), Value::str("thread_name")),
+                ("ph".to_string(), Value::str("M")),
+                ("pid".to_string(), Value::Int(1)),
+                ("tid".to_string(), Value::Int(t.tid as i64)),
+                (
+                    "args".to_string(),
+                    Value::object([("name".to_string(), Value::str(t.name.clone()))]),
+                ),
+            ]));
+            for e in &t.events {
+                let mut fields = vec![
+                    ("name".to_string(), Value::str(e.name.clone())),
+                    ("cat".to_string(), Value::str(e.cat)),
+                    ("pid".to_string(), Value::Int(1)),
+                    ("tid".to_string(), Value::Int(t.tid as i64)),
+                ];
+                let mut args: Vec<(String, Value)> = Vec::new();
+                if let Some(d) = &e.detail {
+                    args.push(("detail".to_string(), Value::str(d.clone())));
+                }
+                match e.kind {
+                    EventKind::Span { start_ns, dur_ns, bytes } => {
+                        fields.push(("ph".to_string(), Value::str("X")));
+                        fields.push(("ts".to_string(), us(start_ns)));
+                        fields.push(("dur".to_string(), us(dur_ns)));
+                        if bytes > 0 {
+                            args.push(("bytes".to_string(), Value::Int(bytes as i64)));
+                        }
+                    }
+                    EventKind::Instant { ts_ns } => {
+                        fields.push(("ph".to_string(), Value::str("i")));
+                        fields.push(("ts".to_string(), us(ts_ns)));
+                        fields.push(("s".to_string(), Value::str("t")));
+                    }
+                    EventKind::Counter { ts_ns, value } => {
+                        fields.push(("ph".to_string(), Value::str("C")));
+                        fields.push(("ts".to_string(), us(ts_ns)));
+                        args.push(("value".to_string(), Value::Int(value as i64)));
+                    }
+                }
+                if !args.is_empty() {
+                    fields.push(("args".to_string(), Value::object(args)));
+                }
+                events.push(Value::object(fields));
+            }
+        }
+        tfe_encode::Value::object([
+            ("traceEvents".to_string(), Value::Array(events)),
+            ("displayTimeUnit".to_string(), Value::str("ms")),
+        ])
+    }
+
+    /// Write [`Profile::chrome_trace`] as pretty JSON to `path`.
+    ///
+    /// # Errors
+    /// Filesystem errors.
+    pub fn write_chrome_trace(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.chrome_trace().to_json_pretty())
+    }
+
+    /// Aggregate the events into the metrics summary.
+    pub fn summary(&self) -> Summary {
+        let mut by_op: std::collections::BTreeMap<(&'static str, String), Vec<(u64, u64)>> =
+            std::collections::BTreeMap::new();
+        let mut cache_hits = 0u64;
+        let mut cache_misses = 0u64;
+        let mut retraces = 0u64;
+        let mut aborts = 0u64;
+        for e in self.threads.iter().flat_map(|t| &t.events) {
+            match e.kind {
+                EventKind::Span { dur_ns, bytes, .. } => {
+                    // `node` spans duplicate the kernel spans nested inside
+                    // them and `graph`/`trace` spans cover whole functions;
+                    // the per-op table reads best from dispatch + kernel +
+                    // intra rows, keyed by category so names can collide.
+                    if matches!(e.cat, "eager" | "kernel" | "intra") {
+                        by_op.entry((e.cat, e.name.clone())).or_default().push((dur_ns, bytes));
+                    }
+                }
+                // Instant names may carry a `:detail` suffix (e.g.
+                // `cache_hit:train_step`); classify on the prefix.
+                EventKind::Instant { .. } => match e.name.split(':').next().unwrap_or("") {
+                    "cache_hit" => cache_hits += 1,
+                    "cache_miss" => cache_misses += 1,
+                    "retrace" => {
+                        cache_misses += 1;
+                        retraces += 1;
+                    }
+                    "abort" => aborts += 1,
+                    _ => {}
+                },
+                EventKind::Counter { .. } => {}
+            }
+        }
+        let ops = by_op
+            .into_iter()
+            .map(|((cat, name), mut rows)| {
+                rows.sort_unstable_by_key(|r| r.0);
+                let count = rows.len() as u64;
+                let total_ns: u64 = rows.iter().map(|r| r.0).sum();
+                let bytes: u64 = rows.iter().map(|r| r.1).sum();
+                let pct = |p: f64| rows[((rows.len() - 1) as f64 * p) as usize].0;
+                OpStat { cat, name, count, total_ns, p50_ns: pct(0.50), p99_ns: pct(0.99), bytes }
+            })
+            .collect();
+        Summary { ops, cache_hits, cache_misses, retraces, aborts }
+    }
+}
+
+/// Aggregated timing for one op type (one summary row).
+#[derive(Debug, Clone)]
+pub struct OpStat {
+    /// Originating category (`eager`, `kernel` or `intra`).
+    pub cat: &'static str,
+    /// Op or kernel name.
+    pub name: String,
+    /// Invocations recorded.
+    pub count: u64,
+    /// Summed wall-clock ns.
+    pub total_ns: u64,
+    /// Median span duration.
+    pub p50_ns: u64,
+    /// 99th-percentile span duration.
+    pub p99_ns: u64,
+    /// Output bytes attributed to these spans.
+    pub bytes: u64,
+}
+
+/// The metrics summary: per-op rows plus trace-cache behaviour.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// Per-(category, op) rows, sorted by key.
+    pub ops: Vec<OpStat>,
+    /// Trace-cache hits observed.
+    pub cache_hits: u64,
+    /// Trace-cache misses (including retraces).
+    pub cache_misses: u64,
+    /// Misses that happened after the first trace of a `Func`.
+    pub retraces: u64,
+    /// Executor abort markers observed.
+    pub aborts: u64,
+}
+
+impl Summary {
+    /// Cache hit rate in `[0, 1]`; `None` when the cache was never probed.
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        let total = self.cache_hits + self.cache_misses;
+        (total > 0).then(|| self.cache_hits as f64 / total as f64)
+    }
+
+    /// Total bytes across all rows.
+    pub fn total_bytes(&self) -> u64 {
+        self.ops.iter().map(|o| o.bytes).sum()
+    }
+
+    /// Encode as JSON (embedded into bench reports).
+    pub fn to_value(&self) -> tfe_encode::Value {
+        use tfe_encode::Value;
+        let rows = self
+            .ops
+            .iter()
+            .map(|o| {
+                Value::object([
+                    ("cat".to_string(), Value::str(o.cat)),
+                    ("op".to_string(), Value::str(o.name.clone())),
+                    ("count".to_string(), Value::Int(o.count as i64)),
+                    ("total_ns".to_string(), Value::Int(o.total_ns as i64)),
+                    ("p50_ns".to_string(), Value::Int(o.p50_ns as i64)),
+                    ("p99_ns".to_string(), Value::Int(o.p99_ns as i64)),
+                    ("bytes".to_string(), Value::Int(o.bytes as i64)),
+                ])
+            })
+            .collect();
+        let mut fields = vec![
+            ("ops".to_string(), Value::Array(rows)),
+            ("cache_hits".to_string(), Value::Int(self.cache_hits as i64)),
+            ("cache_misses".to_string(), Value::Int(self.cache_misses as i64)),
+            ("retraces".to_string(), Value::Int(self.retraces as i64)),
+            ("aborts".to_string(), Value::Int(self.aborts as i64)),
+            ("total_bytes".to_string(), Value::Int(self.total_bytes() as i64)),
+        ];
+        if let Some(rate) = self.cache_hit_rate() {
+            fields.push(("cache_hit_rate".to_string(), Value::Float(rate)));
+        }
+        tfe_encode::Value::object(fields)
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{:<8} {:<22} {:>8} {:>12} {:>10} {:>10} {:>12}",
+            "cat", "op", "count", "total ns", "p50 ns", "p99 ns", "bytes"
+        )?;
+        for o in &self.ops {
+            writeln!(
+                f,
+                "{:<8} {:<22} {:>8} {:>12} {:>10} {:>10} {:>12}",
+                o.cat, o.name, o.count, o.total_ns, o.p50_ns, o.p99_ns, o.bytes
+            )?;
+        }
+        write!(
+            f,
+            "cache: {} hits, {} misses, {} retraces",
+            self.cache_hits, self.cache_misses, self.retraces
+        )?;
+        if let Some(rate) = self.cache_hit_rate() {
+            write!(f, " ({:.1}% hit rate)", rate * 100.0)?;
+        }
+        if self.aborts > 0 {
+            write!(f, "; {} aborts", self.aborts)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The collector is process-wide, so every test that flips the enabled
+    // flag runs under this lock to avoid cross-test interference.
+    fn scope_lock() -> &'static Mutex<()> {
+        static L: std::sync::OnceLock<Mutex<()>> = std::sync::OnceLock::new();
+        L.get_or_init(|| Mutex::new(()))
+    }
+
+    #[test]
+    fn disabled_probes_record_nothing() {
+        let _g = scope_lock().lock();
+        assert!(!enabled());
+        let ran = std::cell::Cell::new(false);
+        let sp = span("kernel", || {
+            ran.set(true);
+            "nope".to_string()
+        });
+        assert!(sp.is_none());
+        assert!(!ran.get(), "name closure must not run when disabled");
+        instant("trace", || {
+            ran.set(true);
+            "nope".to_string()
+        });
+        counter("sched", "depth", 3);
+        assert!(!ran.get());
+    }
+
+    #[test]
+    fn span_collection_and_summary() {
+        let _g = scope_lock().lock();
+        start();
+        {
+            let mut sp = span("kernel", || "matmul".to_string()).unwrap();
+            sp.set_bytes(1024);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        {
+            let _sp = span("kernel", || "matmul".to_string()).unwrap();
+        }
+        instant("trace", || "cache_miss".to_string());
+        instant("trace", || "cache_hit".to_string());
+        instant("trace", || "cache_hit".to_string());
+        let profile = stop();
+        assert!(profile.thread_count() >= 1);
+        assert!(profile.span_count() >= 2);
+        let summary = profile.summary();
+        let row = summary
+            .ops
+            .iter()
+            .find(|o| o.name == "matmul" && o.cat == "kernel")
+            .expect("matmul row");
+        assert_eq!(row.count, 2);
+        assert!(row.total_ns >= 1_000_000, "slept 1ms inside the span");
+        assert_eq!(row.bytes, 1024);
+        assert!(row.p50_ns <= row.p99_ns);
+        assert_eq!(summary.cache_hits, 2);
+        assert_eq!(summary.cache_misses, 1);
+        assert!((summary.cache_hit_rate().unwrap() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_thread_events_land_on_separate_rows() {
+        let _g = scope_lock().lock();
+        start();
+        let handles: Vec<_> = (0..3)
+            .map(|i| {
+                std::thread::Builder::new()
+                    .name(format!("prof-test-{i}"))
+                    .spawn(move || {
+                        let _sp = span("kernel", || format!("op{i}"));
+                    })
+                    .unwrap()
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let profile = stop();
+        let rows: Vec<&str> = profile
+            .threads
+            .iter()
+            .filter(|t| t.name.starts_with("prof-test-"))
+            .map(|t| t.name.as_str())
+            .collect();
+        assert_eq!(rows.len(), 3, "one timeline row per recording thread: {rows:?}");
+    }
+
+    #[test]
+    fn chrome_trace_shape_and_roundtrip() {
+        let _g = scope_lock().lock();
+        start();
+        {
+            let _outer = span("graph", || "f".to_string());
+            let _inner = span("kernel", || "add".to_string());
+        }
+        instant("sched", || "abort".to_string());
+        counter("sched", "ready_queue_depth", 7);
+        let profile = stop();
+        let json = profile.chrome_trace().to_json_pretty();
+        let parsed = tfe_encode::Value::parse(&json).expect("chrome trace JSON must parse");
+        let events = parsed.get("traceEvents").and_then(|v| v.as_array()).expect("traceEvents");
+        // Metadata row naming the thread, two X spans, one instant, one counter.
+        assert!(events.iter().any(|e| e.get("ph").and_then(|p| p.as_str()) == Some("M")));
+        let phases: Vec<&str> =
+            events.iter().filter_map(|e| e.get("ph").and_then(|p| p.as_str())).collect();
+        assert!(phases.iter().filter(|p| **p == "X").count() >= 2);
+        assert!(phases.contains(&"i"));
+        assert!(phases.contains(&"C"));
+        // Spans nest: the graph span contains the kernel span in time.
+        let x: Vec<(f64, f64, &str)> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+            .map(|e| {
+                (
+                    e.get("ts").and_then(|v| v.as_f64()).unwrap(),
+                    e.get("dur").and_then(|v| v.as_f64()).unwrap(),
+                    e.get("name").and_then(|v| v.as_str()).unwrap(),
+                )
+            })
+            .collect();
+        let outer = x.iter().find(|e| e.2 == "f").unwrap();
+        let inner = x.iter().find(|e| e.2 == "add").unwrap();
+        assert!(inner.0 >= outer.0 && inner.0 + inner.1 <= outer.0 + outer.1 + 1e-6);
+    }
+
+    #[test]
+    fn restart_clears_previous_scope() {
+        let _g = scope_lock().lock();
+        start();
+        let _ = span("kernel", || "stale".to_string());
+        let _ = stop();
+        start();
+        let profile = stop();
+        assert_eq!(profile.span_count(), 0, "second scope must start empty");
+    }
+}

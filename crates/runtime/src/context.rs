@@ -623,6 +623,11 @@ fn execute_eager(op: &str, inputs: &[Tensor], attrs: Attrs) -> Result<Vec<Tensor
         _ => {}
     }
 
+    // Eager-dispatch span: covers validation + inference + the kernel, so
+    // the timeline shows dispatch overhead as the gap around the nested
+    // `kernel` span (§6's eager-vs-staged overhead, measured for real).
+    let mut prof_span = tfe_profile::span("eager", || op.to_string());
+
     let device = resolve_device(inputs);
     let input_data: Vec<Arc<TensorData>> =
         inputs.iter().map(Tensor::value).collect::<Result<_>>()?;
@@ -677,6 +682,15 @@ fn execute_eager(op: &str, inputs: &[Tensor], attrs: Attrs) -> Result<Vec<Tensor
             })
             .collect::<Result<_>>()?
     };
+    if let Some(sp) = prof_span.as_mut() {
+        sp.set_bytes(
+            outputs
+                .iter()
+                .filter_map(|t| t.value().ok())
+                .map(|d| (d.num_elements() * d.dtype().size_bytes()) as u64)
+                .sum(),
+        );
+    }
     record_on_tapes(op, &attrs, inputs, &outputs);
     Ok(outputs)
 }

@@ -28,6 +28,9 @@ pub enum RuntimeError {
     /// The operation is valid but deliberately unsupported (documented
     /// limitations, e.g. the gradient of `while_loop`).
     Unsupported(String),
+    /// A non-persistent `GradientTape` was asked for a second gradient.
+    /// Exactly one caller wins the tape; everyone else gets this.
+    TapeConsumed,
     /// Anything else.
     Internal(String),
 }
@@ -51,6 +54,10 @@ impl fmt::Display for RuntimeError {
                 write!(f, "host function {id} is not registered")
             }
             RuntimeError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+            RuntimeError::TapeConsumed => write!(
+                f,
+                "a non-persistent GradientTape can only be used to compute one set of gradients"
+            ),
             RuntimeError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }

@@ -135,6 +135,10 @@ fn run_node(
 ) -> Result<Vec<Arc<TensorData>>> {
     let node = f.node(id);
     crate::context::stat_node_executed();
+    let mut prof_span = tfe_profile::span("node", || node.op.clone());
+    if let Some(sp) = prof_span.as_mut() {
+        sp.set_detail(f.node_label(id));
+    }
     // Work estimate for simulated devices (uses concrete input shapes).
     let work = if device.compute_model().is_some() {
         let def = tfe_ops::global().lookup(&node.op)?;
@@ -269,6 +273,7 @@ fn run_serial(
     device: &Device,
 ) -> Result<Vec<Arc<TensorData>>> {
     crate::context::stat_serial_run();
+    let _prof_span = tfe_profile::span("graph", || format!("serial:{}", f.name));
     // Last consumer index per tensor, for buffer release.
     let mut last_use: HashMap<TensorRef, usize> = HashMap::new();
     for (i, node) in f.nodes.iter().enumerate() {
@@ -364,6 +369,7 @@ impl RunState {
     }
 
     fn fail(&self, e: RuntimeError) {
+        tfe_profile::instant("sched", || format!("abort:{}:{e}", self.f.name));
         self.error.lock().get_or_insert(e);
         self.abort.store(true, Ordering::SeqCst);
     }
@@ -415,13 +421,18 @@ impl RunState {
         let state = self.clone();
         let depth = crate::pool::global().submit(Box::new(move || state.execute(node)));
         crate::context::stat_queue_depth(depth as u64);
+        tfe_profile::counter("sched", "ready_queue_depth", depth as u64);
     }
 
     /// Run one ready node. Errors and panics flip the abort flag; the
     /// dependency countdown still completes so the run drains and the
     /// waiter observes the stored error.
     fn execute(self: &Arc<Self>, node: usize) {
-        if !self.abort.load(Ordering::SeqCst) {
+        if self.abort.load(Ordering::SeqCst) {
+            tfe_profile::instant("sched", || {
+                format!("abort_skip:{}", self.f.node_label(NodeId(node)))
+            });
+        } else {
             let inputs: Result<Vec<Arc<TensorData>>> = self.f.nodes[node]
                 .inputs
                 .iter()
@@ -458,6 +469,7 @@ fn run_parallel(
     device: &Device,
 ) -> Result<Vec<Arc<TensorData>>> {
     crate::context::stat_parallel_run();
+    let _prof_span = tfe_profile::span("graph", || format!("parallel:{}", f.name));
     let n = f.nodes.len();
 
     // Value slots, flattened over node outputs.

@@ -35,7 +35,12 @@ pub fn run_kernel(op: &str, attrs: &Attrs, inputs: &[Arc<TensorData>]) -> Result
         .read()
         .get(op)
         .ok_or_else(|| RuntimeError::Internal(format!("no kernel registered for op `{op}`")))?;
-    k(attrs, inputs)
+    let mut sp = tfe_profile::span("kernel", || op.to_string());
+    let out = k(attrs, inputs)?;
+    if let Some(sp) = sp.as_mut() {
+        sp.set_bytes(out.iter().map(|t| (t.num_elements() * t.dtype().size_bytes()) as u64).sum());
+    }
+    Ok(out)
 }
 
 /// Whether a kernel exists for `op`.

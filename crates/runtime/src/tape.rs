@@ -111,18 +111,17 @@ impl Tape {
         self.len() == 0
     }
 
-    /// Mark the tape used by a `gradient` call.
+    /// Mark the tape used by a `gradient` call. The check and the set
+    /// happen under one lock acquisition, so concurrent callers racing a
+    /// shared non-persistent tape see exactly one winner.
     ///
     /// # Errors
-    /// A non-persistent tape that was already consumed (mirrors
-    /// TensorFlow's `GradientTape` error).
-    pub fn consume(&self) -> Result<(), String> {
+    /// [`RuntimeError::TapeConsumed`] for a non-persistent tape that was
+    /// already consumed (mirrors TensorFlow's `GradientTape` error).
+    pub fn consume(&self) -> Result<(), crate::RuntimeError> {
         let mut inner = self.inner.lock();
         if inner.consumed && !self.persistent {
-            return Err(
-                "a non-persistent GradientTape can only be used to compute one set of gradients"
-                    .to_string(),
-            );
+            return Err(crate::RuntimeError::TapeConsumed);
         }
         inner.consumed = true;
         Ok(())

@@ -3,7 +3,10 @@
 //! iterator position), and evaluation — the paper's "smooth path from
 //! prototyping to production" (§3) end to end.
 //!
-//! Run with `cargo run --release --example train_classifier`.
+//! Run with `cargo run --release --example train_classifier`. Set
+//! `TFE_PROFILE=trace.json` to record an op-level profile of the training
+//! loop: a chrome://tracing (Perfetto-loadable) timeline at that path plus
+//! a metrics summary on stderr.
 
 use std::sync::Arc;
 use tf_eager::nn::data::SyntheticImages;
@@ -60,6 +63,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dataset = SyntheticImages::new(3, 256, (8, 8, 1), 4);
     let iterator = dataset.batches(32);
 
+    let trace_path = tf_eager::profile::env_trace_path();
+    if trace_path.is_some() {
+        tf_eager::profile::start();
+    }
+
     // One checkpoint root tracks the model, optimizer slots, AND the
     // iterator position (§4.3's "iterator over input data whose position
     // is serialized").
@@ -84,6 +92,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         first_loss.unwrap_or(0.0),
         train_step.num_concrete()
     );
+    if let Some(path) = trace_path {
+        let profile = tf_eager::profile::stop();
+        profile.write_chrome_trace(&path)?;
+        eprintln!("{}", profile.summary());
+        eprintln!(
+            "wrote {path} ({} spans on {} threads) — open in chrome://tracing or Perfetto",
+            profile.span_count(),
+            profile.thread_count()
+        );
+    }
 
     // Evaluate on a fresh pass over the data.
     let eval_it = dataset.batches(64);

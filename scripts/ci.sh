@@ -33,4 +33,11 @@ TFE_NUM_THREADS=1 cargo test --release -q --test exec_differential --test kernel
 echo "==> kernel bench smoke (--quick)"
 cargo run --release -q -p tfe-bench --bin kernel_bench -- --quick > /dev/null
 
+# Profiler gate: asserts the disabled probe costs < 2% of an eager
+# dispatch, then profiles two staged parallel training steps and
+# validates the chrome trace (JSON parses, spans land on >= 2 thread
+# rows, spans per thread nest, cache miss/hit instants present).
+echo "==> profiler smoke (overhead + trace validation)"
+cargo run --release -q -p tfe-bench --bin profiler_smoke > /dev/null
+
 echo "CI gate passed."

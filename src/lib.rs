@@ -76,6 +76,11 @@ pub mod dist {
     pub use tfe_dist::*;
 }
 
+/// Op-level profiling: spans, counters, chrome-trace export (DESIGN.md §10).
+pub mod profile {
+    pub use tfe_profile::*;
+}
+
 /// JSON encoding used by on-disk formats.
 pub mod encode {
     pub use tfe_encode::*;

@@ -5,7 +5,57 @@
 
 use std::sync::Arc;
 use tf_eager::prelude::*;
-use tf_eager::{context, ExecMode};
+use tf_eager::{context, ExecMode, RuntimeError};
+
+#[test]
+fn non_persistent_tape_race_has_exactly_one_winner() {
+    // Many threads race `gradient()` on one shared non-persistent tape.
+    // consume() checks and sets under a single lock, so exactly one call
+    // may succeed; every loser must get the typed TapeConsumed error, and
+    // nothing may panic or deadlock.
+    tf_eager::init();
+    let x = api::scalar(3.0f64);
+    let tape = GradientTape::new();
+    tape.watch(&x);
+    let y = api::mul(&x, &x).unwrap();
+
+    let tape = Arc::new(tape);
+    let barrier = Arc::new(std::sync::Barrier::new(8));
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let tape = tape.clone();
+            let barrier = barrier.clone();
+            let x = x.clone();
+            let y = y.clone();
+            std::thread::spawn(move || {
+                barrier.wait();
+                tape.gradient1(&y, &x)
+            })
+        })
+        .collect();
+    let mut winners = 0;
+    for h in handles {
+        match h.join().unwrap() {
+            Ok(g) => {
+                winners += 1;
+                assert_eq!(g.scalar_f64().unwrap(), 6.0);
+            }
+            Err(e) => {
+                assert!(matches!(e, RuntimeError::TapeConsumed), "unexpected error: {e}");
+            }
+        }
+    }
+    assert_eq!(winners, 1, "exactly one gradient call may win a non-persistent tape");
+
+    // The tape stays consumed afterwards, and a persistent tape never errors.
+    assert!(matches!(tape.gradient1(&y, &x), Err(RuntimeError::TapeConsumed)));
+    let p = GradientTape::persistent();
+    p.watch(&x);
+    let y2 = api::mul(&x, &x).unwrap();
+    for _ in 0..3 {
+        assert_eq!(p.gradient1(&y2, &x).unwrap().scalar_f64().unwrap(), 6.0);
+    }
+}
 
 #[test]
 fn concurrent_eager_math() {

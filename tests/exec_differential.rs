@@ -326,3 +326,111 @@ fn stateful_graphs_match_serial_bit_for_bit() {
         assert_eq!(serial_state, parallel_state, "case {seed} variable state\n{}", f.dump());
     }
 }
+
+// ---------------------------------------------------------------------------
+// Failure paths: fault injection via gather nodes whose constant indices are
+// out of range — a typed runtime error that only fires at execution time, so
+// the scheduler (not the builder) has to cope with it.
+// ---------------------------------------------------------------------------
+
+/// A wide graph of 8 independent branches joined by adds. Branches listed in
+/// `fail_branches` dispatch `gather(x, [10 + i])` on a 4-element input — each
+/// produces a distinct "index out of range" error message.
+fn build_faulty(tag: &str, fail_branches: &[usize]) -> GraphFunction {
+    let mut b = GraphBuilder::new(tag);
+    let x = b.placeholder(DType::F64, known(&[4])).unwrap();
+    let mut branches = Vec::new();
+    for i in 0..8usize {
+        let val = if fail_branches.contains(&i) {
+            let idx = b
+                .constant(Arc::new(
+                    TensorData::from_vec(vec![(10 + i) as i64], Shape::from([1])).unwrap(),
+                ))
+                .unwrap();
+            b.add_node("gather", vec![x, idx], Attrs::new().with("axis", 0i64)).unwrap()[0]
+        } else {
+            let mut t = x;
+            for _ in 0..3 {
+                t = b.add_node("tanh", vec![t], Attrs::new()).unwrap()[0];
+            }
+            t
+        };
+        let s =
+            b.add_node("reduce_sum", vec![val], Attrs::new().with("axes", vec![0i64])).unwrap()[0];
+        branches.push(s);
+    }
+    let mut acc = branches[0];
+    for &t in &branches[1..] {
+        acc = b.add_node("add", vec![acc, t], Attrs::new()).unwrap()[0];
+    }
+    b.finish(vec![acc], 0)
+}
+
+fn fault_args() -> Vec<Arc<TensorData>> {
+    vec![Arc::new(TensorData::from_vec(vec![0.1f64, 0.2, 0.3, 0.4], Shape::from([4])).unwrap())]
+}
+
+/// A single faulty node produces the identical typed error serially and in
+/// parallel, and the parallel run drains (returns at all) every time.
+#[test]
+fn faulty_graphs_error_identically_serial_and_parallel() {
+    tf_eager::init();
+    let device = tfe_runtime::context::device_manager().host_cpu();
+    let f = build_faulty("fault_single", &[3]);
+    let args = fault_args();
+    let serial_err = executor::run_function(&f, &args, &device, ExecMode::SerialPlanned)
+        .expect_err("serial must fail")
+        .to_string();
+    assert!(serial_err.contains("gather index 13 out of range"), "{serial_err}");
+    for _ in 0..25 {
+        let parallel_err = executor::run_function(&f, &args, &device, ExecMode::Parallel)
+            .expect_err("parallel must fail")
+            .to_string();
+        assert_eq!(parallel_err, serial_err, "same typed error in both modes");
+    }
+}
+
+/// With several racing faults the parallel run reports exactly one of them
+/// (first error wins; later failures don't overwrite it), still drains, and
+/// never reports a secondary artifact like a missing-slot internal error.
+#[test]
+fn first_error_wins_among_racing_faults() {
+    tf_eager::init();
+    let device = tfe_runtime::context::device_manager().host_cpu();
+    let f = build_faulty("fault_multi", &[1, 5]);
+    let args = fault_args();
+    let expected =
+        ["gather index 11 out of range".to_string(), "gather index 15 out of range".to_string()];
+    for round in 0..30 {
+        let err = executor::run_function(&f, &args, &device, ExecMode::Parallel)
+            .expect_err("must fail")
+            .to_string();
+        assert!(
+            expected.iter().any(|e| err.contains(e.as_str())),
+            "round {round}: got a non-injected error: {err}"
+        );
+    }
+}
+
+/// Aborted runs must not poison the shared worker pool or leak value slots:
+/// failing and healthy runs interleaved for many rounds keep producing
+/// bit-identical healthy outputs in both modes.
+#[test]
+fn pool_survives_repeated_aborts() {
+    tf_eager::init();
+    let device = tfe_runtime::context::device_manager().host_cpu();
+    let faulty = build_faulty("fault_interleaved", &[0, 7]);
+    let healthy = build_faulty("fault_none", &[]);
+    let args = fault_args();
+    let want = executor::run_function(&healthy, &args, &device, ExecMode::SerialPlanned)
+        .expect("healthy serial run");
+    for _ in 0..20 {
+        executor::run_function(&faulty, &args, &device, ExecMode::Parallel)
+            .expect_err("faulty run must fail");
+        let got = executor::run_function(&healthy, &args, &device, ExecMode::Parallel)
+            .expect("healthy parallel run after an abort");
+        for (s, p) in want.iter().zip(&got) {
+            assert!(s.all_close(p, 0.0, 0.0), "healthy output drifted after aborts");
+        }
+    }
+}

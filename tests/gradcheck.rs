@@ -120,6 +120,45 @@ proptest! {
     }
 
     #[test]
+    fn reduce_prod_gradient_matches_fd_with_zeros(
+        xs in prop::collection::vec(-2.0f64..2.0, 6..=6),
+        zero_count in 0usize..=2,
+    ) {
+        // The product is linear in each element, so central differences are
+        // exact — including at zeros. Plant 0, 1, or 2 exact zeros.
+        tf_eager::init();
+        let mut xs = xs;
+        for i in 0..zero_count {
+            xs[i * 2] = 0.0;
+        }
+        let grad_of = |vals: &[f64]| -> Vec<f64> {
+            let x = Tensor::from_data(
+                TensorData::from_vec(vals.to_vec(), Shape::from([6])).unwrap(),
+            );
+            let tape = GradientTape::new();
+            tape.watch(&x);
+            let y = api::reduce_prod(&x, &[], false).unwrap();
+            tape.gradient1(&y, &x).unwrap().to_f64_vec().unwrap()
+        };
+        let prod_of = |vals: &[f64]| -> f64 { vals.iter().product() };
+        let g = grad_of(&xs);
+        let eps = 1e-3;
+        for i in 0..xs.len() {
+            let mut plus = xs.clone();
+            plus[i] += eps;
+            let mut minus = xs.clone();
+            minus[i] -= eps;
+            let fd = (prod_of(&plus) - prod_of(&minus)) / (2.0 * eps);
+            let scale = 1.0 + fd.abs().max(g[i].abs());
+            prop_assert!(
+                (fd - g[i]).abs() / scale < 1e-6,
+                "elem {i}: fd={fd} analytic={} xs={xs:?} (zeros={zero_count})",
+                g[i]
+            );
+        }
+    }
+
+    #[test]
     fn staged_gradient_matches_finite_difference(
         node in arb_node(),
         xs in prop::collection::vec(-0.9f64..0.9, 6..=6),
@@ -159,4 +198,49 @@ proptest! {
             );
         }
     }
+}
+
+/// Closed-form zero cases for the reduce_prod gradient, eager and staged.
+/// The masked gradient must produce: with no zeros the usual `prod/x_i`;
+/// with one zero the zero element gets the product of the non-zeros and all
+/// others get 0; with two or more zeros everything is 0.
+#[test]
+fn reduce_prod_gradient_zero_cases_closed_form() {
+    tf_eager::init();
+    let grad_of = |vals: &[f64], axes: &[i64], shape: &[usize]| -> Vec<f64> {
+        let x = Tensor::from_data(
+            TensorData::from_vec(vals.to_vec(), Shape::from(shape.to_vec())).unwrap(),
+        );
+        let tape = GradientTape::new();
+        tape.watch(&x);
+        let y = api::reduce_prod(&x, axes, false).unwrap();
+        let l = api::reduce_sum(&y, &[], false).unwrap();
+        tape.gradient1(&l, &x).unwrap().to_f64_vec().unwrap()
+    };
+
+    // No zeros: classic prod/x_i.
+    assert_eq!(grad_of(&[2.0, 3.0, 4.0], &[], &[3]), vec![12.0, 8.0, 6.0]);
+    // One zero: that element gets the product of the others; the rest 0.
+    assert_eq!(grad_of(&[2.0, 3.0, 0.0, 5.0], &[], &[4]), vec![0.0, 0.0, 30.0, 0.0]);
+    // Two zeros: everything 0.
+    assert_eq!(grad_of(&[0.0, 3.0, 0.0, 5.0], &[], &[4]), vec![0.0; 4]);
+    // Per-axis reduction: each row is its own group.
+    assert_eq!(
+        grad_of(&[1.0, 0.0, 3.0, 2.0, 4.0, 5.0], &[1], &[2, 3]),
+        vec![0.0, 3.0, 0.0, 20.0, 10.0, 8.0]
+    );
+
+    // Staged: the same gradient must come out of a traced function.
+    let staged = function("prod_grad_staged", |args: &[Arg]| {
+        let x = args[0].as_tensor().expect("x");
+        Ok(vec![api::reduce_prod(x, &[], false)?])
+    });
+    let x = Tensor::from_data(
+        TensorData::from_vec(vec![2.0, 3.0, 0.0, 5.0], Shape::from([4])).unwrap(),
+    );
+    let tape = GradientTape::new();
+    tape.watch(&x);
+    let y = staged.call(&[Arg::from(&x)]).unwrap().remove(0);
+    let g = tape.gradient1(&y, &x).unwrap().to_f64_vec().unwrap();
+    assert_eq!(g, vec![0.0, 0.0, 30.0, 0.0]);
 }

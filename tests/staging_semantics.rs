@@ -339,3 +339,73 @@ fn init_scope_lifts_state_creation() {
     // One trace, not two: the creation was invisible to the contract.
     assert_eq!(trace_count.load(std::sync::atomic::Ordering::SeqCst), 1);
 }
+
+/// Out-of-range gather indices are a typed runtime error — never a panic —
+/// and the classification and message are identical eagerly, staged
+/// serially, and staged in parallel. Indices are data, so the staged error
+/// surfaces at execution time (tracing only sees shapes).
+#[test]
+fn gather_out_of_range_is_typed_and_mode_invariant() {
+    tf_eager::init();
+    let params = api::constant(vec![1.0f64, 2.0, 3.0], [3]).unwrap();
+    let idx = Tensor::from_data(TensorData::from_vec(vec![0i64, 7], Shape::from([2])).unwrap());
+
+    let eager_err = api::gather(&params, &idx, 0).unwrap_err();
+    assert!(
+        matches!(eager_err, RuntimeError::Tensor(tfe_tensor::TensorError::InvalidArgument(_))),
+        "want typed InvalidArgument, got {eager_err:?}"
+    );
+    assert!(eager_err.to_string().contains("out of range"), "{eager_err}");
+
+    let f = function("gather_oob", |args| {
+        let p = args[0].as_tensor().expect("params");
+        let i = args[1].as_tensor().expect("indices");
+        Ok(vec![api::gather(p, i, 0)?])
+    });
+    let staged_err = f.call(&[Arg::from(&params), Arg::from(&idx)]).unwrap_err();
+    let prev = context::set_exec_mode(tf_eager::ExecMode::Parallel);
+    let parallel_err = f.call(&[Arg::from(&params), Arg::from(&idx)]).unwrap_err();
+    context::set_exec_mode(prev);
+    assert_eq!(staged_err.to_string(), eager_err.to_string());
+    assert_eq!(parallel_err.to_string(), eager_err.to_string());
+
+    // In-range calls still work in both modes after the failures.
+    let ok_idx = Tensor::from_data(TensorData::from_vec(vec![2i64, 0], Shape::from([2])).unwrap());
+    let out = f.call(&[Arg::from(&params), Arg::from(&ok_idx)]).unwrap().remove(0);
+    assert_eq!(out.to_f64_vec().unwrap(), vec![3.0, 1.0]);
+}
+
+/// The gather *gradient* is only implemented for axis 0; asking for another
+/// axis is a typed Unsupported error, eager and staged alike.
+#[test]
+fn gather_gradient_unsupported_axis_is_typed() {
+    tf_eager::init();
+    let params = api::constant(vec![1.0f64, 2.0, 3.0, 4.0], [2, 2]).unwrap();
+    let idx = Tensor::from_data(TensorData::from_vec(vec![1i64, 0], Shape::from([2])).unwrap());
+
+    let tape = GradientTape::new();
+    tape.watch(&params);
+    let y = api::gather(&params, &idx, 1).unwrap();
+    let s = api::reduce_sum(&y, &[], false).unwrap();
+    let err = tape.gradient1(&s, &params).unwrap_err();
+    assert!(matches!(err, RuntimeError::Unsupported(_)), "want Unsupported, got {err:?}");
+    assert!(err.to_string().contains("axis 0"), "{err}");
+}
+
+/// A negative gather axis is normalized against the params rank before the
+/// gradient dispatches, so axis=-1 on rank-1 params takes the supported
+/// axis-0 scatter path instead of erroring.
+#[test]
+fn gather_gradient_negative_axis_normalizes() {
+    tf_eager::init();
+    let params = api::constant(vec![1.0f64, 2.0, 3.0], [3]).unwrap();
+    let idx = Tensor::from_data(TensorData::from_vec(vec![2i64, 0, 2], Shape::from([3])).unwrap());
+
+    let tape = GradientTape::new();
+    tape.watch(&params);
+    let y = api::gather(&params, &idx, -1).unwrap();
+    let s = api::reduce_sum(&y, &[], false).unwrap();
+    let g = tape.gradient1(&s, &params).unwrap();
+    // Rows 2, 0, 2 were taken: grads accumulate [1, 0, 2].
+    assert_eq!(g.to_f64_vec().unwrap(), vec![1.0, 0.0, 2.0]);
+}
