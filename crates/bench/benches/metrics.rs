@@ -1,0 +1,81 @@
+//! Per-probe cost of the always-on metrics layer: the quantities every
+//! instrumented hot path pays unconditionally. `metrics_smoke` (the CI
+//! gate) asserts the counter bump stays under 5 ns; this bench keeps the
+//! full picture visible — counter vs gauge vs histogram, cached handle vs
+//! macro expansion, and a snapshot/scrape for scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_probe_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metrics_probe");
+
+    // The macro expansion used at every instrumented call site: OnceLock
+    // handle fetch + relaxed fetch_add.
+    group.bench_function("counter_bump_static", |bench| {
+        bench.iter(|| {
+            tfe_metrics::static_counter!("tfe_bench_counter_total", "probe-cost bench counter")
+                .inc();
+        });
+    });
+
+    // The same bump through a pre-fetched handle (what FuncInner caches).
+    let counter = tfe_metrics::counter("tfe_bench_counter2_total", "probe-cost bench counter 2");
+    group.bench_function("counter_bump_handle", |bench| {
+        bench.iter(|| counter.inc());
+    });
+
+    let gauge = tfe_metrics::gauge("tfe_bench_gauge", "probe-cost bench gauge");
+    group.bench_function("gauge_set_max", |bench| {
+        let mut i = 0i64;
+        bench.iter(|| {
+            i += 1;
+            gauge.set_max(i % 1000);
+        });
+    });
+
+    let hist = tfe_metrics::histogram(
+        "tfe_bench_hist_ns",
+        "probe-cost bench histogram",
+        tfe_metrics::DEFAULT_NS_BUCKETS,
+    );
+    group.bench_function("histogram_observe", |bench| {
+        let mut i = 0u64;
+        bench.iter(|| {
+            i = (i + 997) % 10_000_000;
+            hist.observe(i);
+        });
+    });
+
+    // Labeled-family child lookup (the cold path hot paths must avoid).
+    let vec = tfe_metrics::counter_vec("tfe_bench_vec_total", "probe-cost bench family", "who");
+    group.bench_function("counter_vec_with", |bench| {
+        bench.iter(|| vec.with("bench").inc());
+    });
+
+    group.finish();
+}
+
+fn bench_scrape(c: &mut Criterion) {
+    // Populate a few families so the scrape has realistic breadth.
+    tfe_core::init();
+    let x = tfe_runtime::api::zeros(tfe_tensor::DType::F32, [64]);
+    let _ = tfe_runtime::api::relu(&x).unwrap();
+    let mut group = c.benchmark_group("metrics_scrape");
+    group.bench_function("snapshot", |bench| {
+        bench.iter(tfe_metrics::snapshot);
+    });
+    group.bench_function("prometheus_text", |bench| {
+        bench.iter(tfe_metrics::prometheus_text);
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900));
+    targets = bench_probe_cost, bench_scrape
+}
+criterion_main!(benches);

@@ -8,7 +8,7 @@
 //! different graph functions in Listing 6.
 
 use tfe_ops::SymShape;
-use tfe_runtime::Tensor;
+use tfe_runtime::{Tensor, Variable};
 use tfe_tensor::DType;
 
 /// One argument to a [`Func`](crate::Func).
@@ -24,6 +24,10 @@ pub enum Arg {
     Bool(bool),
     /// Static string.
     Str(String),
+    /// A variable, keyed by *identity*: passing a different variable object
+    /// retraces, but mutating the same variable's value does not (§4.6 —
+    /// traced functions capture variables by reference).
+    Var(Variable),
 }
 
 impl Arg {
@@ -68,6 +72,14 @@ impl Arg {
         }
     }
 
+    /// The variable payload, if any.
+    pub fn as_variable(&self) -> Option<&Variable> {
+        match self {
+            Arg::Var(v) => Some(v),
+            _ => None,
+        }
+    }
+
     /// The cache-key component for this argument (binding-time analysis).
     pub fn key(&self) -> ArgKey {
         match self {
@@ -78,6 +90,7 @@ impl Arg {
             Arg::Float(v) => ArgKey::Float(v.to_bits()),
             Arg::Bool(v) => ArgKey::Bool(*v),
             Arg::Str(v) => ArgKey::Str(v.clone()),
+            Arg::Var(v) => ArgKey::Var(v.id()),
         }
     }
 }
@@ -118,6 +131,18 @@ impl From<&str> for Arg {
     }
 }
 
+impl From<&Variable> for Arg {
+    fn from(v: &Variable) -> Arg {
+        Arg::Var(v.clone())
+    }
+}
+
+impl From<Variable> for Arg {
+    fn from(v: Variable) -> Arg {
+        Arg::Var(v)
+    }
+}
+
 /// The abstracted form of one argument inside a trace-cache key.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum ArgKey {
@@ -137,6 +162,9 @@ pub enum ArgKey {
     Bool(bool),
     /// Keyed by value.
     Str(String),
+    /// Variables are keyed by the *identity* of the variable object (its
+    /// unique id), never by its current value.
+    Var(u64),
 }
 
 /// An explicit input signature entry: dtype plus a possibly-partial shape.

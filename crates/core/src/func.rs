@@ -10,12 +10,13 @@
 use crate::arg::{Arg, ArgKey, TensorSpec};
 use parking_lot::Mutex;
 use std::collections::{BTreeSet, HashMap};
+use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use tfe_graph::{passes, GraphFunction, TensorRef};
 use tfe_ops::Attrs;
 use tfe_runtime::{context, Result, RuntimeError, Tensor};
-use tfe_tensor::TensorData;
+use tfe_tensor::{DType, TensorData};
 
 type TraceClosure = dyn Fn(&[Arg]) -> Result<Vec<Tensor>> + Send + Sync;
 
@@ -25,6 +26,323 @@ struct CacheKey {
     device: String,
 }
 
+// ---------------------------------------------------------------------------
+// Retrace diagnostics
+// ---------------------------------------------------------------------------
+
+fn fmt_dims(dims: &[Option<usize>]) -> String {
+    let parts: Vec<String> = dims
+        .iter()
+        .map(|d| match d {
+            Some(n) => n.to_string(),
+            None => "?".to_string(),
+        })
+        .collect();
+    format!("[{}]", parts.join(","))
+}
+
+/// Static-argument kind + rendered value, for cause strings.
+fn static_parts(k: &ArgKey) -> (&'static str, String) {
+    match k {
+        ArgKey::Int(v) => ("int", v.to_string()),
+        ArgKey::Float(bits) => ("float", f64::from_bits(*bits).to_string()),
+        ArgKey::Bool(v) => ("bool", v.to_string()),
+        ArgKey::Str(s) => ("str", format!("{s:?}")),
+        ArgKey::Tensor { dtype, dims } => ("tensor", format!("{dtype}{}", fmt_dims(dims))),
+        ArgKey::Var(id) => ("variable", format!("id {id}")),
+    }
+}
+
+fn key_repr(k: &ArgKey) -> String {
+    let (kind, value) = static_parts(k);
+    format!("{kind} {value}")
+}
+
+/// One reason a [`Func`] call missed the trace cache even though concrete
+/// functions already existed. Causes come from diffing the new call's
+/// structured cache key against the *closest* previously cached key, so
+/// they name exactly what drifted (the §4.6 binding-time analysis, made
+/// observable).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RetraceCause {
+    /// The number of arguments changed.
+    ArgCount {
+        /// Previous argument count.
+        before: usize,
+        /// New argument count.
+        after: usize,
+    },
+    /// A tensor argument changed rank.
+    Rank {
+        /// Argument position.
+        index: usize,
+        /// Previous dims (`None` = unknown extent).
+        before: Vec<Option<usize>>,
+        /// New dims.
+        after: Vec<Option<usize>>,
+    },
+    /// A tensor argument changed shape at the same rank.
+    Shape {
+        /// Argument position.
+        index: usize,
+        /// Previous dims.
+        before: Vec<Option<usize>>,
+        /// New dims.
+        after: Vec<Option<usize>>,
+    },
+    /// A tensor argument changed dtype.
+    DType {
+        /// Argument position.
+        index: usize,
+        /// Previous dtype.
+        before: DType,
+        /// New dtype.
+        after: DType,
+    },
+    /// A static argument changed value (statics specialize the trace by
+    /// value, so a new value is a new graph — Listing 6's `training=True`
+    /// vs `False`).
+    StaticValue {
+        /// Argument position.
+        index: usize,
+        /// Static kind (`int`, `float`, `bool`, `str`).
+        kind: &'static str,
+        /// Previous value, rendered.
+        before: String,
+        /// New value, rendered.
+        after: String,
+    },
+    /// A *different variable object* was passed (variables key by
+    /// identity, never by value).
+    VariableIdentity {
+        /// Argument position.
+        index: usize,
+        /// Previous variable id.
+        before: u64,
+        /// New variable id.
+        after: u64,
+    },
+    /// The argument changed kind entirely (e.g. tensor → static int).
+    Kind {
+        /// Argument position.
+        index: usize,
+        /// Previous kind + value.
+        before: String,
+        /// New kind + value.
+        after: String,
+    },
+    /// The requested device changed (the cache key couples the signature
+    /// with the surrounding program state, §4.6).
+    Device {
+        /// Previous device.
+        before: String,
+        /// New device.
+        after: String,
+    },
+}
+
+impl fmt::Display for RetraceCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RetraceCause::ArgCount { before, after } => {
+                write!(f, "argument count {before} → {after}")
+            }
+            RetraceCause::Rank { index, before, after } => write!(
+                f,
+                "arg {index}: rank {} → {} (shape {} → {})",
+                before.len(),
+                after.len(),
+                fmt_dims(before),
+                fmt_dims(after)
+            ),
+            RetraceCause::Shape { index, before, after } => {
+                write!(f, "arg {index}: shape {} → {}", fmt_dims(before), fmt_dims(after))
+            }
+            RetraceCause::DType { index, before, after } => {
+                write!(f, "arg {index}: dtype {before} → {after}")
+            }
+            RetraceCause::StaticValue { index, kind, before, after } => {
+                write!(f, "arg {index}: static {kind} {before} → {after}")
+            }
+            RetraceCause::VariableIdentity { index, before, after } => {
+                write!(f, "arg {index}: variable identity id {before} → id {after}")
+            }
+            RetraceCause::Kind { index, before, after } => {
+                write!(f, "arg {index}: {before} → {after}")
+            }
+            RetraceCause::Device { before, after } => write!(f, "device {before} → {after}"),
+        }
+    }
+}
+
+/// Diff two cache keys into causes. Non-empty whenever the keys differ.
+fn diff_key(before: &CacheKey, after: &CacheKey) -> Vec<RetraceCause> {
+    let mut causes = Vec::new();
+    if before.device != after.device {
+        causes.push(RetraceCause::Device {
+            before: before.device.clone(),
+            after: after.device.clone(),
+        });
+    }
+    if before.args.len() != after.args.len() {
+        causes.push(RetraceCause::ArgCount { before: before.args.len(), after: after.args.len() });
+    }
+    for (i, (b, a)) in before.args.iter().zip(&after.args).enumerate() {
+        if b == a {
+            continue;
+        }
+        match (b, a) {
+            (
+                ArgKey::Tensor { dtype: bd, dims: bdims },
+                ArgKey::Tensor { dtype: ad, dims: adims },
+            ) => {
+                if bd != ad {
+                    causes.push(RetraceCause::DType { index: i, before: *bd, after: *ad });
+                }
+                if bdims.len() != adims.len() {
+                    causes.push(RetraceCause::Rank {
+                        index: i,
+                        before: bdims.clone(),
+                        after: adims.clone(),
+                    });
+                } else if bdims != adims {
+                    causes.push(RetraceCause::Shape {
+                        index: i,
+                        before: bdims.clone(),
+                        after: adims.clone(),
+                    });
+                }
+            }
+            (ArgKey::Var(bid), ArgKey::Var(aid)) => {
+                causes.push(RetraceCause::VariableIdentity { index: i, before: *bid, after: *aid })
+            }
+            (ArgKey::Int(_), ArgKey::Int(_))
+            | (ArgKey::Float(_), ArgKey::Float(_))
+            | (ArgKey::Bool(_), ArgKey::Bool(_))
+            | (ArgKey::Str(_), ArgKey::Str(_)) => {
+                let (kind, bv) = static_parts(b);
+                let (_, av) = static_parts(a);
+                causes.push(RetraceCause::StaticValue { index: i, kind, before: bv, after: av });
+            }
+            _ => causes.push(RetraceCause::Kind {
+                index: i,
+                before: key_repr(b),
+                after: key_repr(a),
+            }),
+        }
+    }
+    causes
+}
+
+/// The diff against the closest cached key — fewest differing components
+/// (ties broken by insertion-arbitrary order; any closest key explains the
+/// miss equally well).
+fn closest_diff(prior: &[CacheKey], new_key: &CacheKey) -> Vec<RetraceCause> {
+    prior.iter().map(|k| diff_key(k, new_key)).min_by_key(Vec::len).unwrap_or_default()
+}
+
+/// One recorded retrace: the concrete function it produced and why the
+/// call's signature missed every cached specialization.
+#[derive(Debug, Clone)]
+pub struct RetraceEvent {
+    /// 1-based retrace ordinal for this `Func` (the initial trace is not a
+    /// retrace).
+    pub ordinal: u64,
+    /// Name of the concrete function the retrace produced.
+    pub concrete_name: String,
+    /// Differences against the closest previously cached signature.
+    pub causes: Vec<RetraceCause>,
+}
+
+impl fmt::Display for RetraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let causes: Vec<String> = self.causes.iter().map(ToString::to_string).collect();
+        write!(
+            f,
+            "retrace #{} (traced `{}`): {}",
+            self.ordinal,
+            self.concrete_name,
+            causes.join("; ")
+        )
+    }
+}
+
+/// `TFE_LOG_RETRACES=N`: warn on stderr once a `Func` accumulates `N`
+/// retraces (each further retrace also warns). Parsed once; unset, `0` or
+/// unparsable disables the warning.
+fn retrace_log_threshold() -> Option<u64> {
+    static T: OnceLock<Option<u64>> = OnceLock::new();
+    *T.get_or_init(|| {
+        std::env::var("TFE_LOG_RETRACES")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .filter(|&n| n > 0)
+    })
+}
+
+/// Lock-free trace-cache statistics for one [`Func`], backed by the
+/// always-on metrics counters — reading them never contends with a trace
+/// holding the cache mutex.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FuncStats {
+    /// Calls that reused a cached concrete function.
+    pub hits: u64,
+    /// Calls that had to trace (initial traces + retraces).
+    pub misses: u64,
+    /// Misses that happened after at least one concrete function existed.
+    pub retraces: u64,
+    /// Concrete functions currently cached.
+    pub concrete_functions: u64,
+}
+
+impl FuncStats {
+    /// Total cache lookups.
+    pub fn calls(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of calls served from the cache (0.0 when never called).
+    pub fn hit_rate(&self) -> f64 {
+        if self.calls() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.calls() as f64
+        }
+    }
+}
+
+fn func_hits(label: &str) -> Arc<tfe_metrics::Counter> {
+    tfe_metrics::counter_vec("tfe_func_cache_hits_total", "Per-function trace-cache hits", "func")
+        .with(label)
+}
+
+fn func_misses(label: &str) -> Arc<tfe_metrics::Counter> {
+    tfe_metrics::counter_vec(
+        "tfe_func_cache_misses_total",
+        "Per-function trace-cache misses (initial traces + retraces)",
+        "func",
+    )
+    .with(label)
+}
+
+fn func_retraces(label: &str) -> Arc<tfe_metrics::Counter> {
+    tfe_metrics::counter_vec(
+        "tfe_func_retraces_total",
+        "Per-function retraces (cache misses after the first trace)",
+        "func",
+    )
+    .with(label)
+}
+
+fn func_concrete(label: &str) -> Arc<tfe_metrics::Gauge> {
+    tfe_metrics::gauge_vec(
+        "tfe_func_concrete_functions",
+        "Per-function count of cached concrete (traced) graph functions",
+        "func",
+    )
+    .with(label)
+}
+
 struct FuncInner {
     name: String,
     trace_fn: Box<TraceClosure>,
@@ -32,6 +350,37 @@ struct FuncInner {
     cache: Mutex<HashMap<CacheKey, Arc<ConcreteFunction>>>,
     ever_traced: AtomicBool,
     counter: AtomicUsize,
+    /// Per-func metric handles, fetched once here so the hot path never
+    /// takes the labeled-family lock.
+    m_hits: Arc<tfe_metrics::Counter>,
+    m_misses: Arc<tfe_metrics::Counter>,
+    m_retraces: Arc<tfe_metrics::Counter>,
+    m_concrete: Arc<tfe_metrics::Gauge>,
+    /// Every diagnosed retrace, in order.
+    retrace_log: Mutex<Vec<RetraceEvent>>,
+}
+
+impl FuncInner {
+    fn new(
+        name: String,
+        label: &str,
+        trace_fn: Box<TraceClosure>,
+        input_signature: Option<Vec<TensorSpec>>,
+    ) -> FuncInner {
+        FuncInner {
+            m_hits: func_hits(label),
+            m_misses: func_misses(label),
+            m_retraces: func_retraces(label),
+            m_concrete: func_concrete(label),
+            name,
+            trace_fn,
+            input_signature,
+            cache: Mutex::new(HashMap::new()),
+            ever_traced: AtomicBool::new(false),
+            counter: AtomicUsize::new(0),
+            retrace_log: Mutex::new(Vec::new()),
+        }
+    }
 }
 
 /// A polymorphic staged function: the object returned by [`function`].
@@ -67,16 +416,8 @@ pub fn function(
     } else {
         format!("{name}_{}", ANON.fetch_add(1, Ordering::Relaxed))
     };
-    Func {
-        inner: Arc::new(FuncInner {
-            name,
-            trace_fn: Box::new(f),
-            input_signature: None,
-            cache: Mutex::new(HashMap::new()),
-            ever_traced: AtomicBool::new(false),
-            counter: AtomicUsize::new(0),
-        }),
-    }
+    let label = name.clone();
+    Func { inner: Arc::new(FuncInner::new(name, &label, Box::new(f), None)) }
 }
 
 /// Single-tensor-in, single-tensor-out convenience wrapper.
@@ -98,19 +439,15 @@ impl Func {
     /// input polymorphism: exactly one concrete function is generated, and
     /// `None` dims accept any size (e.g. a dynamic batch dimension).
     pub fn with_input_signature(self, signature: Vec<TensorSpec>) -> Func {
-        let inner = FuncInner {
-            name: self.inner.name.clone(),
-            // Re-wrap the closure by delegating through the Arc.
-            trace_fn: {
-                let orig = self.inner.clone();
-                Box::new(move |args| (orig.trace_fn)(args))
-            },
-            input_signature: Some(signature),
-            cache: Mutex::new(HashMap::new()),
-            ever_traced: AtomicBool::new(false),
-            counter: AtomicUsize::new(0),
-        };
-        Func { inner: Arc::new(inner) }
+        let name = self.inner.name.clone();
+        // The metric label gets a `#sig` suffix so the constrained variant's
+        // series never merges with the original's (the trace name itself is
+        // unchanged).
+        let label = format!("{name}#sig");
+        // Re-wrap the closure by delegating through the Arc.
+        let orig = self.inner.clone();
+        let trace_fn = Box::new(move |args: &[Arg]| (orig.trace_fn)(args));
+        Func { inner: Arc::new(FuncInner::new(name, &label, trace_fn, Some(signature))) }
     }
 
     /// The function's base name.
@@ -186,24 +523,127 @@ impl Func {
             }
         }
         let key = self.cache_key(args);
-        if let Some(hit) = self.inner.cache.lock().get(&key) {
+        // One lock acquisition answers both "is it cached?" and, on a miss,
+        // "what keys exist to diff against?".
+        let (hit, prior_keys) = {
+            let cache = self.inner.cache.lock();
+            match cache.get(&key) {
+                Some(c) => (Some(c.clone()), Vec::new()),
+                None => (None, cache.keys().cloned().collect::<Vec<_>>()),
+            }
+        };
+        if let Some(hit) = hit {
+            self.inner.m_hits.inc();
+            tfe_metrics::static_counter!(
+                "tfe_trace_cache_hits_total",
+                "Func calls served by an already-traced concrete function"
+            )
+            .inc();
             tfe_profile::instant("trace", || format!("cache_hit:{}", self.inner.name));
-            return Ok(hit.clone());
+            return Ok(hit);
         }
+        self.inner.m_misses.inc();
+        tfe_metrics::static_counter!(
+            "tfe_trace_cache_misses_total",
+            "Func calls that had to trace (initial traces + retraces)"
+        )
+        .inc();
         // A miss with prior concrete functions is a retrace (§4.6) — the
-        // signature drifted — worth flagging distinctly on the timeline.
-        if self.num_concrete() > 0 {
-            tfe_profile::instant("trace", || format!("retrace:{}", self.inner.name));
-        } else {
+        // signature drifted. Diff the new key against the closest cached one
+        // so the diagnostician can say exactly *what* drifted.
+        let retrace_causes = if prior_keys.is_empty() {
             tfe_profile::instant("trace", || format!("cache_miss:{}", self.inner.name));
-        }
+            None
+        } else {
+            self.inner.m_retraces.inc();
+            tfe_metrics::static_counter!(
+                "tfe_trace_cache_retraces_total",
+                "Func cache misses that happened after the function was already traced"
+            )
+            .inc();
+            tfe_profile::instant("trace", || format!("retrace:{}", self.inner.name));
+            Some(closest_diff(&prior_keys, &key))
+        };
         // Trace outside the cache lock so recursive calls don't deadlock.
         let concrete = {
             let _sp = tfe_profile::span("trace", || format!("trace:{}", self.inner.name));
             self.trace(args)?
         };
+        if let Some(causes) = retrace_causes {
+            self.record_retrace(&concrete.name, causes);
+        }
         let mut cache = self.inner.cache.lock();
-        Ok(cache.entry(key).or_insert(concrete).clone())
+        let was = cache.len();
+        let out = cache.entry(key).or_insert(concrete).clone();
+        if cache.len() > was {
+            tfe_metrics::static_gauge!(
+                "tfe_trace_cache_concrete_functions",
+                "Concrete (traced) graph functions cached across all Funcs"
+            )
+            .inc();
+        }
+        self.inner.m_concrete.set(cache.len() as i64);
+        Ok(out)
+    }
+
+    fn record_retrace(&self, concrete_name: &str, causes: Vec<RetraceCause>) {
+        let mut log = self.inner.retrace_log.lock();
+        let event = RetraceEvent {
+            ordinal: log.len() as u64 + 1,
+            concrete_name: concrete_name.to_string(),
+            causes,
+        };
+        if let Some(threshold) = retrace_log_threshold() {
+            if event.ordinal >= threshold {
+                eprintln!(
+                    "[tf-eager] warning: function `{}` keeps retracing \
+                     (TFE_LOG_RETRACES={threshold}): {event}",
+                    self.inner.name
+                );
+            }
+        }
+        log.push(event);
+    }
+
+    /// Lock-free trace-cache statistics, read straight from the always-on
+    /// metrics counters — never blocks on the cache mutex, so it is safe to
+    /// poll from a monitoring thread while another thread is mid-trace.
+    pub fn stats(&self) -> FuncStats {
+        FuncStats {
+            hits: self.inner.m_hits.get(),
+            misses: self.inner.m_misses.get(),
+            retraces: self.inner.m_retraces.get(),
+            concrete_functions: self.inner.m_concrete.get().max(0) as u64,
+        }
+    }
+
+    /// Every diagnosed retrace, in order of occurrence.
+    pub fn retraces(&self) -> Vec<RetraceEvent> {
+        self.inner.retrace_log.lock().clone()
+    }
+
+    /// Human-readable retrace report: per-func cache statistics followed by
+    /// one line per retrace naming exactly which argument drifted and how.
+    pub fn retrace_report(&self) -> String {
+        let stats = self.stats();
+        let mut out = format!(
+            "function `{}`: {} calls, {} hits, {} misses, {} retraces, {} concrete functions\n",
+            self.inner.name,
+            stats.calls(),
+            stats.hits,
+            stats.misses,
+            stats.retraces,
+            stats.concrete_functions
+        );
+        let log = self.inner.retrace_log.lock();
+        if log.is_empty() {
+            out.push_str("  no retraces recorded\n");
+        } else {
+            for event in log.iter() {
+                out.push_str(&format!("  {event}\n"));
+            }
+        }
+        out
     }
 
     fn cache_key(&self, args: &[Arg]) -> CacheKey {

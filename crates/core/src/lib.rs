@@ -39,7 +39,9 @@ mod func;
 pub use arg::{Arg, ArgKey, TensorSpec};
 pub use call_grad::ForwardBundle;
 pub use control::{cond, init_scope, while_loop, HostFunc};
-pub use func::{function, function1, ConcreteFunction, Func};
+pub use func::{
+    function, function1, ConcreteFunction, Func, FuncStats, RetraceCause, RetraceEvent,
+};
 
 /// Wire up every registry this crate depends on (ops, kernels, gradients,
 /// and the `call` gradient). Idempotent and cheap after the first call;

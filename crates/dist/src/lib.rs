@@ -294,17 +294,41 @@ impl RemoteTensor {
     /// # Errors
     /// Worker failures.
     pub fn fetch(&self) -> Result<Tensor> {
+        let started = std::time::Instant::now();
         let (tx, rx) = unbounded();
         self.cluster.send(&self.device, Request::Fetch { id: self.id, resp: tx })?;
         let json = rx
             .recv()
             .map_err(|_| RuntimeError::Internal("worker hung up".to_string()))?
             .map_err(RuntimeError::Internal)?;
+        observe_rpc(&self.device, started);
         let v =
             Value::parse(&json).map_err(|e| RuntimeError::Internal(format!("wire decode: {e}")))?;
         let data = tensor_from_value(&v).map_err(|e| RuntimeError::Internal(e.to_string()))?;
         Ok(Tensor::from_data(data))
     }
+}
+
+/// Per-worker RPC telemetry: one count plus one round-trip latency sample
+/// per completed request, labeled `job/task` so a slow or chatty worker
+/// stands out in the exported metrics.
+fn observe_rpc(target: &DeviceName, started: std::time::Instant) {
+    let worker = format!("{}/{}", target.job, target.task);
+    tfe_metrics::counter_vec(
+        "tfe_dist_rpcs_total",
+        "Completed coordinator-to-worker RPCs",
+        "worker",
+    )
+    .with(&worker)
+    .inc();
+    tfe_metrics::histogram_vec(
+        "tfe_dist_rpc_ns",
+        "Round-trip nanoseconds for coordinator-to-worker RPCs",
+        "worker",
+        tfe_metrics::DEFAULT_NS_BUCKETS,
+    )
+    .with(&worker)
+    .observe(started.elapsed().as_nanos() as u64);
 }
 
 impl ClusterInner {
@@ -377,12 +401,14 @@ impl Cluster {
         req: impl FnOnce(Sender<Result<Vec<RemoteMeta>, String>>) -> Request,
         target: &DeviceName,
     ) -> Result<Vec<RemoteTensor>> {
+        let started = std::time::Instant::now();
         let (tx, rx) = unbounded();
         self.inner.send(target, req(tx))?;
         let metas = rx
             .recv()
             .map_err(|_| RuntimeError::Internal("worker hung up".to_string()))?
             .map_err(RuntimeError::Internal)?;
+        observe_rpc(target, started);
         let _ = device;
         Ok(metas
             .into_iter()

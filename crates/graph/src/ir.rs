@@ -214,6 +214,50 @@ impl GraphFunction {
         out.push_str(&format!("  return {}\n", outs.join(", ")));
         out
     }
+
+    /// Render the graph in Graphviz DOT format, for inspecting a suspicious
+    /// concrete function (`dot -Tsvg`): one box per node labeled with its
+    /// op and output signature, solid edges for dataflow (labeled with the
+    /// output index when not 0), dashed edges for sequencing (control)
+    /// dependencies, and double-drawn boxes for the function outputs.
+    pub fn to_dot(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        let mut out = String::new();
+        out.push_str(&format!("digraph \"{}\" {{\n", esc(&self.name)));
+        out.push_str("  rankdir=TB;\n  node [shape=box, fontsize=10];\n");
+        let output_nodes: std::collections::HashSet<usize> =
+            self.outputs.iter().map(|t| t.node.0).collect();
+        for (i, n) in self.nodes.iter().enumerate() {
+            let sig: Vec<String> = n.outputs.iter().map(|(d, s)| format!("{d}{s}")).collect();
+            let label = format!("%{i} {}\\n{}", esc(&n.op), esc(&sig.join(", ")));
+            let mut style = Vec::new();
+            if n.op == "placeholder" {
+                style.push("style=filled, fillcolor=lightblue");
+            } else if n.stateful {
+                style.push("style=filled, fillcolor=mistyrose");
+            }
+            if output_nodes.contains(&i) {
+                style.push("peripheries=2");
+            }
+            let style =
+                if style.is_empty() { String::new() } else { format!(", {}", style.join(", ")) };
+            out.push_str(&format!("  n{i} [label=\"{label}\"{style}];\n"));
+            for t in &n.inputs {
+                if t.output == 0 {
+                    out.push_str(&format!("  n{} -> n{i};\n", t.node.0));
+                } else {
+                    out.push_str(&format!("  n{} -> n{i} [label=\":{}\"];\n", t.node.0, t.output));
+                }
+            }
+            for c in &n.control_inputs {
+                out.push_str(&format!("  n{} -> n{i} [style=dashed];\n", c.0));
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
 }
 
 impl fmt::Debug for GraphFunction {

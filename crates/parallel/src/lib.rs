@@ -89,6 +89,27 @@ static PAR_KERNELS: AtomicU64 = AtomicU64::new(0);
 static SERIAL_KERNELS: AtomicU64 = AtomicU64::new(0);
 static TILES: AtomicU64 = AtomicU64::new(0);
 
+fn metric_par_kernel(tiles: u64) {
+    tfe_metrics::static_counter!(
+        "tfe_intra_par_kernels_total",
+        "Kernel loops the intra-op splitter ran as parallel tiles"
+    )
+    .inc();
+    tfe_metrics::static_counter!(
+        "tfe_intra_tiles_total",
+        "Tiles executed by parallel kernel loops"
+    )
+    .add(tiles);
+}
+
+fn metric_serial_kernel() {
+    tfe_metrics::static_counter!(
+        "tfe_intra_serial_kernels_total",
+        "Kernel loops the intra-op grain heuristic kept serial"
+    )
+    .inc();
+}
+
 /// Snapshot the intra-op counters.
 pub fn intra_stats() -> IntraStats {
     IntraStats {
@@ -184,6 +205,7 @@ pub fn par_for<F: Fn(Range<usize>) + Sync>(n: usize, grain: usize, body: F) {
     let threads = intra_threads();
     if threads <= 1 || n <= grain {
         SERIAL_KERNELS.fetch_add(1, Ordering::Relaxed);
+        metric_serial_kernel();
         body(0..n);
         return;
     }
@@ -191,11 +213,13 @@ pub fn par_for<F: Fn(Range<usize>) + Sync>(n: usize, grain: usize, body: F) {
     let num_chunks = n.div_ceil(chunk);
     if num_chunks <= 1 {
         SERIAL_KERNELS.fetch_add(1, Ordering::Relaxed);
+        metric_serial_kernel();
         body(0..n);
         return;
     }
     PAR_KERNELS.fetch_add(1, Ordering::Relaxed);
     TILES.fetch_add(num_chunks as u64, Ordering::Relaxed);
+    metric_par_kernel(num_chunks as u64);
     tfe_profile::counter("intra", "tiles", num_chunks as u64);
     scope_chunks(num_chunks, &|c: usize| {
         let start = c * chunk;
@@ -225,6 +249,7 @@ where
     let chunk_range = |c: usize| (c * grain)..((c + 1) * grain).min(n);
     if num_chunks == 1 || intra_threads() <= 1 {
         SERIAL_KERNELS.fetch_add(1, Ordering::Relaxed);
+        metric_serial_kernel();
         // Same fixed chunk boundaries, folded sequentially.
         let mut acc = map(chunk_range(0));
         for c in 1..num_chunks {
@@ -234,6 +259,7 @@ where
     }
     PAR_KERNELS.fetch_add(1, Ordering::Relaxed);
     TILES.fetch_add(num_chunks as u64, Ordering::Relaxed);
+    metric_par_kernel(num_chunks as u64);
     tfe_profile::counter("intra", "tiles", num_chunks as u64);
     let slots: Vec<parking_lot::Mutex<Option<R>>> =
         (0..num_chunks).map(|_| parking_lot::Mutex::new(None)).collect();

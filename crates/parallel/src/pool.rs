@@ -85,21 +85,29 @@ impl Pool {
     /// Enqueue a job and wake a worker. Returns the queue depth right after
     /// the push (for scheduler telemetry).
     pub fn submit(&self, job: Job) -> usize {
-        // Pool task latency: when profiling is on, wrap the job so the
-        // executing thread reports how long it sat in the queue.
-        let job = if tfe_profile::enabled() {
-            let submitted = tfe_profile::now_ns();
-            Box::new(move || {
-                tfe_profile::counter(
-                    "pool",
-                    "queue_wait_ns",
-                    tfe_profile::now_ns().saturating_sub(submitted),
-                );
-                job();
-            }) as Job
-        } else {
-            job
-        };
+        tfe_metrics::static_counter!(
+            "tfe_pool_jobs_total",
+            "Jobs submitted to the shared worker pool (graph nodes + kernel tiles)"
+        )
+        .inc();
+        // Pool task latency: every job is wrapped so the executing thread
+        // records how long it sat in the queue (always-on histogram; the
+        // profiler additionally gets per-job counters when enabled).
+        let submitted = std::time::Instant::now();
+        let profiling = tfe_profile::enabled();
+        let job = Box::new(move || {
+            let waited = submitted.elapsed().as_nanos() as u64;
+            tfe_metrics::static_histogram!(
+                "tfe_pool_queue_wait_ns",
+                "Nanoseconds a pool job waited between submission and execution",
+                tfe_metrics::DEFAULT_NS_BUCKETS
+            )
+            .observe(waited);
+            if profiling {
+                tfe_profile::counter("pool", "queue_wait_ns", waited);
+            }
+            job();
+        }) as Job;
         let depth = {
             let mut q = self.queue.lock();
             q.push_back(job);
@@ -114,6 +122,12 @@ impl Pool {
         let job = self.queue.lock().pop_front();
         match job {
             Some(job) => {
+                // A waiter stole work from the queue instead of blocking.
+                tfe_metrics::static_counter!(
+                    "tfe_pool_helped_jobs_total",
+                    "Jobs executed by a work-helping waiter instead of a pool worker"
+                )
+                .inc();
                 job();
                 true
             }

@@ -133,6 +133,10 @@ pub struct ExecStats {
 }
 
 struct ExecStatCells {
+    /// Update generation: bumped (Release) after every field update, so
+    /// [`exec_stats`] can detect that a read pass overlapped a writer and
+    /// retry — a seqlock with lock-free writers.
+    version: std::sync::atomic::AtomicU64,
     nodes_executed: std::sync::atomic::AtomicU64,
     kernels_launched: std::sync::atomic::AtomicU64,
     serial_runs: std::sync::atomic::AtomicU64,
@@ -144,6 +148,7 @@ struct ExecStatCells {
 fn exec_stat_cells() -> &'static ExecStatCells {
     static C: std::sync::OnceLock<ExecStatCells> = std::sync::OnceLock::new();
     C.get_or_init(|| ExecStatCells {
+        version: std::sync::atomic::AtomicU64::new(0),
         nodes_executed: std::sync::atomic::AtomicU64::new(0),
         kernels_launched: std::sync::atomic::AtomicU64::new(0),
         serial_runs: std::sync::atomic::AtomicU64::new(0),
@@ -153,25 +158,59 @@ fn exec_stat_cells() -> &'static ExecStatCells {
     })
 }
 
-/// Snapshot the executor counters.
-pub fn exec_stats() -> ExecStats {
-    use std::sync::atomic::Ordering::Relaxed;
-    let c = exec_stat_cells();
-    let intra = tfe_parallel::intra_stats();
-    ExecStats {
-        nodes_executed: c.nodes_executed.load(Relaxed),
-        kernels_launched: c.kernels_launched.load(Relaxed),
-        serial_runs: c.serial_runs.load(Relaxed),
-        parallel_runs: c.parallel_runs.load(Relaxed),
-        max_queue_depth: c.max_queue_depth.load(Relaxed),
-        peak_live_bytes: c.peak_live_bytes.load(Relaxed),
-        intra_par_kernels: intra.par_kernels,
-        intra_serial_kernels: intra.serial_kernels,
-        intra_tiles: intra.tiles,
+impl ExecStatCells {
+    #[inline]
+    fn bump_version(&self) {
+        self.version.fetch_add(1, std::sync::atomic::Ordering::Release);
+    }
+
+    /// One read pass. `kernels_launched` is read first, with Acquire: every
+    /// kernel bump is a Release RMW sequenced *after* its node bump on the
+    /// same thread, so acquiring a kernel count of `k` guarantees the
+    /// subsequent `nodes_executed` load observes at least the `k` matching
+    /// node bumps. The `kernels ≤ nodes` invariant therefore holds for
+    /// every pass, even one that overlapped writers.
+    fn read_pass(&self) -> ExecStats {
+        use std::sync::atomic::Ordering::{Acquire, Relaxed};
+        let kernels_launched = self.kernels_launched.load(Acquire);
+        let intra = tfe_parallel::intra_stats();
+        ExecStats {
+            nodes_executed: self.nodes_executed.load(Relaxed),
+            kernels_launched,
+            serial_runs: self.serial_runs.load(Relaxed),
+            parallel_runs: self.parallel_runs.load(Relaxed),
+            max_queue_depth: self.max_queue_depth.load(Relaxed),
+            peak_live_bytes: self.peak_live_bytes.load(Relaxed),
+            intra_par_kernels: intra.par_kernels,
+            intra_serial_kernels: intra.serial_kernels,
+            intra_tiles: intra.tiles,
+        }
     }
 }
 
-/// Zero the executor counters.
+/// Snapshot the executor counters — seqlock-consistent: the whole struct is
+/// re-read until a pass completes with no interleaved update (bounded
+/// retries, so a steady stream of writers cannot live-lock the reader). The
+/// bounded-retry fallback still guarantees `kernels_launched ≤
+/// nodes_executed` via the ordered read in `read_pass`, so no torn view of
+/// that invariant is ever observable.
+pub fn exec_stats() -> ExecStats {
+    use std::sync::atomic::Ordering::Acquire;
+    let c = exec_stat_cells();
+    let mut stats = c.read_pass();
+    for _ in 0..8 {
+        let v1 = c.version.load(Acquire);
+        stats = c.read_pass();
+        if c.version.load(Acquire) == v1 {
+            break;
+        }
+    }
+    stats
+}
+
+/// Zero the executor counters. (Resets only this resettable snapshot used
+/// by benches; the always-on `tfe_executor_*` metrics counters are monotone
+/// for the lifetime of the process and are *not* reset.)
 pub fn reset_exec_stats() {
     use std::sync::atomic::Ordering::Relaxed;
     let c = exec_stat_cells();
@@ -181,31 +220,84 @@ pub fn reset_exec_stats() {
     c.parallel_runs.store(0, Relaxed);
     c.max_queue_depth.store(0, Relaxed);
     c.peak_live_bytes.store(0, Relaxed);
+    c.bump_version();
     tfe_parallel::reset_intra_stats();
 }
 
 pub(crate) fn stat_node_executed() {
-    exec_stat_cells().nodes_executed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let c = exec_stat_cells();
+    c.nodes_executed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    c.bump_version();
+    tfe_metrics::static_counter!(
+        "tfe_executor_nodes_run_total",
+        "Graph nodes executed by either scheduling mode (placeholders excluded)"
+    )
+    .inc();
 }
 
 pub(crate) fn stat_kernel_launched() {
-    exec_stat_cells().kernels_launched.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let c = exec_stat_cells();
+    // Release: pairs with the Acquire read in `read_pass` so a reader that
+    // sees this kernel also sees the node bump sequenced before it.
+    c.kernels_launched.fetch_add(1, std::sync::atomic::Ordering::Release);
+    c.bump_version();
+    tfe_metrics::static_counter!(
+        "tfe_executor_kernels_run_total",
+        "Compute kernels launched by the graph executor (structural ops excluded)"
+    )
+    .inc();
 }
 
 pub(crate) fn stat_serial_run() {
-    exec_stat_cells().serial_runs.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let c = exec_stat_cells();
+    c.serial_runs.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    c.bump_version();
+    tfe_metrics::static_counter!(
+        "tfe_executor_serial_runs_total",
+        "Graph-function invocations run by the serial-planned executor"
+    )
+    .inc();
 }
 
 pub(crate) fn stat_parallel_run() {
-    exec_stat_cells().parallel_runs.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let c = exec_stat_cells();
+    c.parallel_runs.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    c.bump_version();
+    tfe_metrics::static_counter!(
+        "tfe_executor_parallel_runs_total",
+        "Graph-function invocations run by the dependency-counted parallel executor"
+    )
+    .inc();
 }
 
 pub(crate) fn stat_queue_depth(depth: u64) {
-    exec_stat_cells().max_queue_depth.fetch_max(depth, std::sync::atomic::Ordering::Relaxed);
+    let c = exec_stat_cells();
+    c.max_queue_depth.fetch_max(depth, std::sync::atomic::Ordering::Relaxed);
+    c.bump_version();
+    tfe_metrics::static_gauge!(
+        "tfe_executor_ready_queue_depth_peak",
+        "Deepest ready-queue depth observed by the parallel scheduler"
+    )
+    .set_max(depth as i64);
 }
 
 pub(crate) fn stat_live_bytes(bytes: u64) {
-    exec_stat_cells().peak_live_bytes.fetch_max(bytes, std::sync::atomic::Ordering::Relaxed);
+    let c = exec_stat_cells();
+    c.peak_live_bytes.fetch_max(bytes, std::sync::atomic::Ordering::Relaxed);
+    c.bump_version();
+    tfe_metrics::static_gauge!(
+        "tfe_executor_peak_live_bytes",
+        "Largest number of tensor bytes simultaneously live in one graph run"
+    )
+    .set_max(bytes as i64);
+}
+
+pub(crate) fn stat_executor_abort() {
+    tfe_metrics::static_counter!(
+        "tfe_executor_aborts_total",
+        "Parallel graph runs aborted by a node error or panic"
+    )
+    .inc();
 }
 
 // ---------------------------------------------------------------------------
@@ -623,6 +715,12 @@ fn execute_eager(op: &str, inputs: &[Tensor], attrs: Attrs) -> Result<Vec<Tensor
         _ => {}
     }
 
+    tfe_metrics::static_counter!(
+        "tfe_eager_ops_dispatched_total",
+        "Primitive operations dispatched eagerly (structural ops excluded)"
+    )
+    .inc();
+
     // Eager-dispatch span: covers validation + inference + the kernel, so
     // the timeline shows dispatch overhead as the gap around the nested
     // `kernel` span (§6's eager-vs-staged overhead, measured for real).
@@ -658,8 +756,15 @@ fn execute_eager(op: &str, inputs: &[Tensor], attrs: Attrs) -> Result<Vec<Tensor
     }
 
     let outputs: Vec<Tensor> = if device.produces_real_values() {
-        crate::kernels::run_kernel(op, &attrs, &input_data)?
-            .into_iter()
+        let t0 = std::time::Instant::now();
+        let out = crate::kernels::run_kernel(op, &attrs, &input_data)?;
+        tfe_metrics::static_histogram!(
+            "tfe_kernel_time_ns",
+            "Wall-clock nanoseconds per compute-kernel invocation (eager and staged)",
+            tfe_metrics::DEFAULT_NS_BUCKETS
+        )
+        .observe(t0.elapsed().as_nanos() as u64);
+        out.into_iter()
             .map(|d| Tensor::Eager(EagerTensor::new(Arc::new(d), device.name().clone())))
             .collect()
     } else {
@@ -682,14 +787,18 @@ fn execute_eager(op: &str, inputs: &[Tensor], attrs: Attrs) -> Result<Vec<Tensor
             })
             .collect::<Result<_>>()?
     };
+    let out_bytes: u64 = outputs
+        .iter()
+        .filter_map(|t| t.value().ok())
+        .map(|d| (d.num_elements() * d.dtype().size_bytes()) as u64)
+        .sum();
+    tfe_metrics::static_counter!(
+        "tfe_eager_bytes_allocated_total",
+        "Tensor bytes produced by eagerly dispatched operations"
+    )
+    .add(out_bytes);
     if let Some(sp) = prof_span.as_mut() {
-        sp.set_bytes(
-            outputs
-                .iter()
-                .filter_map(|t| t.value().ok())
-                .map(|d| (d.num_elements() * d.dtype().size_bytes()) as u64)
-                .sum(),
-        );
+        sp.set_bytes(out_bytes);
     }
     record_on_tapes(op, &attrs, inputs, &outputs);
     Ok(outputs)

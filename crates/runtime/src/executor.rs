@@ -261,7 +261,14 @@ fn run_node(
             .clone()]),
         _ => {
             crate::context::stat_kernel_launched();
+            let t0 = std::time::Instant::now();
             let out = crate::kernels::run_kernel(&node.op, &node.attrs, inputs)?;
+            tfe_metrics::static_histogram!(
+                "tfe_kernel_time_ns",
+                "Wall-clock nanoseconds per compute-kernel invocation (eager and staged)",
+                tfe_metrics::DEFAULT_NS_BUCKETS
+            )
+            .observe(t0.elapsed().as_nanos() as u64);
             Ok(out.into_iter().map(Arc::new).collect())
         }
     }
@@ -370,6 +377,7 @@ impl RunState {
 
     fn fail(&self, e: RuntimeError) {
         tfe_profile::instant("sched", || format!("abort:{}:{e}", self.f.name));
+        crate::context::stat_executor_abort();
         self.error.lock().get_or_insert(e);
         self.abort.store(true, Ordering::SeqCst);
     }

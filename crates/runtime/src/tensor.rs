@@ -23,6 +23,43 @@ pub fn fresh_id() -> u64 {
     NEXT_ID.fetch_add(1, Ordering::Relaxed)
 }
 
+/// Keeps the live-tensor gauges honest: one token per [`EagerTensor`]
+/// *allocation*, shared by all clones of the handle, so the gauges go up
+/// exactly once per `EagerTensor::new` and come back down exactly once,
+/// when the last clone drops.
+struct AllocToken {
+    bytes: i64,
+}
+
+impl AllocToken {
+    fn new(data: &TensorData) -> Arc<AllocToken> {
+        let bytes = (data.num_elements() * data.dtype().size_bytes()) as i64;
+        tfe_metrics::static_gauge!("tfe_live_tensors", "Live eager tensor handles").inc();
+        let live = tfe_metrics::static_gauge!(
+            "tfe_live_tensor_bytes",
+            "Tensor bytes referenced by live eager handles (a shared buffer counts once per handle)"
+        );
+        let now = live.add_and_get(bytes);
+        tfe_metrics::static_gauge!(
+            "tfe_live_tensor_bytes_peak",
+            "High-water mark of tfe_live_tensor_bytes"
+        )
+        .set_max(now);
+        Arc::new(AllocToken { bytes })
+    }
+}
+
+impl Drop for AllocToken {
+    fn drop(&mut self) {
+        tfe_metrics::static_gauge!("tfe_live_tensors", "Live eager tensor handles").dec();
+        tfe_metrics::static_gauge!(
+            "tfe_live_tensor_bytes",
+            "Tensor bytes referenced by live eager handles (a shared buffer counts once per handle)"
+        )
+        .sub(self.bytes);
+    }
+}
+
 /// A concrete tensor resident on a device.
 #[derive(Clone)]
 pub struct EagerTensor {
@@ -32,12 +69,15 @@ pub struct EagerTensor {
     pub data: Arc<TensorData>,
     /// Where the tensor lives.
     pub device: DeviceName,
+    /// Live-tensor accounting; shared by clones, settled on last drop.
+    _alloc: Arc<AllocToken>,
 }
 
 impl EagerTensor {
     /// Wrap data on a device with a fresh id.
     pub fn new(data: Arc<TensorData>, device: DeviceName) -> EagerTensor {
-        EagerTensor { id: fresh_id(), data, device }
+        let _alloc = AllocToken::new(&data);
+        EagerTensor { id: fresh_id(), data, device, _alloc }
     }
 }
 

@@ -36,6 +36,10 @@ impl VarStorage {
         self.value.read().clone()
     }
 
+    fn bytes(&self) -> i64 {
+        (self.shape.num_elements() * self.dtype.size_bytes()) as i64
+    }
+
     /// Replace the value.
     ///
     /// # Errors
@@ -55,6 +59,17 @@ impl VarStorage {
         }
         *self.value.write() = Arc::new(v);
         Ok(())
+    }
+}
+
+impl Drop for VarStorage {
+    fn drop(&mut self) {
+        tfe_metrics::static_gauge!("tfe_live_variables", "Live variables").dec();
+        tfe_metrics::static_gauge!(
+            "tfe_live_variable_bytes",
+            "Tensor bytes held by live variables"
+        )
+        .sub(self.bytes());
     }
 }
 
@@ -122,6 +137,13 @@ impl Variable {
             value: RwLock::new(Arc::new(initial)),
         });
         registry().register(&storage);
+        tfe_metrics::static_counter!("tfe_variables_created_total", "Variables ever created").inc();
+        tfe_metrics::static_gauge!("tfe_live_variables", "Live variables").inc();
+        tfe_metrics::static_gauge!(
+            "tfe_live_variable_bytes",
+            "Tensor bytes held by live variables"
+        )
+        .add(storage.bytes());
         crate::context::notify_variable_created(storage.id);
         Variable { storage }
     }

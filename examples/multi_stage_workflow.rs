@@ -102,5 +102,26 @@ fn main() -> Result<(), RuntimeError> {
         eager_secs / staged_secs
     );
     println!("chains are still healthy: x[0] = {:?}", &x.to_f64_vec()?[..2]);
+
+    // End-of-run metrics summary: the always-on registry has been counting
+    // the whole time — no profiler, no opt-in.
+    let stats = staged.stats();
+    let snap = tf_eager::metrics::snapshot();
+    let p99 =
+        snap.histogram_value("tfe_kernel_time_ns").and_then(|h| h.quantile(0.99)).unwrap_or(0);
+    let peak = snap.gauge_value("tfe_live_tensor_bytes_peak").unwrap_or(0);
+    println!(
+        "metrics: l2hmc_update cache hit rate {:.1}% ({} hits / {} calls, {} retrace(s)), \
+         p99 kernel {:.1} µs, peak live tensor bytes {:.2} MiB",
+        stats.hit_rate() * 100.0,
+        stats.hits,
+        stats.calls(),
+        stats.retraces,
+        p99 as f64 / 1e3,
+        peak as f64 / (1024.0 * 1024.0)
+    );
+    if stats.retraces > 0 {
+        println!("{}", staged.retrace_report());
+    }
     Ok(())
 }

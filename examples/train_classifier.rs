@@ -92,6 +92,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         first_loss.unwrap_or(0.0),
         train_step.num_concrete()
     );
+
+    // End-of-run metrics summary from the always-on registry (no profiler
+    // needed): trace-cache behaviour, kernel latency tail, memory peak.
+    let stats = train_step.stats();
+    let snap = tf_eager::metrics::snapshot();
+    let p99 =
+        snap.histogram_value("tfe_kernel_time_ns").and_then(|h| h.quantile(0.99)).unwrap_or(0);
+    let peak = snap.gauge_value("tfe_live_tensor_bytes_peak").unwrap_or(0);
+    println!(
+        "metrics: train_step cache hit rate {:.1}% ({} hits / {} calls, {} retrace(s)), \
+         p99 kernel {:.1} µs, peak live tensor bytes {:.2} MiB",
+        stats.hit_rate() * 100.0,
+        stats.hits,
+        stats.calls(),
+        stats.retraces,
+        p99 as f64 / 1e3,
+        peak as f64 / (1024.0 * 1024.0)
+    );
+    if stats.retraces > 0 {
+        println!("{}", train_step.retrace_report());
+    }
     if let Some(path) = trace_path {
         let profile = tf_eager::profile::stop();
         profile.write_chrome_trace(&path)?;

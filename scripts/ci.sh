@@ -40,4 +40,11 @@ cargo run --release -q -p tfe-bench --bin kernel_bench -- --quick > /dev/null
 echo "==> profiler smoke (overhead + trace validation)"
 cargo run --release -q -p tfe-bench --bin profiler_smoke > /dev/null
 
+# Metrics gate: asserts a counter bump costs < 5 ns, trains a staged model
+# briefly, and validates the always-on registry (Prometheus text parses,
+# histograms internally consistent, no counter decreases between scrapes,
+# trace_cache_retraces_total flat during steady-state training).
+echo "==> metrics smoke (probe overhead + exposition validation)"
+cargo run --release -q -p tfe-bench --bin metrics_smoke > /dev/null
+
 echo "CI gate passed."

@@ -46,7 +46,9 @@
 
 pub use tfe_autodiff::{value_and_grad, GradientTape};
 pub use tfe_core::{cond, function, function1, init_scope, while_loop};
-pub use tfe_core::{Arg, ConcreteFunction, Func, HostFunc, TensorSpec};
+pub use tfe_core::{
+    Arg, ConcreteFunction, Func, FuncStats, HostFunc, RetraceCause, RetraceEvent, TensorSpec,
+};
 pub use tfe_runtime::api;
 pub use tfe_runtime::{context, ExecMode, RuntimeError, Tensor, Variable};
 pub use tfe_tensor::{DType, Shape, TensorData};
@@ -79,6 +81,12 @@ pub mod dist {
 /// Op-level profiling: spans, counters, chrome-trace export (DESIGN.md §10).
 pub mod profile {
     pub use tfe_profile::*;
+}
+
+/// Always-on runtime metrics: counters, gauges, histograms, Prometheus
+/// export and programmatic snapshots (DESIGN.md §11).
+pub mod metrics {
+    pub use tfe_metrics::*;
 }
 
 /// JSON encoding used by on-disk formats.

@@ -321,6 +321,68 @@ fn concurrent_staged_training_on_disjoint_models() {
 }
 
 #[test]
+fn exec_stats_snapshot_is_never_torn() {
+    // Regression test for the torn-view bug: `exec_stats()` used to load
+    // each counter independently, so a reader overlapping a writer could
+    // observe a kernel bump without its node bump. The seqlock read pass
+    // must uphold the cross-field invariant kernels_launched <=
+    // nodes_executed (every kernel launch is preceded by its node's bump
+    // on the same thread) even while writer threads hammer the cells.
+    tf_eager::init();
+    let f = function1("seqlock_stress_fn", |x| {
+        let y = api::mul(x, x)?;
+        api::reduce_sum(&y, &[], false)
+    });
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let writers: Vec<_> = (0..4)
+        .map(|_| {
+            let f = f.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                context::set_exec_mode(ExecMode::Parallel);
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let x = api::ones(DType::F64, [16]);
+                    f.call1(&x).unwrap();
+                }
+            })
+        })
+        .collect();
+    // Readers snapshot continuously while the writers run; every snapshot
+    // must satisfy the invariant and stay monotone against the previous
+    // read on the same thread.
+    let readers: Vec<_> = (0..2)
+        .map(|_| {
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut prev_nodes = 0u64;
+                let mut snaps = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let s = context::exec_stats();
+                    assert!(
+                        s.kernels_launched <= s.nodes_executed,
+                        "torn snapshot: {} kernels > {} nodes",
+                        s.kernels_launched,
+                        s.nodes_executed
+                    );
+                    assert!(s.nodes_executed >= prev_nodes, "counters went backwards");
+                    prev_nodes = s.nodes_executed;
+                    snaps += 1;
+                }
+                snaps
+            })
+        })
+        .collect();
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    for h in writers {
+        h.join().unwrap();
+    }
+    for h in readers {
+        assert!(h.join().unwrap() > 0, "reader never snapshotted");
+    }
+}
+
+#[test]
 fn nested_graph_parallel_and_intra_op_no_deadlock() {
     // The two-level stress case: the graph executor fans independent
     // matmul nodes out across the worker pool (inter-op), and each matmul

@@ -1,0 +1,288 @@
+//! The always-on metrics registry and the retrace diagnostician
+//! (DESIGN.md §11): every binding-time change must produce the matching
+//! human-readable cause, identical signatures must never report a retrace,
+//! and the Prometheus export must stay well-formed and monotone.
+
+use tf_eager::prelude::*;
+use tf_eager::{api, TensorData};
+use tf_eager::{metrics, RetraceCause};
+
+/// A probe function that accepts any mix of tensor / static / variable
+/// arguments, so one closure serves every table row.
+fn probe(name: &str) -> Func {
+    function(name, |args| {
+        let mut outs = Vec::new();
+        for a in args {
+            if let Some(t) = a.as_tensor() {
+                outs.push(api::relu(t)?);
+            }
+            if let Some(v) = a.as_variable() {
+                outs.push(v.read()?);
+            }
+        }
+        if outs.is_empty() {
+            outs.push(api::scalar(1.0f64));
+        }
+        Ok(outs)
+    })
+}
+
+#[test]
+fn each_binding_time_change_produces_the_matching_cause() {
+    tf_eager::init();
+    let v1 = Variable::new(TensorData::scalar(1.0f64));
+    let v2 = Variable::new(TensorData::scalar(2.0f64));
+    let t = || Arg::from(&api::zeros(DType::F64, [2]));
+
+    // One row per binding-time dimension of the cache key (§4.6): the
+    // first call traces, the second must retrace for exactly the stated
+    // reason, rendered exactly as stated.
+    let table: Vec<(&str, Vec<Arg>, Vec<Arg>, String)> = vec![
+        (
+            "shape",
+            vec![Arg::from(&api::zeros(DType::F64, [2, 3]))],
+            vec![Arg::from(&api::zeros(DType::F64, [4, 3]))],
+            "arg 0: shape [2,3] → [4,3]".to_string(),
+        ),
+        (
+            "rank",
+            vec![Arg::from(&api::zeros(DType::F64, [6]))],
+            vec![Arg::from(&api::zeros(DType::F64, [2, 3]))],
+            "arg 0: rank 1 → 2 (shape [6] → [2,3])".to_string(),
+        ),
+        (
+            "dtype",
+            vec![Arg::from(&api::zeros(DType::F32, [2]))],
+            vec![Arg::from(&api::zeros(DType::F64, [2]))],
+            "arg 0: dtype float32 → float64".to_string(),
+        ),
+        (
+            "static_bool",
+            vec![t(), Arg::from(true)],
+            vec![t(), Arg::from(false)],
+            "arg 1: static bool true → false".to_string(),
+        ),
+        (
+            "static_int",
+            vec![Arg::from(3i64)],
+            vec![Arg::from(4i64)],
+            "arg 0: static int 3 → 4".to_string(),
+        ),
+        (
+            "static_str",
+            vec![Arg::from("mean")],
+            vec![Arg::from("sum")],
+            "arg 0: static str \"mean\" → \"sum\"".to_string(),
+        ),
+        (
+            "variable_identity",
+            vec![Arg::from(&v1)],
+            vec![Arg::from(&v2)],
+            format!("arg 0: variable identity id {} → id {}", v1.id(), v2.id()),
+        ),
+        ("kind", vec![Arg::from(7i64)], vec![t()], "arg 0: int 7 → tensor float64[2]".to_string()),
+        ("arg_count", vec![t()], vec![t(), t()], "argument count 1 → 2".to_string()),
+    ];
+
+    for (name, before, after, expected) in table {
+        let f = probe(&format!("cause_{name}"));
+        f.call(&before).unwrap_or_else(|e| panic!("{name}: first call failed: {e}"));
+        let s = f.stats();
+        assert_eq!((s.misses, s.retraces, s.hits), (1, 0, 0), "{name}: after first call");
+        assert!(f.retraces().is_empty(), "{name}: initial trace is not a retrace");
+
+        f.call(&after).unwrap_or_else(|e| panic!("{name}: second call failed: {e}"));
+        let s = f.stats();
+        assert_eq!((s.misses, s.retraces), (2, 1), "{name}: after signature change");
+        assert_eq!(s.concrete_functions, 2, "{name}");
+
+        let events = f.retraces();
+        assert_eq!(events.len(), 1, "{name}");
+        let rendered: Vec<String> = events[0].causes.iter().map(ToString::to_string).collect();
+        assert_eq!(rendered, vec![expected.clone()], "{name}");
+        assert!(
+            f.retrace_report().contains(&expected),
+            "{name}: report missing cause:\n{}",
+            f.retrace_report()
+        );
+    }
+}
+
+#[test]
+fn identical_signatures_never_report_a_retrace() {
+    tf_eager::init();
+    let f = probe("no_retrace");
+    let args = vec![Arg::from(&api::ones(DType::F64, [3, 3])), Arg::from(true)];
+    for _ in 0..5 {
+        // Fresh tensors each round: same signature, different values.
+        let args2 = vec![Arg::from(&api::zeros(DType::F64, [3, 3])), Arg::from(true)];
+        f.call(&args).unwrap();
+        f.call(&args2).unwrap();
+    }
+    let s = f.stats();
+    assert_eq!(s.retraces, 0, "same-signature calls retraced");
+    assert_eq!(s.misses, 1);
+    assert_eq!(s.hits, 9);
+    assert_eq!(s.concrete_functions, 1);
+    assert!(f.retraces().is_empty());
+    assert!(f.retrace_report().contains("no retraces recorded"));
+    assert!((s.hit_rate() - 0.9).abs() < 1e-12);
+}
+
+#[test]
+fn mutating_a_variable_does_not_retrace_but_swapping_it_does() {
+    tf_eager::init();
+    let a = Variable::new(TensorData::scalar(1.0f64));
+    let b = Variable::new(TensorData::scalar(10.0f64));
+    let f = probe("var_identity");
+    assert_eq!(f.call(&[Arg::from(&a)]).unwrap()[0].scalar_f64().unwrap(), 1.0);
+    // Mutation: same identity, new value — cache hit, value visible.
+    a.assign(&api::scalar(5.0f64)).unwrap();
+    assert_eq!(f.call(&[Arg::from(&a)]).unwrap()[0].scalar_f64().unwrap(), 5.0);
+    assert_eq!(f.stats().retraces, 0);
+    // Swap: different variable object — retrace with an identity cause.
+    assert_eq!(f.call(&[Arg::from(&b)]).unwrap()[0].scalar_f64().unwrap(), 10.0);
+    assert_eq!(f.stats().retraces, 1);
+    assert!(matches!(f.retraces()[0].causes[0], RetraceCause::VariableIdentity { .. }));
+}
+
+#[test]
+fn closest_cached_key_wins_the_diff() {
+    tf_eager::init();
+    // Cache f64[2,3] and f32[9]; then call with f64[2,4]. The closest key
+    // is f64[2,3] (one shape cause); the diagnostician must not blame
+    // f32[9], which would yield two causes (dtype and rank).
+    let f = probe("closest");
+    f.call(&[Arg::from(&api::zeros(DType::F64, [2, 3]))]).unwrap();
+    f.call(&[Arg::from(&api::zeros(DType::F32, [9]))]).unwrap();
+    f.call(&[Arg::from(&api::zeros(DType::F64, [2, 4]))]).unwrap();
+    let events = f.retraces();
+    let last = events.last().unwrap();
+    assert_eq!(last.causes.len(), 1, "picked a non-closest key: {last}");
+    assert_eq!(last.causes[0].to_string(), "arg 0: shape [2,3] → [2,4]");
+}
+
+#[test]
+fn input_signature_funcs_keep_their_own_metric_series() {
+    tf_eager::init();
+    let f = function1("sig_series", |x| api::reduce_sum(x, &[1], false))
+        .with_input_signature(vec![TensorSpec::new(DType::F32, vec![None, Some(3)])]);
+    // Dynamic batch sizes share one concrete function: no retraces ever.
+    f.call1(&api::ones(DType::F32, [2, 3])).unwrap();
+    f.call1(&api::ones(DType::F32, [7, 3])).unwrap();
+    f.call1(&api::ones(DType::F32, [11, 3])).unwrap();
+    let s = f.stats();
+    assert_eq!(s.misses, 1);
+    assert_eq!(s.hits, 2);
+    assert_eq!(s.retraces, 0);
+    assert_eq!(s.concrete_functions, 1);
+}
+
+#[test]
+fn trace_cache_metrics_flow_into_the_registry() {
+    tf_eager::init();
+    let before = metrics::snapshot();
+    let f = probe("registry_flow");
+    f.call(&[Arg::from(&api::zeros(DType::F64, [2]))]).unwrap();
+    f.call(&[Arg::from(&api::zeros(DType::F64, [2]))]).unwrap();
+    f.call(&[Arg::from(&api::zeros(DType::F64, [3]))]).unwrap();
+    let after = metrics::snapshot();
+    let delta = |name: &str| {
+        after.counter_value(name).unwrap_or(0) - before.counter_value(name).unwrap_or(0)
+    };
+    assert!(delta("tfe_trace_cache_hits_total") >= 1);
+    assert!(delta("tfe_trace_cache_misses_total") >= 2);
+    assert!(delta("tfe_trace_cache_retraces_total") >= 1);
+    // The per-func series carries this Func's exact numbers (its label is
+    // unique thanks to the anonymous-name counter).
+    let label = f.name().to_string();
+    assert_eq!(after.counter_with("tfe_func_cache_hits_total", &label), Some(1));
+    assert_eq!(after.counter_with("tfe_func_cache_misses_total", &label), Some(2));
+    assert_eq!(after.counter_with("tfe_func_retraces_total", &label), Some(1));
+}
+
+#[test]
+fn eager_dispatch_and_kernel_metrics_are_always_on() {
+    tf_eager::init();
+    let before = metrics::snapshot();
+    let a = api::constant(vec![1.0f32; 256], [16, 16]).unwrap();
+    let b = api::matmul(&a, &a).unwrap();
+    let c = api::relu(&b).unwrap();
+    let _ = api::reduce_sum(&c, &[], false).unwrap();
+    let after = metrics::snapshot();
+    let ops_before = before.counter_value("tfe_eager_ops_dispatched_total").unwrap_or(0);
+    let ops_after = after.counter_value("tfe_eager_ops_dispatched_total").unwrap();
+    assert!(ops_after >= ops_before + 3, "{ops_before} -> {ops_after}");
+    let h = after.histogram_value("tfe_kernel_time_ns").expect("kernel histogram registered");
+    assert!(h.count > 0);
+    assert!(h.sum > 0);
+    // Buckets are cumulative-consistent: total count equals bucket sum.
+    assert_eq!(h.count, h.counts.iter().sum::<u64>());
+}
+
+#[test]
+fn prometheus_export_is_well_formed_and_monotone() {
+    tf_eager::init();
+    let _ = api::relu(&api::ones(DType::F32, [8])).unwrap();
+    // Trace something so the cache families are registered too.
+    let f = probe("prom_probe");
+    f.call(&[Arg::from(&api::ones(DType::F32, [4]))]).unwrap();
+    let s1 = metrics::snapshot();
+    let text = s1.to_prometheus_text();
+    // Every exposed family carries HELP and TYPE headers. (Only families
+    // something has actually probed are registered, so check ones the
+    // eager dispatch above guarantees.)
+    for fam in ["tfe_eager_ops_dispatched_total", "tfe_trace_cache_misses_total"] {
+        assert!(text.contains(&format!("# HELP {fam} ")), "missing HELP for {fam}");
+        assert!(text.contains(&format!("# TYPE {fam} counter")), "missing TYPE for {fam}");
+    }
+    // Histograms expose cumulative buckets with the +Inf terminator.
+    assert!(text.contains("tfe_kernel_time_ns_bucket{le=\"+Inf\"}"));
+    assert!(text.contains("tfe_kernel_time_ns_sum"));
+    assert!(text.contains("tfe_kernel_time_ns_count"));
+    // A second scrape after more work never goes backwards.
+    let _ = api::relu(&api::ones(DType::F32, [8])).unwrap();
+    let s2 = metrics::snapshot();
+    for fam in ["tfe_eager_ops_dispatched_total", "tfe_trace_cache_misses_total"] {
+        let a = s1.counter_value(fam).unwrap_or(0);
+        let b = s2.counter_value(fam).unwrap_or(0);
+        assert!(b >= a, "{fam} went backwards: {a} -> {b}");
+    }
+}
+
+#[test]
+fn traced_graphs_export_graphviz_dot() {
+    tf_eager::init();
+    let f = function1("dot_export", |x| {
+        let y = api::mul(x, x)?;
+        api::reduce_sum(&y, &[], false)
+    });
+    let c = f.concrete_for(&[Arg::from(&api::zeros(DType::F64, [4]))]).unwrap();
+    let dot = c.raw.to_dot();
+    assert!(dot.starts_with("digraph"), "not a dot document:\n{dot}");
+    assert!(dot.contains("mul"), "missing op node:\n{dot}");
+    assert!(dot.contains("placeholder"), "missing placeholder node:\n{dot}");
+    assert!(dot.contains("->"), "missing edges:\n{dot}");
+    assert!(dot.trim_end().ends_with('}'), "unterminated dot document");
+}
+
+#[test]
+fn live_tensor_gauges_track_allocation_lifetime() {
+    tf_eager::init();
+    let live_bytes = || metrics::snapshot().gauge_value("tfe_live_tensor_bytes").unwrap_or(0);
+    // The gauges are process-wide and other tests in this binary run
+    // concurrently, so allocate far more (8 MiB) than their churn and
+    // assert with a generous margin rather than exact deltas.
+    const BIG: i64 = 8 * 1024 * 1024;
+    const MARGIN: i64 = BIG / 2;
+    let b0 = live_bytes();
+    let big = api::zeros(DType::F64, [(BIG / 8) as usize]);
+    let b1 = live_bytes();
+    assert!(b1 >= b0 + BIG - MARGIN, "live bytes did not rise: {b0} -> {b1}");
+    drop(big);
+    let b2 = live_bytes();
+    assert!(b2 <= b1 - BIG + MARGIN, "live bytes did not fall on drop: {b1} -> {b2}");
+    // The peak gauge high-water mark includes the big allocation.
+    let peak = metrics::snapshot().gauge_value("tfe_live_tensor_bytes_peak").unwrap_or(0);
+    assert!(peak >= b1, "peak {peak} below observed live {b1}");
+}
