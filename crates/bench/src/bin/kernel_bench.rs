@@ -183,6 +183,75 @@ fn cases() -> Vec<Case> {
     out
 }
 
+/// Async dispatch overlap: a ~1k-op chain of eager elementwise kernels,
+/// timed once with synchronous dispatch (each kernel runs on the caller
+/// before `execute` returns) and once under `async_scope` (ops enqueue on
+/// the host device's dispatch stream; the final `value()` read is the only
+/// sync point). With ≥2 hardware threads the async run should be faster:
+/// the caller's per-op validation/shape-inference/record-keeping overlaps
+/// with kernel execution on the stream thread.
+fn bench_async_dispatch(iters: usize, reps: usize) -> tfe_encode::Value {
+    use tfe_runtime::api;
+    const OPS: usize = 1000;
+
+    // Small enough that per-op dispatch cost is a real fraction of kernel
+    // time — the regime where overlapping the two pays off.
+    let x0 = api::ones(tfe_tensor::DType::F64, [32, 32]);
+    let y = api::constant(vec![0.125f64; 32 * 32], [32, 32]).expect("constant");
+    let chain = |x0: &tfe_runtime::Tensor| -> tfe_tensor::TensorData {
+        let mut x = x0.clone();
+        for _ in 0..OPS / 2 {
+            x = api::tanh(&api::add(&x, &y).expect("add")).expect("tanh");
+        }
+        (*x.value().expect("no deferred errors")).clone()
+    };
+
+    // Bitwise agreement first — a fast benchmark that computes the wrong
+    // thing is worse than no benchmark.
+    let want = tfe_runtime::sync_scope(|| chain(&x0));
+    let got = tfe_runtime::async_scope(|| chain(&x0)).expect("async chain");
+    assert!(want.all_close(&got, 0.0, 0.0), "sync and async chains must agree bitwise");
+
+    let sync_ns = time_ns(iters, reps, &|| {
+        tfe_runtime::sync_scope(|| chain(&x0));
+    });
+    let async_ns = time_ns(iters, reps, &|| {
+        tfe_runtime::async_scope(|| chain(&x0)).expect("async chain");
+    });
+    let speedup = sync_ns / async_ns;
+    println!(
+        "{:<26} {:>14} {:>14.0} {:>14.0} {:>7.2}x {:>8}   {} chained ops, 32x32 f64",
+        "async_dispatch", "-", sync_ns, async_ns, speedup, "-", OPS
+    );
+    // (for this row "serial ns/op" = sync dispatch, "par ns/op" = async;
+    //  both are per whole 1000-op chain, not per op)
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if std::env::var_os("TFE_ASSERT_ASYNC").is_some() {
+        if cores >= 2 {
+            assert!(
+                async_ns < sync_ns,
+                "async dispatch must overlap on {cores} cores: sync {sync_ns:.0} ns/chain \
+                 vs async {async_ns:.0} ns/chain"
+            );
+            eprintln!("async overlap asserted: {speedup:.2}x over sync on {cores} cores");
+        } else {
+            eprintln!("TFE_ASSERT_ASYNC skipped: single hardware thread");
+        }
+    }
+
+    tfe_encode::Value::object(vec![
+        ("ops".to_string(), tfe_encode::Value::Int(OPS as i64)),
+        ("shape".to_string(), tfe_encode::Value::str("32x32 f64 tanh(add) chain")),
+        ("sync_ns_per_chain".to_string(), tfe_encode::Value::Float(sync_ns)),
+        ("async_ns_per_chain".to_string(), tfe_encode::Value::Float(async_ns)),
+        ("sync_ns_per_op".to_string(), tfe_encode::Value::Float(sync_ns / OPS as f64)),
+        ("async_ns_per_op".to_string(), tfe_encode::Value::Float(async_ns / OPS as f64)),
+        ("speedup".to_string(), tfe_encode::Value::Float(speedup)),
+        ("cores".to_string(), tfe_encode::Value::Int(cores as i64)),
+    ])
+}
+
 /// Best-of-`reps` mean ns/op over `iters` iterations each.
 fn time_ns(iters: usize, reps: usize, f: &dyn Fn()) -> f64 {
     f(); // warm caches / allocator outside the timed region
@@ -244,8 +313,11 @@ fn main() {
         rows.push(tfe_encode::Value::object(fields));
     }
 
+    let async_row = bench_async_dispatch(iters.min(4), reps);
+
     let mut fields = vec![
         ("experiment".to_string(), tfe_encode::Value::str("kernels")),
+        ("async_dispatch".to_string(), async_row),
         ("threads".to_string(), tfe_encode::Value::Int(threads as i64)),
         ("quick".to_string(), tfe_encode::Value::Bool(quick)),
         ("rows".to_string(), tfe_encode::Value::Array(rows)),

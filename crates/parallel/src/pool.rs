@@ -29,8 +29,12 @@ pub fn worker_count() -> usize {
     static COUNT: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
     *COUNT.get_or_init(|| {
         if let Ok(v) = std::env::var("TFE_NUM_THREADS") {
-            if let Ok(n) = v.trim().parse::<usize>() {
-                return n.clamp(1, 64);
+            match v.trim().parse::<usize>() {
+                Ok(n) => return n.clamp(1, 64),
+                Err(_) => eprintln!(
+                    "tf-eager: ignoring unparseable TFE_NUM_THREADS={v:?} \
+                     (expected a positive integer); using detected parallelism"
+                ),
             }
         }
         std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).clamp(1, 16)

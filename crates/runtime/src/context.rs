@@ -346,6 +346,9 @@ struct Stack {
     tapes: Vec<Arc<Tape>>,
     sim: Option<SimConfig>,
     exec_mode: ExecMode,
+    /// Nested async-mode overrides; the innermost wins, the `TFE_ASYNC`
+    /// environment default applies when empty.
+    async_overrides: Vec<bool>,
 }
 
 thread_local! {
@@ -360,37 +363,60 @@ fn with_stack<R>(f: impl FnOnce(&mut Stack) -> R) -> R {
 // Devices
 // ---------------------------------------------------------------------------
 
+/// RAII guard for a device scope: pushing happens at construction, popping
+/// on drop — so a panicking closure unwinds the thread's scope stack
+/// correctly instead of leaking the scope into unrelated code that later
+/// runs on the same thread.
+///
+/// Not `Send`: the scope lives on the stack of the thread that opened it.
+#[must_use = "the device scope ends when this guard drops"]
+pub struct DeviceScope {
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl DeviceScope {
+    fn push(device: Device) -> DeviceScope {
+        with_stack(|s| s.devices.push(device));
+        DeviceScope { _not_send: std::marker::PhantomData }
+    }
+}
+
+impl Drop for DeviceScope {
+    fn drop(&mut self) {
+        with_stack(|s| {
+            s.devices.pop();
+        });
+    }
+}
+
+/// Open a device scope by name, closed when the returned guard drops.
+///
+/// # Errors
+/// Unknown device name.
+pub fn device_scope(name: &str) -> Result<DeviceScope> {
+    let device = device_manager().resolve(name).map_err(RuntimeError::Device)?;
+    Ok(DeviceScope::push(device))
+}
+
+/// Open a device scope for an already-resolved device.
+pub fn device_scope_obj(device: Device) -> DeviceScope {
+    DeviceScope::push(device)
+}
+
 /// Run `f` with operations placed on the named device (§4.4's `device`
 /// context manager).
 ///
 /// # Errors
 /// Unknown device name.
 pub fn with_device<R>(name: &str, f: impl FnOnce() -> R) -> Result<R> {
-    let device = device_manager().resolve(name).map_err(RuntimeError::Device)?;
-    Ok(with_device_obj(device, f))
+    let _scope = device_scope(name)?;
+    Ok(f())
 }
 
 /// Like [`with_device`], with an already-resolved device.
 pub fn with_device_obj<R>(device: Device, f: impl FnOnce() -> R) -> R {
-    with_stack(|s| s.devices.push(device));
-    let guard = scopeguard(|| {
-        with_stack(|s| {
-            s.devices.pop();
-        })
-    });
-    let r = f();
-    drop(guard);
-    r
-}
-
-struct Guard<F: FnMut()>(F);
-impl<F: FnMut()> Drop for Guard<F> {
-    fn drop(&mut self) {
-        (self.0)();
-    }
-}
-fn scopeguard<F: FnMut()>(f: F) -> Guard<F> {
-    Guard(f)
+    let _scope = device_scope_obj(device);
+    f()
 }
 
 /// The device new operations run on: the innermost `device` scope, else the
@@ -627,6 +653,146 @@ pub fn exec_mode() -> ExecMode {
 }
 
 // ---------------------------------------------------------------------------
+// Async eager mode (§4.1 asynchronous dispatch)
+// ---------------------------------------------------------------------------
+
+/// The `TFE_ASYNC` environment default, parsed once. Unrecognized values
+/// warn once on stderr and fall back to sync (off).
+fn env_async_default() -> bool {
+    static D: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *D.get_or_init(|| match std::env::var("TFE_ASYNC") {
+        Ok(v) => match v.trim() {
+            "1" | "true" | "on" | "yes" => true,
+            "" | "0" | "false" | "off" | "no" => false,
+            other => {
+                eprintln!(
+                    "tf-eager: ignoring unparseable TFE_ASYNC={other:?} \
+                     (expected 0/1/true/false); eager execution stays synchronous"
+                );
+                false
+            }
+        },
+        Err(_) => false,
+    })
+}
+
+/// Whether eager ops on this thread should dispatch asynchronously.
+pub fn async_enabled() -> bool {
+    with_stack(|s| s.async_overrides.last().copied()).unwrap_or_else(env_async_default)
+}
+
+/// RAII guard that forces synchronous dispatch on the current thread while
+/// alive. Used wherever re-entering the async path could deadlock a
+/// dispatch stream against itself: on the stream threads, and around host
+/// closures invoked from inside graph execution.
+pub(crate) struct ForceSyncScope {
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for ForceSyncScope {
+    fn drop(&mut self) {
+        with_stack(|s| {
+            s.async_overrides.pop();
+        });
+    }
+}
+
+pub(crate) fn force_sync_scope() -> ForceSyncScope {
+    with_stack(|s| s.async_overrides.push(false));
+    ForceSyncScope { _not_send: std::marker::PhantomData }
+}
+
+/// Run `f` with asynchronous dispatch disabled on the calling thread,
+/// overriding both the `TFE_ASYNC` environment default and any enclosing
+/// [`async_scope`]. The exact inverse of [`async_scope`]: ops dispatched
+/// inside run to completion on the caller before `execute` returns.
+///
+/// Unlike [`async_scope`] this is not a sync point — work already enqueued
+/// on the streams keeps running; only *new* dispatches from `f` are forced
+/// synchronous. Pending handles created before the scope still force a
+/// wait when `f` consumes them as inputs.
+pub fn sync_scope<R>(f: impl FnOnce() -> R) -> R {
+    let _guard = force_sync_scope();
+    f()
+}
+
+/// Permanently pin the calling thread to synchronous dispatch. Called once
+/// at the top of every stream dispatch thread: an op executing *on* a
+/// stream must never enqueue behind itself.
+pub(crate) fn disable_async_on_thread() {
+    with_stack(|s| s.async_overrides.push(false));
+}
+
+/// Block until every async dispatch stream has run everything enqueued so
+/// far, and surface the first deferred error, if any (clearing it). With
+/// multiple poisoned streams the remaining errors stay put and surface at
+/// their own next sync point — a deferred error is never silently dropped.
+///
+/// # Errors
+/// The first [`RuntimeError::Deferred`] captured by any stream.
+pub fn sync() -> Result<()> {
+    tfe_metrics::static_counter!(
+        "tfe_async_syncs_total",
+        "Explicit synchronization points (context::sync and async_scope exits)"
+    )
+    .inc();
+    let streams = crate::stream::all();
+    if streams.is_empty() {
+        return Ok(());
+    }
+    let _span = tfe_profile::span("sync", || "context_sync".to_string());
+    for s in &streams {
+        s.drain();
+    }
+    for s in &streams {
+        if let Some(e) = s.take_error() {
+            return Err(e);
+        }
+    }
+    Ok(())
+}
+
+/// Block until all streams are quiet *without* consuming deferred errors —
+/// for raw-storage peeks (e.g. `Variable::peek`) that must not swallow an
+/// error destined for the caller's next real sync point.
+pub(crate) fn drain_streams() {
+    for s in crate::stream::all() {
+        s.drain();
+    }
+}
+
+/// Whether any async dispatch stream still has in-flight work. A
+/// non-blocking probe for tests, benches, and progress displays.
+pub fn async_pending() -> bool {
+    crate::stream::all().iter().any(|s| s.has_inflight())
+}
+
+/// Run `f` with asynchronous eager dispatch enabled on this thread, then
+/// synchronize: the scope exit is a sync point, so every op enqueued inside
+/// has completed — and any deferred error has surfaced — before this
+/// returns. Panic-safe: the mode override is popped during unwinding.
+///
+/// # Errors
+/// The first deferred error captured while the scope was active.
+pub fn async_scope<R>(f: impl FnOnce() -> R) -> Result<R> {
+    struct Restore;
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            with_stack(|s| {
+                s.async_overrides.pop();
+            });
+        }
+    }
+    with_stack(|s| s.async_overrides.push(true));
+    let r = {
+        let _restore = Restore;
+        f()
+    };
+    sync()?;
+    Ok(r)
+}
+
+// ---------------------------------------------------------------------------
 // The dispatcher
 // ---------------------------------------------------------------------------
 
@@ -721,12 +887,30 @@ fn execute_eager(op: &str, inputs: &[Tensor], attrs: Attrs) -> Result<Vec<Tensor
     )
     .inc();
 
-    // Eager-dispatch span: covers validation + inference + the kernel, so
-    // the timeline shows dispatch overhead as the gap around the nested
-    // `kernel` span (§6's eager-vs-staged overhead, measured for real).
+    // Eager-dispatch span: covers validation + inference + the kernel (or,
+    // in async mode, just the enqueue), so the timeline shows dispatch
+    // overhead as the gap around the nested `kernel` span (§6's
+    // eager-vs-staged overhead, measured for real).
     let mut prof_span = tfe_profile::span("eager", || op.to_string());
 
     let device = resolve_device(inputs);
+    let sim = with_stack(|s| s.sim.clone());
+
+    // Async dispatch (§4.1): validate and infer now, enqueue the kernel on
+    // the device's stream, hand back pending handles. Conservative gate —
+    // simulated clocks, cost-only devices, and symbolic inputs stay on the
+    // synchronous path, as does any op whose output shapes aren't fully
+    // inferable from input metadata (data-dependent shapes need values).
+    if sim.is_none()
+        && device.produces_real_values()
+        && async_enabled()
+        && inputs.iter().all(|t| !t.is_symbolic())
+    {
+        if let Some(outputs) = execute_async(op, inputs, &attrs, &device, &mut prof_span)? {
+            return Ok(outputs);
+        }
+    }
+
     let input_data: Vec<Arc<TensorData>> =
         inputs.iter().map(Tensor::value).collect::<Result<_>>()?;
 
@@ -739,7 +923,6 @@ fn execute_eager(op: &str, inputs: &[Tensor], attrs: Attrs) -> Result<Vec<Tensor
 
     // Simulation accounting: the per-op interpreter cost (the CPython
     // stand-in), compile costs on compile-required devices, kernel time.
-    let sim = with_stack(|s| s.sim.clone());
     if let Some(cfg) = &sim {
         cfg.stats.count_eager_op();
         cfg.stats.clock.advance(cfg.dispatch.interpreter_ns);
@@ -804,6 +987,88 @@ fn execute_eager(op: &str, inputs: &[Tensor], attrs: Attrs) -> Result<Vec<Tensor
     Ok(outputs)
 }
 
+/// Enqueue one primitive op on its device's dispatch stream and return
+/// pending handles. `Ok(None)` means "not async-dispatchable, run it
+/// synchronously" (output shapes depend on input *values*). Validation and
+/// shape inference run here, on the calling thread, from handle metadata —
+/// malformed programs still fail eagerly, exactly like sync mode.
+///
+/// # Errors
+/// Validation/inference failures, or the fast-failed deferred error of a
+/// poisoned stream.
+fn execute_async(
+    op: &str,
+    inputs: &[Tensor],
+    attrs: &Attrs,
+    device: &Device,
+    prof_span: &mut Option<tfe_profile::SpanGuard>,
+) -> Result<Option<Vec<Tensor>>> {
+    let def = tfe_ops::global().lookup(op)?;
+    let dtypes: Vec<_> = inputs.iter().map(Tensor::dtype).collect();
+    let shapes: Vec<_> = inputs.iter().map(Tensor::sym_shape).collect();
+    let infer_ctx = InferCtx { dtypes: &dtypes, shapes: &shapes, attrs };
+    let out_sigs = def.infer(&infer_ctx)?;
+    let mut out_shapes = Vec::with_capacity(out_sigs.len());
+    for (_, s) in &out_sigs {
+        match s.to_shape() {
+            Some(shape) => out_shapes.push(shape),
+            None => return Ok(None),
+        }
+    }
+
+    let stream = crate::stream::for_device(device.name());
+    let pending: Vec<_> = out_sigs
+        .iter()
+        .zip(out_shapes)
+        .map(|((dt, _), shape)| stream.pending_value(*dt, shape))
+        .collect();
+    let args: Vec<_> = inputs
+        .iter()
+        .map(|t| t.as_eager().expect("async gate rejects symbolic inputs").async_arg())
+        .collect();
+    let job_op = op.to_string();
+    let job_attrs = attrs.clone();
+    stream.enqueue(
+        op,
+        pending.clone(),
+        Box::new(move || {
+            let input_data: Vec<Arc<TensorData>> =
+                args.iter().map(crate::stream::AsyncArg::resolve).collect::<Result<_>>()?;
+            let t0 = std::time::Instant::now();
+            let out = crate::kernels::run_kernel(&job_op, &job_attrs, &input_data)?;
+            tfe_metrics::static_histogram!(
+                "tfe_kernel_time_ns",
+                "Wall-clock nanoseconds per compute-kernel invocation (eager and staged)",
+                tfe_metrics::DEFAULT_NS_BUCKETS
+            )
+            .observe(t0.elapsed().as_nanos() as u64);
+            Ok(out.into_iter().map(Arc::new).collect())
+        }),
+    )?;
+
+    let outputs: Vec<Tensor> = pending
+        .into_iter()
+        .map(|pv| Tensor::Eager(EagerTensor::pending(pv, device.name().clone())))
+        .collect();
+    // Output sizes are fully determined by the inferred metadata, so the
+    // allocation accounting doesn't have to wait for the kernel.
+    let out_bytes: u64 = outputs
+        .iter()
+        .filter_map(Tensor::as_eager)
+        .map(|t| (t.shape().num_elements() * t.dtype().size_bytes()) as u64)
+        .sum();
+    tfe_metrics::static_counter!(
+        "tfe_eager_bytes_allocated_total",
+        "Tensor bytes produced by eagerly dispatched operations"
+    )
+    .add(out_bytes);
+    if let Some(sp) = prof_span.as_mut() {
+        sp.set_bytes(out_bytes);
+    }
+    record_on_tapes(op, attrs, inputs, &outputs);
+    Ok(Some(outputs))
+}
+
 fn eager_values(inputs: &[Tensor]) -> Result<Vec<Arc<TensorData>>> {
     inputs.iter().map(Tensor::value).collect()
 }
@@ -821,8 +1086,52 @@ fn execute_call(inputs: &[Tensor], attrs: &Attrs) -> Result<Vec<Tensor>> {
             cfg.stats.device_clock.advance(cfg.dispatch.staged_call_latency_ns);
         }
     }
-    let args = eager_values(inputs)?;
     let mode = exec_mode();
+
+    // Staged calls join the caller's stream (§4.1): the graph run is
+    // enqueued like any other op, so a train-step `Func` doesn't block the
+    // input pipeline driving it. Output metadata comes from the traced
+    // signature; calls whose output shapes weren't fully inferred at trace
+    // time fall back to the blocking path.
+    if sim.is_none()
+        && device.produces_real_values()
+        && async_enabled()
+        && inputs.iter().all(|t| !t.is_symbolic())
+    {
+        let out_sigs = func.output_sigs();
+        let known: Option<Vec<_>> = out_sigs.iter().map(|(_, s)| s.to_shape()).collect();
+        if let Some(out_shapes) = known {
+            let stream = crate::stream::for_device(device.name());
+            let pending: Vec<_> = out_sigs
+                .iter()
+                .zip(out_shapes)
+                .map(|((dt, _), shape)| stream.pending_value(*dt, shape))
+                .collect();
+            let args: Vec<_> = inputs
+                .iter()
+                .map(|t| t.as_eager().expect("async gate rejects symbolic inputs").async_arg())
+                .collect();
+            let job_func = func.clone();
+            let job_device = device.clone();
+            stream.enqueue(
+                &format!("call:{name}"),
+                pending.clone(),
+                Box::new(move || {
+                    let vals: Vec<Arc<TensorData>> =
+                        args.iter().map(crate::stream::AsyncArg::resolve).collect::<Result<_>>()?;
+                    executor::run_function_arc(&job_func, &vals, &job_device, mode)
+                }),
+            )?;
+            let outputs: Vec<Tensor> = pending
+                .into_iter()
+                .map(|pv| Tensor::Eager(EagerTensor::pending(pv, device.name().clone())))
+                .collect();
+            record_on_tapes("call", attrs, inputs, &outputs);
+            return Ok(outputs);
+        }
+    }
+
+    let args = eager_values(inputs)?;
     let out = executor::run_function_arc(&func, &args, &device, mode)?;
     let outputs: Vec<Tensor> = out
         .into_iter()

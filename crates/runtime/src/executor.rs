@@ -252,6 +252,11 @@ fn run_node(
                 .iter()
                 .map(|d| Tensor::Eager(EagerTensor::new(d.clone(), device.name().clone())))
                 .collect();
+            // The closure's eager ops must dispatch synchronously: this
+            // node may itself be running on a dispatch-stream thread (a
+            // `call` enqueued in async mode), and enqueueing behind the
+            // op currently executing would deadlock the stream.
+            let _sync = crate::context::force_sync_scope();
             let out = hf(&eager)?;
             out.into_iter().map(|t| t.value()).collect()
         }

@@ -7,6 +7,7 @@
 //! surface ... agnostic to execution mode" (§1).
 
 use crate::error::{Result, RuntimeError};
+use crate::stream::{AsyncArg, PendingValue};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -32,8 +33,7 @@ struct AllocToken {
 }
 
 impl AllocToken {
-    fn new(data: &TensorData) -> Arc<AllocToken> {
-        let bytes = (data.num_elements() * data.dtype().size_bytes()) as i64;
+    fn new(bytes: i64) -> Arc<AllocToken> {
         tfe_metrics::static_gauge!("tfe_live_tensors", "Live eager tensor handles").inc();
         let live = tfe_metrics::static_gauge!(
             "tfe_live_tensor_bytes",
@@ -60,13 +60,23 @@ impl Drop for AllocToken {
     }
 }
 
+/// The value behind a concrete handle: materialized, or still in flight on
+/// an async dispatch stream (§4.1 — handles are returned before kernels
+/// run; metadata is known either way).
+#[derive(Clone)]
+pub(crate) enum Payload {
+    /// Materialized data.
+    Ready(Arc<TensorData>),
+    /// Produced by an op still enqueued on (or running on) a stream.
+    Pending(Arc<PendingValue>),
+}
+
 /// A concrete tensor resident on a device.
 #[derive(Clone)]
 pub struct EagerTensor {
     /// Tape-tracking id.
     pub id: u64,
-    /// The value. `None` data only under cost-only simulation.
-    pub data: Arc<TensorData>,
+    payload: Payload,
     /// Where the tensor lives.
     pub device: DeviceName,
     /// Live-tensor accounting; shared by clones, settled on last drop.
@@ -76,14 +86,98 @@ pub struct EagerTensor {
 impl EagerTensor {
     /// Wrap data on a device with a fresh id.
     pub fn new(data: Arc<TensorData>, device: DeviceName) -> EagerTensor {
-        let _alloc = AllocToken::new(&data);
-        EagerTensor { id: fresh_id(), data, device, _alloc }
+        let bytes = (data.num_elements() * data.dtype().size_bytes()) as i64;
+        EagerTensor {
+            id: fresh_id(),
+            payload: Payload::Ready(data),
+            device,
+            _alloc: AllocToken::new(bytes),
+        }
+    }
+
+    /// Wrap a pending async-dispatch handle. Dtype and shape were inferred
+    /// synchronously at enqueue, so the allocation gauges can account for
+    /// the value before it exists.
+    pub(crate) fn pending(pv: Arc<PendingValue>, device: DeviceName) -> EagerTensor {
+        let bytes = (pv.shape.num_elements() * pv.dtype.size_bytes()) as i64;
+        EagerTensor {
+            id: fresh_id(),
+            payload: Payload::Pending(pv),
+            device,
+            _alloc: AllocToken::new(bytes),
+        }
+    }
+
+    /// Element dtype (known even while pending).
+    pub fn dtype(&self) -> DType {
+        match &self.payload {
+            Payload::Ready(d) => d.dtype(),
+            Payload::Pending(pv) => pv.dtype,
+        }
+    }
+
+    /// Concrete shape (known even while pending — async dispatch requires
+    /// fully-inferred output shapes).
+    pub fn shape(&self) -> &Shape {
+        match &self.payload {
+            Payload::Ready(d) => d.shape(),
+            Payload::Pending(pv) => &pv.shape,
+        }
+    }
+
+    /// Whether the producing op has not completed yet. A resolved async
+    /// output reports `false` even before anyone reads it.
+    pub fn is_pending(&self) -> bool {
+        match &self.payload {
+            Payload::Ready(_) => false,
+            Payload::Pending(pv) => pv.is_pending(),
+        }
+    }
+
+    /// The materialized value. On a pending handle this is a sync point:
+    /// it blocks until the producing op completes and surfaces the
+    /// stream's deferred error if that op (or one before it) failed.
+    ///
+    /// # Errors
+    /// The producing async op failed ([`RuntimeError::Deferred`]).
+    pub fn value(&self) -> Result<Arc<TensorData>> {
+        match &self.payload {
+            Payload::Ready(d) => Ok(d.clone()),
+            Payload::Pending(pv) => {
+                if let Some(r) = pv.try_value() {
+                    return r;
+                }
+                tfe_metrics::static_counter!(
+                    "tfe_async_sync_points_total",
+                    "Blocking waits on pending async tensors (value reads)"
+                )
+                .inc();
+                let _span = tfe_profile::span("sync", || "tensor_value".to_string());
+                pv.wait_value()
+            }
+        }
+    }
+
+    /// The value as a stream-job input: ready data passes through, a
+    /// pending payload is resolved by the consuming job when it runs.
+    pub(crate) fn async_arg(&self) -> AsyncArg {
+        match &self.payload {
+            Payload::Ready(d) => AsyncArg::Ready(d.clone()),
+            Payload::Pending(pv) => AsyncArg::Pending(pv.clone()),
+        }
     }
 }
 
 impl fmt::Debug for EagerTensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "EagerTensor(id={}, {:?}, device={})", self.id, self.data, self.device)
+        match &self.payload {
+            Payload::Ready(d) => {
+                write!(f, "EagerTensor(id={}, {:?}, device={})", self.id, d, self.device)
+            }
+            Payload::Pending(pv) => {
+                write!(f, "EagerTensor(id={}, {:?}, device={})", self.id, pv, self.device)
+            }
+        }
     }
 }
 
@@ -138,7 +232,7 @@ impl Tensor {
     /// Element dtype.
     pub fn dtype(&self) -> DType {
         match self {
-            Tensor::Eager(t) => t.data.dtype(),
+            Tensor::Eager(t) => t.dtype(),
             Tensor::Symbolic(t) => t.dtype,
         }
     }
@@ -146,8 +240,17 @@ impl Tensor {
     /// Possibly-symbolic shape.
     pub fn sym_shape(&self) -> SymShape {
         match self {
-            Tensor::Eager(t) => SymShape::known(t.data.shape()),
+            Tensor::Eager(t) => SymShape::known(t.shape()),
             Tensor::Symbolic(t) => t.shape.clone(),
+        }
+    }
+
+    /// Whether this is a concrete handle whose producing async op has not
+    /// completed yet. Symbolic tensors are never pending.
+    pub fn is_pending(&self) -> bool {
+        match self {
+            Tensor::Eager(t) => t.is_pending(),
+            Tensor::Symbolic(_) => false,
         }
     }
 
@@ -174,13 +277,16 @@ impl Tensor {
         matches!(self, Tensor::Symbolic(_))
     }
 
-    /// The concrete value — the analog of `.numpy()` in the paper.
+    /// The concrete value — the analog of `.numpy()` in the paper. On a
+    /// pending async handle this is a sync point: it blocks until the
+    /// producing op completes and surfaces any deferred stream error.
     ///
     /// # Errors
-    /// Called on a symbolic tensor (inside a trace).
+    /// Called on a symbolic tensor (inside a trace), or the producing
+    /// async op failed ([`RuntimeError::Deferred`]).
     pub fn value(&self) -> Result<Arc<TensorData>> {
         match self {
-            Tensor::Eager(t) => Ok(t.data.clone()),
+            Tensor::Eager(t) => t.value(),
             Tensor::Symbolic(t) => Err(RuntimeError::SymbolicValue(format!(
                 "tensor {t:?} is symbolic; use host_func or init_scope to escape the trace"
             ))),

@@ -44,9 +44,11 @@ pub mod reduce;
 pub mod rng;
 pub mod shape;
 pub mod shape_ops;
+pub mod slot;
 pub mod softmax;
 
 pub use data::{Buffer, Scalar, TensorData};
 pub use dtype::DType;
 pub use error::{Result, TensorError};
 pub use shape::{broadcast_shapes, Shape};
+pub use slot::{AsyncSlot, SlotState};

@@ -1,0 +1,167 @@
+//! A write-once asynchronous value slot.
+//!
+//! [`AsyncSlot`] is the payload cell behind *pending* eager tensor handles
+//! (the deferred-materialization design of the paper's §4.1 dispatch and of
+//! LazyTensor-style front-ends): a handle is created with metadata only,
+//! and the producing stream later resolves the slot exactly once — either
+//! with a value or with an error. Readers can poll or block.
+//!
+//! The slot is deliberately dumb: it knows nothing about streams, devices,
+//! or ordering. Sequencing lives in the runtime's dispatch streams; this
+//! cell only provides the resolve-once/wait rendezvous.
+
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// The three states of an asynchronous value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SlotState<V, E> {
+    /// The producer has not resolved the slot yet.
+    Pending,
+    /// Resolved with a value.
+    Ready(V),
+    /// Resolved with an error.
+    Failed(E),
+}
+
+/// A write-once cell that starts [`SlotState::Pending`] and is resolved by
+/// a producer exactly once. Cloneable results, blocking waiters.
+#[derive(Debug)]
+pub struct AsyncSlot<V, E> {
+    state: Mutex<SlotState<V, E>>,
+    cv: Condvar,
+}
+
+impl<V, E> Default for AsyncSlot<V, E> {
+    fn default() -> Self {
+        AsyncSlot::new()
+    }
+}
+
+impl<V, E> AsyncSlot<V, E> {
+    /// A fresh pending slot.
+    pub fn new() -> AsyncSlot<V, E> {
+        AsyncSlot { state: Mutex::new(SlotState::Pending), cv: Condvar::new() }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, SlotState<V, E>> {
+        // A panic while holding the lock can only happen between plain
+        // moves; the state is still coherent, so poisoning is ignored.
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Resolve with a value. The first resolution wins; later calls are
+    /// ignored (the producer side only ever resolves once by construction,
+    /// but a steal/skip race must not panic the stream thread).
+    pub fn fulfill(&self, v: V) {
+        let mut s = self.lock();
+        if matches!(*s, SlotState::Pending) {
+            *s = SlotState::Ready(v);
+        }
+        drop(s);
+        self.cv.notify_all();
+    }
+
+    /// Resolve with an error. First resolution wins, as with `fulfill`.
+    pub fn fail(&self, e: E) {
+        let mut s = self.lock();
+        if matches!(*s, SlotState::Pending) {
+            *s = SlotState::Failed(e);
+        }
+        drop(s);
+        self.cv.notify_all();
+    }
+
+    /// Whether the slot has been resolved (either way).
+    pub fn is_resolved(&self) -> bool {
+        !matches!(*self.lock(), SlotState::Pending)
+    }
+}
+
+impl<V: Clone, E: Clone> AsyncSlot<V, E> {
+    /// The result, if resolved; `None` while pending. Never blocks.
+    pub fn try_get(&self) -> Option<Result<V, E>> {
+        match &*self.lock() {
+            SlotState::Pending => None,
+            SlotState::Ready(v) => Some(Ok(v.clone())),
+            SlotState::Failed(e) => Some(Err(e.clone())),
+        }
+    }
+
+    /// Block until the slot is resolved and return the result.
+    pub fn wait(&self) -> Result<V, E> {
+        let mut s = self.lock();
+        loop {
+            match &*s {
+                SlotState::Pending => {}
+                SlotState::Ready(v) => return Ok(v.clone()),
+                SlotState::Failed(e) => return Err(e.clone()),
+            }
+            s = self.cv.wait(s).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn starts_pending() {
+        let s: AsyncSlot<i32, String> = AsyncSlot::new();
+        assert!(!s.is_resolved());
+        assert_eq!(s.try_get(), None);
+    }
+
+    #[test]
+    fn fulfill_then_read() {
+        let s: AsyncSlot<i32, String> = AsyncSlot::new();
+        s.fulfill(7);
+        assert!(s.is_resolved());
+        assert_eq!(s.try_get(), Some(Ok(7)));
+        assert_eq!(s.wait(), Ok(7));
+    }
+
+    #[test]
+    fn fail_then_read() {
+        let s: AsyncSlot<i32, String> = AsyncSlot::new();
+        s.fail("boom".to_string());
+        assert_eq!(s.wait(), Err("boom".to_string()));
+    }
+
+    #[test]
+    fn first_resolution_wins() {
+        let s: AsyncSlot<i32, String> = AsyncSlot::new();
+        s.fail("first".to_string());
+        s.fulfill(3);
+        s.fail("second".to_string());
+        assert_eq!(s.try_get(), Some(Err("first".to_string())));
+    }
+
+    #[test]
+    fn wait_blocks_until_producer_resolves() {
+        let slot: Arc<AsyncSlot<u64, String>> = Arc::new(AsyncSlot::new());
+        let waiter = {
+            let slot = slot.clone();
+            std::thread::spawn(move || slot.wait())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        slot.fulfill(42);
+        assert_eq!(waiter.join().unwrap(), Ok(42));
+    }
+
+    #[test]
+    fn many_waiters_all_wake() {
+        let slot: Arc<AsyncSlot<u64, String>> = Arc::new(AsyncSlot::new());
+        let waiters: Vec<_> = (0..8)
+            .map(|_| {
+                let slot = slot.clone();
+                std::thread::spawn(move || slot.wait())
+            })
+            .collect();
+        slot.fulfill(9);
+        for w in waiters {
+            assert_eq!(w.join().unwrap(), Ok(9));
+        }
+    }
+}

@@ -30,8 +30,20 @@ cargo test --release -q --test exec_differential --test concurrency -- --test-th
 echo "==> differential + kernel parity with TFE_NUM_THREADS=1 (release)"
 TFE_NUM_THREADS=1 cargo test --release -q --test exec_differential --test kernel_parity
 
-echo "==> kernel bench smoke (--quick)"
-cargo run --release -q -p tfe-bench --bin kernel_bench -- --quick > /dev/null
+# Async eager gate, both directions: the differential suite under an
+# ambient TFE_ASYNC=1 proves sync == async dispatch bitwise on all the
+# random graphs (eager interpretation included), and the async_eager
+# suite pins the deferred-error contract (surfacing at value reads,
+# explicit syncs, scope exits, fast-failed enqueues, checkpoint saves).
+echo "==> async eager differential + deferred errors with TFE_ASYNC=1 (release)"
+TFE_ASYNC=1 cargo test --release -q --test exec_differential --test async_eager
+
+# The kernel bench doubles as the async dispatch-overhead smoke: it
+# times a ~1k-op eager chain sync vs async (writing the async_dispatch
+# entry of BENCH_kernels.json) and, under TFE_ASSERT_ASYNC with >= 2
+# hardware threads, asserts async wall time beats the sync baseline.
+echo "==> kernel bench smoke (--quick, async overlap asserted on multicore)"
+TFE_ASSERT_ASYNC=1 cargo run --release -q -p tfe-bench --bin kernel_bench -- --quick > /dev/null
 
 # Profiler gate: asserts the disabled probe costs < 2% of an eager
 # dispatch, then profiles two staged parallel training steps and

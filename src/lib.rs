@@ -50,7 +50,9 @@ pub use tfe_core::{
     Arg, ConcreteFunction, Func, FuncStats, HostFunc, RetraceCause, RetraceEvent, TensorSpec,
 };
 pub use tfe_runtime::api;
-pub use tfe_runtime::{context, ExecMode, RuntimeError, Tensor, Variable};
+pub use tfe_runtime::{
+    async_scope, context, sync, sync_scope, DeviceScope, ExecMode, RuntimeError, Tensor, Variable,
+};
 pub use tfe_tensor::{DType, Shape, TensorData};
 
 /// Device abstraction (names, kinds, simulation profiles).

@@ -1,0 +1,456 @@
+//! Asynchronous eager execution (§4.1): per-device dispatch streams,
+//! pending tensor handles, and deferred error surfacing.
+//!
+//! Covers the full deferred-error contract — a kernel failure on a stream
+//! is captured in stream order and surfaces, exactly once, at the *next
+//! sync point*: a `value()` read of a failed handle, an explicit
+//! `tf_eager::sync()`, an `async_scope` exit, a fast-failed enqueue on the
+//! poisoned stream, or a checkpoint save. Also: variable read/write
+//! ordering on the stream, gradients computed under async dispatch, staged
+//! `Func` calls joining the caller's stream, and (the staged-boundary
+//! satellite) an eager op failing inside a traced host function surfacing
+//! its originating op name in serial, parallel, and async modes.
+//!
+//! The dispatch streams are per-device process globals, so tests that
+//! poison a stream serialize on a file-wide mutex and drain every deferred
+//! error before releasing it.
+
+use std::sync::{Mutex, MutexGuard};
+
+use tf_eager::prelude::*;
+use tf_eager::state::checkpoint;
+use tf_eager::state::TrackableGroup;
+use tf_eager::{ExecMode, HostFunc, RuntimeError, TensorData};
+
+/// Serializes the tests in this file: the host CPU's dispatch stream is a
+/// process-wide singleton, so a poisoned-stream test must not interleave
+/// with a test that syncs.
+static STREAM_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    let g = STREAM_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    // A previously *panicked* test may have left unconsumed poison on the
+    // process-global streams; start from a clean slate.
+    tf_eager::init();
+    drain_all_errors();
+    g
+}
+
+/// Consume every deferred error left on any stream.
+fn drain_all_errors() {
+    while tf_eager::sync().is_err() {}
+}
+
+/// A bounded elementwise chain: x ← tanh(x + x·x), n times.
+fn chain(x0: &Tensor, n: usize) -> Result<Tensor, RuntimeError> {
+    let mut x = x0.clone();
+    for _ in 0..n {
+        x = api::tanh(&api::add(&x, &api::mul(&x, &x)?)?)?;
+    }
+    Ok(x)
+}
+
+fn seed_matrix() -> Tensor {
+    let x = api::range(DType::F64, -2.0, 0.001, 4096).unwrap();
+    api::reshape(&x, &[64, 64]).unwrap()
+}
+
+/// An eager `gather` whose constant index is out of range for a 4-element
+/// input: validation passes (shapes are fine), the kernel fails — the same
+/// fault-injection op the graph-executor differential uses.
+fn bad_gather(x: &Tensor, idx: i64) -> Result<Tensor, RuntimeError> {
+    let indices = api::constant(vec![idx], [1])?;
+    api::gather(x, &indices, 0)
+}
+
+fn four_elems() -> Tensor {
+    api::constant(vec![0.1f64, 0.2, 0.3, 0.4], [4]).unwrap()
+}
+
+/// A kernel that takes a few milliseconds, used to hold the stream busy so
+/// ops enqueued behind it are deterministically still queued.
+fn slow_op() -> Result<Tensor, RuntimeError> {
+    let a = api::ones(DType::F64, [192, 192]);
+    let m = api::matmul(&a, &a)?;
+    api::reduce_sum(&m, &[], false)
+}
+
+#[test]
+fn async_scope_matches_sync_bitwise_and_uses_the_stream() {
+    let _g = lock();
+    tf_eager::init();
+    let x0 = seed_matrix();
+    // Force a true synchronous baseline even when TFE_ASYNC=1 is ambient.
+    let want = tf_eager::sync_scope(|| chain(&x0, 200).unwrap().value().unwrap());
+
+    let before =
+        tf_eager::metrics::snapshot().counter_value("tfe_async_ops_enqueued_total").unwrap_or(0);
+    let got = tf_eager::async_scope(|| chain(&x0, 200))
+        .expect("no deferred errors")
+        .expect("chain dispatch")
+        .value()
+        .unwrap();
+    let after =
+        tf_eager::metrics::snapshot().counter_value("tfe_async_ops_enqueued_total").unwrap_or(0);
+
+    assert!(want.all_close(&got, 0.0, 0.0), "async result must be bitwise identical");
+    assert!(
+        after - before >= 600,
+        "the 600 chained ops must dispatch via the stream (enqueued delta {})",
+        after - before
+    );
+}
+
+#[test]
+fn pending_handles_carry_metadata_before_the_kernel_runs() {
+    let _g = lock();
+    tf_eager::init();
+    let a = api::ones(DType::F64, [128, 128]);
+    let mut pending_seen = false;
+    tf_eager::async_scope(|| {
+        let mut m = a.clone();
+        for _ in 0..64 {
+            m = api::tanh(&api::matmul(&m, &a).unwrap()).unwrap();
+            // Metadata is known at enqueue time, without forcing a sync.
+            assert_eq!(m.dtype(), DType::F64);
+            assert_eq!(m.shape().unwrap().dims(), &[128, 128]);
+            pending_seen |= m.is_pending();
+        }
+    })
+    .unwrap();
+    assert!(
+        pending_seen,
+        "64 chained matmuls must outpace enqueue: some handle must be observed pending"
+    );
+}
+
+#[test]
+fn deferred_error_surfaces_at_value_read_with_op_name() {
+    let _g = lock();
+    tf_eager::init();
+    let x = four_elems();
+    let scope = tf_eager::async_scope(|| {
+        let bad = bad_gather(&x, 13).expect("enqueue must succeed; the kernel fails later");
+        let err = bad.value().expect_err("reading a failed handle must error");
+        assert!(
+            matches!(&err, RuntimeError::Deferred { op, .. } if op == "gather"),
+            "want Deferred{{op: gather}}, got {err:?}"
+        );
+        assert!(err.to_string().contains("gather index 13 out of range"), "{err}");
+    });
+    // The read observed the error, so the scope exit is clean.
+    scope.expect("error was already surfaced at the value read");
+    drain_all_errors();
+}
+
+#[test]
+fn deferred_error_surfaces_at_scope_exit_when_never_read() {
+    let _g = lock();
+    tf_eager::init();
+    let x = four_elems();
+    let err = tf_eager::async_scope(|| {
+        let _dropped = bad_gather(&x, 11).expect("enqueue succeeds");
+        // Handle dropped without a read: the scope exit must still see it.
+    })
+    .expect_err("scope exit is a sync point");
+    assert!(
+        matches!(&err, RuntimeError::Deferred { op, .. } if op == "gather"),
+        "want Deferred{{op: gather}}, got {err:?}"
+    );
+    assert!(err.to_string().contains("gather index 11 out of range"), "{err}");
+    drain_all_errors();
+}
+
+#[test]
+fn deferred_error_surfaces_at_explicit_sync() {
+    let _g = lock();
+    tf_eager::init();
+    let x = four_elems();
+    tf_eager::async_scope(|| {
+        let _dropped = bad_gather(&x, 12).expect("enqueue succeeds");
+        let err = tf_eager::sync().expect_err("sync must surface the deferred error");
+        assert!(err.to_string().contains("gather index 12 out of range"), "{err}");
+        // Consumed exactly once: the stream is clean again.
+        tf_eager::sync().expect("second sync is clean");
+        let ok = chain(&four_elems(), 3).unwrap().value().unwrap();
+        assert_eq!(ok.shape().dims(), &[4]);
+    })
+    .expect("all errors consumed inside the scope");
+}
+
+#[test]
+fn poisoned_stream_fails_the_next_enqueue_fast_then_recovers() {
+    let _g = lock();
+    tf_eager::init();
+    let x = four_elems();
+    tf_eager::async_scope(|| {
+        let bad = bad_gather(&x, 10).expect("enqueue succeeds");
+        // Wait for the kernel to fail (resolving the handle) without
+        // consuming the poison — is_pending is not a sync point.
+        while bad.is_pending() {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let err = api::add(&x, &x).expect_err("a poisoned stream fails enqueues fast");
+        assert!(err.to_string().contains("gather index 10 out of range"), "{err}");
+        // The fast-fail consumed the poison: the stream works again.
+        let ok = api::add(&x, &x).expect("stream recovered");
+        let want = api::constant(vec![0.2f64, 0.4, 0.6, 0.8], [4]).unwrap();
+        assert!(ok.value().unwrap().all_close(&want.value().unwrap(), 0.0, 0.0));
+    })
+    .expect("poison was consumed by the fast-failed enqueue");
+}
+
+#[test]
+fn ops_queued_behind_a_failure_are_failed_with_the_originating_op() {
+    let _g = lock();
+    tf_eager::init();
+    let x = four_elems();
+    tf_eager::async_scope(|| {
+        // Head op holds the stream busy so everything below is enqueued
+        // before the fault resolves.
+        let _slow = slow_op().unwrap();
+        let bad = bad_gather(&x, 13).expect("enqueue succeeds");
+        let dep = api::add(&bad, &bad).expect("enqueued before the fault fires");
+        let dep2 = api::mul(&dep, &x).expect("enqueued before the fault fires");
+        for t in [&dep, &dep2] {
+            let err = t.value().expect_err("downstream of the fault must fail");
+            assert!(
+                matches!(&err, RuntimeError::Deferred { op, .. } if op == "gather"),
+                "skipped ops must report the *originating* op, got {err:?}"
+            );
+        }
+    })
+    .expect("errors observed via the dependent reads");
+    drain_all_errors();
+}
+
+#[test]
+fn first_error_wins_in_stream_order() {
+    let _g = lock();
+    tf_eager::init();
+    let x = four_elems();
+    let err = tf_eager::async_scope(|| {
+        let _slow = slow_op().unwrap();
+        let _first = bad_gather(&x, 20).expect("enqueue succeeds");
+        let _second = bad_gather(&x, 21).expect("enqueued before the first fault fires");
+    })
+    .expect_err("scope exit surfaces the deferred error");
+    assert!(
+        err.to_string().contains("gather index 20 out of range"),
+        "stream order decides which error wins, got: {err}"
+    );
+    drain_all_errors();
+}
+
+/// Dropping every handle of a failed op must not lose the error — the
+/// poison stays on the stream until a sync point observes it. This is the
+/// teardown guarantee: nothing in between ever silently swallows it.
+#[test]
+fn dropped_failed_handles_still_surface_at_the_next_sync() {
+    let _g = lock();
+    tf_eager::init();
+    let x = four_elems();
+    tf_eager::async_scope(|| {
+        {
+            let _slow = slow_op().unwrap();
+            let _dropped = bad_gather(&x, 15).expect("enqueue succeeds");
+            // Both handles die here without ever being read.
+        }
+        let err = tf_eager::sync().expect_err("the error must survive handle drops");
+        assert!(err.to_string().contains("gather index 15 out of range"), "{err}");
+    })
+    .expect("consumed inside the scope");
+}
+
+#[test]
+fn variable_reads_and_writes_keep_stream_order() {
+    let _g = lock();
+    tf_eager::init();
+    let v = Variable::new(TensorData::scalar(0.0f64));
+    let one = api::scalar(1.0f64);
+    tf_eager::async_scope(|| {
+        for _ in 0..50 {
+            v.assign_add(&one).unwrap();
+        }
+        let mid = v.read().unwrap();
+        for _ in 0..50 {
+            v.assign_add(&one).unwrap();
+        }
+        // The read was enqueued between the two assign bursts: it must see
+        // exactly the first 50, no matter when the value is forced.
+        assert_eq!(mid.value().unwrap().scalar_f64().unwrap(), 50.0);
+    })
+    .unwrap();
+    // peek() quiesces the streams: all 100 assigns have landed.
+    assert_eq!(v.peek().scalar_f64().unwrap(), 100.0);
+}
+
+#[test]
+fn checkpoint_save_is_a_sync_point_and_fails_on_a_poisoned_stream() {
+    let _g = lock();
+    tf_eager::init();
+    let v = Variable::new(TensorData::scalar(1.0f64));
+    let root = TrackableGroup::new().with_variable("v", &v);
+    let one = api::scalar(1.0f64);
+
+    // Healthy: the snapshot reflects every in-flight assign.
+    tf_eager::async_scope(|| {
+        for _ in 0..20 {
+            v.assign_add(&one).unwrap();
+        }
+        let snap = checkpoint::save_to_value(&root);
+        let dir = std::env::temp_dir().join("tfe_async_ckpt_test.json");
+        checkpoint::save(&root, &dir).expect("healthy save");
+        let _ = std::fs::remove_file(&dir);
+        // Restore is a sync point too, and must round-trip the value.
+        for _ in 0..5 {
+            v.assign_add(&one).unwrap();
+        }
+        checkpoint::restore_from_value(&root, &snap).expect("restore");
+        assert_eq!(v.peek().scalar_f64().unwrap(), 21.0);
+    })
+    .unwrap();
+
+    // Poisoned: the save must fail with the deferred error, not write
+    // state produced before the failure.
+    let x = four_elems();
+    tf_eager::async_scope(|| {
+        let _dropped = bad_gather(&x, 17).expect("enqueue succeeds");
+        let path = std::env::temp_dir().join("tfe_async_ckpt_poisoned.json");
+        let err = checkpoint::save(&root, &path).expect_err("save over a poisoned stream");
+        assert!(err.to_string().contains("gather index 17 out of range"), "{err}");
+        assert!(!path.exists(), "a failed save must not write the file");
+    })
+    .expect("the save consumed the deferred error");
+    drain_all_errors();
+}
+
+#[test]
+fn gradients_match_sync_bitwise_under_async_dispatch() {
+    let _g = lock();
+    tf_eager::init();
+    let x = seed_matrix();
+
+    fn grads_of(x: &Tensor) -> Vec<TensorData> {
+        let tape = GradientTape::new();
+        tape.watch(x);
+        let y = chain(x, 12).unwrap();
+        let loss = api::reduce_mean(&y, &[], false).unwrap();
+        let g = tape.gradient(&loss, &[x]).unwrap();
+        g.into_iter().map(|t| (*t.expect("connected").value().unwrap()).clone()).collect()
+    }
+
+    let sync_grads = tf_eager::sync_scope(|| grads_of(&x));
+    let async_grads = tf_eager::async_scope(|| grads_of(&x)).expect("no deferred errors");
+    for (s, a) in sync_grads.iter().zip(&async_grads) {
+        assert!(s.all_close(a, 0.0, 0.0), "backward pass must be bitwise identical under async");
+    }
+}
+
+#[test]
+fn staged_calls_join_the_callers_stream() {
+    let _g = lock();
+    tf_eager::init();
+    let square_shift = tf_eager::function("async_staged_fn", |args: &[Arg]| {
+        let x = args[0].as_tensor().expect("tensor arg");
+        let y = api::mul(x, x)?;
+        Ok(vec![api::add(&y, &api::scalar(0.5f64))?])
+    });
+    let x = seed_matrix();
+    let want = tf_eager::sync_scope(|| {
+        square_shift.call_tensors(&[&x]).unwrap().remove(0).value().unwrap()
+    });
+
+    let before =
+        tf_eager::metrics::snapshot().counter_value("tfe_async_ops_enqueued_total").unwrap_or(0);
+    let got = tf_eager::async_scope(|| {
+        let out = square_shift.call_tensors(&[&x]).unwrap().remove(0);
+        // The call returns pending handles with the traced signature.
+        assert_eq!(out.shape().unwrap().dims(), &[64, 64]);
+        out.value().unwrap()
+    })
+    .expect("no deferred errors");
+    let after =
+        tf_eager::metrics::snapshot().counter_value("tfe_async_ops_enqueued_total").unwrap_or(0);
+
+    assert!(want.all_close(&got, 0.0, 0.0), "staged call must match under async");
+    assert!(after > before, "the staged call must be enqueued on the stream");
+}
+
+#[test]
+fn staged_call_failure_defers_to_the_next_sync_point() {
+    let _g = lock();
+    tf_eager::init();
+    let faulty = tf_eager::function("async_faulty_fn", |args: &[Arg]| {
+        let x = args[0].as_tensor().expect("tensor arg");
+        let idx = api::constant(vec![23i64], [1])?;
+        Ok(vec![api::gather(x, &idx, 0)?])
+    });
+    let x = four_elems();
+    // Sync mode: the call fails inline (sync_scope pins the dispatch mode
+    // so this holds even under an ambient TFE_ASYNC=1).
+    let sync_err = tf_eager::sync_scope(|| faulty.call_tensors(&[&x])).expect_err("inline failure");
+    assert!(sync_err.to_string().contains("gather index 23 out of range"), "{sync_err}");
+
+    // Async mode: the call enqueues fine; the error surfaces at scope exit
+    // naming both the call and the originating kernel failure.
+    let err = tf_eager::async_scope(|| {
+        let _dropped = faulty.call_tensors(&[&x]).expect("enqueue succeeds");
+    })
+    .expect_err("scope exit surfaces the deferred call error");
+    let msg = err.to_string();
+    assert!(
+        matches!(&err, RuntimeError::Deferred { op, .. } if op.starts_with("call:")),
+        "want Deferred{{op: call:…}}, got {err:?}"
+    );
+    assert!(msg.contains("gather index 23 out of range"), "{msg}");
+    drain_all_errors();
+}
+
+/// Satellite: an eager op failing inside a *traced host function* must
+/// surface its originating op name through `Func` execution in serial,
+/// parallel, and async modes.
+#[test]
+fn host_func_failure_inside_staged_call_names_the_op_in_all_modes() {
+    let _g = lock();
+    tf_eager::init();
+    let hf = HostFunc::new(
+        |xs| {
+            // Eager fault inside the host closure: gather index 19 on a
+            // 4-element tensor.
+            let idx = api::constant(vec![19i64], [1])?;
+            api::gather(&xs[0], &idx, 0)?;
+            unreachable!("gather must fail")
+        },
+        vec![(DType::F64, tfe_ops::SymShape::known(&tf_eager::Shape::from([1])))],
+    );
+    let staged = {
+        let hf = hf.clone();
+        tf_eager::function("async_hostfunc_fault", move |args: &[Arg]| {
+            let x = args[0].as_tensor().expect("tensor arg");
+            let t = api::tanh(x)?;
+            Ok(vec![hf.call(&[&t])?.remove(0)])
+        })
+    };
+    let x = four_elems();
+
+    for mode in [ExecMode::SerialPlanned, ExecMode::Parallel] {
+        let prev = tf_eager::context::set_exec_mode(mode);
+        let err =
+            tf_eager::sync_scope(|| staged.call_tensors(&[&x])).expect_err("traced host fault");
+        assert!(
+            err.to_string().contains("gather index 19 out of range"),
+            "{mode:?}: originating op lost: {err}"
+        );
+        let async_err = tf_eager::async_scope(|| {
+            let _dropped = staged.call_tensors(&[&x]).expect("enqueue succeeds");
+        })
+        .expect_err("async: deferred at scope exit");
+        assert!(
+            async_err.to_string().contains("gather index 19 out of range"),
+            "{mode:?} async: originating op lost: {async_err}"
+        );
+        tf_eager::context::set_exec_mode(prev);
+    }
+    drain_all_errors();
+}

@@ -205,6 +205,40 @@ fn make_args(seed: u64, shapes: &[Vec<usize>]) -> Vec<Arc<TensorData>> {
         .collect()
 }
 
+/// Interpret a generated graph as a chain of *eager* ops through the
+/// central dispatcher, node by node in program order — the same kernels
+/// over the same operands as the graph executors, but driven through
+/// `context::execute` so the eager dispatch path (sync or async, per the
+/// ambient mode) is what's under test.
+fn eager_interpret(
+    f: &GraphFunction,
+    args: &[Arc<TensorData>],
+) -> Result<Vec<Arc<TensorData>>, tf_eager::RuntimeError> {
+    use std::collections::HashMap;
+    let mut vals: HashMap<(usize, usize), tf_eager::Tensor> = HashMap::new();
+    for (i, nid) in f.inputs.iter().enumerate() {
+        vals.insert((nid.0, 0), tf_eager::Tensor::from_data((*args[i]).clone()));
+    }
+    for (id, node) in f.nodes.iter().enumerate() {
+        match node.op.as_str() {
+            "placeholder" => {}
+            "const" => {
+                let idx = node.attrs.int("value_index").expect("const index") as usize;
+                vals.insert((id, 0), tf_eager::Tensor::from_data((*f.constants[idx]).clone()));
+            }
+            _ => {
+                let ins: Vec<tf_eager::Tensor> =
+                    node.inputs.iter().map(|r| vals[&(r.node.0, r.output)].clone()).collect();
+                let outs = tfe_runtime::context::execute(&node.op, &ins, node.attrs.clone())?;
+                for (k, t) in outs.into_iter().enumerate() {
+                    vals.insert((id, k), t);
+                }
+            }
+        }
+    }
+    f.outputs.iter().map(|r| vals[&(r.node.0, r.output)].value()).collect()
+}
+
 #[test]
 fn serial_parallel_and_optimized_agree_on_random_graphs() {
     tf_eager::init();
@@ -249,6 +283,83 @@ fn serial_parallel_and_optimized_agree_on_random_graphs() {
     }
 }
 
+/// Eager dispatch differential: the same random graphs, interpreted as
+/// chains of eager ops, must match the serial graph executor bitwise — in
+/// synchronous dispatch *and* under `async_scope`, where every op becomes
+/// a pending handle on the device's dispatch stream. With `TFE_ASYNC=1`
+/// the "sync" interpretation dispatches asynchronously too, so a CI run
+/// under that variable covers env-driven async as well.
+#[test]
+fn eager_sync_and_async_match_serial_on_random_graphs() {
+    tf_eager::init();
+    let device = tfe_runtime::context::device_manager().host_cpu();
+    for seed in 0..CASES {
+        let (f, shapes) = generate(seed);
+        let args = make_args(seed, &shapes);
+        let serial = executor::run_function(&f, &args, &device, ExecMode::SerialPlanned)
+            .unwrap_or_else(|e| panic!("case {seed} serial failed: {e}\n{}", f.dump()));
+        let eager = eager_interpret(&f, &args)
+            .unwrap_or_else(|e| panic!("case {seed} eager failed: {e}\n{}", f.dump()));
+        let eager_async = tf_eager::async_scope(|| eager_interpret(&f, &args))
+            .unwrap_or_else(|e| panic!("case {seed} async scope failed: {e}\n{}", f.dump()))
+            .unwrap_or_else(|e| panic!("case {seed} async eager failed: {e}\n{}", f.dump()));
+        for (k, ((s, e), a)) in serial.iter().zip(&eager).zip(&eager_async).enumerate() {
+            assert!(
+                s.all_close(e, 0.0, 0.0),
+                "case {seed} output {k}: serial {s:?} vs eager {e:?}\n{}",
+                f.dump()
+            );
+            assert!(
+                s.all_close(a, 0.0, 0.0),
+                "case {seed} output {k}: serial {s:?} vs async eager {a:?}\n{}",
+                f.dump()
+            );
+        }
+    }
+}
+
+/// The stateful-graph generator shared by the graph-mode and async-eager
+/// differentials: random interleavings of variable reads, writes, and
+/// stateless math over `vars`, always ending on fresh reads so the final
+/// state is observable.
+fn generate_stateful(seed: u64, var_ids: &[i64]) -> GraphFunction {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed * 104729 + 7);
+    let mut b = GraphBuilder::new(&format!("diff_stateful_{seed}"));
+    let read_attrs = |vid: i64| {
+        Attrs::new().with("var_id", vid).with("dtype", DType::F64).with("shape", Vec::<i64>::new())
+    };
+    let mut latest: Vec<TensorRef> = Vec::new();
+    for _ in 0..rng.gen_range(6usize..16) {
+        let vid = var_ids[rng.gen_range(0usize..var_ids.len())];
+        match rng.gen_range(0u32..4) {
+            0 | 1 => {
+                let r = b.add_node("read_variable", vec![], read_attrs(vid)).unwrap()[0];
+                latest.push(r);
+            }
+            2 if !latest.is_empty() => {
+                let src = latest[rng.gen_range(0usize..latest.len())];
+                let t = b.add_node("tanh", vec![src], Attrs::new()).unwrap()[0];
+                b.add_node("assign_add", vec![t], Attrs::new().with("var_id", vid)).unwrap();
+            }
+            _ if !latest.is_empty() => {
+                let x = latest[rng.gen_range(0usize..latest.len())];
+                let y = latest[rng.gen_range(0usize..latest.len())];
+                let s = b.add_node("add", vec![x, y], Attrs::new()).unwrap()[0];
+                latest.push(s);
+            }
+            _ => {
+                let r = b.add_node("read_variable", vec![], read_attrs(vid)).unwrap()[0];
+                latest.push(r);
+            }
+        }
+    }
+    let finals: Vec<TensorRef> = var_ids
+        .iter()
+        .map(|&vid| b.add_node("read_variable", vec![], read_attrs(vid)).unwrap()[0])
+        .collect();
+    b.finish(finals, 0)
+}
+
 /// Stateful graphs: random interleavings of variable reads, writes, and
 /// stateless math. Parallel must match serial bit-for-bit on outputs *and*
 /// on final variable state — sequencing edges, not luck.
@@ -257,50 +368,11 @@ fn stateful_graphs_match_serial_bit_for_bit() {
     tf_eager::init();
     let device = tfe_runtime::context::device_manager().host_cpu();
     for seed in 0..40u64 {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed * 104729 + 7);
         let vars: Vec<tf_eager::Variable> =
             (0..2).map(|k| tf_eager::Variable::new(TensorData::scalar(k as f64 + 1.0))).collect();
         let initial: Vec<Arc<TensorData>> = vars.iter().map(|v| v.peek()).collect();
         let var_ids: Vec<i64> = vars.iter().map(|v| v.id() as i64).collect();
-
-        let mut b = GraphBuilder::new(&format!("diff_stateful_{seed}"));
-        let read_attrs = |vid: i64| {
-            Attrs::new()
-                .with("var_id", vid)
-                .with("dtype", DType::F64)
-                .with("shape", Vec::<i64>::new())
-        };
-        let mut latest: Vec<TensorRef> = Vec::new();
-        for _ in 0..rng.gen_range(6usize..16) {
-            let vid = var_ids[rng.gen_range(0usize..var_ids.len())];
-            match rng.gen_range(0u32..4) {
-                0 | 1 => {
-                    let r = b.add_node("read_variable", vec![], read_attrs(vid)).unwrap()[0];
-                    latest.push(r);
-                }
-                2 if !latest.is_empty() => {
-                    let src = latest[rng.gen_range(0usize..latest.len())];
-                    let t = b.add_node("tanh", vec![src], Attrs::new()).unwrap()[0];
-                    b.add_node("assign_add", vec![t], Attrs::new().with("var_id", vid)).unwrap();
-                }
-                _ if !latest.is_empty() => {
-                    let x = latest[rng.gen_range(0usize..latest.len())];
-                    let y = latest[rng.gen_range(0usize..latest.len())];
-                    let s = b.add_node("add", vec![x, y], Attrs::new()).unwrap()[0];
-                    latest.push(s);
-                }
-                _ => {
-                    let r = b.add_node("read_variable", vec![], read_attrs(vid)).unwrap()[0];
-                    latest.push(r);
-                }
-            }
-        }
-        // Always end on fresh reads so the final state is observable.
-        let finals: Vec<TensorRef> = var_ids
-            .iter()
-            .map(|&vid| b.add_node("read_variable", vec![], read_attrs(vid)).unwrap()[0])
-            .collect();
-        let f = b.finish(finals, 0);
+        let f = generate_stateful(seed, &var_ids);
         assert!(f.is_stateful());
 
         let serial = executor::run_function(&f, &[], &device, ExecMode::SerialPlanned)
@@ -324,6 +396,46 @@ fn stateful_graphs_match_serial_bit_for_bit() {
             );
         }
         assert_eq!(serial_state, parallel_state, "case {seed} variable state\n{}", f.dump());
+    }
+}
+
+/// Async eager dispatch over stateful programs: reads and writes enqueued
+/// on the device stream execute in program order, so interpreting the same
+/// random read/write interleavings eagerly inside an `async_scope` must
+/// reproduce the serial graph executor bit-for-bit — outputs *and* final
+/// variable state.
+#[test]
+fn async_eager_stateful_interleavings_match_serial() {
+    tf_eager::init();
+    let device = tfe_runtime::context::device_manager().host_cpu();
+    for seed in 0..40u64 {
+        let vars: Vec<tf_eager::Variable> =
+            (0..2).map(|k| tf_eager::Variable::new(TensorData::scalar(k as f64 + 1.0))).collect();
+        let initial: Vec<Arc<TensorData>> = vars.iter().map(|v| v.peek()).collect();
+        let var_ids: Vec<i64> = vars.iter().map(|v| v.id() as i64).collect();
+        let f = generate_stateful(seed, &var_ids);
+
+        let serial = executor::run_function(&f, &[], &device, ExecMode::SerialPlanned)
+            .unwrap_or_else(|e| panic!("case {seed} serial failed: {e}\n{}", f.dump()));
+        let serial_state: Vec<f64> = vars.iter().map(|v| v.peek().scalar_f64().unwrap()).collect();
+
+        // Reset and replay the same program as async eager ops.
+        for (v, init) in vars.iter().zip(&initial) {
+            v.restore((**init).clone()).unwrap();
+        }
+        let eager_async = tf_eager::async_scope(|| eager_interpret(&f, &[]))
+            .unwrap_or_else(|e| panic!("case {seed} async scope failed: {e}\n{}", f.dump()))
+            .unwrap_or_else(|e| panic!("case {seed} async eager failed: {e}\n{}", f.dump()));
+        let async_state: Vec<f64> = vars.iter().map(|v| v.peek().scalar_f64().unwrap()).collect();
+
+        for (k, (s, a)) in serial.iter().zip(&eager_async).enumerate() {
+            assert!(
+                s.all_close(a, 0.0, 0.0),
+                "case {seed} output {k}: serial {s:?} vs async eager {a:?}\n{}",
+                f.dump()
+            );
+        }
+        assert_eq!(serial_state, async_state, "case {seed} variable state\n{}", f.dump());
     }
 }
 
