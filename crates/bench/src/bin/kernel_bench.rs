@@ -252,6 +252,114 @@ fn bench_async_dispatch(iters: usize, reps: usize) -> tfe_encode::Value {
     ])
 }
 
+/// Optimized-vs-unoptimized staged step: a graph deliberately rich in
+/// rewrite opportunities (identity chains, `x*1`/`x+0` constants, double
+/// transposes, a transpose feeding matmul, duplicated subexpressions and
+/// a static `shape_of`) is executed as traced and after the fixpoint
+/// pipeline. The delta is what the pass driver buys per staged step; the
+/// row also records how many sweeps the fixpoint took and how many nodes
+/// it removed.
+fn bench_pass_pipeline(iters: usize, reps: usize) -> tfe_encode::Value {
+    use std::sync::Arc;
+    use tfe_graph::passes::{self, OptimizeOptions};
+    use tfe_graph::GraphBuilder;
+    use tfe_ops::{Attrs, SymShape};
+    use tfe_runtime::{executor, ExecMode};
+    use tfe_tensor::DType;
+
+    let dims = [32usize, 32];
+    let mut b = GraphBuilder::new("bench_pass_pipeline");
+    let x = b
+        .placeholder(DType::F64, SymShape::known(&tfe_tensor::Shape::new(dims.to_vec())))
+        .expect("placeholder");
+    let mut t = x;
+    // Identity-element noise: every op here is removable by the algebraic
+    // pass, and every constant is CSE/prune fodder once its consumer dies.
+    for _ in 0..12 {
+        let one = b.constant(Arc::new(TensorData::scalar(1.0f64))).expect("const 1");
+        t = b.add_node("mul", vec![t, one], Attrs::new()).expect("mul")[0];
+        let zero = b.constant(Arc::new(TensorData::scalar(0.0f64))).expect("const 0");
+        t = b.add_node("add", vec![t, zero], Attrs::new()).expect("add")[0];
+        t = b.add_node("identity", vec![t], Attrs::new()).expect("identity")[0];
+    }
+    // Double transposes cancel; pairs only disappear once the inner one's
+    // other consumers are gone, so this exercises the fixpoint.
+    let perm = || Attrs::new().with("perm", vec![1i64, 0]);
+    for _ in 0..4 {
+        let inner = b.add_node("transpose", vec![t], perm()).expect("transpose")[0];
+        t = b.add_node("transpose", vec![inner], perm()).expect("transpose")[0];
+    }
+    // Duplicate subexpressions for CSE, then a transpose absorbed into
+    // the matmul as `transpose_a`.
+    let u1 = b.add_node("tanh", vec![t], Attrs::new()).expect("tanh")[0];
+    let u2 = b.add_node("tanh", vec![t], Attrs::new()).expect("tanh")[0];
+    let s = b.add_node("add", vec![u1, u2], Attrs::new()).expect("add")[0];
+    let tr = b.add_node("transpose", vec![s], perm()).expect("transpose")[0];
+    let m = b.add_node("matmul", vec![tr, s], Attrs::new()).expect("matmul")[0];
+    // Static metadata: folds to a constant under propagate_constants.
+    let sh = b.add_node("shape_of", vec![x], Attrs::new()).expect("shape_of")[0];
+    let f = b.finish(vec![m, sh], 0);
+
+    let evaluator =
+        |node: &tfe_graph::Node, ins: &[Arc<TensorData>]| -> Result<Vec<TensorData>, String> {
+            tfe_runtime::kernels::run_kernel(&node.op, &node.attrs, ins).map_err(|e| e.to_string())
+        };
+    let (optimized, stats) =
+        passes::optimize_with_stats(&f, &OptimizeOptions::default(), Some(&evaluator));
+
+    let device = tfe_runtime::context::device_manager().host_cpu();
+    let args: Vec<Arc<TensorData>> = vec![Arc::new(f32_tensor(&dims).cast(DType::F64))];
+
+    // Agreement first: a faster pipeline that changes answers is a bug,
+    // not a speedup. Matmul via `transpose_a` may reassociate: allow 1e-9.
+    let raw_out = executor::run_function(&f, &args, &device, ExecMode::SerialPlanned)
+        .expect("raw staged run");
+    let opt_out = executor::run_function(&optimized, &args, &device, ExecMode::SerialPlanned)
+        .expect("optimized staged run");
+    for (k, (r, o)) in raw_out.iter().zip(&opt_out).enumerate() {
+        assert!(r.all_close(o, 1e-9, 1e-9), "pass_pipeline output {k} diverged");
+    }
+
+    let raw_ns = time_ns(iters, reps, &|| {
+        executor::run_function(&f, &args, &device, ExecMode::SerialPlanned).expect("raw step");
+    });
+    let opt_ns = time_ns(iters, reps, &|| {
+        executor::run_function(&optimized, &args, &device, ExecMode::SerialPlanned)
+            .expect("optimized step");
+    });
+    let speedup = raw_ns / opt_ns;
+    let (before, after) = (f.executable_node_count(), optimized.executable_node_count());
+    println!(
+        "{:<26} {:>14} {:>14.0} {:>14.0} {:>7.2}x {:>8}   {} -> {} nodes, {} sweeps",
+        "pass_pipeline", "-", raw_ns, opt_ns, speedup, "-", before, after, stats.sweeps
+    );
+    // (for this row "serial ns/op" = unoptimized staged step, "par ns/op"
+    //  = fixpoint-optimized staged step)
+
+    let rewrites: Vec<tfe_encode::Value> = stats
+        .rewrites
+        .iter()
+        .map(|(pass, n)| {
+            tfe_encode::Value::object(vec![
+                ("pass".to_string(), tfe_encode::Value::str(*pass)),
+                ("rewrites".to_string(), tfe_encode::Value::Int(*n as i64)),
+            ])
+        })
+        .collect();
+    tfe_encode::Value::object(vec![
+        ("shape".to_string(), tfe_encode::Value::str("32x32 f64 rewrite-rich staged step")),
+        ("unoptimized_ns_per_step".to_string(), tfe_encode::Value::Float(raw_ns)),
+        ("optimized_ns_per_step".to_string(), tfe_encode::Value::Float(opt_ns)),
+        ("speedup".to_string(), tfe_encode::Value::Float(speedup)),
+        ("nodes_before".to_string(), tfe_encode::Value::Int(before as i64)),
+        ("nodes_after".to_string(), tfe_encode::Value::Int(after as i64)),
+        ("sweeps".to_string(), tfe_encode::Value::Int(stats.sweeps as i64)),
+        ("converged".to_string(), tfe_encode::Value::Bool(stats.converged)),
+        ("total_rewrites".to_string(), tfe_encode::Value::Int(stats.total_rewrites() as i64)),
+        ("rewrites".to_string(), tfe_encode::Value::Array(rewrites)),
+    ])
+}
+
 /// Best-of-`reps` mean ns/op over `iters` iterations each.
 fn time_ns(iters: usize, reps: usize, f: &dyn Fn()) -> f64 {
     f(); // warm caches / allocator outside the timed region
@@ -314,10 +422,12 @@ fn main() {
     }
 
     let async_row = bench_async_dispatch(iters.min(4), reps);
+    let pass_row = bench_pass_pipeline(iters * 20, reps);
 
     let mut fields = vec![
         ("experiment".to_string(), tfe_encode::Value::str("kernels")),
         ("async_dispatch".to_string(), async_row),
+        ("pass_pipeline".to_string(), pass_row),
         ("threads".to_string(), tfe_encode::Value::Int(threads as i64)),
         ("quick".to_string(), tfe_encode::Value::Bool(quick)),
         ("rows".to_string(), tfe_encode::Value::Array(rows)),

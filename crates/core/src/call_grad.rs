@@ -216,7 +216,7 @@ pub fn build_bundle(conc: &Arc<ConcreteFunction>) -> Result<ForwardBundle> {
      -> std::result::Result<Vec<TensorData>, String> {
         tfe_runtime::kernels::run_kernel(&node.op, &node.attrs, inputs).map_err(|e| e.to_string())
     };
-    let bwd_opt = tfe_graph::passes::optimize(
+    let (bwd_opt, bwd_stats) = tfe_graph::passes::optimize_with_stats(
         &bwd_raw,
         &tfe_graph::passes::OptimizeOptions::default(),
         Some(&evaluator),
@@ -236,6 +236,7 @@ pub fn build_bundle(conc: &Arc<ConcreteFunction>) -> Result<ForwardBundle> {
         var_ids: Vec::new(),
         stateful: false,
         n_primary: outs.len(),
+        opt_stats: bwd_stats,
         forward: std::sync::OnceLock::new(),
     });
     register_concrete(&bwd_concrete);

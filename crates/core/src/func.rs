@@ -646,6 +646,40 @@ impl Func {
         out
     }
 
+    /// Human-readable optimization report: one line per cached concrete
+    /// function with the fixpoint sweep count, whether it converged,
+    /// executable node counts before/after, and per-pass rewrite totals.
+    /// The runtime-wide counterparts are the `tfe_pass_pipeline_*` metrics.
+    pub fn optimization_report(&self) -> String {
+        let mut entries: Vec<Arc<ConcreteFunction>> =
+            self.inner.cache.lock().values().cloned().collect();
+        entries.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut out =
+            format!("function `{}`: {} concrete functions\n", self.inner.name, entries.len());
+        if entries.is_empty() {
+            out.push_str("  none traced yet\n");
+        }
+        for c in entries {
+            let s = &c.opt_stats;
+            out.push_str(&format!(
+                "  {}: {} -> {} nodes, {} sweeps ({}), {} rewrites",
+                c.name,
+                c.raw.executable_node_count(),
+                c.function.executable_node_count(),
+                s.sweeps,
+                if s.converged { "converged" } else { "sweep cap hit" },
+                s.total_rewrites(),
+            ));
+            if !s.rewrites.is_empty() {
+                let parts: Vec<String> =
+                    s.rewrites.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                out.push_str(&format!(" [{}]", parts.join(", ")));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
     fn cache_key(&self, args: &[Arg]) -> CacheKey {
         let mut keys = Vec::with_capacity(args.len());
         let mut tensor_idx = 0usize;
@@ -712,7 +746,7 @@ impl Func {
             tfe_runtime::kernels::run_kernel(&node.op, &node.attrs, inputs)
                 .map_err(|e| e.to_string())
         };
-        let optimized = passes::optimize(&raw, &options, Some(&evaluator));
+        let (optimized, opt_stats) = passes::optimize_with_stats(&raw, &options, Some(&evaluator));
         let function = context::library().insert(optimized);
 
         let concrete = Arc::new(ConcreteFunction {
@@ -723,6 +757,7 @@ impl Func {
             var_ids,
             stateful,
             n_primary,
+            opt_stats,
             forward: OnceLock::new(),
         });
         crate::call_grad::register_concrete(&concrete);
@@ -822,6 +857,9 @@ pub struct ConcreteFunction {
     pub stateful: bool,
     /// Number of user-visible outputs.
     pub n_primary: usize,
+    /// What the fixpoint optimizer did to turn [`raw`](Self::raw) into
+    /// [`function`](Self::function): sweeps, convergence, per-pass rewrites.
+    pub opt_stats: passes::OptimizeStats,
     pub(crate) forward: OnceLock<std::result::Result<Arc<crate::call_grad::ForwardBundle>, String>>,
 }
 

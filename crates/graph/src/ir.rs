@@ -166,6 +166,52 @@ impl GraphFunction {
         preds
     }
 
+    /// A structural fingerprint of the whole function: ops, dataflow,
+    /// attributes, signatures, control edges, outputs, and constant values.
+    /// Two functions with equal hashes are (modulo collisions) the same
+    /// graph, so the optimizer's fixpoint driver iterates its pass sweep
+    /// until this value stops changing. Uses `DefaultHasher` with its fixed
+    /// default keys, so the value is stable across processes.
+    pub fn structural_hash(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        self.nodes.len().hash(&mut h);
+        for n in &self.nodes {
+            n.op.hash(&mut h);
+            for t in &n.inputs {
+                t.node.0.hash(&mut h);
+                t.output.hash(&mut h);
+            }
+            n.attrs.hash(&mut h);
+            n.outputs.hash(&mut h);
+            n.stateful.hash(&mut h);
+            for c in &n.control_inputs {
+                c.0.hash(&mut h);
+            }
+        }
+        for id in &self.inputs {
+            id.0.hash(&mut h);
+        }
+        for t in &self.outputs {
+            t.node.0.hash(&mut h);
+            t.output.hash(&mut h);
+        }
+        self.num_captures.hash(&mut h);
+        self.constants.len().hash(&mut h);
+        for c in &self.constants {
+            c.dtype().hash(&mut h);
+            c.shape().dims().hash(&mut h);
+            // Constant payloads are append-only across passes, so hashing a
+            // bounded prefix (plus dtype/shape/pool position above) is
+            // enough to distinguish sweeps without rehashing big weights.
+            for v in c.to_f64_vec().iter().take(4096) {
+                v.to_bits().hash(&mut h);
+            }
+        }
+        h.finish()
+    }
+
     /// Render a compact, human-readable listing (one node per line) — the
     /// debugging view of Figure 2's graphs.
     pub fn dump(&self) -> String {

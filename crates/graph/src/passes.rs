@@ -4,14 +4,44 @@
 //! "inter-op parallelism and optimizations like constant-folding and buffer
 //! reuse"; §5: "non-stateful operations that are not reachable from the
 //! outputs of a function are pruned"). Fusion is the XLA stand-in (§4.4).
+//!
+//! The driver is a *fixpoint loop*: one sweep runs every enabled pass once,
+//! the graph is fingerprinted with [`GraphFunction::structural_hash`], and
+//! sweeps repeat until the hash stabilizes (or
+//! [`OptimizeOptions::max_sweeps`] is hit). Iteration is what lets the
+//! passes compound — an algebraic rewrite exposes a constant subgraph that
+//! folds on the next sweep, folding exposes dead work for the pruner, and
+//! so on. Every pass is monotone (it only removes or simplifies work), so
+//! the loop cannot oscillate; the cap is a backstop, not a tuning knob.
+//!
+//! Elementwise fusion is deliberately *outside* the loop: it is a backend
+//! lowering whose `fused_elementwise` programs are opaque to the scalar
+//! passes, so it runs once after convergence.
 
 use crate::ir::{GraphFunction, Node, NodeId, TensorRef};
 use crate::program::{Instr, Program};
-use std::collections::{HashMap, HashSet};
+use crate::sequencing::{classify, sequence_control_edges, Access, Resource};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::sync::Arc;
+use tfe_ops::algebra::{
+    compose_perms, identity_operand, is_identity_perm, is_swap_perm, IdentitySide,
+};
 use tfe_ops::{AttrValue, Attrs};
 use tfe_tensor::elementwise::{BinaryOp, UnaryOp};
-use tfe_tensor::{DType, TensorData};
+use tfe_tensor::{DType, Shape, TensorData};
+
+/// Names of the seven pipeline passes, in sweep order (fusion last, outside
+/// the fixpoint loop). These are the keys of [`OptimizeStats::rewrites`]
+/// and the `pass` label values of `tfe_pass_pipeline_rewrites_total`.
+pub const PASS_NAMES: [&str; 7] = [
+    "propagate_constants",
+    "fold_constants",
+    "simplify_algebraic",
+    "cse",
+    "eliminate_dead_stores",
+    "prune",
+    "fuse_elementwise",
+];
 
 /// Options controlling [`optimize`].
 #[derive(Debug, Clone)]
@@ -23,10 +53,25 @@ pub struct OptimizeOptions {
     /// Evaluate stateless nodes with all-constant inputs at optimization
     /// time (requires an evaluator; skipped otherwise).
     pub fold_constants: bool,
+    /// Fold tensor-metadata ops (`shape_of`, `rank_of`, `size_of`) whose
+    /// answer is statically known from the inferred signatures.
+    pub propagate_constants: bool,
+    /// Algebraic identities: `x + 0`, `x - 0`, `x * 1`, `x / 1`, `identity`
+    /// bypass, double-transpose cancellation, and absorbing rank-2
+    /// transposes into `matmul`'s `transpose_a`/`transpose_b` flags.
+    pub algebraic_simplify: bool,
+    /// Drop variable stores that are overwritten before any read.
+    pub dead_store_elim: bool,
     /// Fuse chains of elementwise ops into `fused_elementwise` nodes.
     pub fuse_elementwise: bool,
     /// Skip folding results larger than this many elements.
     pub fold_size_limit: usize,
+    /// Iterate the sweep to a structural-hash fixpoint. When off, exactly
+    /// one sweep runs (the pre-fixpoint pipeline behavior).
+    pub fixpoint: bool,
+    /// Upper bound on sweeps (at least 1 is always run). The loop normally
+    /// exits much earlier via the hash check.
+    pub max_sweeps: usize,
 }
 
 impl Default for OptimizeOptions {
@@ -35,8 +80,13 @@ impl Default for OptimizeOptions {
             prune: true,
             cse: true,
             fold_constants: true,
+            propagate_constants: true,
+            algebraic_simplify: true,
+            dead_store_elim: true,
             fuse_elementwise: false, // opt-in: the "XLA" path (TPU) turns it on
             fold_size_limit: 65_536,
+            fixpoint: true,
+            max_sweeps: 8,
         }
     }
 }
@@ -53,10 +103,79 @@ impl OptimizeOptions {
             prune: false,
             cse: false,
             fold_constants: false,
+            propagate_constants: false,
+            algebraic_simplify: false,
+            dead_store_elim: false,
             fuse_elementwise: false,
             fold_size_limit: 0,
+            fixpoint: false,
+            max_sweeps: 1,
         }
     }
+
+    /// Exactly one named pass enabled (see [`PASS_NAMES`]), single sweep —
+    /// the configuration the differential fuzz harness runs per-pass.
+    ///
+    /// # Panics
+    /// Unknown pass name.
+    pub fn only(pass: &str) -> OptimizeOptions {
+        let mut o = OptimizeOptions {
+            fold_size_limit: OptimizeOptions::default().fold_size_limit,
+            ..OptimizeOptions::none()
+        };
+        match pass {
+            "prune" => o.prune = true,
+            "cse" => o.cse = true,
+            "fold_constants" => o.fold_constants = true,
+            "propagate_constants" => o.propagate_constants = true,
+            "simplify_algebraic" => o.algebraic_simplify = true,
+            "eliminate_dead_stores" => o.dead_store_elim = true,
+            "fuse_elementwise" => o.fuse_elementwise = true,
+            other => panic!("unknown pass {other:?}"),
+        }
+        o
+    }
+}
+
+/// What one [`optimize_with_stats`] run did: how many sweeps the fixpoint
+/// loop took, whether it actually converged (as opposed to hitting
+/// [`OptimizeOptions::max_sweeps`]), and how many rewrites each pass
+/// applied, keyed by [`PASS_NAMES`] entries.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OptimizeStats {
+    /// Full sweeps executed (the last one is the no-change sweep that
+    /// proves convergence).
+    pub sweeps: u64,
+    /// Whether the structural hash stabilized before the sweep cap.
+    pub converged: bool,
+    /// Rewrites per pass (absent key = zero).
+    pub rewrites: BTreeMap<&'static str, u64>,
+}
+
+impl OptimizeStats {
+    /// Rewrites applied by one pass (0 when the pass never fired).
+    pub fn rewrites_for(&self, pass: &str) -> u64 {
+        self.rewrites.get(pass).copied().unwrap_or(0)
+    }
+
+    /// Total rewrites across all passes.
+    pub fn total_rewrites(&self) -> u64 {
+        self.rewrites.values().sum()
+    }
+}
+
+fn record(stats: &mut OptimizeStats, pass: &'static str, count: u64) {
+    if count == 0 {
+        return;
+    }
+    *stats.rewrites.entry(pass).or_insert(0) += count;
+    tfe_metrics::counter_vec(
+        "tfe_pass_pipeline_rewrites_total",
+        "Graph rewrites applied by the optimizer, by pass",
+        "pass",
+    )
+    .with(pass)
+    .add(count);
 }
 
 /// Evaluates a single node on constant inputs (supplied by the runtime,
@@ -64,26 +183,104 @@ impl OptimizeOptions {
 pub type NodeEvaluator<'a> =
     dyn Fn(&Node, &[Arc<TensorData>]) -> Result<Vec<TensorData>, String> + 'a;
 
-/// Run the configured pass pipeline.
+/// Run the configured pass pipeline. See [`optimize_with_stats`] for the
+/// variant that also reports sweep and rewrite counts.
 pub fn optimize(
     f: &GraphFunction,
     options: &OptimizeOptions,
     evaluator: Option<&NodeEvaluator>,
 ) -> GraphFunction {
+    optimize_with_stats(f, options, evaluator).0
+}
+
+/// Run the pass pipeline to a structural-hash fixpoint and report what
+/// happened. Each sweep runs the enabled passes once in [`PASS_NAMES`]
+/// order; sweeps repeat until the hash stops changing, `max_sweeps` is
+/// reached, or `fixpoint` is off. Elementwise fusion runs once after the
+/// loop (it is a lowering, not a simplification — see the module docs).
+pub fn optimize_with_stats(
+    f: &GraphFunction,
+    options: &OptimizeOptions,
+    evaluator: Option<&NodeEvaluator>,
+) -> (GraphFunction, OptimizeStats) {
+    tfe_metrics::static_counter!(
+        "tfe_pass_pipeline_runs_total",
+        "Functions run through the optimizer pass pipeline"
+    )
+    .inc();
+    let mut stats = OptimizeStats::default();
     let mut g = f.clone();
-    if options.cse {
-        g = cse(&g);
+    let cap = options.max_sweeps.max(1) as u64;
+    loop {
+        let before = g.structural_hash();
+        g = sweep(g, options, evaluator, &mut stats);
+        stats.sweeps += 1;
+        tfe_metrics::static_counter!(
+            "tfe_pass_pipeline_sweeps_total",
+            "Optimizer pass-pipeline sweeps executed"
+        )
+        .inc();
+        if g.structural_hash() == before {
+            stats.converged = true;
+            break;
+        }
+        if !options.fixpoint || stats.sweeps >= cap {
+            break;
+        }
+    }
+    if !stats.converged {
+        tfe_metrics::static_counter!(
+            "tfe_pass_pipeline_capped_total",
+            "Optimizer runs that hit the sweep cap before converging"
+        )
+        .inc();
+    }
+    if options.fuse_elementwise {
+        let (h, n) = fuse_elementwise_counted(&g);
+        record(&mut stats, "fuse_elementwise", n);
+        g = h;
+    }
+    (g, stats)
+}
+
+/// One full pass sweep, in [`PASS_NAMES`] order (minus fusion).
+fn sweep(
+    mut g: GraphFunction,
+    options: &OptimizeOptions,
+    evaluator: Option<&NodeEvaluator>,
+    stats: &mut OptimizeStats,
+) -> GraphFunction {
+    if options.propagate_constants {
+        let (h, n) = propagate_constants_counted(&g);
+        record(stats, "propagate_constants", n);
+        g = h;
     }
     if options.fold_constants {
         if let Some(eval) = evaluator {
-            g = fold_constants(&g, eval, options.fold_size_limit);
+            let (h, n) = fold_constants_counted(&g, eval, options.fold_size_limit);
+            record(stats, "fold_constants", n);
+            g = h;
         }
     }
-    if options.fuse_elementwise {
-        g = fuse_elementwise(&g);
+    if options.algebraic_simplify {
+        let (h, n) = simplify_algebraic_counted(&g);
+        record(stats, "simplify_algebraic", n);
+        g = h;
+    }
+    if options.cse {
+        let (h, n) = cse_counted(&g);
+        record(stats, "cse", n);
+        g = h;
+    }
+    if options.dead_store_elim {
+        let (h, n) = eliminate_dead_stores_counted(&g);
+        record(stats, "eliminate_dead_stores", n);
+        g = h;
     }
     if options.prune {
-        g = prune(&g);
+        let (h, n) = prune_counted(&g);
+        record(stats, "prune", n);
+        g = h;
     }
     g
 }
@@ -126,6 +323,10 @@ fn rebuild(f: &GraphFunction, keep: &[bool]) -> GraphFunction {
 /// Drop stateless nodes not reachable from the outputs (or from stateful
 /// nodes). Placeholders always survive: they define the call signature.
 pub fn prune(f: &GraphFunction) -> GraphFunction {
+    prune_counted(f).0
+}
+
+fn prune_counted(f: &GraphFunction) -> (GraphFunction, u64) {
     let mut keep = vec![false; f.nodes.len()];
     let mut stack: Vec<usize> = Vec::new();
     for t in &f.outputs {
@@ -145,7 +346,11 @@ pub fn prune(f: &GraphFunction) -> GraphFunction {
             stack.push(input.node.0);
         }
     }
-    rebuild(f, &keep)
+    let dropped = keep.iter().filter(|&&k| !k).count() as u64;
+    if dropped == 0 {
+        return (f.clone(), 0);
+    }
+    (rebuild(f, &keep), dropped)
 }
 
 fn const_key(f: &GraphFunction, node: &Node) -> Option<String> {
@@ -164,6 +369,10 @@ fn const_key(f: &GraphFunction, node: &Node) -> Option<String> {
 
 /// Common-subexpression elimination over stateless nodes.
 pub fn cse(f: &GraphFunction) -> GraphFunction {
+    cse_counted(f).0
+}
+
+fn cse_counted(f: &GraphFunction) -> (GraphFunction, u64) {
     let mut replacement: HashMap<usize, usize> = HashMap::new(); // old -> old
     let mut seen: HashMap<String, usize> = HashMap::new();
     for (i, node) in f.nodes.iter().enumerate() {
@@ -197,8 +406,9 @@ pub fn cse(f: &GraphFunction) -> GraphFunction {
         }
     }
     if replacement.is_empty() {
-        return f.clone();
+        return (f.clone(), 0);
     }
+    let merged = replacement.len() as u64;
     let mut g = f.clone();
     for node in &mut g.nodes {
         for input in &mut node.inputs {
@@ -212,7 +422,7 @@ pub fn cse(f: &GraphFunction) -> GraphFunction {
             out.node = NodeId(r);
         }
     }
-    prune(&g)
+    (prune(&g), merged)
 }
 
 /// Evaluate stateless nodes whose inputs are all constants, replacing their
@@ -222,7 +432,14 @@ pub fn fold_constants(
     evaluator: &NodeEvaluator,
     size_limit: usize,
 ) -> GraphFunction {
-    let mut g = f.clone();
+    fold_constants_counted(f, evaluator, size_limit).0
+}
+
+fn fold_constants_counted(
+    f: &GraphFunction,
+    evaluator: &NodeEvaluator,
+    size_limit: usize,
+) -> (GraphFunction, u64) {
     // Map from (node, output) to the constant value it produces, if known.
     let mut known: HashMap<TensorRef, Arc<TensorData>> = HashMap::new();
     for (i, node) in f.nodes.iter().enumerate() {
@@ -257,17 +474,33 @@ pub fn fold_constants(
             known.insert(TensorRef { node: NodeId(i), output: out }, Arc::new(value));
         }
     }
-    if known.is_empty() {
-        return g;
+    materialize_known(f, &known)
+}
+
+/// Replace every non-`const` node all of whose outputs appear in `known`
+/// with fresh `const` nodes, then prune. The shared back half of
+/// [`fold_constants`] and [`propagate_constants`]; returns the rewritten
+/// graph plus the number of nodes replaced (0 leaves `f` untouched).
+fn materialize_known(
+    f: &GraphFunction,
+    known: &HashMap<TensorRef, Arc<TensorData>>,
+) -> (GraphFunction, u64) {
+    let fully_known = |i: usize, node: &Node| {
+        node.op != "const"
+            && !node.outputs.is_empty()
+            && (0..node.outputs.len())
+                .all(|out| known.contains_key(&TensorRef { node: NodeId(i), output: out }))
+    };
+    if !f.nodes.iter().enumerate().any(|(i, n)| fully_known(i, n)) {
+        return (f.clone(), 0);
     }
+    let mut folded_nodes = 0u64;
+    let mut g = f.clone();
     // Replace references to folded outputs (of non-const nodes) with fresh
-    // const nodes appended at the end, then prune. References from earlier
-    // nodes to a later const are avoided by instead rewriting in place: we
-    // append const nodes and remap, then rely on `rebuild` keeping
-    // topological order... appending at the end would break the "inputs
-    // reference earlier nodes" invariant for consumers in between, so we
-    // instead rebuild the node list with const nodes inserted at the folded
-    // node's position.
+    // const nodes, then prune. Appending the const nodes at the end would
+    // break the "inputs reference earlier nodes" invariant for consumers in
+    // between, so we instead rebuild the node list with const nodes
+    // inserted at the folded node's position.
     let mut new_nodes: Vec<Node> = Vec::new();
     let mut remap: HashMap<TensorRef, TensorRef> = HashMap::new();
     let mut node_remap: HashMap<usize, usize> = HashMap::new();
@@ -280,6 +513,7 @@ pub fn fold_constants(
             .collect();
         if node.op != "const" && folded.len() == node.outputs.len() && !folded.is_empty() {
             // Fully folded: emit const nodes instead of the op.
+            folded_nodes += 1;
             for (out, value) in folded {
                 let dims: Vec<i64> = value.shape().dims().iter().map(|&d| d as i64).collect();
                 let idx = constants.len();
@@ -326,7 +560,269 @@ pub fn fold_constants(
     g.constants = constants;
     g.inputs = f.inputs.iter().map(|id| remap[&TensorRef::first(*id)].node).collect();
     g.outputs = f.outputs.iter().map(|t| remap[t]).collect();
-    prune(&g)
+    (prune(&g), folded_nodes)
+}
+
+/// Fold tensor-metadata ops whose answer is already statically known from
+/// the inferred signatures: `shape_of` and `size_of` when every dimension
+/// of the input is known, `rank_of` always (rank is static in this IR).
+/// The folded scalars then feed [`fold_constants`] on the next sweep —
+/// this pass is the canonical reason the driver iterates.
+pub fn propagate_constants(f: &GraphFunction) -> GraphFunction {
+    propagate_constants_counted(f).0
+}
+
+fn propagate_constants_counted(f: &GraphFunction) -> (GraphFunction, u64) {
+    let mut known: HashMap<TensorRef, Arc<TensorData>> = HashMap::new();
+    for (i, node) in f.nodes.iter().enumerate() {
+        if node.stateful || node.inputs.len() != 1 {
+            continue;
+        }
+        let (_, shape) = f.sig(node.inputs[0]);
+        let value = match node.op.as_str() {
+            "shape_of" => {
+                let dims: Option<Vec<i64>> =
+                    shape.dims().iter().map(|d| d.map(|x| x as i64)).collect();
+                dims.and_then(|d| {
+                    let rank = d.len();
+                    TensorData::from_vec(d, Shape::from([rank])).ok()
+                })
+            }
+            "rank_of" => Some(TensorData::scalar(shape.rank() as i64)),
+            "size_of" => shape.num_elements().map(|n| TensorData::scalar(n as i64)),
+            _ => None,
+        };
+        if let Some(v) = value {
+            known.insert(TensorRef::first(NodeId(i)), Arc::new(v));
+        }
+    }
+    materialize_known(f, &known)
+}
+
+/// Algebraic simplification: identity-element rewrites (`x + 0`, `x - 0`,
+/// `x * 1`, `x / 1`, honoring commutativity via the op's
+/// [`identity_operand`] table), `identity` bypass, double-transpose
+/// composition/cancellation, and absorption of rank-2 transposes into
+/// `matmul`'s `transpose_a`/`transpose_b` flags (the packed gemm handles
+/// all four combinations natively).
+///
+/// Identity-element rewrites only fire when the surviving operand's
+/// signature equals the node's output signature — a broadcast like
+/// `mul(scalar_x, ones_of_shape_2)` changes shape and must stay.
+/// `x * 0` is deliberately not rewritten: it is an annihilator, not an
+/// identity, and folding it would change NaN/Inf propagation.
+pub fn simplify_algebraic(f: &GraphFunction) -> GraphFunction {
+    simplify_algebraic_counted(f).0
+}
+
+fn simplify_algebraic_counted(f: &GraphFunction) -> (GraphFunction, u64) {
+    fn resolve(redirect: &HashMap<TensorRef, TensorRef>, mut t: TensorRef) -> TensorRef {
+        while let Some(&r) = redirect.get(&t) {
+            t = r;
+        }
+        t
+    }
+    fn const_value(f: &GraphFunction, t: TensorRef) -> Option<Arc<TensorData>> {
+        if t.output != 0 {
+            return None;
+        }
+        let n = &f.nodes[t.node.0];
+        if n.op != "const" {
+            return None;
+        }
+        match n.attrs.get("value_index") {
+            Some(AttrValue::Int(i)) => f.constants.get(*i as usize).cloned(),
+            _ => None,
+        }
+    }
+    fn is_uniform(v: &TensorData, c: f64) -> bool {
+        if v.dtype() == DType::Bool || v.num_elements() == 0 || v.num_elements() > 4096 {
+            return false;
+        }
+        v.to_f64_vec().iter().all(|&x| x == c)
+    }
+    fn perm_of(n: &Node) -> Option<Vec<i64>> {
+        n.attrs.int_list("perm").ok().map(<[i64]>::to_vec)
+    }
+
+    let mut g = f.clone();
+    let mut redirect: HashMap<TensorRef, TensorRef> = HashMap::new();
+    let mut rewrites = 0u64;
+    for i in 0..g.nodes.len() {
+        // Rewire this node through every redirect recorded so far (its
+        // producers all have smaller indices, so their redirects exist).
+        let inputs: Vec<TensorRef> =
+            g.nodes[i].inputs.iter().map(|&t| resolve(&redirect, t)).collect();
+        g.nodes[i].inputs = inputs.clone();
+        if g.nodes[i].stateful {
+            continue;
+        }
+        let out = TensorRef::first(NodeId(i));
+        let op = g.nodes[i].op.clone();
+        match op.as_str() {
+            "identity" if inputs.len() == 1 && g.nodes[i].outputs.len() == 1 => {
+                if g.sig(inputs[0]) == g.nodes[i].output_sig(0) {
+                    redirect.insert(out, inputs[0]);
+                    rewrites += 1;
+                }
+            }
+            "transpose" if inputs.len() == 1 && inputs[0].output == 0 => {
+                let src = inputs[0].node.0;
+                if g.nodes[src].op == "transpose" {
+                    let composed = match (perm_of(&g.nodes[src]), perm_of(&g.nodes[i])) {
+                        (Some(pi), Some(po)) => compose_perms(&pi, &po),
+                        _ => None,
+                    };
+                    if let Some(q) = composed {
+                        let inner_in = g.nodes[src].inputs[0];
+                        if is_identity_perm(&q) {
+                            redirect.insert(out, inner_in);
+                        } else {
+                            g.nodes[i].inputs[0] = inner_in;
+                            g.nodes[i].attrs.set("perm", q);
+                        }
+                        rewrites += 1;
+                    }
+                }
+            }
+            "matmul" if inputs.len() == 2 => {
+                for (slot, flag) in [(0usize, "transpose_a"), (1usize, "transpose_b")] {
+                    let src = g.nodes[i].inputs[slot];
+                    if src.output != 0 || g.nodes[src.node.0].op != "transpose" {
+                        continue;
+                    }
+                    let Some(p) = perm_of(&g.nodes[src.node.0]) else { continue };
+                    if !is_swap_perm(&p) {
+                        continue;
+                    }
+                    let absorbed = g.nodes[src.node.0].inputs[0];
+                    let cur = g.nodes[i].attrs.bool_or(flag, false).unwrap_or(false);
+                    g.nodes[i].inputs[slot] = absorbed;
+                    g.nodes[i].attrs.set(flag, !cur);
+                    rewrites += 1;
+                }
+            }
+            _ => {
+                let Some((side, ident)) = identity_operand(&op) else { continue };
+                if inputs.len() != 2 || g.nodes[i].outputs.len() != 1 {
+                    continue;
+                }
+                let candidates: &[(usize, usize)] = match side {
+                    IdentitySide::Either => &[(0, 1), (1, 0)],
+                    IdentitySide::Rhs => &[(1, 0)],
+                };
+                for &(ci, xi) in candidates {
+                    let Some(v) = const_value(&g, inputs[ci]) else { continue };
+                    if !is_uniform(&v, ident) {
+                        continue;
+                    }
+                    if g.sig(inputs[xi]) != g.nodes[i].output_sig(0) {
+                        continue;
+                    }
+                    redirect.insert(out, inputs[xi]);
+                    rewrites += 1;
+                    break;
+                }
+            }
+        }
+    }
+    if rewrites == 0 {
+        return (f.clone(), 0);
+    }
+    let outs: Vec<TensorRef> = g.outputs.iter().map(|&t| resolve(&redirect, t)).collect();
+    g.outputs = outs;
+    // Bypassed nodes are now unreferenced; prune keeps the pass idempotent.
+    (prune(&g), rewrites)
+}
+
+/// Dead-store elimination over the sequencing model: an `assign`/
+/// `assign_add`/`assign_sub` is dead when a *later* plain `assign` to the
+/// same variable overwrites it with no intervening read of that variable
+/// and no intervening barrier. The final store to each variable always
+/// survives — variables outlive the function, so its value is observable.
+/// RNG and IO writes are never dropped. Control edges are recomputed for
+/// the surviving program order, and the value chain that fed a dropped
+/// store is left to the pruner (which this pass invokes).
+pub fn eliminate_dead_stores(f: &GraphFunction) -> GraphFunction {
+    eliminate_dead_stores_counted(f).0
+}
+
+fn eliminate_dead_stores_counted(f: &GraphFunction) -> (GraphFunction, u64) {
+    let mut dead = vec![false; f.nodes.len()];
+    // Variables a later plain `assign` fully overwrites, with no read or
+    // barrier in between (reverse program-order scan).
+    let mut clobbered: HashSet<i64> = HashSet::new();
+    for i in (0..f.nodes.len()).rev() {
+        let n = &f.nodes[i];
+        match classify(&n.op, &n.attrs, n.stateful) {
+            Access::Pure => {}
+            Access::Barrier => clobbered.clear(),
+            Access::Read(Resource::Var(v)) => {
+                clobbered.remove(&v);
+            }
+            Access::Read(_) => {}
+            Access::Write(Resource::Var(v)) => {
+                if clobbered.contains(&v) {
+                    // A dropped read-modify-write also drops its read, so
+                    // the clobber window stays open past it.
+                    dead[i] = true;
+                } else if n.op == "assign" {
+                    clobbered.insert(v);
+                }
+            }
+            // RNG and IO writes advance observable streams; keep them.
+            Access::Write(_) => {}
+        }
+    }
+    // A store whose outputs are consumed or returned must stay, whatever
+    // the chain says (assign ops produce no outputs today; this guards a
+    // future change).
+    if dead.iter().any(|&d| d) {
+        let consumed: HashSet<usize> =
+            f.nodes.iter().flat_map(|n| n.inputs.iter().map(|t| t.node.0)).collect();
+        let escaped: HashSet<usize> = f.outputs.iter().map(|t| t.node.0).collect();
+        for (i, d) in dead.iter_mut().enumerate() {
+            if *d && (consumed.contains(&i) || escaped.contains(&i)) {
+                *d = false;
+            }
+        }
+    }
+    let count = dead.iter().filter(|&&d| d).count() as u64;
+    if count == 0 {
+        return (f.clone(), 0);
+    }
+    let mut remap: HashMap<usize, usize> = HashMap::new();
+    let mut nodes: Vec<Node> = Vec::new();
+    for (i, node) in f.nodes.iter().enumerate() {
+        if dead[i] {
+            continue;
+        }
+        let mut n = node.clone();
+        for input in &mut n.inputs {
+            input.node = NodeId(remap[&input.node.0]);
+        }
+        // Recomputed below for the surviving program order.
+        n.control_inputs.clear();
+        remap.insert(i, nodes.len());
+        nodes.push(n);
+    }
+    let ctrl = sequence_control_edges(&nodes);
+    for (n, c) in nodes.iter_mut().zip(ctrl) {
+        n.control_inputs = c;
+    }
+    let g = GraphFunction {
+        name: f.name.clone(),
+        nodes,
+        inputs: f.inputs.iter().map(|id| NodeId(remap[&id.0])).collect(),
+        outputs: f
+            .outputs
+            .iter()
+            .map(|t| TensorRef { node: NodeId(remap[&t.node.0]), output: t.output })
+            .collect(),
+        num_captures: f.num_captures,
+        constants: f.constants.clone(),
+    };
+    (prune(&g), count)
 }
 
 fn elementwise_kind(node: &Node) -> Option<()> {
@@ -351,7 +847,16 @@ fn elementwise_kind(node: &Node) -> Option<()> {
 /// A node joins its consumer's group when every consumer is the same group
 /// and the node is not a function output — so each group has a single sink
 /// whose value escapes.
+///
+/// Group assignment and emission use ordered (BTree) containers keyed by
+/// node index, so the output node order — and therefore
+/// [`GraphFunction::structural_hash`] — is a pure function of the input
+/// graph. The fixpoint driver depends on that reproducibility.
 pub fn fuse_elementwise(f: &GraphFunction) -> GraphFunction {
+    fuse_elementwise_counted(f).0
+}
+
+fn fuse_elementwise_counted(f: &GraphFunction) -> (GraphFunction, u64) {
     let consumers = f.consumers();
     let output_set: HashSet<TensorRef> = f.outputs.iter().copied().collect();
     let n = f.nodes.len();
@@ -365,8 +870,8 @@ pub fn fuse_elementwise(f: &GraphFunction) -> GraphFunction {
         let out_ref = TensorRef::first(NodeId(i));
         let cons = consumers.get(&out_ref);
         let escapes = output_set.contains(&out_ref);
-        let consumer_groups: Option<HashSet<usize>> = cons
-            .map(|list| list.iter().filter_map(|(c, _)| group[c.0]).collect::<HashSet<usize>>());
+        let consumer_groups: Option<BTreeSet<usize>> = cons
+            .map(|list| list.iter().filter_map(|(c, _)| group[c.0]).collect::<BTreeSet<usize>>());
         let all_consumers_one_group = match (&cons, &consumer_groups) {
             (Some(list), Some(gs)) if !list.is_empty() => {
                 gs.len() == 1 && list.iter().all(|(c, _)| group[c.0].is_some())
@@ -380,19 +885,19 @@ pub fn fuse_elementwise(f: &GraphFunction) -> GraphFunction {
         }
     }
     // Collect members per sink, in topological order.
-    let mut members: HashMap<usize, Vec<usize>> = HashMap::new();
+    let mut members: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
     for (i, g) in group.iter().enumerate() {
         if let Some(g) = g {
             members.entry(*g).or_default().push(i);
         }
     }
     // Only fuse groups with >= 2 members.
-    let fuse_groups: HashMap<usize, Vec<usize>> =
+    let fuse_groups: BTreeMap<usize, Vec<usize>> =
         members.into_iter().filter(|(_, m)| m.len() >= 2).collect();
     if fuse_groups.is_empty() {
-        return f.clone();
+        return (f.clone(), 0);
     }
-    let in_fused: HashSet<usize> = fuse_groups.values().flatten().copied().collect();
+    let in_fused: BTreeSet<usize> = fuse_groups.values().flatten().copied().collect();
 
     let mut new_nodes: Vec<Node> = Vec::new();
     let mut remap: HashMap<TensorRef, TensorRef> = HashMap::new();
@@ -478,14 +983,16 @@ pub fn fuse_elementwise(f: &GraphFunction) -> GraphFunction {
             new_nodes.push(nclone);
         }
     }
-    GraphFunction {
+    let fused_count = fuse_groups.len() as u64;
+    let g = GraphFunction {
         name: f.name.clone(),
         nodes: new_nodes,
-        inputs: f.inputs.iter().map(|id| remap[&TensorRef::first(*id)].node).collect(),
+        inputs: f.inputs.iter().map(|id| TensorRef::first(*id)).map(|t| remap[&t].node).collect(),
         outputs: f.outputs.iter().map(|t| remap[t]).collect(),
         num_captures: f.num_captures,
         constants: f.constants.clone(),
-    }
+    };
+    (g, fused_count)
 }
 
 #[cfg(test)]
@@ -584,10 +1091,14 @@ mod tests {
     }
 
     fn toy_evaluator(node: &Node, inputs: &[Arc<TensorData>]) -> Result<Vec<TensorData>, String> {
-        // Enough kernels to test folding: add/mul/relu on concrete data.
+        // Enough kernels to test folding: add/sub/mul/relu on concrete data.
         match node.op.as_str() {
             "add" => {
                 Ok(vec![tfe_tensor::elementwise::binary(&inputs[0], &inputs[1], BinaryOp::Add)
+                    .map_err(|e| e.to_string())?])
+            }
+            "sub" => {
+                Ok(vec![tfe_tensor::elementwise::binary(&inputs[0], &inputs[1], BinaryOp::Sub)
                     .map_err(|e| e.to_string())?])
             }
             "mul" => {
@@ -733,5 +1244,239 @@ mod tests {
         // identity pipeline really is the identity
         let same = optimize(&f, &OptimizeOptions::none(), None);
         assert_eq!(same.nodes.len(), f.nodes.len());
+    }
+
+    fn const_payload(g: &GraphFunction, t: TensorRef) -> Vec<f64> {
+        let n = g.node(t.node);
+        assert_eq!(n.op, "const", "expected a const, got {}", n.op);
+        match n.attrs.get("value_index") {
+            Some(AttrValue::Int(i)) => g.constants[*i as usize].to_f64_vec(),
+            _ => panic!("const without value_index"),
+        }
+    }
+
+    #[test]
+    fn propagate_folds_static_metadata() {
+        let mut b = GraphBuilder::new("f");
+        let x = b.placeholder(DType::F32, known(&[2, 3])).unwrap();
+        let y = b.placeholder(DType::F32, SymShape::new(vec![None, Some(3)])).unwrap();
+        let sx = b.add_node("shape_of", vec![x], Attrs::new()).unwrap()[0];
+        let ry = b.add_node("rank_of", vec![y], Attrs::new()).unwrap()[0];
+        let sy = b.add_node("shape_of", vec![y], Attrs::new()).unwrap()[0];
+        let zy = b.add_node("size_of", vec![y], Attrs::new()).unwrap()[0];
+        let f = b.finish(vec![sx, ry, sy, zy], 0);
+        let g = propagate_constants(&f);
+        // Fully-known shape and (always-static) rank fold; the shape and
+        // size of a partially-unknown input must survive to runtime.
+        assert_eq!(const_payload(&g, g.outputs[0]), vec![2.0, 3.0]);
+        assert_eq!(const_payload(&g, g.outputs[1]), vec![2.0]);
+        assert_eq!(g.node(g.outputs[2].node).op, "shape_of");
+        assert_eq!(g.node(g.outputs[3].node).op, "size_of");
+    }
+
+    #[test]
+    fn algebraic_removes_identity_elements() {
+        let mut b = GraphBuilder::new("f");
+        let x = b.placeholder(DType::F32, known(&[2])).unwrap();
+        let one = b.constant(Arc::new(TensorData::scalar(1.0f32))).unwrap();
+        let zero = b.constant(Arc::new(TensorData::scalar(0.0f32))).unwrap();
+        let m = b.add_node("mul", vec![one, x], Attrs::new()).unwrap()[0];
+        let s = b.add_node("sub", vec![m, zero], Attrs::new()).unwrap()[0];
+        let d = b.add_node("div", vec![s, one], Attrs::new()).unwrap()[0];
+        let f = b.finish(vec![d], 0);
+        let g = simplify_algebraic(&f);
+        // 1*x, -0, /1 all cancel; the output is the placeholder itself.
+        assert_eq!(g.executable_node_count(), 0);
+        assert_eq!(g.node(g.outputs[0].node).op, "placeholder");
+    }
+
+    #[test]
+    fn algebraic_keeps_broadcasting_identities() {
+        let mut b = GraphBuilder::new("f");
+        let x = b.placeholder(DType::F32, SymShape::scalar()).unwrap();
+        let ones = b
+            .constant(Arc::new(TensorData::from_vec(vec![1.0f32, 1.0], Shape::from([2])).unwrap()))
+            .unwrap();
+        let m = b.add_node("mul", vec![x, ones], Attrs::new()).unwrap()[0];
+        let f = b.finish(vec![m], 0);
+        let g = simplify_algebraic(&f);
+        // mul(scalar, ones[2]) broadcasts to shape [2]; dropping it would
+        // change the output shape.
+        assert!(g.nodes.iter().any(|n| n.op == "mul"));
+    }
+
+    #[test]
+    fn algebraic_cancels_double_transpose() {
+        let mut b = GraphBuilder::new("f");
+        let x = b.placeholder(DType::F32, known(&[2, 3])).unwrap();
+        let perm = vec![1i64, 0];
+        let t1 =
+            b.add_node("transpose", vec![x], Attrs::new().with("perm", perm.clone())).unwrap()[0];
+        let t2 = b.add_node("transpose", vec![t1], Attrs::new().with("perm", perm)).unwrap()[0];
+        let f = b.finish(vec![t2], 0);
+        let g = simplify_algebraic(&f);
+        assert!(!g.nodes.iter().any(|n| n.op == "transpose"));
+        assert_eq!(g.node(g.outputs[0].node).op, "placeholder");
+    }
+
+    #[test]
+    fn algebraic_absorbs_transpose_into_matmul() {
+        let mut b = GraphBuilder::new("f");
+        let a = b.placeholder(DType::F32, known(&[2, 3])).unwrap();
+        let c = b.placeholder(DType::F32, known(&[2, 4])).unwrap();
+        let t =
+            b.add_node("transpose", vec![a], Attrs::new().with("perm", vec![1i64, 0])).unwrap()[0];
+        let m = b.add_node("matmul", vec![t, c], Attrs::new()).unwrap()[0];
+        let f = b.finish(vec![m], 0);
+        assert_eq!(f.sig(m).1, known(&[3, 4]));
+        let g = simplify_algebraic(&f);
+        assert!(!g.nodes.iter().any(|n| n.op == "transpose"));
+        let mm = g.nodes.iter().find(|n| n.op == "matmul").unwrap();
+        assert_eq!(mm.attrs.bool_or("transpose_a", false), Ok(true));
+        // Result signature is unchanged by the absorption.
+        assert_eq!(g.output_sigs(), f.output_sigs());
+    }
+
+    fn var_write(b: &mut GraphBuilder, op: &str, var: i64, value: TensorRef) {
+        b.add_node(op, vec![value], Attrs::new().with("var_id", var)).unwrap();
+    }
+
+    #[test]
+    fn dse_drops_overwritten_stores() {
+        let mut b = GraphBuilder::new("f");
+        let x = b.placeholder(DType::F32, SymShape::scalar()).unwrap();
+        let y = b.add_node("relu", vec![x], Attrs::new()).unwrap()[0];
+        var_write(&mut b, "assign", 7, y); // clobbered below, never read
+        var_write(&mut b, "assign_add", 7, x); // also clobbered
+        var_write(&mut b, "assign", 7, x); // final store: must survive
+        var_write(&mut b, "assign", 8, x); // different variable: untouched
+        let f = b.finish(vec![x], 0);
+        let g = eliminate_dead_stores(&f);
+        assert_eq!(g.nodes.iter().filter(|n| n.op == "assign").count(), 2);
+        assert!(!g.nodes.iter().any(|n| n.op == "assign_add"));
+        // The relu that only fed the dead store is gone too.
+        assert!(!g.nodes.iter().any(|n| n.op == "relu"));
+    }
+
+    #[test]
+    fn dse_keeps_read_and_rmw_stores() {
+        let mut b = GraphBuilder::new("f");
+        let x = b.placeholder(DType::F32, SymShape::scalar()).unwrap();
+        var_write(&mut b, "assign", 7, x);
+        let r = b
+            .add_node(
+                "read_variable",
+                vec![],
+                Attrs::new()
+                    .with("var_id", 7i64)
+                    .with("dtype", DType::F32)
+                    .with("shape", Vec::<i64>::new()),
+            )
+            .unwrap()[0];
+        var_write(&mut b, "assign", 7, x); // ok: read intervenes
+        var_write(&mut b, "assign", 9, x);
+        var_write(&mut b, "assign_add", 9, x); // reads 9: earlier store live
+        let f = b.finish(vec![r], 0);
+        let g = eliminate_dead_stores(&f);
+        assert_eq!(g.nodes.len(), f.nodes.len());
+        // Control edges survive re-sequencing: the read still waits on the
+        // first assign.
+        let recomputed = sequence_control_edges(&g.nodes);
+        for (i, n) in g.nodes.iter().enumerate() {
+            assert_eq!(n.control_inputs, recomputed[i], "node {i}");
+        }
+    }
+
+    #[test]
+    fn dse_treats_barriers_as_reads() {
+        let mut b = GraphBuilder::new("f");
+        let x = b.placeholder(DType::F32, SymShape::scalar()).unwrap();
+        var_write(&mut b, "assign", 7, x);
+        // A barrier (opaque stateful op) may read any variable.
+        let sig = tfe_ops::catalog::encode_sig(&[(DType::F32, SymShape::scalar())]);
+        b.add_node(
+            "host_func",
+            vec![x],
+            Attrs::new().with("fn_id", 0i64).with("out_dtypes", sig.0).with("out_shapes", sig.1),
+        )
+        .unwrap();
+        var_write(&mut b, "assign", 7, x);
+        let f = b.finish(vec![x], 0);
+        let g = eliminate_dead_stores(&f);
+        assert_eq!(g.nodes.iter().filter(|n| n.op == "assign").count(), 2);
+    }
+
+    fn no_mul_evaluator(
+        node: &Node,
+        inputs: &[Arc<TensorData>],
+    ) -> Result<Vec<TensorData>, String> {
+        if node.op == "mul" {
+            return Err("mul withheld to force multi-sweep folding".into());
+        }
+        toy_evaluator(node, inputs)
+    }
+
+    #[test]
+    fn fixpoint_compounds_across_sweeps() {
+        // x + ((2 * 1) - 2): the evaluator refuses `mul`, so sweep 1 can
+        // only simplify 2*1 -> 2 algebraically; sweep 2 folds 2-2 -> 0;
+        // then x+0 -> x. A single sweep cannot finish this.
+        let mut b = GraphBuilder::new("f");
+        let x = b.placeholder(DType::F32, known(&[2])).unwrap();
+        let two = b.constant(Arc::new(TensorData::scalar(2.0f32))).unwrap();
+        let one = b.constant(Arc::new(TensorData::scalar(1.0f32))).unwrap();
+        let m = b.add_node("mul", vec![two, one], Attrs::new()).unwrap()[0];
+        let d = b.add_node("sub", vec![m, two], Attrs::new()).unwrap()[0];
+        let out = b.add_node("add", vec![x, d], Attrs::new()).unwrap()[0];
+        let f = b.finish(vec![out], 0);
+
+        let single = OptimizeOptions { fixpoint: false, ..OptimizeOptions::default() };
+        let (g1, s1) = optimize_with_stats(&f, &single, Some(&no_mul_evaluator));
+        assert_eq!(s1.sweeps, 1);
+        assert!(g1.executable_node_count() > 0, "one sweep must not finish");
+
+        let (g, stats) =
+            optimize_with_stats(&f, &OptimizeOptions::default(), Some(&no_mul_evaluator));
+        assert!(stats.converged);
+        assert_eq!(stats.sweeps, 3); // two productive sweeps + the proof sweep
+        assert_eq!(g.executable_node_count(), 0);
+        assert_eq!(g.node(g.outputs[0].node).op, "placeholder");
+        assert_eq!(stats.rewrites_for("simplify_algebraic"), 2);
+        assert_eq!(stats.rewrites_for("fold_constants"), 1);
+        assert!(stats.total_rewrites() >= 3);
+    }
+
+    #[test]
+    fn only_options_enable_a_single_pass() {
+        let mut b = GraphBuilder::new("f");
+        let x = b.placeholder(DType::F32, known(&[2])).unwrap();
+        let a = b.add_node("relu", vec![x], Attrs::new()).unwrap()[0];
+        let c = b.add_node("relu", vec![x], Attrs::new()).unwrap()[0];
+        let out = b.add_node("add", vec![a, c], Attrs::new()).unwrap()[0];
+        let _dead = b.add_node("exp", vec![x], Attrs::new()).unwrap();
+        let f = b.finish(vec![out], 0);
+        let pruned = optimize(&f, &OptimizeOptions::only("prune"), None);
+        assert!(!pruned.nodes.iter().any(|n| n.op == "exp"));
+        assert_eq!(pruned.nodes.iter().filter(|n| n.op == "relu").count(), 2);
+        let deduped = optimize(&f, &OptimizeOptions::only("cse"), None);
+        assert_eq!(deduped.nodes.iter().filter(|n| n.op == "relu").count(), 1);
+    }
+
+    #[test]
+    fn fuse_hash_is_reproducible() {
+        // A graph with several fusion groups and shared inputs; the fused
+        // output must hash identically run after run.
+        let mut b = GraphBuilder::new("f");
+        let x = b.placeholder(DType::F32, known(&[4])).unwrap();
+        let y = b.placeholder(DType::F32, known(&[4])).unwrap();
+        let s = b.add_node("add", vec![x, y], Attrs::new()).unwrap()[0];
+        let r = b.add_node("relu", vec![s], Attrs::new()).unwrap()[0];
+        let e = b.add_node("exp", vec![y], Attrs::new()).unwrap()[0];
+        let t = b.add_node("tanh", vec![e], Attrs::new()).unwrap()[0];
+        let f = b.finish(vec![r, t], 0);
+        let h0 = fuse_elementwise(&f).structural_hash();
+        for _ in 0..16 {
+            assert_eq!(fuse_elementwise(&f).structural_hash(), h0);
+        }
     }
 }

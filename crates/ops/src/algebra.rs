@@ -1,0 +1,90 @@
+//! Algebraic metadata about the op catalog, queried by the graph
+//! optimizer's simplification pass.
+//!
+//! Keeping these facts next to the op definitions (rather than hard-coded
+//! in the pass) means a new op picks up simplification behavior by adding
+//! one table entry here, and the pass never has to guess at semantics.
+
+/// Which operand of a binary op may be its identity element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IdentitySide {
+    /// Either operand (commutative ops: `x * 1`, `1 * x`).
+    Either,
+    /// Only the right-hand operand (`x - 0`, `x / 1`).
+    Rhs,
+}
+
+/// The identity element of a binary op, if it has one: applying the op
+/// with this constant on the permitted side returns the other operand
+/// unchanged (same dtype and shape assumed; the pass checks both).
+///
+/// `x * 0` is deliberately absent: it is an annihilator, not an identity,
+/// and rewriting it would change NaN/Inf propagation.
+pub fn identity_operand(op: &str) -> Option<(IdentitySide, f64)> {
+    match op {
+        "add" => Some((IdentitySide::Either, 0.0)),
+        "sub" => Some((IdentitySide::Rhs, 0.0)),
+        "mul" => Some((IdentitySide::Either, 1.0)),
+        "div" => Some((IdentitySide::Rhs, 1.0)),
+        _ => None,
+    }
+}
+
+/// Whether `perm` is the identity permutation `[0, 1, ..., n-1]`.
+pub fn is_identity_perm(perm: &[i64]) -> bool {
+    perm.iter().enumerate().all(|(i, &p)| p == i as i64)
+}
+
+/// Whether `perm` is the rank-2 swap `[1, 0]` — the transpose shape the
+/// packed gemm absorbs for free via its `transpose_a`/`transpose_b` flags.
+pub fn is_swap_perm(perm: &[i64]) -> bool {
+    perm == [1, 0]
+}
+
+/// Compose two transpose permutations: if `y = transpose(x, inner)` and
+/// `z = transpose(y, outer)`, then `z = transpose(x, compose)` where
+/// `compose[i] = inner[outer[i]]`. Returns `None` on rank mismatch or an
+/// out-of-range index (malformed graphs never reach the pass, but the
+/// helper stays total).
+pub fn compose_perms(inner: &[i64], outer: &[i64]) -> Option<Vec<i64>> {
+    if inner.len() != outer.len() {
+        return None;
+    }
+    outer.iter().map(|&o| inner.get(usize::try_from(o).ok()?).copied()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_table() {
+        assert_eq!(identity_operand("add"), Some((IdentitySide::Either, 0.0)));
+        assert_eq!(identity_operand("sub"), Some((IdentitySide::Rhs, 0.0)));
+        assert_eq!(identity_operand("mul"), Some((IdentitySide::Either, 1.0)));
+        assert_eq!(identity_operand("div"), Some((IdentitySide::Rhs, 1.0)));
+        assert_eq!(identity_operand("maximum"), None);
+        assert_eq!(identity_operand("matmul"), None);
+    }
+
+    #[test]
+    fn perm_helpers() {
+        assert!(is_identity_perm(&[0, 1, 2]));
+        assert!(is_identity_perm(&[]));
+        assert!(!is_identity_perm(&[1, 0]));
+        assert!(is_swap_perm(&[1, 0]));
+        assert!(!is_swap_perm(&[0, 1]));
+        assert!(!is_swap_perm(&[2, 1, 0]));
+    }
+
+    #[test]
+    fn perm_composition() {
+        // transpose twice with [1, 0] cancels.
+        assert_eq!(compose_perms(&[1, 0], &[1, 0]), Some(vec![0, 1]));
+        // rank-3 rotation composed with itself.
+        assert_eq!(compose_perms(&[1, 2, 0], &[1, 2, 0]), Some(vec![2, 0, 1]));
+        // rank mismatch and bad indices are rejected, not panics.
+        assert_eq!(compose_perms(&[1, 0], &[0, 1, 2]), None);
+        assert_eq!(compose_perms(&[1, 0], &[0, 7]), None);
+    }
+}

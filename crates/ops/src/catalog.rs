@@ -289,6 +289,17 @@ fn register_structural(reg: &OpRegistry) -> Result<(), OpError> {
     reg.register(OpDef::new("shape_of", Arity::Exact(1), |ctx| {
         Ok(vec![(DType::I64, SymShape::new(vec![Some(ctx.shape(0)?.rank())]))])
     }))?;
+    // Tensor metadata as scalars. Like `shape_of`, these exist so traces
+    // can consume shape information as data; the constant-propagation pass
+    // folds them whenever the static shape is known.
+    reg.register(OpDef::new("rank_of", Arity::Exact(1), |ctx| {
+        let _ = ctx.shape(0)?;
+        Ok(vec![(DType::I64, SymShape::scalar())])
+    }))?;
+    reg.register(OpDef::new("size_of", Arity::Exact(1), |ctx| {
+        let _ = ctx.shape(0)?;
+        Ok(vec![(DType::I64, SymShape::scalar())])
+    }))?;
     reg.register(OpDef::new("reshape", Arity::Exact(1), |ctx| {
         let target = ctx.attrs.int_list("shape")?;
         let in_shape = ctx.shape(0)?;

@@ -25,6 +25,7 @@
 
 #![warn(missing_docs)]
 
+pub mod algebra;
 mod attr;
 pub mod catalog;
 mod opdef;

@@ -639,6 +639,22 @@ pub fn shape_of(a: &Tensor) -> Result<Tensor> {
     run1("shape_of", &[a], Attrs::new())
 }
 
+/// The rank as an int64 scalar (`tf.rank`).
+///
+/// # Errors
+/// Execution failures.
+pub fn rank_of(a: &Tensor) -> Result<Tensor> {
+    run1("rank_of", &[a], Attrs::new())
+}
+
+/// The element count as an int64 scalar (`tf.size`).
+///
+/// # Errors
+/// Execution failures.
+pub fn size_of(a: &Tensor) -> Result<Tensor> {
+    run1("size_of", &[a], Attrs::new())
+}
+
 // ---------------------------------------------------------------------------
 // Neural-network primitives
 // ---------------------------------------------------------------------------

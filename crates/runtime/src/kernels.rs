@@ -285,6 +285,8 @@ fn register_structural(map: &mut HashMap<&'static str, Kernel>) {
         let n = dims.len();
         one(TensorData::from_vec(dims, Shape::from([n]))?)
     });
+    kernel!(map, "rank_of", |_, i| { one(TensorData::scalar(in0(i)?.shape().rank() as i64)) });
+    kernel!(map, "size_of", |_, i| { one(TensorData::scalar(in0(i)?.num_elements() as i64)) });
     kernel!(map, "reshape", |a, i| one(shape_ops::reshape(
         in0(i)?,
         a.int_list("shape").map_err(attrs_err)?

@@ -38,6 +38,17 @@ TFE_NUM_THREADS=1 cargo test --release -q --test exec_differential --test kernel
 echo "==> async eager differential + deferred errors with TFE_ASYNC=1 (release)"
 TFE_ASYNC=1 cargo test --release -q --test exec_differential --test async_eager
 
+# Pass-pipeline gate: the pass-level differential fuzz harness in
+# release — every corpus graph (stateless, stateful, algebraic-biased,
+# dead-store-biased; all seeds fixed) must agree with the unoptimized
+# serial baseline under every pass configuration, the fixpoint must
+# converge within the 8-sweep cap on every graph, and the rewrite
+# counters for the new passes must be nonzero on the biased corpora.
+# TFE_FUZZ_CASES scales the corpora (default sizes here; raise for
+# overnight soaks, lower for a smoke run).
+echo "==> pass-pipeline differential fuzz gate (release)"
+cargo test --release -q --test pass_pipeline -- --test-threads "${THREADS}"
+
 # The kernel bench doubles as the async dispatch-overhead smoke: it
 # times a ~1k-op eager chain sync vs async (writing the async_dispatch
 # entry of BENCH_kernels.json) and, under TFE_ASSERT_ASYNC with >= 2

@@ -8,236 +8,16 @@
 //! variable read/write graphs, which the parallel scheduler must execute
 //! in program order via sequencing edges — bit-identical to serial.
 
-use rand::{Rng, SeedableRng};
+mod common;
+
+use common::{eager_interpret, fuzz_cases, generate, generate_stateful, known, make_args};
 use std::sync::Arc;
 use tf_eager::graph::passes::{self, OptimizeOptions};
-use tf_eager::graph::{GraphBuilder, GraphFunction, TensorRef};
+use tf_eager::graph::{GraphBuilder, GraphFunction};
 use tf_eager::ExecMode;
-use tfe_ops::{Attrs, SymShape};
+use tfe_ops::Attrs;
 use tfe_runtime::executor;
 use tfe_tensor::{DType, Shape, TensorData};
-
-const CASES: u64 = 120;
-
-fn known(dims: &[usize]) -> SymShape {
-    SymShape::known(&Shape::new(dims.to_vec()))
-}
-
-/// One value available to the generator: its graph reference plus its
-/// concrete shape.
-#[derive(Clone)]
-struct Avail {
-    tref: TensorRef,
-    dims: Vec<usize>,
-}
-
-const UNARY: &[&str] = &["tanh", "sigmoid", "relu", "neg", "sin", "cos"];
-const BINARY: &[&str] = &["add", "sub", "mul", "maximum", "minimum"];
-
-/// Register a tiny callee for `dims` and return its name. The body
-/// (`tanh(a) * 2 + 0.5`) keeps values bounded so towers of nested calls
-/// stay well-conditioned.
-fn register_inner(tag: &str, dims: &[usize]) -> (String, (String, String)) {
-    let name = format!("diff_inner_{tag}");
-    let mut b = GraphBuilder::new(&name);
-    let a = b.placeholder(DType::F64, known(dims)).unwrap();
-    let t = b.add_node("tanh", vec![a], Attrs::new()).unwrap()[0];
-    let two = b.constant(Arc::new(TensorData::scalar(2.0f64))).unwrap();
-    let m = b.add_node("mul", vec![t, two], Attrs::new()).unwrap()[0];
-    let half = b.constant(Arc::new(TensorData::scalar(0.5f64))).unwrap();
-    let s = b.add_node("add", vec![m, half], Attrs::new()).unwrap()[0];
-    let f = b.finish(vec![s], 0);
-    let sig = tfe_ops::catalog::encode_sig(&f.output_sigs());
-    tfe_runtime::context::library().insert(f);
-    (name, sig)
-}
-
-/// Register then/else branches for `dims` (relu vs neg) and return names
-/// plus the shared output signature.
-fn register_branches(tag: &str, dims: &[usize]) -> (String, String, (String, String)) {
-    let mk = |name: &str, op: &str| {
-        let mut b = GraphBuilder::new(name);
-        let a = b.placeholder(DType::F64, known(dims)).unwrap();
-        let r = b.add_node(op, vec![a], Attrs::new()).unwrap()[0];
-        let f = b.finish(vec![r], 0);
-        let sig = tfe_ops::catalog::encode_sig(&f.output_sigs());
-        tfe_runtime::context::library().insert(f);
-        sig
-    };
-    let then_name = format!("diff_then_{tag}");
-    let else_name = format!("diff_else_{tag}");
-    let sig = mk(&then_name, "relu");
-    mk(&else_name, "neg");
-    (then_name, else_name, sig)
-}
-
-/// Generate one random graph: a handful of F64 placeholders, then a
-/// seeded walk over op kinds, always returning the most recent value plus
-/// one random survivor.
-fn generate(seed: u64) -> (GraphFunction, Vec<Vec<usize>>) {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed * 7919 + 13);
-    let mut b = GraphBuilder::new(&format!("diff_case_{seed}"));
-    let input_shapes: Vec<Vec<usize>> = vec![vec![2, 3], vec![3, 2], vec![4], vec![]];
-    let mut pool: Vec<Avail> = Vec::new();
-    for dims in &input_shapes {
-        let t = b.placeholder(DType::F64, known(dims)).unwrap();
-        pool.push(Avail { tref: t, dims: dims.clone() });
-    }
-    let steps = rng.gen_range(4usize..14);
-    for step in 0..steps {
-        let kind = rng.gen_range(0u32..10);
-        let pick = rng.gen_range(0usize..pool.len());
-        let a = pool[pick].clone();
-        match kind {
-            // Elementwise unary (weighted: the bread and butter).
-            0..=2 => {
-                let op = UNARY[rng.gen_range(0usize..UNARY.len())];
-                let t = b.add_node(op, vec![a.tref], Attrs::new()).unwrap()[0];
-                pool.push(Avail { tref: t, dims: a.dims });
-            }
-            // Elementwise binary over same-shaped (or scalar) operands.
-            3..=4 => {
-                let mates: Vec<&Avail> =
-                    pool.iter().filter(|c| c.dims == a.dims || c.dims.is_empty()).collect();
-                let m = mates[rng.gen_range(0usize..mates.len())].clone();
-                let op = BINARY[rng.gen_range(0usize..BINARY.len())];
-                let t = b.add_node(op, vec![a.tref, m.tref], Attrs::new()).unwrap()[0];
-                pool.push(Avail { tref: t, dims: a.dims });
-            }
-            // Matmul over compatible rank-2 pairs.
-            5 => {
-                let pairs: Vec<(Avail, Avail)> = pool
-                    .iter()
-                    .flat_map(|x| {
-                        pool.iter()
-                            .filter(|y| {
-                                x.dims.len() == 2 && y.dims.len() == 2 && x.dims[1] == y.dims[0]
-                            })
-                            .map(|y| (x.clone(), y.clone()))
-                            .collect::<Vec<_>>()
-                    })
-                    .collect();
-                if pairs.is_empty() {
-                    continue;
-                }
-                let (x, y) = pairs[rng.gen_range(0usize..pairs.len())].clone();
-                let t = b.add_node("matmul", vec![x.tref, y.tref], Attrs::new()).unwrap()[0];
-                pool.push(Avail { tref: t, dims: vec![x.dims[0], y.dims[1]] });
-            }
-            // Reduce the last axis away.
-            6 => {
-                if a.dims.is_empty() {
-                    continue;
-                }
-                let op = if rng.gen_bool(0.5) { "reduce_sum" } else { "reduce_mean" };
-                let axis = (a.dims.len() - 1) as i64;
-                let t =
-                    b.add_node(op, vec![a.tref], Attrs::new().with("axes", vec![axis])).unwrap()[0];
-                pool.push(Avail { tref: t, dims: a.dims[..a.dims.len() - 1].to_vec() });
-            }
-            // Split along an even leading axis; both halves join the pool.
-            7 => {
-                if a.dims.is_empty() || !a.dims[0].is_multiple_of(2) {
-                    continue;
-                }
-                let parts = b
-                    .add_node(
-                        "split",
-                        vec![a.tref],
-                        Attrs::new().with("num", 2i64).with("axis", 0i64),
-                    )
-                    .unwrap();
-                let mut half = a.dims.clone();
-                half[0] /= 2;
-                for p in parts {
-                    pool.push(Avail { tref: p, dims: half.clone() });
-                }
-            }
-            // Nested call.
-            8 => {
-                let (name, (d, s)) = register_inner(&format!("{seed}_{step}"), &a.dims);
-                let t = b
-                    .add_node(
-                        "call",
-                        vec![a.tref],
-                        Attrs::new()
-                            .with("function", name)
-                            .with("out_dtypes", d)
-                            .with("out_shapes", s),
-                    )
-                    .unwrap()[0];
-                pool.push(Avail { tref: t, dims: a.dims });
-            }
-            // Data-dependent cond: predicate is a reduction of a live value.
-            _ => {
-                let scalars: Vec<&Avail> = pool.iter().filter(|c| c.dims.is_empty()).collect();
-                let gate = scalars[rng.gen_range(0usize..scalars.len())].tref;
-                let zero = b.constant(Arc::new(TensorData::scalar(0.0f64))).unwrap();
-                let pred = b.add_node("greater", vec![gate, zero], Attrs::new()).unwrap()[0];
-                let (then_name, else_name, (d, s)) =
-                    register_branches(&format!("{seed}_{step}"), &a.dims);
-                let t = b
-                    .add_node(
-                        "cond",
-                        vec![pred, a.tref],
-                        Attrs::new()
-                            .with("then_fn", then_name)
-                            .with("else_fn", else_name)
-                            .with("out_dtypes", d)
-                            .with("out_shapes", s),
-                    )
-                    .unwrap()[0];
-                pool.push(Avail { tref: t, dims: a.dims });
-            }
-        }
-    }
-    let last = pool.last().unwrap().clone();
-    let extra = pool[rng.gen_range(0usize..pool.len())].clone();
-    let f = b.finish(vec![last.tref, extra.tref], 0);
-    (f, input_shapes)
-}
-
-fn make_args(seed: u64, shapes: &[Vec<usize>]) -> Vec<Arc<TensorData>> {
-    let mut rng = tfe_tensor::rng::TensorRng::seed_from_u64(seed ^ 0x5eed);
-    shapes
-        .iter()
-        .map(|dims| Arc::new(rng.uniform(DType::F64, Shape::new(dims.clone()), -1.0, 1.0).unwrap()))
-        .collect()
-}
-
-/// Interpret a generated graph as a chain of *eager* ops through the
-/// central dispatcher, node by node in program order — the same kernels
-/// over the same operands as the graph executors, but driven through
-/// `context::execute` so the eager dispatch path (sync or async, per the
-/// ambient mode) is what's under test.
-fn eager_interpret(
-    f: &GraphFunction,
-    args: &[Arc<TensorData>],
-) -> Result<Vec<Arc<TensorData>>, tf_eager::RuntimeError> {
-    use std::collections::HashMap;
-    let mut vals: HashMap<(usize, usize), tf_eager::Tensor> = HashMap::new();
-    for (i, nid) in f.inputs.iter().enumerate() {
-        vals.insert((nid.0, 0), tf_eager::Tensor::from_data((*args[i]).clone()));
-    }
-    for (id, node) in f.nodes.iter().enumerate() {
-        match node.op.as_str() {
-            "placeholder" => {}
-            "const" => {
-                let idx = node.attrs.int("value_index").expect("const index") as usize;
-                vals.insert((id, 0), tf_eager::Tensor::from_data((*f.constants[idx]).clone()));
-            }
-            _ => {
-                let ins: Vec<tf_eager::Tensor> =
-                    node.inputs.iter().map(|r| vals[&(r.node.0, r.output)].clone()).collect();
-                let outs = tfe_runtime::context::execute(&node.op, &ins, node.attrs.clone())?;
-                for (k, t) in outs.into_iter().enumerate() {
-                    vals.insert((id, k), t);
-                }
-            }
-        }
-    }
-    f.outputs.iter().map(|r| vals[&(r.node.0, r.output)].value()).collect()
-}
 
 #[test]
 fn serial_parallel_and_optimized_agree_on_random_graphs() {
@@ -248,7 +28,7 @@ fn serial_parallel_and_optimized_agree_on_random_graphs() {
      -> Result<Vec<TensorData>, String> {
         tfe_runtime::kernels::run_kernel(&node.op, &node.attrs, ins).map_err(|e| e.to_string())
     };
-    for seed in 0..CASES {
+    for seed in 0..fuzz_cases(120) {
         let (f, shapes) = generate(seed);
         let args = make_args(seed, &shapes);
         let serial = executor::run_function(&f, &args, &device, ExecMode::SerialPlanned)
@@ -293,7 +73,7 @@ fn serial_parallel_and_optimized_agree_on_random_graphs() {
 fn eager_sync_and_async_match_serial_on_random_graphs() {
     tf_eager::init();
     let device = tfe_runtime::context::device_manager().host_cpu();
-    for seed in 0..CASES {
+    for seed in 0..fuzz_cases(120) {
         let (f, shapes) = generate(seed);
         let args = make_args(seed, &shapes);
         let serial = executor::run_function(&f, &args, &device, ExecMode::SerialPlanned)
@@ -318,48 +98,6 @@ fn eager_sync_and_async_match_serial_on_random_graphs() {
     }
 }
 
-/// The stateful-graph generator shared by the graph-mode and async-eager
-/// differentials: random interleavings of variable reads, writes, and
-/// stateless math over `vars`, always ending on fresh reads so the final
-/// state is observable.
-fn generate_stateful(seed: u64, var_ids: &[i64]) -> GraphFunction {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed * 104729 + 7);
-    let mut b = GraphBuilder::new(&format!("diff_stateful_{seed}"));
-    let read_attrs = |vid: i64| {
-        Attrs::new().with("var_id", vid).with("dtype", DType::F64).with("shape", Vec::<i64>::new())
-    };
-    let mut latest: Vec<TensorRef> = Vec::new();
-    for _ in 0..rng.gen_range(6usize..16) {
-        let vid = var_ids[rng.gen_range(0usize..var_ids.len())];
-        match rng.gen_range(0u32..4) {
-            0 | 1 => {
-                let r = b.add_node("read_variable", vec![], read_attrs(vid)).unwrap()[0];
-                latest.push(r);
-            }
-            2 if !latest.is_empty() => {
-                let src = latest[rng.gen_range(0usize..latest.len())];
-                let t = b.add_node("tanh", vec![src], Attrs::new()).unwrap()[0];
-                b.add_node("assign_add", vec![t], Attrs::new().with("var_id", vid)).unwrap();
-            }
-            _ if !latest.is_empty() => {
-                let x = latest[rng.gen_range(0usize..latest.len())];
-                let y = latest[rng.gen_range(0usize..latest.len())];
-                let s = b.add_node("add", vec![x, y], Attrs::new()).unwrap()[0];
-                latest.push(s);
-            }
-            _ => {
-                let r = b.add_node("read_variable", vec![], read_attrs(vid)).unwrap()[0];
-                latest.push(r);
-            }
-        }
-    }
-    let finals: Vec<TensorRef> = var_ids
-        .iter()
-        .map(|&vid| b.add_node("read_variable", vec![], read_attrs(vid)).unwrap()[0])
-        .collect();
-    b.finish(finals, 0)
-}
-
 /// Stateful graphs: random interleavings of variable reads, writes, and
 /// stateless math. Parallel must match serial bit-for-bit on outputs *and*
 /// on final variable state — sequencing edges, not luck.
@@ -367,7 +105,7 @@ fn generate_stateful(seed: u64, var_ids: &[i64]) -> GraphFunction {
 fn stateful_graphs_match_serial_bit_for_bit() {
     tf_eager::init();
     let device = tfe_runtime::context::device_manager().host_cpu();
-    for seed in 0..40u64 {
+    for seed in 0..fuzz_cases(40) {
         let vars: Vec<tf_eager::Variable> =
             (0..2).map(|k| tf_eager::Variable::new(TensorData::scalar(k as f64 + 1.0))).collect();
         let initial: Vec<Arc<TensorData>> = vars.iter().map(|v| v.peek()).collect();
@@ -408,7 +146,7 @@ fn stateful_graphs_match_serial_bit_for_bit() {
 fn async_eager_stateful_interleavings_match_serial() {
     tf_eager::init();
     let device = tfe_runtime::context::device_manager().host_cpu();
-    for seed in 0..40u64 {
+    for seed in 0..fuzz_cases(40) {
         let vars: Vec<tf_eager::Variable> =
             (0..2).map(|k| tf_eager::Variable::new(TensorData::scalar(k as f64 + 1.0))).collect();
         let initial: Vec<Arc<TensorData>> = vars.iter().map(|v| v.peek()).collect();

@@ -1,0 +1,303 @@
+//! Pass-level differential fuzz harness for the fixpoint optimization
+//! pipeline: every random graph from the `exec_differential` corpus
+//! generator is optimized under {no passes, each pass alone, a single
+//! sweep, full fixpoint, fixpoint+fusion} and every configuration must
+//! agree with the unoptimized serial run — across the serial planner,
+//! the parallel scheduler, and eager interpretation. Stateful graphs
+//! additionally require bit-identical final variable state.
+//!
+//! Two corpora are biased toward the new passes (algebraic identities and
+//! dead stores) and assert their rewrite counters actually fired — a
+//! differential harness that never triggers the rewrites it gates proves
+//! nothing. On a mismatch the failing graph is shrunk (output narrowing +
+//! prefix truncation) and persisted as Graphviz dot; the panic names the
+//! artifact. `TFE_FUZZ_CASES` scales every corpus.
+
+mod common;
+
+use common::fuzz_cases;
+use std::sync::Arc;
+use tf_eager::graph::passes::{self, OptimizeOptions, OptimizeStats, PASS_NAMES};
+use tf_eager::graph::{GraphFunction, Node};
+use tf_eager::ExecMode;
+use tfe_device::Device;
+use tfe_runtime::executor;
+use tfe_tensor::TensorData;
+
+fn evaluator(node: &Node, ins: &[Arc<TensorData>]) -> Result<Vec<TensorData>, String> {
+    tfe_runtime::kernels::run_kernel(&node.op, &node.attrs, ins).map_err(|e| e.to_string())
+}
+
+/// Every optimization configuration under differential test. `only_*`
+/// configs run one pass for one sweep; `single_sweep` runs the whole
+/// pipeline once; `fixpoint` iterates to convergence; `fixpoint_fused`
+/// additionally lowers elementwise islands into fused kernels.
+fn configs() -> Vec<(String, OptimizeOptions)> {
+    let mut v = vec![("none".to_string(), OptimizeOptions::none())];
+    for pass in PASS_NAMES {
+        v.push((format!("only_{pass}"), OptimizeOptions::only(pass)));
+    }
+    v.push(("single_sweep".to_string(), OptimizeOptions { fixpoint: false, ..Default::default() }));
+    v.push(("fixpoint".to_string(), OptimizeOptions::default()));
+    v.push(("fixpoint_fused".to_string(), OptimizeOptions::aggressive()));
+    v
+}
+
+/// Optimize `f` under `opts` and compare against the unoptimized serial
+/// baseline `want` in serial, parallel, and eager interpretation.
+/// Returns a description of the first divergence instead of panicking so
+/// the caller can shrink the graph before reporting.
+fn check_config(
+    f: &GraphFunction,
+    args: &[Arc<TensorData>],
+    want: &[Arc<TensorData>],
+    opts: &OptimizeOptions,
+    device: &Device,
+) -> Result<OptimizeStats, String> {
+    let (g, stats) = passes::optimize_with_stats(f, opts, Some(&evaluator));
+    if opts.fixpoint && !stats.converged {
+        return Err(format!("did not converge within {} sweeps", opts.max_sweeps));
+    }
+    for mode in [ExecMode::SerialPlanned, ExecMode::Parallel] {
+        let got = executor::run_function(&g, args, device, mode)
+            .map_err(|e| format!("{mode:?} failed on optimized graph: {e}"))?;
+        for (k, (w, o)) in want.iter().zip(&got).enumerate() {
+            // Folding/fusion may reassociate floating point: 1e-6, like
+            // the executor differential. Everything else is exact.
+            if !w.all_close(o, 1e-6, 1e-6) {
+                return Err(format!("output {k} ({mode:?}): want {w:?} got {o:?}"));
+            }
+        }
+    }
+    let eager = common::eager_interpret(&g, args)
+        .map_err(|e| format!("eager interpretation of optimized graph failed: {e}"))?;
+    for (k, (w, o)) in want.iter().zip(&eager).enumerate() {
+        if !w.all_close(o, 1e-6, 1e-6) {
+            return Err(format!("output {k} (eager): want {w:?} got {o:?}"));
+        }
+    }
+    Ok(stats)
+}
+
+/// Shrink a failing (graph, config) pair and panic with the dot artifact.
+fn fail_with_artifact(
+    seed: u64,
+    config: &str,
+    err: &str,
+    f: &GraphFunction,
+    args: &[Arc<TensorData>],
+    opts: &OptimizeOptions,
+    device: &Device,
+) -> ! {
+    let shrunk = common::shrink_failing_graph(f, &|cand| {
+        executor::run_function(cand, args, device, ExecMode::SerialPlanned)
+            .ok()
+            .map(|want| check_config(cand, args, &want, opts, device).is_err())
+            .unwrap_or(false)
+    });
+    let path = common::dot_artifact(&shrunk);
+    panic!(
+        "case {seed} config {config}: {err}\nshrunk failing graph written to {}\n{}",
+        path.display(),
+        shrunk.dump()
+    );
+}
+
+/// The headline differential: all stateless corpus graphs, all pass
+/// configurations, all three execution paths.
+#[test]
+fn all_pass_configs_agree_on_random_graphs() {
+    tf_eager::init();
+    let device = tfe_runtime::context::device_manager().host_cpu();
+    for seed in 0..fuzz_cases(120) {
+        let (f, shapes) = common::generate(seed);
+        let args = common::make_args(seed, &shapes);
+        let want = executor::run_function(&f, &args, &device, ExecMode::SerialPlanned)
+            .unwrap_or_else(|e| panic!("case {seed} baseline failed: {e}\n{}", f.dump()));
+        for (name, opts) in configs() {
+            if let Err(err) = check_config(&f, &args, &want, &opts, &device) {
+                fail_with_artifact(seed, &name, &err, &f, &args, &opts, &device);
+            }
+        }
+    }
+}
+
+/// Stateful corpus: every pass configuration must preserve outputs *and*
+/// final variable state bit-for-bit, in both executors. This is the test
+/// that keeps dead-store elimination honest about liveness.
+#[test]
+fn all_pass_configs_preserve_variable_state() {
+    run_stateful_differential(common::generate_stateful, fuzz_cases(40), &mut |_| {});
+}
+
+/// Dead-store-biased corpus: same obligations as the stateful
+/// differential, plus the eliminator must actually fire — every graph
+/// opens with a guaranteed clobbered store.
+#[test]
+fn dead_store_corpus_is_eliminated_and_preserved() {
+    let mut dse_rewrites = 0u64;
+    run_stateful_differential(common::generate_dead_store, fuzz_cases(40), &mut |stats| {
+        dse_rewrites += stats.rewrites_for("eliminate_dead_stores");
+    });
+    assert!(dse_rewrites > 0, "biased corpus never triggered dead-store elimination");
+}
+
+fn run_stateful_differential(
+    gen: fn(u64, &[i64]) -> GraphFunction,
+    cases: u64,
+    on_fixpoint_stats: &mut dyn FnMut(&OptimizeStats),
+) {
+    tf_eager::init();
+    let device = tfe_runtime::context::device_manager().host_cpu();
+    for seed in 0..cases {
+        let vars: Vec<tf_eager::Variable> =
+            (0..2).map(|k| tf_eager::Variable::new(TensorData::scalar(k as f64 + 1.0))).collect();
+        let initial: Vec<Arc<TensorData>> = vars.iter().map(|v| v.peek()).collect();
+        let var_ids: Vec<i64> = vars.iter().map(|v| v.id() as i64).collect();
+        let f = gen(seed, &var_ids);
+        let reset = |vars: &[tf_eager::Variable]| {
+            for (v, init) in vars.iter().zip(&initial) {
+                v.restore((**init).clone()).unwrap();
+            }
+        };
+
+        let want = executor::run_function(&f, &[], &device, ExecMode::SerialPlanned)
+            .unwrap_or_else(|e| panic!("case {seed} baseline failed: {e}\n{}", f.dump()));
+        let want_state: Vec<f64> = vars.iter().map(|v| v.peek().scalar_f64().unwrap()).collect();
+
+        for (name, opts) in configs() {
+            let (g, stats) = passes::optimize_with_stats(&f, &opts, Some(&evaluator));
+            assert!(
+                !opts.fixpoint || stats.converged,
+                "case {seed} config {name}: no fixpoint within {} sweeps\n{}",
+                opts.max_sweeps,
+                f.dump()
+            );
+            if name == "fixpoint" {
+                on_fixpoint_stats(&stats);
+            }
+            for mode in [ExecMode::SerialPlanned, ExecMode::Parallel] {
+                reset(&vars);
+                let got = executor::run_function(&g, &[], &device, mode).unwrap_or_else(|e| {
+                    panic!("case {seed} config {name} {mode:?} failed: {e}\n{}", g.dump())
+                });
+                let state: Vec<f64> = vars.iter().map(|v| v.peek().scalar_f64().unwrap()).collect();
+                for (k, (w, o)) in want.iter().zip(&got).enumerate() {
+                    assert!(
+                        w.all_close(o, 0.0, 0.0),
+                        "case {seed} config {name} output {k} ({mode:?}): {w:?} vs {o:?}\n{}\n{}",
+                        f.dump(),
+                        g.dump()
+                    );
+                }
+                assert_eq!(
+                    want_state,
+                    state,
+                    "case {seed} config {name} ({mode:?}) variable state\n{}\n{}",
+                    f.dump(),
+                    g.dump()
+                );
+            }
+        }
+    }
+}
+
+/// Algebraic-biased corpus: the differential holds, the fixpoint
+/// converges, and the rewrite counters for both new stateless passes are
+/// nonzero across the corpus — the harness demonstrably gates the
+/// rewrites it claims to.
+#[test]
+fn algebraic_corpus_is_simplified_and_preserved() {
+    tf_eager::init();
+    let device = tfe_runtime::context::device_manager().host_cpu();
+    let mut algebraic = 0u64;
+    let mut propagated = 0u64;
+    let mut removed = 0usize;
+    for seed in 0..fuzz_cases(60) {
+        let (f, shapes) = common::generate_algebraic(seed);
+        let args = common::make_args(seed ^ 0xa19, &shapes);
+        let want = executor::run_function(&f, &args, &device, ExecMode::SerialPlanned)
+            .unwrap_or_else(|e| panic!("case {seed} baseline failed: {e}\n{}", f.dump()));
+        for (name, opts) in configs() {
+            match check_config(&f, &args, &want, &opts, &device) {
+                Err(err) => fail_with_artifact(seed, &name, &err, &f, &args, &opts, &device),
+                Ok(stats) => {
+                    if name == "fixpoint" {
+                        algebraic += stats.rewrites_for("simplify_algebraic");
+                        propagated += stats.rewrites_for("propagate_constants");
+                    }
+                }
+            }
+        }
+        let optimized = passes::optimize(&f, &OptimizeOptions::default(), Some(&evaluator));
+        removed += f.executable_node_count().saturating_sub(optimized.executable_node_count());
+    }
+    assert!(algebraic > 0, "biased corpus never triggered algebraic simplification");
+    assert!(propagated > 0, "biased corpus never triggered constant propagation");
+    assert!(removed > 0, "optimization never shrank a biased graph");
+}
+
+/// Applying any single pass twice must equal applying it once —
+/// structural hash equality, table-driven over all seven passes, on both
+/// the general and the algebraic-biased corpus.
+#[test]
+fn single_passes_are_idempotent() {
+    tf_eager::init();
+    for seed in 0..fuzz_cases(30) {
+        let graphs = [common::generate(seed).0, common::generate_algebraic(seed).0];
+        for f in &graphs {
+            for pass in PASS_NAMES {
+                let opts = OptimizeOptions::only(pass);
+                let once = passes::optimize(f, &opts, Some(&evaluator));
+                let twice = passes::optimize(&once, &opts, Some(&evaluator));
+                assert_eq!(
+                    once.structural_hash(),
+                    twice.structural_hash(),
+                    "pass {pass} not idempotent on seed {seed}\nonce:\n{}\ntwice:\n{}",
+                    once.dump(),
+                    twice.dump()
+                );
+            }
+        }
+    }
+}
+
+/// Graph hashes after optimization are reproducible run-to-run — the
+/// property the fixpoint driver's convergence test rests on (a pass with
+/// nondeterministic output order would never stabilize the hash).
+#[test]
+fn optimized_hashes_are_reproducible() {
+    tf_eager::init();
+    for seed in 0..fuzz_cases(20) {
+        let (f, _) = common::generate(seed);
+        let base = passes::optimize(&f, &OptimizeOptions::aggressive(), Some(&evaluator))
+            .structural_hash();
+        for round in 0..4 {
+            let again = passes::optimize(&f, &OptimizeOptions::aggressive(), Some(&evaluator))
+                .structural_hash();
+            assert_eq!(base, again, "seed {seed} round {round}: optimized hash drifted");
+        }
+    }
+}
+
+/// The shrinker itself: a graph whose failure is confined to an early
+/// prefix must shrink past the unrelated tail, and the artifact must be
+/// valid dot on disk.
+#[test]
+fn shrinker_truncates_to_failing_prefix() {
+    tf_eager::init();
+    let (f, _) = common::generate(7);
+    // "Failure" = the graph still contains its first non-placeholder node.
+    let marker = f
+        .nodes
+        .iter()
+        .position(|n| n.op != "placeholder")
+        .expect("corpus graphs have executable nodes");
+    let shrunk = common::shrink_failing_graph(&f, &|cand| cand.nodes.len() > marker);
+    assert!(shrunk.nodes.len() < f.nodes.len(), "shrinker failed to drop the unrelated tail");
+    assert_eq!(shrunk.outputs.len(), 1, "shrunk graph keeps a single output");
+    let path = common::dot_artifact(&shrunk);
+    let dot = std::fs::read_to_string(&path).expect("artifact readable");
+    assert!(dot.starts_with("digraph"), "artifact is dot: {dot:.40}");
+    std::fs::remove_file(&path).ok();
+}
