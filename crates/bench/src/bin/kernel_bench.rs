@@ -183,6 +183,119 @@ fn cases() -> Vec<Case> {
     out
 }
 
+/// Fused-elementwise executor: a 10-op f32 chain over 1M elements, timed
+/// three ways — unfused (one eager kernel per op, ten passes over memory),
+/// fused-interpreted (the pre-tile register interpreter, still one
+/// materialized buffer per instruction), and fused-tiled (the compiled
+/// tile executor: one pass over memory in cache-resident tiles). All three
+/// must agree bitwise before anything is timed. The row also records the
+/// one-time decode+compile cost next to the steady-state compile-cache hit,
+/// documenting that the per-call program parse is gone.
+fn bench_fused_chain(iters: usize, reps: usize) -> tfe_encode::Value {
+    use tfe_graph::program::{self, Program};
+    use tfe_tensor::elementwise::{unary, UnaryOp};
+
+    const N: usize = 1 << 20;
+    let text = "in:0;in:1;b:mul:0:1;b:add:2:1;u:abs:3;u:neg:4;b:add:5:0;\
+                u:relu:6;b:sub:7:1;u:square:8;b:maximum:9:0;u:neg:10|11";
+    let a = f32_tensor(&[N]);
+    let b = {
+        let v: Vec<f32> = (0..N).map(|i| ((i % 89) as f32 - 44.0) * 0.25).collect();
+        TensorData::from_vec(v, Shape::new(vec![N])).expect("b tensor")
+    };
+
+    let compiled = program::compiled(text).expect("fused chain compiles");
+    let ops = compiled.op_count();
+
+    let unfused = {
+        let (a, b) = (a.clone(), b.clone());
+        move || -> TensorData {
+            let t = binary(&a, &b, BinaryOp::Mul).unwrap();
+            let t = binary(&t, &b, BinaryOp::Add).unwrap();
+            let t = unary(&t, UnaryOp::Abs).unwrap();
+            let t = unary(&t, UnaryOp::Neg).unwrap();
+            let t = binary(&t, &a, BinaryOp::Add).unwrap();
+            let t = unary(&t, UnaryOp::Relu).unwrap();
+            let t = binary(&t, &b, BinaryOp::Sub).unwrap();
+            let t = unary(&t, UnaryOp::Square).unwrap();
+            let t = binary(&t, &a, BinaryOp::Maximum).unwrap();
+            unary(&t, UnaryOp::Neg).unwrap()
+        }
+    };
+
+    // Bitwise agreement across all three executors before timing any.
+    let bits = |t: &TensorData| -> Vec<u32> {
+        t.as_slice::<f32>().unwrap().iter().map(|x| x.to_bits()).collect()
+    };
+    let want = bits(&unfused());
+    let tiled_out = compiled.eval(&[&a, &b]).expect("tiled eval");
+    assert_eq!(want, bits(&tiled_out), "fused-tiled must match the unfused chain bitwise");
+    let prev = program::set_force_interpreted(true);
+    let interp_out = compiled.eval(&[&a, &b]).expect("interpreted eval");
+    program::set_force_interpreted(prev);
+    assert_eq!(want, bits(&interp_out), "fused-interpreted must match bitwise");
+
+    let unfused_ns = time_ns(iters, reps, &|| {
+        unfused();
+    });
+    let prev = program::set_force_interpreted(true);
+    let interp_ns = time_ns(iters, reps, &|| {
+        compiled.eval(&[&a, &b]).expect("interpreted eval");
+    });
+    program::set_force_interpreted(prev);
+    let tiled_ns = time_ns(iters, reps, &|| {
+        compiled.eval(&[&a, &b]).expect("tiled eval");
+    });
+
+    // What satellite work removed from every call: the string parse +
+    // register planning now happen once, and the hot path is a read-locked
+    // map hit on the encoded text.
+    let decode_ns = time_ns(iters.max(100), reps, &|| {
+        Program::decode(text).expect("decode").compile();
+    });
+    let hit_ns = time_ns(iters.max(100), reps, &|| {
+        program::compiled(text).expect("cache hit");
+    });
+
+    let vs_unfused = unfused_ns / tiled_ns;
+    let vs_interp = interp_ns / tiled_ns;
+    println!(
+        "{:<26} {:>14.0} {:>14.0} {:>14.0} {:>7.2}x {:>7.2}x   {ops}-op chain, {N} f32 \
+         (unfused / interpreted / tiled)",
+        "fused_chain", unfused_ns, interp_ns, tiled_ns, vs_unfused, vs_interp
+    );
+
+    if std::env::var_os("TFE_ASSERT_FUSED").is_some() {
+        assert!(
+            vs_unfused >= 2.0,
+            "fused-tiled must be >=2x over op-by-op on a {ops}-op {N}-element chain: \
+             unfused {unfused_ns:.0} ns vs tiled {tiled_ns:.0} ns ({vs_unfused:.2}x)"
+        );
+        assert!(
+            hit_ns < decode_ns,
+            "compile-cache hit ({hit_ns:.0} ns) must be cheaper than per-call \
+             decode+compile ({decode_ns:.0} ns)"
+        );
+        eprintln!(
+            "fused chain asserted: {vs_unfused:.2}x over unfused, {vs_interp:.2}x over interpreted"
+        );
+    }
+
+    tfe_encode::Value::object(vec![
+        ("ops".to_string(), tfe_encode::Value::Int(ops as i64)),
+        ("elements".to_string(), tfe_encode::Value::Int(N as i64)),
+        ("shape".to_string(), tfe_encode::Value::str("10-op 1M-element f32 chain")),
+        ("unfused_ns_per_call".to_string(), tfe_encode::Value::Float(unfused_ns)),
+        ("interpreted_ns_per_call".to_string(), tfe_encode::Value::Float(interp_ns)),
+        ("tiled_ns_per_call".to_string(), tfe_encode::Value::Float(tiled_ns)),
+        ("tiled_speedup_vs_unfused".to_string(), tfe_encode::Value::Float(vs_unfused)),
+        ("tiled_speedup_vs_interpreted".to_string(), tfe_encode::Value::Float(vs_interp)),
+        ("decode_compile_ns".to_string(), tfe_encode::Value::Float(decode_ns)),
+        ("compile_cache_hit_ns".to_string(), tfe_encode::Value::Float(hit_ns)),
+        ("scratch_buffers".to_string(), tfe_encode::Value::Int(compiled.scratch_buffers() as i64)),
+    ])
+}
+
 /// Async dispatch overlap: a ~1k-op chain of eager elementwise kernels,
 /// timed once with synchronous dispatch (each kernel runs on the caller
 /// before `execute` returns) and once under `async_scope` (ops enqueue on
@@ -421,11 +534,13 @@ fn main() {
         rows.push(tfe_encode::Value::object(fields));
     }
 
+    let fused_row = bench_fused_chain(iters, reps);
     let async_row = bench_async_dispatch(iters.min(4), reps);
     let pass_row = bench_pass_pipeline(iters * 20, reps);
 
     let mut fields = vec![
         ("experiment".to_string(), tfe_encode::Value::str("kernels")),
+        ("fused_chain".to_string(), fused_row),
         ("async_dispatch".to_string(), async_row),
         ("pass_pipeline".to_string(), pass_row),
         ("threads".to_string(), tfe_encode::Value::Int(threads as i64)),

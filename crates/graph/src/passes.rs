@@ -944,15 +944,18 @@ fn fuse_elementwise_counted(f: &GraphFunction) -> (GraphFunction, u64) {
             }
             let output_reg = reg_of[&TensorRef::first(NodeId(i))];
             let program = Program { instrs, output: output_reg };
+            let encoded = program.encode();
+            // Compile at fusion time so the first kernel invocation — and
+            // every one after — finds the decoded, slot-planned form in the
+            // cache and never parses the attribute string.
+            let _ = crate::program::compiled(&encoded);
             let sink = &f.nodes[i];
             let mapped_inputs: Vec<TensorRef> =
                 prog_inputs.iter().map(|t| *remap.get(t).unwrap_or(t)).collect();
             let fused = Node {
                 op: "fused_elementwise".to_string(),
                 inputs: mapped_inputs,
-                attrs: Attrs::new()
-                    .with("program", program.encode())
-                    .with("out_dtype", sink.outputs[0].0),
+                attrs: Attrs::new().with("program", encoded).with("out_dtype", sink.outputs[0].0),
                 outputs: sink.outputs.clone(),
                 stateful: false,
                 control_inputs: Vec::new(),

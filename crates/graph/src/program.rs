@@ -4,12 +4,31 @@
 //!
 //! A program is a small SSA register machine over the elementwise op enums
 //! from `tfe-tensor`. The fusion pass compiles a group of elementwise graph
-//! nodes into one program; the runtime kernel evaluates the whole program
-//! in a single pass, which is where the (real and modeled) memory-traffic
-//! savings come from.
+//! nodes into one [`Program`], and — once, at fusion time — lowers it to a
+//! [`CompiledProgram`]: decoded instructions with a last-use register plan,
+//! input-aliased reads, and a scratch-slot assignment sized for
+//! cache-resident tiles. The runtime kernel fetches the compiled form from
+//! the process-wide [`compiled`] cache (keyed by the encoded text), so the
+//! string attribute is parsed once per distinct program, not once per call.
+//!
+//! Execution walks the whole program over one ~8 KiB tile at a time
+//! ([`CompiledProgram::eval`]): an N-op group makes one pass over memory
+//! instead of N, which is where fusion's real memory-traffic saving comes
+//! from. Tile boundaries depend only on the element count
+//! ([`tfe_parallel::tile_len`]) and every instruction is an element-
+//! independent map, so serial and parallel runs are bit-identical — and
+//! both are bit-identical to the per-instruction interpreter
+//! ([`Program::eval`]), which stays behind [`set_force_interpreted`] as the
+//! differential-testing reference and handles the mixed-shape/dtype
+//! fallback.
 
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::RwLock;
 use tfe_tensor::elementwise::{binary, unary, BinaryOp, UnaryOp};
-use tfe_tensor::{Result as TResult, TensorData, TensorError};
+use tfe_tensor::{lanes, Result as TResult, TensorData, TensorError};
 
 /// One instruction; instruction `i` writes register `i`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -116,23 +135,32 @@ impl Program {
         Ok(p)
     }
 
-    /// Evaluate against concrete inputs.
+    /// Lower to the tile-executable form (see [`CompiledProgram`]).
+    pub fn compile(self) -> CompiledProgram {
+        CompiledProgram::new(self)
+    }
+
+    /// Evaluate against concrete inputs with the per-instruction
+    /// interpreter: one whole-tensor pass per instruction. This is the
+    /// reference the tile executor is differentially tested against; the
+    /// runtime kernel goes through [`CompiledProgram::eval`] instead.
     ///
     /// # Errors
     /// Kernel errors (dtype/broadcast problems) from the underlying ops.
     pub fn eval(&self, inputs: &[&TensorData]) -> TResult<TensorData> {
-        // Fast path: all-f32, identical shapes — evaluate in place over a
-        // small pool of reused buffers, which is where fusion's real
-        // memory-traffic win comes from.
+        // Fast path: all-f32, identical shapes — evaluate over a small pool
+        // of reused full-size buffers, reading inputs through aliases.
         if let Some(out) = self.eval_fused_f32(inputs)? {
             return Ok(out);
         }
         self.eval_generic(inputs)
     }
 
-    /// In-place fused evaluation for same-shape f32 operands. Returns
-    /// `Ok(None)` when the inputs don't qualify (mixed shapes/dtypes), in
-    /// which case the generic per-instruction path runs instead.
+    /// Interpreted evaluation for same-shape f32 operands. `Instr::Input`
+    /// never materializes a buffer: consumers read the source tensor's
+    /// slice directly. Returns `Ok(None)` when the inputs don't qualify
+    /// (mixed shapes/dtypes), in which case the generic per-instruction
+    /// path runs instead.
     fn eval_fused_f32(&self, inputs: &[&TensorData]) -> TResult<Option<TensorData>> {
         use tfe_tensor::DType;
         let Some(first) = inputs.first() else { return Ok(None) };
@@ -142,10 +170,22 @@ impl Program {
                 return Ok(None);
             }
         }
-        // Only plain elementwise instructions qualify (they all do today,
-        // but stay conservative about future instruction kinds).
         let n = shape.num_elements();
-        // Registers: last-use analysis lets buffers be recycled.
+        let mut ins: Vec<&[f32]> = Vec::with_capacity(inputs.len());
+        for t in inputs {
+            ins.push(t.as_slice::<f32>()?);
+        }
+        // Resolve a source register to its backing slice: input registers
+        // alias the caller's tensor, compute registers their buffer.
+        macro_rules! src {
+            ($regs:expr, $r:expr) => {
+                match self.instrs[$r] {
+                    Instr::Input(k) => ins[k],
+                    _ => $regs[$r].as_deref().expect("register defined"),
+                }
+            };
+        }
+        // Last-use analysis lets compute buffers be recycled.
         let mut last_use = vec![0usize; self.instrs.len()];
         for (i, instr) in self.instrs.iter().enumerate() {
             match instr {
@@ -161,30 +201,20 @@ impl Program {
         let mut regs: Vec<Option<Vec<f32>>> = vec![None; self.instrs.len()];
         let mut free: Vec<Vec<f32>> = Vec::new();
         for (i, instr) in self.instrs.iter().enumerate() {
-            let mut buf = free.pop().unwrap_or_else(|| vec![0.0f32; n]);
             match instr {
-                Instr::Input(k) => {
-                    let src = inputs[*k].as_slice::<f32>()?;
-                    buf.copy_from_slice(src);
-                }
+                Instr::Input(_) => {} // aliased — no buffer, no copy
                 Instr::Unary(op, a) => {
-                    let src = regs[*a].as_ref().expect("register defined");
-                    for (o, &x) in buf.iter_mut().zip(src.iter()) {
-                        *o = op.eval_f32(x);
-                    }
+                    let mut buf = free.pop().unwrap_or_else(|| vec![0.0f32; n]);
+                    lanes::unary_f32(*op, src!(regs, *a), &mut buf);
+                    regs[i] = Some(buf);
                 }
                 Instr::Binary(op, a, b) => {
-                    let (sa, sb) = (
-                        regs[*a].as_ref().expect("register defined"),
-                        regs[*b].as_ref().expect("register defined"),
-                    );
-                    for ((o, &x), &y) in buf.iter_mut().zip(sa.iter()).zip(sb.iter()) {
-                        *o = op.eval_f32(x, y);
-                    }
+                    let mut buf = free.pop().unwrap_or_else(|| vec![0.0f32; n]);
+                    lanes::binary_f32(*op, src!(regs, *a), src!(regs, *b), &mut buf);
+                    regs[i] = Some(buf);
                 }
             }
-            regs[i] = Some(buf);
-            // Recycle registers whose last consumer was this instruction.
+            // Recycle compute buffers whose last consumer was this instr.
             for (r, lu) in last_use.iter().enumerate() {
                 if *lu == i && r != i {
                     if let Some(b) = regs[r].take() {
@@ -193,33 +223,436 @@ impl Program {
                 }
             }
         }
-        let out = regs[self.output].take().expect("output register");
+        let out = match self.instrs[self.output] {
+            Instr::Input(k) => ins[k].to_vec(),
+            _ => regs[self.output].take().expect("output register"),
+        };
         Ok(Some(TensorData::from_vec(out, shape)?))
     }
 
     fn eval_generic(&self, inputs: &[&TensorData]) -> TResult<TensorData> {
-        let mut regs: Vec<TensorData> = Vec::with_capacity(self.instrs.len());
+        // Input registers borrow the caller's tensors instead of cloning
+        // them; only compute results are owned.
+        enum Reg<'a> {
+            Borrowed(&'a TensorData),
+            Owned(TensorData),
+        }
+        impl Reg<'_> {
+            fn get(&self) -> &TensorData {
+                match self {
+                    Reg::Borrowed(t) => t,
+                    Reg::Owned(t) => t,
+                }
+            }
+        }
+        let mut regs: Vec<Reg<'_>> = Vec::with_capacity(self.instrs.len());
         for instr in &self.instrs {
             let v = match instr {
-                Instr::Input(k) => inputs
-                    .get(*k)
-                    .ok_or_else(|| {
-                        TensorError::InvalidArgument(format!("fused program input {k} missing"))
-                    })?
-                    .to_owned()
-                    .clone(),
-                Instr::Unary(op, a) => unary(&regs[*a], *op)?,
-                Instr::Binary(op, a, b) => binary(&regs[*a], &regs[*b], *op)?,
+                Instr::Input(k) => Reg::Borrowed(*inputs.get(*k).ok_or_else(|| {
+                    TensorError::InvalidArgument(format!("fused program input {k} missing"))
+                })?),
+                Instr::Unary(op, a) => Reg::Owned(unary(regs[*a].get(), *op)?),
+                Instr::Binary(op, a, b) => Reg::Owned(binary(regs[*a].get(), regs[*b].get(), *op)?),
             };
             regs.push(v);
         }
-        Ok(regs.swap_remove(self.output))
+        Ok(match regs.swap_remove(self.output) {
+            Reg::Borrowed(t) => t.clone(), // output is a bare input
+            Reg::Owned(t) => t,
+        })
     }
 
     /// Number of non-input instructions (the "fused op count").
     pub fn op_count(&self) -> usize {
         self.instrs.iter().filter(|i| !matches!(i, Instr::Input(_))).count()
     }
+}
+
+// ---------------------------------------------------------------------------
+// Compiled tile executor
+// ---------------------------------------------------------------------------
+
+/// Where a compiled register lives during tile execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Slot {
+    /// Alias of fused-node input `k` — read straight from the source
+    /// tensor, never copied into a register buffer.
+    In(usize),
+    /// Scratch buffer `s` (one tile wide).
+    Buf(usize),
+    /// The output tile itself — the final instruction writes the result
+    /// directly, no copy-out.
+    Out,
+}
+
+/// One compiled instruction with resolved source/destination slots.
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    /// `dst = op(a)`
+    Unary {
+        /// The op.
+        op: UnaryOp,
+        /// Source slot.
+        a: Slot,
+        /// Destination slot ([`Slot::Buf`] or [`Slot::Out`]).
+        dst: Slot,
+    },
+    /// `dst = op(a, b)`
+    Binary {
+        /// The op.
+        op: BinaryOp,
+        /// Left source slot.
+        a: Slot,
+        /// Right source slot.
+        b: Slot,
+        /// Destination slot ([`Slot::Buf`] or [`Slot::Out`]).
+        dst: Slot,
+    },
+}
+
+impl Step {
+    fn dst(&self) -> Slot {
+        match self {
+            Step::Unary { dst, .. } | Step::Binary { dst, .. } => *dst,
+        }
+    }
+}
+
+/// A [`Program`] lowered for tile execution: decoded once, inputs aliased,
+/// scratch registers assigned by a last-use plan so the live set — and
+/// therefore the tile working set — is minimal.
+///
+/// Built once per distinct program (at fusion time via [`compiled`]) and
+/// shared by every subsequent kernel invocation, so the hot path never
+/// parses the string attribute.
+///
+/// # Slot-plan invariant
+///
+/// A step's destination buffer is allocated **before** the buffers of
+/// sources dying at that step are released, so `dst` never aliases a live
+/// source. Tile execution relies on this: it `mem::take`s the destination
+/// buffer while reading source buffers through shared borrows — safe
+/// without `unsafe`, and loud (an empty-slice panic) if the invariant were
+/// ever broken.
+#[derive(Debug)]
+pub struct CompiledProgram {
+    /// The interpreted form, kept for the mixed-shape/dtype fallback.
+    program: Program,
+    /// Inputs the program reads (max input index + 1).
+    num_inputs: usize,
+    /// Compiled non-input instructions, in execution order.
+    steps: Vec<Step>,
+    /// Scratch buffers a tile needs live at once.
+    num_bufs: usize,
+    /// Where the output register lives after the last step.
+    out: Slot,
+}
+
+impl CompiledProgram {
+    fn new(program: Program) -> Self {
+        let n = program.instrs.len();
+        // last_use[r] = index of the last instruction reading register r.
+        let mut last_use: Vec<Option<usize>> = vec![None; n];
+        for (i, instr) in program.instrs.iter().enumerate() {
+            match instr {
+                Instr::Input(_) => {}
+                Instr::Unary(_, a) => last_use[*a] = Some(i),
+                Instr::Binary(_, a, b) => {
+                    last_use[*a] = Some(i);
+                    last_use[*b] = Some(i);
+                }
+            }
+        }
+        let num_inputs = program
+            .instrs
+            .iter()
+            .filter_map(|i| match i {
+                Instr::Input(k) => Some(*k + 1),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0);
+        let mut reg_slot: Vec<Slot> = Vec::with_capacity(n);
+        let mut free: Vec<usize> = Vec::new();
+        let mut num_bufs = 0usize;
+        let mut steps = Vec::new();
+        for (i, instr) in program.instrs.iter().enumerate() {
+            if let Instr::Input(k) = instr {
+                reg_slot.push(Slot::In(*k));
+                continue;
+            }
+            // The output register writes the output tile directly when no
+            // later instruction reads it back (the common case — fusion
+            // emits the output last).
+            let dst = if i == program.output && last_use[i].is_none() {
+                Slot::Out
+            } else {
+                Slot::Buf(free.pop().unwrap_or_else(|| {
+                    num_bufs += 1;
+                    num_bufs - 1
+                }))
+            };
+            steps.push(match *instr {
+                Instr::Unary(op, a) => Step::Unary { op, a: reg_slot[a], dst },
+                Instr::Binary(op, a, b) => Step::Binary { op, a: reg_slot[a], b: reg_slot[b], dst },
+                Instr::Input(_) => unreachable!(),
+            });
+            // Release buffers whose last consumer is this instruction —
+            // after `dst` was taken, upholding the slot-plan invariant.
+            for (r, lu) in last_use.iter().enumerate() {
+                if *lu == Some(i) && r != program.output {
+                    if let Slot::Buf(s) = reg_slot[r] {
+                        free.push(s);
+                    }
+                }
+            }
+            reg_slot.push(dst);
+        }
+        let out = reg_slot.get(program.output).copied().unwrap_or(Slot::Out);
+        CompiledProgram { program, num_inputs, steps, num_bufs, out }
+    }
+
+    /// The interpreted program this was compiled from.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Number of non-input instructions.
+    pub fn op_count(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Scratch buffers one tile keeps live (exposed for tests/benches).
+    pub fn scratch_buffers(&self) -> usize {
+        self.num_bufs
+    }
+
+    /// Evaluate against concrete inputs.
+    ///
+    /// Same-shape all-f32 operands run the tile executor: one pass over
+    /// memory for the whole program, tiles split over the shared pool with
+    /// partition-independent math (bit-identical for every thread count,
+    /// and bit-identical to [`Program::eval`]). Anything else — and every
+    /// call while [`set_force_interpreted`] is on — falls back to the
+    /// interpreter.
+    ///
+    /// # Errors
+    /// Missing inputs or kernel errors (dtype/broadcast problems).
+    pub fn eval(&self, inputs: &[&TensorData]) -> TResult<TensorData> {
+        if inputs.len() < self.num_inputs {
+            return Err(TensorError::InvalidArgument(format!(
+                "fused program needs {} inputs, got {}",
+                self.num_inputs,
+                inputs.len()
+            )));
+        }
+        if !force_interpreted() {
+            if let Some(out) = self.eval_tiled_f32(inputs)? {
+                return Ok(out);
+            }
+        }
+        self.program.eval(inputs)
+    }
+
+    /// The tile executor. Returns `Ok(None)` when the inputs don't qualify
+    /// (mixed shapes/dtypes) — the interpreter handles those.
+    fn eval_tiled_f32(&self, inputs: &[&TensorData]) -> TResult<Option<TensorData>> {
+        use tfe_tensor::DType;
+        let Some(first) = inputs.first() else { return Ok(None) };
+        let shape = first.shape().clone();
+        for t in inputs {
+            if t.dtype() != DType::F32 || t.shape() != &shape {
+                return Ok(None);
+            }
+        }
+        let mut srcs: Vec<&[f32]> = Vec::with_capacity(inputs.len());
+        for t in inputs {
+            srcs.push(t.as_slice::<f32>()?);
+        }
+        let n = shape.num_elements();
+        // Tile length depends only on the working set (inputs + scratch +
+        // output), never the thread count — fixed boundaries keep tiled
+        // results bitwise reproducible under any parallel split.
+        let tile =
+            tfe_parallel::tile_len(std::mem::size_of::<f32>(), self.num_bufs + inputs.len() + 1);
+        let n_tiles = n.div_ceil(tile.max(1));
+        let mut span = tfe_profile::span("fused", || {
+            format!("fused_tiled:{}op:{}tile", self.steps.len(), n_tiles)
+        });
+        if let Some(s) = span.as_mut() {
+            // One read per input element plus one output write.
+            s.set_bytes(((inputs.len() + 1) * n * std::mem::size_of::<f32>()) as u64);
+        }
+        metric_fused_elements(n as u64);
+        let mut out = vec![0.0f32; n];
+        let ptr = SendPtr(out.as_mut_ptr());
+        tfe_parallel::par_for(n_tiles, 1, |r: std::ops::Range<usize>| {
+            SCRATCH.with(|cell| {
+                let mut scratch = cell.borrow_mut();
+                if scratch.len() < self.num_bufs {
+                    scratch.resize_with(self.num_bufs, Vec::new);
+                }
+                for buf in scratch.iter_mut().take(self.num_bufs) {
+                    if buf.len() < tile {
+                        buf.resize(tile, 0.0);
+                    }
+                }
+                for t in r {
+                    let start = t * tile;
+                    let len = tile.min(n - start);
+                    // SAFETY: tiles partition 0..n disjointly ([t*tile,
+                    // t*tile+len) for distinct t), and par_for joins every
+                    // tile before returning, so `out` outlives all views.
+                    let out_tile = unsafe { ptr.slice_mut(start, len) };
+                    self.run_tile(&srcs, &mut scratch, out_tile, start);
+                }
+            });
+        });
+        Ok(Some(TensorData::from_vec(out, shape)?))
+    }
+
+    /// Run every step over one tile: `out_tile` covers absolute elements
+    /// `start .. start + out_tile.len()` of the flattened tensors.
+    fn run_tile(&self, srcs: &[&[f32]], bufs: &mut [Vec<f32>], out_tile: &mut [f32], start: usize) {
+        let len = out_tile.len();
+        fn resolve<'a>(
+            slot: Slot,
+            srcs: &[&'a [f32]],
+            bufs: &'a [Vec<f32>],
+            start: usize,
+            len: usize,
+        ) -> &'a [f32] {
+            match slot {
+                Slot::In(k) => &srcs[k][start..start + len],
+                Slot::Buf(s) => &bufs[s][..len],
+                Slot::Out => unreachable!("the output tile is never a source"),
+            }
+        }
+        macro_rules! apply {
+            ($step:expr, $dst:expr) => {
+                match *$step {
+                    Step::Unary { op, a, .. } => {
+                        lanes::unary_f32(op, resolve(a, srcs, bufs, start, len), $dst)
+                    }
+                    Step::Binary { op, a, b, .. } => lanes::binary_f32(
+                        op,
+                        resolve(a, srcs, bufs, start, len),
+                        resolve(b, srcs, bufs, start, len),
+                        $dst,
+                    ),
+                }
+            };
+        }
+        for step in &self.steps {
+            match step.dst() {
+                Slot::Out => apply!(step, out_tile),
+                Slot::Buf(s) => {
+                    // Slot-plan invariant: `s` aliases no live source, so
+                    // taking it out cannot disturb this step's reads.
+                    let mut buf = std::mem::take(&mut bufs[s]);
+                    apply!(step, &mut buf[..len]);
+                    bufs[s] = buf;
+                }
+                Slot::In(_) => unreachable!("inputs are never written"),
+            }
+        }
+        // Degenerate programs (output read back later, or output == input)
+        // finish with one tile-local copy.
+        match self.out {
+            Slot::Out => {}
+            Slot::In(k) => out_tile.copy_from_slice(&srcs[k][start..start + len]),
+            Slot::Buf(s) => out_tile.copy_from_slice(&bufs[s][..len]),
+        }
+    }
+}
+
+thread_local! {
+    /// Per-thread tile scratch, reused across tiles and programs so the
+    /// executor never allocates on the steady-state hot path.
+    static SCRATCH: std::cell::RefCell<Vec<Vec<f32>>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// A raw pointer that may cross thread boundaries; tiles receive disjoint
+/// mutable views of the output buffer through it.
+#[derive(Clone, Copy)]
+struct SendPtr<T>(*mut T);
+// SAFETY: every tile touches a disjoint element range and `par_for` joins
+// all tiles before the buffer is moved or dropped.
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Mutable subslice `[start, start + len)`.
+    ///
+    /// # Safety
+    /// The range must be in bounds and disjoint from every other live view
+    /// of the buffer.
+    unsafe fn slice_mut<'a>(self, start: usize, len: usize) -> &'a mut [T] {
+        std::slice::from_raw_parts_mut(self.0.add(start), len)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Process-wide compile cache
+// ---------------------------------------------------------------------------
+
+static FORCE_INTERPRETED: AtomicBool = AtomicBool::new(false);
+
+/// Force [`CompiledProgram::eval`] onto the per-instruction interpreter
+/// (the differential-testing reference). Returns the previous setting.
+/// Safe to flip at any time: tiled and interpreted paths are bit-identical,
+/// this only changes which one runs.
+pub fn set_force_interpreted(on: bool) -> bool {
+    FORCE_INTERPRETED.swap(on, Ordering::SeqCst)
+}
+
+/// Whether the interpreter is currently forced.
+pub fn force_interpreted() -> bool {
+    FORCE_INTERPRETED.load(Ordering::Relaxed)
+}
+
+type CompileCache = RwLock<HashMap<String, Arc<CompiledProgram>>>;
+
+static COMPILED: OnceLock<CompileCache> = OnceLock::new();
+
+fn metric_fused_elements(n: u64) {
+    tfe_metrics::static_counter!(
+        "tfe_fused_tiled_elements_total",
+        "Elements processed by the fused tile executor"
+    )
+    .add(n);
+}
+
+/// Fetch (or build) the compiled form of an encoded program.
+///
+/// The first call for a given text decodes, validates, and compiles it —
+/// under a `fused`/`compile` profiler span so traces show exactly when
+/// parsing happens; every later call is a read-locked map hit. The fusion
+/// pass warms this cache at fusion time, so steady-state kernel
+/// invocations never parse.
+///
+/// # Errors
+/// Malformed program text (same conditions as [`Program::decode`]).
+pub fn compiled(text: &str) -> Result<Arc<CompiledProgram>, String> {
+    let cache = COMPILED.get_or_init(Default::default);
+    if let Some(p) = cache.read().get(text) {
+        tfe_metrics::static_counter!(
+            "tfe_fused_compile_cache_hits_total",
+            "Fused-program compile-cache hits"
+        )
+        .inc();
+        return Ok(p.clone());
+    }
+    let _span = tfe_profile::span("fused", || "compile".to_string());
+    let program = Program::decode(text)?;
+    let built = Arc::new(program.compile());
+    tfe_metrics::static_counter!(
+        "tfe_fused_compile_total",
+        "Fused programs decoded and compiled (cache misses)"
+    )
+    .inc();
+    // A racing compile of the same text may have won; keep the first.
+    Ok(cache.write().entry(text.to_string()).or_insert(built).clone())
 }
 
 #[cfg(test)]
@@ -288,5 +721,110 @@ mod tests {
         let p = relu_of_sum();
         assert!(p.validate(2).is_ok());
         assert!(p.validate(1).is_err()); // input 1 out of range
+    }
+
+    // -- compiled executor --
+
+    fn f32s(n: usize) -> Vec<f32> {
+        (0..n).map(|i| ((i % 97) as f32 - 48.0) * 0.125).collect()
+    }
+
+    fn tensor(v: Vec<f32>) -> TensorData {
+        let n = v.len();
+        TensorData::from_vec(v, Shape::from([n])).unwrap()
+    }
+
+    fn bits(t: &TensorData) -> Vec<u32> {
+        t.as_slice::<f32>().unwrap().iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn compiled_output_writes_out_tile_directly() {
+        let c = relu_of_sum().compile();
+        assert_eq!(c.op_count(), 2);
+        assert_eq!(c.out, Slot::Out);
+        // add needs one scratch buffer; relu writes the output directly.
+        assert_eq!(c.scratch_buffers(), 1);
+    }
+
+    #[test]
+    fn compiled_matches_interpreter_bitwise_across_tile_boundaries() {
+        let c = relu_of_sum().compile();
+        // Odd lengths around the tile and lane widths.
+        for n in [0usize, 1, 7, 2048, 2049, 4096, 4097, 10_000] {
+            let a = tensor(f32s(n));
+            let b = tensor(f32s(n).iter().map(|x| -x * 0.5).collect());
+            let tiled = c.eval(&[&a, &b]).unwrap();
+            let interp = c.program().eval(&[&a, &b]).unwrap();
+            assert_eq!(bits(&tiled), bits(&interp), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn compiled_long_chain_recycles_buffers() {
+        // in0; r1=neg(in0); r2=square(r1); r3=add(r2,in0); r4=relu(r3);
+        // r5=mul(r4,r2)... a chain with overlapping lifetimes.
+        let p = Program {
+            instrs: vec![
+                Instr::Input(0),
+                Instr::Unary(UnaryOp::Neg, 0),
+                Instr::Unary(UnaryOp::Square, 1),
+                Instr::Binary(BinaryOp::Add, 2, 0),
+                Instr::Unary(UnaryOp::Relu, 3),
+                Instr::Binary(BinaryOp::Mul, 4, 2),
+                Instr::Unary(UnaryOp::Sigmoid, 5),
+            ],
+            output: 6,
+        };
+        let c = p.compile();
+        // r2 lives across two steps, so the plan needs >1 buffer, but far
+        // fewer than one per instruction.
+        assert!(c.scratch_buffers() >= 2 && c.scratch_buffers() <= 3, "{}", c.scratch_buffers());
+        let a = tensor(f32s(5000));
+        let tiled = c.eval(&[&a]).unwrap();
+        let interp = c.program().eval(&[&a]).unwrap();
+        assert_eq!(bits(&tiled), bits(&interp));
+    }
+
+    #[test]
+    fn compiled_output_is_input_edge_case() {
+        // `in:0|0` — the output aliases an input; eval must copy.
+        let c = Program::decode("in:0|0").unwrap().compile();
+        let a = tensor(f32s(3000));
+        let r = c.eval(&[&a]).unwrap();
+        assert_eq!(bits(&r), bits(&a));
+    }
+
+    #[test]
+    fn compiled_mixed_shape_falls_back() {
+        let c = Program::decode("in:0;in:1;b:mul:0:1|2").unwrap().compile();
+        let a = TensorData::from_vec(vec![1.0f32, 2.0], Shape::from([2, 1])).unwrap();
+        let b = TensorData::scalar(10.0f32);
+        let r = c.eval(&[&a, &b]).unwrap();
+        assert_eq!(r.shape().dims(), &[2, 1]);
+        assert_eq!(r.to_f64_vec(), vec![10.0, 20.0]);
+    }
+
+    #[test]
+    fn compiled_missing_input_is_error() {
+        let c = Program::decode("in:0;in:1;b:add:0:1|2").unwrap().compile();
+        let a = tensor(f32s(4));
+        assert!(c.eval(&[&a]).is_err());
+    }
+
+    #[test]
+    fn force_interpreted_round_trips() {
+        let prev = set_force_interpreted(true);
+        assert!(force_interpreted());
+        set_force_interpreted(prev);
+    }
+
+    #[test]
+    fn compile_cache_returns_same_instance() {
+        let text = "in:0;u:relu:0;u:neg:1|2";
+        let a = compiled(text).unwrap();
+        let b = compiled(text).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(compiled("garbage").is_err());
     }
 }

@@ -239,9 +239,13 @@ fn register_elementwise(reg: &OpRegistry) -> Result<(), OpError> {
         })
         .with_work(|ctx, outputs| {
             // One pass over memory for the whole fused program, but all the
-            // program's flops.
-            let n_instr =
-                ctx.attrs.str("program").map(|p| p.split(';').count()).unwrap_or(1) as f64;
+            // program's flops. Count only compute instructions — `in:` parts
+            // alias their source and do no work.
+            let n_instr = ctx
+                .attrs
+                .str("program")
+                .map(|p| p.split(';').filter(|part| !part.starts_with("in:")).count().max(1))
+                .unwrap_or(1) as f64;
             let out_elems: f64 = outputs.iter().map(|(_, s)| elems_or(s, 1) as f64).sum();
             let in_bytes: f64 = ctx
                 .dtypes

@@ -188,6 +188,23 @@ fn for_chunk_size(n: usize, grain: usize, threads: usize) -> usize {
     grain.max(n.div_ceil(threads * 4)).max(1)
 }
 
+/// Cache-budget for one kernel's live working set when picking a tile
+/// length — sized to leave headroom in a typical 48–64 KiB L1D.
+const TILE_BUDGET_BYTES: usize = 32 * 1024;
+
+/// Elements per cache-resident tile for a kernel that keeps `buffers` live
+/// arrays of `elem_bytes`-byte elements per tile (inputs + scratch
+/// registers + output). The result depends only on the arguments — never on
+/// the thread count — so tile boundaries, and therefore any math folded at
+/// tile granularity, stay deterministic across serial and parallel runs.
+///
+/// Clamped to `[512, 4096]` elements: below 512 the per-tile bookkeeping
+/// dominates, above 4096 an f32 register blows past the L1 budget.
+pub fn tile_len(elem_bytes: usize, buffers: usize) -> usize {
+    let per_elem = elem_bytes.max(1) * buffers.max(1);
+    (TILE_BUDGET_BYTES / per_elem.max(1)).clamp(512, 4096)
+}
+
 /// Run `body` over disjoint index ranges covering `0..n`, in parallel on
 /// the shared pool when the problem is big enough.
 ///
@@ -275,6 +292,18 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn tile_len_scales_with_working_set_and_clamps() {
+        // One f32 buffer: clamped at the 4096-element ceiling (16 KiB).
+        assert_eq!(tile_len(4, 1), 4096);
+        // Four f32 buffers: 32 KiB budget / 16 B per element = 2048.
+        assert_eq!(tile_len(4, 4), 2048);
+        // Huge working sets clamp at the floor.
+        assert_eq!(tile_len(8, 1024), 512);
+        // Degenerate arguments are safe.
+        assert_eq!(tile_len(0, 0), 4096);
+    }
 
     #[test]
     fn par_for_covers_every_index_once() {

@@ -9,7 +9,6 @@ use crate::error::{Result, RuntimeError};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
-use tfe_graph::program::Program;
 use tfe_ops::{Attrs, OpError};
 use tfe_tensor::conv::{self, Padding};
 use tfe_tensor::elementwise::{self, BinaryOp, CmpOp, LogicalOp, UnaryOp};
@@ -245,7 +244,9 @@ fn register_elementwise(map: &mut HashMap<&'static str, Kernel>) {
     kernel!(map, "cast", |a, i| one(in0(i)?.cast(a.dtype("dtype").map_err(attrs_err)?)));
     kernel!(map, "fused_elementwise", |a, i| {
         let text = a.str("program").map_err(attrs_err)?;
-        let program = Program::decode(text).map_err(RuntimeError::Internal)?;
+        // Cache hit on the compiled form (warmed at fusion time) — the
+        // program text is only parsed the first time it is ever seen.
+        let program = tfe_graph::program::compiled(text).map_err(RuntimeError::Internal)?;
         let refs: Vec<&TensorData> = i.iter().map(|t| t.as_ref()).collect();
         one(program.eval(&refs)?)
     });

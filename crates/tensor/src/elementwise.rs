@@ -580,7 +580,7 @@ fn map2_par<T: Scalar, U: Scalar + Default>(
 /// (e.g. `pow` on bool), and integer division by zero.
 pub fn binary(a: &TensorData, b: &TensorData, op: BinaryOp) -> Result<TensorData> {
     match check_same_dtype(a, b)? {
-        DType::F32 => map2_par::<f32, f32>(a, b, |x, y| op.eval_float(x, y)),
+        DType::F32 => binary_f32_lanes(a, b, op),
         DType::F64 => map2_par::<f64, f64>(a, b, |x, y| op.eval_float(x, y)),
         DType::I32 => {
             map2::<i32, i32>(a, b, |x, y| op.eval_int(x as i64, y as i64).map(|v| v as i32))
@@ -600,8 +600,14 @@ pub fn binary(a: &TensorData, b: &TensorData, op: BinaryOp) -> Result<TensorData
 pub fn unary(a: &TensorData, op: UnaryOp) -> Result<TensorData> {
     match a.dtype() {
         DType::F32 => {
+            // Lane fast path: op dispatch hoisted per tile, 8-wide blocks.
+            // Bit-identical to the scalar map (no cross-element math).
             let v = a.as_slice::<f32>()?;
-            TensorData::from_vec(unary_par(v, |x| op.eval_float(x)), a.shape().clone())
+            let mut out = vec![0.0f32; v.len()];
+            crate::par::par_fill(&mut out, crate::par::GRAIN_ELEMWISE, |start, chunk| {
+                crate::lanes::unary_f32(op, &v[start..start + chunk.len()], chunk);
+            });
+            TensorData::from_vec(out, a.shape().clone())
         }
         DType::F64 => {
             let v = a.as_slice::<f64>()?;
@@ -661,6 +667,24 @@ pub fn logical(a: &TensorData, b: &TensorData, op: LogicalOp) -> Result<TensorDa
         });
     }
     map2_par::<bool, bool>(a, b, |x, y| op.eval(x, y))
+}
+
+/// F32 fast path for [`binary`]: same-shape operands run the fixed-width
+/// lane kernel ([`crate::lanes::binary_f32`], op dispatch hoisted per tile);
+/// broadcasts keep the walker-based map. Both are bit-identical to scalar
+/// evaluation — lanes only restructure an element-independent map.
+fn binary_f32_lanes(a: &TensorData, b: &TensorData, op: BinaryOp) -> Result<TensorData> {
+    if a.shape() != b.shape() {
+        return map2_par::<f32, f32>(a, b, |x, y| op.eval_float(x, y));
+    }
+    let av = a.as_slice::<f32>()?;
+    let bv = b.as_slice::<f32>()?;
+    let mut out = vec![0.0f32; av.len()];
+    crate::par::par_fill(&mut out, crate::par::GRAIN_ELEMWISE, |start, chunk| {
+        let end = start + chunk.len();
+        crate::lanes::binary_f32(op, &av[start..end], &bv[start..end], chunk);
+    });
+    TensorData::from_vec(out, a.shape().clone())
 }
 
 /// Parallel map over a contiguous slice (the unary fast path).

@@ -38,6 +38,7 @@ pub(crate) mod par;
 pub mod conv;
 pub mod elementwise;
 pub mod gemm;
+pub mod lanes;
 pub mod matmul;
 pub mod pool;
 pub mod reduce;

@@ -1,12 +1,17 @@
 //! Reductions over axes: sum, mean, max, min, prod, any/all, argmax/argmin.
 //!
 //! Float reductions over contiguous leading or trailing axes run in
-//! parallel on the shared pool while keeping each output element's
-//! fold order identical to the serial odometer (bit-for-bit). Full
-//! reductions use [`tfe_parallel::par_reduce`]'s fixed chunking, so the
-//! chunk tree depends only on the element count — deterministic across
-//! thread counts, though the summation order differs from a pure left
-//! fold once the input exceeds one chunk (see DESIGN.md).
+//! parallel on the shared pool. Full and trailing-axis (row) reductions
+//! fold through [`crate::lanes::lane_fold_f64`]'s fixed 8-lane accumulator
+//! order, and full reductions additionally use
+//! [`tfe_parallel::par_reduce`]'s fixed chunking — both depend only on the
+//! element count, so results are **deterministic and thread-count
+//! invariant**, but the accumulation order is reassociated relative to a
+//! strict left fold: `sum`/`mean`/`prod` carry a documented rounding
+//! tolerance versus the serial odometer, while `max`/`min` stay
+//! value-exact (NaN-free inputs assumed). Leading-axis (column)
+//! reductions keep the exact serial per-element fold order, bit-for-bit.
+//! See DESIGN.md ("Exactness vs. tolerance policy").
 
 use crate::data::Scalar;
 use crate::{DType, Result, Shape, TensorData, TensorError};
@@ -263,13 +268,15 @@ fn float_fast_typed<T: Scalar>(
 ) {
     let rank = shape.rank();
     if all {
-        // Full reduction: fixed-chunk tree, combined in ascending chunk
-        // order (deterministic for every thread count).
+        // Full reduction: fixed-chunk tree, each chunk folded through the
+        // 8-lane accumulator order, chunks combined in ascending order —
+        // deterministic for every thread count; reassociated vs. a left
+        // fold for sum/mean/prod (tolerance mode), value-exact for max/min.
         let init = acc[0];
         acc[0] = tfe_parallel::par_reduce(
             v.len(),
             crate::par::GRAIN_REDUCE,
-            |r| v[r].iter().fold(init, |a, &x| fold(op, a, x.to_f64())),
+            |r| crate::lanes::lane_fold_f64(&v[r], init, |a, b| fold(op, a, b)),
             |a, b| match op {
                 ReduceOp::Sum | ReduceOp::Mean => a + b,
                 ReduceOp::Prod => a * b,
@@ -279,8 +286,9 @@ fn float_fast_typed<T: Scalar>(
         )
         .unwrap_or(init);
     } else if suffix {
-        // Trailing axes: each output element folds one contiguous row in
-        // ascending order — same order as the serial odometer, bit-for-bit.
+        // Trailing axes: each output element folds one contiguous row
+        // through the fixed 8-lane order (`lane_fold_f64`) — deterministic
+        // and thread-invariant, tolerance mode for sum/mean/prod.
         let row: usize = shape.dims()[rank - num_axes..].iter().product();
         if row == 0 {
             return;
@@ -289,22 +297,21 @@ fn float_fast_typed<T: Scalar>(
         crate::par::par_fill(acc, grain, |start, chunk| {
             for (off, o) in chunk.iter_mut().enumerate() {
                 let r = &v[(start + off) * row..][..row];
-                *o = r.iter().fold(*o, |a, &x| fold(op, a, x.to_f64()));
+                *o = crate::lanes::lane_fold_f64(r, *o, |a, b| fold(op, a, b));
             }
         });
     } else {
         // Leading axes: column reduction. Each output element accumulates
-        // strided entries with the outer index ascending — again the exact
-        // serial odometer order per element.
+        // strided entries with the outer index ascending — the exact serial
+        // odometer order per element (lane blocks only reschedule columns,
+        // never reorder within one), so this branch stays bit-for-bit.
         let inner: usize = shape.dims()[num_axes..].iter().product();
         let outer = v.len() / inner;
         let grain = (crate::par::GRAIN_ELEMWISE / outer.max(1)).max(1);
         crate::par::par_fill(acc, grain, |start, chunk| {
             for k in 0..outer {
                 let src = &v[k * inner + start..][..chunk.len()];
-                for (o, &x) in chunk.iter_mut().zip(src) {
-                    *o = fold(op, *o, x.to_f64());
-                }
+                crate::lanes::fold_columns_f64(chunk, src, |a, b| fold(op, a, b));
             }
         });
     }

@@ -2,8 +2,13 @@
 //! implemented with the usual max-subtraction stabilization.
 //!
 //! Rows are independent, so the forward kernels split row blocks across
-//! the shared worker pool; per-row math is untouched, making results
-//! bit-for-bit identical to the serial loop for every thread count.
+//! the shared worker pool; per-row math depends only on the row itself,
+//! making results bit-for-bit identical for every thread count. Within a
+//! row, the max and the normalizer fold through
+//! [`crate::lanes::lane_fold_f64`]'s fixed 8-lane order: the row max is
+//! value-exact (NaN-free inputs), while the exp-sum is reassociated
+//! relative to a strict left fold (tolerance mode — see DESIGN.md
+//! "Exactness vs. tolerance policy").
 
 use crate::par::{par_fill_rows, GRAIN_ROWS};
 use crate::{Result, Shape, TensorData, TensorError};
@@ -39,13 +44,11 @@ pub fn softmax(a: &TensorData) -> Result<TensorData> {
         par_fill_rows(&mut out, classes, GRAIN_ROWS, |rs, chunk| {
             for (ri, orow) in rs.zip(chunk.chunks_exact_mut(classes)) {
                 let row = &x[ri * classes..(ri + 1) * classes];
-                let m = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-                let mut z = 0.0;
+                let m = crate::lanes::lane_fold_f64(row, f64::NEG_INFINITY, f64::max);
                 for (o, &v) in orow.iter_mut().zip(row) {
-                    let e = (v - m).exp();
-                    *o = e;
-                    z += e;
+                    *o = (v - m).exp();
                 }
+                let z = crate::lanes::lane_fold_f64(orow, 0.0, |a, b| a + b);
                 for o in orow.iter_mut() {
                     *o /= z;
                 }
@@ -67,8 +70,13 @@ pub fn log_softmax(a: &TensorData) -> Result<TensorData> {
         par_fill_rows(&mut out, classes, GRAIN_ROWS, |rs, chunk| {
             for (ri, orow) in rs.zip(chunk.chunks_exact_mut(classes)) {
                 let row = &x[ri * classes..(ri + 1) * classes];
-                let m = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-                let z: f64 = row.iter().map(|&v| (v - m).exp()).sum();
+                let m = crate::lanes::lane_fold_f64(row, f64::NEG_INFINITY, f64::max);
+                // Stage the exp terms in the output row so the normalizer
+                // can fold them in the fixed lane order.
+                for (o, &v) in orow.iter_mut().zip(row) {
+                    *o = (v - m).exp();
+                }
+                let z = crate::lanes::lane_fold_f64(orow, 0.0, |a, b| a + b);
                 let lse = m + z.ln();
                 for (o, &v) in orow.iter_mut().zip(row) {
                     *o = v - lse;

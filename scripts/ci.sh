@@ -49,12 +49,22 @@ TFE_ASYNC=1 cargo test --release -q --test exec_differential --test async_eager
 echo "==> pass-pipeline differential fuzz gate (release)"
 cargo test --release -q --test pass_pipeline -- --test-threads "${THREADS}"
 
-# The kernel bench doubles as the async dispatch-overhead smoke: it
-# times a ~1k-op eager chain sync vs async (writing the async_dispatch
-# entry of BENCH_kernels.json) and, under TFE_ASSERT_ASYNC with >= 2
-# hardware threads, asserts async wall time beats the sync baseline.
-echo "==> kernel bench smoke (--quick, async overlap asserted on multicore)"
-TFE_ASSERT_ASYNC=1 cargo run --release -q -p tfe-bench --bin kernel_bench -- --quick > /dev/null
+# Fused-executor gate: the compiled tile executor must stay bitwise
+# against the register interpreter (every op variant, random chains,
+# several thread counts, generic fallback, compile-cache identity) with
+# release codegen — the lane kernels only vectorize there.
+echo "==> fused executor differential (release)"
+cargo test --release -q --test fused_executor -- --test-threads "${THREADS}"
+
+# The kernel bench doubles as the async dispatch-overhead smoke and the
+# fused-executor perf gate: it times a ~1k-op eager chain sync vs async
+# (the async_dispatch entry of BENCH_kernels.json) and a 10-op fused f32
+# chain unfused / interpreted / tiled (the fused_chain entry). Under
+# TFE_ASSERT_ASYNC with >= 2 hardware threads, async wall time must beat
+# the sync baseline; under TFE_ASSERT_FUSED the tiled executor must beat
+# op-by-op by >= 2x and a compile-cache hit must beat a re-parse.
+echo "==> kernel bench smoke (--quick, async overlap + fused speedup asserted)"
+TFE_ASSERT_ASYNC=1 TFE_ASSERT_FUSED=1 cargo run --release -q -p tfe-bench --bin kernel_bench -- --quick > /dev/null
 
 # Profiler gate: asserts the disabled probe costs < 2% of an eager
 # dispatch, then profiles two staged parallel training steps and

@@ -237,6 +237,65 @@ fn algebraic_corpus_is_simplified_and_preserved() {
     assert!(removed > 0, "optimization never shrank a biased graph");
 }
 
+/// The compiled tile executor vs the register interpreter, over every
+/// fused graph the corpus produces: optimize with fusion on, execute the
+/// optimized graph once on the default (tiled) fused path and once with
+/// `force_interpreted`, and require bit-identical outputs. This is the
+/// integration-level differential behind `set_force_interpreted` being a
+/// safe kill switch. Also asserts fusion actually fires on the corpus.
+#[test]
+fn fused_tiled_and_interpreted_agree_bitwise() {
+    use tf_eager::graph::program;
+
+    tf_eager::init();
+    let device = tfe_runtime::context::device_manager().host_cpu();
+    let opts = OptimizeOptions::aggressive();
+    let bits = |t: &TensorData| -> Option<Vec<u64>> {
+        match t.dtype() {
+            tfe_tensor::DType::F32 => {
+                Some(t.as_slice::<f32>().unwrap().iter().map(|x| u64::from(x.to_bits())).collect())
+            }
+            tfe_tensor::DType::F64 => {
+                Some(t.as_slice::<f64>().unwrap().iter().map(|x| x.to_bits()).collect())
+            }
+            _ => None,
+        }
+    };
+    let mut fused_graphs = 0u64;
+    for seed in 0..fuzz_cases(60) {
+        let (f, shapes) = common::generate(seed);
+        let args = common::make_args(seed, &shapes);
+        let (g, stats) = passes::optimize_with_stats(&f, &opts, Some(&evaluator));
+        if stats.rewrites_for("fuse_elementwise") == 0 {
+            continue;
+        }
+        fused_graphs += 1;
+        for mode in [ExecMode::SerialPlanned, ExecMode::Parallel] {
+            let tiled = executor::run_function(&g, &args, &device, mode)
+                .unwrap_or_else(|e| panic!("case {seed} tiled {mode:?} failed: {e}\n{}", g.dump()));
+            let prev = program::set_force_interpreted(true);
+            let interp = executor::run_function(&g, &args, &device, mode);
+            program::set_force_interpreted(prev);
+            let interp = interp.unwrap_or_else(|e| {
+                panic!("case {seed} interpreted {mode:?} failed: {e}\n{}", g.dump())
+            });
+            for (k, (t, i)) in tiled.iter().zip(&interp).enumerate() {
+                let same = match (bits(t), bits(i)) {
+                    (Some(tb), Some(ib)) => tb == ib,
+                    _ => t.all_close(i, 0.0, 0.0),
+                };
+                assert!(
+                    same,
+                    "case {seed} output {k} ({mode:?}): tiled and interpreted fused \
+                     executors diverged\n{}",
+                    g.dump()
+                );
+            }
+        }
+    }
+    assert!(fused_graphs > 0, "corpus never produced a fused kernel");
+}
+
 /// Applying any single pass twice must equal applying it once —
 /// structural hash equality, table-driven over all seven passes, on both
 /// the general and the algebraic-biased corpus.
