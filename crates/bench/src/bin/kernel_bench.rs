@@ -473,6 +473,182 @@ fn bench_pass_pipeline(iters: usize, reps: usize) -> tfe_encode::Value {
     ])
 }
 
+/// Serving throughput: a small MLP behind the `tfe-serve` registry, hit by
+/// 8 concurrent single-example clients. Three configurations — direct
+/// staged calls from the client threads (no serving stack at all),
+/// `max_batch = 1` through the serving front (queueing but no coalescing),
+/// and the adaptive micro-batcher — and all three must agree bitwise on a
+/// probe request before anything is timed. Batching pays twice here: the
+/// per-call dispatch overhead amortizes across the batch, and the weight
+/// matrices are read once per batch instead of once per request.
+fn bench_serving(quick: bool) -> tfe_encode::Value {
+    use std::sync::{Arc, Barrier};
+    use std::time::Duration;
+    use tfe_core::{function1, Func, TensorSpec};
+    use tfe_runtime::{api, Tensor};
+    use tfe_serve::{BatchPolicy, Dispatch, ModelRegistry};
+    use tfe_tensor::DType;
+
+    const D: usize = 256;
+    const CONCURRENCY: usize = 8;
+    let reqs_per_client = if quick { 25 } else { 150 };
+    let total = CONCURRENCY * reqs_per_client;
+
+    let mlp = |name: &str| -> Func {
+        function1(name, move |x| {
+            let w1 = api::constant(
+                (0..D * D).map(|i| ((i % 13) as f32 - 6.0) * 0.02).collect::<Vec<f32>>(),
+                [D, D],
+            )?;
+            let b1 = api::constant(vec![0.05f32; D], [D])?;
+            let w2 = api::constant(
+                (0..D * D).map(|i| ((i % 17) as f32 - 8.0) * 0.02).collect::<Vec<f32>>(),
+                [D, D],
+            )?;
+            let h = api::relu(&api::add(&api::matmul(x, &w1)?, &b1)?)?;
+            api::softmax(&api::matmul(&h, &w2)?)
+        })
+        .with_input_signature(vec![TensorSpec::new(DType::F32, vec![None, Some(D)])])
+    };
+    let example = |i: usize| -> Tensor {
+        let vals: Vec<f32> = (0..D).map(|j| ((i * 7 + j * 3) % 13) as f32 * 0.37 - 1.5).collect();
+        api::constant(vals, [1, D]).expect("example")
+    };
+
+    type Client = Arc<dyn Fn(usize, &Tensor) -> Vec<f64> + Send + Sync>;
+    // One wall-clock measurement: `CONCURRENCY` clients, each firing
+    // `reqs_per_client` sequential single-example requests through `go`.
+    let run_clients = |go: Client| -> f64 {
+        let barrier = Arc::new(Barrier::new(CONCURRENCY + 1));
+        let handles: Vec<_> = (0..CONCURRENCY)
+            .map(|c| {
+                let go = Arc::clone(&go);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    for r in 0..reqs_per_client {
+                        let i = c * reqs_per_client + r;
+                        let out = go(i, &example(i));
+                        assert_eq!(out.len(), D, "request {i} returned a malformed row");
+                    }
+                })
+            })
+            .collect();
+        barrier.wait();
+        let t = Instant::now();
+        for h in handles {
+            h.join().expect("serving client");
+        }
+        t.elapsed().as_nanos() as f64 / total as f64
+    };
+
+    let direct_fn = mlp("serving_bench_direct");
+    let registry = Arc::new(ModelRegistry::new());
+    let policy = |max_batch: usize| BatchPolicy {
+        max_batch,
+        budget: Duration::from_millis(2),
+        ewma_alpha: 0.25,
+        dispatch: Dispatch::Sync,
+    };
+    registry
+        .register_with("serving_bench_unbatched", 1, mlp("serving_bench_unbatched"), policy(1))
+        .expect("register unbatched");
+    registry
+        .register_with(
+            "serving_bench_batched",
+            1,
+            mlp("serving_bench_batched"),
+            policy(CONCURRENCY),
+        )
+        .expect("register batched");
+
+    // Bitwise agreement across all three paths before timing any of them.
+    let probe = example(7);
+    let want = direct_fn.call_tensors(&[&probe]).expect("direct probe")[0]
+        .to_f64_vec()
+        .expect("probe row");
+    for name in ["serving_bench_unbatched", "serving_bench_batched"] {
+        let got = registry.infer(name, &[&probe]).expect("probe infer")[0]
+            .to_f64_vec()
+            .expect("probe row");
+        assert_eq!(want, got, "{name} must match the direct staged call bitwise");
+    }
+
+    let direct_ns = run_clients(Arc::new(move |_i, x: &Tensor| {
+        direct_fn.call_tensors(&[x]).expect("direct call")[0].to_f64_vec().expect("row")
+    }));
+    let unbatched_ns = {
+        let registry = Arc::clone(&registry);
+        run_clients(Arc::new(move |_i, x: &Tensor| {
+            registry.infer("serving_bench_unbatched", &[x]).expect("unbatched infer")[0]
+                .to_f64_vec()
+                .expect("row")
+        }))
+    };
+    let batched_ns = {
+        let registry = Arc::clone(&registry);
+        run_clients(Arc::new(move |_i, x: &Tensor| {
+            registry.infer("serving_bench_batched", &[x]).expect("batched infer")[0]
+                .to_f64_vec()
+                .expect("row")
+        }))
+    };
+
+    // Observed coalescing, from the model's own metric family.
+    let snap = tfe_metrics::snapshot();
+    let mean_rows = snap
+        .family("tfe_serve_batch_rows")
+        .and_then(|fam| {
+            fam.samples
+                .iter()
+                .find(|s| s.label.as_ref().is_some_and(|(_, v)| v == "serving_bench_batched@v1"))
+                .and_then(|s| match &s.value {
+                    tfe_metrics::SampleValue::Histogram(h) => Some(h.mean()),
+                    _ => None,
+                })
+        })
+        .unwrap_or(0.0);
+
+    let speedup = unbatched_ns / batched_ns;
+    let vs_direct = direct_ns / batched_ns;
+    println!(
+        "{:<26} {:>14.0} {:>14.0} {:>14.0} {:>7.2}x {:>7.2}x   {CONCURRENCY} clients x \
+         {reqs_per_client} reqs, {D}-wide MLP, mean batch {mean_rows:.1} rows \
+         (direct / unbatched / batched)",
+        "serving", direct_ns, unbatched_ns, batched_ns, speedup, vs_direct
+    );
+
+    if std::env::var_os("TFE_ASSERT_SERVING").is_some() {
+        assert!(
+            speedup >= 2.0,
+            "batched serving must be >=2x over the unbatched front at concurrency \
+             {CONCURRENCY}: unbatched {unbatched_ns:.0} ns/req vs batched {batched_ns:.0} \
+             ns/req ({speedup:.2}x, mean batch {mean_rows:.1} rows)"
+        );
+        assert!(
+            mean_rows > 1.5,
+            "the adaptive batcher must actually coalesce at concurrency {CONCURRENCY}: \
+             mean batch was {mean_rows:.2} rows"
+        );
+        eprintln!("serving asserted: {speedup:.2}x over unbatched, mean batch {mean_rows:.1} rows");
+    }
+
+    tfe_encode::Value::object(vec![
+        ("concurrency".to_string(), tfe_encode::Value::Int(CONCURRENCY as i64)),
+        ("requests".to_string(), tfe_encode::Value::Int(total as i64)),
+        (
+            "shape".to_string(),
+            tfe_encode::Value::str(format!("2-layer {D}-wide f32 MLP, 1 row/req")),
+        ),
+        ("direct_ns_per_req".to_string(), tfe_encode::Value::Float(direct_ns)),
+        ("unbatched_ns_per_req".to_string(), tfe_encode::Value::Float(unbatched_ns)),
+        ("batched_ns_per_req".to_string(), tfe_encode::Value::Float(batched_ns)),
+        ("speedup_vs_unbatched".to_string(), tfe_encode::Value::Float(speedup)),
+        ("speedup_vs_direct".to_string(), tfe_encode::Value::Float(vs_direct)),
+        ("mean_batch_rows".to_string(), tfe_encode::Value::Float(mean_rows)),
+    ])
+}
+
 /// Best-of-`reps` mean ns/op over `iters` iterations each.
 fn time_ns(iters: usize, reps: usize, f: &dyn Fn()) -> f64 {
     f(); // warm caches / allocator outside the timed region
@@ -537,12 +713,14 @@ fn main() {
     let fused_row = bench_fused_chain(iters, reps);
     let async_row = bench_async_dispatch(iters.min(4), reps);
     let pass_row = bench_pass_pipeline(iters * 20, reps);
+    let serving_row = bench_serving(quick);
 
     let mut fields = vec![
         ("experiment".to_string(), tfe_encode::Value::str("kernels")),
         ("fused_chain".to_string(), fused_row),
         ("async_dispatch".to_string(), async_row),
         ("pass_pipeline".to_string(), pass_row),
+        ("serving".to_string(), serving_row),
         ("threads".to_string(), tfe_encode::Value::Int(threads as i64)),
         ("quick".to_string(), tfe_encode::Value::Bool(quick)),
         ("rows".to_string(), tfe_encode::Value::Array(rows)),

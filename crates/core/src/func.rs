@@ -267,6 +267,31 @@ impl fmt::Display for RetraceEvent {
     }
 }
 
+/// Bounded retrace log: a ring of the most recent diagnosed events plus a
+/// count of older events evicted to keep a long-lived server from leaking
+/// memory one `RetraceEvent` at a time. Ordinals stay global (eviction does
+/// not renumber), so `retrace #37` means the same thing before and after the
+/// ring wraps.
+#[derive(Debug, Default)]
+struct RetraceRing {
+    events: std::collections::VecDeque<RetraceEvent>,
+    dropped: u64,
+}
+
+/// `TFE_RETRACE_LOG_CAP=N`: retain at most `N` diagnosed retrace events per
+/// `Func` (default 64). Parsed once; unset, `0` or unparsable uses the
+/// default.
+fn retrace_log_cap() -> usize {
+    static C: OnceLock<usize> = OnceLock::new();
+    *C.get_or_init(|| {
+        std::env::var("TFE_RETRACE_LOG_CAP")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(64)
+    })
+}
+
 /// `TFE_LOG_RETRACES=N`: warn on stderr once a `Func` accumulates `N`
 /// retraces (each further retrace also warns). Parsed once; unset, `0` or
 /// unparsable disables the warning.
@@ -357,7 +382,7 @@ struct FuncInner {
     m_retraces: Arc<tfe_metrics::Counter>,
     m_concrete: Arc<tfe_metrics::Gauge>,
     /// Every diagnosed retrace, in order.
-    retrace_log: Mutex<Vec<RetraceEvent>>,
+    retrace_log: Mutex<RetraceRing>,
 }
 
 impl FuncInner {
@@ -378,7 +403,7 @@ impl FuncInner {
             cache: Mutex::new(HashMap::new()),
             ever_traced: AtomicBool::new(false),
             counter: AtomicUsize::new(0),
-            retrace_log: Mutex::new(Vec::new()),
+            retrace_log: Mutex::new(RetraceRing::default()),
         }
     }
 }
@@ -589,7 +614,7 @@ impl Func {
     fn record_retrace(&self, concrete_name: &str, causes: Vec<RetraceCause>) {
         let mut log = self.inner.retrace_log.lock();
         let event = RetraceEvent {
-            ordinal: log.len() as u64 + 1,
+            ordinal: log.dropped + log.events.len() as u64 + 1,
             concrete_name: concrete_name.to_string(),
             causes,
         };
@@ -602,7 +627,12 @@ impl Func {
                 );
             }
         }
-        log.push(event);
+        log.events.push_back(event);
+        let cap = retrace_log_cap();
+        while log.events.len() > cap {
+            log.events.pop_front();
+            log.dropped += 1;
+        }
     }
 
     /// Lock-free trace-cache statistics, read straight from the always-on
@@ -617,9 +647,17 @@ impl Func {
         }
     }
 
-    /// Every diagnosed retrace, in order of occurrence.
+    /// The retained diagnosed retraces, in order of occurrence. At most
+    /// [`TFE_RETRACE_LOG_CAP`](retrace_log_cap) events are kept; see
+    /// [`dropped_retraces`](Func::dropped_retraces) for how many older ones
+    /// were evicted.
     pub fn retraces(&self) -> Vec<RetraceEvent> {
-        self.inner.retrace_log.lock().clone()
+        self.inner.retrace_log.lock().events.iter().cloned().collect()
+    }
+
+    /// How many diagnosed retrace events were evicted from the bounded log.
+    pub fn dropped_retraces(&self) -> u64 {
+        self.inner.retrace_log.lock().dropped
     }
 
     /// Human-readable retrace report: per-func cache statistics followed by
@@ -636,10 +674,17 @@ impl Func {
             stats.concrete_functions
         );
         let log = self.inner.retrace_log.lock();
-        if log.is_empty() {
+        if log.events.is_empty() && log.dropped == 0 {
             out.push_str("  no retraces recorded\n");
         } else {
-            for event in log.iter() {
+            if log.dropped > 0 {
+                out.push_str(&format!(
+                    "  ({} older retraces dropped, log capped at {})\n",
+                    log.dropped,
+                    retrace_log_cap()
+                ));
+            }
+            for event in log.events.iter() {
                 out.push_str(&format!("  {event}\n"));
             }
         }

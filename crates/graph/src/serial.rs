@@ -57,6 +57,16 @@ pub fn tensor_from_value(v: &Value) -> Result<TensorData, SerialError> {
         .ok_or_else(|| err("bad tensor dtype"))?;
     let dims =
         v.get("shape").and_then(Value::as_i64_array).ok_or_else(|| err("bad tensor shape"))?;
+    if dims.iter().any(|&d| d < 0) {
+        return Err(err("negative tensor dimension"));
+    }
+    // Checked product: a hostile shape like [i64::MAX, 8] must not overflow
+    // into a bogus (or panicking) element count.
+    let mut n_elements: usize = 1;
+    for &d in &dims {
+        n_elements =
+            n_elements.checked_mul(d as usize).ok_or_else(|| err("tensor shape overflows"))?;
+    }
     let shape = Shape::new(dims.iter().map(|&d| d as usize).collect::<Vec<_>>());
     let data: Vec<f64> = v
         .get("data")
@@ -69,7 +79,7 @@ pub fn tensor_from_value(v: &Value) -> Result<TensorData, SerialError> {
                 .ok_or_else(|| err("bad tensor element"))
         })
         .collect::<Result<_, _>>()?;
-    if data.len() != shape.num_elements() {
+    if data.len() != n_elements {
         return Err(err("tensor data length mismatch"));
     }
     Ok(TensorData::from_f64_vec(dtype, data, shape))
@@ -324,7 +334,7 @@ pub fn function_from_value(v: &Value) -> Result<GraphFunction, SerialError> {
         }
     }
     for t in &f.outputs {
-        if t.node.0 >= f.nodes.len() {
+        if t.node.0 >= f.nodes.len() || t.output >= f.nodes[t.node.0].outputs.len() {
             return Err(err("function output out of range"));
         }
     }
@@ -332,6 +342,15 @@ pub fn function_from_value(v: &Value) -> Result<GraphFunction, SerialError> {
         if id.0 >= f.nodes.len() || f.nodes[id.0].op != "placeholder" {
             return Err(err("function input is not a placeholder"));
         }
+    }
+    // A negative serialized num_captures wraps to a huge usize; either way it
+    // must not exceed the input count or arg-signature slicing underflows.
+    if f.num_captures > f.inputs.len() {
+        return Err(err(format!(
+            "num_captures {} exceeds input count {}",
+            f.num_captures,
+            f.inputs.len()
+        )));
     }
     Ok(f)
 }

@@ -447,7 +447,11 @@ fn register_structural(reg: &OpRegistry) -> Result<(), OpError> {
         Ok(vec![(dt, SymShape::new(dims))])
     }))?;
     reg.register(OpDef::new("split", Arity::Exact(1), |ctx| {
-        let num = ctx.attrs.int("num")? as usize;
+        let num = ctx.attrs.int("num")?;
+        if num < 1 {
+            return Err(OpError::Invalid(format!("split num must be >= 1, got {num}")));
+        }
+        let num = num as usize;
         let axis = ctx.attrs.int("axis")?;
         let s = ctx.shape(0)?;
         let rank = s.rank() as i64;

@@ -13,7 +13,7 @@ use tfe_ops::{Attrs, OpError};
 use tfe_tensor::conv::{self, Padding};
 use tfe_tensor::elementwise::{self, BinaryOp, CmpOp, LogicalOp, UnaryOp};
 use tfe_tensor::pool::{self, PoolKind};
-use tfe_tensor::{matmul, reduce, shape_ops, softmax, Shape, TensorData};
+use tfe_tensor::{matmul, reduce, shape_ops, softmax, Shape, TensorData, TensorError};
 
 /// A kernel: attributes + concrete inputs → concrete outputs.
 pub type Kernel = fn(&Attrs, &[Arc<TensorData>]) -> Result<Vec<TensorData>>;
@@ -310,11 +310,13 @@ fn register_structural(map: &mut HashMap<&'static str, Kernel>) {
         one(shape_ops::concat(&refs, a.int("axis").map_err(attrs_err)?)?)
     });
     kernel!(map, "split", |a, i| {
-        Ok(shape_ops::split(
-            in0(i)?,
-            a.int("num").map_err(attrs_err)? as usize,
-            a.int("axis").map_err(attrs_err)?,
-        )?)
+        let num = a.int("num").map_err(attrs_err)?;
+        if num < 1 {
+            return Err(
+                TensorError::InvalidArgument(format!("split num must be >= 1, got {num}")).into()
+            );
+        }
+        Ok(shape_ops::split(in0(i)?, num as usize, a.int("axis").map_err(attrs_err)?)?)
     });
     kernel!(map, "slice", |a, i| one(shape_ops::slice(
         in0(i)?,

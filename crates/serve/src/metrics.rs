@@ -1,0 +1,108 @@
+//! Per-model serving metric families (`tfe_serve_*`), labeled by
+//! `model` = `name@vN`. Families are registered once in the process-wide
+//! registry; each [`ModelMetrics`](crate::metrics::ModelMetrics) resolves
+//! its children once at model registration so the hot path never touches
+//! the family map.
+
+use std::sync::Arc;
+use tfe_metrics::{counter_vec, gauge_vec, histogram_vec, Counter, Gauge, Histogram};
+
+/// Latency SLO buckets: 10µs .. 100ms. Serving latencies sit well above the
+/// kernel-level `DEFAULT_NS_BUCKETS` (100ns .. 10ms) ceiling.
+pub const SLO_NS_BUCKETS: &[u64] = &[
+    10_000,
+    25_000,
+    50_000,
+    100_000,
+    250_000,
+    500_000,
+    1_000_000,
+    2_500_000,
+    5_000_000,
+    10_000_000,
+    25_000_000,
+    50_000_000,
+    100_000_000,
+];
+
+/// Batch-size buckets (rows per staged call).
+pub const ROWS_BUCKETS: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128, 256];
+
+/// Resolved metric children for one registered model version.
+pub struct ModelMetrics {
+    /// Requests accepted by the front (before batching).
+    pub requests: Arc<Counter>,
+    /// Requests that completed with an error.
+    pub errors: Arc<Counter>,
+    /// Requests currently queued, waiting for a batch to close.
+    pub queue_depth: Arc<Gauge>,
+    /// Staged calls dispatched by the batcher.
+    pub batches: Arc<Counter>,
+    /// Rows coalesced per staged call.
+    pub batch_rows: Arc<Histogram>,
+    /// End-to-end request latency (enqueue -> response), the SLO signal.
+    pub request_latency_ns: Arc<Histogram>,
+    /// Staged-call execution time (concat -> split), feeds the EWMA.
+    pub batch_exec_ns: Arc<Histogram>,
+    /// Requests whose end-to-end latency exceeded the model's budget.
+    pub budget_breaches: Arc<Counter>,
+}
+
+impl ModelMetrics {
+    /// Resolve the `tfe_serve_*` children for `model` (= `name@vN`).
+    pub fn resolve(model: &str) -> ModelMetrics {
+        ModelMetrics {
+            requests: counter_vec(
+                "tfe_serve_requests_total",
+                "Inference requests accepted, per model",
+                "model",
+            )
+            .with(model),
+            errors: counter_vec(
+                "tfe_serve_errors_total",
+                "Inference requests failed, per model",
+                "model",
+            )
+            .with(model),
+            queue_depth: gauge_vec(
+                "tfe_serve_queue_depth",
+                "Requests queued waiting for a batch, per model",
+                "model",
+            )
+            .with(model),
+            batches: counter_vec(
+                "tfe_serve_batches_total",
+                "Staged batch calls dispatched, per model",
+                "model",
+            )
+            .with(model),
+            batch_rows: histogram_vec(
+                "tfe_serve_batch_rows",
+                "Rows coalesced per staged batch call, per model",
+                "model",
+                ROWS_BUCKETS,
+            )
+            .with(model),
+            request_latency_ns: histogram_vec(
+                "tfe_serve_request_latency_ns",
+                "End-to-end request latency (SLO), per model",
+                "model",
+                SLO_NS_BUCKETS,
+            )
+            .with(model),
+            batch_exec_ns: histogram_vec(
+                "tfe_serve_batch_exec_ns",
+                "Staged-call execution time, per model",
+                "model",
+                SLO_NS_BUCKETS,
+            )
+            .with(model),
+            budget_breaches: counter_vec(
+                "tfe_serve_budget_breaches_total",
+                "Requests whose latency exceeded the model's budget, per model",
+                "model",
+            )
+            .with(model),
+        }
+    }
+}

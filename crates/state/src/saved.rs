@@ -23,18 +23,58 @@ use tfe_runtime::{context, RuntimeError, Tensor, Variable};
 
 /// Errors from SavedFunction export/import.
 #[derive(Debug, Clone, PartialEq)]
-pub struct SavedError(pub String);
+pub enum SavedError {
+    /// The value is not a saved-function bundle (wrong/missing format tag).
+    Format,
+    /// A required bundle field is missing or has the wrong type.
+    Missing(&'static str),
+    /// A nested tensor or function failed structural decode.
+    Decode(String),
+    /// The bundle references a variable id it does not define.
+    UnknownVariable(i64),
+    /// Capture count disagrees with the entry function's signature.
+    CaptureArity {
+        /// Captures the entry signature declares.
+        expected: usize,
+        /// Captures the bundle actually carries.
+        got: usize,
+    },
+    /// Export-side failure (symbolic capture, dead variable, missing
+    /// function).
+    Export(String),
+    /// File I/O or JSON parse failure.
+    Io(String),
+}
 
 impl std::fmt::Display for SavedError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "saved function error: {}", self.0)
+        match self {
+            SavedError::Format => {
+                write!(f, "saved function error: not a tfe saved-function bundle")
+            }
+            SavedError::Missing(field) => {
+                write!(f, "saved function error: missing or malformed field `{field}`")
+            }
+            SavedError::Decode(msg) => write!(f, "saved function error: {msg}"),
+            SavedError::UnknownVariable(id) => {
+                write!(f, "saved function error: bundle references unknown variable {id}")
+            }
+            SavedError::CaptureArity { expected, got } => {
+                write!(
+                    f,
+                    "saved function error: bundle has {got} captures, entry expects {expected}"
+                )
+            }
+            SavedError::Export(msg) => write!(f, "saved function export error: {msg}"),
+            SavedError::Io(msg) => write!(f, "saved function error: {msg}"),
+        }
     }
 }
 
 impl std::error::Error for SavedError {}
 
 fn err(msg: impl Into<String>) -> SavedError {
-    SavedError(msg.into())
+    SavedError::Export(msg.into())
 }
 
 /// Export a concrete function (and everything it needs) to a JSON value.
@@ -122,6 +162,8 @@ pub fn export(concrete: &ConcreteFunction, path: impl AsRef<Path>) -> Result<(),
 pub struct LoadedFunction {
     entry: String,
     n_args: usize,
+    /// Expected (dtype, symbolic shape) per non-capture argument.
+    arg_sigs: Vec<(tfe_tensor::DType, tfe_ops::SymShape)>,
     captures: Vec<Tensor>,
     /// Recreated variables, keyed by their id in the *bundle*.
     pub variables: HashMap<i64, Variable>,
@@ -139,17 +181,43 @@ impl LoadedFunction {
         &self.entry
     }
 
+    /// Expected (dtype, symbolic shape) of each non-capture argument.
+    pub fn arg_sigs(&self) -> &[(tfe_tensor::DType, tfe_ops::SymShape)] {
+        &self.arg_sigs
+    }
+
     /// Invoke the loaded graph function.
     ///
+    /// Arguments are validated up front against the entry signature so a
+    /// malformed request fails with a typed error here rather than a panic
+    /// (or an opaque internal error) deep inside the executor.
+    ///
     /// # Errors
-    /// Arity mismatches or execution failures.
+    /// Arity, dtype, or shape mismatches; execution failures.
     pub fn call(&self, args: &[&Tensor]) -> Result<Vec<Tensor>, RuntimeError> {
         if args.len() != self.n_args {
-            return Err(RuntimeError::Internal(format!(
-                "loaded function expects {} arguments, got {}",
-                self.n_args,
-                args.len()
-            )));
+            return Err(RuntimeError::Op(tfe_ops::OpError::Arity {
+                op: self.entry.clone(),
+                expected: format!("{} arguments", self.n_args),
+                got: args.len(),
+            }));
+        }
+        for (i, (arg, (dtype, shape))) in args.iter().zip(&self.arg_sigs).enumerate() {
+            if arg.dtype() != *dtype {
+                return Err(tfe_tensor::TensorError::DTypeMismatch {
+                    expected: format!("{dtype:?} for argument {i} of `{}`", self.entry),
+                    got: arg.dtype(),
+                }
+                .into());
+            }
+            let got = arg.shape()?;
+            if !shape.matches(&got) {
+                return Err(tfe_tensor::TensorError::ShapeMismatch {
+                    expected: format!("{shape} for argument {i} of `{}`", self.entry),
+                    got,
+                }
+                .into());
+            }
         }
         let f = context::library()
             .get(&self.entry)
@@ -176,30 +244,32 @@ static LOAD_COUNTER: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicU
 pub fn import_from_value(v: &Value) -> Result<LoadedFunction, SavedError> {
     tfe_core::init();
     if v.get("format").and_then(Value::as_str) != Some("tfe-saved-function-v1") {
-        return Err(err("not a tfe saved-function bundle"));
+        return Err(SavedError::Format);
     }
-    let entry = v.get("entry").and_then(Value::as_str).ok_or_else(|| err("missing entry"))?;
+    let entry = v.get("entry").and_then(Value::as_str).ok_or(SavedError::Missing("entry"))?;
     let suffix = LOAD_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
 
     // Recreate variables with fresh ids.
     let mut var_map: HashMap<i64, Variable> = HashMap::new();
     for vv in
-        v.get("variables").and_then(Value::as_array).ok_or_else(|| err("missing variables"))?
+        v.get("variables").and_then(Value::as_array).ok_or(SavedError::Missing("variables"))?
     {
-        let id = vv.get("id").and_then(Value::as_i64).ok_or_else(|| err("missing var id"))?;
-        let data = tensor_from_value(vv.get("value").ok_or_else(|| err("missing var value"))?)
-            .map_err(|e| err(e.to_string()))?;
+        let id =
+            vv.get("id").and_then(Value::as_i64).ok_or(SavedError::Missing("variables[].id"))?;
+        let data =
+            tensor_from_value(vv.get("value").ok_or(SavedError::Missing("variables[].value"))?)
+                .map_err(|e| SavedError::Decode(e.to_string()))?;
         var_map.insert(id, Variable::new(data));
     }
     let id_map: HashMap<i64, i64> = var_map.iter().map(|(old, v)| (*old, v.id() as i64)).collect();
 
     // Load functions, renaming them and rewriting references.
     let functions =
-        v.get("functions").and_then(Value::as_array).ok_or_else(|| err("missing functions"))?;
+        v.get("functions").and_then(Value::as_array).ok_or(SavedError::Missing("functions"))?;
     let mut name_map: HashMap<String, String> = HashMap::new();
     let mut loaded: Vec<GraphFunction> = Vec::new();
     for fv in functions {
-        let f = function_from_value(fv).map_err(|e| err(e.to_string()))?;
+        let f = function_from_value(fv).map_err(|e| SavedError::Decode(e.to_string()))?;
         let new_name = format!("{}__loaded{suffix}", f.name);
         name_map.insert(f.name.clone(), new_name);
         loaded.push(f);
@@ -222,20 +292,13 @@ pub fn import_from_value(v: &Value) -> Result<LoadedFunction, SavedError> {
             }
             // Remap variable references.
             if let Ok(old) = node.attrs.int("var_id") {
-                let new = id_map
-                    .get(&old)
-                    .ok_or_else(|| err(format!("bundle references unknown variable {old}")))?;
+                let new = id_map.get(&old).ok_or(SavedError::UnknownVariable(old))?;
                 node.attrs.set("var_id", *new);
             }
             if let Ok(list) = node.attrs.int_list("var_ids") {
                 let new: Result<Vec<i64>, SavedError> = list
                     .iter()
-                    .map(|old| {
-                        id_map
-                            .get(old)
-                            .copied()
-                            .ok_or_else(|| err(format!("unknown variable {old}")))
-                    })
+                    .map(|old| id_map.get(old).copied().ok_or(SavedError::UnknownVariable(*old)))
                     .collect();
                 node.attrs.set("var_ids", new?);
             }
@@ -243,27 +306,35 @@ pub fn import_from_value(v: &Value) -> Result<LoadedFunction, SavedError> {
         context::library().insert(f);
     }
 
-    let entry_new =
-        name_map.get(entry).cloned().ok_or_else(|| err("entry function missing from bundle"))?;
-    let entry_fn =
-        context::library().get(&entry_new).ok_or_else(|| err("entry function failed to load"))?;
+    let entry_new = name_map
+        .get(entry)
+        .cloned()
+        .ok_or_else(|| SavedError::Decode(format!("entry function `{entry}` not in bundle")))?;
+    let entry_fn = context::library()
+        .get(&entry_new)
+        .ok_or_else(|| SavedError::Decode("entry function failed to load".to_string()))?;
     let captures: Vec<Tensor> = v
         .get("captures")
         .and_then(Value::as_array)
-        .ok_or_else(|| err("missing captures"))?
+        .ok_or(SavedError::Missing("captures"))?
         .iter()
-        .map(|cv| tensor_from_value(cv).map(Tensor::from_data).map_err(|e| err(e.to_string())))
+        .map(|cv| {
+            tensor_from_value(cv)
+                .map(Tensor::from_data)
+                .map_err(|e| SavedError::Decode(e.to_string()))
+        })
         .collect::<Result<_, _>>()?;
     if captures.len() != entry_fn.num_captures {
-        return Err(err(format!(
-            "bundle has {} captures, entry expects {}",
-            captures.len(),
-            entry_fn.num_captures
-        )));
+        return Err(SavedError::CaptureArity {
+            expected: entry_fn.num_captures,
+            got: captures.len(),
+        });
     }
+    // `function_from_value` guarantees num_captures <= inputs.len().
     Ok(LoadedFunction {
         entry: entry_new,
         n_args: entry_fn.inputs.len() - entry_fn.num_captures,
+        arg_sigs: entry_fn.arg_sigs(),
         captures,
         variables: var_map,
         stateful: entry_stateful,
@@ -275,8 +346,9 @@ pub fn import_from_value(v: &Value) -> Result<LoadedFunction, SavedError> {
 /// # Errors
 /// I/O or decode failures.
 pub fn import(path: impl AsRef<Path>) -> Result<LoadedFunction, SavedError> {
-    let text = std::fs::read_to_string(path).map_err(|e| err(format!("read failed: {e}")))?;
-    let v = Value::parse(&text).map_err(|e| err(format!("parse failed: {e}")))?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| SavedError::Io(format!("read failed: {e}")))?;
+    let v = Value::parse(&text).map_err(|e| SavedError::Io(format!("parse failed: {e}")))?;
     import_from_value(&v)
 }
 

@@ -116,8 +116,15 @@ pub fn reduce(a: &TensorData, axes: &[i64], keep_dims: bool, op: ReduceOp) -> Re
         ));
     }
 
+    // A zero-extent kept dimension means the output itself is empty; there
+    // is nothing to accumulate, and sizing the accumulator `max(out_n, 1)`
+    // would desync it from the output length.
+    if out_shape.num_elements() == 0 {
+        return Ok(TensorData::zeros(a.dtype(), out_shape));
+    }
+
     // Accumulate in f64 for floats, i64 for ints.
-    let out_n = out_shape.num_elements().max(1);
+    let out_n = out_shape.num_elements();
     let init = match op {
         ReduceOp::Sum | ReduceOp::Mean => 0.0,
         ReduceOp::Prod => 1.0,

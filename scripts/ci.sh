@@ -56,15 +56,38 @@ cargo test --release -q --test pass_pipeline -- --test-threads "${THREADS}"
 echo "==> fused executor differential (release)"
 cargo test --release -q --test fused_executor -- --test-threads "${THREADS}"
 
+# Serving gate, both dispatch modes: the differential suite proves N
+# concurrent batched requests are bitwise identical to N sequential
+# unbatched calls (across batch sizes, zero-row members, version swaps,
+# poisoned batches fanning the typed error to every member), the
+# degenerate-shape suite pins the concat/split/reduce edge cases the
+# batcher leans on, and the importer fuzz suite feeds the registry's
+# bundle loader mutated/truncated bundles.
+echo "==> serving differential + degenerate shapes + importer fuzz (release)"
+cargo test --release -q --test serving --test degenerate_shapes --test saved_hardening \
+    -- --test-threads "${THREADS}"
+echo "==> serving differential with TFE_ASYNC=1 (release)"
+TFE_ASYNC=1 cargo test --release -q --test serving
+
+# Serving smoke: a SavedFunction bundle behind the registry under 8
+# concurrent clients — responses must match the direct staged call
+# bitwise, the batcher must actually coalesce (mean batch rows > 1.5),
+# and the tfe_serve_* metric families must account for every request.
+echo "==> serving smoke (bundle behind the batcher, metrics audited)"
+cargo run --release -q -p tfe-bench --bin serving_smoke > /dev/null
+
 # The kernel bench doubles as the async dispatch-overhead smoke and the
 # fused-executor perf gate: it times a ~1k-op eager chain sync vs async
 # (the async_dispatch entry of BENCH_kernels.json) and a 10-op fused f32
 # chain unfused / interpreted / tiled (the fused_chain entry). Under
 # TFE_ASSERT_ASYNC with >= 2 hardware threads, async wall time must beat
 # the sync baseline; under TFE_ASSERT_FUSED the tiled executor must beat
-# op-by-op by >= 2x and a compile-cache hit must beat a re-parse.
-echo "==> kernel bench smoke (--quick, async overlap + fused speedup asserted)"
-TFE_ASSERT_ASYNC=1 TFE_ASSERT_FUSED=1 cargo run --release -q -p tfe-bench --bin kernel_bench -- --quick > /dev/null
+# op-by-op by >= 2x and a compile-cache hit must beat a re-parse; under
+# TFE_ASSERT_SERVING the adaptive micro-batcher must beat the unbatched
+# serving front by >= 2x at concurrency 8 (the serving entry).
+echo "==> kernel bench smoke (--quick, async + fused + serving asserted)"
+TFE_ASSERT_ASYNC=1 TFE_ASSERT_FUSED=1 TFE_ASSERT_SERVING=1 \
+    cargo run --release -q -p tfe-bench --bin kernel_bench -- --quick > /dev/null
 
 # Profiler gate: asserts the disabled probe costs < 2% of an eager
 # dispatch, then profiles two staged parallel training steps and

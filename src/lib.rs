@@ -49,11 +49,12 @@ pub use tfe_core::{cond, function, function1, init_scope, while_loop};
 pub use tfe_core::{
     Arg, ConcreteFunction, Func, FuncStats, HostFunc, RetraceCause, RetraceEvent, TensorSpec,
 };
+pub use tfe_ops::{Attrs, OpError};
 pub use tfe_runtime::api;
 pub use tfe_runtime::{
     async_scope, context, sync, sync_scope, DeviceScope, ExecMode, RuntimeError, Tensor, Variable,
 };
-pub use tfe_tensor::{DType, Shape, TensorData};
+pub use tfe_tensor::{DType, Shape, TensorData, TensorError};
 
 /// Device abstraction (names, kinds, simulation profiles).
 pub mod device {
@@ -73,6 +74,12 @@ pub mod nn {
 /// Checkpointing and SavedFunction bundles.
 pub mod state {
     pub use tfe_state::*;
+}
+
+/// Model serving: versioned registry + adaptive micro-batching
+/// (DESIGN.md §15).
+pub mod serve {
+    pub use tfe_serve::*;
 }
 
 /// Distributed execution (coordinator + workers).

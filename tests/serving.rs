@@ -1,0 +1,363 @@
+//! Differential serving gate (DESIGN.md §15): concurrent requests routed
+//! through the adaptive micro-batcher must be *bitwise identical* to the
+//! same requests executed one-by-one against the bare servable — across
+//! batch sizes, dispatch modes, degenerate member shapes, and version
+//! swaps — and a poisoned batch must fail every member with the typed
+//! error, never hang.
+
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+use tf_eager::prelude::*;
+use tf_eager::serve::{BatchPolicy, Dispatch, ModelRegistry, ServeError};
+use tf_eager::state::saved;
+
+/// A small MLP (matmul + bias + relu + softmax) traced with a dynamic
+/// leading dimension so one trace serves every batch size.
+fn mlp(name: &str, scale: f32) -> Func {
+    function1(name, move |x| {
+        let w = api::constant(
+            vec![
+                0.7f32 * scale,
+                -0.3,
+                0.5,
+                0.9 * scale,
+                -0.2,
+                0.8,
+                0.1,
+                -0.6,
+                0.4,
+                0.3,
+                -0.5 * scale,
+                0.2,
+                -0.9,
+                0.6,
+                0.25,
+                -0.75,
+            ],
+            [4, 4],
+        )?;
+        let b = api::constant(vec![0.05f32, -0.1, 0.2, 0.0], [4])?;
+        api::softmax(&api::relu(&api::add(&api::matmul(x, &w)?, &b)?)?)
+    })
+    .with_input_signature(vec![TensorSpec::new(DType::F32, vec![None, Some(4)])])
+}
+
+fn example(i: usize, rows: usize) -> Tensor {
+    let vals: Vec<f32> =
+        (0..rows * 4).map(|j| ((i * 7 + j * 3) % 13) as f32 * 0.37 - 1.5).collect();
+    api::constant(vals, [rows, 4]).unwrap()
+}
+
+fn policy(max_batch: usize, dispatch: Dispatch) -> BatchPolicy {
+    BatchPolicy { max_batch, budget: Duration::from_millis(50), ewma_alpha: 0.25, dispatch }
+}
+
+/// N concurrent single-example requests through the batcher vs. N
+/// sequential unbatched calls: outputs must match exactly.
+fn differential(tag: &str, n: usize, max_batch: usize, dispatch: Dispatch) {
+    let name = format!("serve_diff_{tag}");
+    let f = mlp(&name, 1.0);
+    let inputs: Vec<Tensor> = (0..n).map(|i| example(i, 1)).collect();
+    let expected: Vec<Vec<f64>> =
+        inputs.iter().map(|x| f.call_tensors(&[x]).unwrap()[0].to_f64_vec().unwrap()).collect();
+
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register_with(&name, 1, f, policy(max_batch, dispatch)).unwrap();
+    let barrier = Arc::new(Barrier::new(n));
+    let handles: Vec<_> = inputs
+        .into_iter()
+        .enumerate()
+        .map(|(i, x)| {
+            let registry = Arc::clone(&registry);
+            let barrier = Arc::clone(&barrier);
+            let name = name.clone();
+            std::thread::spawn(move || {
+                barrier.wait();
+                (i, registry.infer(&name, &[&x]).map(|outs| outs[0].to_f64_vec().unwrap()))
+            })
+        })
+        .collect();
+    for h in handles {
+        let (i, got) = h.join().unwrap();
+        assert_eq!(got.unwrap(), expected[i], "member {i} diverged ({tag})");
+    }
+}
+
+#[test]
+fn differential_sync_across_batch_sizes() {
+    differential("sync_1x8", 1, 8, Dispatch::Sync);
+    differential("sync_4x2", 4, 2, Dispatch::Sync);
+    differential("sync_8x8", 8, 8, Dispatch::Sync);
+    differential("sync_16x5", 16, 5, Dispatch::Sync);
+}
+
+#[test]
+fn differential_async_across_batch_sizes() {
+    differential("async_4x4", 4, 4, Dispatch::Async);
+    differential("async_8x3", 8, 3, Dispatch::Async);
+    differential("async_16x16", 16, 16, Dispatch::Async);
+}
+
+#[test]
+fn differential_inherit_mode() {
+    // Runs under whatever TFE_ASYNC the suite was launched with; CI runs
+    // both settings.
+    differential("inherit_8x4", 8, 4, Dispatch::Inherit);
+}
+
+/// Mixed row counts per request — including a zero-row member — exercise
+/// the slice fan-out path.
+#[test]
+fn differential_mixed_and_zero_row_members() {
+    let name = "serve_diff_mixed";
+    let f = mlp(name, 0.8);
+    let rows = [0usize, 1, 3, 1, 2, 0];
+    let inputs: Vec<Tensor> = rows.iter().enumerate().map(|(i, &r)| example(i, r)).collect();
+    let expected: Vec<Vec<f64>> =
+        inputs.iter().map(|x| f.call_tensors(&[x]).unwrap()[0].to_f64_vec().unwrap()).collect();
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register_with(name, 1, f, policy(16, Dispatch::Sync)).unwrap();
+    let barrier = Arc::new(Barrier::new(rows.len()));
+    let handles: Vec<_> = inputs
+        .into_iter()
+        .enumerate()
+        .map(|(i, x)| {
+            let registry = Arc::clone(&registry);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                (i, registry.infer("serve_diff_mixed", &[&x]).map(|o| o[0].to_f64_vec().unwrap()))
+            })
+        })
+        .collect();
+    for h in handles {
+        let (i, got) = h.join().unwrap();
+        assert_eq!(got.unwrap(), expected[i], "member {i} diverged");
+    }
+}
+
+/// A served SavedFunction bundle produces the same bits as the Func it was
+/// exported from.
+#[test]
+fn loaded_bundle_matches_staged() {
+    let name = "serve_loaded";
+    let f = mlp(name, 1.1);
+    let probe = example(0, 1);
+    let conc = f.concrete_for(&[Arg::from(&probe)]).unwrap();
+    let bundle = saved::export_to_value(&conc).unwrap();
+    let loaded = saved::import_from_value(&bundle).unwrap();
+
+    let inputs: Vec<Tensor> = (0..6).map(|i| example(i, 1)).collect();
+    let expected: Vec<Vec<f64>> =
+        inputs.iter().map(|x| f.call_tensors(&[x]).unwrap()[0].to_f64_vec().unwrap()).collect();
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register_with(name, 1, loaded, policy(8, Dispatch::Sync)).unwrap();
+    let barrier = Arc::new(Barrier::new(inputs.len()));
+    let handles: Vec<_> = inputs
+        .into_iter()
+        .enumerate()
+        .map(|(i, x)| {
+            let registry = Arc::clone(&registry);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                (i, registry.infer("serve_loaded", &[&x]).map(|o| o[0].to_f64_vec().unwrap()))
+            })
+        })
+        .collect();
+    for h in handles {
+        let (i, got) = h.join().unwrap();
+        assert_eq!(got.unwrap(), expected[i], "bundle member {i} diverged");
+    }
+}
+
+/// A mid-batch fault (out-of-range gather index in one member) fails every
+/// member of the batch with the typed error: `op` names the staged entry
+/// the batch died in, `source` carries the kernel-level cause (`gather`).
+/// Staged `call` ops execute synchronously even under async dispatch (the
+/// stream defers primitive ops only), so both modes report the same shape.
+fn fault_fan_out(dispatch: Dispatch, tag: &str) {
+    let name = format!("serve_fault_{tag}");
+    let f = {
+        let n = name.clone();
+        function1(&n.clone(), move |idx| {
+            let table = api::constant(vec![10.0f32, 20.0, 30.0, 40.0], [4])?;
+            api::gather(&table, idx, 0)
+        })
+        .with_input_signature(vec![TensorSpec::new(DType::I64, vec![None])])
+    };
+    let registry = Arc::new(ModelRegistry::new());
+    registry
+        .register_with(
+            &name,
+            1,
+            f,
+            BatchPolicy {
+                max_batch: 4,
+                budget: Duration::from_millis(500),
+                ewma_alpha: 0.25,
+                dispatch,
+            },
+        )
+        .unwrap();
+    let barrier = Arc::new(Barrier::new(4));
+    let handles: Vec<_> = (0..4)
+        .map(|i| {
+            let registry = Arc::clone(&registry);
+            let barrier = Arc::clone(&barrier);
+            let name = name.clone();
+            std::thread::spawn(move || {
+                // Member 2 carries a poisoned index.
+                let v: i64 = if i == 2 { 99 } else { i };
+                let x = api::constant(vec![v], [1]).unwrap();
+                barrier.wait();
+                registry.infer(&name, &[&x])
+            })
+        })
+        .collect();
+    let started = Instant::now();
+    for h in handles {
+        let r = h.join().unwrap();
+        match r {
+            Err(ServeError::Batch { op, source }) => {
+                assert!(op.contains(&name), "batch error should name the staged entry, got `{op}`");
+                assert!(
+                    source.to_string().contains("gather"),
+                    "source should carry the faulting kernel, got `{source}`"
+                );
+            }
+            other => panic!("expected ServeError::Batch for every member, got {other:?}"),
+        }
+    }
+    // "Never a hang": the whole fan-out resolves promptly.
+    assert!(started.elapsed() < Duration::from_secs(10));
+}
+
+#[test]
+fn poisoned_batch_fails_every_member_sync() {
+    fault_fan_out(Dispatch::Sync, "sync");
+}
+
+#[test]
+fn poisoned_batch_fails_every_member_async() {
+    fault_fan_out(Dispatch::Async, "async");
+}
+
+/// Version registry semantics: `latest` swings atomically to the newest
+/// version, pinned versions stay servable, rollback re-points the alias,
+/// unregister shuts everything down.
+#[test]
+fn version_swap_and_rollback() {
+    let registry = ModelRegistry::new();
+    let x = example(3, 1);
+    let f1 = mlp("serve_ver_a", 1.0);
+    let f2 = mlp("serve_ver_b", 2.0);
+    let y1 = f1.call_tensors(&[&x]).unwrap()[0].to_f64_vec().unwrap();
+    let y2 = f2.call_tensors(&[&x]).unwrap()[0].to_f64_vec().unwrap();
+    assert_ne!(y1, y2, "the two versions must be distinguishable");
+
+    registry.register_with("m", 1, f1, policy(4, Dispatch::Sync)).unwrap();
+    assert_eq!(registry.latest("m"), Some(1));
+    assert_eq!(registry.infer("m", &[&x]).unwrap()[0].to_f64_vec().unwrap(), y1);
+
+    registry.register_with("m", 2, f2, policy(4, Dispatch::Sync)).unwrap();
+    assert_eq!(registry.latest("m"), Some(2));
+    assert_eq!(registry.versions("m"), vec![1, 2]);
+    assert_eq!(registry.infer("m", &[&x]).unwrap()[0].to_f64_vec().unwrap(), y2);
+    // Pinned old version still serves.
+    assert_eq!(registry.infer_version("m", 1, &[&x]).unwrap()[0].to_f64_vec().unwrap(), y1);
+
+    // Duplicate version rejected.
+    let f_dup = mlp("serve_ver_c", 3.0);
+    assert!(matches!(registry.register("m", 2, f_dup), Err(ServeError::DuplicateVersion { .. })));
+
+    // Rollback.
+    registry.set_latest("m", 1).unwrap();
+    assert_eq!(registry.infer("m", &[&x]).unwrap()[0].to_f64_vec().unwrap(), y1);
+    assert!(matches!(
+        registry.set_latest("m", 9),
+        Err(ServeError::UnknownVersion { version: 9, .. })
+    ));
+
+    assert!(registry.unregister("m"));
+    assert!(!registry.unregister("m"));
+    assert!(matches!(registry.infer("m", &[&x]), Err(ServeError::UnknownModel(_))));
+}
+
+/// Malformed requests are rejected at the front door with `BadRequest`.
+#[test]
+fn front_door_validation() {
+    let registry = ModelRegistry::new();
+    registry.register_with("v", 1, mlp("serve_val", 1.0), policy(4, Dispatch::Sync)).unwrap();
+    // Scalar input: no batch dimension.
+    let s = api::scalar(1.0f32);
+    assert!(matches!(registry.infer("v", &[&s]), Err(ServeError::BadRequest(_))));
+    // No inputs.
+    assert!(matches!(registry.infer("v", &[]), Err(ServeError::BadRequest(_))));
+    // Unknown model.
+    let x = example(0, 1);
+    assert!(matches!(registry.infer("nope", &[&x]), Err(ServeError::UnknownModel(_))));
+}
+
+/// A lone request must not wait for `max_batch`: the latency budget closes
+/// the batch.
+#[test]
+fn budget_closes_partial_batch() {
+    let registry = ModelRegistry::new();
+    registry
+        .register_with(
+            "lone",
+            1,
+            mlp("serve_lone", 1.0),
+            BatchPolicy {
+                max_batch: 1024,
+                budget: Duration::from_millis(10),
+                ewma_alpha: 0.25,
+                dispatch: Dispatch::Sync,
+            },
+        )
+        .unwrap();
+    let x = example(1, 1);
+    let started = Instant::now();
+    registry.infer("lone", &[&x]).unwrap();
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "single request stalled waiting for a full batch"
+    );
+}
+
+/// The serving layer is the first multi-shape stress consumer of the trace
+/// cache: a `Staged` servable without an input signature retraces per batch
+/// shape, and the bounded retrace log must not grow past its cap
+/// (`TFE_RETRACE_LOG_CAP`, default 64).
+#[test]
+fn staged_stress_keeps_retrace_log_bounded() {
+    let f = function1("serve_stress", api::relu);
+    let registry = ModelRegistry::new();
+    registry
+        .register_with(
+            "stress",
+            1,
+            f.clone(),
+            BatchPolicy {
+                max_batch: usize::MAX,
+                budget: Duration::from_millis(1),
+                ewma_alpha: 0.25,
+                dispatch: Dispatch::Sync,
+            },
+        )
+        .unwrap();
+    // 70 distinct row counts -> 70 distinct traced shapes (no signature).
+    for rows in 1..=70usize {
+        let x = api::constant(vec![0.5f32; rows * 2], [rows, 2]).unwrap();
+        let y = registry.infer("stress", &[&x]).unwrap();
+        assert_eq!(y[0].shape().unwrap().dims(), &[rows, 2]);
+    }
+    let retained = f.retraces().len();
+    let dropped = f.dropped_retraces();
+    assert!(retained <= 64, "retrace log exceeded its cap: {retained}");
+    assert!(dropped > 0, "expected evictions after 69 retraces, dropped={dropped}");
+    assert_eq!(retained as u64 + dropped, 69, "ordinal accounting drifted");
+    let report = f.retrace_report();
+    assert!(report.contains("older retraces dropped"), "report must surface the drop count");
+}
