@@ -618,19 +618,30 @@ fn bench_serving(quick: bool) -> tfe_encode::Value {
         "serving", direct_ns, unbatched_ns, batched_ns, speedup, vs_direct
     );
 
+    // The >=2x claim is a wall-clock ratio that needs real concurrency to
+    // hold; on a loaded or low-core runner it flakes, so (like
+    // TFE_ASSERT_ASYNC) the assertion is gated on hardware threads.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     if std::env::var_os("TFE_ASSERT_SERVING").is_some() {
-        assert!(
-            speedup >= 2.0,
-            "batched serving must be >=2x over the unbatched front at concurrency \
-             {CONCURRENCY}: unbatched {unbatched_ns:.0} ns/req vs batched {batched_ns:.0} \
-             ns/req ({speedup:.2}x, mean batch {mean_rows:.1} rows)"
-        );
-        assert!(
-            mean_rows > 1.5,
-            "the adaptive batcher must actually coalesce at concurrency {CONCURRENCY}: \
-             mean batch was {mean_rows:.2} rows"
-        );
-        eprintln!("serving asserted: {speedup:.2}x over unbatched, mean batch {mean_rows:.1} rows");
+        if cores >= 4 {
+            assert!(
+                speedup >= 2.0,
+                "batched serving must be >=2x over the unbatched front at concurrency \
+                 {CONCURRENCY} on {cores} cores: unbatched {unbatched_ns:.0} ns/req vs batched \
+                 {batched_ns:.0} ns/req ({speedup:.2}x, mean batch {mean_rows:.1} rows)"
+            );
+            assert!(
+                mean_rows > 1.5,
+                "the adaptive batcher must actually coalesce at concurrency {CONCURRENCY}: \
+                 mean batch was {mean_rows:.2} rows"
+            );
+            eprintln!(
+                "serving asserted: {speedup:.2}x over unbatched, mean batch {mean_rows:.1} rows \
+                 on {cores} cores"
+            );
+        } else {
+            eprintln!("TFE_ASSERT_SERVING skipped: {cores} hardware thread(s) < 4");
+        }
     }
 
     tfe_encode::Value::object(vec![

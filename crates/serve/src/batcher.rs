@@ -195,10 +195,19 @@ impl Model {
             metrics: ModelMetrics::resolve(&format!("{name}@v{version}")),
             worker: Mutex::new(None),
         });
-        let for_worker = Arc::clone(&model);
+        // The worker holds only a `Weak`, upgraded once per turn: dropping
+        // the last external `Arc<Model>` actually runs `Drop` (which shuts
+        // the worker down) instead of a strong worker ref keeping a parked
+        // thread and the model alive forever.
+        let weak = Arc::downgrade(&model);
         let handle = std::thread::Builder::new()
             .name(format!("tfe-serve-{name}-v{version}"))
-            .spawn(move || for_worker.worker_loop())
+            .spawn(move || loop {
+                let Some(model) = weak.upgrade() else { return };
+                if !model.worker_turn() {
+                    return;
+                }
+            })
             .expect("spawn batcher worker");
         *model.worker.lock() = Some(handle);
         model
@@ -295,7 +304,8 @@ impl Model {
         };
         self.cv.notify_all();
         for p in drained {
-            self.metrics.errors.inc();
+            // No `errors` bump here: every drained request has a caller
+            // parked in `infer`, which counts the Err when it observes it.
             p.slot.deliver(Err(ServeError::Shutdown { model: self.name.clone() }));
         }
         self.metrics.queue_depth.set(0);
@@ -310,60 +320,77 @@ impl Model {
         }
     }
 
-    fn worker_loop(&self) {
-        loop {
-            let members = {
-                let mut q = self.queue.lock();
-                // Park until there is work (or shutdown).
-                loop {
-                    if q.shutdown {
-                        return;
-                    }
-                    if !q.pending.is_empty() {
-                        break;
-                    }
-                    self.cv.wait(&mut q);
+    /// One batcher turn: park for work, close one batch adaptively, run it.
+    /// Returns `false` once the model is shut down. Idle parks are bounded
+    /// so the worker's entry loop can drop its strong reference between
+    /// turns and re-check liveness through its `Weak`.
+    fn worker_turn(&self) -> bool {
+        const IDLE_RECHECK: Duration = Duration::from_millis(50);
+        let members = {
+            let mut q = self.queue.lock();
+            // Park until there is work (or shutdown, or an idle heartbeat).
+            loop {
+                if q.shutdown {
+                    return false;
                 }
-                // Adaptive close: wait for more members until the batch is
-                // full or the oldest member's budget (minus the current
-                // execution-time estimate) would be breached.
-                loop {
-                    let rows: usize = q.pending.iter().map(|p| p.rows).sum();
-                    if rows >= self.policy.max_batch {
-                        break;
-                    }
-                    let est = Duration::from_nanos(self.ewma_ns.load(Ordering::Relaxed));
-                    let oldest = q.pending.front().expect("non-empty queue").enqueued;
-                    let deadline = oldest + self.policy.budget.saturating_sub(est);
-                    let now = Instant::now();
-                    if now >= deadline {
-                        break;
-                    }
-                    let timed_out = self.cv.wait_for(&mut q, deadline - now).timed_out();
-                    if q.shutdown {
-                        return;
-                    }
-                    if timed_out {
-                        break;
-                    }
+                if !q.pending.is_empty() {
+                    break;
                 }
-                // Close the batch: take members until the row cap. Zero-row
-                // members always fit; at least one member always ships.
-                let mut taken: Vec<Pending> = Vec::new();
-                let mut rows = 0usize;
-                while let Some(front) = q.pending.front() {
-                    if !taken.is_empty() && rows + front.rows > self.policy.max_batch {
-                        break;
-                    }
-                    let p = q.pending.pop_front().expect("front exists");
-                    rows += p.rows;
-                    taken.push(p);
+                if self.cv.wait_for(&mut q, IDLE_RECHECK).timed_out() && q.pending.is_empty() {
+                    // Still idle: end the turn so the entry loop releases
+                    // its Arc and the model can be dropped.
+                    return !q.shutdown;
                 }
-                self.metrics.queue_depth.set(q.pending.len() as i64);
-                taken
-            };
-            self.execute_batch(members);
-        }
+            }
+            // Adaptive close: wait for more members until the batch is
+            // full or the oldest member's budget (minus the current
+            // execution-time estimate) would be breached.
+            loop {
+                let rows: usize = q.pending.iter().map(|p| p.rows).sum();
+                if rows >= self.policy.max_batch {
+                    break;
+                }
+                let est = Duration::from_nanos(self.ewma_ns.load(Ordering::Relaxed));
+                let oldest = q.pending.front().expect("non-empty queue").enqueued;
+                let deadline = oldest + self.policy.budget.saturating_sub(est);
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let timed_out = self.cv.wait_for(&mut q, deadline - now).timed_out();
+                if q.shutdown {
+                    return false;
+                }
+                if timed_out {
+                    break;
+                }
+            }
+            // Close the batch: take members until the row cap, but only
+            // while the arity matches the batch head — the fan-in concats
+            // argument position `a` across every member, so a mixed-arity
+            // batch would index out of bounds. A `Staged` servable declares
+            // no arity for the front door to check; a wrong-arity request
+            // instead ships as its own batch and observes the servable's
+            // typed arity error. Zero-row members always fit; at least one
+            // member always ships.
+            let mut taken: Vec<Pending> = Vec::new();
+            let mut rows = 0usize;
+            while let Some(front) = q.pending.front() {
+                if !taken.is_empty()
+                    && (rows + front.rows > self.policy.max_batch
+                        || front.inputs.len() != taken[0].inputs.len())
+                {
+                    break;
+                }
+                let p = q.pending.pop_front().expect("front exists");
+                rows += p.rows;
+                taken.push(p);
+            }
+            self.metrics.queue_depth.set(q.pending.len() as i64);
+            taken
+        };
+        self.execute_batch(members);
+        true
     }
 
     fn execute_batch(&self, members: Vec<Pending>) {
@@ -374,7 +401,13 @@ impl Model {
             format!("batch:{}@v{}:{}x{}rows", self.name, self.version, members.len(), total_rows)
         });
         let started = Instant::now();
-        let result = self.run_dispatch(&members, total_rows);
+        // A panic anywhere in fan-in/dispatch/fan-out must not kill the
+        // worker: parked callers would hang forever and every later request
+        // would enqueue into a dead queue. Catch the unwind and fail the
+        // batch instead.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.run_dispatch(&members, total_rows)
+        }));
         let exec_ns = started.elapsed().as_nanos() as u64;
         self.metrics.batch_exec_ns.observe(exec_ns);
         // EWMA update (worker is the only writer; a plain store is enough).
@@ -388,17 +421,30 @@ impl Model {
         self.ewma_ns.store(next, Ordering::Relaxed);
 
         match result {
-            Ok(mut per_member) => {
+            Ok(Ok(mut per_member)) => {
                 // Deliver back-to-front so we can pop without shifting.
                 for p in members.iter().rev() {
                     let outs = per_member.pop().expect("one result per member");
                     p.slot.deliver(Ok(outs));
                 }
             }
-            Err(e) => {
+            Ok(Err(e)) => {
                 let op = fault_op(&e, &self.servable.label());
                 for p in &members {
                     p.slot.deliver(Err(ServeError::Batch { op: op.clone(), source: e.clone() }));
+                }
+            }
+            Err(payload) => {
+                let message = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                for p in &members {
+                    p.slot.deliver(Err(ServeError::Panic {
+                        model: self.name.clone(),
+                        message: message.clone(),
+                    }));
                 }
             }
         }
@@ -493,8 +539,32 @@ impl Model {
 
 impl Drop for Model {
     fn drop(&mut self) {
-        // Normally shut down by the registry; this covers models dropped
-        // without one.
+        // Normally shut down by the registry (shutdown is idempotent).
+        // Because the worker holds only a `Weak` between turns, this also
+        // genuinely fires — and reaps the worker — when the last external
+        // `Arc<Model>` is dropped without a registry.
         self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfe_core::function1;
+
+    /// Dropping the last external `Arc<Model>` must reap the model and its
+    /// worker thread: the worker holds only a `Weak` between turns, so the
+    /// `Drop` impl can actually run.
+    #[test]
+    fn dropping_last_arc_reaps_model() {
+        let f = function1("serve_drop_reap", api::relu);
+        let m = Model::start("drop_reap", 1, Servable::Staged(f), BatchPolicy::default());
+        let w = Arc::downgrade(&m);
+        drop(m);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while w.upgrade().is_some() {
+            assert!(Instant::now() < deadline, "Model leaked after the last external Arc drop");
+            std::thread::sleep(Duration::from_millis(5));
+        }
     }
 }

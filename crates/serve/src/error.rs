@@ -36,6 +36,16 @@ pub enum ServeError {
         /// The underlying runtime error.
         source: RuntimeError,
     },
+    /// The staged call (or the batching around it) panicked. The worker
+    /// catches the unwind and fails every member of the batch — a panic
+    /// degrades the one batch, it never kills the worker or strands parked
+    /// callers.
+    Panic {
+        /// Model name.
+        model: String,
+        /// Stringified panic payload, best effort.
+        message: String,
+    },
     /// The model was unregistered (or the registry dropped) while this
     /// request was still queued.
     Shutdown {
@@ -57,6 +67,9 @@ impl std::fmt::Display for ServeError {
             ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
             ServeError::Batch { op, source } => {
                 write!(f, "batched call failed at op `{op}`: {source}")
+            }
+            ServeError::Panic { model, message } => {
+                write!(f, "batched call for model `{model}` panicked: {message}")
             }
             ServeError::Shutdown { model } => {
                 write!(f, "model `{model}` was shut down while the request was queued")

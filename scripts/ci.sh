@@ -83,8 +83,10 @@ cargo run --release -q -p tfe-bench --bin serving_smoke > /dev/null
 # TFE_ASSERT_ASYNC with >= 2 hardware threads, async wall time must beat
 # the sync baseline; under TFE_ASSERT_FUSED the tiled executor must beat
 # op-by-op by >= 2x and a compile-cache hit must beat a re-parse; under
-# TFE_ASSERT_SERVING the adaptive micro-batcher must beat the unbatched
-# serving front by >= 2x at concurrency 8 (the serving entry).
+# TFE_ASSERT_SERVING with >= 4 hardware threads the adaptive
+# micro-batcher must beat the unbatched serving front by >= 2x at
+# concurrency 8 (the serving entry; skipped on smaller runners, where
+# the wall-clock ratio flakes).
 echo "==> kernel bench smoke (--quick, async + fused + serving asserted)"
 TFE_ASSERT_ASYNC=1 TFE_ASSERT_FUSED=1 TFE_ASSERT_SERVING=1 \
     cargo run --release -q -p tfe-bench --bin kernel_bench -- --quick > /dev/null

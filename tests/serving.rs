@@ -10,6 +10,7 @@ use std::time::{Duration, Instant};
 use tf_eager::prelude::*;
 use tf_eager::serve::{BatchPolicy, Dispatch, ModelRegistry, ServeError};
 use tf_eager::state::saved;
+use tf_eager::RuntimeError;
 
 /// A small MLP (matmul + bias + relu + softmax) traced with a dynamic
 /// leading dimension so one trace serves every batch size.
@@ -241,6 +242,113 @@ fn poisoned_batch_fails_every_member_sync() {
 #[test]
 fn poisoned_batch_fails_every_member_async() {
     fault_fan_out(Dispatch::Async, "async");
+}
+
+/// Concurrent requests with mismatched arity against a `Staged` servable
+/// (which declares no arity the front door could check) must not poison
+/// the batcher: matching requests succeed bitwise, wrong-arity ones fail
+/// with a typed error, and nothing hangs. The worker closes
+/// arity-homogeneous batches, so a stray 1-arg request can never drive
+/// the 2-arg fan-in out of bounds (which used to panic the worker and
+/// strand every parked caller).
+#[test]
+fn mixed_arity_requests_fail_typed_never_hang() {
+    let name = "serve_arity";
+    let f = function(name, |args| {
+        let a = args
+            .first()
+            .and_then(Arg::as_tensor)
+            .ok_or_else(|| RuntimeError::Internal("missing arg 0".to_string()))?;
+        let b = args
+            .get(1)
+            .and_then(Arg::as_tensor)
+            .ok_or_else(|| RuntimeError::Internal("missing arg 1".to_string()))?;
+        Ok(vec![api::add(a, b)?])
+    });
+    let expected: Vec<Vec<f64>> = (0..8)
+        .map(|i| {
+            let (a, b) = (example(i, 1), example(i + 100, 1));
+            f.call_tensors(&[&a, &b]).unwrap()[0].to_f64_vec().unwrap()
+        })
+        .collect();
+
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register_with(name, 1, f, policy(8, Dispatch::Sync)).unwrap();
+    let barrier = Arc::new(Barrier::new(12));
+    let good: Vec<_> = (0..8)
+        .map(|i| {
+            let registry = Arc::clone(&registry);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let (a, b) = (example(i, 1), example(i + 100, 1));
+                barrier.wait();
+                registry.infer("serve_arity", &[&a, &b]).map(|o| o[0].to_f64_vec().unwrap())
+            })
+        })
+        .collect();
+    let bad: Vec<_> = (0..4)
+        .map(|i| {
+            let registry = Arc::clone(&registry);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                // One input where the servable traces two.
+                let a = example(i, 1);
+                barrier.wait();
+                registry.infer("serve_arity", &[&a])
+            })
+        })
+        .collect();
+    let started = Instant::now();
+    for (i, h) in good.into_iter().enumerate() {
+        assert_eq!(h.join().unwrap().unwrap(), expected[i], "well-formed member {i} diverged");
+    }
+    for h in bad {
+        match h.join().unwrap() {
+            Err(ServeError::Batch { .. } | ServeError::Panic { .. }) => {}
+            other => panic!("wrong-arity request must fail typed, got {other:?}"),
+        }
+    }
+    assert!(started.elapsed() < Duration::from_secs(10), "mixed-arity fan-out hung");
+}
+
+/// A servable whose traced closure panics must fail every member with the
+/// typed `ServeError::Panic` — the worker catches the unwind instead of
+/// dying with callers parked on a dead queue — and the model keeps
+/// answering (with errors) afterwards.
+#[test]
+fn panicking_servable_fails_members_typed_never_hangs() {
+    let f = function1("serve_panics", |_x| panic!("deliberate serving-test panic"));
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register_with("panics", 1, f, policy(4, Dispatch::Sync)).unwrap();
+    let barrier = Arc::new(Barrier::new(4));
+    let handles: Vec<_> = (0..4)
+        .map(|i| {
+            let registry = Arc::clone(&registry);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let x = example(i, 1);
+                barrier.wait();
+                registry.infer("panics", &[&x])
+            })
+        })
+        .collect();
+    let started = Instant::now();
+    for h in handles {
+        match h.join().unwrap() {
+            Err(ServeError::Panic { model, message }) => {
+                assert_eq!(model, "panics");
+                assert!(
+                    message.contains("deliberate serving-test panic"),
+                    "panic payload should survive, got `{message}`"
+                );
+            }
+            other => panic!("expected ServeError::Panic for every member, got {other:?}"),
+        }
+    }
+    assert!(started.elapsed() < Duration::from_secs(10), "panicked batch left callers parked");
+    // The worker survived the unwind: later requests still resolve.
+    let x = example(9, 1);
+    assert!(matches!(registry.infer("panics", &[&x]), Err(ServeError::Panic { .. })));
 }
 
 /// Version registry semantics: `latest` swings atomically to the newest
