@@ -6,6 +6,9 @@
 //! accounted for in the metric families, and nothing errored or hung.
 //!
 //! Run with `cargo run --release -p tfe-bench --bin serving_smoke`.
+//! Set `TFE_PROFILE=/tmp/serve.json` to additionally export a chrome
+//! trace of the serve layer: named thread rows plus one causal flow arc
+//! per request, and a per-trace latency report printed for one request.
 
 use std::sync::{Arc, Barrier};
 use std::time::Duration;
@@ -28,6 +31,12 @@ fn example(i: usize) -> Tensor {
 
 fn main() {
     tfe_core::init();
+
+    // Opt-in serve-layer trace: TFE_PROFILE names the chrome-trace path.
+    let trace_path = tfe_profile::env_trace_path();
+    if trace_path.is_some() {
+        tfe_profile::start();
+    }
 
     // A small MLP traced with a dynamic leading dimension, shipped through
     // the SavedFunction exporter/importer so the smoke covers the
@@ -127,6 +136,17 @@ fn main() {
     let exec = histogram("tfe_serve_batch_exec_ns");
     assert_eq!(exec.count, batches, "every staged call must observe its execution time");
     assert!(registry.unregister(MODEL), "unregister must find the model");
+
+    if let Some(path) = &trace_path {
+        let profile = tfe_profile::stop();
+        profile.write_chrome_trace(path).expect("write chrome trace");
+        if let Some(id) = profile.trace_ids().first() {
+            if let Some(report) = profile.trace_report(*id) {
+                println!("{report}");
+            }
+        }
+        println!("chrome trace written to {path}");
+    }
 
     println!(
         "serving smoke: {requests} requests in {batches} staged calls \

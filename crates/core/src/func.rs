@@ -492,6 +492,10 @@ impl Func {
     /// Trace-time errors (invalid ops), signature mismatches, state-creation
     /// contract violations, or execution failures.
     pub fn call(&self, args: &[Arg]) -> Result<Vec<Tensor>> {
+        // A top-level `Func` call is a request entry point: give the whole
+        // call (trace-cache lookup, retrace, staged execution) one trace
+        // id; nested calls inherit the ambient request instead.
+        let _root = tfe_profile::request_scope("func", || format!("call:{}", self.inner.name));
         let concrete = self.concrete_for(args)?;
         let tensor_args: Vec<Tensor> = args.iter().filter_map(|a| a.as_tensor().cloned()).collect();
         concrete.call(&tensor_args)

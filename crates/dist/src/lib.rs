@@ -108,16 +108,20 @@ enum Request {
         op: String,
         attrs: Attrs,
         inputs: Vec<WireArg>,
+        /// Caller's `(trace_id, span_id)`, shipped with the frame so the
+        /// worker continues the coordinator's causal arc.
+        trace: Option<(u64, u64)>,
         resp: Sender<Result<Vec<RemoteMeta>, String>>,
     },
     /// Execute a graph function from the shared library.
     CallFunction {
         name: String,
         inputs: Vec<WireArg>,
+        trace: Option<(u64, u64)>,
         resp: Sender<Result<Vec<RemoteMeta>, String>>,
     },
     /// Serialize a resident tensor back to the coordinator.
-    Fetch { id: u64, resp: Sender<Result<String, String>> },
+    Fetch { id: u64, trace: Option<(u64, u64)>, resp: Sender<Result<String, String>> },
     /// Drop a resident tensor.
     Delete { id: u64 },
     /// Shut the worker down.
@@ -162,7 +166,8 @@ fn worker_main(rx: Receiver<Request>) {
 
     while let Ok(req) = rx.recv() {
         match req {
-            Request::ExecuteOp { op, attrs, inputs, resp } => {
+            Request::ExecuteOp { op, attrs, inputs, trace, resp } => {
+                let _trace = tfe_profile::adopt_remote(trace, "rpc");
                 let result = (|| -> Result<Vec<RemoteMeta>, String> {
                     let data = decode_inputs(&resident, inputs)?;
                     let out = tfe_runtime::kernels::run_kernel(&op, &attrs, &data)
@@ -184,7 +189,8 @@ fn worker_main(rx: Receiver<Request>) {
                 })();
                 let _ = resp.send(result);
             }
-            Request::CallFunction { name, inputs, resp } => {
+            Request::CallFunction { name, inputs, trace, resp } => {
+                let _trace = tfe_profile::adopt_remote(trace, "rpc");
                 let result = (|| -> Result<Vec<RemoteMeta>, String> {
                     let f = context::library()
                         .get(&name)
@@ -214,7 +220,8 @@ fn worker_main(rx: Receiver<Request>) {
                 })();
                 let _ = resp.send(result);
             }
-            Request::Fetch { id, resp } => {
+            Request::Fetch { id, trace, resp } => {
+                let _trace = tfe_profile::adopt_remote(trace, "rpc");
                 let result = resident
                     .get(&id)
                     .map(|t| tensor_to_value(t).to_json())
@@ -294,9 +301,14 @@ impl RemoteTensor {
     /// # Errors
     /// Worker failures.
     pub fn fetch(&self) -> Result<Tensor> {
+        // An RPC is a request entry point (nested fetches — e.g. the
+        // coordinator relaying cross-worker args — inherit the ambient
+        // request instead).
+        let _root = tfe_profile::request_scope("dist", || format!("rpc:fetch:{}", self.id));
+        let trace = tfe_profile::current_context().map(|c| (c.trace_id, c.span_id));
         let started = std::time::Instant::now();
         let (tx, rx) = unbounded();
-        self.cluster.send(&self.device, Request::Fetch { id: self.id, resp: tx })?;
+        self.cluster.send(&self.device, Request::Fetch { id: self.id, trace, resp: tx })?;
         let json = rx
             .recv()
             .map_err(|_| RuntimeError::Internal("worker hung up".to_string()))?
@@ -435,11 +447,13 @@ impl Cluster {
         args: &[RemoteArg],
         attrs: Attrs,
     ) -> Result<Vec<RemoteTensor>> {
+        let _root = tfe_profile::request_scope("dist", || format!("rpc:execute:{op}@{device}"));
+        let trace = tfe_profile::current_context().map(|c| (c.trace_id, c.span_id));
         let target = DeviceName::parse(device).map_err(RuntimeError::Device)?;
         let inputs = encode_args(args, &target)?;
         self.run(
             device,
-            |resp| Request::ExecuteOp { op: op.to_string(), attrs, inputs, resp },
+            |resp| Request::ExecuteOp { op: op.to_string(), attrs, inputs, trace, resp },
             &target,
         )
     }
@@ -456,11 +470,13 @@ impl Cluster {
         name: &str,
         args: &[RemoteArg],
     ) -> Result<Vec<RemoteTensor>> {
+        let _root = tfe_profile::request_scope("dist", || format!("rpc:call:{name}@{device}"));
+        let trace = tfe_profile::current_context().map(|c| (c.trace_id, c.span_id));
         let target = DeviceName::parse(device).map_err(RuntimeError::Device)?;
         let inputs = encode_args(args, &target)?;
         self.run(
             device,
-            |resp| Request::CallFunction { name: name.to_string(), inputs, resp },
+            |resp| Request::CallFunction { name: name.to_string(), inputs, trace, resp },
             &target,
         )
     }

@@ -96,10 +96,16 @@ impl Pool {
         .inc();
         // Pool task latency: every job is wrapped so the executing thread
         // records how long it sat in the queue (always-on histogram; the
-        // profiler additionally gets per-job counters when enabled).
+        // profiler additionally gets per-job counters when enabled). The
+        // wrapper is also the causal envelope: the submitter's trace group
+        // is captured here and re-installed on whichever thread runs the
+        // job, so graph nodes and kernel tiles stay attributed to the
+        // request that scheduled them.
         let submitted = std::time::Instant::now();
         let profiling = tfe_profile::enabled();
+        let group = tfe_profile::current_group();
         let job = Box::new(move || {
+            let _trace = tfe_profile::adopt(group.as_ref(), "pool");
             let waited = submitted.elapsed().as_nanos() as u64;
             tfe_metrics::static_histogram!(
                 "tfe_pool_queue_wait_ns",

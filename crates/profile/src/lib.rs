@@ -19,13 +19,40 @@
 //! # Exports
 //!
 //! [`Profile::chrome_trace`] renders a chrome://tracing / Perfetto
-//! compatible JSON timeline: one row per thread (workers keep their
-//! `tfe-exec-{i}` names), nested `X` duration events for eager dispatch →
-//! graph functions → nodes → kernels → intra-op tiles, `i` instant events
-//! for trace-cache misses and executor aborts, and `C` counter events for
-//! ready-queue depth and pool wait latency. [`Profile::summary`] aggregates
-//! the same events into per-op count/total/p50/p99 rows plus cache hit
-//! rates and bytes produced.
+//! compatible JSON timeline: one named row per thread (pool workers as
+//! `pool-worker-{i}`, serve workers as `serve:{model}@v{n}`, stream
+//! threads as `tfe-stream-{n}`, grouped by `thread_sort_index`), nested
+//! `X` duration events for eager dispatch → graph functions → nodes →
+//! kernels → intra-op tiles, `i` instant events for trace-cache misses
+//! and executor aborts, `C` counter events for ready-queue depth and pool
+//! wait latency, and `s`/`t`/`f` flow events linking each request's hops
+//! across thread rows (see [`request_scope`]/[`adopt`]).
+//! [`Profile::summary`] aggregates the same events into per-op
+//! count/total/p50/p99 rows plus cache hit rates and bytes produced;
+//! [`Profile::trace_report`] splits one request's latency into
+//! queue/concat/dispatch/split/kernel time.
+//!
+//! # Causal tracing and the flight recorder
+//!
+//! The [`trace`]-module primitives ([`TraceContext`], [`request_scope`],
+//! [`adopt`]) attribute work to requests across thread hops, and the
+//! always-on [`flight`]-module recorder keeps a per-thread ring of recent
+//! causally-relevant records that [`flight_dump`] snapshots to JSON when
+//! a failure fires. Both are independent of the profiling scope: spans
+//! and instants in request-relevant categories reach the flight recorder
+//! even while `TFE_PROFILE` collection is off.
+
+mod flight;
+mod trace;
+
+pub use flight::{
+    flight_dump, flight_enabled, flight_snapshot, last_dump, recent_dumps, set_flight_enabled,
+    FlightDump, FlightRecord, FLIGHT_DUMP_WINDOW_MS, FLIGHT_RING_CAPACITY, MAX_RECENT_DUMPS,
+};
+pub use trace::{
+    adopt, adopt_remote, current_context, current_group, request_scope, AdoptScope, RequestScope,
+    TraceContext, TraceGroup,
+};
 
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -50,6 +77,14 @@ pub fn now_ns() -> u64 {
 #[inline]
 pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
+}
+
+/// Whether any event sink is live: a profiling scope, or the always-on
+/// flight recorder. Two relaxed loads; request entry points gate their
+/// context allocation on this.
+#[inline]
+pub fn tracing_active() -> bool {
+    enabled() || flight::flight_enabled()
 }
 
 struct ThreadBuf {
@@ -135,6 +170,9 @@ pub struct Event {
     pub kind: EventKind,
     /// Optional extra context (e.g. the plan-level node label).
     pub detail: Option<String>,
+    /// The `(trace_id, span_id)` of the request context installed on the
+    /// recording thread when the probe fired, if any.
+    pub trace: Option<(u64, u64)>,
 }
 
 /// The timing payload of an [`Event`].
@@ -161,15 +199,41 @@ pub enum EventKind {
         /// Sampled value.
         value: u64,
     },
+    /// A causal-flow phase (chrome-trace `s`/`t`/`f`) linking the hops of
+    /// one request across thread rows.
+    Flow {
+        /// Timestamp, ns since the profiling epoch.
+        ts_ns: u64,
+        /// Start, step or end of the request's arc.
+        phase: FlowPhase,
+        /// The request's trace id (the flow binding key).
+        id: u64,
+    },
 }
 
-/// RAII guard for an open span; records on drop.
+/// Which end of a causal arc a [`EventKind::Flow`] event marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowPhase {
+    /// Request entered the system (`ph: "s"`).
+    Start,
+    /// Request adopted on another thread (`ph: "t"`).
+    Step,
+    /// Request completed (`ph: "f"`).
+    End,
+}
+
+/// RAII guard for an open span; records on drop — into the profiling
+/// scope, the flight recorder, or both, depending on which wanted it when
+/// the span opened.
 pub struct SpanGuard {
     name: String,
     cat: &'static str,
     start_ns: u64,
     bytes: u64,
     detail: Option<String>,
+    trace: Option<(u64, u64)>,
+    to_profiler: bool,
+    to_flight: bool,
 }
 
 impl SpanGuard {
@@ -182,31 +246,73 @@ impl SpanGuard {
     pub fn set_detail(&mut self, detail: String) {
         self.detail = Some(detail);
     }
+
+    /// A profiler-only span with an explicit trace attribution (used by
+    /// [`request_scope`] for the whole-request span, where the context is
+    /// being created rather than read from the thread).
+    pub(crate) fn open_profiler(
+        cat: &'static str,
+        name: String,
+        trace: Option<(u64, u64)>,
+    ) -> SpanGuard {
+        SpanGuard {
+            name,
+            cat,
+            start_ns: now_ns(),
+            bytes: 0,
+            detail: None,
+            trace,
+            to_profiler: true,
+            to_flight: false,
+        }
+    }
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        record(Event {
-            name: std::mem::take(&mut self.name),
-            cat: self.cat,
-            kind: EventKind::Span {
-                start_ns: self.start_ns,
-                dur_ns: now_ns().saturating_sub(self.start_ns),
-                bytes: self.bytes,
-            },
-            detail: self.detail.take(),
-        });
+        let dur_ns = now_ns().saturating_sub(self.start_ns);
+        if self.to_flight {
+            if let Some((trace_id, span_id)) = self.trace {
+                flight::record(
+                    flight::Kind::Span,
+                    &self.name,
+                    TraceContext { trace_id, span_id },
+                    dur_ns,
+                );
+            }
+        }
+        if self.to_profiler {
+            record(Event {
+                name: std::mem::take(&mut self.name),
+                cat: self.cat,
+                kind: EventKind::Span { start_ns: self.start_ns, dur_ns, bytes: self.bytes },
+                detail: self.detail.take(),
+                trace: self.trace,
+            });
+        }
     }
 }
 
-/// Open a span; `None` (at the cost of one relaxed load) when disabled.
-/// The name closure only runs when profiling is on.
+/// Open a span; `None` (at the cost of two relaxed loads) when neither
+/// the profiler nor the flight recorder wants it. The name closure only
+/// runs when some sink is live.
 #[inline]
 pub fn span(cat: &'static str, name: impl FnOnce() -> String) -> Option<SpanGuard> {
-    if !enabled() {
+    let to_profiler = enabled();
+    let to_flight = flight::span_wants(cat);
+    if !to_profiler && !to_flight {
         return None;
     }
-    Some(SpanGuard { name: name(), cat, start_ns: now_ns(), bytes: 0, detail: None })
+    Some(SpanGuard {
+        name: name(),
+        cat,
+        start_ns: now_ns(),
+        bytes: 0,
+        detail: None,
+        trace: trace::current_pair(),
+        to_profiler,
+        to_flight,
+    })
 }
 
 /// Record a span retroactively from a caller-captured start timestamp
@@ -222,19 +328,38 @@ pub fn span_from(cat: &'static str, name: impl FnOnce() -> String, start_ns: u64
         cat,
         kind: EventKind::Span { start_ns, dur_ns, bytes: 0 },
         detail: None,
+        trace: trace::current_pair(),
     });
 }
 
-/// Record an instant marker. The name closure only runs when enabled.
+/// Record an instant marker. The name closure only runs when the
+/// profiler or the flight recorder wants it.
 #[inline]
 pub fn instant(cat: &'static str, name: impl FnOnce() -> String) {
-    if !enabled() {
+    let to_profiler = enabled();
+    let to_flight = flight::span_wants(cat);
+    if !to_profiler && !to_flight {
         return;
     }
-    record(Event { name: name(), cat, kind: EventKind::Instant { ts_ns: now_ns() }, detail: None });
+    let name = name();
+    if to_flight {
+        if let Some(ctx) = trace::current_context() {
+            flight::record(flight::Kind::Instant, &name, ctx, 0);
+        }
+    }
+    if to_profiler {
+        record(Event {
+            name,
+            cat,
+            kind: EventKind::Instant { ts_ns: now_ns() },
+            detail: None,
+            trace: trace::current_pair(),
+        });
+    }
 }
 
-/// Record a counter sample.
+/// Record a counter sample (profiler-only; counters carry no causal
+/// attribution worth ring space).
 #[inline]
 pub fn counter(cat: &'static str, name: &'static str, value: u64) {
     if !enabled() {
@@ -245,6 +370,7 @@ pub fn counter(cat: &'static str, name: &'static str, value: u64) {
         cat,
         kind: EventKind::Counter { ts_ns: now_ns(), value },
         detail: None,
+        trace: None,
     });
 }
 
@@ -257,7 +383,8 @@ pub fn counter(cat: &'static str, name: &'static str, value: u64) {
 pub struct ThreadTrace {
     /// Stable per-thread id (chrome-trace `tid`).
     pub tid: u64,
-    /// Thread name (workers: `tfe-exec-{i}`).
+    /// Raw thread name as spawned (e.g. `tfe-exec-{i}`); the exporter
+    /// maps it to a role-based row name via [`display_thread_name`].
     pub name: String,
     /// Recorded events.
     pub events: Vec<Event>,
@@ -288,10 +415,22 @@ impl Profile {
     /// Render the chrome://tracing JSON object (`{"traceEvents": [...]}`).
     /// Timestamps are microseconds as required by the trace-event format;
     /// span nesting falls out of `ts`/`dur` containment per thread row.
+    /// Thread rows are named for their role ([`display_thread_name`]) and
+    /// grouped front-door → serve → stream → pool → dist via
+    /// `thread_sort_index`; flow events share name `"request"`, category
+    /// `"flow"` and `id = trace_id` so the viewer binds each request's
+    /// `s`/`t`/`f` phases into one arc.
     pub fn chrome_trace(&self) -> tfe_encode::Value {
         use tfe_encode::Value;
         let us = |ns: u64| Value::Float(ns as f64 / 1e3);
         let mut events: Vec<Value> = Vec::new();
+        events.push(Value::object([
+            ("name".to_string(), Value::str("process_name")),
+            ("ph".to_string(), Value::str("M")),
+            ("pid".to_string(), Value::Int(1)),
+            ("tid".to_string(), Value::Int(0)),
+            ("args".to_string(), Value::object([("name".to_string(), Value::str("tf-eager"))])),
+        ]));
         for t in &self.threads {
             events.push(Value::object([
                 ("name".to_string(), Value::str("thread_name")),
@@ -300,7 +439,20 @@ impl Profile {
                 ("tid".to_string(), Value::Int(t.tid as i64)),
                 (
                     "args".to_string(),
-                    Value::object([("name".to_string(), Value::str(t.name.clone()))]),
+                    Value::object([("name".to_string(), Value::str(display_thread_name(&t.name)))]),
+                ),
+            ]));
+            events.push(Value::object([
+                ("name".to_string(), Value::str("thread_sort_index")),
+                ("ph".to_string(), Value::str("M")),
+                ("pid".to_string(), Value::Int(1)),
+                ("tid".to_string(), Value::Int(t.tid as i64)),
+                (
+                    "args".to_string(),
+                    Value::object([(
+                        "sort_index".to_string(),
+                        Value::Int(thread_sort_index(&t.name)),
+                    )]),
                 ),
             ]));
             for e in &t.events {
@@ -313,6 +465,10 @@ impl Profile {
                 let mut args: Vec<(String, Value)> = Vec::new();
                 if let Some(d) = &e.detail {
                     args.push(("detail".to_string(), Value::str(d.clone())));
+                }
+                if let Some((trace_id, span_id)) = e.trace {
+                    args.push(("trace_id".to_string(), Value::Int(trace_id as i64)));
+                    args.push(("span_id".to_string(), Value::Int(span_id as i64)));
                 }
                 match e.kind {
                     EventKind::Span { start_ns, dur_ns, bytes } => {
@@ -332,6 +488,21 @@ impl Profile {
                         fields.push(("ph".to_string(), Value::str("C")));
                         fields.push(("ts".to_string(), us(ts_ns)));
                         args.push(("value".to_string(), Value::Int(value as i64)));
+                    }
+                    EventKind::Flow { ts_ns, phase, id } => {
+                        let ph = match phase {
+                            FlowPhase::Start => "s",
+                            FlowPhase::Step => "t",
+                            FlowPhase::End => "f",
+                        };
+                        fields.push(("ph".to_string(), Value::str(ph)));
+                        fields.push(("ts".to_string(), us(ts_ns)));
+                        fields.push(("id".to_string(), Value::Int(id as i64)));
+                        if matches!(phase, FlowPhase::End) {
+                            // Bind the finish to the enclosing slice so the
+                            // arrow lands where the request actually ended.
+                            fields.push(("bp".to_string(), Value::str("e")));
+                        }
                     }
                 }
                 if !args.is_empty() {
@@ -385,7 +556,7 @@ impl Profile {
                     "abort" => aborts += 1,
                     _ => {}
                 },
-                EventKind::Counter { .. } => {}
+                EventKind::Counter { .. } | EventKind::Flow { .. } => {}
             }
         }
         let ops = by_op
@@ -400,6 +571,175 @@ impl Profile {
             })
             .collect();
         Summary { ops, cache_hits, cache_misses, retraces, aborts }
+    }
+
+    /// Every trace id that appears in the profile, ascending.
+    pub fn trace_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self
+            .threads
+            .iter()
+            .flat_map(|t| &t.events)
+            .filter_map(|e| match (e.trace, e.kind) {
+                (Some((trace_id, _)), _) => Some(trace_id),
+                (None, EventKind::Flow { id, .. }) => Some(id),
+                _ => None,
+            })
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Summarize one request: total latency split into queue, concat,
+    /// dispatch, split and kernel time, plus how many threads and hops it
+    /// crossed. `None` when the profile holds no events for `trace_id`.
+    ///
+    /// Batch-level serve spans are attributed to the batch's primary
+    /// (oldest) member, so coalesced followers report their queue time
+    /// but see the batch's execution phases only via the primary.
+    pub fn trace_report(&self, trace_id: u64) -> Option<TraceReport> {
+        let mut report = TraceReport { trace_id, ..TraceReport::default() };
+        let mut min_ts = u64::MAX;
+        let mut max_end = 0u64;
+        let mut request_span: Option<(u64, u64)> = None;
+        let mut first_work_ts = u64::MAX;
+        let mut threads = std::collections::BTreeSet::new();
+        for t in &self.threads {
+            for e in &t.events {
+                let matches_trace = match (e.trace, e.kind) {
+                    (Some((id, _)), _) => id == trace_id,
+                    (None, EventKind::Flow { id, .. }) => id == trace_id,
+                    _ => false,
+                };
+                if !matches_trace {
+                    continue;
+                }
+                report.events += 1;
+                threads.insert(t.tid);
+                match e.kind {
+                    EventKind::Span { start_ns, dur_ns, .. } => {
+                        min_ts = min_ts.min(start_ns);
+                        max_end = max_end.max(start_ns + dur_ns);
+                        match e.cat {
+                            "request" => request_span = Some((start_ns, dur_ns)),
+                            "kernel" => report.kernel_ns += dur_ns,
+                            "serve" => {
+                                first_work_ts = first_work_ts.min(start_ns);
+                                match e.name.split(':').next().unwrap_or("") {
+                                    "concat" => report.concat_ns += dur_ns,
+                                    "dispatch" => report.dispatch_ns += dur_ns,
+                                    "split" => report.split_ns += dur_ns,
+                                    _ => {}
+                                }
+                            }
+                            _ => first_work_ts = first_work_ts.min(start_ns),
+                        }
+                    }
+                    EventKind::Instant { ts_ns } | EventKind::Counter { ts_ns, .. } => {
+                        min_ts = min_ts.min(ts_ns);
+                        max_end = max_end.max(ts_ns);
+                    }
+                    EventKind::Flow { ts_ns, phase, .. } => {
+                        min_ts = min_ts.min(ts_ns);
+                        max_end = max_end.max(ts_ns);
+                        if phase == FlowPhase::Step {
+                            report.hops += 1;
+                        }
+                    }
+                }
+            }
+        }
+        if report.events == 0 {
+            return None;
+        }
+        report.threads = threads.len();
+        report.total_ns = match request_span {
+            Some((_, dur)) => dur,
+            None => max_end.saturating_sub(min_ts),
+        };
+        let start = request_span.map_or(min_ts, |(s, _)| s);
+        if first_work_ts != u64::MAX {
+            report.queue_ns = first_work_ts.saturating_sub(start);
+        }
+        Some(report)
+    }
+}
+
+/// The timeline row name for a recorded thread: runtime-internal names
+/// are mapped to their role (`tfe-exec-3` → `pool-worker-3`,
+/// `tfe-serve-mnist-v2` → `serve:mnist@v2`); everything else passes
+/// through unchanged.
+pub fn display_thread_name(name: &str) -> String {
+    if let Some(idx) = name.strip_prefix("tfe-exec-") {
+        return format!("pool-worker-{idx}");
+    }
+    if let Some(rest) = name.strip_prefix("tfe-serve-") {
+        if let Some((model, version)) = rest.rsplit_once("-v") {
+            return format!("serve:{model}@v{version}");
+        }
+    }
+    name.to_string()
+}
+
+/// Chrome-trace `thread_sort_index` for a thread name: request order —
+/// front-door threads first, then serve workers, stream threads, pool
+/// workers, dist workers — so a request's arc reads top to bottom.
+pub fn thread_sort_index(name: &str) -> i64 {
+    if name.starts_with("tfe-serve-") {
+        10
+    } else if name.starts_with("tfe-stream-") {
+        20
+    } else if name.starts_with("tfe-exec-") {
+        30
+    } else if name.starts_with("tfe-worker-") {
+        40
+    } else {
+        0
+    }
+}
+
+/// One request's latency decomposition (see [`Profile::trace_report`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceReport {
+    /// The request's trace id.
+    pub trace_id: u64,
+    /// End-to-end latency: the `request` span when present, else the
+    /// envelope of all events carrying this trace id.
+    pub total_ns: u64,
+    /// Time from request start until the first work span (batcher pickup).
+    pub queue_ns: u64,
+    /// Serve-layer batch concat time.
+    pub concat_ns: u64,
+    /// Serve-layer staged-call dispatch time.
+    pub dispatch_ns: u64,
+    /// Serve-layer fan-out split time.
+    pub split_ns: u64,
+    /// Summed kernel span time attributed to this trace.
+    pub kernel_ns: u64,
+    /// Events recorded for this trace.
+    pub events: usize,
+    /// Distinct thread rows the trace touched.
+    pub threads: usize,
+    /// Cross-thread adoptions (flow steps).
+    pub hops: usize,
+}
+
+impl std::fmt::Display for TraceReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "trace {}: total {:.3} ms (queue {:.3} / concat {:.3} / dispatch {:.3} / split {:.3} / kernel {:.3}), {} events on {} threads, {} hops",
+            self.trace_id,
+            self.total_ns as f64 / 1e6,
+            self.queue_ns as f64 / 1e6,
+            self.concat_ns as f64 / 1e6,
+            self.dispatch_ns as f64 / 1e6,
+            self.split_ns as f64 / 1e6,
+            self.kernel_ns as f64 / 1e6,
+            self.events,
+            self.threads,
+            self.hops,
+        )
     }
 }
 
@@ -511,15 +851,21 @@ impl std::fmt::Display for Summary {
     }
 }
 
+// The collector and the flight recorder are process-wide, so every test
+// that flips the enabled flags (here or in the trace/flight submodules)
+// runs under this lock to avoid cross-test interference.
+#[cfg(test)]
+pub(crate) fn test_scope_lock() -> &'static Mutex<()> {
+    static L: std::sync::OnceLock<Mutex<()>> = std::sync::OnceLock::new();
+    L.get_or_init(|| Mutex::new(()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    // The collector is process-wide, so every test that flips the enabled
-    // flag runs under this lock to avoid cross-test interference.
     fn scope_lock() -> &'static Mutex<()> {
-        static L: std::sync::OnceLock<Mutex<()>> = std::sync::OnceLock::new();
-        L.get_or_init(|| Mutex::new(()))
+        test_scope_lock()
     }
 
     #[test]

@@ -887,6 +887,12 @@ fn execute_eager(op: &str, inputs: &[Tensor], attrs: Attrs) -> Result<Vec<Tensor
     )
     .inc();
 
+    // A top-level eager op is a request entry point: when no ambient
+    // request exists (a serve batch, `Func` call or RPC would have
+    // installed one), open a lightweight root so the op's spans — and
+    // any async stream / pool work it fans out — share one trace id.
+    let _root = tfe_profile::request_scope("eager", || format!("eager:{op}"));
+
     // Eager-dispatch span: covers validation + inference + the kernel (or,
     // in async mode, just the enqueue), so the timeline shows dispatch
     // overhead as the gap around the nested `kernel` span (§6's

@@ -49,6 +49,10 @@ pub(crate) struct PendingValue {
     pub(crate) dtype: DType,
     /// Concrete shape, inferred synchronously at enqueue.
     pub(crate) shape: Shape,
+    /// Request context of the enqueuing thread, captured at enqueue time
+    /// so a pending handle stays attributable to its request (visible in
+    /// `Debug` output and post-mortem dumps).
+    trace: Option<tfe_profile::TraceContext>,
     slot: AsyncSlot<Arc<TensorData>, SlotError>,
     stream: Arc<DeviceStream>,
 }
@@ -84,7 +88,12 @@ impl PendingValue {
 impl std::fmt::Debug for PendingValue {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self.slot.try_get() {
-            None => write!(f, "<pending {}{}>", self.dtype, self.shape),
+            None => match self.trace {
+                Some(t) => {
+                    write!(f, "<pending {}{} trace={}>", self.dtype, self.shape, t.trace_id)
+                }
+                None => write!(f, "<pending {}{}>", self.dtype, self.shape),
+            },
             Some(Ok(d)) => write!(f, "{d:?}"),
             Some(Err((_, e))) => write!(f, "<failed: {e}>"),
         }
@@ -122,6 +131,10 @@ struct StreamOp {
     op: String,
     job: StreamJob,
     outputs: Vec<Arc<PendingValue>>,
+    /// Trace group of the enqueuing thread; the dispatch thread adopts it
+    /// while the op runs so kernels and downstream pool jobs stay
+    /// attributed to the originating request(s).
+    group: Option<tfe_profile::TraceGroup>,
 }
 
 struct Poison {
@@ -175,7 +188,13 @@ impl DeviceStream {
 
     /// Create a pending output handle bound to this stream.
     pub(crate) fn pending_value(self: &Arc<Self>, dtype: DType, shape: Shape) -> Arc<PendingValue> {
-        Arc::new(PendingValue { dtype, shape, slot: AsyncSlot::new(), stream: self.clone() })
+        Arc::new(PendingValue {
+            dtype,
+            shape,
+            trace: tfe_profile::current_context(),
+            slot: AsyncSlot::new(),
+            stream: self.clone(),
+        })
     }
 
     /// Append an op to the stream. Fails fast — without enqueueing — when
@@ -198,7 +217,13 @@ impl DeviceStream {
             }
             s.issued += 1;
             let seq = s.issued;
-            s.queue.push_back(StreamOp { seq, op: op.to_string(), job, outputs });
+            s.queue.push_back(StreamOp {
+                seq,
+                op: op.to_string(),
+                job,
+                outputs,
+                group: tfe_profile::current_group(),
+            });
             if !s.running {
                 s.running = true;
                 let stream = self.clone();
@@ -316,6 +341,10 @@ fn dispatch_loop(stream: Arc<DeviceStream>) {
                 stream.cv.wait(&mut s);
             }
         };
+        // Adopt the enqueuing request's context for the whole op — the
+        // kernel span, any pool jobs it spawns, and the poison marker all
+        // land on the originating trace.
+        let _trace = tfe_profile::adopt(op.group.as_ref(), "stream");
         let result: Result<Vec<Arc<TensorData>>, SlotError> = match skip {
             // Poisoned: fail without running, attributed to the original op.
             Some((origin, err)) => Err((origin, err)),
@@ -356,7 +385,7 @@ fn dispatch_loop(stream: Arc<DeviceStream>) {
                 }
             }
             Err((origin, err)) => {
-                {
+                let newly_poisoned = {
                     let mut s = stream.shared.lock();
                     // First error wins; a skip propagating the existing
                     // poison never overwrites it (same origin anyway).
@@ -368,7 +397,18 @@ fn dispatch_loop(stream: Arc<DeviceStream>) {
                         )
                         .inc();
                         tfe_profile::instant("stream", || format!("poison:{}:{err}", op.op));
+                        true
+                    } else {
+                        false
                     }
+                };
+                if newly_poisoned {
+                    // Post-mortem: the deferred error will only surface at
+                    // some later sync point, so capture the causal history
+                    // now, while it is still in the flight rings.
+                    let trace_id =
+                        op.group.as_ref().map(|g| g.primary().trace_id).unwrap_or_default();
+                    tfe_profile::flight_dump("deferred_error", &op.op, trace_id);
                 }
                 for pv in &op.outputs {
                     pv.slot.fail((origin, err.clone()));

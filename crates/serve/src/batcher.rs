@@ -131,6 +131,10 @@ struct Pending {
     rows: usize,
     enqueued: Instant,
     slot: Arc<Slot>,
+    /// The caller's request context: the worker adopts the whole batch's
+    /// contexts during fan-in/dispatch/fan-out so every member's causal
+    /// arc follows the batch across threads.
+    trace: Option<tfe_profile::TraceContext>,
 }
 
 /// Rendezvous between a waiting caller and the batcher worker.
@@ -200,12 +204,19 @@ impl Model {
         // the worker down) instead of a strong worker ref keeping a parked
         // thread and the model alive forever.
         let weak = Arc::downgrade(&model);
+        // The executor mode is thread-local; a fresh worker thread would
+        // silently fall back to the serial default regardless of how the
+        // deployment configured execution. Inherit the registrar's mode.
+        let exec_mode = context::exec_mode();
         let handle = std::thread::Builder::new()
             .name(format!("tfe-serve-{name}-v{version}"))
-            .spawn(move || loop {
-                let Some(model) = weak.upgrade() else { return };
-                if !model.worker_turn() {
-                    return;
+            .spawn(move || {
+                context::set_exec_mode(exec_mode);
+                loop {
+                    let Some(model) = weak.upgrade() else { return };
+                    if !model.worker_turn() {
+                        return;
+                    }
                 }
             })
             .expect("spawn batcher worker");
@@ -231,6 +242,14 @@ impl Model {
     /// Validate and enqueue one request, then park until its batch resolves.
     pub(crate) fn infer(&self, inputs: &[&Tensor]) -> Result<Vec<Tensor>, ServeError> {
         self.metrics.requests.inc();
+        // Request root: one trace id for the whole front-door lifetime —
+        // enqueue, the parked wait, and the latency accounting. The worker
+        // picks the context up from the queue slot, so the batch's spans on
+        // other threads link back here.
+        let root = tfe_profile::request_scope("serve", || {
+            format!("request:{}@v{}", self.name, self.version)
+        });
+        let trace = root.as_ref().map(|r| r.context());
         self.validate(inputs).inspect_err(|_| self.metrics.errors.inc())?;
         let rows = inputs[0].shape().map(|s| s.dim(0)).unwrap_or(0);
         let slot = Arc::new(Slot { result: Mutex::new(None), cv: Condvar::new() });
@@ -247,6 +266,7 @@ impl Model {
                 rows,
                 enqueued,
                 slot: Arc::clone(&slot),
+                trace,
             });
             self.metrics.queue_depth.set(q.pending.len() as i64);
         }
@@ -256,6 +276,11 @@ impl Model {
         self.metrics.request_latency_ns.observe(latency.as_nanos() as u64);
         if latency > self.policy.budget {
             self.metrics.budget_breaches.inc();
+            tfe_profile::flight_dump(
+                "budget_breach",
+                &format!("{}@v{}", self.name, self.version),
+                trace.map(|t| t.trace_id).unwrap_or_default(),
+            );
         }
         if result.is_err() {
             self.metrics.errors.inc();
@@ -397,6 +422,12 @@ impl Model {
         let total_rows: usize = members.iter().map(|p| p.rows).sum();
         self.metrics.batches.inc();
         self.metrics.batch_rows.observe(total_rows as u64);
+        // Fan-in of the causal arcs: adopt every member's context for the
+        // whole batch (one flow step per member lands on this worker row),
+        // so concat/dispatch/split and the stream/pool work they fan out
+        // stay linked to each coalesced request.
+        let group = tfe_profile::TraceGroup::of(members.iter().filter_map(|p| p.trace).collect());
+        let _trace = tfe_profile::adopt(group.as_ref(), "batcher");
         let _span = tfe_profile::span("serve", || {
             format!("batch:{}@v{}:{}x{}rows", self.name, self.version, members.len(), total_rows)
         });
@@ -430,6 +461,14 @@ impl Model {
             }
             Ok(Err(e)) => {
                 let op = fault_op(&e, &self.servable.label());
+                // Post-mortem before fan-out: the batch is poisoned, dump
+                // the recent causal history naming the failing op and the
+                // primary (oldest) member's trace id.
+                tfe_profile::flight_dump(
+                    "batch_poisoned",
+                    &op,
+                    group.as_ref().map(|g| g.primary().trace_id).unwrap_or_default(),
+                );
                 for p in &members {
                     p.slot.deliver(Err(ServeError::Batch { op: op.clone(), source: e.clone() }));
                 }
@@ -440,6 +479,11 @@ impl Model {
                     .map(|s| (*s).to_string())
                     .or_else(|| payload.downcast_ref::<String>().cloned())
                     .unwrap_or_else(|| "non-string panic payload".to_string());
+                tfe_profile::flight_dump(
+                    "batch_panic",
+                    &self.servable.label(),
+                    group.as_ref().map(|g| g.primary().trace_id).unwrap_or_default(),
+                );
                 for p in &members {
                     p.slot.deliver(Err(ServeError::Panic {
                         model: self.name.clone(),

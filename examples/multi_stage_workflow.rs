@@ -3,6 +3,9 @@
 //! the time goes, **stage** the hot block.
 //!
 //! Run with `cargo run --release --example multi_stage_workflow`.
+//! Set `TFE_PROFILE=/tmp/workflow.json` to export a chrome trace of the
+//! whole workflow (eager dispatch, trace-cache activity, staged calls)
+//! with per-request causal flows.
 
 use std::sync::Arc;
 use tf_eager::device::{DispatchModel, KernelMode, SimStats};
@@ -15,6 +18,12 @@ use tfe_runtime::context::{self, SimConfig};
 fn main() -> Result<(), RuntimeError> {
     tf_eager::init();
     tf_eager::context::set_random_seed(42);
+
+    // Opt-in profiling: TFE_PROFILE names the chrome-trace output path.
+    let trace_path = tf_eager::profile::env_trace_path();
+    if trace_path.is_some() {
+        tf_eager::profile::start();
+    }
 
     // Step 1 — IMPLEMENT: a single-stage imperative program. Develop,
     // debug, test: every intermediate value is inspectable.
@@ -122,6 +131,14 @@ fn main() -> Result<(), RuntimeError> {
     );
     if stats.retraces > 0 {
         println!("{}", staged.retrace_report());
+    }
+
+    if let Some(path) = &trace_path {
+        let profile = tf_eager::profile::stop();
+        profile
+            .write_chrome_trace(path)
+            .map_err(|e| RuntimeError::Internal(format!("write chrome trace: {e}")))?;
+        println!("chrome trace written to {path} (load it in chrome://tracing or Perfetto)");
     }
     Ok(())
 }

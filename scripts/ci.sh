@@ -105,4 +105,14 @@ cargo run --release -q -p tfe-bench --bin profiler_smoke > /dev/null
 echo "==> metrics smoke (probe overhead + exposition validation)"
 cargo run --release -q -p tfe-bench --bin metrics_smoke > /dev/null
 
+# Causal-tracing gate: asserts the flight recorder's disabled path costs
+# < 5 ns per probe site, runs a batched serve workload (async dispatch,
+# parallel executor) under profiling and checks every request's flow
+# events form one connected s -> t* -> f chain across >= 3 thread rows
+# (>= 4 on at least one: front door, batcher, stream, pool), that thread
+# rows carry role names, and that a poisoned batch leaves a flight dump
+# naming the failing op with the request's trace id.
+echo "==> trace smoke (flight overhead + causal chain validation)"
+cargo run --release -q -p tfe-bench --bin trace_smoke > /dev/null
+
 echo "CI gate passed."

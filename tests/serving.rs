@@ -469,3 +469,134 @@ fn staged_stress_keeps_retrace_log_bounded() {
     let report = f.retrace_report();
     assert!(report.contains("older retraces dropped"), "report must surface the drop count");
 }
+
+// ---------------------------------------------------------------------------
+// Queue-depth gauge balance
+// ---------------------------------------------------------------------------
+
+/// Read the `tfe_serve_queue_depth` gauge series for one `model@vN` label
+/// (the registry keys every serve metric by that label; the snapshot has
+/// no labeled-gauge accessor, so search the family's samples).
+fn queue_depth(label: &str) -> i64 {
+    tf_eager::metrics::snapshot()
+        .family("tfe_serve_queue_depth")
+        .and_then(|fam| {
+            fam.samples.iter().find(|s| s.label.as_ref().is_some_and(|(_, v)| v == label)).map(
+                |s| match &s.value {
+                    tf_eager::metrics::SampleValue::Gauge(v) => *v,
+                    other => panic!("queue depth must be a gauge, got {other:?}"),
+                },
+            )
+        })
+        .unwrap_or_else(|| panic!("no tfe_serve_queue_depth series for {label}"))
+}
+
+/// The queue-depth gauge must return to zero on *every* exit path, not
+/// just the happy one: a panicking servable (batch fan-out after
+/// `catch_unwind`), a wrong-arity member rejected with a typed error, a
+/// request that blows its latency budget, and a shutdown that drains
+/// still-queued requests. A stuck non-zero reading here means an exit
+/// path dropped its accounting and dashboards would report phantom
+/// backlog forever.
+#[test]
+fn queue_depth_gauge_returns_to_zero_on_every_exit_path() {
+    // 1. Panicked batch: every member fails typed, queue must drain.
+    let f = function1("gauge_panics_src", |_x: &Tensor| -> Result<Tensor, RuntimeError> {
+        panic!("deliberate gauge-test panic")
+    });
+    let registry = ModelRegistry::new();
+    registry.register_with("gauge_panics", 1, f, policy(4, Dispatch::Sync)).unwrap();
+    for i in 0..4 {
+        let x = example(i, 1);
+        assert!(matches!(registry.infer("gauge_panics", &[&x]), Err(ServeError::Panic { .. })));
+    }
+    assert_eq!(queue_depth("gauge_panics@v1"), 0, "panic fan-out leaked queue depth");
+    registry.unregister("gauge_panics");
+
+    // 2. Arity reject: a 1-arg request against a 2-arg staged servable
+    // ships as its own batch and fails typed inside the worker.
+    let two = function("gauge_arity_src", |args| {
+        let a = args
+            .first()
+            .and_then(Arg::as_tensor)
+            .ok_or_else(|| RuntimeError::Internal("missing arg 0".to_string()))?;
+        let b = args
+            .get(1)
+            .and_then(Arg::as_tensor)
+            .ok_or_else(|| RuntimeError::Internal("missing arg 1".to_string()))?;
+        Ok(vec![api::add(a, b)?])
+    });
+    registry.register_with("gauge_arity", 1, two, policy(4, Dispatch::Sync)).unwrap();
+    let a = example(0, 1);
+    assert!(registry.infer("gauge_arity", &[&a]).is_err(), "wrong arity must fail");
+    let b = example(1, 1);
+    registry.infer("gauge_arity", &[&a, &b]).expect("matching arity still serves");
+    assert_eq!(queue_depth("gauge_arity@v1"), 0, "arity reject leaked queue depth");
+    registry.unregister("gauge_arity");
+
+    // 3. Budget breach: a zero budget makes every request a breach; the
+    // request still succeeds and the gauge still drains.
+    let f = mlp("gauge_budget_src", 1.0);
+    registry
+        .register_with(
+            "gauge_budget",
+            1,
+            f,
+            BatchPolicy {
+                max_batch: 4,
+                budget: Duration::from_nanos(1),
+                ewma_alpha: 0.25,
+                dispatch: Dispatch::Sync,
+            },
+        )
+        .unwrap();
+    let x = example(2, 1);
+    registry.infer("gauge_budget", &[&x]).expect("breached request still answers");
+    let snap = tf_eager::metrics::snapshot();
+    let breaches = snap.counter_with("tfe_serve_budget_breaches_total", "gauge_budget@v1");
+    assert!(breaches.unwrap_or(0) > 0, "zero budget must register a breach");
+    assert_eq!(queue_depth("gauge_budget@v1"), 0, "budget breach leaked queue depth");
+    registry.unregister("gauge_budget");
+
+    // 4. Shutdown drain: a slow servable (fresh shape per request ->
+    // retrace -> the traced closure's sleep runs every call) keeps
+    // requests queued while unregister fires; drained members observe
+    // `Shutdown`, later arrivals are rejected at the front door, and the
+    // gauge is pinned back to zero either way.
+    let slow = function1("gauge_slow_src", |x: &Tensor| {
+        std::thread::sleep(Duration::from_millis(15));
+        api::relu(x)
+    });
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register_with("gauge_slow", 1, slow, policy(1, Dispatch::Sync)).unwrap();
+    let barrier = Arc::new(Barrier::new(7));
+    let clients: Vec<_> = (0..6)
+        .map(|i| {
+            let registry = Arc::clone(&registry);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                // Distinct row count per request: forces a retrace (and
+                // its sleep) for each, so the queue stays occupied.
+                let x = example(i, i + 1);
+                registry.infer("gauge_slow", &[&x])
+            })
+        })
+        .collect();
+    barrier.wait();
+    std::thread::sleep(Duration::from_millis(20));
+    assert!(registry.unregister("gauge_slow"), "model must be registered");
+    let mut shutdown_errors = 0;
+    for c in clients {
+        match c.join().unwrap() {
+            Ok(out) => assert_eq!(out.len(), 1),
+            Err(ServeError::Shutdown { model }) => {
+                assert_eq!(model, "gauge_slow");
+                shutdown_errors += 1;
+            }
+            Err(other) => panic!("expected success or Shutdown, got {other:?}"),
+        }
+    }
+    assert!(shutdown_errors > 0, "shutdown raced past every request; tighten the timing");
+    assert_eq!(queue_depth("gauge_slow@v1"), 0, "shutdown drain leaked queue depth");
+}
