@@ -660,6 +660,125 @@ fn bench_serving(quick: bool) -> tfe_encode::Value {
     ])
 }
 
+/// Data-parallel training step cost: the same seeded MLP + staged gradient
+/// function driven three ways — single-process (the local bit-reference),
+/// a 2-worker TCP cluster with parameter-server reduction, and a 2-worker
+/// TCP ring all-reduce. Bytes moved per step come from the `tfe_dist_*`
+/// byte counters (coordinator-side, both directions). No speedup is
+/// asserted: on a small model the wire dominates, and on a 1-core runner
+/// the workers time-slice — the row documents the cost of distribution,
+/// not a win.
+fn bench_dist_train(quick: bool) -> tfe_encode::Value {
+    use std::sync::Arc;
+    use tfe_dist::{Cluster, ClusterSpec};
+    use tfe_nn::optimizer::Sgd;
+    use tfe_nn::{mlp, mse_grad_fn, Activation, DataParallel, Initializer, Layer, Reduction};
+    use tfe_runtime::{api, Tensor};
+    use tfe_tensor::{DType, Shape};
+
+    let steps = if quick { 3 } else { 10 };
+    let setup = |tag: &str| -> (Vec<tfe_runtime::Variable>, String) {
+        let mut init = Initializer::seeded(42);
+        let model = Arc::new(mlp(16, &[32], 1, Activation::Tanh, &mut init));
+        let vars = model.variables();
+        let f = mse_grad_fn(&format!("bench_dp_grad_{tag}"), model, vars.clone());
+        let conc = f
+            .concrete_for(&[
+                tfe_core::Arg::from(&api::zeros(DType::F32, [16, 16])),
+                tfe_core::Arg::from(&api::zeros(DType::F32, [16, 1])),
+            ])
+            .expect("trace grad fn");
+        (vars, conc.function.name.clone())
+    };
+    let batch = |seed: u64| -> (Tensor, Tensor) {
+        let mut rng = tfe_tensor::rng::TensorRng::seed_from_u64(seed);
+        let x =
+            Tensor::from_data(rng.uniform(DType::F32, Shape::from([32, 16]), -1.0, 1.0).unwrap());
+        let y =
+            Tensor::from_data(rng.uniform(DType::F32, Shape::from([32, 1]), -1.0, 1.0).unwrap());
+        (x, y)
+    };
+    let dist_bytes = || -> u64 {
+        let snap = tfe_metrics::snapshot();
+        ["tfe_dist_bytes_sent_total", "tfe_dist_bytes_received_total"]
+            .iter()
+            .filter_map(|name| snap.family(name))
+            .flat_map(|fam| &fam.samples)
+            .map(|s| match s.value {
+                tfe_metrics::SampleValue::Counter(v) => v,
+                _ => 0,
+            })
+            .sum()
+    };
+
+    let spec =
+        ClusterSpec::new().with_job("train", 2).expect("job").with_job("ps", 1).expect("job");
+    let workers = vec![
+        "/job:train/task:0/device:CPU:0".to_string(),
+        "/job:train/task:1/device:CPU:0".to_string(),
+    ];
+    let trainer = |tag: &str, reduction: Reduction| -> DataParallel {
+        let (vars, name) = setup(tag);
+        DataParallel::new(
+            Cluster::start_tcp(&spec).expect("TCP cluster"),
+            workers.clone(),
+            reduction,
+            &name,
+            vars,
+            Arc::new(Sgd::new(0.05)),
+        )
+        .expect("trainer")
+    };
+    let ps = Reduction::ParameterServer { ps_device: "/job:ps/task:0/device:CPU:0".to_string() };
+
+    // Wall clock + byte-counter delta over `steps` training steps.
+    let run = |dp: &DataParallel, local: bool| -> (f64, f64) {
+        let (x, y) = batch(7);
+        if local {
+            dp.local_step(&x, &y).expect("warm step");
+        } else {
+            dp.step(&x, &y).expect("warm step");
+        }
+        let bytes_before = dist_bytes();
+        let t = Instant::now();
+        for step in 0..steps {
+            let (x, y) = batch(100 + step as u64);
+            if local {
+                dp.local_step(&x, &y).expect("bench step");
+            } else {
+                dp.step(&x, &y).expect("bench step");
+            }
+        }
+        let ns = t.elapsed().as_nanos() as f64 / steps as f64;
+        let bytes = (dist_bytes() - bytes_before) as f64 / steps as f64;
+        (ns, bytes)
+    };
+
+    let local_dp = trainer("local", ps.clone());
+    let (local_ns, _) = run(&local_dp, true);
+    let ps_dp = trainer("ps", ps);
+    let (ps_ns, ps_bytes) = run(&ps_dp, false);
+    let ring_dp = trainer("ring", Reduction::Ring);
+    let (ring_ns, ring_bytes) = run(&ring_dp, false);
+
+    println!(
+        "{:<26} {:>14.0} {:>14.0} {:>14.0} {:>8} {:>8}   32x16 f32 MLP step \
+         (local / 2-worker ps / 2-worker ring), {:.0} / {:.0} B per step",
+        "dist_train", local_ns, ps_ns, ring_ns, "-", "-", ps_bytes, ring_bytes
+    );
+
+    tfe_encode::Value::object(vec![
+        ("steps".to_string(), tfe_encode::Value::Int(steps as i64)),
+        ("shape".to_string(), tfe_encode::Value::str("32x16 f32 batch, 16-32-1 MLP, sgd")),
+        ("local_ns_per_step".to_string(), tfe_encode::Value::Float(local_ns)),
+        ("ps_tcp_ns_per_step".to_string(), tfe_encode::Value::Float(ps_ns)),
+        ("ring_tcp_ns_per_step".to_string(), tfe_encode::Value::Float(ring_ns)),
+        ("ps_wire_bytes_per_step".to_string(), tfe_encode::Value::Float(ps_bytes)),
+        ("ring_wire_bytes_per_step".to_string(), tfe_encode::Value::Float(ring_bytes)),
+        ("workers".to_string(), tfe_encode::Value::Int(2)),
+    ])
+}
+
 /// Best-of-`reps` mean ns/op over `iters` iterations each.
 fn time_ns(iters: usize, reps: usize, f: &dyn Fn()) -> f64 {
     f(); // warm caches / allocator outside the timed region
@@ -725,6 +844,7 @@ fn main() {
     let async_row = bench_async_dispatch(iters.min(4), reps);
     let pass_row = bench_pass_pipeline(iters * 20, reps);
     let serving_row = bench_serving(quick);
+    let dist_row = bench_dist_train(quick);
 
     let mut fields = vec![
         ("experiment".to_string(), tfe_encode::Value::str("kernels")),
@@ -732,6 +852,7 @@ fn main() {
         ("async_dispatch".to_string(), async_row),
         ("pass_pipeline".to_string(), pass_row),
         ("serving".to_string(), serving_row),
+        ("dist_train".to_string(), dist_row),
         ("threads".to_string(), tfe_encode::Value::Int(threads as i64)),
         ("quick".to_string(), tfe_encode::Value::Bool(quick)),
         ("rows".to_string(), tfe_encode::Value::Array(rows)),

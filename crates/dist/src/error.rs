@@ -1,0 +1,101 @@
+//! Typed distribution errors. Every RPC path resolves to one of these
+//! within its deadline — never a hang.
+
+use crate::wire::WireError;
+use std::time::Duration;
+use tfe_runtime::RuntimeError;
+
+/// A distribution-layer failure.
+#[derive(Debug)]
+pub enum DistError {
+    /// The per-call deadline expired before a response arrived (including
+    /// any retries the policy allowed).
+    Timeout {
+        /// `job/task` label of the worker.
+        worker: String,
+        /// The request that timed out (e.g. `execute:add`).
+        op: String,
+        /// The deadline that was enforced.
+        after: Duration,
+    },
+    /// The transport failed: connect refused after bounded retries, or the
+    /// peer hung up mid-exchange (worker death).
+    ConnectionLost {
+        /// `job/task` label of the worker.
+        worker: String,
+        /// The request in flight.
+        op: String,
+        /// Underlying transport detail.
+        detail: String,
+    },
+    /// The worker received and executed the request but reported a
+    /// failure (kernel error, unknown function, missing resident tensor).
+    RemoteFault {
+        /// `job/task` label of the worker.
+        worker: String,
+        /// The worker's error description.
+        detail: String,
+    },
+    /// A frame failed to encode/decode.
+    Wire(WireError),
+    /// `ClusterSpec::with_job` was given a job name it already holds.
+    DuplicateJob(String),
+    /// A job with zero tasks is not a job.
+    EmptyJob(String),
+    /// No worker in the cluster matches the device name.
+    NoSuchWorker(String),
+    /// The device string did not parse or names a non-CPU device.
+    BadDevice(String),
+    /// A coordinator-side runtime failure (serializing args, local math).
+    Runtime(Box<RuntimeError>),
+    /// Invalid collective/sharding configuration (mismatched shard counts,
+    /// batch not divisible by worker count, ...).
+    Spec(String),
+}
+
+impl std::fmt::Display for DistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistError::Timeout { worker, op, after } => {
+                write!(f, "rpc `{op}` to worker {worker} timed out after {after:?}")
+            }
+            DistError::ConnectionLost { worker, op, detail } => {
+                write!(f, "connection to worker {worker} lost during `{op}`: {detail}")
+            }
+            DistError::RemoteFault { worker, detail } => {
+                write!(f, "worker {worker} reported: {detail}")
+            }
+            DistError::Wire(e) => write!(f, "wire error: {e}"),
+            DistError::DuplicateJob(job) => write!(f, "duplicate job `{job}` in cluster spec"),
+            DistError::EmptyJob(job) => write!(f, "job `{job}` declares zero tasks"),
+            DistError::NoSuchWorker(dev) => write!(f, "no worker serves device `{dev}`"),
+            DistError::BadDevice(msg) => write!(f, "bad device name: {msg}"),
+            DistError::Runtime(e) => write!(f, "{e}"),
+            DistError::Spec(msg) => write!(f, "invalid distribution spec: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+impl From<WireError> for DistError {
+    fn from(e: WireError) -> DistError {
+        DistError::Wire(e)
+    }
+}
+
+impl From<RuntimeError> for DistError {
+    fn from(e: RuntimeError) -> DistError {
+        DistError::Runtime(Box::new(e))
+    }
+}
+
+impl From<DistError> for RuntimeError {
+    fn from(e: DistError) -> RuntimeError {
+        match e {
+            DistError::Runtime(inner) => *inner,
+            DistError::BadDevice(msg) | DistError::NoSuchWorker(msg) => RuntimeError::Device(msg),
+            other => RuntimeError::Internal(format!("dist: {other}")),
+        }
+    }
+}

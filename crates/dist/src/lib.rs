@@ -7,516 +7,64 @@
 //! remote device *stay* on that device, and the coordinator can either run
 //! more operations on them or fetch them.
 //!
+//! ## Layering (DESIGN.md §17)
+//!
+//! ```text
+//! collective  ring / parameter-server gradient means + bit references
+//! cluster     ClusterSpec, Cluster, RemoteTensor, arg relay
+//! rpc         request/response, deadlines, bounded retries, typed errors
+//! transport   Transport trait: in-process channels | real TCP sockets
+//! wire        length-prefixed frames over the tfe-encode JSON format
+//! ```
+//!
+//! Both transports run the same protocol bytes end to end — the in-process
+//! path encodes/decodes every frame exactly like the TCP path and serves
+//! as its bitwise differential reference (`tests/dist_differential.rs`).
+//!
 //! ## Substitution (DESIGN.md §3)
 //!
 //! The paper's workers are gRPC servers on remote hosts. Here each worker
-//! is an in-process thread connected by crossbeam channels, and every
-//! tensor that crosses the coordinator↔worker boundary is serialized
-//! through the same JSON wire format the on-disk artifacts use — the
-//! mechanism (name resolution, remote-resident tensors, explicit fetch,
-//! whole-graph-function dispatch to a worker) is preserved; only the byte
-//! transport differs. Graph functions are resolved by *name* against the
-//! shared in-process function library, standing in for shipping the
-//! serialized function to the worker once.
+//! is a thread in this process — behind a channel, or behind a real
+//! localhost `TcpListener` with length-prefixed frames — and every tensor
+//! crossing the coordinator↔worker boundary is serialized through the same
+//! JSON format the on-disk artifacts use. The mechanism (name resolution,
+//! remote-resident tensors, explicit fetch, whole-graph-function dispatch,
+//! deadline-bounded RPCs with typed failures) is preserved; only the
+//! process boundary differs. Graph functions are resolved by *name*
+//! against the shared in-process function library, standing in for
+//! shipping the serialized function to the worker once.
 
 #![warn(missing_docs)]
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
-use std::thread::JoinHandle;
-use tfe_device::{DeviceName, DeviceType};
-use tfe_encode::Value;
-use tfe_graph::serial::{tensor_from_value, tensor_to_value};
-use tfe_ops::Attrs;
-use tfe_runtime::{context, ExecMode, RuntimeError, Tensor};
-use tfe_tensor::TensorData;
+pub mod cluster;
+pub mod collective;
+pub mod error;
+pub mod rpc;
+pub mod transport;
+pub mod wire;
+pub mod worker;
 
-/// Result alias.
-pub type Result<T, E = RuntimeError> = std::result::Result<T, E>;
-
-/// The cluster layout: job name → list of task host labels.
-///
-/// ```
-/// use tfe_dist::ClusterSpec;
-/// let spec = ClusterSpec::new().with_job("training", 3);
-/// assert_eq!(spec.num_tasks("training"), 3);
-/// ```
-#[derive(Debug, Clone, Default)]
-pub struct ClusterSpec {
-    jobs: Vec<(String, usize)>,
-}
-
-impl ClusterSpec {
-    /// An empty spec.
-    pub fn new() -> ClusterSpec {
-        ClusterSpec::default()
-    }
-
-    /// Add a job with `tasks` worker tasks.
-    pub fn with_job(mut self, name: &str, tasks: usize) -> ClusterSpec {
-        self.jobs.push((name.to_string(), tasks));
-        self
-    }
-
-    /// Number of tasks in `job` (0 when absent).
-    pub fn num_tasks(&self, job: &str) -> usize {
-        self.jobs.iter().find(|(n, _)| n == job).map(|(_, t)| *t).unwrap_or(0)
-    }
-
-    /// All (job, task) pairs.
-    pub fn tasks(&self) -> Vec<(String, usize)> {
-        self.jobs
-            .iter()
-            .flat_map(|(name, tasks)| (0..*tasks).map(move |t| (name.clone(), t)))
-            .collect()
-    }
-}
-
-/// An argument to a remote operation: a local value (shipped over the wire)
-/// or a tensor already resident on the target worker.
-#[derive(Debug, Clone)]
-pub enum RemoteArg {
-    /// Serialize and send this local tensor.
-    Local(Tensor),
-    /// Reference a tensor resident on the worker.
-    Remote(RemoteTensor),
-}
-
-impl From<&Tensor> for RemoteArg {
-    fn from(t: &Tensor) -> RemoteArg {
-        RemoteArg::Local(t.clone())
-    }
-}
-
-impl From<&RemoteTensor> for RemoteArg {
-    fn from(t: &RemoteTensor) -> RemoteArg {
-        RemoteArg::Remote(t.clone())
-    }
-}
-
-enum WireArg {
-    Inline(String), // JSON tensor
-    Resident(u64),
-}
-
-enum Request {
-    /// Execute one op; outputs stay resident on the worker.
-    ExecuteOp {
-        op: String,
-        attrs: Attrs,
-        inputs: Vec<WireArg>,
-        /// Caller's `(trace_id, span_id)`, shipped with the frame so the
-        /// worker continues the coordinator's causal arc.
-        trace: Option<(u64, u64)>,
-        resp: Sender<Result<Vec<RemoteMeta>, String>>,
-    },
-    /// Execute a graph function from the shared library.
-    CallFunction {
-        name: String,
-        inputs: Vec<WireArg>,
-        trace: Option<(u64, u64)>,
-        resp: Sender<Result<Vec<RemoteMeta>, String>>,
-    },
-    /// Serialize a resident tensor back to the coordinator.
-    Fetch { id: u64, trace: Option<(u64, u64)>, resp: Sender<Result<String, String>> },
-    /// Drop a resident tensor.
-    Delete { id: u64 },
-    /// Shut the worker down.
-    Shutdown,
-}
-
-#[derive(Debug, Clone)]
-struct RemoteMeta {
-    id: u64,
-    dtype: tfe_tensor::DType,
-    dims: Vec<usize>,
-}
-
-struct WorkerHandle {
-    sender: Sender<Request>,
-    join: Option<JoinHandle<()>>,
-}
-
-fn worker_main(rx: Receiver<Request>) {
-    context::ensure_init();
-    let device = context::device_manager().host_cpu();
-    let mut resident: HashMap<u64, Arc<TensorData>> = HashMap::new();
-    let mut next_id: u64 = 1;
-
-    let decode_inputs = |resident: &HashMap<u64, Arc<TensorData>>,
-                         inputs: Vec<WireArg>|
-     -> Result<Vec<Arc<TensorData>>, String> {
-        inputs
-            .into_iter()
-            .map(|arg| match arg {
-                WireArg::Inline(json) => {
-                    let v = Value::parse(&json).map_err(|e| e.to_string())?;
-                    tensor_from_value(&v).map(Arc::new).map_err(|e| e.to_string())
-                }
-                WireArg::Resident(id) => resident
-                    .get(&id)
-                    .cloned()
-                    .ok_or_else(|| format!("tensor {id} is not resident on this worker")),
-            })
-            .collect()
-    };
-
-    while let Ok(req) = rx.recv() {
-        match req {
-            Request::ExecuteOp { op, attrs, inputs, trace, resp } => {
-                let _trace = tfe_profile::adopt_remote(trace, "rpc");
-                let result = (|| -> Result<Vec<RemoteMeta>, String> {
-                    let data = decode_inputs(&resident, inputs)?;
-                    let out = tfe_runtime::kernels::run_kernel(&op, &attrs, &data)
-                        .map_err(|e| e.to_string())?;
-                    Ok(out
-                        .into_iter()
-                        .map(|t| {
-                            let id = next_id;
-                            next_id += 1;
-                            let meta = RemoteMeta {
-                                id,
-                                dtype: t.dtype(),
-                                dims: t.shape().dims().to_vec(),
-                            };
-                            resident.insert(id, Arc::new(t));
-                            meta
-                        })
-                        .collect())
-                })();
-                let _ = resp.send(result);
-            }
-            Request::CallFunction { name, inputs, trace, resp } => {
-                let _trace = tfe_profile::adopt_remote(trace, "rpc");
-                let result = (|| -> Result<Vec<RemoteMeta>, String> {
-                    let f = context::library()
-                        .get(&name)
-                        .ok_or_else(|| format!("function `{name}` not in library"))?;
-                    let data = decode_inputs(&resident, inputs)?;
-                    let out = tfe_runtime::executor::run_function(
-                        &f,
-                        &data,
-                        &device,
-                        ExecMode::SerialPlanned,
-                    )
-                    .map_err(|e| e.to_string())?;
-                    Ok(out
-                        .into_iter()
-                        .map(|t| {
-                            let id = next_id;
-                            next_id += 1;
-                            let meta = RemoteMeta {
-                                id,
-                                dtype: t.dtype(),
-                                dims: t.shape().dims().to_vec(),
-                            };
-                            resident.insert(id, t);
-                            meta
-                        })
-                        .collect())
-                })();
-                let _ = resp.send(result);
-            }
-            Request::Fetch { id, trace, resp } => {
-                let _trace = tfe_profile::adopt_remote(trace, "rpc");
-                let result = resident
-                    .get(&id)
-                    .map(|t| tensor_to_value(t).to_json())
-                    .ok_or_else(|| format!("tensor {id} is not resident on this worker"));
-                let _ = resp.send(result);
-            }
-            Request::Delete { id } => {
-                resident.remove(&id);
-            }
-            Request::Shutdown => break,
-        }
-    }
-}
-
-struct ClusterInner {
-    workers: Mutex<HashMap<(String, usize), WorkerHandle>>,
-    devices: Vec<DeviceName>,
-}
-
-/// A running cluster: the coordinator's handle to its worker servers.
-pub struct Cluster {
-    inner: Arc<ClusterInner>,
-}
-
-/// A tensor resident on a remote device (§4.5: results "stay on the remote
-/// device" until more ops consume them or the coordinator fetches them).
-pub struct RemoteTensor {
-    /// Where the tensor lives.
-    pub device: DeviceName,
-    /// Worker-local tensor id.
-    pub id: u64,
-    /// Element dtype.
-    pub dtype: tfe_tensor::DType,
-    /// Shape.
-    pub dims: Vec<usize>,
-    cluster: Arc<ClusterInner>,
-    owned: Arc<AtomicU64>, // refcount-ish marker for Drop-based deletion
-}
-
-impl Clone for RemoteTensor {
-    fn clone(&self) -> RemoteTensor {
-        self.owned.fetch_add(1, Ordering::Relaxed);
-        RemoteTensor {
-            device: self.device.clone(),
-            id: self.id,
-            dtype: self.dtype,
-            dims: self.dims.clone(),
-            cluster: self.cluster.clone(),
-            owned: self.owned.clone(),
-        }
-    }
-}
-
-impl Drop for RemoteTensor {
-    fn drop(&mut self) {
-        if self.owned.fetch_sub(1, Ordering::Relaxed) == 1 {
-            // Last handle: free the worker-side buffer.
-            let _ = self.cluster.send(&self.device, Request::Delete { id: self.id });
-        }
-    }
-}
-
-impl std::fmt::Debug for RemoteTensor {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "RemoteTensor(id={}, {:?}{:?} on {})",
-            self.id, self.dtype, self.dims, self.device
-        )
-    }
-}
-
-impl RemoteTensor {
-    /// Copy the value back to the coordinator (§4.5: "copy them to the
-    /// central server, e.g. to use their value in an if statement").
-    ///
-    /// # Errors
-    /// Worker failures.
-    pub fn fetch(&self) -> Result<Tensor> {
-        // An RPC is a request entry point (nested fetches — e.g. the
-        // coordinator relaying cross-worker args — inherit the ambient
-        // request instead).
-        let _root = tfe_profile::request_scope("dist", || format!("rpc:fetch:{}", self.id));
-        let trace = tfe_profile::current_context().map(|c| (c.trace_id, c.span_id));
-        let started = std::time::Instant::now();
-        let (tx, rx) = unbounded();
-        self.cluster.send(&self.device, Request::Fetch { id: self.id, trace, resp: tx })?;
-        let json = rx
-            .recv()
-            .map_err(|_| RuntimeError::Internal("worker hung up".to_string()))?
-            .map_err(RuntimeError::Internal)?;
-        observe_rpc(&self.device, started);
-        let v =
-            Value::parse(&json).map_err(|e| RuntimeError::Internal(format!("wire decode: {e}")))?;
-        let data = tensor_from_value(&v).map_err(|e| RuntimeError::Internal(e.to_string()))?;
-        Ok(Tensor::from_data(data))
-    }
-}
-
-/// Per-worker RPC telemetry: one count plus one round-trip latency sample
-/// per completed request, labeled `job/task` so a slow or chatty worker
-/// stands out in the exported metrics.
-fn observe_rpc(target: &DeviceName, started: std::time::Instant) {
-    let worker = format!("{}/{}", target.job, target.task);
-    tfe_metrics::counter_vec(
-        "tfe_dist_rpcs_total",
-        "Completed coordinator-to-worker RPCs",
-        "worker",
-    )
-    .with(&worker)
-    .inc();
-    tfe_metrics::histogram_vec(
-        "tfe_dist_rpc_ns",
-        "Round-trip nanoseconds for coordinator-to-worker RPCs",
-        "worker",
-        tfe_metrics::DEFAULT_NS_BUCKETS,
-    )
-    .with(&worker)
-    .observe(started.elapsed().as_nanos() as u64);
-}
-
-impl ClusterInner {
-    fn send(&self, device: &DeviceName, req: Request) -> Result<()> {
-        let workers = self.workers.lock();
-        let handle = workers
-            .get(&(device.job.clone(), device.task))
-            .ok_or_else(|| RuntimeError::Device(format!("no worker for {device}")))?;
-        handle
-            .sender
-            .send(req)
-            .map_err(|_| RuntimeError::Internal("worker channel closed".to_string()))
-    }
-}
-
-fn encode_args(args: &[RemoteArg], target: &DeviceName) -> Result<Vec<WireArg>> {
-    args.iter()
-        .map(|a| match a {
-            RemoteArg::Local(t) => {
-                let data = t.value()?;
-                Ok(WireArg::Inline(tensor_to_value(&data).to_json()))
-            }
-            RemoteArg::Remote(r) => {
-                if &r.device != target {
-                    // Cross-worker: fetch then re-ship (the coordinator
-                    // relays, like TF's transparent copies in §4.4).
-                    let t = r.fetch()?;
-                    let data = t.value()?;
-                    Ok(WireArg::Inline(tensor_to_value(&data).to_json()))
-                } else {
-                    Ok(WireArg::Resident(r.id))
-                }
-            }
-        })
-        .collect()
-}
-
-impl Cluster {
-    /// Bring up one worker thread per task in the spec.
-    pub fn start(spec: &ClusterSpec) -> Cluster {
-        context::ensure_init();
-        let mut workers = HashMap::new();
-        let mut devices = Vec::new();
-        for (job, task) in spec.tasks() {
-            let (tx, rx) = unbounded();
-            let join = std::thread::Builder::new()
-                .name(format!("tfe-worker-{job}-{task}"))
-                .spawn(move || worker_main(rx))
-                .expect("spawn worker");
-            workers.insert((job.clone(), task), WorkerHandle { sender: tx, join: Some(join) });
-            devices.push(DeviceName {
-                job: job.clone(),
-                task,
-                device_type: DeviceType::Cpu,
-                index: 0,
-            });
-        }
-        Cluster { inner: Arc::new(ClusterInner { workers: Mutex::new(workers), devices }) }
-    }
-
-    /// All remote devices contributed by the workers (each task adds its
-    /// local CPU to the pool, §4.5).
-    pub fn list_devices(&self) -> Vec<DeviceName> {
-        self.inner.devices.clone()
-    }
-
-    fn run(
-        &self,
-        device: &str,
-        req: impl FnOnce(Sender<Result<Vec<RemoteMeta>, String>>) -> Request,
-        target: &DeviceName,
-    ) -> Result<Vec<RemoteTensor>> {
-        let started = std::time::Instant::now();
-        let (tx, rx) = unbounded();
-        self.inner.send(target, req(tx))?;
-        let metas = rx
-            .recv()
-            .map_err(|_| RuntimeError::Internal("worker hung up".to_string()))?
-            .map_err(RuntimeError::Internal)?;
-        observe_rpc(target, started);
-        let _ = device;
-        Ok(metas
-            .into_iter()
-            .map(|m| RemoteTensor {
-                device: target.clone(),
-                id: m.id,
-                dtype: m.dtype,
-                dims: m.dims,
-                cluster: self.inner.clone(),
-                owned: Arc::new(AtomicU64::new(1)),
-            })
-            .collect())
-    }
-
-    /// Execute one primitive op on the named remote device; outputs stay
-    /// remote.
-    ///
-    /// # Errors
-    /// Unknown devices, wire failures, or kernel errors on the worker.
-    pub fn execute(
-        &self,
-        device: &str,
-        op: &str,
-        args: &[RemoteArg],
-        attrs: Attrs,
-    ) -> Result<Vec<RemoteTensor>> {
-        let _root = tfe_profile::request_scope("dist", || format!("rpc:execute:{op}@{device}"));
-        let trace = tfe_profile::current_context().map(|c| (c.trace_id, c.span_id));
-        let target = DeviceName::parse(device).map_err(RuntimeError::Device)?;
-        let inputs = encode_args(args, &target)?;
-        self.run(
-            device,
-            |resp| Request::ExecuteOp { op: op.to_string(), attrs, inputs, trace, resp },
-            &target,
-        )
-    }
-
-    /// Execute a whole graph function (by library name) on a remote device
-    /// — §4.5: "execute operations or whole graph functions on remote
-    /// devices through the worker servers".
-    ///
-    /// # Errors
-    /// Unknown devices/functions or worker failures.
-    pub fn call_function(
-        &self,
-        device: &str,
-        name: &str,
-        args: &[RemoteArg],
-    ) -> Result<Vec<RemoteTensor>> {
-        let _root = tfe_profile::request_scope("dist", || format!("rpc:call:{name}@{device}"));
-        let trace = tfe_profile::current_context().map(|c| (c.trace_id, c.span_id));
-        let target = DeviceName::parse(device).map_err(RuntimeError::Device)?;
-        let inputs = encode_args(args, &target)?;
-        self.run(
-            device,
-            |resp| Request::CallFunction { name: name.to_string(), inputs, trace, resp },
-            &target,
-        )
-    }
-
-    /// Shut down all workers and join their threads.
-    pub fn shutdown(&self) {
-        let mut workers = self.inner.workers.lock();
-        for handle in workers.values() {
-            let _ = handle.sender.send(Request::Shutdown);
-        }
-        for handle in workers.values_mut() {
-            if let Some(j) = handle.join.take() {
-                let _ = j.join();
-            }
-        }
-    }
-}
-
-impl Drop for Cluster {
-    fn drop(&mut self) {
-        self.shutdown();
-    }
-}
-
-impl std::fmt::Debug for Cluster {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Cluster({} workers)", self.inner.devices.len())
-    }
-}
+pub use cluster::{Cluster, ClusterSpec, RemoteArg, RemoteTensor, Result, TransportKind};
+pub use collective::{
+    ps_all_reduce_mean, ps_reference_mean, ring_all_reduce_mean, ring_reference_mean,
+};
+pub use error::DistError;
+pub use rpc::{RpcClient, RpcOptions};
+pub use transport::{InProcessTransport, TcpTransport, Transport, TransportError};
+pub use wire::{Frame, WireError, MAX_FRAME_LEN};
+pub use worker::WorkerState;
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use tfe_core::{function1, Arg};
+    use tfe_ops::Attrs;
     use tfe_runtime::api;
     use tfe_tensor::DType;
 
     #[test]
     fn cluster_spec_tasks() {
-        let spec = ClusterSpec::new().with_job("training", 2).with_job("ps", 1);
+        let spec = ClusterSpec::new().with_job("training", 2).unwrap().with_job("ps", 1).unwrap();
         assert_eq!(spec.num_tasks("training"), 2);
         assert_eq!(spec.num_tasks("nope"), 0);
         assert_eq!(spec.tasks().len(), 3);
@@ -524,7 +72,7 @@ mod tests {
 
     #[test]
     fn remote_op_and_fetch() {
-        let cluster = Cluster::start(&ClusterSpec::new().with_job("w", 1));
+        let cluster = Cluster::start(&ClusterSpec::new().with_job("w", 1).unwrap());
         assert_eq!(cluster.list_devices().len(), 1);
         let a = api::constant(vec![1.0f32, 2.0], [2]).unwrap();
         let b = api::constant(vec![10.0f32, 20.0], [2]).unwrap();
@@ -545,7 +93,7 @@ mod tests {
 
     #[test]
     fn tensors_stay_remote_between_ops() {
-        let cluster = Cluster::start(&ClusterSpec::new().with_job("w", 1));
+        let cluster = Cluster::start(&ClusterSpec::new().with_job("w", 1).unwrap());
         let dev = "/job:w/task:0/device:CPU:0";
         let a = api::scalar(3.0f64);
         let r1 = cluster.execute(dev, "square", &[RemoteArg::from(&a)], Attrs::new()).unwrap();
@@ -559,7 +107,7 @@ mod tests {
 
     #[test]
     fn remote_graph_function_call() {
-        let cluster = Cluster::start(&ClusterSpec::new().with_job("w", 1));
+        let cluster = Cluster::start(&ClusterSpec::new().with_job("w", 1).unwrap());
         let f = function1("remote_fn", |x| api::relu(&api::neg(x)?));
         let conc = f.concrete_for(&[Arg::from(&api::zeros(DType::F32, [3]))]).unwrap();
         let x = api::constant(vec![1.0f32, -2.0, 3.0], [3]).unwrap();
@@ -576,7 +124,7 @@ mod tests {
 
     #[test]
     fn cross_worker_relay() {
-        let cluster = Cluster::start(&ClusterSpec::new().with_job("w", 2));
+        let cluster = Cluster::start(&ClusterSpec::new().with_job("w", 2).unwrap());
         let d0 = "/job:w/task:0/device:CPU:0";
         let d1 = "/job:w/task:1/device:CPU:0";
         let a = api::scalar(5.0f32);
@@ -591,20 +139,25 @@ mod tests {
 
     #[test]
     fn errors_propagate_from_worker() {
-        let cluster = Cluster::start(&ClusterSpec::new().with_job("w", 1));
+        let cluster = Cluster::start(&ClusterSpec::new().with_job("w", 1).unwrap());
         let dev = "/job:w/task:0/device:CPU:0";
         let a = api::scalar(1.0f32);
         let b = api::scalar(1i32);
-        // dtype mismatch detected on the worker.
-        assert!(cluster
-            .execute(dev, "add", &[RemoteArg::from(&a), RemoteArg::from(&b)], Attrs::new())
-            .is_err());
-        // Unknown device.
-        assert!(cluster
-            .execute("/job:nope/task:0/device:CPU:0", "add", &[], Attrs::new())
-            .is_err());
+        // dtype mismatch detected on the worker: a typed remote fault.
+        assert!(matches!(
+            cluster.execute(dev, "add", &[RemoteArg::from(&a), RemoteArg::from(&b)], Attrs::new()),
+            Err(DistError::RemoteFault { .. })
+        ));
+        // Unknown job.
+        assert!(matches!(
+            cluster.execute("/job:nope/task:0/device:CPU:0", "add", &[], Attrs::new()),
+            Err(DistError::NoSuchWorker(_))
+        ));
         // Unknown function.
-        assert!(cluster.call_function(dev, "no_such_fn", &[]).is_err());
+        assert!(matches!(
+            cluster.call_function(dev, "no_such_fn", &[]),
+            Err(DistError::RemoteFault { .. })
+        ));
         cluster.shutdown();
     }
 
@@ -612,7 +165,7 @@ mod tests {
     fn data_parallel_workers() {
         // A miniature single-coordinator data-parallel step: each worker
         // computes a partial sum; the coordinator averages.
-        let cluster = Cluster::start(&ClusterSpec::new().with_job("train", 3));
+        let cluster = Cluster::start(&ClusterSpec::new().with_job("train", 3).unwrap());
         let mut partials = Vec::new();
         for t in 0..3 {
             let shard = api::constant(vec![t as f32 + 1.0, 2.0 * (t as f32 + 1.0)], [2]).unwrap();

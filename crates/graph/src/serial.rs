@@ -148,6 +148,25 @@ fn sym_shape_from_value(v: &Value) -> Result<SymShape, SerialError> {
     Ok(SymShape::new(dims?))
 }
 
+/// Encode a full attribute map as a JSON object (used by the distributed
+/// wire protocol as well as graph serialization).
+pub fn attrs_to_value(attrs: &Attrs) -> Value {
+    Value::object(attrs.iter().map(|(k, v)| (k.clone(), attr_to_value(v))))
+}
+
+/// Decode an attribute map produced by [`attrs_to_value`].
+///
+/// # Errors
+/// Malformed structure or unknown attribute tags.
+pub fn attrs_from_value(v: &Value) -> Result<Attrs, SerialError> {
+    let obj = v.as_object().ok_or_else(|| err("attrs must be an object"))?;
+    let mut attrs = Attrs::new();
+    for (k, av) in obj {
+        attrs.set(k, attr_from_value(av)?);
+    }
+    Ok(attrs)
+}
+
 fn tensor_ref_to_value(t: &TensorRef) -> Value {
     Value::Array(vec![Value::Int(t.node.0 as i64), Value::Int(t.output as i64)])
 }

@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod data;
+pub mod dist_train;
 pub mod init;
 pub mod l2hmc;
 pub mod layers;
@@ -30,6 +31,7 @@ pub mod optimizer;
 pub mod resnet;
 pub mod rnn;
 
+pub use dist_train::{mse_grad_fn, DataParallel, Reduction};
 pub use init::Initializer;
 pub use layers::{Activation, Layer, Sequential};
 pub use optimizer::{Adam, Momentum, Optimizer, Sgd};

@@ -62,8 +62,9 @@ fn main() -> Result<(), RuntimeError> {
         Ok(DeviceType::Tpu)
     ));
 
-    // --- §4.5: a coordinator and two worker tasks --------------------------
-    let cluster = Cluster::start(&ClusterSpec::new().with_job("training", 2));
+    // --- §4.5: a coordinator and two worker tasks, over real TCP -----------
+    let spec = ClusterSpec::new().with_job("training", 2)?;
+    let cluster = Cluster::start_tcp(&spec)?;
     println!("cluster devices:");
     for d in cluster.list_devices() {
         println!("  {d}");

@@ -105,6 +105,27 @@ cargo run --release -q -p tfe-bench --bin profiler_smoke > /dev/null
 echo "==> metrics smoke (probe overhead + exposition validation)"
 cargo run --release -q -p tfe-bench --bin metrics_smoke > /dev/null
 
+# Distribution gate: integration suite over both transports (typed
+# failure semantics under worker death included), the wire-format
+# hardening fuzz (truncations, single-byte mutations, hostile lengths),
+# and the dist differential — every sampled corpus graph must execute
+# bitwise-identically locally, over the in-process transport, and over
+# real TCP; the differential is repeated with an ambient TFE_ASYNC=1.
+echo "==> distribution suite + wire hardening + dist differential (release)"
+cargo test --release -q --test distributed --test wire_hardening --test dist_differential \
+    -- --test-threads "${THREADS}"
+echo "==> dist differential with TFE_ASYNC=1 (release)"
+TFE_ASYNC=1 cargo test --release -q --test dist_differential
+
+# Distribution smoke: boots real TCP workers on localhost, trains
+# data-parallel through both collectives bitwise-equal to the
+# single-process reference, reconciles the tfe_dist_* metric families
+# (RPC completions == latency samples, bytes moved both ways), and kills
+# a worker mid-run — every RPC path must surface a typed DistError
+# within the deadline while the survivor keeps serving.
+echo "==> dist smoke (TCP workers, bitwise training parity, chaos)"
+cargo run --release -q -p tfe-bench --bin dist_smoke > /dev/null
+
 # Causal-tracing gate: asserts the flight recorder's disabled path costs
 # < 5 ns per probe site, runs a batched serve workload (async dispatch,
 # parallel executor) under profiling and checks every request's flow

@@ -50,6 +50,28 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Bounded-wait receive failure.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No value arrived within the timeout.
+        Timeout,
+        /// All senders dropped and buffer drained.
+        Disconnected,
+    }
+
+    impl std::fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => write!(f, "receive timed out"),
+                RecvTimeoutError::Disconnected => {
+                    write!(f, "receiving on an empty and disconnected channel")
+                }
+            }
+        }
+    }
+
+    impl std::error::Error for RecvTimeoutError {}
+
     impl<T> Sender<T> {
         /// Send a value; fails if all receivers are gone.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
@@ -71,6 +93,15 @@ pub mod channel {
         pub fn recv(&self) -> Result<T, RecvError> {
             let guard = self.0.lock().unwrap_or_else(|e| e.into_inner());
             guard.recv().map_err(|_| RecvError)
+        }
+
+        /// Block for the next value, giving up after `timeout`.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            let guard = self.0.lock().unwrap_or_else(|e| e.into_inner());
+            guard.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
         }
 
         /// Non-blocking receive.

@@ -1,18 +1,45 @@
 //! Distribution integration tests (§4.5): data-parallel gradient
-//! computation with a single coordinator, remote graph-function dispatch,
-//! and the memory-pressure claim of §5 (one `call` per worker instead of
-//! N subgraph copies).
+//! computation with a single coordinator, remote graph-function dispatch
+//! over both transports, typed failure semantics under worker death, and
+//! bitwise collective parity against local reference emulations.
 
 use std::sync::Arc;
-use tf_eager::dist::{Cluster, ClusterSpec, RemoteArg};
+use std::time::{Duration, Instant};
+use tf_eager::dist::{
+    ps_all_reduce_mean, ps_reference_mean, ring_all_reduce_mean, ring_reference_mean, Cluster,
+    ClusterSpec, DistError, RemoteArg, RemoteTensor, RpcOptions, TransportKind,
+};
 use tf_eager::nn::layers::Layer;
 use tf_eager::nn::{mlp, Activation, Initializer};
 use tf_eager::prelude::*;
 use tfe_ops::Attrs;
 
+fn both_transports() -> [TransportKind; 2] {
+    [TransportKind::InProcess, TransportKind::Tcp]
+}
+
+fn start(spec: &ClusterSpec, kind: TransportKind) -> Cluster {
+    Cluster::start_with(spec, kind, RpcOptions::default()).expect("cluster starts")
+}
+
+fn bits(t: &Tensor) -> Vec<u64> {
+    t.to_f64_vec().unwrap().iter().map(|v| v.to_bits()).collect()
+}
+
+/// Ship a local tensor to a worker and leave it resident there.
+fn place(cluster: &Cluster, dev: &str, t: &Tensor) -> RemoteTensor {
+    cluster
+        .execute(dev, "identity", &[RemoteArg::from(t)], Attrs::new())
+        .unwrap()
+        .into_iter()
+        .next()
+        .unwrap()
+}
+
 /// Single-coordinator data parallelism: shard a batch over workers, each
 /// worker computes per-shard predictions through one shared graph
-/// function, the coordinator reduces.
+/// function, the coordinator reduces. Runs identically over both
+/// transports.
 #[test]
 fn data_parallel_inference_matches_local() {
     tf_eager::init();
@@ -26,29 +53,34 @@ fn data_parallel_inference_matches_local() {
     let probe = api::zeros(DType::F32, [4, 4]);
     let conc = infer.concrete_for(&[Arg::from(&probe)]).unwrap();
 
-    let cluster = Cluster::start(&ClusterSpec::new().with_job("worker", 3));
     let mut rng = tfe_tensor::rng::TensorRng::seed_from_u64(9);
     let full = Tensor::from_data(rng.uniform(DType::F32, Shape::from([12, 4]), -1.0, 1.0).unwrap());
     let local = model.call(&full, false).unwrap().to_f64_vec().unwrap();
 
-    // Shard rows across the three workers.
-    let mut remote_rows = Vec::new();
-    for t in 0..3 {
-        let shard = api::slice(&full, &[t * 4, 0], &[4, -1]).unwrap();
-        let dev = format!("/job:worker/task:{t}/device:CPU:0");
-        let out =
-            cluster.call_function(&dev, &conc.function.name, &[RemoteArg::from(&shard)]).unwrap();
-        remote_rows.push(out.into_iter().next().unwrap());
+    for kind in both_transports() {
+        let cluster = start(&ClusterSpec::new().with_job("worker", 3).unwrap(), kind);
+        // Shard rows across the three workers.
+        let mut remote_rows = Vec::new();
+        for t in 0..3 {
+            let shard = api::slice(&full, &[t * 4, 0], &[4, -1]).unwrap();
+            let dev = format!("/job:worker/task:{t}/device:CPU:0");
+            let out = cluster
+                .call_function(&dev, &conc.function.name, &[RemoteArg::from(&shard)])
+                .unwrap();
+            remote_rows.push(out.into_iter().next().unwrap());
+        }
+        let mut distributed = Vec::new();
+        for r in &remote_rows {
+            distributed.extend(r.fetch().unwrap().to_f64_vec().unwrap());
+        }
+        assert_eq!(local.len(), distributed.len());
+        // The worker runs the same kernels on bitwise-identical inputs
+        // (floats survive the wire exactly), so parity is exact.
+        for (l, d) in local.iter().zip(&distributed) {
+            assert_eq!(l.to_bits(), d.to_bits(), "local {l} vs distributed {d} ({kind:?})");
+        }
+        cluster.shutdown();
     }
-    let mut distributed = Vec::new();
-    for r in &remote_rows {
-        distributed.extend(r.fetch().unwrap().to_f64_vec().unwrap());
-    }
-    assert_eq!(local.len(), distributed.len());
-    for (l, d) in local.iter().zip(&distributed) {
-        assert!((l - d).abs() < 1e-6, "local {l} vs distributed {d}");
-    }
-    cluster.shutdown();
 }
 
 /// Gradient averaging across workers: each worker computes a partial
@@ -73,7 +105,7 @@ fn sharded_loss_averages_to_full_batch() {
 
     let full = loss_fn.call_tensors(&[&p, &t]).unwrap()[0].scalar_f64().unwrap();
 
-    let cluster = Cluster::start(&ClusterSpec::new().with_job("worker", 2));
+    let cluster = Cluster::start(&ClusterSpec::new().with_job("worker", 2).unwrap());
     let mut partials = Vec::new();
     for task in 0..2 {
         let ps = api::slice(&p, &[task * 4, 0], &[4, -1]).unwrap();
@@ -94,7 +126,7 @@ fn sharded_loss_averages_to_full_batch() {
 #[test]
 fn remote_tensor_lifecycle() {
     tf_eager::init();
-    let cluster = Cluster::start(&ClusterSpec::new().with_job("w", 1));
+    let cluster = Cluster::start(&ClusterSpec::new().with_job("w", 1).unwrap());
     let dev = "/job:w/task:0/device:CPU:0";
     let a = api::scalar(2.0f32);
     let r = cluster.execute(dev, "square", &[RemoteArg::from(&a)], Attrs::new()).unwrap();
@@ -116,15 +148,18 @@ fn remote_tensor_lifecycle() {
 #[test]
 fn multi_job_clusters() {
     tf_eager::init();
-    let cluster = Cluster::start(&ClusterSpec::new().with_job("training", 2).with_job("ps", 1));
-    assert_eq!(cluster.list_devices().len(), 3);
-    let x = api::scalar(1.5f64);
-    for dev in ["/job:training/task:1/device:CPU:0", "/job:ps/task:0/device:CPU:0"] {
-        let out = cluster.execute(dev, "square", &[RemoteArg::from(&x)], Attrs::new()).unwrap();
-        assert_eq!(out[0].fetch().unwrap().scalar_f64().unwrap(), 2.25);
-        assert_eq!(out[0].device.to_string(), dev);
+    for kind in both_transports() {
+        let spec = ClusterSpec::new().with_job("training", 2).unwrap().with_job("ps", 1).unwrap();
+        let cluster = start(&spec, kind);
+        assert_eq!(cluster.list_devices().len(), 3);
+        let x = api::scalar(1.5f64);
+        for dev in ["/job:training/task:1/device:CPU:0", "/job:ps/task:0/device:CPU:0"] {
+            let out = cluster.execute(dev, "square", &[RemoteArg::from(&x)], Attrs::new()).unwrap();
+            assert_eq!(out[0].fetch().unwrap().scalar_f64().unwrap(), 2.25);
+            assert_eq!(out[0].device.to_string(), dev);
+        }
+        cluster.shutdown();
     }
-    cluster.shutdown();
 }
 
 /// Workers share the process-wide variable registry (standing in for
@@ -143,7 +178,7 @@ fn remote_stateful_graph_function() {
         })
     };
     let conc = bump.concrete_for(&[Arg::from(&api::scalar(0.0f32))]).unwrap();
-    let cluster = Cluster::start(&ClusterSpec::new().with_job("w", 1));
+    let cluster = Cluster::start(&ClusterSpec::new().with_job("w", 1).unwrap());
     let out = cluster
         .call_function(
             "/job:w/task:0/device:CPU:0",
@@ -154,5 +189,147 @@ fn remote_stateful_graph_function() {
     assert_eq!(out[0].fetch().unwrap().scalar_f64().unwrap(), 105.0);
     // The mutation is visible to the coordinator.
     assert_eq!(v.peek().scalar_f64().unwrap(), 105.0);
+    cluster.shutdown();
+}
+
+/// Killing a worker mid-cluster surfaces a typed `DistError` on every RPC
+/// path within the configured deadline — never a hang, never a panic.
+#[test]
+fn killed_worker_surfaces_typed_error_within_deadline() {
+    tf_eager::init();
+    for kind in both_transports() {
+        let opts = RpcOptions::with_deadline(Duration::from_millis(800));
+        let deadline = opts.deadline;
+        let spec = ClusterSpec::new().with_job("w", 2).unwrap();
+        let cluster = Cluster::start_with(&spec, kind, opts).expect("cluster starts");
+        let d0 = "/job:w/task:0/device:CPU:0";
+        let d1 = "/job:w/task:1/device:CPU:0";
+        let x = api::scalar(3.0f32);
+        let resident = place(&cluster, d0, &x);
+
+        cluster.kill_worker(d0).unwrap();
+
+        // Every RPC path: execute, call_function, fetch, ping.
+        let started = Instant::now();
+        let results: Vec<Result<(), DistError>> = vec![
+            cluster.execute(d0, "square", &[RemoteArg::from(&x)], Attrs::new()).map(|_| ()),
+            cluster.call_function(d0, "no_fn_needed", &[]).map(|_| ()),
+            resident.fetch().map(|_| ()),
+            cluster.ping(d0),
+        ];
+        let elapsed = started.elapsed();
+        for r in results {
+            match r {
+                Err(DistError::Timeout { .. }) | Err(DistError::ConnectionLost { .. }) => {}
+                other => panic!("expected typed transport error ({kind:?}), got {other:?}"),
+            }
+        }
+        // 4 RPCs, each bounded by its own deadline (+ generous slack for a
+        // loaded CI box).
+        assert!(
+            elapsed < deadline * 4 + Duration::from_secs(2),
+            "errors took {elapsed:?} ({kind:?})"
+        );
+
+        // The surviving worker keeps serving.
+        let out = cluster.execute(d1, "square", &[RemoteArg::from(&x)], Attrs::new()).unwrap();
+        assert_eq!(out[0].fetch().unwrap().scalar_f64().unwrap(), 9.0);
+        drop(resident);
+        cluster.shutdown();
+    }
+}
+
+/// Parameter-server all-reduce matches its local reference emulation
+/// bitwise on both transports.
+#[test]
+fn ps_collective_matches_reference_bitwise() {
+    tf_eager::init();
+    let mut rng = tfe_tensor::rng::TensorRng::seed_from_u64(17);
+    let grads: Vec<Tensor> = (0..3)
+        .map(|_| {
+            Tensor::from_data(rng.uniform(DType::F32, Shape::from([5, 3]), -2.0, 2.0).unwrap())
+        })
+        .collect();
+    let reference =
+        ps_reference_mean(&grads.iter().map(|g| g.value().unwrap()).collect::<Vec<_>>()).unwrap();
+    let ref_bits = bits(&Tensor::from_data(reference));
+
+    for kind in both_transports() {
+        let spec = ClusterSpec::new().with_job("train", 3).unwrap().with_job("ps", 1).unwrap();
+        let cluster = start(&spec, kind);
+        let shards: Vec<RemoteTensor> = grads
+            .iter()
+            .enumerate()
+            .map(|(t, g)| place(&cluster, &format!("/job:train/task:{t}/device:CPU:0"), g))
+            .collect();
+        let mean = ps_all_reduce_mean(&cluster, "/job:ps/task:0/device:CPU:0", &shards).unwrap();
+        assert_eq!(mean.device.to_string(), "/job:ps/task:0/device:CPU:0");
+        assert_eq!(bits(&mean.fetch().unwrap()), ref_bits, "{kind:?}");
+        cluster.shutdown();
+    }
+}
+
+/// Ring all-reduce matches its local reference emulation bitwise on both
+/// transports, including uneven chunking and the scalar fallback; all
+/// workers end up with identical results.
+#[test]
+fn ring_collective_matches_reference_bitwise() {
+    tf_eager::init();
+    let mut rng = tfe_tensor::rng::TensorRng::seed_from_u64(23);
+    // rows=7 over 3 workers: uneven chunks (3,2,2). Also a scalar case.
+    for dims in [vec![7usize, 2], vec![]] {
+        let grads: Vec<Tensor> = (0..3)
+            .map(|_| {
+                Tensor::from_data(
+                    rng.uniform(DType::F64, Shape::from(dims.clone()), -1.0, 1.0).unwrap(),
+                )
+            })
+            .collect();
+        let reference =
+            ring_reference_mean(&grads.iter().map(|g| g.value().unwrap()).collect::<Vec<_>>())
+                .unwrap();
+        let ref_bits = bits(&Tensor::from_data(reference));
+
+        for kind in both_transports() {
+            let spec = ClusterSpec::new().with_job("train", 3).unwrap();
+            let cluster = start(&spec, kind);
+            let shards: Vec<RemoteTensor> = grads
+                .iter()
+                .enumerate()
+                .map(|(t, g)| place(&cluster, &format!("/job:train/task:{t}/device:CPU:0"), g))
+                .collect();
+            let reduced = ring_all_reduce_mean(&cluster, &shards).unwrap();
+            assert_eq!(reduced.len(), 3);
+            for r in &reduced {
+                assert_eq!(bits(&r.fetch().unwrap()), ref_bits, "{kind:?} dims {dims:?}");
+            }
+            cluster.shutdown();
+        }
+    }
+}
+
+/// Spec and resolution failures are typed, not stringly panics.
+#[test]
+fn cluster_spec_typed_errors() {
+    tf_eager::init();
+    assert!(matches!(
+        ClusterSpec::new().with_job("w", 1).unwrap().with_job("w", 2),
+        Err(DistError::DuplicateJob(_))
+    ));
+    assert!(matches!(ClusterSpec::new().with_job("w", 0), Err(DistError::EmptyJob(_))));
+
+    let cluster = Cluster::start(&ClusterSpec::new().with_job("w", 2).unwrap());
+    // Unknown job.
+    assert!(matches!(
+        cluster.ping("/job:nope/task:0/device:CPU:0"),
+        Err(DistError::NoSuchWorker(_))
+    ));
+    // Task out of range.
+    assert!(matches!(cluster.ping("/job:w/task:2/device:CPU:0"), Err(DistError::NoSuchWorker(_))));
+    // Workers only contribute CPU:0.
+    assert!(matches!(cluster.ping("/job:w/task:0/device:GPU:0"), Err(DistError::BadDevice(_))));
+    assert!(matches!(cluster.ping("/job:w/task:0/device:CPU:1"), Err(DistError::BadDevice(_))));
+    // Garbage device strings.
+    assert!(matches!(cluster.ping("not-a-device"), Err(DistError::BadDevice(_))));
     cluster.shutdown();
 }

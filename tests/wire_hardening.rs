@@ -1,0 +1,137 @@
+//! Wire-frame hardening (mirrors `tests/saved_hardening.rs` for the
+//! on-disk format): every one-byte mutation and every truncation of a
+//! valid frame must decode to a typed `WireError` or to a (different but
+//! well-formed) frame — never a panic, never an oversized allocation.
+
+use tf_eager::dist::{Frame, WireError, MAX_FRAME_LEN};
+use tfe_encode::Value;
+
+fn sample_frames() -> Vec<Frame> {
+    vec![
+        Frame::new(1, None, Value::Null),
+        Frame::new(42, Some((7, 9)), Value::str("pong")),
+        Frame::new(
+            u64::MAX,
+            Some((u64::MAX, 1)),
+            Value::object([
+                ("type".to_string(), Value::str("execute_op")),
+                ("op".to_string(), Value::str("add")),
+                (
+                    "inputs".to_string(),
+                    Value::Array(vec![Value::object([(
+                        "inline".to_string(),
+                        Value::object([
+                            ("dtype".to_string(), Value::str("float32")),
+                            ("shape".to_string(), Value::Array(vec![Value::Int(2)])),
+                            (
+                                "data".to_string(),
+                                Value::Array(vec![Value::Float(1.5), Value::Float(-2.25)]),
+                            ),
+                        ]),
+                    )])]),
+                ),
+            ]),
+        ),
+    ]
+}
+
+/// Every truncation prefix decodes to a typed error (or, for the empty
+/// tail case, the full frame).
+#[test]
+fn truncations_are_typed_errors() {
+    for frame in sample_frames() {
+        let bytes = frame.encode();
+        for cut in 0..bytes.len() {
+            match Frame::decode(&bytes[..cut]) {
+                Err(_) => {}
+                Ok(decoded) => panic!("truncated at {cut} decoded to {decoded:?}"),
+            }
+        }
+        assert_eq!(Frame::decode(&bytes).unwrap(), frame);
+    }
+}
+
+/// Every single-byte corruption decodes to a typed error or a well-formed
+/// frame — the decoder must not panic on any of them.
+#[test]
+fn single_byte_mutations_never_panic() {
+    for frame in sample_frames() {
+        let bytes = frame.encode();
+        for pos in 0..bytes.len() {
+            for flip in [0x01u8, 0x80, 0xff] {
+                let mut mutated = bytes.clone();
+                mutated[pos] ^= flip;
+                // Must return, not panic; both Ok (benign payload edit)
+                // and Err (structural damage) are acceptable.
+                let _ = Frame::decode(&mutated);
+            }
+        }
+    }
+}
+
+/// A hostile length field is rejected before any allocation happens.
+#[test]
+fn oversized_length_is_guarded() {
+    let mut bytes = Frame::new(1, None, Value::str("x")).encode();
+    for len in [MAX_FRAME_LEN as u32 + 1, u32::MAX, u32::MAX / 2] {
+        bytes[30..34].copy_from_slice(&len.to_le_bytes());
+        assert!(
+            matches!(Frame::decode(&bytes), Err(WireError::Oversized { .. })),
+            "length {len} must be rejected"
+        );
+    }
+}
+
+/// Structured garbage: random-looking inputs with valid prefixes of
+/// increasing depth all fail with typed errors.
+#[test]
+fn garbage_inputs_are_typed_errors() {
+    let cases: Vec<Vec<u8>> = vec![
+        vec![],
+        b"hello world this is not a frame at all".to_vec(),
+        b"TFEW".to_vec(),                      // magic only
+        [b"TFEW".as_slice(), &[2u8]].concat(), // wrong version
+        vec![0xff; 64],
+    ];
+    for bytes in cases {
+        assert!(Frame::decode(&bytes).is_err(), "{bytes:?} must not decode");
+    }
+    // Valid header, payload that is not UTF-8 JSON.
+    let mut bytes = Frame::new(9, None, Value::str("abcd")).encode();
+    let payload_start = bytes.len() - 6; // "abcd" plus quotes
+    bytes[payload_start] = 0xc0; // invalid UTF-8 lead byte
+    assert!(matches!(Frame::decode(&bytes), Err(WireError::Payload(_))));
+}
+
+/// Stream reads tolerate arbitrary chunking: a frame split at every
+/// possible boundary still reassembles exactly.
+#[test]
+fn chunked_stream_reads_reassemble() {
+    use std::io::Read;
+
+    /// A reader that returns at most `chunk` bytes per read call.
+    struct Dribble<'a> {
+        data: &'a [u8],
+        pos: usize,
+        chunk: usize,
+    }
+    impl Read for Dribble<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            let n = self.chunk.min(buf.len()).min(self.data.len() - self.pos);
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    for frame in sample_frames() {
+        let bytes = frame.encode();
+        for chunk in [1, 2, 3, 7, 16] {
+            let mut r = Dribble { data: &bytes, pos: 0, chunk };
+            let (decoded, total) =
+                tf_eager::dist::wire::read_frame(&mut r, false).unwrap().unwrap();
+            assert_eq!(decoded, frame, "chunk size {chunk}");
+            assert_eq!(total, bytes.len());
+        }
+    }
+}
